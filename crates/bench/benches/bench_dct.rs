@@ -1,0 +1,66 @@
+//! Microbenchmark: the stage-1 DCT engine — planned power-of-two vs
+//! Bluestein (arbitrary-length) transforms, forward and inverse.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dpz_linalg::Dct1d;
+use std::hint::black_box;
+
+fn signal(n: usize) -> Vec<f64> {
+    (0..n).map(|i| (i as f64 * 0.037).sin() + 0.01 * i as f64).collect()
+}
+
+fn bench_dct(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dct_forward");
+    for &n in &[512usize, 2048, 900, 3600] {
+        group.throughput(Throughput::Elements(n as u64));
+        let plan = Dct1d::new(n);
+        let data = signal(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let mut buf = data.clone();
+                plan.forward(black_box(&mut buf));
+                buf
+            });
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("dct_inverse");
+    for &n in &[2048usize, 3600] {
+        group.throughput(Throughput::Elements(n as u64));
+        let plan = Dct1d::new(n);
+        let mut data = signal(n);
+        plan.forward(&mut data);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let mut buf = data.clone();
+                plan.inverse(black_box(&mut buf));
+                buf
+            });
+        });
+    }
+    group.finish();
+
+    // Plan reuse vs per-call planning: the reason Dct1d exists.
+    let mut group = c.benchmark_group("dct_planning");
+    let data = signal(1024);
+    group.bench_function("plan_once_apply", |b| {
+        let plan = Dct1d::new(1024);
+        b.iter(|| {
+            let mut buf = data.clone();
+            plan.forward(&mut buf);
+            buf
+        });
+    });
+    group.bench_function("plan_every_call", |b| {
+        b.iter(|| {
+            let mut buf = data.clone();
+            dpz_linalg::dct2_inplace(&mut buf);
+            buf
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_dct);
+criterion_main!(benches);

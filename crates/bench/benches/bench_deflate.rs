@@ -1,0 +1,65 @@
+//! Microbenchmark: the from-scratch DEFLATE/zlib lossless stage on the
+//! kinds of payloads DPZ feeds it (quantizer index planes, f32 model
+//! sections, incompressible noise).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dpz_deflate::{compress_with_level, decompress, CompressionLevel};
+use std::hint::black_box;
+
+fn index_plane(n: usize) -> Vec<u8> {
+    // Quantizer indices: concentrated around a center code with runs.
+    let mut s = 99u64;
+    (0..n)
+        .map(|_| {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            let g = ((s >> 40) as u8 as i32 - 128) / 24;
+            (128 + g) as u8
+        })
+        .collect()
+}
+
+fn noise(n: usize) -> Vec<u8> {
+    let mut s = 7u64;
+    (0..n)
+        .map(|_| {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            (s >> 17) as u8
+        })
+        .collect()
+}
+
+fn bench_deflate(c: &mut Criterion) {
+    let n = 256 * 1024;
+    let payloads = [("indices", index_plane(n)), ("noise", noise(n))];
+
+    let mut group = c.benchmark_group("deflate_compress");
+    group.sample_size(10);
+    group.throughput(Throughput::Bytes(n as u64));
+    for (name, data) in &payloads {
+        for level in [CompressionLevel::Fast, CompressionLevel::Default, CompressionLevel::Best] {
+            group.bench_with_input(
+                BenchmarkId::new(*name, format!("{level:?}")),
+                data,
+                |b, d| b.iter(|| compress_with_level(black_box(d), level)),
+            );
+        }
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("deflate_decompress");
+    group.throughput(Throughput::Bytes(n as u64));
+    for (name, data) in &payloads {
+        let packed = compress_with_level(data, CompressionLevel::Default);
+        group.bench_with_input(BenchmarkId::from_parameter(name), &packed, |b, p| {
+            b.iter(|| decompress(black_box(p)).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_deflate);
+criterion_main!(benches);

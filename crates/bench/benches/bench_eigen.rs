@@ -1,0 +1,50 @@
+//! Microbenchmark: the stage-2 eigensolvers — the full Householder+QL path
+//! vs the truncated subspace iteration that powers the sampling fast path
+//! (the claimed `O(M³)` → `O(M²k)` reduction).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dpz_linalg::{sym_eigen, sym_eigen_topk, Matrix};
+use std::hint::black_box;
+
+/// A covariance-like PSD matrix with rapidly decaying spectrum.
+fn covariance(m: usize) -> Matrix {
+    let mut x = Matrix::zeros(2 * m, m);
+    let mut s = 0xDEADBEEFu64;
+    for r in 0..2 * m {
+        for c in 0..m {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            let noise = (s >> 11) as f64 / (1u64 << 53) as f64 - 0.5;
+            // Strong low-rank structure + noise, like DCT-domain blocks.
+            let smooth = ((r as f64 * 0.01).sin() * (c as f64 * 0.05).cos()) * 10.0;
+            x.set(r, c, smooth + 0.01 * noise);
+        }
+    }
+    x.gram()
+}
+
+fn bench_eigen(c: &mut Criterion) {
+    let mut group = c.benchmark_group("eigen_full");
+    group.sample_size(10);
+    for &m in &[64usize, 128, 256] {
+        let cov = covariance(m);
+        group.bench_with_input(BenchmarkId::from_parameter(m), &m, |b, _| {
+            b.iter(|| sym_eigen(black_box(&cov)).unwrap());
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("eigen_topk8");
+    group.sample_size(10);
+    for &m in &[64usize, 128, 256] {
+        let cov = covariance(m);
+        group.bench_with_input(BenchmarkId::from_parameter(m), &m, |b, _| {
+            b.iter(|| sym_eigen_topk(black_box(&cov), 8, 100).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_eigen);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Ablation: stage-1 transform choice — the paper's DCT versus the
+//! wavelet-domain variant it hypothesizes ("PCA in other transform domains
+//! (e.g., wavelet transforms) should also work", Section III-B2). Runs
+//! DPZ-s with DCT and Db4-DWT stage 1 across the whole suite.
+
+use dpz_bench::harness::{fmt, format_table, write_csv, Args};
+use dpz_bench::runners::run_dpz;
+use dpz_core::{DpzConfig, Stage1Transform, TveLevel};
+use dpz_data::standard_suite;
+
+fn main() {
+    let args = Args::parse();
+    let header = ["dataset", "transform", "k", "cr", "psnr_db"];
+    let mut rows = Vec::new();
+    for ds in standard_suite(args.scale) {
+        for (label, transform) in [
+            ("DCT", Stage1Transform::Dct),
+            ("DWT-db4", Stage1Transform::Dwt { levels: 5 }),
+        ] {
+            let cfg = DpzConfig::strict()
+                .with_tve(TveLevel::FiveNines)
+                .with_transform(transform);
+            match run_dpz(&ds, &cfg, "DPZ-s", label) {
+                Ok((run, stats)) => rows.push(vec![
+                    ds.name.clone(),
+                    label.to_string(),
+                    stats.k.to_string(),
+                    fmt(run.report.compression_ratio),
+                    fmt(run.report.psnr),
+                ]),
+                Err(e) => eprintln!("{} {label}: {e}", ds.name),
+            }
+        }
+    }
+    println!("Ablation — stage-1 transform: DCT vs Daubechies-4 DWT (DPZ-s, five-nine TVE)\n");
+    println!("{}", format_table(&header, &rows));
+    let path = write_csv(&args.out_dir, "ablation_transform", &header, &rows).expect("csv");
+    println!("csv: {}", path.display());
+}

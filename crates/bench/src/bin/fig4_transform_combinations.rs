@@ -1,0 +1,75 @@
+//! Figure 4: absolute error of the four transform pipelines (DCT, PCA,
+//! DCT∘PCA, PCA∘DCT) on FLDSC at a fixed ~5× setting (keep 20 % of
+//! features). Doubles as the ablation for DPZ's ordering choice: PCA on DCT
+//! must introduce the least error, DCT on PCA the most.
+//!
+//! Also writes per-pipeline absolute-error maps as PGM images so the
+//! spatial error structure of the original figure can be inspected.
+
+use dpz_bench::harness::{fmt, format_table, write_csv, Args};
+use dpz_core::combos::{lossy_roundtrip, TransformCombo};
+use dpz_data::metrics::{max_abs_error, mse, psnr};
+use dpz_data::pgm::write_pgm;
+use dpz_data::{Dataset, DatasetKind};
+
+const KEEP_FRACTION: f64 = 0.2; // the paper's 5x setting
+
+fn main() {
+    let args = Args::parse();
+    let ds = Dataset::generate(DatasetKind::Fldsc, args.scale, args.seed);
+
+    let header = ["pipeline", "mse", "max_abs_err", "psnr_db"];
+    let mut rows = Vec::new();
+    let mut results = Vec::new();
+    for combo in TransformCombo::ALL {
+        let recon = lossy_roundtrip(&ds.data, combo, KEEP_FRACTION).expect("roundtrip");
+        rows.push(vec![
+            combo.label().to_string(),
+            fmt(mse(&ds.data, &recon)),
+            fmt(max_abs_error(&ds.data, &recon)),
+            fmt(psnr(&ds.data, &recon)),
+        ]);
+        results.push((combo, recon));
+    }
+    println!(
+        "Figure 4 — error of transform combinations on FLDSC at keep fraction {KEEP_FRACTION} (~5x)\n"
+    );
+    println!("{}", format_table(&header, &rows));
+
+    // Ordering check (the paper's conclusion).
+    let mse_of = |combo: TransformCombo| {
+        results
+            .iter()
+            .find(|(c, _)| *c == combo)
+            .map(|(_, r)| mse(&ds.data, r))
+            .unwrap()
+    };
+    let best = mse_of(TransformCombo::PcaOnDct);
+    let worst = mse_of(TransformCombo::DctOnPca);
+    println!(
+        "\nPCA on DCT mse {} vs DCT on PCA mse {} -> {}",
+        fmt(best),
+        fmt(worst),
+        if best <= worst { "ordering matches the paper" } else { "ORDERING MISMATCH" }
+    );
+
+    // Error maps (2-D field).
+    std::fs::create_dir_all(&args.out_dir).expect("out dir");
+    if ds.dims.len() == 2 {
+        for (combo, recon) in &results {
+            let err: Vec<f32> = ds
+                .data
+                .iter()
+                .zip(recon)
+                .map(|(a, b)| (a - b).abs())
+                .collect();
+            let name = combo.label().replace(' ', "_").to_lowercase();
+            let path = args.out_dir.join(format!("fig4_error_{name}.pgm"));
+            write_pgm(&path, &err, ds.dims[0], ds.dims[1]).expect("pgm");
+            println!("error map: {}", path.display());
+        }
+    }
+    let path = write_csv(&args.out_dir, "fig4_transform_combinations", &header, &rows)
+        .expect("write csv");
+    println!("csv: {}", path.display());
+}

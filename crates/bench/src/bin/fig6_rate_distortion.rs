@@ -1,0 +1,74 @@
+//! Figure 6: rate-distortion (PSNR vs bit-rate) of DPZ-l, DPZ-s, SZ and ZFP
+//! on the evaluation datasets. DPZ sweeps TVE "three-nine" → "eight-nine";
+//! SZ sweeps range-relative error bounds; ZFP sweeps fixed precisions.
+
+use dpz_bench::harness::{fmt, format_table, write_csv, Args};
+use dpz_bench::runners::{run_dpz, run_sz_auto_relative, run_sz_relative, run_zfp, RunResult, SZ_REL_BOUNDS, ZFP_PRECISIONS};
+use dpz_core::{DpzConfig, TveLevel};
+use dpz_data::{standard_suite, Dataset};
+use dpz_zfp::ZfpMode;
+
+fn dpz_sweep(ds: &Dataset, cfg_base: DpzConfig, label: &str, rows: &mut Vec<Vec<String>>) {
+    for level in TveLevel::SWEEP {
+        let cfg = cfg_base.with_tve(level);
+        match run_dpz(ds, &cfg, label, &format!("tve={}nines", level.nines())) {
+            Ok((run, _)) => rows.push(row(ds, &run)),
+            Err(e) => eprintln!("{label} {} tve={}: {e}", ds.name, level.nines()),
+        }
+    }
+}
+
+fn row(ds: &Dataset, run: &RunResult) -> Vec<String> {
+    vec![
+        ds.name.clone(),
+        run.label.clone(),
+        run.setting.clone(),
+        fmt(run.report.bit_rate),
+        fmt(run.report.psnr),
+        fmt(run.report.compression_ratio),
+        fmt(run.report.mean_rel_error),
+    ]
+}
+
+fn main() {
+    let args = Args::parse();
+    let header = ["dataset", "method", "setting", "bitrate", "psnr_db", "cr", "theta"];
+    let mut rows = Vec::new();
+    for ds in standard_suite(args.scale) {
+        eprintln!("== {} ==", ds.name);
+        dpz_sweep(&ds, DpzConfig::loose(), "DPZ-l", &mut rows);
+        dpz_sweep(&ds, DpzConfig::strict(), "DPZ-s", &mut rows);
+        for rel in SZ_REL_BOUNDS {
+            match run_sz_relative(&ds, rel) {
+                Ok(run) => rows.push(row(&ds, &run)),
+                Err(e) => eprintln!("SZ {} rel={rel}: {e}", ds.name),
+            }
+            // SZ 2.0's hybrid Lorenzo/regression predictor.
+            match run_sz_auto_relative(&ds, rel) {
+                Ok(run) => rows.push(row(&ds, &run)),
+                Err(e) => eprintln!("SZ-auto {} rel={rel}: {e}", ds.name),
+            }
+        }
+        for prec in ZFP_PRECISIONS {
+            match run_zfp(&ds, ZfpMode::FixedPrecision(prec)) {
+                Ok(run) => rows.push(row(&ds, &run)),
+                Err(e) => eprintln!("ZFP {} prec={prec}: {e}", ds.name),
+            }
+        }
+        // Fixed-rate points give exact bit-rate anchors on the same curve.
+        for rate in [1.0f64, 2.0, 4.0, 8.0] {
+            match run_zfp(&ds, ZfpMode::FixedRate(rate)) {
+                Ok(mut run) => {
+                    run.label = "ZFP-rate".to_string();
+                    rows.push(row(&ds, &run));
+                }
+                Err(e) => eprintln!("ZFP {} rate={rate}: {e}", ds.name),
+            }
+        }
+    }
+    println!("Figure 6 — rate-distortion on the evaluation suite\n");
+    println!("{}", format_table(&header, &rows));
+    let path =
+        write_csv(&args.out_dir, "fig6_rate_distortion", &header, &rows).expect("write csv");
+    println!("csv: {}", path.display());
+}

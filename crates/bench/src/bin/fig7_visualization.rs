@@ -1,0 +1,108 @@
+//! Figure 7: visual comparison on CLDHGH. Two operating points, as in the
+//! paper: (b)-(d) all compressors pinned to roughly the same compression
+//! ratio (~10.5×), reporting who delivers the best PSNR there; (d)-(f) all
+//! pinned to roughly the same PSNR (~26 dB), reporting who delivers the
+//! highest CR. Renders the original and every reconstruction as PGM images.
+
+use dpz_bench::harness::{fmt, format_table, write_csv, Args};
+use dpz_bench::runners::{run_dpz, run_sz_relative, run_zfp, RunResult};
+use dpz_core::{DpzConfig, TveLevel};
+use dpz_data::pgm::write_pgm;
+use dpz_data::{Dataset, DatasetKind};
+use dpz_zfp::ZfpMode;
+
+fn candidate_runs(ds: &Dataset) -> Vec<RunResult> {
+    let mut runs = Vec::new();
+    for level in TveLevel::SWEEP {
+        if let Ok((run, _)) = run_dpz(
+            ds,
+            &DpzConfig::strict().with_tve(level),
+            "DPZ-s",
+            &format!("tve={}nines", level.nines()),
+        ) {
+            runs.push(run);
+        }
+    }
+    for rel in [1e-1, 3e-2, 1e-2, 3e-3, 1e-3, 1e-4, 1e-5] {
+        if let Ok(run) = run_sz_relative(ds, rel) {
+            runs.push(run);
+        }
+    }
+    for prec in [4u32, 6, 8, 10, 12, 16, 20, 24] {
+        if let Ok(run) = run_zfp(ds, ZfpMode::FixedPrecision(prec)) {
+            runs.push(run);
+        }
+    }
+    runs
+}
+
+/// For each method, the run whose `key` is closest to `target` (log scale).
+fn closest(
+    runs: &[RunResult],
+    target: f64,
+    key: impl Fn(&RunResult) -> f64,
+) -> Vec<&RunResult> {
+    let mut picks = Vec::new();
+    for method in ["DPZ-s", "SZ", "ZFP"] {
+        if let Some(best) = runs
+            .iter()
+            .filter(|r| r.label == method && key(r).is_finite() && key(r) > 0.0)
+            .min_by(|a, b| {
+                let da = (key(a).ln() - target.ln()).abs();
+                let db = (key(b).ln() - target.ln()).abs();
+                da.partial_cmp(&db).unwrap()
+            })
+        {
+            picks.push(best);
+        }
+    }
+    picks
+}
+
+fn main() {
+    let args = Args::parse();
+    let ds = Dataset::generate(DatasetKind::Cldhgh, args.scale, args.seed);
+    let runs = candidate_runs(&ds);
+
+    std::fs::create_dir_all(&args.out_dir).expect("out dir");
+    write_pgm(args.out_dir.join("fig7_original.pgm"), &ds.data, ds.dims[0], ds.dims[1])
+        .expect("pgm");
+
+    let header = ["regime", "method", "setting", "cr", "psnr_db"];
+    let mut rows = Vec::new();
+    for (regime, target, by_cr) in
+        [("CR~10.5x", 10.5, true), ("PSNR~26dB", 26.0, false)]
+    {
+        let picks = if by_cr {
+            closest(&runs, target, |r| r.report.compression_ratio)
+        } else {
+            closest(&runs, target, |r| r.report.psnr)
+        };
+        for run in picks {
+            rows.push(vec![
+                regime.to_string(),
+                run.label.clone(),
+                run.setting.clone(),
+                fmt(run.report.compression_ratio),
+                fmt(run.report.psnr),
+            ]);
+            let name = format!(
+                "fig7_{}_{}.pgm",
+                regime.replace(['~', '.'], "_"),
+                run.label.replace('-', "_")
+            );
+            write_pgm(
+                args.out_dir.join(&name),
+                &run.reconstructed,
+                ds.dims[0],
+                ds.dims[1],
+            )
+            .expect("pgm");
+        }
+    }
+    println!("Figure 7 — CLDHGH visual comparison operating points\n");
+    println!("{}", format_table(&header, &rows));
+    println!("(PGM renders of the original and every pick are in {})", args.out_dir.display());
+    let path = write_csv(&args.out_dir, "fig7_visualization", &header, &rows).expect("csv");
+    println!("csv: {}", path.display());
+}

@@ -1,0 +1,38 @@
+//! Figure 9: breakdown of DPZ compression time per stage across the
+//! evaluation suite. The paper's observation: stages 2 (PCA) and 3
+//! (quantization + encoding) dominate.
+
+use dpz_bench::harness::{format_table, write_csv, Args};
+use dpz_core::{compress, DpzConfig, TveLevel};
+use dpz_data::standard_suite;
+
+fn main() {
+    let args = Args::parse();
+    let cfg = DpzConfig::strict().with_tve(TveLevel::FiveNines);
+    let header = [
+        "dataset", "total_ms", "stage1_dct_%", "stage2_pca_%", "stage3_quant_%", "lossless_%",
+    ];
+    let mut rows = Vec::new();
+    for ds in standard_suite(args.scale) {
+        match compress(&ds.data, &ds.dims, &cfg) {
+            Ok(out) => {
+                let t = out.stats.timings;
+                let total = t.total().as_secs_f64().max(1e-12);
+                let pct = |d: std::time::Duration| format!("{:.1}", 100.0 * d.as_secs_f64() / total);
+                rows.push(vec![
+                    ds.name.clone(),
+                    format!("{:.1}", total * 1e3),
+                    pct(t.decompose_dct),
+                    pct(t.pca),
+                    pct(t.quantize),
+                    pct(t.lossless),
+                ]);
+            }
+            Err(e) => eprintln!("{}: {e}", ds.name),
+        }
+    }
+    println!("Figure 9 — DPZ compression-time breakdown (DPZ-s, five-nine TVE)\n");
+    println!("{}", format_table(&header, &rows));
+    let path = write_csv(&args.out_dir, "fig9_time_breakdown", &header, &rows).expect("csv");
+    println!("csv: {}", path.display());
+}

@@ -1,0 +1,39 @@
+//! Table I: the evaluation dataset inventory — source, type, dimensions and
+//! size, at both the current run scale and the paper's full scale.
+
+use dpz_bench::harness::{format_table, write_csv, Args};
+use dpz_data::{Dataset, DatasetKind, Scale};
+
+fn main() {
+    let args = Args::parse();
+    let header = [
+        "source", "dataset", "type", "ndims", "dims(run)", "values", "MB(run)", "dims(paper)",
+    ];
+    let mut rows = Vec::new();
+    for kind in DatasetKind::ALL {
+        let ds = Dataset::generate(kind, args.scale, args.seed);
+        let ty = match kind.source() {
+            "JHTDB" => "Turbulence simulation",
+            "HACC" => "Cosmology particle simulation",
+            _ => "Climate simulation",
+        };
+        let fmt_dims = |d: &[usize]| {
+            d.iter().map(ToString::to_string).collect::<Vec<_>>().join("x")
+        };
+        rows.push(vec![
+            kind.source().to_string(),
+            ds.name.clone(),
+            ty.to_string(),
+            kind.ndims().to_string(),
+            fmt_dims(&ds.dims),
+            ds.len().to_string(),
+            format!("{:.2}", ds.nbytes() as f64 / 1e6),
+            fmt_dims(&Scale::Paper.dims(kind)),
+        ]);
+    }
+    println!("Table I — scientific datasets (synthetic analogues, seed {})\n", args.seed);
+    println!("{}", format_table(&header, &rows));
+    let path = write_csv(&args.out_dir, "table1_datasets", &header, &rows)
+        .expect("write csv");
+    println!("csv: {}", path.display());
+}

@@ -1,0 +1,51 @@
+//! Table II: compression with knee-point detection, comparing the 1-D and
+//! polynomial curve fits for both DPZ schemes on the paper's six selected
+//! datasets (Isotropic, Channel, CLDHGH, PHIS, HACC-x, HACC-vx).
+
+use dpz_bench::harness::{fmt, format_table, write_csv, Args};
+use dpz_bench::runners::run_dpz;
+use dpz_core::{DpzConfig, KSelection};
+use dpz_data::{Dataset, DatasetKind};
+use dpz_linalg::fit::FitKind;
+
+const SELECTED: [DatasetKind; 6] = [
+    DatasetKind::Isotropic,
+    DatasetKind::Channel,
+    DatasetKind::Cldhgh,
+    DatasetKind::Phis,
+    DatasetKind::HaccX,
+    DatasetKind::HaccVx,
+];
+
+fn main() {
+    let args = Args::parse();
+    let header = ["dataset", "scheme", "fit", "k", "cr", "psnr_db", "mean_theta"];
+    let mut rows = Vec::new();
+    for kind in SELECTED {
+        let ds = Dataset::generate(kind, args.scale, args.seed);
+        eprintln!("== {} ==", ds.name);
+        for (scheme_label, base) in [("DPZ-l", DpzConfig::loose()), ("DPZ-s", DpzConfig::strict())]
+        {
+            for (fit_label, fit) in [("1D", FitKind::Interp1d), ("polyn", FitKind::Polynomial(7))]
+            {
+                let cfg = base.with_selection(KSelection::KneePoint(fit));
+                match run_dpz(&ds, &cfg, scheme_label, fit_label) {
+                    Ok((run, stats)) => rows.push(vec![
+                        ds.name.clone(),
+                        scheme_label.to_string(),
+                        fit_label.to_string(),
+                        stats.k.to_string(),
+                        fmt(run.report.compression_ratio),
+                        fmt(run.report.psnr),
+                        fmt(run.report.mean_rel_error),
+                    ]),
+                    Err(e) => eprintln!("{} {} {}: {e}", ds.name, scheme_label, fit_label),
+                }
+            }
+        }
+    }
+    println!("Table II — knee-point detection compression (1D vs polynomial fits)\n");
+    println!("{}", format_table(&header, &rows));
+    let path = write_csv(&args.out_dir, "table2_kneepoint", &header, &rows).expect("csv");
+    println!("csv: {}", path.display());
+}

@@ -1,0 +1,55 @@
+//! Table III: breakdown of the compression ratio per stage (stage 1&2 /
+//! stage 3 / zlib) for both schemes at TVE ∈ {99.9 %, 99.999 %, 99.99999 %}
+//! on the paper's six selected datasets.
+
+use dpz_bench::harness::{fmt, format_table, write_csv, Args};
+use dpz_core::{compress, DpzConfig, TveLevel};
+use dpz_data::{Dataset, DatasetKind};
+
+const SELECTED: [DatasetKind; 6] = [
+    DatasetKind::Isotropic,
+    DatasetKind::Channel,
+    DatasetKind::Cldhgh,
+    DatasetKind::Phis,
+    DatasetKind::HaccX,
+    DatasetKind::HaccVx,
+];
+
+const LEVELS: [TveLevel; 3] = [TveLevel::ThreeNines, TveLevel::FiveNines, TveLevel::SevenNines];
+
+fn main() {
+    let args = Args::parse();
+    let header = [
+        "dataset", "tve", "scheme", "k", "cr_stage12", "cr_stage3", "cr_zlib", "cr_total",
+    ];
+    let mut rows = Vec::new();
+    for kind in SELECTED {
+        let ds = Dataset::generate(kind, args.scale, args.seed);
+        eprintln!("== {} ==", ds.name);
+        for level in LEVELS {
+            for (label, base) in [("DPZ-l", DpzConfig::loose()), ("DPZ-s", DpzConfig::strict())] {
+                let cfg = base.with_tve(level);
+                match compress(&ds.data, &ds.dims, &cfg) {
+                    Ok(out) => {
+                        let s = out.stats;
+                        rows.push(vec![
+                            ds.name.clone(),
+                            format!("{}nines", level.nines()),
+                            label.to_string(),
+                            s.k.to_string(),
+                            fmt(s.cr_stage12),
+                            fmt(s.cr_stage3),
+                            fmt(s.cr_zlib),
+                            fmt(s.cr_total),
+                        ]);
+                    }
+                    Err(e) => eprintln!("{} {label} {}: {e}", ds.name, level.nines()),
+                }
+            }
+        }
+    }
+    println!("Table III — per-stage compression ratio breakdown\n");
+    println!("{}", format_table(&header, &rows));
+    let path = write_csv(&args.out_dir, "table3_cr_breakdown", &header, &rows).expect("csv");
+    println!("csv: {}", path.display());
+}

@@ -1,0 +1,51 @@
+//! Table IV: accuracy loss between stage 1&2 and stage 3 (+ lossless) in
+//! Δ PSNR (dB). As in the paper, the loss grows as TVE tightens — once the
+//! subspace is nearly exact, the quantizer becomes the error floor — and
+//! DPZ-l (coarser bins) loses more than DPZ-s.
+
+use dpz_bench::harness::{fmt, format_table, write_csv, Args};
+use dpz_core::{compress_with_breakdown, DpzConfig, TveLevel};
+use dpz_data::{Dataset, DatasetKind};
+
+const SELECTED: [DatasetKind; 6] = [
+    DatasetKind::Isotropic,
+    DatasetKind::Channel,
+    DatasetKind::Cldhgh,
+    DatasetKind::Phis,
+    DatasetKind::HaccX,
+    DatasetKind::HaccVx,
+];
+
+const LEVELS: [TveLevel; 3] = [TveLevel::ThreeNines, TveLevel::FiveNines, TveLevel::SevenNines];
+
+fn main() {
+    let args = Args::parse();
+    let header = [
+        "dataset", "tve", "scheme", "psnr_stage12_db", "psnr_final_db", "delta_psnr_db",
+    ];
+    let mut rows = Vec::new();
+    for kind in SELECTED {
+        let ds = Dataset::generate(kind, args.scale, args.seed);
+        eprintln!("== {} ==", ds.name);
+        for level in LEVELS {
+            for (label, base) in [("DPZ-l", DpzConfig::loose()), ("DPZ-s", DpzConfig::strict())] {
+                let cfg = base.with_tve(level);
+                match compress_with_breakdown(&ds.data, &ds.dims, &cfg) {
+                    Ok(b) => rows.push(vec![
+                        ds.name.clone(),
+                        format!("{}nines", level.nines()),
+                        label.to_string(),
+                        fmt(b.psnr_stage12),
+                        fmt(b.psnr_final),
+                        fmt(b.delta_psnr()),
+                    ]),
+                    Err(e) => eprintln!("{} {label} {}: {e}", ds.name, level.nines()),
+                }
+            }
+        }
+    }
+    println!("Table IV — accuracy loss between stages (Δ PSNR, dB)\n");
+    println!("{}", format_table(&header, &rows));
+    let path = write_csv(&args.out_dir, "table4_psnr_loss", &header, &rows).expect("csv");
+    println!("csv: {}", path.display());
+}

@@ -1,0 +1,20 @@
+//! # dpz-bench
+//!
+//! The experiment harness that regenerates **every table and figure** of
+//! the DPZ paper's evaluation (Section V). One binary per experiment — see
+//! DESIGN.md §4 for the experiment index and EXPERIMENTS.md for recorded
+//! paper-vs-measured results. All binaries accept:
+//!
+//! ```text
+//! --scale tiny|small|default|paper   dataset size (default: default)
+//! --seed N                           generator seed (default: 2021)
+//! --out DIR                          result directory (default: results/)
+//! ```
+//!
+//! Each binary prints a human-readable table to stdout and writes the same
+//! series as CSV under the result directory.
+
+#![warn(missing_docs)]
+
+pub mod harness;
+pub mod runners;

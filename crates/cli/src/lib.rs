@@ -1,0 +1,433 @@
+//! Implementation of the `dpz` command-line tool (argument parsing and
+//! subcommands live here so they can be unit-tested; `src/bin/dpz.rs` is a
+//! thin wrapper).
+//!
+//! ```text
+//! dpz gen <dataset> <out.f32> [--scale tiny|small|default|paper] [--seed N]
+//! dpz compress <in.f32> <out.dpz> --dims RxCxD [--codec dpz|sz|zfp]
+//!     [--scheme loose|strict] [--tve NINES | --knee 1d|polyn] [--sampling]
+//!     [--eb BOUND] [--precision BITS]
+//! dpz decompress <in.dpz> <out.f32>
+//! dpz info <in.dpz>
+//! dpz eval <orig.f32> <recon.f32> [--compressed <file>]
+//! ```
+
+#![warn(missing_docs)]
+
+use dpz_core::{compress, decompress, DpzConfig, KSelection, Stage1Transform, TveLevel};
+use dpz_data::dataset::DEFAULT_SEED;
+use dpz_data::io::{read_f32_file, write_f32_file};
+use dpz_data::metrics;
+use dpz_data::{Dataset, DatasetKind, Scale};
+use dpz_linalg::fit::FitKind;
+use std::fmt::Write as _;
+
+/// CLI failure: message for stderr plus a suggestion to use `--help`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CliError(pub String);
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+fn err(msg: impl Into<String>) -> CliError {
+    CliError(msg.into())
+}
+
+/// Usage text.
+pub const USAGE: &str = "dpz — multi-stage information-retrieval lossy compressor (CLUSTER'21 reproduction)
+
+USAGE:
+  dpz gen <dataset> <out.f32> [--scale tiny|small|default|paper] [--seed N]
+  dpz compress <in.f32> <out.dpz> --dims RxC[xD] [--codec dpz|sz|zfp]
+               [--scheme loose|strict] [--tve NINES] [--knee 1d|polyn] [--sampling]
+               [--transform dct|dwt] [--eb BOUND, --predictor lorenzo|auto (sz)]
+               [--precision BITS | --rate BITS/VAL (zfp)]
+  dpz decompress <in.dpz> <out.f32>
+  dpz info <in.dpz>
+  dpz eval <orig.f32> <recon.f32> [--compressed <file>]
+
+DATASETS: Isotropic Channel CLDHGH CLDLOW PHIS FREQSH FLDSC HACC-x HACC-vx
+NINES:    3..=8 (\"--tve 5\" = 99.999%)
+";
+
+/// Parse dims like `1800x3600` or `128x128x128`.
+pub fn parse_dims(s: &str) -> Result<Vec<usize>, CliError> {
+    let dims: Result<Vec<usize>, _> = s.split(['x', 'X']).map(str::parse::<usize>).collect();
+    let dims = dims.map_err(|_| err(format!("invalid --dims '{s}'")))?;
+    if dims.is_empty() || dims.contains(&0) {
+        return Err(err(format!("invalid --dims '{s}'")));
+    }
+    Ok(dims)
+}
+
+/// Pull the value following a `--flag`.
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+fn has_flag(args: &[String], flag: &str) -> bool {
+    args.iter().any(|a| a == flag)
+}
+
+/// Build a [`DpzConfig`] from the optional flags.
+pub fn config_from_args(args: &[String]) -> Result<DpzConfig, CliError> {
+    let mut cfg = match flag_value(args, "--scheme").unwrap_or("loose") {
+        "loose" => DpzConfig::loose(),
+        "strict" => DpzConfig::strict(),
+        other => return Err(err(format!("unknown --scheme '{other}'"))),
+    };
+    if let Some(nines) = flag_value(args, "--tve") {
+        let n: u32 = nines.parse().map_err(|_| err("--tve expects 3..=8"))?;
+        let level = match n {
+            3 => TveLevel::ThreeNines,
+            4 => TveLevel::FourNines,
+            5 => TveLevel::FiveNines,
+            6 => TveLevel::SixNines,
+            7 => TveLevel::SevenNines,
+            8 => TveLevel::EightNines,
+            _ => return Err(err("--tve expects 3..=8")),
+        };
+        cfg = cfg.with_tve(level);
+    }
+    if let Some(fit) = flag_value(args, "--knee") {
+        let kind = match fit {
+            "1d" => FitKind::Interp1d,
+            "polyn" => FitKind::Polynomial(7),
+            other => return Err(err(format!("unknown --knee '{other}' (1d|polyn)"))),
+        };
+        cfg = cfg.with_selection(KSelection::KneePoint(kind));
+    }
+    if has_flag(args, "--sampling") {
+        cfg = cfg.with_sampling(true);
+    }
+    if let Some(t) = flag_value(args, "--transform") {
+        cfg = match t {
+            "dct" => cfg.with_transform(Stage1Transform::Dct),
+            "dwt" => cfg.with_transform(Stage1Transform::Dwt { levels: 5 }),
+            other => return Err(err(format!("unknown --transform '{other}' (dct|dwt)"))),
+        };
+    }
+    Ok(cfg)
+}
+
+/// Run the CLI; returns the text to print on success.
+pub fn run(args: &[String]) -> Result<String, CliError> {
+    let Some(command) = args.first() else {
+        return Err(err(USAGE));
+    };
+    match command.as_str() {
+        "gen" => cmd_gen(&args[1..]),
+        "compress" => cmd_compress(&args[1..]),
+        "decompress" => cmd_decompress(&args[1..]),
+        "info" => cmd_info(&args[1..]),
+        "eval" => cmd_eval(&args[1..]),
+        "--help" | "-h" | "help" => Ok(USAGE.to_string()),
+        other => Err(err(format!("unknown command '{other}'\n\n{USAGE}"))),
+    }
+}
+
+fn cmd_gen(args: &[String]) -> Result<String, CliError> {
+    let (name, out) = match (args.first(), args.get(1)) {
+        (Some(a), Some(b)) => (a, b),
+        _ => return Err(err("usage: dpz gen <dataset> <out.f32> [--scale ...]")),
+    };
+    let kind = DatasetKind::from_name(name)
+        .ok_or_else(|| err(format!("unknown dataset '{name}'")))?;
+    let scale = match flag_value(args, "--scale") {
+        Some(s) => Scale::from_name(s).ok_or_else(|| err(format!("unknown scale '{s}'")))?,
+        None => Scale::Default,
+    };
+    let seed = match flag_value(args, "--seed") {
+        Some(s) => s.parse().map_err(|_| err("--seed expects an integer"))?,
+        None => DEFAULT_SEED,
+    };
+    let ds = Dataset::generate(kind, scale, seed);
+    write_f32_file(out, &ds.data).map_err(|e| err(format!("write {out}: {e}")))?;
+    let dims = ds
+        .dims
+        .iter()
+        .map(ToString::to_string)
+        .collect::<Vec<_>>()
+        .join("x");
+    Ok(format!("wrote {} ({} values, dims {})", out, ds.len(), dims))
+}
+
+fn cmd_compress(args: &[String]) -> Result<String, CliError> {
+    let (input, output) = match (args.first(), args.get(1)) {
+        (Some(a), Some(b)) => (a, b),
+        _ => return Err(err("usage: dpz compress <in.f32> <out.dpz> --dims RxC ...")),
+    };
+    let dims = parse_dims(
+        flag_value(args, "--dims").ok_or_else(|| err("--dims is required"))?,
+    )?;
+    let data = read_f32_file(input).map_err(|e| err(format!("read {input}: {e}")))?;
+    match flag_value(args, "--codec").unwrap_or("dpz") {
+        "dpz" => {}
+        "sz" => {
+            let eb: f64 = flag_value(args, "--eb")
+                .unwrap_or("1e-3")
+                .parse()
+                .map_err(|_| err("--eb expects a float"))?;
+            let mut cfg = dpz_sz::SzConfig::with_error_bound(eb);
+            if let Some(p) = flag_value(args, "--predictor") {
+                cfg = match p {
+                    "lorenzo" => cfg.with_predictor(dpz_sz::Predictor::Lorenzo),
+                    "auto" => cfg.with_predictor(dpz_sz::Predictor::Auto),
+                    other => {
+                        return Err(err(format!(
+                            "unknown --predictor '{other}' (lorenzo|auto)"
+                        )))
+                    }
+                };
+            }
+            let bytes = dpz_sz::compress(&data, &dims, &cfg);
+            let cr = (data.len() * 4) as f64 / bytes.len() as f64;
+            std::fs::write(output, &bytes).map_err(|e| err(format!("write {output}: {e}")))?;
+            return Ok(format!("compressed {input} -> {output} with SZ eb={eb:e} ({cr:.2}x)"));
+        }
+        "zfp" => {
+            let mode = if let Some(r) = flag_value(args, "--rate") {
+                let rate: f64 =
+                    r.parse().map_err(|_| err("--rate expects bits per value"))?;
+                dpz_zfp::ZfpMode::FixedRate(rate)
+            } else {
+                let prec: u32 = flag_value(args, "--precision")
+                    .unwrap_or("20")
+                    .parse()
+                    .map_err(|_| err("--precision expects 1..=32"))?;
+                dpz_zfp::ZfpMode::FixedPrecision(prec)
+            };
+            let bytes = dpz_zfp::compress(&data, &dims, mode);
+            let cr = (data.len() * 4) as f64 / bytes.len() as f64;
+            std::fs::write(output, &bytes).map_err(|e| err(format!("write {output}: {e}")))?;
+            return Ok(format!(
+                "compressed {input} -> {output} with ZFP {mode:?} ({cr:.2}x)"
+            ));
+        }
+        other => return Err(err(format!("unknown --codec '{other}' (dpz|sz|zfp)"))),
+    }
+    let cfg = config_from_args(args)?;
+    let out = compress(&data, &dims, &cfg).map_err(|e| err(e.to_string()))?;
+    std::fs::write(output, &out.bytes).map_err(|e| err(format!("write {output}: {e}")))?;
+    let s = &out.stats;
+    let mut msg = String::new();
+    let _ = writeln!(
+        msg,
+        "compressed {} -> {} ({:.2}x, {:.3} bits/value)",
+        input,
+        output,
+        s.cr_total,
+        32.0 / s.cr_total
+    );
+    let _ = writeln!(
+        msg,
+        "  blocks M={} N={} k={} tve={:.8} standardized={}",
+        s.m, s.n, s.k, s.tve_achieved, s.standardized
+    );
+    let _ = write!(
+        msg,
+        "  stage CRs: 1&2 {:.2}x | 3 {:.2}x | lossless {:.2}x",
+        s.cr_stage12, s.cr_stage3, s.cr_zlib
+    );
+    if let Some(est) = &s.sampling {
+        let _ = write!(
+            msg,
+            "\n  sampling: VIF {:.1} k_e {} predicted CR {:.1}-{:.1}x",
+            est.vif, est.k_estimate, est.cr_predicted.0, est.cr_predicted.1
+        );
+    }
+    Ok(msg)
+}
+
+fn cmd_decompress(args: &[String]) -> Result<String, CliError> {
+    let (input, output) = match (args.first(), args.get(1)) {
+        (Some(a), Some(b)) => (a, b),
+        _ => return Err(err("usage: dpz decompress <in.dpz> <out.f32>")),
+    };
+    let bytes = std::fs::read(input).map_err(|e| err(format!("read {input}: {e}")))?;
+    // Sniff the container magic so every codec's output decompresses.
+    let (values, dims) = match bytes.get(..4) {
+        Some(b"SZR1") => dpz_sz::decompress(&bytes).map_err(|e| err(e.to_string()))?,
+        Some(b"ZFR1") => dpz_zfp::decompress(&bytes).map_err(|e| err(e.to_string()))?,
+        _ => decompress(&bytes).map_err(|e| err(e.to_string()))?,
+    };
+    write_f32_file(output, &values).map_err(|e| err(format!("write {output}: {e}")))?;
+    let dims = dims.iter().map(ToString::to_string).collect::<Vec<_>>().join("x");
+    Ok(format!("decompressed {input} -> {output} ({} values, dims {dims})", values.len()))
+}
+
+fn cmd_info(args: &[String]) -> Result<String, CliError> {
+    let input = args.first().ok_or_else(|| err("usage: dpz info <in.dpz>"))?;
+    let bytes = std::fs::read(input).map_err(|e| err(format!("read {input}: {e}")))?;
+    let payload =
+        dpz_core::container::deserialize(&bytes).map_err(|e| err(e.to_string()))?;
+    let dims = payload
+        .dims
+        .iter()
+        .map(ToString::to_string)
+        .collect::<Vec<_>>()
+        .join("x");
+    Ok(format!(
+        "DPZ container: dims {dims} ({} values)\n  M={} N={} pad={} k={}\n  P={:e} wide_index={} standardized={}\n  outliers={} container {} bytes (CR {:.2}x)",
+        payload.orig_len,
+        payload.m,
+        payload.n,
+        payload.pad,
+        payload.k,
+        payload.p,
+        payload.scores.wide_index,
+        payload.standardized,
+        payload.scores.outliers.len(),
+        bytes.len(),
+        (payload.orig_len * 4) as f64 / bytes.len() as f64,
+    ))
+}
+
+fn cmd_eval(args: &[String]) -> Result<String, CliError> {
+    let (orig_path, recon_path) = match (args.first(), args.get(1)) {
+        (Some(a), Some(b)) => (a, b),
+        _ => return Err(err("usage: dpz eval <orig.f32> <recon.f32> [--compressed f]")),
+    };
+    let orig = read_f32_file(orig_path).map_err(|e| err(format!("read {orig_path}: {e}")))?;
+    let recon =
+        read_f32_file(recon_path).map_err(|e| err(format!("read {recon_path}: {e}")))?;
+    if orig.len() != recon.len() {
+        return Err(err(format!(
+            "length mismatch: {} vs {} values",
+            orig.len(),
+            recon.len()
+        )));
+    }
+    let mut msg = format!(
+        "PSNR {:.2} dB | MSE {:.3e} | max abs err {:.3e} | mean rel err θ {:.3e}",
+        metrics::psnr(&orig, &recon),
+        metrics::mse(&orig, &recon),
+        metrics::max_abs_error(&orig, &recon),
+        metrics::mean_relative_error(&orig, &recon),
+    );
+    if let Some(comp) = flag_value(args, "--compressed") {
+        let size = std::fs::metadata(comp)
+            .map_err(|e| err(format!("stat {comp}: {e}")))?
+            .len() as usize;
+        let _ = write!(
+            msg,
+            "\nCR {:.2}x | bit-rate {:.3} bits/value",
+            metrics::compression_ratio(orig.len() * 4, size),
+            metrics::bit_rate(orig.len(), size)
+        );
+    }
+    Ok(msg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(v: &[&str]) -> Vec<String> {
+        v.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn dims_parsing() {
+        assert_eq!(parse_dims("1800x3600").unwrap(), vec![1800, 3600]);
+        assert_eq!(parse_dims("128X128X128").unwrap(), vec![128, 128, 128]);
+        assert!(parse_dims("12x0").is_err());
+        assert!(parse_dims("abc").is_err());
+        assert!(parse_dims("").is_err());
+    }
+
+    #[test]
+    fn config_parsing() {
+        use dpz_core::Scheme;
+        let cfg = config_from_args(&s(&["--scheme", "strict", "--tve", "7"])).unwrap();
+        assert_eq!(cfg.scheme, Scheme::Strict);
+        assert_eq!(cfg.selection, KSelection::Tve(0.9999999));
+        let cfg = config_from_args(&s(&["--knee", "polyn", "--sampling"])).unwrap();
+        assert!(matches!(cfg.selection, KSelection::KneePoint(FitKind::Polynomial(7))));
+        assert!(cfg.sampling);
+        assert!(config_from_args(&s(&["--tve", "9"])).is_err());
+        assert!(config_from_args(&s(&["--scheme", "wat"])).is_err());
+    }
+
+    #[test]
+    fn help_and_unknown_commands() {
+        assert!(run(&s(&["--help"])).unwrap().contains("USAGE"));
+        assert!(run(&s(&["frobnicate"])).is_err());
+        assert!(run(&[]).is_err());
+    }
+
+    #[test]
+    fn end_to_end_gen_compress_decompress_eval() {
+        let dir = std::env::temp_dir().join("dpz_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let raw = dir.join("f.f32").to_string_lossy().into_owned();
+        let packed = dir.join("f.dpz").to_string_lossy().into_owned();
+        let restored = dir.join("f_out.f32").to_string_lossy().into_owned();
+
+        let msg =
+            run(&s(&["gen", "FLDSC", &raw, "--scale", "tiny", "--seed", "7"])).unwrap();
+        assert!(msg.contains("45x90"), "{msg}");
+
+        let msg = run(&s(&[
+            "compress", &raw, &packed, "--dims", "45x90", "--scheme", "strict", "--tve",
+            "6",
+        ]))
+        .unwrap();
+        assert!(msg.contains("compressed"), "{msg}");
+
+        let msg = run(&s(&["info", &packed])).unwrap();
+        assert!(msg.contains("dims 45x90"), "{msg}");
+
+        let msg = run(&s(&["decompress", &packed, &restored])).unwrap();
+        assert!(msg.contains("4050 values"), "{msg}");
+
+        let msg = run(&s(&["eval", &raw, &restored, "--compressed", &packed])).unwrap();
+        assert!(msg.contains("PSNR"), "{msg}");
+        assert!(msg.contains("CR"), "{msg}");
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn compress_requires_dims() {
+        let e = run(&s(&["compress", "a", "b"])).unwrap_err();
+        assert!(e.0.contains("--dims"));
+    }
+
+    #[test]
+    fn baseline_codecs_round_trip_via_cli() {
+        let dir = std::env::temp_dir().join("dpz_cli_codecs");
+        std::fs::create_dir_all(&dir).unwrap();
+        let raw = dir.join("c.f32").to_string_lossy().into_owned();
+        run(&s(&["gen", "PHIS", &raw, "--scale", "tiny"])).unwrap();
+        for (codec, extra) in [("sz", vec!["--eb", "1e-2"]), ("zfp", vec!["--precision", "18"])]
+        {
+            let packed = dir.join(format!("c.{codec}")).to_string_lossy().into_owned();
+            let restored =
+                dir.join(format!("c_{codec}.f32")).to_string_lossy().into_owned();
+            let mut argv =
+                s(&["compress", &raw, &packed, "--dims", "45x90", "--codec", codec]);
+            argv.extend(s(&extra));
+            let msg = run(&argv).unwrap();
+            assert!(msg.contains("compressed"), "{msg}");
+            let msg = run(&s(&["decompress", &packed, &restored])).unwrap();
+            assert!(msg.contains("4050 values"), "{msg}");
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn unknown_codec_rejected() {
+        let e = run(&s(&["compress", "a", "b", "--dims", "4x4", "--codec", "lz4"]))
+            .unwrap_err();
+        assert!(e.0.contains("read a") || e.0.contains("unknown --codec"));
+    }
+}

@@ -1,0 +1,285 @@
+//! Chunked parallel compression — the scalability extension the paper lists
+//! as future work ("we plan to expand the DPZ algorithm to exploit
+//! parallelism for better scalability").
+//!
+//! The array is split into slabs along its slowest axis; each slab is an
+//! independent DPZ stream compressed on a rayon worker. Benefits:
+//!
+//! * near-linear multi-core compression scaling (each slab runs the full
+//!   DCT→PCA→quantize pipeline independently),
+//! * slab-granular **random access**: [`decompress_chunk`] decodes one slab
+//!   without touching the rest,
+//! * bounded memory: the `M×M` covariance is per-slab.
+//!
+//! The cost is a per-slab model (basis + means), so very small slabs trade
+//! ratio for parallelism; 4–16 slabs is a good range at the default scales.
+//!
+//! Container: `magic "DPZC" | version u8 | ndims u8 | dims u64×ndims
+//! | chunk count u64 | chunk byte lengths u64×count | streams…`.
+
+use crate::config::DpzConfig;
+use crate::container::DpzError;
+use crate::pipeline::{compress, decompress, Compressed};
+use rayon::prelude::*;
+
+const MAGIC: &[u8; 4] = b"DPZC";
+const VERSION: u8 = 1;
+
+/// Result of a chunked compression.
+#[derive(Debug, Clone)]
+pub struct ChunkedCompressed {
+    /// The multi-chunk container.
+    pub bytes: Vec<u8>,
+    /// Per-chunk stats from the inner pipeline.
+    pub chunk_stats: Vec<crate::pipeline::CompressionStats>,
+    /// End-to-end ratio (original bytes / container bytes).
+    pub cr_total: f64,
+}
+
+/// Slab geometry along the slowest axis: `(rows_per_slab, values_per_row)`.
+fn slab_extents(dims: &[usize], chunks: usize) -> (usize, usize) {
+    let slow = dims[0];
+    let rest: usize = dims[1..].iter().product::<usize>().max(1);
+    let rows_per_slab = slow.div_ceil(chunks.clamp(1, slow));
+    (rows_per_slab, rest)
+}
+
+/// Compress `data` as `chunks` independent slabs (in parallel).
+///
+/// Each slab must still be large enough to decompose (≥ 2 values); `chunks`
+/// is clamped accordingly.
+pub fn compress_chunked(
+    data: &[f32],
+    dims: &[usize],
+    cfg: &DpzConfig,
+    chunks: usize,
+) -> Result<ChunkedCompressed, DpzError> {
+    if dims.is_empty() || dims.iter().product::<usize>() != data.len() {
+        return Err(DpzError::BadInput("dims do not match data length"));
+    }
+    if data.len() < 4 {
+        return Err(DpzError::BadInput("too small to chunk"));
+    }
+    let (rows_per_slab, rest) = slab_extents(dims, chunks);
+    let slab_values = rows_per_slab * rest;
+
+    let results: Vec<Result<Compressed, DpzError>> = data
+        .par_chunks(slab_values)
+        .map(|chunk| {
+            let rows = chunk.len() / rest;
+            let mut slab_dims = dims.to_vec();
+            slab_dims[0] = rows;
+            compress(chunk, &slab_dims, cfg)
+        })
+        .collect();
+    let mut streams = Vec::with_capacity(results.len());
+    let mut chunk_stats = Vec::with_capacity(results.len());
+    for r in results {
+        let c = r?;
+        streams.push(c.bytes);
+        chunk_stats.push(c.stats);
+    }
+
+    let mut out = Vec::new();
+    out.extend_from_slice(MAGIC);
+    out.push(VERSION);
+    out.push(dims.len() as u8);
+    for &d in dims {
+        out.extend_from_slice(&(d as u64).to_le_bytes());
+    }
+    out.extend_from_slice(&(streams.len() as u64).to_le_bytes());
+    for s in &streams {
+        out.extend_from_slice(&(s.len() as u64).to_le_bytes());
+    }
+    for s in &streams {
+        out.extend_from_slice(s);
+    }
+    let cr_total = (data.len() * 4) as f64 / out.len() as f64;
+    Ok(ChunkedCompressed { bytes: out, chunk_stats, cr_total })
+}
+
+/// Parsed chunk directory.
+struct Directory<'a> {
+    dims: Vec<usize>,
+    /// Byte range of each chunk stream within `payload`.
+    ranges: Vec<(usize, usize)>,
+    payload: &'a [u8],
+}
+
+fn parse_directory(bytes: &[u8]) -> Result<Directory<'_>, DpzError> {
+    let need = |ok: bool| {
+        if ok {
+            Ok(())
+        } else {
+            Err(DpzError::Corrupt("truncated chunk directory"))
+        }
+    };
+    need(bytes.len() >= 6)?;
+    if &bytes[..4] != MAGIC {
+        return Err(DpzError::Corrupt("bad chunk magic"));
+    }
+    if bytes[4] != VERSION {
+        return Err(DpzError::Corrupt("unsupported chunk version"));
+    }
+    let ndims = bytes[5] as usize;
+    if ndims == 0 || ndims > 8 {
+        return Err(DpzError::Corrupt("implausible dimensionality"));
+    }
+    let mut pos = 6;
+    let u64_at = |p: &mut usize| -> Result<usize, DpzError> {
+        need(bytes.len() >= *p + 8)?;
+        let v = u64::from_le_bytes(bytes[*p..*p + 8].try_into().unwrap());
+        *p += 8;
+        usize::try_from(v).map_err(|_| DpzError::Corrupt("size overflow"))
+    };
+    let mut dims = Vec::with_capacity(ndims);
+    for _ in 0..ndims {
+        dims.push(u64_at(&mut pos)?);
+    }
+    let count = u64_at(&mut pos)?;
+    if count == 0 || count > 1 << 20 {
+        return Err(DpzError::Corrupt("implausible chunk count"));
+    }
+    let mut lens = Vec::with_capacity(count);
+    for _ in 0..count {
+        lens.push(u64_at(&mut pos)?);
+    }
+    let payload = &bytes[pos..];
+    let total: usize = lens.iter().sum();
+    if total != payload.len() {
+        return Err(DpzError::Corrupt("chunk payload length mismatch"));
+    }
+    let mut ranges = Vec::with_capacity(count);
+    let mut offset = 0;
+    for len in lens {
+        ranges.push((offset, offset + len));
+        offset += len;
+    }
+    Ok(Directory { dims, ranges, payload })
+}
+
+/// Decompress a chunked container (chunks in parallel), returning the full
+/// array and its dimensions.
+pub fn decompress_chunked(bytes: &[u8]) -> Result<(Vec<f32>, Vec<usize>), DpzError> {
+    let dir = parse_directory(bytes)?;
+    let parts: Vec<Result<Vec<f32>, DpzError>> = dir
+        .ranges
+        .par_iter()
+        .map(|&(lo, hi)| decompress(&dir.payload[lo..hi]).map(|(v, _)| v))
+        .collect();
+    let mut out = Vec::with_capacity(dir.dims.iter().product());
+    for p in parts {
+        out.extend_from_slice(&p?);
+    }
+    if out.len() != dir.dims.iter().product::<usize>() {
+        return Err(DpzError::Corrupt("stitched length mismatch"));
+    }
+    Ok((out, dir.dims))
+}
+
+/// Number of chunks in a chunked container.
+pub fn chunk_count(bytes: &[u8]) -> Result<usize, DpzError> {
+    Ok(parse_directory(bytes)?.ranges.len())
+}
+
+/// Decompress a single chunk (random access). Returns the slab's values and
+/// its dims (slowest axis shrunk to the slab height).
+pub fn decompress_chunk(bytes: &[u8], index: usize) -> Result<(Vec<f32>, Vec<usize>), DpzError> {
+    let dir = parse_directory(bytes)?;
+    let &(lo, hi) = dir
+        .ranges
+        .get(index)
+        .ok_or(DpzError::BadInput("chunk index out of range"))?;
+    decompress(&dir.payload[lo..hi])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::TveLevel;
+
+    fn field(rows: usize, cols: usize) -> Vec<f32> {
+        (0..rows * cols)
+            .map(|i| {
+                let r = (i / cols) as f32;
+                let c = (i % cols) as f32;
+                (0.05 * r).sin() * 10.0 + (0.04 * c).cos() * 5.0
+            })
+            .collect()
+    }
+
+    #[test]
+    fn chunked_round_trip_matches_dims() {
+        let data = field(64, 48);
+        let cfg = DpzConfig::strict().with_tve(TveLevel::SixNines);
+        let out = compress_chunked(&data, &[64, 48], &cfg, 4).unwrap();
+        assert_eq!(out.chunk_stats.len(), 4);
+        let (recon, dims) = decompress_chunked(&out.bytes).unwrap();
+        assert_eq!(dims, vec![64, 48]);
+        assert_eq!(recon.len(), data.len());
+        // Quality in the same regime as whole-field compression.
+        let mse: f64 = data
+            .iter()
+            .zip(&recon)
+            .map(|(a, b)| {
+                let d = f64::from(*a) - f64::from(*b);
+                d * d
+            })
+            .sum::<f64>()
+            / data.len() as f64;
+        assert!(mse < 1.0, "chunked mse {mse}");
+    }
+
+    #[test]
+    fn uneven_slabs_handled() {
+        // 10 rows into 4 chunks -> 3+3+3+1.
+        let data = field(10, 40);
+        let out = compress_chunked(&data, &[10, 40], &DpzConfig::loose(), 4).unwrap();
+        let (recon, dims) = decompress_chunked(&out.bytes).unwrap();
+        assert_eq!(dims, vec![10, 40]);
+        assert_eq!(recon.len(), 400);
+    }
+
+    #[test]
+    fn random_access_single_chunk() {
+        let data = field(32, 32);
+        let out = compress_chunked(&data, &[32, 32], &DpzConfig::loose(), 4).unwrap();
+        assert_eq!(chunk_count(&out.bytes).unwrap(), 4);
+        let (slab, dims) = decompress_chunk(&out.bytes, 2).unwrap();
+        assert_eq!(dims, vec![8, 32]);
+        // Chunk 2 covers rows 16..24.
+        for (i, v) in slab.iter().enumerate() {
+            let expect = data[16 * 32 + i];
+            assert!((v - expect).abs() < 0.5, "idx {i}: {v} vs {expect}");
+        }
+        assert!(decompress_chunk(&out.bytes, 9).is_err());
+    }
+
+    #[test]
+    fn one_chunk_equals_plain_pipeline() {
+        let data = field(16, 16);
+        let cfg = DpzConfig::loose();
+        let chunked = compress_chunked(&data, &[16, 16], &cfg, 1).unwrap();
+        let (a, _) = decompress_chunked(&chunked.bytes).unwrap();
+        let plain = crate::pipeline::compress(&data, &[16, 16], &cfg).unwrap();
+        let (b, _) = crate::pipeline::decompress(&plain.bytes).unwrap();
+        assert_eq!(a, b, "single chunk must reproduce the plain pipeline");
+    }
+
+    #[test]
+    fn corrupt_directory_rejected() {
+        let data = field(16, 16);
+        let out = compress_chunked(&data, &[16, 16], &DpzConfig::loose(), 2).unwrap();
+        assert!(decompress_chunked(&out.bytes[..10]).is_err());
+        let mut bad = out.bytes.clone();
+        bad[0] = b'X';
+        assert!(decompress_chunked(&bad).is_err());
+        assert!(decompress_chunked(&[]).is_err());
+    }
+
+    #[test]
+    fn bad_inputs_rejected() {
+        assert!(compress_chunked(&[1.0, 2.0], &[3], &DpzConfig::loose(), 2).is_err());
+        assert!(compress_chunked(&[1.0], &[1], &DpzConfig::loose(), 2).is_err());
+    }
+}

@@ -1,0 +1,277 @@
+//! Compressor configuration: the paper's DPZ-l / DPZ-s schemes, the two
+//! k-selection methods of Algorithm 1, and the standardization policy.
+
+use dpz_linalg::fit::FitKind;
+
+/// Which deterministic transform stage 1 applies to each block.
+///
+/// The paper uses the DCT but proves the PCA-in-transform-domain identity
+/// for any orthogonal transform and explicitly calls out wavelets as an
+/// alternative (Section III-B2); [`Stage1Transform::Dwt`] implements that
+/// variant with the orthonormal Daubechies-4 wavelet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Stage1Transform {
+    /// DCT-II per block (the paper's choice).
+    Dct,
+    /// Multi-level Daubechies-4 DWT per block; levels are clamped to what
+    /// the block length supports.
+    Dwt {
+        /// Requested decomposition depth (typically 3-6).
+        levels: usize,
+    },
+}
+
+/// Quantization scheme (Section V-A).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Scheme {
+    /// DPZ-l ("loose"): `P = 1e-3`, 1-byte bin indices.
+    Loose,
+    /// DPZ-s ("strict"): `P = 1e-4`, 2-byte bin indices.
+    Strict,
+    /// Custom error bound and index width.
+    Custom {
+        /// Quantizer error bound `P` on each retained PCA score.
+        p: f64,
+        /// Use 2-byte indices (otherwise 1-byte).
+        wide_index: bool,
+    },
+}
+
+impl Scheme {
+    /// Quantizer half-bin error bound `P`.
+    pub fn p(self) -> f64 {
+        match self {
+            Scheme::Loose => 1e-3,
+            Scheme::Strict => 1e-4,
+            Scheme::Custom { p, .. } => p,
+        }
+    }
+
+    /// True when indices are 2-byte.
+    pub fn wide_index(self) -> bool {
+        match self {
+            Scheme::Loose => false,
+            Scheme::Strict => true,
+            Scheme::Custom { wide_index, .. } => wide_index,
+        }
+    }
+
+    /// Number of usable bins `B` (one index value is reserved as the
+    /// out-of-range escape).
+    pub fn bins(self) -> u32 {
+        if self.wide_index() {
+            u32::from(u16::MAX) // 65535 bins, escape = 65535
+        } else {
+            u32::from(u8::MAX) // 255 bins, escape = 255
+        }
+    }
+}
+
+/// Named explained-variance thresholds ("two-nine" through "eight-nine",
+/// Section IV-B2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TveLevel {
+    /// 99%
+    TwoNines,
+    /// 99.9%
+    ThreeNines,
+    /// 99.99%
+    FourNines,
+    /// 99.999%
+    FiveNines,
+    /// 99.9999%
+    SixNines,
+    /// 99.99999%
+    SevenNines,
+    /// 99.999999% — "strict enough for high compression quality".
+    EightNines,
+}
+
+impl TveLevel {
+    /// The threshold as a fraction in `(0, 1)`.
+    pub fn fraction(self) -> f64 {
+        match self {
+            TveLevel::TwoNines => 0.99,
+            TveLevel::ThreeNines => 0.999,
+            TveLevel::FourNines => 0.9999,
+            TveLevel::FiveNines => 0.99999,
+            TveLevel::SixNines => 0.999999,
+            TveLevel::SevenNines => 0.9999999,
+            TveLevel::EightNines => 0.99999999,
+        }
+    }
+
+    /// The sweep used in the paper's rate-distortion figures
+    /// ("three-nine" → "eight-nine").
+    pub const SWEEP: [TveLevel; 6] = [
+        TveLevel::ThreeNines,
+        TveLevel::FourNines,
+        TveLevel::FiveNines,
+        TveLevel::SixNines,
+        TveLevel::SevenNines,
+        TveLevel::EightNines,
+    ];
+
+    /// Number of nines, e.g. `ThreeNines -> 3`.
+    pub fn nines(self) -> u32 {
+        match self {
+            TveLevel::TwoNines => 2,
+            TveLevel::ThreeNines => 3,
+            TveLevel::FourNines => 4,
+            TveLevel::FiveNines => 5,
+            TveLevel::SixNines => 6,
+            TveLevel::SevenNines => 7,
+            TveLevel::EightNines => 8,
+        }
+    }
+}
+
+/// How to choose the number of retained components `k` (Algorithm 1).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum KSelection {
+    /// Method 1: knee-point detection on the cumulative TVE curve, with the
+    /// chosen curve-fitting method (1-D interpolation or polynomial).
+    KneePoint(FitKind),
+    /// Method 2: smallest `k` reaching the explained-variance threshold.
+    Tve(f64),
+    /// Fix `k` directly (used by ablations and the sampling fast path).
+    Fixed(usize),
+}
+
+/// Whether to standardize features before PCA.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Standardize {
+    /// Decide from the sampled VIF (standardize when VIF < 5 — low
+    /// collinearity; Algorithm 2 step 2).
+    Auto,
+    /// Always standardize.
+    On,
+    /// Never standardize.
+    Off,
+}
+
+/// Complete DPZ configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DpzConfig {
+    /// Quantization scheme (stage 3).
+    pub scheme: Scheme,
+    /// Stage-1 deterministic transform.
+    pub transform: Stage1Transform,
+    /// k-selection method (stage 2).
+    pub selection: KSelection,
+    /// Standardization policy.
+    pub standardize: Standardize,
+    /// Run the sampling strategy (Algorithm 2): estimates `k` from block
+    /// subsets and enables the truncated eigensolver fast path.
+    pub sampling: bool,
+    /// Number of subsets `S` for sampling (10 by default).
+    pub sampling_subsets: usize,
+    /// Subsets actually examined, `T` (3 by default: first/middle/last).
+    pub sampling_picks: usize,
+    /// Sampling rate for the VIF compressibility probe.
+    pub vif_sample_rate: f64,
+}
+
+impl DpzConfig {
+    /// DPZ-l with the "five-nine" TVE default.
+    pub fn loose() -> DpzConfig {
+        DpzConfig {
+            scheme: Scheme::Loose,
+            transform: Stage1Transform::Dct,
+            selection: KSelection::Tve(TveLevel::FiveNines.fraction()),
+            standardize: Standardize::Auto,
+            sampling: false,
+            sampling_subsets: 10,
+            sampling_picks: 3,
+            vif_sample_rate: 0.01,
+        }
+    }
+
+    /// DPZ-s with the "five-nine" TVE default.
+    pub fn strict() -> DpzConfig {
+        DpzConfig { scheme: Scheme::Strict, ..DpzConfig::loose() }
+    }
+
+    /// Set the k-selection method.
+    pub fn with_selection(mut self, selection: KSelection) -> DpzConfig {
+        self.selection = selection;
+        self
+    }
+
+    /// Set the TVE threshold.
+    pub fn with_tve(self, level: TveLevel) -> DpzConfig {
+        self.with_selection(KSelection::Tve(level.fraction()))
+    }
+
+    /// Enable/disable the sampling strategy.
+    pub fn with_sampling(mut self, sampling: bool) -> DpzConfig {
+        self.sampling = sampling;
+        self
+    }
+
+    /// Set the standardization policy.
+    pub fn with_standardize(mut self, standardize: Standardize) -> DpzConfig {
+        self.standardize = standardize;
+        self
+    }
+
+    /// Set the stage-1 transform.
+    pub fn with_transform(mut self, transform: Stage1Transform) -> DpzConfig {
+        self.transform = transform;
+        self
+    }
+}
+
+impl Default for DpzConfig {
+    fn default() -> Self {
+        DpzConfig::loose()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scheme_parameters_match_paper() {
+        assert_eq!(Scheme::Loose.p(), 1e-3);
+        assert!(!Scheme::Loose.wide_index());
+        assert_eq!(Scheme::Strict.p(), 1e-4);
+        assert!(Scheme::Strict.wide_index());
+        assert_eq!(Scheme::Loose.bins(), 255);
+        assert_eq!(Scheme::Strict.bins(), 65535);
+    }
+
+    #[test]
+    fn tve_levels_ordered() {
+        let mut prev = 0.0;
+        for level in TveLevel::SWEEP {
+            assert!(level.fraction() > prev);
+            prev = level.fraction();
+        }
+        assert_eq!(TveLevel::EightNines.fraction(), 0.99999999);
+        assert_eq!(TveLevel::ThreeNines.nines(), 3);
+    }
+
+    #[test]
+    fn builders_compose() {
+        let cfg = DpzConfig::strict()
+            .with_tve(TveLevel::SevenNines)
+            .with_sampling(true)
+            .with_standardize(Standardize::Off)
+            .with_transform(Stage1Transform::Dwt { levels: 4 });
+        assert_eq!(cfg.scheme, Scheme::Strict);
+        assert_eq!(cfg.selection, KSelection::Tve(0.9999999));
+        assert!(cfg.sampling);
+        assert_eq!(cfg.standardize, Standardize::Off);
+        assert_eq!(cfg.transform, Stage1Transform::Dwt { levels: 4 });
+        assert_eq!(DpzConfig::loose().transform, Stage1Transform::Dct);
+    }
+
+    #[test]
+    fn custom_scheme() {
+        let s = Scheme::Custom { p: 5e-3, wide_index: true };
+        assert_eq!(s.p(), 5e-3);
+        assert_eq!(s.bins(), 65535);
+    }
+}

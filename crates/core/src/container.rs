@@ -1,0 +1,432 @@
+//! Self-describing DPZ stream format and its errors.
+//!
+//! Layout (little-endian):
+//!
+//! ```text
+//! magic "DPZ1" | version u8 | ndims u8 | dims u64×ndims
+//! | orig_len u64 | M u64 | N u64 | pad u64
+//! | norm_min f64 | norm_range f64 | k u64
+//! | transform u8 | dwt_levels u8 | P f64 | wide_index u8 | standardized u8
+//! | model section   (u64 raw len, u64 packed len, DEFLATE bytes)
+//! | indices section (u64 raw len, u64 packed len, DEFLATE bytes)
+//! | outlier section (u64 count, u64 packed len, DEFLATE bytes)
+//! ```
+//!
+//! The *model* section is the PCA projection matrix `D` (`M×k` `f32`,
+//! row-major), the `M` feature means (`f32`), and — when standardization was
+//! applied — the `M` feature scales (`f32`). Every section is compressed
+//! with `dpz-deflate` (the paper's "zlib add-on" applied to indices and
+//! out-of-range points; compressing the model too is strictly beneficial).
+
+use crate::quantize::QuantizedScores;
+use dpz_deflate::{compress_with_level, decompress as inflate, CompressionLevel, DeflateError};
+
+const MAGIC: &[u8; 4] = b"DPZ1";
+const VERSION: u8 = 1;
+
+/// Errors from DPZ compression or decompression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DpzError {
+    /// Malformed or truncated container.
+    Corrupt(&'static str),
+    /// Failure in a DEFLATE section.
+    Deflate(DeflateError),
+    /// Numerical failure (eigensolver non-convergence etc.).
+    Numeric(String),
+    /// Input that cannot be compressed (too small, wrong shape, …).
+    BadInput(&'static str),
+}
+
+impl std::fmt::Display for DpzError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DpzError::Corrupt(w) => write!(f, "corrupt DPZ stream: {w}"),
+            DpzError::Deflate(e) => write!(f, "DPZ section: {e}"),
+            DpzError::Numeric(w) => write!(f, "numerical failure: {w}"),
+            DpzError::BadInput(w) => write!(f, "bad input: {w}"),
+        }
+    }
+}
+
+impl std::error::Error for DpzError {}
+
+impl From<DeflateError> for DpzError {
+    fn from(e: DeflateError) -> Self {
+        DpzError::Deflate(e)
+    }
+}
+
+impl From<dpz_linalg::LinalgError> for DpzError {
+    fn from(e: dpz_linalg::LinalgError) -> Self {
+        DpzError::Numeric(e.to_string())
+    }
+}
+
+/// Raw vs. DEFLATE-packed sizes per section — the inputs to the paper's
+/// per-stage compression-ratio breakdown (Table III).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SectionSizes {
+    /// PCA basis + means (+ scales) before/after DEFLATE.
+    pub model_raw: usize,
+    /// Packed model bytes.
+    pub model_packed: usize,
+    /// Quantizer index stream before/after DEFLATE.
+    pub indices_raw: usize,
+    /// Packed index bytes.
+    pub indices_packed: usize,
+    /// Outlier payload before/after DEFLATE.
+    pub outliers_raw: usize,
+    /// Packed outlier bytes.
+    pub outliers_packed: usize,
+}
+
+impl SectionSizes {
+    /// Total raw bytes entering the lossless stage.
+    pub fn total_raw(&self) -> usize {
+        self.model_raw + self.indices_raw + self.outliers_raw
+    }
+
+    /// Total packed bytes leaving the lossless stage.
+    pub fn total_packed(&self) -> usize {
+        self.model_packed + self.indices_packed + self.outliers_packed
+    }
+}
+
+/// Everything the encoder must persist.
+#[derive(Debug, Clone)]
+pub struct ContainerData {
+    /// Original array dimensions.
+    pub dims: Vec<usize>,
+    /// Original flattened length.
+    pub orig_len: usize,
+    /// Block count (features).
+    pub m: usize,
+    /// Block length (samples).
+    pub n: usize,
+    /// Padding appended during decomposition.
+    pub pad: usize,
+    /// Offset removed during range normalization (the data minimum).
+    pub norm_min: f64,
+    /// Scale removed during range normalization (the data range; 1 for
+    /// constant data so denormalization is a no-op).
+    pub norm_range: f64,
+    /// Retained components.
+    pub k: usize,
+    /// Stage-1 transform tag: 0 = DCT, 1 = DWT.
+    pub transform_tag: u8,
+    /// DWT levels actually applied (0 for DCT).
+    pub dwt_levels: u8,
+    /// Quantizer error bound.
+    pub p: f64,
+    /// Whether features were standardized before PCA.
+    pub standardized: bool,
+    /// Projection matrix `D` (`M×k`, row-major), as f32.
+    pub basis: Vec<f32>,
+    /// Feature means (length `M`).
+    pub mean: Vec<f32>,
+    /// Feature scales (length `M`) when standardized.
+    pub scale: Vec<f32>,
+    /// Quantized scores.
+    pub scores: QuantizedScores,
+}
+
+fn push_u64(out: &mut Vec<u8>, v: usize) {
+    out.extend_from_slice(&(v as u64).to_le_bytes());
+}
+
+/// Serialize to the container format, also reporting per-section sizes.
+pub fn serialize(data: &ContainerData) -> (Vec<u8>, SectionSizes) {
+    // Model section: basis ++ mean ++ scale.
+    let mut model = Vec::with_capacity((data.basis.len() + 2 * data.mean.len()) * 4);
+    for &v in data.basis.iter().chain(&data.mean).chain(&data.scale) {
+        model.extend_from_slice(&v.to_le_bytes());
+    }
+    let model_packed = compress_with_level(&model, CompressionLevel::Default);
+    let indices_packed = compress_with_level(&data.scores.indices, CompressionLevel::Default);
+    let outlier_bytes: Vec<u8> =
+        data.scores.outliers.iter().flat_map(|v| v.to_le_bytes()).collect();
+    let outliers_packed = compress_with_level(&outlier_bytes, CompressionLevel::Default);
+
+    let sizes = SectionSizes {
+        model_raw: model.len(),
+        model_packed: model_packed.len(),
+        indices_raw: data.scores.indices.len(),
+        indices_packed: indices_packed.len(),
+        outliers_raw: outlier_bytes.len(),
+        outliers_packed: outliers_packed.len(),
+    };
+
+    let mut out = Vec::with_capacity(sizes.total_packed() + 128);
+    out.extend_from_slice(MAGIC);
+    out.push(VERSION);
+    out.push(data.dims.len() as u8);
+    for &d in &data.dims {
+        push_u64(&mut out, d);
+    }
+    push_u64(&mut out, data.orig_len);
+    push_u64(&mut out, data.m);
+    push_u64(&mut out, data.n);
+    push_u64(&mut out, data.pad);
+    out.extend_from_slice(&data.norm_min.to_le_bytes());
+    out.extend_from_slice(&data.norm_range.to_le_bytes());
+    push_u64(&mut out, data.k);
+    out.push(data.transform_tag);
+    out.push(data.dwt_levels);
+    out.extend_from_slice(&data.p.to_le_bytes());
+    out.push(u8::from(data.scores.wide_index));
+    out.push(u8::from(data.standardized));
+    push_u64(&mut out, model.len());
+    push_u64(&mut out, model_packed.len());
+    out.extend_from_slice(&model_packed);
+    push_u64(&mut out, data.scores.indices.len());
+    push_u64(&mut out, indices_packed.len());
+    out.extend_from_slice(&indices_packed);
+    push_u64(&mut out, data.scores.outliers.len());
+    push_u64(&mut out, outliers_packed.len());
+    out.extend_from_slice(&outliers_packed);
+    (out, sizes)
+}
+
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], DpzError> {
+        if self.pos + n > self.buf.len() {
+            return Err(DpzError::Corrupt("truncated stream"));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, DpzError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u64(&mut self) -> Result<usize, DpzError> {
+        let b = self.take(8)?;
+        let v = u64::from_le_bytes(b.try_into().unwrap());
+        usize::try_from(v).map_err(|_| DpzError::Corrupt("size overflows usize"))
+    }
+
+    fn f64(&mut self) -> Result<f64, DpzError> {
+        let b = self.take(8)?;
+        Ok(f64::from_le_bytes(b.try_into().unwrap()))
+    }
+}
+
+fn f32s_from(bytes: &[u8]) -> Vec<f32> {
+    bytes
+        .chunks_exact(4)
+        .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+        .collect()
+}
+
+/// Parse a container back into its parts.
+pub fn deserialize(bytes: &[u8]) -> Result<ContainerData, DpzError> {
+    let mut cur = Cursor { buf: bytes, pos: 0 };
+    if cur.take(4)? != MAGIC {
+        return Err(DpzError::Corrupt("bad magic"));
+    }
+    if cur.u8()? != VERSION {
+        return Err(DpzError::Corrupt("unsupported version"));
+    }
+    let ndims = cur.u8()? as usize;
+    if ndims == 0 || ndims > 8 {
+        return Err(DpzError::Corrupt("implausible dimensionality"));
+    }
+    let mut dims = Vec::with_capacity(ndims);
+    for _ in 0..ndims {
+        dims.push(cur.u64()?);
+    }
+    let orig_len = cur.u64()?;
+    let m = cur.u64()?;
+    let n = cur.u64()?;
+    let pad = cur.u64()?;
+    let norm_min = cur.f64()?;
+    let norm_range = cur.f64()?;
+    let k = cur.u64()?;
+    let transform_tag = cur.u8()?;
+    let dwt_levels = cur.u8()?;
+    if transform_tag > 1 || (transform_tag == 0 && dwt_levels != 0) {
+        return Err(DpzError::Corrupt("unknown stage-1 transform"));
+    }
+    let p = cur.f64()?;
+    let wide_index = cur.u8()? != 0;
+    let standardized = cur.u8()? != 0;
+    if dims.iter().product::<usize>() != orig_len {
+        return Err(DpzError::Corrupt("dims do not match length"));
+    }
+    if m == 0 || n == 0 || m.checked_mul(n) != Some(orig_len + pad) {
+        return Err(DpzError::Corrupt("inconsistent block shape"));
+    }
+    if k == 0 || k > m {
+        return Err(DpzError::Corrupt("invalid component count"));
+    }
+    // `!(x > 0.0)` rather than `x <= 0.0`: NaN must also be rejected.
+    #[allow(clippy::neg_cmp_op_on_partial_ord)]
+    if !(p > 0.0) || !p.is_finite() {
+        return Err(DpzError::Corrupt("invalid error bound"));
+    }
+    #[allow(clippy::neg_cmp_op_on_partial_ord)]
+    if !norm_min.is_finite() || !(norm_range > 0.0) || !norm_range.is_finite() {
+        return Err(DpzError::Corrupt("invalid normalization"));
+    }
+
+    let model_raw = cur.u64()?;
+    let model_packed_len = cur.u64()?;
+    let model = inflate(cur.take(model_packed_len)?)?;
+    if model.len() != model_raw {
+        return Err(DpzError::Corrupt("model section size mismatch"));
+    }
+    let expected_model = m * k + m + if standardized { m } else { 0 };
+    if model.len() != expected_model * 4 {
+        return Err(DpzError::Corrupt("model section shape mismatch"));
+    }
+    let model_f = f32s_from(&model);
+    let basis = model_f[..m * k].to_vec();
+    let mean = model_f[m * k..m * k + m].to_vec();
+    let scale =
+        if standardized { model_f[m * k + m..].to_vec() } else { Vec::new() };
+
+    let indices_raw = cur.u64()?;
+    let indices_packed_len = cur.u64()?;
+    let indices = inflate(cur.take(indices_packed_len)?)?;
+    if indices.len() != indices_raw {
+        return Err(DpzError::Corrupt("index section size mismatch"));
+    }
+    let index_width = if wide_index { 2 } else { 1 };
+    if indices.len() != n * k * index_width {
+        return Err(DpzError::Corrupt("index stream length mismatch"));
+    }
+
+    let n_outliers = cur.u64()?;
+    let outliers_packed_len = cur.u64()?;
+    let outlier_bytes = inflate(cur.take(outliers_packed_len)?)?;
+    if outlier_bytes.len() != n_outliers * 4 {
+        return Err(DpzError::Corrupt("outlier section size mismatch"));
+    }
+    let outliers = f32s_from(&outlier_bytes);
+
+    let bins = if wide_index { u32::from(u16::MAX) } else { u32::from(u8::MAX) };
+    let scores = QuantizedScores {
+        indices,
+        wide_index,
+        outliers,
+        p,
+        bins,
+        len: n * k,
+    };
+    Ok(ContainerData {
+        dims,
+        orig_len,
+        m,
+        n,
+        pad,
+        norm_min,
+        norm_range,
+        k,
+        transform_tag,
+        dwt_levels,
+        p,
+        standardized,
+        basis,
+        mean,
+        scale,
+        scores,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Scheme;
+    use crate::quantize::quantize_scores;
+
+    fn sample_container() -> ContainerData {
+        let scores: Vec<f64> = (0..40).map(|i| (i as f64 * 0.31).sin() * 0.1).collect();
+        let q = quantize_scores(&scores, Scheme::Loose);
+        ContainerData {
+            dims: vec![10, 8],
+            orig_len: 80,
+            m: 8,
+            n: 10,
+            pad: 0,
+            norm_min: -1.5,
+            norm_range: 3.0,
+            k: 4,
+            transform_tag: 0,
+            dwt_levels: 0,
+            p: Scheme::Loose.p(),
+            standardized: false,
+            basis: (0..32).map(|i| i as f32 * 0.01).collect(),
+            mean: vec![0.5; 8],
+            scale: vec![],
+            scores: q,
+        }
+    }
+
+    #[test]
+    fn round_trip() {
+        let data = sample_container();
+        let (bytes, sizes) = serialize(&data);
+        assert!(sizes.total_raw() > 0);
+        let parsed = deserialize(&bytes).unwrap();
+        assert_eq!(parsed.dims, data.dims);
+        assert_eq!(parsed.k, 4);
+        assert_eq!(parsed.basis, data.basis);
+        assert_eq!(parsed.mean, data.mean);
+        assert_eq!(parsed.scores, data.scores);
+    }
+
+    #[test]
+    fn round_trip_with_scale() {
+        let mut data = sample_container();
+        data.standardized = true;
+        data.scale = vec![2.0; 8];
+        let (bytes, _) = serialize(&data);
+        let parsed = deserialize(&bytes).unwrap();
+        assert!(parsed.standardized);
+        assert_eq!(parsed.scale, data.scale);
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let (mut bytes, _) = serialize(&sample_container());
+        bytes[0] = b'X';
+        assert!(matches!(deserialize(&bytes), Err(DpzError::Corrupt("bad magic"))));
+    }
+
+    #[test]
+    fn rejects_truncation_everywhere() {
+        let (bytes, _) = serialize(&sample_container());
+        for cut in [0, 3, 5, 20, bytes.len() / 2, bytes.len() - 1] {
+            assert!(deserialize(&bytes[..cut]).is_err(), "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn rejects_inconsistent_header() {
+        let mut data = sample_container();
+        data.k = 0;
+        let (bytes, _) = serialize(&data);
+        assert!(deserialize(&bytes).is_err());
+        let mut data = sample_container();
+        data.orig_len = 81; // dims product mismatch
+        let (bytes, _) = serialize(&data);
+        assert!(deserialize(&bytes).is_err());
+    }
+
+    #[test]
+    fn section_sizes_add_up() {
+        let (_, sizes) = serialize(&sample_container());
+        assert_eq!(
+            sizes.total_raw(),
+            sizes.model_raw + sizes.indices_raw + sizes.outliers_raw
+        );
+        assert!(sizes.total_packed() > 0);
+    }
+}

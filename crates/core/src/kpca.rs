@@ -1,0 +1,145 @@
+//! Stage 2: k-PCA selection (Algorithm 1 of the paper).
+//!
+//! Given a fitted PCA model over the DCT-domain block matrix, choose how
+//! many leading components `k` to retain:
+//!
+//! * **Method 1 — knee-point detection**: fit the cumulative
+//!   total-variance-explained (TVE) curve, normalize it to the unit square,
+//!   and take the first local maximum of its curvature (the "optimal
+//!   information retrieval point"). Aggressive: highest CR for the most
+//!   worthwhile information, no parameters to tune.
+//! * **Method 2 — explained variance variation**: the smallest `k` whose
+//!   TVE reaches the requested threshold ("three-nine" … "eight-nine").
+
+use crate::config::KSelection;
+use dpz_linalg::knee::{detect_knee, KneeOptions};
+use dpz_linalg::Pca;
+
+/// Result of a k selection.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KChoice {
+    /// Retained component count, `1..=M`.
+    pub k: usize,
+    /// TVE actually achieved by keeping `k` components.
+    pub tve_achieved: f64,
+}
+
+/// Select `k` for a fitted model under the configured method.
+pub fn select_k(pca: &Pca, selection: KSelection) -> KChoice {
+    let m = pca.n_features();
+    let cum = pca.cumulative_tve();
+    let k = match selection {
+        KSelection::Fixed(k) => k.clamp(1, m),
+        KSelection::Tve(threshold) => pca.k_for_tve(threshold),
+        KSelection::KneePoint(fit) => {
+            let opts = KneeOptions { fit, ..KneeOptions::default() };
+            match detect_knee(&cum, opts) {
+                Ok(Some(idx)) => (idx + 1).clamp(1, m),
+                // No curvature (flat or degenerate curve): a single
+                // component already explains everything that can be.
+                _ => 1,
+            }
+        }
+    };
+    let tve_achieved = cum.get(k - 1).copied().unwrap_or(1.0);
+    KChoice { k, tve_achieved }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpz_linalg::fit::FitKind;
+    use dpz_linalg::{Matrix, PcaOptions};
+
+    /// Data with exactly `rank` strong directions plus faint noise.
+    fn low_rank(n: usize, m: usize, rank: usize) -> Matrix {
+        let mut state = 42u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+        };
+        let loads: Vec<Vec<f64>> = (0..rank)
+            .map(|r| (0..m).map(|j| ((r * 7 + j) as f64 * 0.37).sin()).collect())
+            .collect();
+        let mut rows = Vec::with_capacity(n);
+        for _ in 0..n {
+            let factors: Vec<f64> =
+                (0..rank).map(|r| next() * 10.0 / (r + 1) as f64).collect();
+            rows.push(
+                (0..m)
+                    .map(|j| {
+                        factors
+                            .iter()
+                            .zip(&loads)
+                            .map(|(f, l)| f * l[j])
+                            .sum::<f64>()
+                            + 1e-4 * next()
+                    })
+                    .collect(),
+            );
+        }
+        Matrix::from_rows(&rows).unwrap()
+    }
+
+    #[test]
+    fn tve_method_reaches_threshold() {
+        let pca = Pca::fit(&low_rank(200, 20, 3), PcaOptions::default()).unwrap();
+        for threshold in [0.9, 0.999, 0.9999999] {
+            let choice = select_k(&pca, KSelection::Tve(threshold));
+            assert!(
+                choice.tve_achieved >= threshold || choice.k == 20,
+                "threshold {threshold}: k {} tve {}",
+                choice.k,
+                choice.tve_achieved
+            );
+        }
+    }
+
+    #[test]
+    fn knee_method_finds_rank() {
+        let pca = Pca::fit(&low_rank(300, 30, 4), PcaOptions::default()).unwrap();
+        let choice = select_k(&pca, KSelection::KneePoint(FitKind::Interp1d));
+        // The knee of a rank-4 spectrum must land near 4 components.
+        assert!(
+            (1..=8).contains(&choice.k),
+            "knee landed far from the true rank: k = {}",
+            choice.k
+        );
+        assert!(choice.tve_achieved > 0.9);
+    }
+
+    #[test]
+    fn knee_polynomial_variant_works() {
+        let pca = Pca::fit(&low_rank(300, 30, 4), PcaOptions::default()).unwrap();
+        let choice = select_k(&pca, KSelection::KneePoint(FitKind::Polynomial(7)));
+        assert!(choice.k >= 1 && choice.k <= 30);
+    }
+
+    #[test]
+    fn fixed_is_clamped() {
+        let pca = Pca::fit(&low_rank(50, 10, 2), PcaOptions::default()).unwrap();
+        assert_eq!(select_k(&pca, KSelection::Fixed(0)).k, 1);
+        assert_eq!(select_k(&pca, KSelection::Fixed(7)).k, 7);
+        assert_eq!(select_k(&pca, KSelection::Fixed(99)).k, 10);
+    }
+
+    #[test]
+    fn tighter_tve_needs_more_components() {
+        let pca = Pca::fit(&low_rank(200, 25, 5), PcaOptions::default()).unwrap();
+        let loose = select_k(&pca, KSelection::Tve(0.99)).k;
+        let tight = select_k(&pca, KSelection::Tve(0.99999999)).k;
+        assert!(loose <= tight, "loose {loose} vs tight {tight}");
+    }
+
+    #[test]
+    fn constant_data_selects_one() {
+        let x = Matrix::from_vec(40, 6, vec![1.5; 240]).unwrap();
+        let pca = Pca::fit(&x, PcaOptions::default()).unwrap();
+        let choice = select_k(&pca, KSelection::Tve(0.999));
+        assert_eq!(choice.k, 1);
+        let knee = select_k(&pca, KSelection::KneePoint(FitKind::Interp1d));
+        assert_eq!(knee.k, 1);
+    }
+}

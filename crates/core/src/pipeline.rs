@@ -1,0 +1,644 @@
+//! The end-to-end DPZ pipeline: compress, decompress, and the instrumented
+//! breakdown variant that reports per-stage ratios and accuracy (the data
+//! behind Tables III/IV and Figures 8/9 of the paper).
+
+use crate::config::{DpzConfig, KSelection, Stage1Transform, Standardize};
+use crate::container::{self, ContainerData, DpzError, SectionSizes};
+use crate::decompose::{self, BlockShape};
+use crate::kpca::select_k;
+use crate::quantize::{dequantize_scores, quantize_scores};
+use crate::sampling::{SamplingEstimate, SamplingStrategy};
+use dpz_linalg::{Matrix, Pca, PcaOptions};
+use std::time::{Duration, Instant};
+
+/// Wall-clock time spent in each pipeline stage.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StageTimings {
+    /// Stage 1: decomposition + block DCT.
+    pub decompose_dct: Duration,
+    /// Sampling strategy (zero when disabled).
+    pub sampling: Duration,
+    /// Stage 2: PCA fit + projection.
+    pub pca: Duration,
+    /// Stage 3: quantization.
+    pub quantize: Duration,
+    /// Lossless add-on (DEFLATE of all sections) + container assembly.
+    pub lossless: Duration,
+}
+
+impl StageTimings {
+    /// Total compression time.
+    pub fn total(&self) -> Duration {
+        self.decompose_dct + self.sampling + self.pca + self.quantize + self.lossless
+    }
+}
+
+/// Statistics captured during compression.
+#[derive(Debug, Clone)]
+pub struct CompressionStats {
+    /// Block count (PCA features).
+    pub m: usize,
+    /// Block length (PCA samples).
+    pub n: usize,
+    /// Retained components.
+    pub k: usize,
+    /// TVE achieved by the retained components.
+    pub tve_achieved: f64,
+    /// Whether features were standardized.
+    pub standardized: bool,
+    /// Per-stage wall-clock.
+    pub timings: StageTimings,
+    /// Raw/packed sizes per container section.
+    pub sections: SectionSizes,
+    /// Stage-1&2 ratio: original bytes over the f32 core (scores+basis+means).
+    pub cr_stage12: f64,
+    /// Stage-3 ratio: f32 core over quantized sections (pre-DEFLATE).
+    pub cr_stage3: f64,
+    /// Lossless ratio: pre-DEFLATE over post-DEFLATE bytes.
+    pub cr_zlib: f64,
+    /// End-to-end ratio: original bytes over the final container.
+    pub cr_total: f64,
+    /// Sampling estimate when the strategy ran.
+    pub sampling: Option<SamplingEstimate>,
+}
+
+/// Output of [`compress`].
+#[derive(Debug, Clone)]
+pub struct Compressed {
+    /// The self-describing DPZ container.
+    pub bytes: Vec<u8>,
+    /// Instrumentation.
+    pub stats: CompressionStats,
+}
+
+/// Minimum and range of the data, with a range floor of 1 so constant
+/// fields normalize to zero instead of dividing by zero.
+fn value_extent(data: &[f32]) -> (f64, f64) {
+    let (lo, hi) = data.iter().fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &v| {
+        (lo.min(f64::from(v)), hi.max(f64::from(v)))
+    });
+    let range = hi - lo;
+    (lo, if range > 0.0 { range } else { 1.0 })
+}
+
+/// Validate and flatten-check the input.
+fn check_input(data: &[f32], dims: &[usize]) -> Result<(), DpzError> {
+    if data.len() < 2 {
+        return Err(DpzError::BadInput("need at least two values"));
+    }
+    if dims.is_empty() || dims.iter().product::<usize>() != data.len() {
+        return Err(DpzError::BadInput("dims do not match data length"));
+    }
+    if data.iter().any(|v| !v.is_finite()) {
+        // A NaN poisons the DCT of its whole block and the PCA covariance;
+        // the paper's datasets are finite, so reject early and loudly.
+        return Err(DpzError::BadInput("non-finite values are not supported"));
+    }
+    Ok(())
+}
+
+/// Compress `data` (shape `dims`) under `cfg`.
+pub fn compress(data: &[f32], dims: &[usize], cfg: &DpzConfig) -> Result<Compressed, DpzError> {
+    check_input(data, dims)?;
+    let mut timings = StageTimings::default();
+
+    // Stage 1: range normalization, decomposition + DCT. Normalizing the
+    // flattened data to [-0.5, 0.5] (DCTZ heritage) makes the stage-3 error
+    // bound P range-relative, exactly like the paper's θ metric — without
+    // it, large-magnitude fields (e.g. HACC velocities) would overflow the
+    // quantizer range and escape every score as an outlier.
+    let t = Instant::now();
+    let (norm_min, norm_range) = value_extent(data);
+    let shape = decompose::choose_shape(data.len());
+    let mut blocks = decompose::to_blocks(data, shape);
+    for v in blocks.as_mut_slice() {
+        *v = (*v - norm_min) / norm_range - 0.5;
+    }
+    let (transform_tag, dwt_levels) = match cfg.transform {
+        Stage1Transform::Dct => (0u8, 0u8),
+        Stage1Transform::Dwt { levels } => {
+            (1u8, decompose::effective_dwt_levels(shape.n, levels) as u8)
+        }
+    };
+    let coeffs = match transform_tag {
+        1 => decompose::dwt_blocks(&blocks, dwt_levels as usize),
+        _ => decompose::dct_blocks(&blocks),
+    };
+    timings.decompose_dct = t.elapsed();
+
+    // Sampling strategy (optional).
+    let t = Instant::now();
+    let sampling_est = if cfg.sampling {
+        let tve = match cfg.selection {
+            KSelection::Tve(v) => v,
+            _ => SamplingStrategy::default().tve,
+        };
+        let strat = SamplingStrategy {
+            subsets: cfg.sampling_subsets,
+            picks: cfg.sampling_picks,
+            vif_sample_rate: cfg.vif_sample_rate,
+            tve,
+        };
+        Some(strat.estimate(&coeffs)?)
+    } else {
+        None
+    };
+    timings.sampling = t.elapsed();
+
+    let standardize = match cfg.standardize {
+        Standardize::On => true,
+        Standardize::Off => false,
+        Standardize::Auto => sampling_est.as_ref().is_some_and(|e| e.low_linearity),
+    };
+
+    // Stage 2: PCA (full, or truncated when sampling provided k_e).
+    let t = Instant::now();
+    let opts = PcaOptions { standardize };
+    let (pca, choice) = match (&sampling_est, cfg.selection) {
+        // A saturated estimate (subset k pinned at the subset width) is only
+        // a lower bound on the true k; using it would silently degrade
+        // quality, so fall through to the full path instead.
+        (Some(est), KSelection::Tve(_)) if !est.saturated => {
+            // Fast path: k comes from the sample; fit only k_e (+ margin)
+            // components with the truncated solver. Subspace iteration only
+            // beats the direct solver when the subspace is genuinely small,
+            // so fall back to the full decomposition for large k_e.
+            let k_e = est.k_estimate;
+            let margin = (k_e / 4).max(2);
+            let want = (k_e + margin).min(shape.m);
+            // Cost model: subspace iteration costs ~iters·2·M²·k flops vs
+            // ~4·M³ for the direct solver, so it only wins for k ≲ M/8 at
+            // the iteration budget used by fit_truncated.
+            let pca = if want * 8 < shape.m {
+                Pca::fit_truncated(&coeffs, opts, want)?
+            } else {
+                Pca::fit(&coeffs, opts)?
+            };
+            let choice = select_k(&pca, KSelection::Fixed(k_e));
+            (pca, choice)
+        }
+        _ => {
+            let pca = Pca::fit(&coeffs, opts)?;
+            let choice = select_k(&pca, cfg.selection);
+            (pca, choice)
+        }
+    };
+    let k = choice.k;
+    let scores = pca.transform(&coeffs, k)?;
+    timings.pca = t.elapsed();
+
+    // Stage 3: quantization.
+    let t = Instant::now();
+    let quantized = quantize_scores(scores.as_slice(), cfg.scheme);
+    timings.quantize = t.elapsed();
+
+    // Lossless add-on + container.
+    let t = Instant::now();
+    let projection = pca.projection(k);
+    let basis: Vec<f32> = projection.as_slice().iter().map(|&v| v as f32).collect();
+    let mean: Vec<f32> = pca.mean().iter().map(|&v| v as f32).collect();
+    let scale: Vec<f32> = pca
+        .feature_scale()
+        .map(|s| s.iter().map(|&v| v as f32).collect())
+        .unwrap_or_default();
+    let payload = ContainerData {
+        dims: dims.to_vec(),
+        orig_len: data.len(),
+        m: shape.m,
+        n: shape.n,
+        pad: shape.pad,
+        norm_min,
+        norm_range,
+        k,
+        transform_tag,
+        dwt_levels,
+        p: cfg.scheme.p(),
+        standardized: standardize,
+        basis,
+        mean,
+        scale,
+        scores: quantized,
+    };
+    let (bytes, sections) = container::serialize(&payload);
+    timings.lossless = t.elapsed();
+
+    // Per-stage ratio accounting (Table III semantics):
+    //   stage 1&2 : original f32 -> f32 core (scores + basis + means[+scales])
+    //   stage 3   : f32 core -> quantized sections (indices + outliers + model)
+    //   zlib      : quantized sections -> DEFLATE output
+    let orig_bytes = data.len() * 4;
+    let core_f32 =
+        (shape.n * k + shape.m * k + shape.m + if standardize { shape.m } else { 0 }) * 4;
+    let stage3_raw = sections.total_raw();
+    let cr_stage12 = orig_bytes as f64 / core_f32 as f64;
+    let cr_stage3 = core_f32 as f64 / stage3_raw as f64;
+    let cr_zlib = stage3_raw as f64 / sections.total_packed() as f64;
+    let cr_total = orig_bytes as f64 / bytes.len() as f64;
+
+    Ok(Compressed {
+        bytes,
+        stats: CompressionStats {
+            m: shape.m,
+            n: shape.n,
+            k,
+            tve_achieved: choice.tve_achieved,
+            standardized: standardize,
+            timings,
+            sections,
+            cr_stage12,
+            cr_stage3,
+            cr_zlib,
+            cr_total,
+            sampling: sampling_est,
+        },
+    })
+}
+
+/// Decompress a DPZ container, returning values and dimensions.
+pub fn decompress(bytes: &[u8]) -> Result<(Vec<f32>, Vec<usize>), DpzError> {
+    let payload = container::deserialize(bytes)?;
+    let (values, dims, _) = reconstruct(&payload)?;
+    Ok((values, dims))
+}
+
+/// Shared reconstruction path. Also returns the de-quantized scores matrix
+/// for breakdown analyses.
+fn reconstruct(payload: &ContainerData) -> Result<(Vec<f32>, Vec<usize>, Matrix), DpzError> {
+    let (m, n, k) = (payload.m, payload.n, payload.k);
+    if payload.basis.len() != m * k || payload.mean.len() != m {
+        return Err(DpzError::Corrupt("model vectors inconsistent with header"));
+    }
+    // Scores (n x k).
+    let score_vals = dequantize_scores(&payload.scores);
+    let scores = Matrix::from_vec(n, k, score_vals)
+        .map_err(|_| DpzError::Corrupt("score matrix shape"))?;
+    // Basis (m x k) -> reconstruct coefficients: Z ≈ Y·Dᵀ (+ scale) + mean.
+    let basis = Matrix::from_vec(m, k, payload.basis.iter().map(|&v| f64::from(v)).collect())
+        .map_err(|_| DpzError::Corrupt("basis shape"))?;
+    let mut coeffs = scores.matmul(&basis.transpose())?;
+    for r in 0..n {
+        let row = coeffs.row_mut(r);
+        if payload.standardized {
+            if payload.scale.len() != m {
+                return Err(DpzError::Corrupt("scale vector inconsistent"));
+            }
+            for (v, &s) in row.iter_mut().zip(&payload.scale) {
+                *v *= f64::from(s);
+            }
+        }
+        for (v, &mu) in row.iter_mut().zip(&payload.mean) {
+            *v += f64::from(mu);
+        }
+    }
+    // Inverse transform, denormalize, re-flatten.
+    let mut blocks = match payload.transform_tag {
+        1 => decompose::idwt_blocks(&coeffs, payload.dwt_levels as usize),
+        _ => decompose::idct_blocks(&coeffs),
+    };
+    for v in blocks.as_mut_slice() {
+        *v = (*v + 0.5) * payload.norm_range + payload.norm_min;
+    }
+    let shape = BlockShape { m, n, pad: payload.pad };
+    let values = decompose::from_blocks(&blocks, shape, payload.orig_len);
+    Ok((values, payload.dims.clone(), scores))
+}
+
+/// Per-stage accuracy data for Tables III/IV.
+#[derive(Debug, Clone)]
+pub struct CompressionBreakdown {
+    /// Everything from the normal compression path.
+    pub stats: CompressionStats,
+    /// The compressed container.
+    pub bytes: Vec<u8>,
+    /// Final reconstruction (all stages, i.e. what `decompress` returns).
+    pub reconstructed: Vec<f32>,
+    /// PSNR of a stage-1&2-only reconstruction (no quantization: exact
+    /// scores through the same k-component basis).
+    pub psnr_stage12: f64,
+    /// PSNR of the full reconstruction.
+    pub psnr_final: f64,
+}
+
+impl CompressionBreakdown {
+    /// Accuracy lost to stage 3 + lossless, in dB (Table IV's Δ PSNR).
+    pub fn delta_psnr(&self) -> f64 {
+        self.psnr_stage12 - self.psnr_final
+    }
+}
+
+/// Compress and additionally measure where the error budget goes: the
+/// stage-1&2-only PSNR (unquantized scores) versus the final PSNR.
+pub fn compress_with_breakdown(
+    data: &[f32],
+    dims: &[usize],
+    cfg: &DpzConfig,
+) -> Result<CompressionBreakdown, DpzError> {
+    let compressed = compress(data, dims, cfg)?;
+    let payload = container::deserialize(&compressed.bytes)?;
+    let (reconstructed, _, _) = reconstruct(&payload)?;
+
+    // Stage-1&2-only reconstruction: recompute exact scores through the
+    // *stored* basis (so basis f32 rounding is attributed to stage 1&2, as
+    // in the paper where stage 3 only adds quantization noise).
+    let shape = BlockShape { m: payload.m, n: payload.n, pad: payload.pad };
+    let mut blocks = decompose::to_blocks(data, shape);
+    for v in blocks.as_mut_slice() {
+        *v = (*v - payload.norm_min) / payload.norm_range - 0.5;
+    }
+    let coeffs = match payload.transform_tag {
+        1 => decompose::dwt_blocks(&blocks, payload.dwt_levels as usize),
+        _ => decompose::dct_blocks(&blocks),
+    };
+    let basis = Matrix::from_vec(
+        payload.m,
+        payload.k,
+        payload.basis.iter().map(|&v| f64::from(v)).collect(),
+    )
+    .map_err(|_| DpzError::Corrupt("basis shape"))?;
+    // Center (and scale) with the stored model, project, reconstruct.
+    let mut centered = coeffs;
+    for r in 0..payload.n {
+        let row = centered.row_mut(r);
+        for (v, &mu) in row.iter_mut().zip(&payload.mean) {
+            *v -= f64::from(mu);
+        }
+        if payload.standardized {
+            for (v, &s) in row.iter_mut().zip(&payload.scale) {
+                *v /= f64::from(s);
+            }
+        }
+    }
+    let exact_scores = centered.matmul(&basis)?;
+    let mut recon_coeffs = exact_scores.matmul(&basis.transpose())?;
+    for r in 0..payload.n {
+        let row = recon_coeffs.row_mut(r);
+        if payload.standardized {
+            for (v, &s) in row.iter_mut().zip(&payload.scale) {
+                *v *= f64::from(s);
+            }
+        }
+        for (v, &mu) in row.iter_mut().zip(&payload.mean) {
+            *v += f64::from(mu);
+        }
+    }
+    let mut stage12_blocks = match payload.transform_tag {
+        1 => decompose::idwt_blocks(&recon_coeffs, payload.dwt_levels as usize),
+        _ => decompose::idct_blocks(&recon_coeffs),
+    };
+    for v in stage12_blocks.as_mut_slice() {
+        *v = (*v + 0.5) * payload.norm_range + payload.norm_min;
+    }
+    let stage12 = decompose::from_blocks(&stage12_blocks, shape, payload.orig_len);
+
+    let psnr_stage12 = psnr(data, &stage12);
+    let psnr_final = psnr(data, &reconstructed);
+    Ok(CompressionBreakdown {
+        stats: compressed.stats,
+        bytes: compressed.bytes,
+        reconstructed,
+        psnr_stage12,
+        psnr_final,
+    })
+}
+
+/// Local PSNR helper (range-based, matching `dpz-data`'s definition without
+/// creating a dependency cycle).
+fn psnr(original: &[f32], reconstructed: &[f32]) -> f64 {
+    let n = original.len();
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    let mut se = 0.0;
+    for (&a, &b) in original.iter().zip(reconstructed) {
+        let av = f64::from(a);
+        lo = lo.min(av);
+        hi = hi.max(av);
+        let d = av - f64::from(b);
+        se += d * d;
+    }
+    let mse = se / n as f64;
+    if mse == 0.0 {
+        return f64::INFINITY;
+    }
+    let range = (hi - lo).max(f64::MIN_POSITIVE);
+    20.0 * range.log10() - 10.0 * mse.log10()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::TveLevel;
+    use dpz_linalg::fit::FitKind;
+
+    fn smooth_field(rows: usize, cols: usize) -> Vec<f32> {
+        (0..rows * cols)
+            .map(|i| {
+                let r = (i / cols) as f32;
+                let c = (i % cols) as f32;
+                (0.04 * r).sin() * 40.0 + (0.03 * c).cos() * 25.0 + 100.0
+            })
+            .collect()
+    }
+
+    #[test]
+    fn round_trip_shapes_and_quality() {
+        let data = smooth_field(64, 96);
+        let cfg = DpzConfig::strict().with_tve(TveLevel::SixNines);
+        let out = compress(&data, &[64, 96], &cfg).unwrap();
+        let (recon, dims) = decompress(&out.bytes).unwrap();
+        assert_eq!(dims, vec![64, 96]);
+        assert_eq!(recon.len(), data.len());
+        let q = psnr(&data, &recon);
+        assert!(q > 40.0, "PSNR too low: {q}");
+        assert!(out.stats.cr_total > 1.0, "no compression: {}", out.stats.cr_total);
+    }
+
+    #[test]
+    fn smooth_data_compresses_hard() {
+        let data = smooth_field(128, 128);
+        let cfg = DpzConfig::loose().with_tve(TveLevel::FiveNines);
+        let out = compress(&data, &[128, 128], &cfg).unwrap();
+        assert!(
+            out.stats.cr_total > 15.0,
+            "smooth field should compress >15x, got {:.1}",
+            out.stats.cr_total
+        );
+    }
+
+    #[test]
+    fn tve_sweep_trades_rate_for_quality() {
+        let data = smooth_field(96, 96);
+        // Make it slightly rough so the spectrum has a tail.
+        let data: Vec<f32> = data
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| v + ((i * 2654435761) % 1000) as f32 * 1e-3)
+            .collect();
+        let mut last_cr = f64::INFINITY;
+        let mut last_psnr = 0.0;
+        for level in [TveLevel::ThreeNines, TveLevel::FiveNines, TveLevel::SevenNines] {
+            let cfg = DpzConfig::strict().with_tve(level);
+            let out = compress(&data, &[96, 96], &cfg).unwrap();
+            let (recon, _) = decompress(&out.bytes).unwrap();
+            let q = psnr(&data, &recon);
+            assert!(
+                out.stats.cr_total <= last_cr * 1.001,
+                "CR should fall as TVE tightens"
+            );
+            assert!(q >= last_psnr - 0.5, "PSNR should rise as TVE tightens");
+            last_cr = out.stats.cr_total;
+            last_psnr = q;
+        }
+    }
+
+    #[test]
+    fn knee_point_mode_works() {
+        let data = smooth_field(80, 80);
+        for fit in [FitKind::Interp1d, FitKind::Polynomial(7)] {
+            let cfg = DpzConfig::loose().with_selection(KSelection::KneePoint(fit));
+            let out = compress(&data, &[80, 80], &cfg).unwrap();
+            let (recon, _) = decompress(&out.bytes).unwrap();
+            assert_eq!(recon.len(), data.len());
+            assert!(out.stats.k >= 1);
+        }
+    }
+
+    #[test]
+    fn sampling_path_round_trips() {
+        let data = smooth_field(64, 64);
+        let cfg = DpzConfig::loose().with_tve(TveLevel::FiveNines).with_sampling(true);
+        let out = compress(&data, &[64, 64], &cfg).unwrap();
+        assert!(out.stats.sampling.is_some());
+        let (recon, _) = decompress(&out.bytes).unwrap();
+        let q = psnr(&data, &recon);
+        assert!(q > 35.0, "sampling path PSNR {q}");
+    }
+
+    #[test]
+    fn breakdown_accounts_stage_losses() {
+        let data = smooth_field(64, 64);
+        let cfg = DpzConfig::strict().with_tve(TveLevel::FiveNines);
+        let b = compress_with_breakdown(&data, &[64, 64], &cfg).unwrap();
+        assert!(b.psnr_stage12 >= b.psnr_final - 1e-9, "stage 1&2 can only be better");
+        assert!(b.delta_psnr() >= -1e-9);
+        // Multiplying the stage ratios reproduces (approximately) the total,
+        // modulo the fixed-size header.
+        let product = b.stats.cr_stage12 * b.stats.cr_stage3 * b.stats.cr_zlib;
+        let ratio = product / b.stats.cr_total;
+        assert!((0.9..1.2).contains(&ratio), "stage product off: {ratio}");
+    }
+
+    #[test]
+    fn loose_vs_strict_quality_ordering() {
+        let data = smooth_field(96, 64);
+        let loose =
+            compress_with_breakdown(&data, &[96, 64], &DpzConfig::loose()).unwrap();
+        let strict =
+            compress_with_breakdown(&data, &[96, 64], &DpzConfig::strict()).unwrap();
+        assert!(
+            strict.psnr_final >= loose.psnr_final,
+            "strict {} should beat loose {}",
+            strict.psnr_final,
+            loose.psnr_final
+        );
+    }
+
+    #[test]
+    fn one_and_three_dimensional_inputs() {
+        let data: Vec<f32> = (0..4096).map(|i| (i as f32 * 0.01).sin()).collect();
+        let out = compress(&data, &[4096], &DpzConfig::loose()).unwrap();
+        let (recon, dims) = decompress(&out.bytes).unwrap();
+        assert_eq!(dims, vec![4096]);
+        assert_eq!(recon.len(), 4096);
+
+        let out = compress(&data, &[16, 16, 16], &DpzConfig::loose()).unwrap();
+        let (_, dims) = decompress(&out.bytes).unwrap();
+        assert_eq!(dims, vec![16, 16, 16]);
+    }
+
+    #[test]
+    fn awkward_length_with_padding() {
+        let data: Vec<f32> = (0..997).map(|i| (i as f32 * 0.02).cos()).collect();
+        let out = compress(&data, &[997], &DpzConfig::strict()).unwrap();
+        let (recon, _) = decompress(&out.bytes).unwrap();
+        assert_eq!(recon.len(), 997);
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        assert!(matches!(
+            compress(&[1.0], &[1], &DpzConfig::loose()),
+            Err(DpzError::BadInput(_))
+        ));
+        assert!(matches!(
+            compress(&[1.0, 2.0], &[3], &DpzConfig::loose()),
+            Err(DpzError::BadInput(_))
+        ));
+        assert!(matches!(
+            compress(&[1.0, f32::NAN], &[2], &DpzConfig::loose()),
+            Err(DpzError::BadInput(_))
+        ));
+    }
+
+    #[test]
+    fn decompress_rejects_garbage() {
+        assert!(decompress(b"DPZ?nope").is_err());
+        assert!(decompress(&[]).is_err());
+    }
+
+    #[test]
+    fn timings_are_recorded() {
+        let data = smooth_field(64, 64);
+        let out = compress(&data, &[64, 64], &DpzConfig::loose()).unwrap();
+        let t = out.stats.timings;
+        assert!(t.total() > Duration::ZERO);
+        assert!(t.pca > Duration::ZERO);
+    }
+
+    #[test]
+    fn dwt_transform_round_trips() {
+        use crate::config::Stage1Transform;
+        let data = smooth_field(64, 64);
+        let cfg = DpzConfig::strict()
+            .with_tve(TveLevel::SixNines)
+            .with_transform(Stage1Transform::Dwt { levels: 4 });
+        let out = compress(&data, &[64, 64], &cfg).unwrap();
+        let payload = crate::container::deserialize(&out.bytes).unwrap();
+        assert_eq!(payload.transform_tag, 1);
+        assert!(payload.dwt_levels >= 1);
+        let (recon, dims) = decompress(&out.bytes).unwrap();
+        assert_eq!(dims, vec![64, 64]);
+        let q = psnr(&data, &recon);
+        assert!(q > 40.0, "DWT stage-1 PSNR too low: {q}");
+    }
+
+    #[test]
+    fn dct_and_dwt_are_comparable_on_smooth_data() {
+        use crate::config::Stage1Transform;
+        let data = smooth_field(96, 96);
+        let cfg_dct = DpzConfig::strict().with_tve(TveLevel::FiveNines);
+        let cfg_dwt = cfg_dct.with_transform(Stage1Transform::Dwt { levels: 5 });
+        let a = compress(&data, &[96, 96], &cfg_dct).unwrap();
+        let b = compress(&data, &[96, 96], &cfg_dwt).unwrap();
+        // The paper's claim: any orthonormal transform with good compaction
+        // works. The two must land in the same ballpark, not be identical.
+        let ratio = a.stats.cr_total / b.stats.cr_total;
+        assert!(
+            (0.2..5.0).contains(&ratio),
+            "DCT {:.1}x vs DWT {:.1}x diverged",
+            a.stats.cr_total,
+            b.stats.cr_total
+        );
+    }
+
+    #[test]
+    fn constant_field_degenerates_gracefully() {
+        let data = vec![7.25f32; 1024];
+        let out = compress(&data, &[32, 32], &DpzConfig::loose()).unwrap();
+        let (recon, _) = decompress(&out.bytes).unwrap();
+        for v in &recon {
+            assert!((v - 7.25).abs() < 1e-2, "constant field reconstruction {v}");
+        }
+        // The container header + DEFLATE framing dominate at this tiny size.
+        assert!(out.stats.cr_total > 15.0, "constant field CR {}", out.stats.cr_total);
+    }
+}

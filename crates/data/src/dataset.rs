@@ -1,0 +1,272 @@
+//! The evaluation dataset registry: nine fields from three applications,
+//! mirroring Table I of the paper, at selectable scales.
+
+use crate::synthetic::{climate2d, hacc1d, turbulence3d, ClimateField, HaccField, TurbulenceField};
+
+/// Default RNG seed for the standard suite (the paper's publication year).
+pub const DEFAULT_SEED: u64 = 2021;
+
+/// The nine evaluation fields (Table I).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DatasetKind {
+    /// JHTDB "Isotropic1024-coarse" (3-D turbulence).
+    Isotropic,
+    /// JHTDB "Channel" (3-D wall-bounded turbulence).
+    Channel,
+    /// CESM-ATM "CLDHGH" (2-D high-cloud fraction).
+    Cldhgh,
+    /// CESM-ATM "CLDLOW" (2-D low-cloud fraction).
+    Cldlow,
+    /// CESM-ATM "PHIS" (2-D surface geopotential).
+    Phis,
+    /// CESM-ATM "FREQSH" (2-D shallow-convection frequency).
+    Freqsh,
+    /// CESM-ATM "FLDSC" (2-D clear-sky downwelling flux).
+    Fldsc,
+    /// HACC "x" (1-D particle positions).
+    HaccX,
+    /// HACC "vx" (1-D particle velocities).
+    HaccVx,
+}
+
+impl DatasetKind {
+    /// All nine kinds in the paper's Table I order.
+    pub const ALL: [DatasetKind; 9] = [
+        DatasetKind::Isotropic,
+        DatasetKind::Channel,
+        DatasetKind::Cldhgh,
+        DatasetKind::Cldlow,
+        DatasetKind::Phis,
+        DatasetKind::Freqsh,
+        DatasetKind::Fldsc,
+        DatasetKind::HaccX,
+        DatasetKind::HaccVx,
+    ];
+
+    /// Paper-facing dataset name.
+    pub fn name(self) -> &'static str {
+        match self {
+            DatasetKind::Isotropic => "Isotropic",
+            DatasetKind::Channel => "Channel",
+            DatasetKind::Cldhgh => "CLDHGH",
+            DatasetKind::Cldlow => "CLDLOW",
+            DatasetKind::Phis => "PHIS",
+            DatasetKind::Freqsh => "FREQSH",
+            DatasetKind::Fldsc => "FLDSC",
+            DatasetKind::HaccX => "HACC-x",
+            DatasetKind::HaccVx => "HACC-vx",
+        }
+    }
+
+    /// Originating application/archive.
+    pub fn source(self) -> &'static str {
+        match self {
+            DatasetKind::Isotropic | DatasetKind::Channel => "JHTDB",
+            DatasetKind::HaccX | DatasetKind::HaccVx => "HACC",
+            _ => "CESM-ATM",
+        }
+    }
+
+    /// Data dimensionality (1, 2 or 3).
+    pub fn ndims(self) -> usize {
+        match self {
+            DatasetKind::Isotropic | DatasetKind::Channel => 3,
+            DatasetKind::HaccX | DatasetKind::HaccVx => 1,
+            _ => 2,
+        }
+    }
+
+    /// Parse a paper-facing name (case-insensitive).
+    pub fn from_name(name: &str) -> Option<DatasetKind> {
+        let lower = name.to_ascii_lowercase();
+        DatasetKind::ALL
+            .iter()
+            .copied()
+            .find(|k| k.name().to_ascii_lowercase() == lower)
+    }
+}
+
+/// Generation scale. The paper's full sizes (5 GB of turbulence, 1.5 GB of
+/// climate data) are impractical for per-commit regression runs; every
+/// harness accepts a scale and defaults to [`Scale::Default`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Minimal sizes for unit tests (runs in milliseconds).
+    Tiny,
+    /// Quick experiments.
+    Small,
+    /// Standard experiment scale (seconds per dataset).
+    Default,
+    /// The paper's full Table I dimensions.
+    Paper,
+}
+
+impl Scale {
+    /// Grid dimensions for a dataset kind at this scale.
+    pub fn dims(self, kind: DatasetKind) -> Vec<usize> {
+        match kind.ndims() {
+            3 => match self {
+                Scale::Tiny => vec![16, 16, 16],
+                Scale::Small => vec![32, 32, 32],
+                Scale::Default => vec![64, 64, 64],
+                Scale::Paper => vec![128, 128, 128],
+            },
+            2 => match self {
+                Scale::Tiny => vec![45, 90],
+                Scale::Small => vec![180, 360],
+                Scale::Default => vec![450, 900],
+                Scale::Paper => vec![1800, 3600],
+            },
+            _ => match self {
+                Scale::Tiny => vec![8192],
+                Scale::Small => vec![65536],
+                Scale::Default => vec![524288],
+                Scale::Paper => vec![2097152],
+            },
+        }
+    }
+
+    /// Parse `"tiny" | "small" | "default" | "paper"`.
+    pub fn from_name(name: &str) -> Option<Scale> {
+        match name.to_ascii_lowercase().as_str() {
+            "tiny" => Some(Scale::Tiny),
+            "small" => Some(Scale::Small),
+            "default" => Some(Scale::Default),
+            "paper" => Some(Scale::Paper),
+            _ => None,
+        }
+    }
+}
+
+/// A generated (or loaded) scientific dataset.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    /// Paper-facing name, e.g. `"CLDHGH"`.
+    pub name: String,
+    /// Grid dimensions, slowest-varying first.
+    pub dims: Vec<usize>,
+    /// Row-major field values.
+    pub data: Vec<f32>,
+}
+
+impl Dataset {
+    /// Generate the synthetic analogue of `kind` at `scale` with `seed`.
+    pub fn generate(kind: DatasetKind, scale: Scale, seed: u64) -> Dataset {
+        let dims = scale.dims(kind);
+        let data = match kind {
+            DatasetKind::Isotropic => {
+                turbulence3d(TurbulenceField::Isotropic, dims[0], dims[1], dims[2], seed)
+            }
+            DatasetKind::Channel => {
+                turbulence3d(TurbulenceField::Channel, dims[0], dims[1], dims[2], seed)
+            }
+            DatasetKind::Cldhgh => climate2d(ClimateField::Cldhgh, dims[0], dims[1], seed),
+            DatasetKind::Cldlow => climate2d(ClimateField::Cldlow, dims[0], dims[1], seed),
+            DatasetKind::Phis => climate2d(ClimateField::Phis, dims[0], dims[1], seed),
+            DatasetKind::Freqsh => climate2d(ClimateField::Freqsh, dims[0], dims[1], seed),
+            DatasetKind::Fldsc => climate2d(ClimateField::Fldsc, dims[0], dims[1], seed),
+            DatasetKind::HaccX => hacc1d(HaccField::X, dims[0], seed),
+            DatasetKind::HaccVx => hacc1d(HaccField::Vx, dims[0], seed),
+        };
+        Dataset { name: kind.name().to_string(), dims, data }
+    }
+
+    /// Wrap existing values with explicit dimensions.
+    pub fn from_values(name: impl Into<String>, dims: Vec<usize>, data: Vec<f32>) -> Dataset {
+        let expected: usize = dims.iter().product();
+        assert_eq!(expected, data.len(), "dims do not match value count");
+        Dataset { name: name.into(), dims, data }
+    }
+
+    /// Total number of values.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when the dataset holds no values.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Size of the uncompressed data in bytes.
+    pub fn nbytes(&self) -> usize {
+        self.data.len() * std::mem::size_of::<f32>()
+    }
+}
+
+/// Generate the full nine-dataset evaluation suite at `scale` with the
+/// default seed.
+pub fn standard_suite(scale: Scale) -> Vec<Dataset> {
+    DatasetKind::ALL
+        .iter()
+        .map(|&k| Dataset::generate(k, scale, DEFAULT_SEED))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_has_nine_members_with_right_shapes() {
+        let suite = standard_suite(Scale::Tiny);
+        assert_eq!(suite.len(), 9);
+        for ds in &suite {
+            let expected: usize = ds.dims.iter().product();
+            assert_eq!(ds.len(), expected, "{}", ds.name);
+            assert!(!ds.is_empty());
+        }
+    }
+
+    #[test]
+    fn names_round_trip() {
+        for kind in DatasetKind::ALL {
+            assert_eq!(DatasetKind::from_name(kind.name()), Some(kind));
+        }
+        assert_eq!(DatasetKind::from_name("cldhgh"), Some(DatasetKind::Cldhgh));
+        assert_eq!(DatasetKind::from_name("nope"), None);
+    }
+
+    #[test]
+    fn paper_scale_matches_table1() {
+        assert_eq!(Scale::Paper.dims(DatasetKind::Isotropic), vec![128, 128, 128]);
+        assert_eq!(Scale::Paper.dims(DatasetKind::Fldsc), vec![1800, 3600]);
+        assert_eq!(Scale::Paper.dims(DatasetKind::HaccX), vec![2097152]);
+    }
+
+    #[test]
+    fn scale_parsing() {
+        assert_eq!(Scale::from_name("TINY"), Some(Scale::Tiny));
+        assert_eq!(Scale::from_name("paper"), Some(Scale::Paper));
+        assert_eq!(Scale::from_name("huge"), None);
+    }
+
+    #[test]
+    fn generate_is_deterministic() {
+        let a = Dataset::generate(DatasetKind::Channel, Scale::Tiny, 5);
+        let b = Dataset::generate(DatasetKind::Channel, Scale::Tiny, 5);
+        assert_eq!(a.data, b.data);
+    }
+
+    #[test]
+    fn sources_and_ndims() {
+        assert_eq!(DatasetKind::Isotropic.source(), "JHTDB");
+        assert_eq!(DatasetKind::Phis.source(), "CESM-ATM");
+        assert_eq!(DatasetKind::HaccVx.source(), "HACC");
+        assert_eq!(DatasetKind::Channel.ndims(), 3);
+        assert_eq!(DatasetKind::Cldlow.ndims(), 2);
+        assert_eq!(DatasetKind::HaccX.ndims(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "dims do not match")]
+    fn from_values_checks_shape() {
+        Dataset::from_values("bad", vec![2, 3], vec![0.0; 5]);
+    }
+
+    #[test]
+    fn nbytes_is_four_per_value() {
+        let ds = Dataset::generate(DatasetKind::HaccX, Scale::Tiny, 1);
+        assert_eq!(ds.nbytes(), ds.len() * 4);
+    }
+}

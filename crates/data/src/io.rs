@@ -1,0 +1,82 @@
+//! Raw binary I/O in the SDRBench convention: little-endian `f32` values,
+//! no header — dimensions travel out of band.
+
+use std::fs::File;
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+/// Write a slice of `f32` as raw little-endian bytes.
+pub fn write_f32_file<P: AsRef<Path>>(path: P, data: &[f32]) -> io::Result<()> {
+    let mut w = BufWriter::new(File::create(path)?);
+    for &v in data {
+        w.write_all(&v.to_le_bytes())?;
+    }
+    w.flush()
+}
+
+/// Read a whole file of raw little-endian `f32`.
+///
+/// Errors if the file size is not a multiple of 4 bytes.
+pub fn read_f32_file<P: AsRef<Path>>(path: P) -> io::Result<Vec<f32>> {
+    let mut r = BufReader::new(File::open(path)?);
+    let mut bytes = Vec::new();
+    r.read_to_end(&mut bytes)?;
+    bytes_to_f32(&bytes)
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "file size not multiple of 4"))
+}
+
+/// Reinterpret little-endian bytes as `f32` values.
+pub fn bytes_to_f32(bytes: &[u8]) -> Option<Vec<f32>> {
+    if !bytes.len().is_multiple_of(4) {
+        return None;
+    }
+    Some(
+        bytes
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+            .collect(),
+    )
+}
+
+/// Serialize `f32` values to little-endian bytes.
+pub fn f32_to_bytes(data: &[f32]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(data.len() * 4);
+    for &v in data {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bytes_round_trip() {
+        let data = vec![1.5f32, -2.25, 0.0, f32::MIN_POSITIVE, 1e30];
+        let bytes = f32_to_bytes(&data);
+        assert_eq!(bytes.len(), 20);
+        assert_eq!(bytes_to_f32(&bytes).unwrap(), data);
+    }
+
+    #[test]
+    fn rejects_misaligned() {
+        assert!(bytes_to_f32(&[0, 1, 2]).is_none());
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir().join("dpz_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("roundtrip.f32");
+        let data: Vec<f32> = (0..1000).map(|i| (i as f32).sqrt()).collect();
+        write_f32_file(&path, &data).unwrap();
+        assert_eq!(read_f32_file(&path).unwrap(), data);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_file_errors() {
+        assert!(read_f32_file("/nonexistent/definitely/not/here.f32").is_err());
+    }
+}

@@ -1,0 +1,31 @@
+//! # dpz-data
+//!
+//! Dataset substrate and quality metrics for the DPZ reproduction.
+//!
+//! The paper evaluates on nine fields from three HPC applications
+//! (Table I): JHTDB turbulence (3-D), CESM-ATM climate (2-D) and HACC
+//! cosmology (1-D). Those multi-gigabyte archives are not redistributable
+//! here, so [`synthetic`] generates seeded, deterministic analogues that
+//! preserve the *statistical character* each experiment depends on —
+//! spectral slope and smoothness for turbulence, multi-scale smooth
+//! structure for climate fields, locality vs. near-whiteness for HACC x/vx.
+//! See DESIGN.md §2 for the substitution rationale.
+//!
+//! [`metrics`] implements the evaluation measures used throughout the
+//! paper's Section V: PSNR, bit-rate, compression ratio, and the data-range
+//! relative mean error θ. [`io`] reads/writes the raw little-endian `f32`
+//! format used by SDRBench, and [`pgm`] renders 2-D fields for the Figure 7
+//! visual comparison.
+
+#![warn(missing_docs)]
+
+pub mod dataset;
+pub mod io;
+pub mod metrics;
+pub mod pgm;
+pub mod rng;
+pub mod stats;
+pub mod synthetic;
+
+pub use dataset::{standard_suite, Dataset, DatasetKind, Scale};
+pub use metrics::QualityReport;

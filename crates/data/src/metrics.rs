@@ -1,0 +1,213 @@
+//! Compression quality and rate metrics (Section V-B of the paper).
+//!
+//! * **PSNR** `= 20·log10(range) − 10·log10(MSE)` in dB,
+//! * **bit-rate** `= bits-per-value / CR` (average bits per datapoint after
+//!   compression),
+//! * **compression ratio** `CR = original bytes / compressed bytes`,
+//! * **θ (mean relative error)** `= mean(|xᵢ − x̂ᵢ|) / range` — the
+//!   "data-range based error" reported in Table II.
+
+/// Full quality/rate report for one compression run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QualityReport {
+    /// Mean squared error between original and reconstruction.
+    pub mse: f64,
+    /// Peak signal-to-noise ratio in dB (infinite for exact reconstruction).
+    pub psnr: f64,
+    /// Largest absolute pointwise error.
+    pub max_abs_error: f64,
+    /// Mean absolute error divided by the original data range (paper's θ).
+    pub mean_rel_error: f64,
+    /// Value range (max − min) of the original data.
+    pub range: f64,
+    /// Compression ratio (original size / compressed size).
+    pub compression_ratio: f64,
+    /// Average bits per value after compression.
+    pub bit_rate: f64,
+}
+
+/// Mean squared error. Panics if lengths differ or inputs are empty.
+pub fn mse(original: &[f32], reconstructed: &[f32]) -> f64 {
+    assert_eq!(original.len(), reconstructed.len(), "mse length mismatch");
+    assert!(!original.is_empty(), "mse of empty data");
+    original
+        .iter()
+        .zip(reconstructed)
+        .map(|(&a, &b)| {
+            let d = f64::from(a) - f64::from(b);
+            d * d
+        })
+        .sum::<f64>()
+        / original.len() as f64
+}
+
+/// Value range (max − min) of a slice; 0 for constant data.
+pub fn value_range(data: &[f32]) -> f64 {
+    let (lo, hi) = data.iter().fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &v| {
+        (lo.min(f64::from(v)), hi.max(f64::from(v)))
+    });
+    (hi - lo).max(0.0)
+}
+
+/// PSNR in dB using the original's value range as peak.
+/// Exact reconstruction yields `f64::INFINITY`.
+pub fn psnr(original: &[f32], reconstructed: &[f32]) -> f64 {
+    let err = mse(original, reconstructed);
+    if err == 0.0 {
+        return f64::INFINITY;
+    }
+    let range = value_range(original);
+    if range == 0.0 {
+        return f64::NEG_INFINITY;
+    }
+    20.0 * range.log10() - 10.0 * err.log10()
+}
+
+/// Largest absolute pointwise error.
+pub fn max_abs_error(original: &[f32], reconstructed: &[f32]) -> f64 {
+    assert_eq!(original.len(), reconstructed.len());
+    original
+        .iter()
+        .zip(reconstructed)
+        .map(|(&a, &b)| (f64::from(a) - f64::from(b)).abs())
+        .fold(0.0, f64::max)
+}
+
+/// Paper's θ: mean absolute error normalized by the data range.
+pub fn mean_relative_error(original: &[f32], reconstructed: &[f32]) -> f64 {
+    assert_eq!(original.len(), reconstructed.len());
+    assert!(!original.is_empty());
+    let range = value_range(original);
+    if range == 0.0 {
+        return 0.0;
+    }
+    let mae = original
+        .iter()
+        .zip(reconstructed)
+        .map(|(&a, &b)| (f64::from(a) - f64::from(b)).abs())
+        .sum::<f64>()
+        / original.len() as f64;
+    mae / range
+}
+
+/// Compression ratio from byte counts.
+pub fn compression_ratio(original_bytes: usize, compressed_bytes: usize) -> f64 {
+    assert!(compressed_bytes > 0, "compressed size must be positive");
+    original_bytes as f64 / compressed_bytes as f64
+}
+
+/// Bit-rate: average compressed bits per data value.
+pub fn bit_rate(n_values: usize, compressed_bytes: usize) -> f64 {
+    assert!(n_values > 0);
+    compressed_bytes as f64 * 8.0 / n_values as f64
+}
+
+impl QualityReport {
+    /// Compute all metrics for one run. `compressed_bytes` is the size of the
+    /// complete serialized stream; the original is assumed `f32`-typed.
+    pub fn evaluate(
+        original: &[f32],
+        reconstructed: &[f32],
+        compressed_bytes: usize,
+    ) -> QualityReport {
+        QualityReport {
+            mse: mse(original, reconstructed),
+            psnr: psnr(original, reconstructed),
+            max_abs_error: max_abs_error(original, reconstructed),
+            mean_rel_error: mean_relative_error(original, reconstructed),
+            range: value_range(original),
+            compression_ratio: compression_ratio(
+                std::mem::size_of_val(original),
+                compressed_bytes,
+            ),
+            bit_rate: bit_rate(original.len(), compressed_bytes),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mse_zero_for_identical() {
+        let a = vec![1.0f32, 2.0, 3.0];
+        assert_eq!(mse(&a, &a), 0.0);
+        assert_eq!(psnr(&a, &a), f64::INFINITY);
+    }
+
+    #[test]
+    fn mse_known_value() {
+        let a = vec![0.0f32, 0.0];
+        let b = vec![3.0f32, 4.0];
+        assert!((mse(&a, &b) - 12.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn psnr_matches_definition() {
+        // range 10, uniform error 0.1 => MSE = 0.01,
+        // PSNR = 20*log10(10) - 10*log10(0.01) = 20 + 20 = 40 dB.
+        let a: Vec<f32> = (0..101).map(|i| i as f32 * 0.1).collect();
+        let b: Vec<f32> = a.iter().map(|&v| v + 0.1).collect();
+        let p = psnr(&a, &b);
+        assert!((p - 40.0).abs() < 0.2, "psnr {p}");
+    }
+
+    #[test]
+    fn psnr_decreases_with_more_error() {
+        let a: Vec<f32> = (0..100).map(|i| i as f32).collect();
+        let small: Vec<f32> = a.iter().map(|&v| v + 0.01).collect();
+        let large: Vec<f32> = a.iter().map(|&v| v + 1.0).collect();
+        assert!(psnr(&a, &small) > psnr(&a, &large));
+    }
+
+    #[test]
+    fn theta_normalizes_by_range() {
+        let a = vec![0.0f32, 100.0];
+        let b = vec![1.0f32, 101.0];
+        assert!((mean_relative_error(&a, &b) - 0.01).abs() < 1e-12);
+    }
+
+    #[test]
+    fn constant_data_edge_cases() {
+        let a = vec![5.0f32; 10];
+        let b = vec![5.5f32; 10];
+        assert_eq!(value_range(&a), 0.0);
+        assert_eq!(mean_relative_error(&a, &b), 0.0);
+        assert_eq!(psnr(&a, &b), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn ratio_and_bitrate() {
+        assert_eq!(compression_ratio(4000, 400), 10.0);
+        // 1000 f32 values in 500 bytes = 4 bits/value; CR = 8.
+        assert_eq!(bit_rate(1000, 500), 4.0);
+    }
+
+    #[test]
+    fn bitrate_inverse_to_cr() {
+        // bit_rate = 32 / CR for f32 data.
+        let n = 777;
+        let compressed = 123;
+        let cr = compression_ratio(n * 4, compressed);
+        let br = bit_rate(n, compressed);
+        assert!((br - 32.0 / cr).abs() < 1e-12);
+    }
+
+    #[test]
+    fn report_is_consistent() {
+        let a: Vec<f32> = (0..1000).map(|i| (i as f32 * 0.01).sin()).collect();
+        let b: Vec<f32> = a.iter().map(|&v| v + 0.001).collect();
+        let rep = QualityReport::evaluate(&a, &b, 1000);
+        assert!((rep.compression_ratio - 4.0).abs() < 1e-12);
+        assert!((rep.bit_rate - 8.0).abs() < 1e-12);
+        assert!(rep.max_abs_error >= rep.mean_rel_error * rep.range - 1e-12);
+        assert!(rep.psnr.is_finite());
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mse_rejects_mismatched_lengths() {
+        mse(&[1.0], &[1.0, 2.0]);
+    }
+}

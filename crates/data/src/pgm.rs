@@ -1,0 +1,76 @@
+//! Minimal PGM (portable graymap) writer for the Figure 7 visual comparison:
+//! renders a 2-D field to an 8-bit grayscale image, normalizing the value
+//! range to 0..=255.
+
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+
+/// Quantize a 2-D field (`rows x cols`, row-major) into 8-bit gray levels.
+/// A constant field renders mid-gray.
+pub fn to_gray(data: &[f32], rows: usize, cols: usize) -> Vec<u8> {
+    assert_eq!(data.len(), rows * cols, "to_gray shape mismatch");
+    let (lo, hi) = data.iter().fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &v| {
+        (lo.min(f64::from(v)), hi.max(f64::from(v)))
+    });
+    let span = hi - lo;
+    data.iter()
+        .map(|&v| {
+            if span <= 0.0 {
+                128
+            } else {
+                (((f64::from(v) - lo) / span) * 255.0).round().clamp(0.0, 255.0) as u8
+            }
+        })
+        .collect()
+}
+
+/// Write a binary PGM (P5) image.
+pub fn write_pgm<P: AsRef<Path>>(
+    path: P,
+    data: &[f32],
+    rows: usize,
+    cols: usize,
+) -> io::Result<()> {
+    let gray = to_gray(data, rows, cols);
+    let mut w = BufWriter::new(File::create(path)?);
+    write!(w, "P5\n{cols} {rows}\n255\n")?;
+    w.write_all(&gray)?;
+    w.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gray_normalization() {
+        let data = vec![0.0f32, 5.0, 10.0];
+        let g = to_gray(&data, 1, 3);
+        assert_eq!(g, vec![0, 128, 255]);
+    }
+
+    #[test]
+    fn constant_field_is_midgray() {
+        let g = to_gray(&[3.3f32; 4], 2, 2);
+        assert_eq!(g, vec![128; 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn shape_checked() {
+        to_gray(&[1.0], 2, 2);
+    }
+
+    #[test]
+    fn pgm_file_has_header_and_payload() {
+        let dir = std::env::temp_dir().join("dpz_pgm_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.pgm");
+        write_pgm(&path, &[0.0, 1.0, 2.0, 3.0], 2, 2).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        assert!(bytes.starts_with(b"P5\n2 2\n255\n"));
+        assert_eq!(bytes.len(), b"P5\n2 2\n255\n".len() + 4);
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,194 @@
+//! Dataset characterization statistics.
+//!
+//! These are the measurements used to argue that the synthetic analogues in
+//! [`crate::synthetic`] stand in for the paper's real datasets (DESIGN.md
+//! §2): sample entropy, lag autocorrelation, and the high-frequency energy
+//! fraction (a cheap proxy for spectral slope). The `dataset_stats`
+//! experiment binary prints them for the whole suite.
+
+/// Shannon entropy (bits) of an equal-width histogram with `bins` buckets.
+///
+/// This is the estimator SZ-style compressors use to reason about value
+/// diversity; constant data has entropy 0, a uniform spread approaches
+/// `log2(bins)`.
+pub fn histogram_entropy(data: &[f32], bins: usize) -> f64 {
+    assert!(bins >= 2 && !data.is_empty());
+    let (lo, hi) = data.iter().fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &v| {
+        (lo.min(f64::from(v)), hi.max(f64::from(v)))
+    });
+    let span = hi - lo;
+    if span <= 0.0 {
+        return 0.0;
+    }
+    let mut counts = vec![0usize; bins];
+    for &v in data {
+        let idx = (((f64::from(v) - lo) / span) * bins as f64) as usize;
+        counts[idx.min(bins - 1)] += 1;
+    }
+    let n = data.len() as f64;
+    counts
+        .iter()
+        .filter(|&&c| c > 0)
+        .map(|&c| {
+            let p = c as f64 / n;
+            -p * p.log2()
+        })
+        .sum()
+}
+
+/// Autocorrelation at the given lag (`0 < lag < len`). Returns 0 for
+/// constant data.
+pub fn autocorrelation(data: &[f32], lag: usize) -> f64 {
+    assert!(lag > 0 && lag < data.len());
+    let n = data.len();
+    let mean = data.iter().map(|&v| f64::from(v)).sum::<f64>() / n as f64;
+    let mut num = 0.0;
+    let mut den = 0.0;
+    for (i, &v) in data.iter().enumerate() {
+        let d = f64::from(v) - mean;
+        den += d * d;
+        if i + lag < n {
+            num += d * (f64::from(data[i + lag]) - mean);
+        }
+    }
+    if den <= 0.0 {
+        0.0
+    } else {
+        num / den
+    }
+}
+
+/// Fraction of total (centered) energy carried by first differences:
+/// `sum (x[i+1]-x[i])² / (2·sum (x[i]-mean)²)`.
+///
+/// White noise scores ≈ 1, a smooth field ≈ 0 — a scale-free roughness
+/// measure tied to the spectral slope (it equals `1 - autocorr(1)` for a
+/// stationary series).
+pub fn roughness(data: &[f32]) -> f64 {
+    assert!(data.len() >= 2);
+    let n = data.len();
+    let mean = data.iter().map(|&v| f64::from(v)).sum::<f64>() / n as f64;
+    let mut diff = 0.0;
+    for w in data.windows(2) {
+        let d = f64::from(w[1]) - f64::from(w[0]);
+        diff += d * d;
+    }
+    let var: f64 = data
+        .iter()
+        .map(|&v| {
+            let d = f64::from(v) - mean;
+            d * d
+        })
+        .sum();
+    if var <= 0.0 {
+        0.0
+    } else {
+        (diff / (2.0 * var)).min(2.0)
+    }
+}
+
+/// Log–log slope of the 1-D power spectrum estimated from dyadic band
+/// energies of the data's leading segment (power-of-two truncated). More
+/// negative = smoother; Kolmogorov turbulence gives roughly -5/3 along a
+/// line.
+pub fn spectral_slope(data: &[f32]) -> f64 {
+    use dpz_linalg::fft::{fft, Complex};
+    let n = (data.len().next_power_of_two() / 2).min(1 << 16);
+    assert!(n >= 8, "need at least 8 samples for a spectral slope");
+    let mut buf: Vec<Complex> =
+        data[..n].iter().map(|&v| Complex::new(f64::from(v), 0.0)).collect();
+    fft(&mut buf);
+    // Dyadic band energies over 1..n/2.
+    let mut xs = Vec::new();
+    let mut ys = Vec::new();
+    let mut lo = 1usize;
+    while 2 * lo <= n / 2 {
+        let hi = 2 * lo;
+        let energy: f64 = (lo..hi).map(|k| buf[k].norm_sqr()).sum::<f64>() / (hi - lo) as f64;
+        if energy > 0.0 {
+            xs.push(((lo + hi) as f64 / 2.0).ln());
+            ys.push(energy.ln());
+        }
+        lo = hi;
+    }
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    // Least-squares slope.
+    let mx = xs.iter().sum::<f64>() / xs.len() as f64;
+    let my = ys.iter().sum::<f64>() / ys.len() as f64;
+    let mut num = 0.0;
+    let mut den = 0.0;
+    for (x, y) in xs.iter().zip(&ys) {
+        num += (x - mx) * (y - my);
+        den += (x - mx) * (x - mx);
+    }
+    num / den
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn white(n: usize) -> Vec<f32> {
+        let mut s = 77u64;
+        (0..n)
+            .map(|_| {
+                s ^= s << 13;
+                s ^= s >> 7;
+                s ^= s << 17;
+                ((s >> 11) as f64 / (1u64 << 53) as f64 - 0.5) as f32
+            })
+            .collect()
+    }
+
+    fn smooth(n: usize) -> Vec<f32> {
+        (0..n).map(|i| (i as f32 * 0.01).sin()).collect()
+    }
+
+    #[test]
+    fn entropy_bounds() {
+        assert_eq!(histogram_entropy(&[5.0; 100], 32), 0.0);
+        let e = histogram_entropy(&white(10_000), 32);
+        assert!(e > 4.5 && e <= 5.0, "near-uniform entropy {e}");
+    }
+
+    #[test]
+    fn autocorrelation_separates_smooth_from_white() {
+        assert!(autocorrelation(&smooth(4096), 1) > 0.99);
+        assert!(autocorrelation(&white(4096), 1).abs() < 0.1);
+    }
+
+    #[test]
+    fn roughness_separates_too() {
+        assert!(roughness(&smooth(4096)) < 0.01);
+        let r = roughness(&white(4096));
+        assert!((0.7..=1.5).contains(&r), "white roughness {r}");
+        assert_eq!(roughness(&[3.0, 3.0, 3.0]), 0.0);
+    }
+
+    #[test]
+    fn roughness_equals_one_minus_autocorr() {
+        let data = white(8192);
+        let r = roughness(&data);
+        let a = autocorrelation(&data, 1);
+        assert!((r - (1.0 - a)).abs() < 0.05, "r {r} vs 1-a {}", 1.0 - a);
+    }
+
+    #[test]
+    fn spectral_slope_orders_smoothness() {
+        let s_smooth = spectral_slope(&smooth(4096));
+        let s_white = spectral_slope(&white(4096));
+        assert!(
+            s_smooth < s_white - 1.0,
+            "smooth slope {s_smooth} should be far below white {s_white}"
+        );
+        assert!(s_white.abs() < 1.0, "white spectrum should be ~flat: {s_white}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 8")]
+    fn spectral_slope_needs_samples() {
+        spectral_slope(&[1.0; 4]);
+    }
+}

@@ -1,0 +1,443 @@
+//! Canonical Huffman codes: length-limited construction from symbol
+//! frequencies (encoder side) and canonical decoding tables (decoder side).
+//!
+//! DEFLATE transmits only the *code lengths*; both sides then derive the same
+//! canonical codes (RFC 1951 §3.2.2). Codes are written MSB-first into the
+//! LSB-first bit stream, so the encoder stores each code pre-reversed.
+
+use crate::bitio::{BitReader, BitWriter};
+use crate::{DeflateError, Result};
+
+/// Maximum code length DEFLATE permits for literal/length/distance codes.
+pub const MAX_BITS: usize = 15;
+
+/// Compute length-limited Huffman code lengths for the given frequencies.
+///
+/// Builds an optimal Huffman tree, then (rarely) flattens any code deeper
+/// than `max_bits` while keeping the Kraft inequality tight. Symbols with
+/// zero frequency get length 0 (absent). If only one symbol is present it
+/// gets length 1, as DEFLATE requires at least one bit per coded symbol.
+pub fn build_code_lengths(freqs: &[u64], max_bits: usize) -> Vec<u8> {
+    let n = freqs.len();
+    let mut lengths = vec![0u8; n];
+    let used: Vec<usize> = (0..n).filter(|&i| freqs[i] > 0).collect();
+    match used.len() {
+        0 => return lengths,
+        1 => {
+            lengths[used[0]] = 1;
+            return lengths;
+        }
+        _ => {}
+    }
+
+    // Heap-based Huffman tree; node = (freq, tie-break id, index).
+    // Leaves are 0..n, internal nodes n..; `parent` chains let us read off
+    // depths at the end.
+    #[derive(PartialEq, Eq)]
+    struct Node {
+        freq: u64,
+        id: usize,
+    }
+    impl Ord for Node {
+        fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+            // Reverse for a min-heap on freq, then id for determinism.
+            other.freq.cmp(&self.freq).then(other.id.cmp(&self.id))
+        }
+    }
+    impl PartialOrd for Node {
+        fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+
+    let mut heap = std::collections::BinaryHeap::new();
+    let mut parent = vec![usize::MAX; 2 * used.len()];
+    // Map heap ids to tree slots: first used.len() slots are leaves.
+    for (slot, &sym) in used.iter().enumerate() {
+        heap.push(Node { freq: freqs[sym], id: slot });
+    }
+    let mut next_id = used.len();
+    while heap.len() > 1 {
+        let a = heap.pop().unwrap();
+        let b = heap.pop().unwrap();
+        parent[a.id] = next_id;
+        parent[b.id] = next_id;
+        heap.push(Node { freq: a.freq.saturating_add(b.freq), id: next_id });
+        next_id += 1;
+    }
+
+    // Depth of each leaf = number of parent hops to the root.
+    let root = heap.pop().unwrap().id;
+    for (slot, &sym) in used.iter().enumerate() {
+        let mut depth = 0u32;
+        let mut node = slot;
+        while node != root {
+            node = parent[node];
+            depth += 1;
+        }
+        lengths[sym] = depth.min(255) as u8;
+    }
+
+    limit_lengths(&mut lengths, max_bits);
+    lengths
+}
+
+/// Enforce `max_bits` on a set of Huffman code lengths while keeping the
+/// Kraft sum exactly 1 (a complete code). Standard clamp-and-repair.
+///
+/// If `max_bits` cannot represent the number of used symbols at all
+/// (`used > 2^max_bits`), the limit is raised to the smallest feasible
+/// depth — callers with hard format limits (DEFLATE: 15 bits for ≤288
+/// symbols) can never trigger this, but large open alphabets (e.g. SZ
+/// quantization codes) can.
+fn limit_lengths(lengths: &mut [u8], max_bits: usize) {
+    let used = lengths.iter().filter(|&&l| l > 0).count();
+    let feasible = usize::BITS - used.next_power_of_two().leading_zeros() - 1;
+    let max_bits = max_bits.max(feasible as usize) as u8;
+    if lengths.iter().all(|&l| l <= max_bits) {
+        return;
+    }
+    for l in lengths.iter_mut() {
+        if *l > max_bits {
+            *l = max_bits;
+        }
+    }
+    // Kraft sum in units of 2^-max_bits.
+    let unit = |l: u8| 1u64 << (max_bits - l);
+    let budget = 1u64 << max_bits;
+    let mut kraft: u64 = lengths.iter().filter(|&&l| l > 0).map(|&l| unit(l)).sum();
+    // Overfull: deepen the shallowest over-contributing symbols.
+    while kraft > budget {
+        // Pick the deepest symbol shallower than max_bits and push it down;
+        // this reduces the sum by unit(l) / 2.
+        #[allow(clippy::unwrap_or_default)]
+        let idx = (0..lengths.len())
+            .filter(|&i| lengths[i] > 0 && lengths[i] < max_bits)
+            .max_by_key(|&i| lengths[i])
+            .expect("kraft overfull but all codes already at max length");
+        kraft -= unit(lengths[idx]) / 2;
+        lengths[idx] += 1;
+    }
+    // Underfull (possible after the clamp): raise the deepest codes back up.
+    while let Some(idx) = (0..lengths.len())
+        .filter(|&i| lengths[i] > 1)
+        .max_by_key(|&i| lengths[i])
+    {
+        let gain = unit(lengths[idx]); // moving up one level adds `gain`
+        if kraft + gain > budget {
+            break;
+        }
+        kraft += gain;
+        lengths[idx] -= 1;
+    }
+}
+
+/// Reverse the low `len` bits of `code`.
+#[inline]
+fn reverse_bits(code: u32, len: u8) -> u32 {
+    let mut v = code;
+    let mut out = 0u32;
+    for _ in 0..len {
+        out = (out << 1) | (v & 1);
+        v >>= 1;
+    }
+    out
+}
+
+/// Encoder-side canonical Huffman code table.
+#[derive(Debug, Clone)]
+pub struct Encoder {
+    /// Pre-reversed code bits per symbol (ready for the LSB-first writer).
+    codes: Vec<u32>,
+    lengths: Vec<u8>,
+}
+
+impl Encoder {
+    /// Derive canonical codes from code lengths (RFC 1951 §3.2.2).
+    pub fn from_lengths(lengths: &[u8]) -> Encoder {
+        let max_len = lengths.iter().cloned().max().unwrap_or(0) as usize;
+        let mut bl_count = vec![0u32; max_len + 1];
+        for &l in lengths {
+            if l > 0 {
+                bl_count[l as usize] += 1;
+            }
+        }
+        let mut next_code = vec![0u32; max_len + 2];
+        let mut code = 0u32;
+        for bits in 1..=max_len {
+            code = (code + bl_count[bits - 1]) << 1;
+            next_code[bits] = code;
+        }
+        let mut codes = vec![0u32; lengths.len()];
+        for (sym, &l) in lengths.iter().enumerate() {
+            if l > 0 {
+                codes[sym] = reverse_bits(next_code[l as usize], l);
+                next_code[l as usize] += 1;
+            }
+        }
+        Encoder { codes, lengths: lengths.to_vec() }
+    }
+
+    /// Emit symbol `sym` into the bit stream.
+    #[inline]
+    pub fn write(&self, w: &mut BitWriter, sym: usize) {
+        let len = self.lengths[sym];
+        debug_assert!(len > 0, "writing symbol {sym} with no code");
+        w.write_bits(self.codes[sym], len as u32);
+    }
+
+    /// Code length of `sym` in bits (0 = absent).
+    #[inline]
+    pub fn length(&self, sym: usize) -> u8 {
+        self.lengths[sym]
+    }
+
+    /// The code lengths backing this table.
+    pub fn lengths(&self) -> &[u8] {
+        &self.lengths
+    }
+}
+
+/// Decoder-side canonical Huffman table. Decodes one symbol at a time by
+/// walking the canonical first-code/offset arrays per bit — simple and
+/// allocation-free after construction.
+#[derive(Debug, Clone)]
+pub struct Decoder {
+    /// `first_code[l]`: smallest canonical code of length `l` (MSB-first).
+    first_code: Vec<u32>,
+    /// `first_index[l]`: index into `symbols` of that code.
+    first_index: Vec<u32>,
+    /// Count of codes at each length.
+    counts: Vec<u32>,
+    /// Symbols sorted by (length, symbol) — canonical order.
+    symbols: Vec<u16>,
+    max_len: usize,
+}
+
+impl Decoder {
+    /// Build a decoding table from code lengths. Rejects over-subscribed
+    /// codes (Kraft sum > 1); incomplete codes are accepted (some encoders
+    /// emit them for degenerate alphabets).
+    pub fn from_lengths(lengths: &[u8]) -> Result<Decoder> {
+        let max_len = lengths.iter().cloned().max().unwrap_or(0) as usize;
+        if max_len == 0 {
+            return Ok(Decoder {
+                first_code: vec![],
+                first_index: vec![],
+                counts: vec![],
+                symbols: vec![],
+                max_len: 0,
+            });
+        }
+        let mut counts = vec![0u32; max_len + 1];
+        for &l in lengths {
+            if l > 0 {
+                counts[l as usize] += 1;
+            }
+        }
+        // Kraft check.
+        let mut left = 1i64;
+        for &count in counts.iter().take(max_len + 1).skip(1) {
+            left <<= 1;
+            left -= count as i64;
+            if left < 0 {
+                return Err(DeflateError::Corrupt("oversubscribed huffman code"));
+            }
+        }
+        let mut first_code = vec![0u32; max_len + 1];
+        let mut first_index = vec![0u32; max_len + 1];
+        let mut code = 0u32;
+        let mut index = 0u32;
+        for bits in 1..=max_len {
+            first_code[bits] = code;
+            first_index[bits] = index;
+            code = (code + counts[bits]) << 1;
+            index += counts[bits];
+        }
+        // Canonical symbol order.
+        let mut symbols = vec![0u16; index as usize];
+        let mut next = first_index.clone();
+        for (sym, &l) in lengths.iter().enumerate() {
+            if l > 0 {
+                symbols[next[l as usize] as usize] = sym as u16;
+                next[l as usize] += 1;
+            }
+        }
+        Ok(Decoder { first_code, first_index, counts, symbols, max_len })
+    }
+
+    /// Decode the next symbol from the bit stream.
+    pub fn read(&self, r: &mut BitReader<'_>) -> Result<u16> {
+        if self.max_len == 0 {
+            return Err(DeflateError::Corrupt("decode with empty huffman table"));
+        }
+        let mut code = 0u32;
+        for bits in 1..=self.max_len {
+            code = (code << 1) | r.read_bit()?;
+            let count = self.counts[bits];
+            let first = self.first_code[bits];
+            if count != 0 && code < first + count {
+                let idx = self.first_index[bits] + (code - first);
+                return Ok(self.symbols[idx as usize]);
+            }
+        }
+        Err(DeflateError::Corrupt("invalid huffman code"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kraft_ok(lengths: &[u8]) -> bool {
+        let max = *lengths.iter().max().unwrap_or(&0) as u32;
+        if max == 0 {
+            return true;
+        }
+        let sum: u64 = lengths
+            .iter()
+            .filter(|&&l| l > 0)
+            .map(|&l| 1u64 << (max - l as u32))
+            .sum();
+        sum <= 1u64 << max
+    }
+
+    #[test]
+    fn lengths_for_skewed_freqs() {
+        // Very skewed distribution: frequent symbol gets a short code.
+        let freqs = [1000u64, 10, 10, 1];
+        let lengths = build_code_lengths(&freqs, MAX_BITS);
+        assert_eq!(lengths[0], 1);
+        assert!(lengths[3] >= lengths[1]);
+        assert!(kraft_ok(&lengths));
+    }
+
+    #[test]
+    fn zero_freq_symbols_are_absent() {
+        let freqs = [5u64, 0, 7, 0, 3];
+        let lengths = build_code_lengths(&freqs, MAX_BITS);
+        assert_eq!(lengths[1], 0);
+        assert_eq!(lengths[3], 0);
+        assert!(lengths[0] > 0 && lengths[2] > 0 && lengths[4] > 0);
+    }
+
+    #[test]
+    fn single_symbol_gets_one_bit() {
+        let freqs = [0u64, 42, 0];
+        let lengths = build_code_lengths(&freqs, MAX_BITS);
+        assert_eq!(lengths, vec![0, 1, 0]);
+    }
+
+    #[test]
+    fn empty_frequencies() {
+        assert_eq!(build_code_lengths(&[0, 0, 0], MAX_BITS), vec![0, 0, 0]);
+    }
+
+    #[test]
+    fn length_limiting_kicks_in() {
+        // Fibonacci-ish frequencies force a degenerate deep tree.
+        let mut freqs = vec![0u64; 40];
+        let (mut a, mut b) = (1u64, 1u64);
+        for f in freqs.iter_mut() {
+            *f = a;
+            let c = a + b;
+            a = b;
+            b = c;
+        }
+        let lengths = build_code_lengths(&freqs, MAX_BITS);
+        assert!(lengths.iter().all(|&l| l as usize <= MAX_BITS));
+        assert!(kraft_ok(&lengths));
+    }
+
+    #[test]
+    fn complete_code_after_limiting() {
+        // The repaired code should be complete (Kraft sum == 1) so the
+        // decoder accepts every bit pattern prefix.
+        let mut freqs = vec![0u64; 30];
+        let (mut a, mut b) = (1u64, 2u64);
+        for f in freqs.iter_mut() {
+            *f = a;
+            let c = a + b;
+            a = b;
+            b = c;
+        }
+        let lengths = build_code_lengths(&freqs, MAX_BITS);
+        let max = *lengths.iter().max().unwrap() as u32;
+        let sum: u64 = lengths
+            .iter()
+            .filter(|&&l| l > 0)
+            .map(|&l| 1u64 << (max - l as u32))
+            .sum();
+        assert_eq!(sum, 1u64 << max, "limited code should stay complete");
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let freqs: Vec<u64> = (1..=20).map(|i| i * i).collect();
+        let lengths = build_code_lengths(&freqs, MAX_BITS);
+        let enc = Encoder::from_lengths(&lengths);
+        let dec = Decoder::from_lengths(&lengths).unwrap();
+
+        let msg: Vec<usize> = (0..2000).map(|i| (i * 7 + i / 3) % 20).collect();
+        let mut w = BitWriter::new();
+        for &s in &msg {
+            enc.write(&mut w, s);
+        }
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        for &s in &msg {
+            assert_eq!(dec.read(&mut r).unwrap() as usize, s);
+        }
+    }
+
+    #[test]
+    fn canonical_codes_match_rfc_example() {
+        // RFC 1951 §3.2.2 example: lengths (3,3,3,3,3,2,4,4) yield codes
+        // 010,011,100,101,110,00,1110,1111.
+        let lengths = [3u8, 3, 3, 3, 3, 2, 4, 4];
+        let enc = Encoder::from_lengths(&lengths);
+        let expected = [0b010u32, 0b011, 0b100, 0b101, 0b110, 0b00, 0b1110, 0b1111];
+        for (sym, &code) in expected.iter().enumerate() {
+            let len = lengths[sym];
+            assert_eq!(enc.codes[sym], reverse_bits(code, len), "symbol {sym}");
+        }
+    }
+
+    #[test]
+    fn decoder_rejects_oversubscribed() {
+        // Three codes of length 1 cannot exist.
+        assert!(Decoder::from_lengths(&[1, 1, 1]).is_err());
+    }
+
+    #[test]
+    fn decoder_rejects_garbage_bits_for_incomplete_code() {
+        // Single 1-bit code: pattern `1` is undefined.
+        let dec = Decoder::from_lengths(&[1, 0]).unwrap();
+        let data = [0xFFu8];
+        let mut r = BitReader::new(&data);
+        assert!(dec.read(&mut r).is_err());
+    }
+
+    #[test]
+    fn entropy_optimality_sanity() {
+        // Average code length must be within one bit of the entropy.
+        let freqs: Vec<u64> = vec![900, 50, 25, 15, 7, 2, 1];
+        let total: u64 = freqs.iter().sum();
+        let lengths = build_code_lengths(&freqs, MAX_BITS);
+        let avg: f64 = freqs
+            .iter()
+            .zip(&lengths)
+            .map(|(&f, &l)| f as f64 * l as f64)
+            .sum::<f64>()
+            / total as f64;
+        let entropy: f64 = freqs
+            .iter()
+            .filter(|&&f| f > 0)
+            .map(|&f| {
+                let p = f as f64 / total as f64;
+                -p * p.log2()
+            })
+            .sum();
+        assert!(avg < entropy + 1.0, "avg {avg} vs entropy {entropy}");
+    }
+}

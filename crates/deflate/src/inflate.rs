@@ -1,0 +1,223 @@
+//! DEFLATE decoder (RFC 1951).
+
+use crate::bitio::BitReader;
+use crate::deflate::{
+    fixed_dist_lengths, fixed_lit_lengths, CLC_ORDER, DIST_BASE, DIST_EXTRA, LENGTH_BASE,
+    LENGTH_EXTRA,
+};
+use crate::huffman::Decoder;
+use crate::{DeflateError, Result};
+
+/// Decompress a raw DEFLATE stream into bytes.
+pub fn inflate(data: &[u8]) -> Result<Vec<u8>> {
+    let mut r = BitReader::new(data);
+    let mut out = Vec::with_capacity(data.len() * 3);
+    loop {
+        let bfinal = r.read_bit()?;
+        let btype = r.read_bits(2)?;
+        match btype {
+            0b00 => read_stored_block(&mut r, &mut out)?,
+            0b01 => {
+                let lit = Decoder::from_lengths(&fixed_lit_lengths())?;
+                let dist = Decoder::from_lengths(&fixed_dist_lengths())?;
+                read_huffman_block(&mut r, &mut out, &lit, &dist)?;
+            }
+            0b10 => {
+                let (lit, dist) = read_dynamic_tables(&mut r)?;
+                read_huffman_block(&mut r, &mut out, &lit, &dist)?;
+            }
+            _ => return Err(DeflateError::Corrupt("reserved block type 11")),
+        }
+        if bfinal == 1 {
+            break;
+        }
+    }
+    Ok(out)
+}
+
+fn read_stored_block(r: &mut BitReader<'_>, out: &mut Vec<u8>) -> Result<()> {
+    r.align_to_byte();
+    let header = r.read_bytes(4)?;
+    let len = u16::from_le_bytes([header[0], header[1]]);
+    let nlen = u16::from_le_bytes([header[2], header[3]]);
+    if len != !nlen {
+        return Err(DeflateError::Corrupt("stored block LEN/NLEN mismatch"));
+    }
+    out.extend_from_slice(&r.read_bytes(len as usize)?);
+    Ok(())
+}
+
+/// Parse the dynamic block header into literal/length and distance decoders.
+fn read_dynamic_tables(r: &mut BitReader<'_>) -> Result<(Decoder, Decoder)> {
+    let hlit = r.read_bits(5)? as usize + 257;
+    let hdist = r.read_bits(5)? as usize + 1;
+    let hclen = r.read_bits(4)? as usize + 4;
+    if hlit > 286 || hdist > 30 {
+        return Err(DeflateError::Corrupt("dynamic header counts out of range"));
+    }
+    let mut clc_lengths = [0u8; 19];
+    for &sym in CLC_ORDER.iter().take(hclen) {
+        clc_lengths[sym] = r.read_bits(3)? as u8;
+    }
+    let clc = Decoder::from_lengths(&clc_lengths)?;
+
+    // Decode hlit + hdist code lengths with the RLE alphabet.
+    let total = hlit + hdist;
+    let mut lengths = Vec::with_capacity(total);
+    while lengths.len() < total {
+        let sym = clc.read(r)?;
+        match sym {
+            0..=15 => lengths.push(sym as u8),
+            16 => {
+                let &prev = lengths
+                    .last()
+                    .ok_or(DeflateError::Corrupt("repeat code with no previous length"))?;
+                let count = 3 + r.read_bits(2)? as usize;
+                for _ in 0..count {
+                    lengths.push(prev);
+                }
+            }
+            17 => {
+                let count = 3 + r.read_bits(3)? as usize;
+                lengths.extend(std::iter::repeat_n(0u8, count));
+            }
+            18 => {
+                let count = 11 + r.read_bits(7)? as usize;
+                lengths.extend(std::iter::repeat_n(0u8, count));
+            }
+            _ => return Err(DeflateError::Corrupt("invalid code length symbol")),
+        }
+    }
+    if lengths.len() != total {
+        return Err(DeflateError::Corrupt("code length run overflows header counts"));
+    }
+    if lengths[256] == 0 {
+        return Err(DeflateError::Corrupt("end-of-block symbol has no code"));
+    }
+    let lit = Decoder::from_lengths(&lengths[..hlit])?;
+    let dist = Decoder::from_lengths(&lengths[hlit..])?;
+    Ok((lit, dist))
+}
+
+fn read_huffman_block(
+    r: &mut BitReader<'_>,
+    out: &mut Vec<u8>,
+    lit: &Decoder,
+    dist: &Decoder,
+) -> Result<()> {
+    loop {
+        let sym = lit.read(r)? as usize;
+        match sym {
+            0..=255 => out.push(sym as u8),
+            256 => return Ok(()),
+            257..=285 => {
+                let idx = sym - 257;
+                let extra = LENGTH_EXTRA[idx];
+                let len =
+                    LENGTH_BASE[idx] as usize + r.read_bits(u32::from(extra))? as usize;
+                let dsym = dist.read(r)? as usize;
+                if dsym >= 30 {
+                    return Err(DeflateError::Corrupt("invalid distance code"));
+                }
+                let dextra = DIST_EXTRA[dsym];
+                let d = DIST_BASE[dsym] as usize + r.read_bits(u32::from(dextra))? as usize;
+                if d > out.len() {
+                    return Err(DeflateError::Corrupt("distance beyond output start"));
+                }
+                let start = out.len() - d;
+                // Byte-at-a-time copy: overlapping copies (d < len) are the
+                // RLE case and must see freshly written bytes.
+                for i in 0..len {
+                    let b = out[start + i];
+                    out.push(b);
+                }
+            }
+            _ => return Err(DeflateError::Corrupt("invalid literal/length symbol")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::deflate::{deflate_compress, CompressionLevel};
+
+    #[test]
+    fn inflate_known_fixed_block() {
+        // A hand-checkable stream: compress then immediately decode.
+        let data = b"aaaaaaaaaaaaaaaaaaaaaaaabbbb";
+        let packed = deflate_compress(data, CompressionLevel::Default);
+        assert_eq!(inflate(&packed).unwrap(), data);
+    }
+
+    #[test]
+    fn rejects_reserved_block_type() {
+        // BFINAL=1, BTYPE=11.
+        let stream = [0b0000_0111u8];
+        assert_eq!(
+            inflate(&stream),
+            Err(DeflateError::Corrupt("reserved block type 11"))
+        );
+    }
+
+    #[test]
+    fn rejects_bad_stored_nlen() {
+        // BFINAL=1, BTYPE=00, aligned; LEN=1, NLEN=wrong, one byte payload.
+        let stream = [0b0000_0001u8, 0x01, 0x00, 0x00, 0x00, 0xAA];
+        assert!(matches!(inflate(&stream), Err(DeflateError::Corrupt(_))));
+    }
+
+    #[test]
+    fn rejects_distance_past_start() {
+        // Build a valid stream then tamper is fiddly; instead decode a fixed
+        // block that immediately references distance 1 with no history.
+        // Fixed code for length 257+0 (sym 257, 7 bits: 0000001) and distance
+        // code 0 (5 bits). Construct via encoder for reliability, then check
+        // decoding a *crafted* stream errors. Simplest: stream of a single
+        // match at the very beginning produced by hand.
+        use crate::bitio::BitWriter;
+        use crate::huffman::Encoder;
+        let mut w = BitWriter::new();
+        w.write_bits(1, 1); // BFINAL
+        w.write_bits(0b01, 2); // fixed
+        let lit = Encoder::from_lengths(&crate::deflate::fixed_lit_lengths());
+        let dist = Encoder::from_lengths(&crate::deflate::fixed_dist_lengths());
+        lit.write(&mut w, 257); // length 3, no extra
+        dist.write(&mut w, 0); // distance 1 — but output is empty
+        lit.write(&mut w, 256);
+        let stream = w.finish();
+        assert_eq!(
+            inflate(&stream),
+            Err(DeflateError::Corrupt("distance beyond output start"))
+        );
+    }
+
+    #[test]
+    fn truncated_dynamic_header() {
+        let data = b"dynamic header please ".repeat(50);
+        let packed = deflate_compress(&data, CompressionLevel::Default);
+        // Cut inside the header.
+        assert!(inflate(&packed[..3]).is_err());
+    }
+
+    #[test]
+    fn empty_stored_block() {
+        let packed = deflate_compress(&[], CompressionLevel::Store);
+        assert_eq!(inflate(&packed).unwrap(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn multi_block_concatenation() {
+        let data: Vec<u8> =
+            (0..200_000u32).map(|i| (i.wrapping_mul(2654435761) >> 13) as u8).collect();
+        let packed = deflate_compress(&data, CompressionLevel::Fast);
+        assert_eq!(inflate(&packed).unwrap(), data);
+    }
+
+    #[test]
+    fn overlapping_copy_rle() {
+        let data = vec![9u8; 1000];
+        let packed = deflate_compress(&data, CompressionLevel::Best);
+        assert_eq!(inflate(&packed).unwrap(), data);
+    }
+}

@@ -1,0 +1,293 @@
+//! LZ77 string matching with hash chains (the zlib approach): a rolling
+//! 3-byte hash indexes chains of previous positions inside a 32 KiB window;
+//! greedy matching with one-step *lazy evaluation* defers a match when the
+//! next position starts a longer one.
+
+/// DEFLATE window size: matches may reach at most this far back.
+pub const WINDOW_SIZE: usize = 32 * 1024;
+/// Minimum match length worth encoding.
+pub const MIN_MATCH: usize = 3;
+/// Maximum match length DEFLATE can represent.
+pub const MAX_MATCH: usize = 258;
+
+const HASH_BITS: u32 = 15;
+const HASH_SIZE: usize = 1 << HASH_BITS;
+
+/// One LZ77 token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Token {
+    /// A literal byte.
+    Literal(u8),
+    /// A back-reference: copy `len` bytes starting `dist` bytes back.
+    Match {
+        /// Match length, `MIN_MATCH..=MAX_MATCH`.
+        len: u16,
+        /// Distance, `1..=WINDOW_SIZE`.
+        dist: u16,
+    },
+}
+
+/// Matcher effort knobs (correspond to zlib's level presets).
+#[derive(Debug, Clone, Copy)]
+pub struct MatchParams {
+    /// Maximum chain positions examined per match attempt.
+    pub max_chain: usize,
+    /// Stop early once a match at least this long is found.
+    pub good_enough: usize,
+    /// Enable one-step lazy matching.
+    pub lazy: bool,
+}
+
+impl MatchParams {
+    /// Fast: short chains, no lazy matching.
+    pub fn fast() -> Self {
+        MatchParams { max_chain: 16, good_enough: 16, lazy: false }
+    }
+
+    /// Balanced default.
+    pub fn default_level() -> Self {
+        MatchParams { max_chain: 128, good_enough: 64, lazy: true }
+    }
+
+    /// Thorough: long chains, lazy matching.
+    pub fn best() -> Self {
+        MatchParams { max_chain: 1024, good_enough: 258, lazy: true }
+    }
+}
+
+#[inline]
+fn hash3(data: &[u8], pos: usize) -> usize {
+    let v = u32::from(data[pos])
+        | (u32::from(data[pos + 1]) << 8)
+        | (u32::from(data[pos + 2]) << 16);
+    ((v.wrapping_mul(0x9E37_79B1)) >> (32 - HASH_BITS)) as usize
+}
+
+/// Hash-chain matcher state.
+struct Chains {
+    /// head[h] = most recent position with hash h (+1; 0 = empty).
+    head: Vec<u32>,
+    /// prev[pos % WINDOW] = previous position with the same hash (+1).
+    prev: Vec<u32>,
+}
+
+impl Chains {
+    fn new() -> Self {
+        Chains { head: vec![0; HASH_SIZE], prev: vec![0; WINDOW_SIZE] }
+    }
+
+    #[inline]
+    fn insert(&mut self, data: &[u8], pos: usize) {
+        if pos + MIN_MATCH <= data.len() {
+            let h = hash3(data, pos);
+            self.prev[pos % WINDOW_SIZE] = self.head[h];
+            self.head[h] = pos as u32 + 1;
+        }
+    }
+
+    /// Longest match for `pos`, returning `(len, dist)`.
+    fn find(&self, data: &[u8], pos: usize, params: &MatchParams) -> Option<(usize, usize)> {
+        if pos + MIN_MATCH > data.len() {
+            return None;
+        }
+        let max_len = MAX_MATCH.min(data.len() - pos);
+        let h = hash3(data, pos);
+        let mut cand = self.head[h];
+        let mut best_len = MIN_MATCH - 1;
+        let mut best_dist = 0usize;
+        let mut chain = params.max_chain;
+        while cand != 0 && chain > 0 {
+            let cpos = (cand - 1) as usize;
+            if cpos >= pos || pos - cpos > WINDOW_SIZE {
+                break;
+            }
+            // Check the byte that would extend the current best first — a
+            // cheap rejection for most chain entries.
+            if data[cpos + best_len] == data[pos + best_len] {
+                let mut len = 0;
+                while len < max_len && data[cpos + len] == data[pos + len] {
+                    len += 1;
+                }
+                if len > best_len {
+                    best_len = len;
+                    best_dist = pos - cpos;
+                    if len >= params.good_enough || len == max_len {
+                        break;
+                    }
+                }
+            }
+            cand = self.prev[cpos % WINDOW_SIZE];
+            chain -= 1;
+        }
+        if best_len >= MIN_MATCH {
+            Some((best_len, best_dist))
+        } else {
+            None
+        }
+    }
+}
+
+/// Tokenize `data` into literals and matches.
+pub fn tokenize(data: &[u8], params: &MatchParams) -> Vec<Token> {
+    let mut tokens = Vec::with_capacity(data.len() / 3 + 16);
+    if data.is_empty() {
+        return tokens;
+    }
+    let mut chains = Chains::new();
+    let mut pos = 0usize;
+    // Every position below `ins` has been added to the hash chains exactly
+    // once; the loop advances `ins` to `pos` after each token decision.
+    let mut ins = 0usize;
+    while pos < data.len() {
+        match chains.find(data, pos, params) {
+            Some((mut len, mut dist)) => {
+                // Lazy evaluation: if the match starting at pos+1 is longer,
+                // emit a literal and take the later match instead.
+                if params.lazy && len < params.good_enough && pos + 1 < data.len() {
+                    chains.insert(data, pos);
+                    ins = pos + 1;
+                    if let Some((len2, dist2)) = chains.find(data, pos + 1, params) {
+                        if len2 > len {
+                            tokens.push(Token::Literal(data[pos]));
+                            pos += 1;
+                            len = len2;
+                            dist = dist2;
+                        }
+                    }
+                }
+                tokens.push(Token::Match { len: len as u16, dist: dist as u16 });
+                pos += len;
+            }
+            None => {
+                tokens.push(Token::Literal(data[pos]));
+                pos += 1;
+            }
+        }
+        while ins < pos {
+            chains.insert(data, ins);
+            ins += 1;
+        }
+    }
+    tokens
+}
+
+/// Expand tokens back into bytes (the LZ77 inverse; used by tests and by the
+/// inflate integration tests as an oracle).
+pub fn expand(tokens: &[Token]) -> Vec<u8> {
+    let mut out = Vec::new();
+    for t in tokens {
+        match *t {
+            Token::Literal(b) => out.push(b),
+            Token::Match { len, dist } => {
+                let start = out.len() - dist as usize;
+                for i in 0..len as usize {
+                    let b = out[start + i];
+                    out.push(b);
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(data: &[u8], params: &MatchParams) {
+        let tokens = tokenize(data, params);
+        assert_eq!(expand(&tokens), data);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(tokenize(&[], &MatchParams::default_level()).is_empty());
+    }
+
+    #[test]
+    fn all_literals_for_short_input() {
+        let tokens = tokenize(b"ab", &MatchParams::default_level());
+        assert_eq!(tokens, vec![Token::Literal(b'a'), Token::Literal(b'b')]);
+    }
+
+    #[test]
+    fn repeated_pattern_produces_matches() {
+        let data = b"abcabcabcabcabcabc";
+        let tokens = tokenize(data, &MatchParams::default_level());
+        assert!(
+            tokens.iter().any(|t| matches!(t, Token::Match { .. })),
+            "expected at least one match token: {tokens:?}"
+        );
+        assert_eq!(expand(&tokens), data);
+    }
+
+    #[test]
+    fn overlapping_match_rle() {
+        // "aaaa..." compresses to one literal + one overlapping match with
+        // dist 1 — the classic LZ77 RLE trick.
+        let data = vec![b'a'; 100];
+        let tokens = tokenize(&data, &MatchParams::default_level());
+        assert!(tokens.len() <= 3, "RLE should need few tokens: {}", tokens.len());
+        assert_eq!(expand(&tokens), data);
+    }
+
+    #[test]
+    fn round_trip_various_inputs() {
+        let mut s = 7u64;
+        let noisy: Vec<u8> = (0..20_000)
+            .map(|_| {
+                s ^= s << 13;
+                s ^= s >> 7;
+                s ^= s << 17;
+                (s >> 40) as u8 % 7 // small alphabet: lots of matches
+            })
+            .collect();
+        for params in [MatchParams::fast(), MatchParams::default_level(), MatchParams::best()] {
+            roundtrip(&noisy, &params);
+            roundtrip(b"the quick brown fox", &params);
+            roundtrip(&vec![0u8; 70_000], &params);
+        }
+    }
+
+    #[test]
+    fn matches_respect_window() {
+        // A repeat separated by more than WINDOW_SIZE must not be matched.
+        let mut data = b"UNIQUEPREFIX0123456789".to_vec();
+        data.extend(std::iter::repeat_n(0xEEu8, WINDOW_SIZE + 100));
+        data.extend_from_slice(b"UNIQUEPREFIX0123456789");
+        let tokens = tokenize(&data, &MatchParams::best());
+        assert_eq!(expand(&tokens), data);
+        for t in &tokens {
+            if let Token::Match { dist, .. } = t {
+                assert!((*dist as usize) <= WINDOW_SIZE);
+            }
+        }
+    }
+
+    #[test]
+    fn match_lengths_in_bounds() {
+        let data: Vec<u8> = (0..5000).map(|i| ((i / 13) % 11) as u8).collect();
+        for t in tokenize(&data, &MatchParams::best()) {
+            if let Token::Match { len, dist } = t {
+                assert!((len as usize) >= MIN_MATCH && (len as usize) <= MAX_MATCH);
+                assert!(dist >= 1);
+            }
+        }
+    }
+
+    #[test]
+    fn lazy_matching_round_trip() {
+        // Construct input where lazy matching matters: a short match at pos
+        // followed by a longer one at pos+1.
+        let data = b"xabcdeyabcdefzzzabcdefqq".to_vec();
+        roundtrip(&data, &MatchParams::default_level());
+        roundtrip(&data, &MatchParams { lazy: false, ..MatchParams::default_level() });
+    }
+
+    #[test]
+    fn long_repeats_capped_at_max_match() {
+        let data = vec![5u8; 3 * MAX_MATCH + 17];
+        let tokens = tokenize(&data, &MatchParams::default_level());
+        assert_eq!(expand(&tokens), data);
+    }
+}

@@ -1,0 +1,143 @@
+//! zlib container (RFC 1950): 2-byte header, DEFLATE body, Adler-32 trailer.
+
+use crate::deflate::{deflate_compress, CompressionLevel};
+use crate::inflate::inflate;
+use crate::{DeflateError, Result};
+
+/// Adler-32 modulus.
+const MOD_ADLER: u32 = 65_521;
+/// Largest number of bytes we can accumulate before the s2 sum can overflow.
+const NMAX: usize = 5552;
+
+/// Compute the Adler-32 checksum of `data` (RFC 1950 §8).
+pub fn adler32(data: &[u8]) -> u32 {
+    let mut s1: u32 = 1;
+    let mut s2: u32 = 0;
+    for chunk in data.chunks(NMAX) {
+        for &b in chunk {
+            s1 += u32::from(b);
+            s2 += s1;
+        }
+        s1 %= MOD_ADLER;
+        s2 %= MOD_ADLER;
+    }
+    (s2 << 16) | s1
+}
+
+/// Compress with the default effort level.
+pub fn compress(data: &[u8]) -> Vec<u8> {
+    compress_with_level(data, CompressionLevel::Default)
+}
+
+/// Compress into a zlib stream at the given level.
+pub fn compress_with_level(data: &[u8], level: CompressionLevel) -> Vec<u8> {
+    let body = deflate_compress(data, level);
+    let mut out = Vec::with_capacity(body.len() + 6);
+    // CMF: method 8 (deflate), 32 KiB window (CINFO=7) -> 0x78.
+    let cmf: u8 = 0x78;
+    // FLG: set FCHECK so (cmf*256 + flg) % 31 == 0, FLEVEL by effort.
+    let flevel: u8 = match level {
+        CompressionLevel::Store | CompressionLevel::Fast => 0,
+        CompressionLevel::Default => 2,
+        CompressionLevel::Best => 3,
+    };
+    let mut flg = flevel << 6;
+    let rem = (u16::from(cmf) * 256 + u16::from(flg)) % 31;
+    if rem != 0 {
+        flg += (31 - rem) as u8;
+    }
+    out.push(cmf);
+    out.push(flg);
+    out.extend_from_slice(&body);
+    out.extend_from_slice(&adler32(data).to_be_bytes());
+    out
+}
+
+/// Decompress a zlib stream, verifying the header and Adler-32 trailer.
+pub fn decompress(data: &[u8]) -> Result<Vec<u8>> {
+    if data.len() < 6 {
+        return Err(DeflateError::UnexpectedEof);
+    }
+    let cmf = data[0];
+    let flg = data[1];
+    if cmf & 0x0F != 8 {
+        return Err(DeflateError::BadHeader); // not deflate
+    }
+    if (u16::from(cmf) * 256 + u16::from(flg)) % 31 != 0 {
+        return Err(DeflateError::BadHeader); // FCHECK failed
+    }
+    if flg & 0x20 != 0 {
+        return Err(DeflateError::BadHeader); // FDICT unsupported
+    }
+    let body = &data[2..data.len() - 4];
+    let out = inflate(body)?;
+    let stored = u32::from_be_bytes([
+        data[data.len() - 4],
+        data[data.len() - 3],
+        data[data.len() - 2],
+        data[data.len() - 1],
+    ]);
+    let actual = adler32(&out);
+    if stored != actual {
+        return Err(DeflateError::ChecksumMismatch { expected: stored, actual });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adler32_known_vectors() {
+        // Reference values from the zlib specification/tools.
+        assert_eq!(adler32(b""), 1);
+        assert_eq!(adler32(b"a"), 0x0062_0062);
+        assert_eq!(adler32(b"abc"), 0x024d_0127);
+        assert_eq!(adler32(b"Wikipedia"), 0x11E6_0398);
+    }
+
+    #[test]
+    fn adler32_long_input_no_overflow() {
+        let data = vec![0xFFu8; 1_000_000];
+        // Must not panic and must be stable.
+        let a = adler32(&data);
+        let b = adler32(&data);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn header_fcheck_valid() {
+        let z = compress(b"header check");
+        assert_eq!((u16::from(z[0]) * 256 + u16::from(z[1])) % 31, 0);
+        assert_eq!(z[0] & 0x0F, 8);
+    }
+
+    #[test]
+    fn round_trip() {
+        let data = b"zlib container round trip".repeat(100);
+        assert_eq!(decompress(&compress(&data)).unwrap(), data);
+    }
+
+    #[test]
+    fn rejects_wrong_method() {
+        let mut z = compress(b"x");
+        z[0] = (z[0] & 0xF0) | 0x07; // method 7
+        assert!(matches!(decompress(&z), Err(DeflateError::BadHeader)));
+    }
+
+    #[test]
+    fn rejects_fdict() {
+        let mut z = compress(b"x");
+        z[1] |= 0x20;
+        // Repair FCHECK so only FDICT triggers.
+        let rem = (u16::from(z[0]) * 256 + u16::from(z[1] & !0x1F)) % 31;
+        z[1] = (z[1] & !0x1F) | ((31 - rem) % 31) as u8;
+        assert!(matches!(decompress(&z), Err(DeflateError::BadHeader)));
+    }
+
+    #[test]
+    fn rejects_short_input() {
+        assert_eq!(decompress(&[0x78]), Err(DeflateError::UnexpectedEof));
+    }
+}

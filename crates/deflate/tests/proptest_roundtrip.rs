@@ -1,0 +1,57 @@
+//! Property tests: compress ∘ decompress must be the identity for arbitrary
+//! byte strings at every level, and the decoder must never panic on garbage.
+
+use dpz_deflate::{compress_with_level, decompress, CompressionLevel};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn roundtrip_arbitrary_bytes(data in proptest::collection::vec(any::<u8>(), 0..20_000)) {
+        for level in [
+            CompressionLevel::Store,
+            CompressionLevel::Fast,
+            CompressionLevel::Default,
+            CompressionLevel::Best,
+        ] {
+            let packed = compress_with_level(&data, level);
+            let out = decompress(&packed).expect("decompress of own output");
+            prop_assert_eq!(&out, &data);
+        }
+    }
+
+    #[test]
+    fn roundtrip_structured_bytes(
+        seed in any::<u64>(),
+        run_len in 1usize..500,
+        alphabet in 1u16..40,
+    ) {
+        // Runs of a small alphabet: the regime DPZ's quantized indices live in.
+        let mut s = seed | 1;
+        let mut data = Vec::new();
+        while data.len() < 30_000 {
+            s ^= s << 13; s ^= s >> 7; s ^= s << 17;
+            let b = (s % u64::from(alphabet)) as u8;
+            let run = 1 + (s >> 32) as usize % run_len;
+            data.extend(std::iter::repeat_n(b, run));
+        }
+        let packed = compress_with_level(&data, CompressionLevel::Default);
+        prop_assert_eq!(decompress(&packed).unwrap(), data);
+    }
+
+    #[test]
+    fn decoder_never_panics_on_garbage(data in proptest::collection::vec(any::<u8>(), 0..4_096)) {
+        // Any result is fine; panicking or looping forever is not.
+        let _ = decompress(&data);
+    }
+
+    #[test]
+    fn bit_flip_never_panics(data in proptest::collection::vec(any::<u8>(), 1..4_096), flip in any::<usize>()) {
+        let mut packed = compress_with_level(&data, CompressionLevel::Default);
+        let n = packed.len();
+        packed[flip % n] ^= 1 << (flip % 8);
+        // Either decodes to *something* or errors — must not panic.
+        let _ = decompress(&packed);
+    }
+}

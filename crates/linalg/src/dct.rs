@@ -1,0 +1,430 @@
+//! Orthonormal DCT-II (forward) and DCT-III (inverse) transforms.
+//!
+//! DPZ's stage 1 applies a 1-D DCT-II to every block of the decomposed data
+//! (Section IV-A of the paper). We use the *orthonormal* convention, so the
+//! transform matrix `A` satisfies `Aᵀ = A⁻¹` — the property the paper leans on
+//! to prove that PCA can run directly in the DCT domain (Eq. 3–6) and that the
+//! transform itself is lossless/reversible.
+//!
+//! Forward transform of `x[0..n]`:
+//!
+//! ```text
+//! X[k] = s(k) · Σ_j x[j] · cos(π (2j+1) k / (2n)),
+//! s(0) = √(1/n),  s(k>0) = √(2/n)
+//! ```
+//!
+//! Both directions run in `O(n log n)` via Makhoul's even/odd-reversed
+//! permutation + length-`n` complex FFT ([`crate::fft`]), for *any* `n`
+//! (Bluestein covers non-powers of two). A naive `O(n²)` pair is kept as the
+//! test oracle.
+
+use crate::fft::{fft, ifft, Complex};
+use std::f64::consts::PI;
+
+/// A reusable DCT plan for a fixed length `n`.
+///
+/// Precomputes the twiddle factors `e^{-iπk/(2n)}` once so the same plan can
+/// be applied to many blocks (DPZ transforms `M` blocks of identical length;
+/// plans are `Sync` and safely shared across rayon workers).
+#[derive(Debug, Clone)]
+pub struct Dct1d {
+    n: usize,
+    /// `twiddle[k] = e^{-i π k / (2n)}`.
+    twiddle: Vec<Complex>,
+    /// Orthonormal scale for k = 0.
+    s0: f64,
+    /// Orthonormal scale for k > 0.
+    sk: f64,
+}
+
+impl Dct1d {
+    /// Build a plan for blocks of length `n`. `n == 0` yields a trivial plan.
+    pub fn new(n: usize) -> Self {
+        let twiddle = (0..n)
+            .map(|k| Complex::from_angle(-PI * k as f64 / (2.0 * n as f64)))
+            .collect();
+        let (s0, sk) = if n == 0 {
+            (0.0, 0.0)
+        } else {
+            ((1.0 / n as f64).sqrt(), (2.0 / n as f64).sqrt())
+        };
+        Dct1d { n, twiddle, s0, sk }
+    }
+
+    /// Planned block length.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True when the plan is for empty blocks.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// In-place orthonormal DCT-II. `data.len()` must equal the plan length.
+    pub fn forward(&self, data: &mut [f64]) {
+        assert_eq!(data.len(), self.n, "Dct1d::forward length mismatch");
+        let n = self.n;
+        if n <= 1 {
+            if n == 1 {
+                data[0] *= self.s0; // s(0)·x[0]; with n=1, s0 = 1.
+            }
+            return;
+        }
+        // Makhoul permutation: even-indexed samples ascending, then
+        // odd-indexed samples descending.
+        let mut v = vec![Complex::default(); n];
+        let half = n.div_ceil(2);
+        for j in 0..half {
+            v[j] = Complex::new(data[2 * j], 0.0);
+        }
+        for j in 0..n / 2 {
+            v[n - 1 - j] = Complex::new(data[2 * j + 1], 0.0);
+        }
+        fft(&mut v);
+        // C[k] = Re(e^{-iπk/(2n)} V[k]); apply orthonormal scaling.
+        data[0] = v[0].re * self.s0;
+        for k in 1..n {
+            let w = self.twiddle[k].mul(v[k]);
+            data[k] = w.re * self.sk;
+        }
+    }
+
+    /// In-place orthonormal DCT-III (the inverse of [`Dct1d::forward`]).
+    pub fn inverse(&self, data: &mut [f64]) {
+        assert_eq!(data.len(), self.n, "Dct1d::inverse length mismatch");
+        let n = self.n;
+        if n <= 1 {
+            if n == 1 {
+                data[0] /= self.s0;
+            }
+            return;
+        }
+        // Undo the orthonormal scaling to recover the raw cosine sums C[k].
+        let mut c = vec![0.0; n];
+        c[0] = data[0] / self.s0;
+        for k in 1..n {
+            c[k] = data[k] / self.sk;
+        }
+        // Rebuild V[k] = e^{+iπk/(2n)} (C[k] - i·C[n-k]), V[0] = C[0], then
+        // invert the FFT and the Makhoul permutation.
+        let mut v = vec![Complex::default(); n];
+        v[0] = Complex::new(c[0], 0.0);
+        for k in 1..n {
+            let w = Complex::new(c[k], -c[n - k]);
+            v[k] = self.twiddle[k].conj().mul(w);
+        }
+        ifft(&mut v);
+        let half = n.div_ceil(2);
+        for j in 0..half {
+            data[2 * j] = v[j].re;
+        }
+        for j in 0..n / 2 {
+            data[2 * j + 1] = v[n - 1 - j].re;
+        }
+    }
+}
+
+/// One-shot orthonormal DCT-II returning a fresh vector.
+pub fn dct2(input: &[f64]) -> Vec<f64> {
+    let mut out = input.to_vec();
+    dct2_inplace(&mut out);
+    out
+}
+
+/// One-shot in-place orthonormal DCT-II.
+pub fn dct2_inplace(data: &mut [f64]) {
+    Dct1d::new(data.len()).forward(data);
+}
+
+/// One-shot orthonormal DCT-III (inverse DCT-II) returning a fresh vector.
+pub fn dct3(input: &[f64]) -> Vec<f64> {
+    let mut out = input.to_vec();
+    dct3_inplace(&mut out);
+    out
+}
+
+/// One-shot in-place orthonormal DCT-III.
+pub fn dct3_inplace(data: &mut [f64]) {
+    Dct1d::new(data.len()).inverse(data);
+}
+
+/// Separable 2-D orthonormal DCT-II over a row-major `rows x cols` matrix:
+/// `Z = Aᵀ_rows · X · A_cols` computed as row transforms followed by column
+/// transforms (the identity the paper's Section III-B2 uses to extend the
+/// PCA-in-DCT-domain proof to 2-D).
+pub fn dct2_2d(data: &mut [f64], rows: usize, cols: usize) {
+    assert_eq!(data.len(), rows * cols, "dct2_2d shape mismatch");
+    if rows == 0 || cols == 0 {
+        return;
+    }
+    let row_plan = Dct1d::new(cols);
+    for r in 0..rows {
+        row_plan.forward(&mut data[r * cols..(r + 1) * cols]);
+    }
+    let col_plan = Dct1d::new(rows);
+    let mut col_buf = vec![0.0; rows];
+    for c in 0..cols {
+        for r in 0..rows {
+            col_buf[r] = data[r * cols + c];
+        }
+        col_plan.forward(&mut col_buf);
+        for r in 0..rows {
+            data[r * cols + c] = col_buf[r];
+        }
+    }
+}
+
+/// Inverse of [`dct2_2d`] (2-D DCT-III, columns then rows).
+pub fn dct3_2d(data: &mut [f64], rows: usize, cols: usize) {
+    assert_eq!(data.len(), rows * cols, "dct3_2d shape mismatch");
+    if rows == 0 || cols == 0 {
+        return;
+    }
+    let col_plan = Dct1d::new(rows);
+    let mut col_buf = vec![0.0; rows];
+    for c in 0..cols {
+        for r in 0..rows {
+            col_buf[r] = data[r * cols + c];
+        }
+        col_plan.inverse(&mut col_buf);
+        for r in 0..rows {
+            data[r * cols + c] = col_buf[r];
+        }
+    }
+    let row_plan = Dct1d::new(cols);
+    for r in 0..rows {
+        row_plan.inverse(&mut data[r * cols..(r + 1) * cols]);
+    }
+}
+
+/// Naive `O(n²)` orthonormal DCT-II. Test oracle.
+pub fn dct2_naive(input: &[f64]) -> Vec<f64> {
+    let n = input.len();
+    if n == 0 {
+        return vec![];
+    }
+    let s0 = (1.0 / n as f64).sqrt();
+    let sk = (2.0 / n as f64).sqrt();
+    (0..n)
+        .map(|k| {
+            let sum: f64 = input
+                .iter()
+                .enumerate()
+                .map(|(j, &x)| x * (PI * (2.0 * j as f64 + 1.0) * k as f64 / (2.0 * n as f64)).cos())
+                .sum();
+            sum * if k == 0 { s0 } else { sk }
+        })
+        .collect()
+}
+
+/// Naive `O(n²)` orthonormal DCT-III. Test oracle.
+pub fn dct3_naive(input: &[f64]) -> Vec<f64> {
+    let n = input.len();
+    if n == 0 {
+        return vec![];
+    }
+    let s0 = (1.0 / n as f64).sqrt();
+    let sk = (2.0 / n as f64).sqrt();
+    (0..n)
+        .map(|j| {
+            input
+                .iter()
+                .enumerate()
+                .map(|(k, &xk)| {
+                    let s = if k == 0 { s0 } else { sk };
+                    s * xk * (PI * (2.0 * j as f64 + 1.0) * k as f64 / (2.0 * n as f64)).cos()
+                })
+                .sum()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ramp(n: usize) -> Vec<f64> {
+        (0..n).map(|i| (i as f64 * 0.173).sin() + 0.01 * i as f64).collect()
+    }
+
+    fn max_err(a: &[f64], b: &[f64]) -> f64 {
+        a.iter().zip(b).map(|(x, y)| (x - y).abs()).fold(0.0, f64::max)
+    }
+
+    #[test]
+    fn fast_matches_naive_forward() {
+        for &n in &[1usize, 2, 3, 4, 5, 7, 8, 16, 30, 100, 128, 360] {
+            let x = ramp(n);
+            let fast = dct2(&x);
+            let naive = dct2_naive(&x);
+            assert!(max_err(&fast, &naive) < 1e-9 * n.max(1) as f64, "n={n}");
+        }
+    }
+
+    #[test]
+    fn fast_matches_naive_inverse() {
+        for &n in &[1usize, 2, 5, 8, 33, 64, 90] {
+            let x = ramp(n);
+            let fast = dct3(&x);
+            let naive = dct3_naive(&x);
+            assert!(max_err(&fast, &naive) < 1e-9 * n.max(1) as f64, "n={n}");
+        }
+    }
+
+    #[test]
+    fn round_trip_identity() {
+        for &n in &[1usize, 2, 3, 6, 17, 64, 100, 257, 1024] {
+            let x = ramp(n);
+            let mut y = x.clone();
+            let plan = Dct1d::new(n);
+            plan.forward(&mut y);
+            plan.inverse(&mut y);
+            assert!(max_err(&x, &y) < 1e-10 * n as f64, "n={n}");
+        }
+    }
+
+    #[test]
+    fn orthonormal_energy_preservation() {
+        // Parseval: an orthonormal transform preserves the l2 norm exactly.
+        let x = ramp(200);
+        let y = dct2(&x);
+        let ex: f64 = x.iter().map(|v| v * v).sum();
+        let ey: f64 = y.iter().map(|v| v * v).sum();
+        assert!((ex - ey).abs() < 1e-9 * ex);
+    }
+
+    #[test]
+    fn constant_signal_concentrates_in_dc() {
+        let x = vec![3.0; 64];
+        let y = dct2(&x);
+        // DC coefficient is s0 * n * 3 = sqrt(n) * 3.
+        assert!((y[0] - 3.0 * 8.0).abs() < 1e-10);
+        for v in &y[1..] {
+            assert!(v.abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn smooth_signal_energy_compaction() {
+        // A slowly varying signal should put almost all of its energy in the
+        // first few coefficients — the property DPZ's stage 1 exploits.
+        let n = 256;
+        let x: Vec<f64> = (0..n).map(|i| (PI * i as f64 / n as f64).sin()).collect();
+        let y = dct2(&x);
+        let total: f64 = y.iter().map(|v| v * v).sum();
+        let head: f64 = y[..8].iter().map(|v| v * v).sum();
+        assert!(head / total > 0.999, "head energy ratio {}", head / total);
+    }
+
+    #[test]
+    fn linearity_of_transform() {
+        let n = 50;
+        let a = ramp(n);
+        let b: Vec<f64> = (0..n).map(|i| ((i * i) % 7) as f64).collect();
+        let sum: Vec<f64> = a.iter().zip(&b).map(|(x, y)| 2.0 * x + y).collect();
+        let lhs = dct2(&sum);
+        let fa = dct2(&a);
+        let fb = dct2(&b);
+        let rhs: Vec<f64> = fa.iter().zip(&fb).map(|(x, y)| 2.0 * x + y).collect();
+        assert!(max_err(&lhs, &rhs) < 1e-10 * n as f64);
+    }
+
+    #[test]
+    fn plan_reuse_is_consistent() {
+        let plan = Dct1d::new(40);
+        let x = ramp(40);
+        let mut a = x.clone();
+        let mut b = x.clone();
+        plan.forward(&mut a);
+        plan.forward(&mut b);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn plan_rejects_wrong_length() {
+        let plan = Dct1d::new(8);
+        let mut x = vec![0.0; 7];
+        plan.forward(&mut x);
+    }
+
+    #[test]
+    fn dct_2d_round_trip() {
+        let (rows, cols) = (12, 17);
+        let x: Vec<f64> = (0..rows * cols).map(|i| (i as f64 * 0.13).sin()).collect();
+        let mut buf = x.clone();
+        dct2_2d(&mut buf, rows, cols);
+        dct3_2d(&mut buf, rows, cols);
+        assert!(max_err(&x, &buf) < 1e-10);
+    }
+
+    #[test]
+    fn dct_2d_energy_preserved() {
+        let (rows, cols) = (8, 8);
+        let x: Vec<f64> = (0..64).map(|i| (i as f64 * 0.7).cos() * 3.0).collect();
+        let mut buf = x.clone();
+        dct2_2d(&mut buf, rows, cols);
+        let ex: f64 = x.iter().map(|v| v * v).sum();
+        let ey: f64 = buf.iter().map(|v| v * v).sum();
+        assert!((ex - ey).abs() < 1e-9 * ex);
+    }
+
+    #[test]
+    fn dct_2d_separability_matches_manual() {
+        // 2-D transform equals row transforms followed by column transforms
+        // done by hand with the 1-D API.
+        let (rows, cols) = (6, 10);
+        let x: Vec<f64> = (0..60).map(|i| (i * i % 13) as f64).collect();
+        let mut fast = x.clone();
+        dct2_2d(&mut fast, rows, cols);
+
+        let mut manual = x.clone();
+        for r in 0..rows {
+            let row = dct2(&manual[r * cols..(r + 1) * cols]);
+            manual[r * cols..(r + 1) * cols].copy_from_slice(&row);
+        }
+        for c in 0..cols {
+            let col: Vec<f64> = (0..rows).map(|r| manual[r * cols + c]).collect();
+            let t = dct2(&col);
+            for r in 0..rows {
+                manual[r * cols + c] = t[r];
+            }
+        }
+        assert!(max_err(&fast, &manual) < 1e-12);
+    }
+
+    #[test]
+    fn dct_2d_smooth_image_compacts_to_corner() {
+        let (rows, cols) = (16, 16);
+        let x: Vec<f64> = (0..rows * cols)
+            .map(|i| {
+                let r = (i / cols) as f64 / rows as f64;
+                let c = (i % cols) as f64 / cols as f64;
+                (PI * r).sin() + (PI * c).cos()
+            })
+            .collect();
+        let mut buf = x.clone();
+        dct2_2d(&mut buf, rows, cols);
+        let total: f64 = buf.iter().map(|v| v * v).sum();
+        let mut corner = 0.0;
+        for r in 0..4 {
+            for c in 0..4 {
+                corner += buf[r * cols + c] * buf[r * cols + c];
+            }
+        }
+        assert!(corner / total > 0.99, "corner energy {}", corner / total);
+    }
+
+    #[test]
+    fn zero_length_is_noop() {
+        let plan = Dct1d::new(0);
+        let mut x: Vec<f64> = vec![];
+        plan.forward(&mut x);
+        plan.inverse(&mut x);
+        assert!(x.is_empty());
+        assert!(plan.is_empty());
+    }
+}

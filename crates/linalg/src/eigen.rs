@@ -1,0 +1,536 @@
+//! Symmetric eigendecomposition.
+//!
+//! PCA (stage 2 of DPZ) needs all eigenpairs of the `M x M` covariance matrix
+//! of the block data. We use the classic dense two-phase approach:
+//!
+//! 1. **Householder tridiagonalization** (`tred2`-style): orthogonal
+//!    similarity transforms reduce the symmetric input to a tridiagonal
+//!    matrix while accumulating the transform.
+//! 2. **Implicit QL with Wilkinson shifts** (`tql2`-style): iteratively
+//!    drives the off-diagonal to zero, rotating the accumulated basis so its
+//!    columns converge to eigenvectors.
+//!
+//! Total cost is `O(n³)` with a small constant; for DPZ's block counts
+//! (`M ≤ ~2048`) this completes in well under a second in release builds.
+//! [`crate::jacobi`] provides an independent cyclic-Jacobi solver used to
+//! cross-validate this implementation in tests.
+
+use crate::{LinalgError, Matrix, Result};
+
+/// Maximum QL iterations per eigenvalue before giving up.
+const MAX_QL_ITERATIONS: usize = 64;
+
+/// Result of a symmetric eigendecomposition.
+///
+/// Eigenvalues are sorted in **descending** order (PCA convention: component
+/// 0 explains the most variance); `eigenvectors` holds the matching unit
+/// eigenvectors as *columns*, so `input ≈ V · diag(λ) · Vᵀ`.
+#[derive(Debug, Clone)]
+pub struct SymEigen {
+    /// Eigenvalues, largest first.
+    pub eigenvalues: Vec<f64>,
+    /// Orthonormal eigenvectors as columns, ordered to match `eigenvalues`.
+    pub eigenvectors: Matrix,
+}
+
+/// `sqrt(a² + b²)` without destructive underflow or overflow.
+#[inline]
+fn pythag(a: f64, b: f64) -> f64 {
+    let (absa, absb) = (a.abs(), b.abs());
+    if absa > absb {
+        let r = absb / absa;
+        absa * (1.0 + r * r).sqrt()
+    } else if absb == 0.0 {
+        0.0
+    } else {
+        let r = absa / absb;
+        absb * (1.0 + r * r).sqrt()
+    }
+}
+
+#[inline]
+fn sign_like(magnitude: f64, sign_of: f64) -> f64 {
+    if sign_of >= 0.0 {
+        magnitude.abs()
+    } else {
+        -magnitude.abs()
+    }
+}
+
+/// Householder reduction of symmetric `z` (modified in place, becoming the
+/// accumulated orthogonal transform) to tridiagonal form with diagonal `d`
+/// and off-diagonal `e` (`e[0]` unused).
+// Index-based loops follow the classic tred2/tql2 formulation; rewriting
+// them with iterators would obscure the correspondence to the algorithm.
+#[allow(clippy::needless_range_loop)]
+fn tridiagonalize(z: &mut Matrix, d: &mut [f64], e: &mut [f64]) {
+    let n = z.rows();
+    for i in (1..n).rev() {
+        let l = i - 1;
+        let mut h = 0.0;
+        if l > 0 {
+            let scale: f64 = (0..i).map(|k| z.get(i, k).abs()).sum();
+            if scale == 0.0 {
+                e[i] = z.get(i, l);
+            } else {
+                for k in 0..i {
+                    let v = z.get(i, k) / scale;
+                    z.set(i, k, v);
+                    h += v * v;
+                }
+                let f = z.get(i, l);
+                let g = if f >= 0.0 { -h.sqrt() } else { h.sqrt() };
+                e[i] = scale * g;
+                h -= f * g;
+                z.set(i, l, f - g);
+                let mut fsum = 0.0;
+                for j in 0..i {
+                    z.set(j, i, z.get(i, j) / h);
+                    let mut g2 = 0.0;
+                    for k in 0..=j {
+                        g2 += z.get(j, k) * z.get(i, k);
+                    }
+                    for k in (j + 1)..i {
+                        g2 += z.get(k, j) * z.get(i, k);
+                    }
+                    e[j] = g2 / h;
+                    fsum += e[j] * z.get(i, j);
+                }
+                let hh = fsum / (h + h);
+                for j in 0..i {
+                    let f2 = z.get(i, j);
+                    let g2 = e[j] - hh * f2;
+                    e[j] = g2;
+                    for k in 0..=j {
+                        let v = z.get(j, k) - (f2 * e[k] + g2 * z.get(i, k));
+                        z.set(j, k, v);
+                    }
+                }
+            }
+        } else {
+            e[i] = z.get(i, l);
+        }
+        d[i] = h;
+    }
+    d[0] = 0.0;
+    e[0] = 0.0;
+    // Accumulate the Householder transforms into z.
+    for i in 0..n {
+        if d[i] != 0.0 {
+            for j in 0..i {
+                let mut g = 0.0;
+                for k in 0..i {
+                    g += z.get(i, k) * z.get(k, j);
+                }
+                for k in 0..i {
+                    let v = z.get(k, j) - g * z.get(k, i);
+                    z.set(k, j, v);
+                }
+            }
+        }
+        d[i] = z.get(i, i);
+        z.set(i, i, 1.0);
+        for j in 0..i {
+            z.set(j, i, 0.0);
+            z.set(i, j, 0.0);
+        }
+    }
+}
+
+/// Implicit QL with shifts on the tridiagonal `(d, e)`, rotating the columns
+/// of `z` into eigenvectors. On success `d` holds eigenvalues (unsorted).
+#[allow(clippy::needless_range_loop)]
+fn ql_implicit(d: &mut [f64], e: &mut [f64], z: &mut Matrix) -> Result<()> {
+    let n = d.len();
+    if n == 0 {
+        return Ok(());
+    }
+    for i in 1..n {
+        e[i - 1] = e[i];
+    }
+    e[n - 1] = 0.0;
+    for l in 0..n {
+        let mut iter = 0;
+        loop {
+            // Find a negligible off-diagonal element delimiting a block.
+            let mut m = l;
+            while m < n - 1 {
+                let dd = d[m].abs() + d[m + 1].abs();
+                if e[m].abs() <= f64::EPSILON * dd {
+                    break;
+                }
+                m += 1;
+            }
+            if m == l {
+                break;
+            }
+            iter += 1;
+            if iter > MAX_QL_ITERATIONS {
+                return Err(LinalgError::NoConvergence {
+                    algorithm: "implicit QL (sym_eigen)",
+                    iterations: MAX_QL_ITERATIONS,
+                });
+            }
+            // Wilkinson shift.
+            let mut g = (d[l + 1] - d[l]) / (2.0 * e[l]);
+            let mut r = pythag(g, 1.0);
+            g = d[m] - d[l] + e[l] / (g + sign_like(r, g));
+            let (mut s, mut c) = (1.0f64, 1.0f64);
+            let mut p = 0.0f64;
+            let mut underflow = false;
+            for i in (l..m).rev() {
+                let mut f = s * e[i];
+                let b = c * e[i];
+                r = pythag(f, g);
+                e[i + 1] = r;
+                if r == 0.0 {
+                    // Recover from underflow by deflating.
+                    d[i + 1] -= p;
+                    e[m] = 0.0;
+                    underflow = true;
+                    break;
+                }
+                s = f / r;
+                c = g / r;
+                g = d[i + 1] - p;
+                r = (d[i] - g) * s + 2.0 * c * b;
+                p = s * r;
+                d[i + 1] = g + p;
+                g = c * r - b;
+                // Apply the rotation to the eigenvector columns i, i+1.
+                for k in 0..n {
+                    f = z.get(k, i + 1);
+                    z.set(k, i + 1, s * z.get(k, i) + c * f);
+                    z.set(k, i, c * z.get(k, i) - s * f);
+                }
+            }
+            if underflow {
+                continue;
+            }
+            d[l] -= p;
+            e[l] = g;
+            e[m] = 0.0;
+        }
+    }
+    Ok(())
+}
+
+/// Full eigendecomposition of a symmetric matrix.
+///
+/// Only the lower triangle strictly needs to be meaningful, but callers in
+/// this workspace always pass exactly symmetric matrices. Returns eigenpairs
+/// sorted by descending eigenvalue.
+pub fn sym_eigen(a: &Matrix) -> Result<SymEigen> {
+    let n = a.rows();
+    if a.rows() != a.cols() {
+        return Err(LinalgError::DimensionMismatch {
+            op: "sym_eigen",
+            got: format!("{}x{}", a.rows(), a.cols()),
+            expected: "square symmetric matrix".to_string(),
+        });
+    }
+    if n == 0 {
+        return Ok(SymEigen { eigenvalues: vec![], eigenvectors: Matrix::zeros(0, 0) });
+    }
+    let mut z = a.clone();
+    let mut d = vec![0.0; n];
+    let mut e = vec![0.0; n];
+    tridiagonalize(&mut z, &mut d, &mut e);
+    ql_implicit(&mut d, &mut e, &mut z)?;
+
+    // Sort descending by eigenvalue, permuting eigenvector columns to match.
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&i, &j| d[j].partial_cmp(&d[i]).unwrap_or(std::cmp::Ordering::Equal));
+    let eigenvalues: Vec<f64> = order.iter().map(|&i| d[i]).collect();
+    let eigenvectors = z.select_cols(&order);
+    Ok(SymEigen { eigenvalues, eigenvectors })
+}
+
+/// Truncated eigendecomposition: the `k` largest-magnitude eigenpairs via
+/// orthogonal (subspace) iteration with a Rayleigh–Ritz projection.
+///
+/// This is DPZ's sampling fast path: once the sampling strategy has
+/// estimated `k ≪ M`, the full `O(M³)` solve is replaced by
+/// `O(M²·k)`-per-iteration subspace iteration. Intended for positive
+/// semi-definite inputs (covariance matrices), where the largest-magnitude
+/// eigenvalues are also the largest.
+pub fn sym_eigen_topk(a: &Matrix, k: usize, max_iters: usize) -> Result<SymEigen> {
+    let m = a.rows();
+    if a.rows() != a.cols() {
+        return Err(LinalgError::DimensionMismatch {
+            op: "sym_eigen_topk",
+            got: format!("{}x{}", a.rows(), a.cols()),
+            expected: "square symmetric matrix".to_string(),
+        });
+    }
+    let k = k.min(m);
+    if k == 0 || m == 0 {
+        return Ok(SymEigen { eigenvalues: vec![], eigenvectors: Matrix::zeros(m, 0) });
+    }
+    // Deterministic pseudo-random starting subspace.
+    let mut q = Matrix::zeros(m, k);
+    let mut state = 0x0123_4567_89AB_CDEFu64;
+    for r in 0..m {
+        for c in 0..k {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            q.set(r, c, (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5);
+        }
+    }
+    orthonormalize_columns(&mut q)?;
+
+    let mut prev = vec![f64::INFINITY; k];
+    for _ in 0..max_iters.max(1) {
+        let mut z = a.matmul(&q)?;
+        // Convergence estimate from the un-normalized image: once the
+        // subspace has settled, |A·q_i| approaches |lambda_i|. Reusing `z`
+        // avoids a second mat-mul per iteration.
+        let mut est = vec![0.0; k];
+        for (c, e) in est.iter_mut().enumerate() {
+            *e = (0..m).map(|r| z.get(r, c) * z.get(r, c)).sum::<f64>().sqrt();
+        }
+        orthonormalize_columns(&mut z)?;
+        q = z;
+        let delta = est
+            .iter()
+            .zip(&prev)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max);
+        let scale = est.iter().map(|v| v.abs()).fold(1e-300, f64::max);
+        prev = est;
+        if delta <= 1e-10 * scale {
+            break;
+        }
+    }
+    // Rayleigh–Ritz: solve the small projected problem exactly.
+    let aq = a.matmul(&q)?;
+    let small = q.transpose().matmul(&aq)?; // k x k symmetric
+    let SymEigen { eigenvalues, eigenvectors: rot } = sym_eigen(&small)?;
+    let eigenvectors = q.matmul(&rot)?;
+    Ok(SymEigen { eigenvalues, eigenvectors })
+}
+
+/// In-place modified Gram–Schmidt orthonormalization of columns. Columns
+/// that collapse numerically are replaced by unit basis vectors to keep the
+/// subspace full-rank.
+fn orthonormalize_columns(q: &mut Matrix) -> Result<()> {
+    let (m, k) = q.shape();
+    for c in 0..k {
+        let mut col = q.col(c);
+        for prev in 0..c {
+            let pcol = q.col(prev);
+            let dot: f64 = col.iter().zip(&pcol).map(|(a, b)| a * b).sum();
+            for (v, p) in col.iter_mut().zip(&pcol) {
+                *v -= dot * p;
+            }
+        }
+        let norm: f64 = col.iter().map(|v| v * v).sum::<f64>().sqrt();
+        if norm < 1e-150 {
+            // Degenerate direction: restart from a basis vector.
+            for (i, v) in col.iter_mut().enumerate() {
+                *v = if i == c % m { 1.0 } else { 0.0 };
+            }
+        } else {
+            for v in &mut col {
+                *v /= norm;
+            }
+        }
+        q.set_col(c, &col);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sym_from(vals: &[f64], n: usize) -> Matrix {
+        Matrix::from_vec(n, n, vals.to_vec()).unwrap()
+    }
+
+    /// Deterministic pseudo-random symmetric matrix.
+    fn random_symmetric(n: usize, seed: u64) -> Matrix {
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+        };
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..=i {
+                let v = next();
+                m.set(i, j, v);
+                m.set(j, i, v);
+            }
+        }
+        m
+    }
+
+    fn check_decomposition(a: &Matrix, eig: &SymEigen, tol: f64) {
+        let n = a.rows();
+        // A v = lambda v for each pair.
+        for j in 0..n {
+            let v = eig.eigenvectors.col(j);
+            let av = a.mul_vec(&v).unwrap();
+            for i in 0..n {
+                assert!(
+                    (av[i] - eig.eigenvalues[j] * v[i]).abs() < tol,
+                    "residual too large for eigenpair {j}"
+                );
+            }
+        }
+        // Orthonormal columns.
+        let vtv = eig.eigenvectors.transpose().matmul(&eig.eigenvectors).unwrap();
+        assert!(vtv.max_abs_diff(&Matrix::identity(n)) < tol);
+    }
+
+    #[test]
+    fn diagonal_matrix() {
+        let a = sym_from(&[3.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 2.0], 3);
+        let eig = sym_eigen(&a).unwrap();
+        assert!((eig.eigenvalues[0] - 3.0).abs() < 1e-12);
+        assert!((eig.eigenvalues[1] - 2.0).abs() < 1e-12);
+        assert!((eig.eigenvalues[2] - 1.0).abs() < 1e-12);
+        check_decomposition(&a, &eig, 1e-10);
+    }
+
+    #[test]
+    fn known_2x2() {
+        // [[2,1],[1,2]] has eigenvalues 3 and 1.
+        let a = sym_from(&[2.0, 1.0, 1.0, 2.0], 2);
+        let eig = sym_eigen(&a).unwrap();
+        assert!((eig.eigenvalues[0] - 3.0).abs() < 1e-12);
+        assert!((eig.eigenvalues[1] - 1.0).abs() < 1e-12);
+        check_decomposition(&a, &eig, 1e-10);
+    }
+
+    #[test]
+    fn eigenvalues_sorted_descending() {
+        let a = random_symmetric(12, 7);
+        let eig = sym_eigen(&a).unwrap();
+        for w in eig.eigenvalues.windows(2) {
+            assert!(w[0] >= w[1] - 1e-12);
+        }
+    }
+
+    #[test]
+    fn random_matrices_decompose() {
+        for (n, seed) in [(1usize, 1u64), (2, 2), (5, 3), (16, 4), (40, 5)] {
+            let a = random_symmetric(n, seed);
+            let eig = sym_eigen(&a).unwrap();
+            check_decomposition(&a, &eig, 1e-8 * (n as f64));
+        }
+    }
+
+    #[test]
+    fn trace_equals_eigenvalue_sum() {
+        let a = random_symmetric(20, 11);
+        let eig = sym_eigen(&a).unwrap();
+        let trace: f64 = (0..20).map(|i| a.get(i, i)).sum();
+        let sum: f64 = eig.eigenvalues.iter().sum();
+        assert!((trace - sum).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reconstruction_v_lambda_vt() {
+        let a = random_symmetric(10, 21);
+        let eig = sym_eigen(&a).unwrap();
+        let n = 10;
+        let mut lam = Matrix::zeros(n, n);
+        for i in 0..n {
+            lam.set(i, i, eig.eigenvalues[i]);
+        }
+        let recon = eig
+            .eigenvectors
+            .matmul(&lam)
+            .unwrap()
+            .matmul(&eig.eigenvectors.transpose())
+            .unwrap();
+        assert!(recon.max_abs_diff(&a) < 1e-9);
+    }
+
+    #[test]
+    fn positive_semidefinite_gram_has_nonnegative_spectrum() {
+        // Gram matrices (what PCA feeds in) must have lambda >= 0.
+        let x = random_symmetric(15, 33);
+        let g = x.gram();
+        let eig = sym_eigen(&g).unwrap();
+        for &l in &eig.eigenvalues {
+            assert!(l > -1e-9, "negative eigenvalue {l} from a Gram matrix");
+        }
+    }
+
+    #[test]
+    fn repeated_eigenvalues_identity() {
+        let a = Matrix::identity(6);
+        let eig = sym_eigen(&a).unwrap();
+        for &l in &eig.eigenvalues {
+            assert!((l - 1.0).abs() < 1e-12);
+        }
+        check_decomposition(&a, &eig, 1e-10);
+    }
+
+    #[test]
+    fn rejects_non_square() {
+        assert!(sym_eigen(&Matrix::zeros(2, 3)).is_err());
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let eig = sym_eigen(&Matrix::zeros(0, 0)).unwrap();
+        assert!(eig.eigenvalues.is_empty());
+    }
+
+    #[test]
+    fn topk_matches_full_solver_on_psd() {
+        // Gram matrix (PSD) with a clear spectral gap.
+        let x = random_symmetric(20, 55);
+        let g = x.gram();
+        let full = sym_eigen(&g).unwrap();
+        let top = sym_eigen_topk(&g, 4, 300).unwrap();
+        for i in 0..4 {
+            let rel = (full.eigenvalues[i] - top.eigenvalues[i]).abs()
+                / full.eigenvalues[0].max(1e-300);
+            assert!(rel < 1e-6, "eigenvalue {i}: {} vs {}", full.eigenvalues[i], top.eigenvalues[i]);
+        }
+        // Eigenvectors agree up to sign.
+        for i in 0..4 {
+            let a = full.eigenvectors.col(i);
+            let b = top.eigenvectors.col(i);
+            let dot: f64 = a.iter().zip(&b).map(|(x, y)| x * y).sum();
+            assert!(dot.abs() > 0.999, "eigenvector {i} misaligned: |dot| = {}", dot.abs());
+        }
+    }
+
+    #[test]
+    fn topk_handles_k_larger_than_n() {
+        let a = random_symmetric(5, 77);
+        let g = a.gram();
+        let eig = sym_eigen_topk(&g, 10, 100).unwrap();
+        assert_eq!(eig.eigenvalues.len(), 5);
+    }
+
+    #[test]
+    fn topk_zero_k() {
+        let a = Matrix::identity(4);
+        let eig = sym_eigen_topk(&a, 0, 10).unwrap();
+        assert!(eig.eigenvalues.is_empty());
+        assert_eq!(eig.eigenvectors.shape(), (4, 0));
+    }
+
+    #[test]
+    fn agrees_with_jacobi() {
+        // Cross-check the QL solver against the independent Jacobi solver.
+        for seed in [101u64, 202, 303] {
+            let a = random_symmetric(18, seed);
+            let ql = sym_eigen(&a).unwrap();
+            let jac = crate::jacobi::jacobi_eigen(&a, 200).unwrap();
+            for (x, y) in ql.eigenvalues.iter().zip(&jac.eigenvalues) {
+                assert!((x - y).abs() < 1e-8, "eigenvalue mismatch {x} vs {y}");
+            }
+        }
+    }
+}

@@ -1,0 +1,331 @@
+//! Complex fast Fourier transform.
+//!
+//! Two engines cover every length:
+//!
+//! * an iterative, in-place **radix-2 Cooley–Tukey** FFT for power-of-two
+//!   lengths, and
+//! * **Bluestein's chirp-z algorithm** for everything else, which re-expresses
+//!   an arbitrary-length DFT as a circular convolution evaluated with the
+//!   radix-2 engine.
+//!
+//! The DCT routines in [`crate::dct`] are built on top of this module, so DPZ
+//! can transform blocks of any length `N`, not just powers of two.
+
+use std::f64::consts::PI;
+
+/// A complex number. Minimal on purpose: only the operations the FFT and DCT
+/// need are provided.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Complex {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+// `mul`/`add`/`sub` intentionally mirror the operator names without the
+// operator-trait machinery: this Complex type exists only for the FFT hot
+// loops, where explicit method calls keep the codegen obvious.
+#[allow(clippy::should_implement_trait)]
+impl Complex {
+    /// Construct from real and imaginary parts.
+    #[inline]
+    pub fn new(re: f64, im: f64) -> Self {
+        Complex { re, im }
+    }
+
+    /// `e^{i theta}` on the unit circle.
+    #[inline]
+    pub fn from_angle(theta: f64) -> Self {
+        Complex { re: theta.cos(), im: theta.sin() }
+    }
+
+    /// Complex conjugate.
+    #[inline]
+    pub fn conj(self) -> Self {
+        Complex { re: self.re, im: -self.im }
+    }
+
+    /// Squared magnitude.
+    #[inline]
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Complex multiplication.
+    #[inline]
+    pub fn mul(self, other: Complex) -> Complex {
+        Complex {
+            re: self.re * other.re - self.im * other.im,
+            im: self.re * other.im + self.im * other.re,
+        }
+    }
+
+    /// Complex addition.
+    #[inline]
+    pub fn add(self, other: Complex) -> Complex {
+        Complex { re: self.re + other.re, im: self.im + other.im }
+    }
+
+    /// Complex subtraction.
+    #[inline]
+    pub fn sub(self, other: Complex) -> Complex {
+        Complex { re: self.re - other.re, im: self.im - other.im }
+    }
+
+    /// Scale by a real factor.
+    #[inline]
+    pub fn scale(self, s: f64) -> Complex {
+        Complex { re: self.re * s, im: self.im * s }
+    }
+}
+
+/// Returns true when `n` is a power of two (and non-zero).
+#[inline]
+pub fn is_power_of_two(n: usize) -> bool {
+    n != 0 && n & (n - 1) == 0
+}
+
+/// In-place forward DFT: `X[k] = sum_j x[j] e^{-2 pi i jk / n}`.
+///
+/// Dispatches to radix-2 for power-of-two lengths and Bluestein otherwise.
+/// Length 0 and 1 are no-ops.
+pub fn fft(buf: &mut [Complex]) {
+    let n = buf.len();
+    if n <= 1 {
+        return;
+    }
+    if is_power_of_two(n) {
+        fft_pow2(buf, false);
+    } else {
+        bluestein(buf, false);
+    }
+}
+
+/// In-place inverse DFT (unscaled convention divided by `n`, so
+/// `ifft(fft(x)) == x`).
+pub fn ifft(buf: &mut [Complex]) {
+    let n = buf.len();
+    if n <= 1 {
+        return;
+    }
+    if is_power_of_two(n) {
+        fft_pow2(buf, true);
+    } else {
+        bluestein(buf, true);
+    }
+    let inv = 1.0 / n as f64;
+    for v in buf.iter_mut() {
+        *v = v.scale(inv);
+    }
+}
+
+/// Iterative in-place radix-2 Cooley–Tukey, bit-reversal permutation first.
+/// `inverse` flips the twiddle sign; scaling is the caller's job.
+fn fft_pow2(buf: &mut [Complex], inverse: bool) {
+    let n = buf.len();
+    debug_assert!(is_power_of_two(n));
+
+    // Bit-reversal permutation.
+    let mut j = 0usize;
+    for i in 1..n {
+        let mut bit = n >> 1;
+        while j & bit != 0 {
+            j ^= bit;
+            bit >>= 1;
+        }
+        j |= bit;
+        if i < j {
+            buf.swap(i, j);
+        }
+    }
+
+    let sign = if inverse { 1.0 } else { -1.0 };
+    let mut len = 2;
+    while len <= n {
+        let ang = sign * 2.0 * PI / len as f64;
+        let wlen = Complex::from_angle(ang);
+        let half = len / 2;
+        let mut start = 0;
+        while start < n {
+            let mut w = Complex::new(1.0, 0.0);
+            for k in 0..half {
+                let u = buf[start + k];
+                let v = buf[start + k + half].mul(w);
+                buf[start + k] = u.add(v);
+                buf[start + k + half] = u.sub(v);
+                w = w.mul(wlen);
+            }
+            start += len;
+        }
+        len <<= 1;
+    }
+}
+
+/// Bluestein's algorithm: express the length-`n` DFT as a circular
+/// convolution of chirp-modulated sequences, computed with a power-of-two FFT
+/// of length `m >= 2n - 1`.
+fn bluestein(buf: &mut [Complex], inverse: bool) {
+    let n = buf.len();
+    // Forward DFT needs the chirp w[j] = e^{-i pi j^2 / n}; the inverse flips
+    // the sign. Using j^2 mod 2n keeps the angle argument bounded and avoids
+    // precision loss for large j.
+    let sign = if inverse { -1.0 } else { 1.0 };
+    let mut chirp = Vec::with_capacity(n);
+    let two_n = 2 * n as u64;
+    for jj in 0..n as u64 {
+        let sq = (jj * jj) % two_n;
+        let angle = sign * -PI * sq as f64 / n as f64;
+        chirp.push(Complex::from_angle(angle));
+    }
+
+    let m = (2 * n - 1).next_power_of_two();
+    let mut a = vec![Complex::default(); m];
+    let mut b = vec![Complex::default(); m];
+
+    for j in 0..n {
+        a[j] = buf[j].mul(chirp[j]);
+    }
+    b[0] = chirp[0].conj();
+    for j in 1..n {
+        let c = chirp[j].conj();
+        b[j] = c;
+        b[m - j] = c;
+    }
+
+    fft_pow2(&mut a, false);
+    fft_pow2(&mut b, false);
+    for (x, y) in a.iter_mut().zip(&b) {
+        *x = x.mul(*y);
+    }
+    fft_pow2(&mut a, true);
+    let inv_m = 1.0 / m as f64;
+    for (out, (conv, ch)) in buf.iter_mut().zip(a.iter().zip(&chirp)) {
+        *out = conv.scale(inv_m).mul(*ch);
+    }
+}
+
+/// Naive `O(n^2)` DFT used as a correctness oracle in tests.
+pub fn dft_naive(input: &[Complex]) -> Vec<Complex> {
+    let n = input.len();
+    let mut out = vec![Complex::default(); n];
+    for (k, o) in out.iter_mut().enumerate() {
+        let mut acc = Complex::default();
+        for (j, &x) in input.iter().enumerate() {
+            let ang = -2.0 * PI * (j as f64) * (k as f64) / n as f64;
+            acc = acc.add(x.mul(Complex::from_angle(ang)));
+        }
+        *o = acc;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn max_err(a: &[Complex], b: &[Complex]) -> f64 {
+        a.iter()
+            .zip(b)
+            .map(|(x, y)| x.sub(*y).norm_sqr().sqrt())
+            .fold(0.0, f64::max)
+    }
+
+    fn ramp(n: usize) -> Vec<Complex> {
+        (0..n)
+            .map(|i| Complex::new(i as f64 * 0.37 - 1.0, (i as f64 * 0.11).sin()))
+            .collect()
+    }
+
+    #[test]
+    fn fft_matches_naive_pow2() {
+        for &n in &[2usize, 4, 8, 16, 64, 128] {
+            let input = ramp(n);
+            let expected = dft_naive(&input);
+            let mut got = input.clone();
+            fft(&mut got);
+            assert!(max_err(&got, &expected) < 1e-8 * n as f64, "n={n}");
+        }
+    }
+
+    #[test]
+    fn fft_matches_naive_arbitrary() {
+        for &n in &[3usize, 5, 6, 7, 12, 15, 100, 225, 360] {
+            let input = ramp(n);
+            let expected = dft_naive(&input);
+            let mut got = input.clone();
+            fft(&mut got);
+            assert!(max_err(&got, &expected) < 1e-7 * n as f64, "n={n}");
+        }
+    }
+
+    #[test]
+    fn ifft_inverts_fft() {
+        for &n in &[1usize, 2, 3, 8, 11, 31, 64, 90, 256] {
+            let input = ramp(n);
+            let mut buf = input.clone();
+            fft(&mut buf);
+            ifft(&mut buf);
+            assert!(max_err(&buf, &input) < 1e-9 * (n.max(1)) as f64, "n={n}");
+        }
+    }
+
+    #[test]
+    fn fft_of_impulse_is_flat() {
+        let mut buf = vec![Complex::default(); 16];
+        buf[0] = Complex::new(1.0, 0.0);
+        fft(&mut buf);
+        for v in &buf {
+            assert!((v.re - 1.0).abs() < 1e-12 && v.im.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn fft_of_constant_is_impulse() {
+        let n = 32;
+        let mut buf = vec![Complex::new(2.5, 0.0); n];
+        fft(&mut buf);
+        assert!((buf[0].re - 2.5 * n as f64).abs() < 1e-9);
+        for v in &buf[1..] {
+            assert!(v.norm_sqr().sqrt() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn parseval_energy_is_preserved() {
+        let n = 48; // non-power-of-two exercises Bluestein
+        let input = ramp(n);
+        let time_energy: f64 = input.iter().map(|c| c.norm_sqr()).sum();
+        let mut buf = input.clone();
+        fft(&mut buf);
+        let freq_energy: f64 = buf.iter().map(|c| c.norm_sqr()).sum::<f64>() / n as f64;
+        assert!((time_energy - freq_energy).abs() < 1e-8 * time_energy);
+    }
+
+    #[test]
+    fn empty_and_singleton_are_noops() {
+        let mut empty: Vec<Complex> = vec![];
+        fft(&mut empty);
+        ifft(&mut empty);
+        let mut single = vec![Complex::new(3.0, -1.0)];
+        fft(&mut single);
+        assert_eq!(single[0], Complex::new(3.0, -1.0));
+        ifft(&mut single);
+        assert_eq!(single[0], Complex::new(3.0, -1.0));
+    }
+
+    #[test]
+    fn linearity() {
+        let n = 20;
+        let a = ramp(n);
+        let b: Vec<Complex> = (0..n).map(|i| Complex::new((i as f64).cos(), 0.3)).collect();
+        let mut fa = a.clone();
+        fft(&mut fa);
+        let mut fb = b.clone();
+        fft(&mut fb);
+        let mut fab: Vec<Complex> = a.iter().zip(&b).map(|(x, y)| x.add(*y)).collect();
+        fft(&mut fab);
+        let sum: Vec<Complex> = fa.iter().zip(&fb).map(|(x, y)| x.add(*y)).collect();
+        assert!(max_err(&fab, &sum) < 1e-9 * n as f64);
+    }
+}

@@ -1,0 +1,245 @@
+//! Knee-point detection on cumulative variance curves.
+//!
+//! Method 1 of DPZ's Algorithm 1: fit the cumulative TVE curve, normalize it
+//! to the unit square, and find the first local maximum of the curvature
+//!
+//! ```text
+//! K(x) = f''(x) / (1 + f'(x)²)^{3/2}
+//! ```
+//!
+//! which marks where the gain in explained variance starts to flatten — the
+//! paper's "optimal information retrieval point". A Kneedle-style difference
+//! curve (Satopää et al.) is provided as a secondary detector and used for
+//! cross-checking in tests.
+
+use crate::fit::{fit_curve, FitKind};
+use crate::Result;
+
+/// Options for [`detect_knee`].
+#[derive(Debug, Clone, Copy)]
+pub struct KneeOptions {
+    /// How to fit the curve before differentiating (Algorithm 1's `sf`).
+    pub fit: FitKind,
+    /// Curvature is evaluated on `oversample * len` uniform points; higher
+    /// values localize the knee more precisely on smooth (polynomial) fits.
+    pub oversample: usize,
+}
+
+impl Default for KneeOptions {
+    fn default() -> Self {
+        KneeOptions { fit: FitKind::Interp1d, oversample: 4 }
+    }
+}
+
+/// Detect the knee of an increasing curve `y[0..n]` (sampled at
+/// `x_i = i/(n-1)`), returning the **index** of the knee sample.
+///
+/// Returns `None` when the curve is too short (< 3 points) or flat. For DPZ
+/// the input is the cumulative TVE over `k = 1..=M`, so a returned index `i`
+/// means "keep `k = i + 1` components".
+pub fn detect_knee(y: &[f64], options: KneeOptions) -> Result<Option<usize>> {
+    let n = y.len();
+    if n < 3 {
+        return Ok(None);
+    }
+    let (ymin, ymax) = y
+        .iter()
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &v| (lo.min(v), hi.max(v)));
+    let span = ymax - ymin;
+    // `!(span > 0.0)` (rather than `span <= 0.0`) deliberately also catches
+    // NaN spans from NaN inputs.
+    #[allow(clippy::neg_cmp_op_on_partial_ord)]
+    if !(span > 0.0) || !span.is_finite() {
+        return Ok(None); // flat or pathological curve: no knee
+    }
+    // Normalize to the unit square (Algorithm 1, line 4).
+    let norm: Vec<f64> = y.iter().map(|&v| (v - ymin) / span).collect();
+    let curve = fit_curve(&norm, options.fit)?;
+
+    // Sample the fitted curve, then differentiate with central differences at
+    // the sampling scale. Oversampling only helps for the smooth polynomial
+    // fit; a piecewise-linear fit has zero curvature between its knots, so it
+    // must be differentiated exactly at the data resolution.
+    let samples = match options.fit {
+        FitKind::Interp1d => n,
+        FitKind::Polynomial(_) => (n * options.oversample.max(1)).max(8),
+    };
+    let h = 1.0 / (samples - 1) as f64;
+    let vals: Vec<f64> = (0..samples)
+        .map(|s| curve.value(s as f64 * h))
+        .collect();
+    let mut curvature = vec![0.0; samples];
+    for s in 1..samples - 1 {
+        let d1 = (vals[s + 1] - vals[s - 1]) / (2.0 * h);
+        let d2 = (vals[s + 1] - 2.0 * vals[s] + vals[s - 1]) / (h * h);
+        curvature[s] = d2.abs() / (1.0 + d1 * d1).powf(1.5);
+    }
+
+    let max_k = curvature.iter().cloned().fold(0.0, f64::max);
+    if max_k < 1e-4 {
+        return Ok(None); // straight line (up to rounding noise): no knee
+    }
+    // First *significant* local maximum of the curvature (Algorithm 1,
+    // line 6). The significance floor rejects rounding-noise bumps on the
+    // nearly-flat stretches before the bend.
+    let floor = 0.25 * max_k;
+    let mut pick = None;
+    for s in 1..samples - 1 {
+        let k = curvature[s];
+        if k >= floor && k >= curvature[s - 1] && k >= curvature[s + 1] {
+            pick = Some(s);
+            break;
+        }
+    }
+    let s = pick.unwrap_or_else(|| {
+        curvature
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .map(|(i, _)| i)
+            .unwrap_or(0)
+    });
+    // Map the (possibly oversampled) position back to an input index.
+    let x = s as f64 * h;
+    let idx = (x * (n - 1) as f64).round() as usize;
+    Ok(Some(idx.min(n - 1)))
+}
+
+/// Kneedle difference-curve detector: the knee is the `x` maximizing
+/// `y_norm(x) - x` for a concave increasing curve. Used as an independent
+/// sanity check on [`detect_knee`].
+pub fn kneedle(y: &[f64]) -> Option<usize> {
+    let n = y.len();
+    if n < 3 {
+        return None;
+    }
+    let (ymin, ymax) = y
+        .iter()
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &v| (lo.min(v), hi.max(v)));
+    let span = ymax - ymin;
+    #[allow(clippy::neg_cmp_op_on_partial_ord)] // also rejects NaN
+    if !(span > 0.0) {
+        return None;
+    }
+    let mut best_idx = 0;
+    let mut best_diff = f64::NEG_INFINITY;
+    for (i, &v) in y.iter().enumerate() {
+        let x = i as f64 / (n - 1) as f64;
+        let diff = (v - ymin) / span - x;
+        if diff > best_diff {
+            best_diff = diff;
+            best_idx = i;
+        }
+    }
+    if best_diff <= 0.0 {
+        None
+    } else {
+        Some(best_idx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Saturating-exponential curve with a controllable knee sharpness; the
+    /// larger `rate`, the earlier/sharper the knee.
+    fn saturating(n: usize, rate: f64) -> Vec<f64> {
+        (0..n)
+            .map(|i| {
+                let x = i as f64 / (n - 1) as f64;
+                1.0 - (-rate * x).exp()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn knee_of_sharp_saturation_is_early() {
+        let y = saturating(100, 40.0);
+        let idx = detect_knee(&y, KneeOptions::default()).unwrap().unwrap();
+        assert!(idx < 20, "sharp knee should be early, got {idx}");
+    }
+
+    #[test]
+    fn sharper_curves_knee_earlier() {
+        let sharp = detect_knee(&saturating(100, 60.0), KneeOptions::default())
+            .unwrap()
+            .unwrap();
+        let soft = detect_knee(&saturating(100, 6.0), KneeOptions::default())
+            .unwrap()
+            .unwrap();
+        assert!(sharp < soft, "sharp {sharp} should be before soft {soft}");
+    }
+
+    #[test]
+    fn straight_line_has_no_knee() {
+        let y: Vec<f64> = (0..50).map(|i| i as f64).collect();
+        assert_eq!(detect_knee(&y, KneeOptions::default()).unwrap(), None);
+    }
+
+    #[test]
+    fn flat_curve_has_no_knee() {
+        let y = vec![0.5; 30];
+        assert_eq!(detect_knee(&y, KneeOptions::default()).unwrap(), None);
+        assert_eq!(kneedle(&y), None);
+    }
+
+    #[test]
+    fn short_inputs_yield_none() {
+        assert_eq!(detect_knee(&[0.0, 1.0], KneeOptions::default()).unwrap(), None);
+        assert_eq!(kneedle(&[0.0, 1.0]), None);
+    }
+
+    #[test]
+    fn polynomial_fit_also_finds_knee() {
+        let y = saturating(80, 25.0);
+        let opts = KneeOptions { fit: FitKind::Polynomial(7), oversample: 8 };
+        let idx = detect_knee(&y, opts).unwrap().unwrap();
+        assert!(idx < 40, "poly-fit knee unexpectedly late: {idx}");
+    }
+
+    #[test]
+    fn kneedle_matches_analytic_optimum() {
+        // For y = 1 - e^{-r x}, d/dx (y_norm - x) = 0 at
+        // x* = ln(r / (1 - e^{-r})) / r.
+        let r = 10.0;
+        let n = 200;
+        let y = saturating(n, r);
+        let idx = kneedle(&y).unwrap();
+        let x_star = ((r / (1.0 - (-r).exp())).ln()) / r;
+        let expect = (x_star * (n - 1) as f64).round() as usize;
+        assert!(
+            (idx as i64 - expect as i64).abs() <= 2,
+            "kneedle {idx} vs analytic {expect}"
+        );
+    }
+
+    #[test]
+    fn curvature_and_kneedle_agree_on_order_of_magnitude() {
+        let y = saturating(120, 20.0);
+        let a = detect_knee(&y, KneeOptions::default()).unwrap().unwrap();
+        let b = kneedle(&y).unwrap();
+        // Different definitions (max curvature vs max distance) but both must
+        // land in the bend region, well before the plateau.
+        assert!(a < 40 && b < 40, "a={a} b={b}");
+    }
+
+    #[test]
+    fn tve_like_step_curve() {
+        // A curve that jumps to ~1 after the 5th sample (rank-5 data):
+        // knee must be within a couple of samples of index 4.
+        let mut y = vec![0.0; 60];
+        for (i, v) in y.iter_mut().enumerate() {
+            *v = match i {
+                0 => 0.55,
+                1 => 0.8,
+                2 => 0.92,
+                3 => 0.975,
+                4 => 0.999,
+                _ => 0.9995 + 0.0005 * (i as f64 - 4.0) / 56.0,
+            };
+        }
+        let idx = detect_knee(&y, KneeOptions::default()).unwrap().unwrap();
+        assert!(idx <= 8, "knee should be near the jump, got {idx}");
+    }
+}

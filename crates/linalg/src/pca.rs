@@ -1,0 +1,452 @@
+//! Principal component analysis.
+//!
+//! Stage 2 of DPZ projects the DCT-domain block matrix onto its leading
+//! eigenvectors ("k-PCA", Section IV-B of the paper). Conventions:
+//!
+//! * input is `n x m` — `n` samples (coefficient indices) by `m` features
+//!   (blocks), with `m < n` as the paper's decomposition guarantees;
+//! * the model stores per-feature means (and optionally standard deviations,
+//!   for the low-linearity standardization path chosen by the sampling
+//!   stage), the full eigenvector basis sorted by descending eigenvalue, and
+//!   the eigenvalues themselves;
+//! * `transform(k)` / `inverse_transform` give the lossy round trip;
+//!   retaining all `m` components reconstructs the input exactly (up to
+//!   floating-point error), which is property-tested.
+
+use crate::eigen::{sym_eigen, SymEigen};
+use crate::{LinalgError, Matrix, Result};
+
+/// Options controlling a PCA fit.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PcaOptions {
+    /// Standardize features to unit variance before the eigenanalysis.
+    ///
+    /// The paper applies this only to low-linearity data (VIF below the
+    /// cutoff), since rescaling redistributes variance weight across the
+    /// equal-unit DCT blocks.
+    pub standardize: bool,
+}
+
+/// A fitted PCA model.
+///
+/// May be *truncated*: [`Pca::fit_truncated`] keeps only the leading
+/// `k` eigenpairs (computed by subspace iteration), but still knows the
+/// total variance, so TVE queries remain meaningful.
+#[derive(Debug, Clone)]
+pub struct Pca {
+    mean: Vec<f64>,
+    /// Per-feature scale divisors (all 1.0 unless standardizing).
+    scale: Option<Vec<f64>>,
+    /// `m x c` (`c <= m`); column `j` is the unit eigenvector for
+    /// `eigenvalues[j]`.
+    components: Matrix,
+    /// Covariance eigenvalues, descending, clamped to `>= 0`.
+    eigenvalues: Vec<f64>,
+    /// Trace of the covariance matrix (total variance), independent of how
+    /// many eigenpairs were computed.
+    total_variance: f64,
+    n_samples: usize,
+}
+
+impl Pca {
+    /// Fit a full PCA model to `data` (`n` samples x `m` features).
+    ///
+    /// Requires at least 2 samples and 1 feature. Cost is the `m x m`
+    /// covariance (`O(n·m²)`, rayon-parallel) plus an `O(m³)` eigensolve.
+    pub fn fit(data: &Matrix, opts: PcaOptions) -> Result<Pca> {
+        Pca::fit_impl(data, opts, None)
+    }
+
+    /// Fit a truncated model with only the `k` leading eigenpairs, via
+    /// subspace iteration — DPZ's sampling fast path (`O(m²·k)` per
+    /// iteration instead of `O(m³)`).
+    pub fn fit_truncated(data: &Matrix, opts: PcaOptions, k: usize) -> Result<Pca> {
+        Pca::fit_impl(data, opts, Some(k))
+    }
+
+    fn fit_impl(data: &Matrix, opts: PcaOptions, truncate: Option<usize>) -> Result<Pca> {
+        let (n, m) = data.shape();
+        if n < 2 || m == 0 {
+            return Err(LinalgError::Empty("Pca::fit needs >=2 samples and >=1 feature"));
+        }
+
+        // Column means.
+        let mut mean = vec![0.0; m];
+        for r in 0..n {
+            for (acc, &v) in mean.iter_mut().zip(data.row(r)) {
+                *acc += v;
+            }
+        }
+        for v in &mut mean {
+            *v /= n as f64;
+        }
+
+        // Center (and optionally standardize) a working copy.
+        let mut centered = data.clone();
+        for r in 0..n {
+            for (v, &mu) in centered.row_mut(r).iter_mut().zip(&mean) {
+                *v -= mu;
+            }
+        }
+        let scale = if opts.standardize {
+            let mut sd = vec![0.0; m];
+            for r in 0..n {
+                for (acc, &v) in sd.iter_mut().zip(centered.row(r)) {
+                    *acc += v * v;
+                }
+            }
+            for v in &mut sd {
+                *v = (*v / (n - 1) as f64).sqrt();
+                if *v == 0.0 {
+                    *v = 1.0; // constant feature: leave untouched
+                }
+            }
+            for r in 0..n {
+                for (v, &s) in centered.row_mut(r).iter_mut().zip(&sd) {
+                    *v /= s;
+                }
+            }
+            Some(sd)
+        } else {
+            None
+        };
+
+        // Covariance = centeredᵀ·centered / (n-1), then eigendecompose.
+        let mut cov = centered.gram();
+        cov.scale(1.0 / (n - 1) as f64);
+        let total_variance: f64 = (0..m).map(|i| cov.get(i, i)).sum();
+        let SymEigen { mut eigenvalues, eigenvectors } = match truncate {
+            // 24 power iterations suffice for the strongly separated
+            // covariance spectra DPZ feeds this path; the Rayleigh-Ritz
+            // projection in sym_eigen_topk mops up the residual rotation.
+            Some(k) => crate::eigen::sym_eigen_topk(&cov, k.clamp(1, m), 24)?,
+            None => sym_eigen(&cov)?,
+        };
+        // Covariance matrices are PSD; clamp the numerical dust.
+        for l in &mut eigenvalues {
+            if *l < 0.0 {
+                *l = 0.0;
+            }
+        }
+        Ok(Pca {
+            mean,
+            scale,
+            components: eigenvectors,
+            eigenvalues,
+            total_variance,
+            n_samples: n,
+        })
+    }
+
+    /// Number of features the model was fitted on.
+    pub fn n_features(&self) -> usize {
+        self.mean.len()
+    }
+
+    /// Number of samples the model was fitted on.
+    pub fn n_samples(&self) -> usize {
+        self.n_samples
+    }
+
+    /// Covariance eigenvalues, descending.
+    pub fn eigenvalues(&self) -> &[f64] {
+        &self.eigenvalues
+    }
+
+    /// Per-feature means removed before projection.
+    pub fn mean(&self) -> &[f64] {
+        &self.mean
+    }
+
+    /// Per-feature standard deviations when the model standardizes.
+    pub fn feature_scale(&self) -> Option<&[f64]> {
+        self.scale.as_deref()
+    }
+
+    /// The orthonormal component basis (`m x c`, columns = components;
+    /// `c = m` for a full fit, `c = k` for a truncated one).
+    pub fn components(&self) -> &Matrix {
+        &self.components
+    }
+
+    /// Number of eigenpairs actually available.
+    pub fn n_components(&self) -> usize {
+        self.eigenvalues.len()
+    }
+
+    /// Total variance (covariance trace), valid even when truncated.
+    pub fn total_variance(&self) -> f64 {
+        self.total_variance
+    }
+
+    /// The `m x k` projection matrix of the leading `k` components.
+    pub fn projection(&self, k: usize) -> Matrix {
+        self.components.leading_cols(k.min(self.n_components()))
+    }
+
+    /// Fraction of total variance explained by each *available* component.
+    pub fn explained_variance_ratio(&self) -> Vec<f64> {
+        let total = self.total_variance;
+        if total <= 0.0 {
+            // Degenerate (constant) data: define the first component as
+            // carrying everything so downstream k-selection picks k = 1.
+            let mut r = vec![0.0; self.eigenvalues.len()];
+            if let Some(first) = r.first_mut() {
+                *first = 1.0;
+            }
+            return r;
+        }
+        self.eigenvalues.iter().map(|&l| l / total).collect()
+    }
+
+    /// Cumulative total variance explained (the paper's TVE curve, Eq. 2).
+    /// Entry `i` is the TVE of keeping `i + 1` components.
+    pub fn cumulative_tve(&self) -> Vec<f64> {
+        let ratios = self.explained_variance_ratio();
+        let mut acc = 0.0;
+        ratios
+            .iter()
+            .map(|r| {
+                acc += r;
+                acc.min(1.0)
+            })
+            .collect()
+    }
+
+    /// Smallest `k` whose TVE reaches `tve` (Method 2 of Algorithm 1).
+    /// Always returns at least 1 and at most `m`.
+    pub fn k_for_tve(&self, tve: f64) -> usize {
+        let cum = self.cumulative_tve();
+        for (i, &c) in cum.iter().enumerate() {
+            if c >= tve {
+                return i + 1;
+            }
+        }
+        cum.len().max(1)
+    }
+
+    /// Project `data` onto the leading `k` components, producing `n x k`
+    /// scores.
+    pub fn transform(&self, data: &Matrix, k: usize) -> Result<Matrix> {
+        let m = self.n_features();
+        if data.cols() != m {
+            return Err(LinalgError::DimensionMismatch {
+                op: "Pca::transform",
+                got: format!("{} features", data.cols()),
+                expected: format!("{m} features"),
+            });
+        }
+        let k = k.min(self.n_components());
+        let mut centered = data.clone();
+        for r in 0..centered.rows() {
+            let row = centered.row_mut(r);
+            for (v, &mu) in row.iter_mut().zip(&self.mean) {
+                *v -= mu;
+            }
+            if let Some(scale) = &self.scale {
+                for (v, &s) in row.iter_mut().zip(scale) {
+                    *v /= s;
+                }
+            }
+        }
+        centered.matmul(&self.projection(k))
+    }
+
+    /// Reconstruct `n x m` data from `n x k` scores (the PCA inverse
+    /// transform): `X̂ = Y·Dᵀ (·scale) + mean`.
+    pub fn inverse_transform(&self, scores: &Matrix) -> Result<Matrix> {
+        let k = scores.cols();
+        if k > self.n_components() {
+            return Err(LinalgError::DimensionMismatch {
+                op: "Pca::inverse_transform",
+                got: format!("{k} components"),
+                expected: format!("<= {}", self.n_components()),
+            });
+        }
+        let proj_t = self.projection(k).transpose();
+        let mut recon = scores.matmul(&proj_t)?;
+        for r in 0..recon.rows() {
+            let row = recon.row_mut(r);
+            if let Some(scale) = &self.scale {
+                for (v, &s) in row.iter_mut().zip(scale) {
+                    *v *= s;
+                }
+            }
+            for (v, &mu) in row.iter_mut().zip(&self.mean) {
+                *v += mu;
+            }
+        }
+        Ok(recon)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Deterministic low-rank-ish test data: two latent factors + noise.
+    fn synthetic(n: usize, m: usize, seed: u64) -> Matrix {
+        let mut s = seed | 1;
+        let mut next = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            (s >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+        };
+        let load_a: Vec<f64> = (0..m).map(|j| (j as f64 * 0.4).sin()).collect();
+        let load_b: Vec<f64> = (0..m).map(|j| (j as f64 * 0.9).cos()).collect();
+        let mut rows = Vec::with_capacity(n);
+        for _ in 0..n {
+            let (fa, fb) = (next() * 10.0, next() * 3.0);
+            rows.push(
+                (0..m)
+                    .map(|j| fa * load_a[j] + fb * load_b[j] + 0.01 * next())
+                    .collect::<Vec<_>>(),
+            );
+        }
+        Matrix::from_rows(&rows).unwrap()
+    }
+
+    #[test]
+    fn full_rank_round_trip_is_exact() {
+        let x = synthetic(40, 8, 3);
+        let pca = Pca::fit(&x, PcaOptions::default()).unwrap();
+        let scores = pca.transform(&x, 8).unwrap();
+        let recon = pca.inverse_transform(&scores).unwrap();
+        assert!(recon.max_abs_diff(&x) < 1e-9);
+    }
+
+    #[test]
+    fn two_components_capture_two_factor_data() {
+        let x = synthetic(200, 12, 5);
+        let pca = Pca::fit(&x, PcaOptions::default()).unwrap();
+        let tve = pca.cumulative_tve();
+        assert!(tve[1] > 0.999, "two factors should explain ~everything, got {}", tve[1]);
+        let scores = pca.transform(&x, 2).unwrap();
+        let recon = pca.inverse_transform(&scores).unwrap();
+        assert!(recon.max_abs_diff(&x) < 0.1);
+    }
+
+    #[test]
+    fn eigenvalues_descending_and_nonnegative() {
+        let x = synthetic(60, 10, 9);
+        let pca = Pca::fit(&x, PcaOptions::default()).unwrap();
+        for w in pca.eigenvalues().windows(2) {
+            assert!(w[0] >= w[1]);
+        }
+        for &l in pca.eigenvalues() {
+            assert!(l >= 0.0);
+        }
+    }
+
+    #[test]
+    fn explained_variance_sums_to_one() {
+        let x = synthetic(50, 6, 17);
+        let pca = Pca::fit(&x, PcaOptions::default()).unwrap();
+        let sum: f64 = pca.explained_variance_ratio().iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn k_for_tve_monotone() {
+        let x = synthetic(100, 15, 23);
+        let pca = Pca::fit(&x, PcaOptions::default()).unwrap();
+        let k1 = pca.k_for_tve(0.9);
+        let k2 = pca.k_for_tve(0.999);
+        let k3 = pca.k_for_tve(0.9999999);
+        assert!(k1 <= k2 && k2 <= k3);
+        assert!(k1 >= 1 && k3 <= 15);
+    }
+
+    #[test]
+    fn standardize_recovers_round_trip_too() {
+        let x = synthetic(80, 7, 31);
+        let pca = Pca::fit(&x, PcaOptions { standardize: true }).unwrap();
+        assert!(pca.feature_scale().is_some());
+        let scores = pca.transform(&x, 7).unwrap();
+        let recon = pca.inverse_transform(&scores).unwrap();
+        assert!(recon.max_abs_diff(&x) < 1e-8);
+    }
+
+    #[test]
+    fn constant_feature_survives_standardization() {
+        let mut rows = Vec::new();
+        for i in 0..20 {
+            rows.push(vec![5.0, i as f64, (i as f64 * 0.3).sin()]);
+        }
+        let x = Matrix::from_rows(&rows).unwrap();
+        let pca = Pca::fit(&x, PcaOptions { standardize: true }).unwrap();
+        let scores = pca.transform(&x, 3).unwrap();
+        let recon = pca.inverse_transform(&scores).unwrap();
+        assert!(recon.max_abs_diff(&x) < 1e-9);
+    }
+
+    #[test]
+    fn constant_data_degenerates_gracefully() {
+        let x = Matrix::from_vec(10, 3, vec![2.5; 30]).unwrap();
+        let pca = Pca::fit(&x, PcaOptions::default()).unwrap();
+        assert_eq!(pca.k_for_tve(0.999), 1);
+        let scores = pca.transform(&x, 1).unwrap();
+        let recon = pca.inverse_transform(&scores).unwrap();
+        assert!(recon.max_abs_diff(&x) < 1e-12);
+    }
+
+    #[test]
+    fn transform_rejects_wrong_width() {
+        let x = synthetic(30, 5, 41);
+        let pca = Pca::fit(&x, PcaOptions::default()).unwrap();
+        let bad = Matrix::zeros(4, 7);
+        assert!(pca.transform(&bad, 2).is_err());
+    }
+
+    #[test]
+    fn fit_rejects_degenerate_shapes() {
+        assert!(Pca::fit(&Matrix::zeros(1, 4), PcaOptions::default()).is_err());
+        assert!(Pca::fit(&Matrix::zeros(10, 0), PcaOptions::default()).is_err());
+    }
+
+    #[test]
+    fn truncated_fit_matches_full_on_leading_components() {
+        let x = synthetic(150, 10, 91);
+        let full = Pca::fit(&x, PcaOptions::default()).unwrap();
+        let trunc = Pca::fit_truncated(&x, PcaOptions::default(), 3).unwrap();
+        assert_eq!(trunc.n_components(), 3);
+        assert!((full.total_variance() - trunc.total_variance()).abs() < 1e-9);
+        for i in 0..3 {
+            let rel = (full.eigenvalues()[i] - trunc.eigenvalues()[i]).abs()
+                / full.eigenvalues()[0];
+            assert!(rel < 1e-6, "eigenvalue {i}");
+        }
+        // Reconstruction through the truncated basis matches the full one.
+        let s_full = full.transform(&x, 2).unwrap();
+        let s_trunc = trunc.transform(&x, 2).unwrap();
+        let r_full = full.inverse_transform(&s_full).unwrap();
+        let r_trunc = trunc.inverse_transform(&s_trunc).unwrap();
+        assert!(r_full.max_abs_diff(&r_trunc) < 1e-6);
+    }
+
+    #[test]
+    fn truncated_tve_uses_total_variance() {
+        let x = synthetic(150, 12, 17);
+        let trunc = Pca::fit_truncated(&x, PcaOptions::default(), 2).unwrap();
+        // Two dominant factors: the truncated TVE must still be a fraction
+        // of the *total* variance, close to the full model's value.
+        let full = Pca::fit(&x, PcaOptions::default()).unwrap();
+        let a = trunc.cumulative_tve();
+        let b = full.cumulative_tve();
+        assert!((a[1] - b[1]).abs() < 1e-6);
+        assert!(a[1] <= 1.0);
+    }
+
+    #[test]
+    fn scores_are_decorrelated() {
+        let x = synthetic(300, 6, 77);
+        let pca = Pca::fit(&x, PcaOptions::default()).unwrap();
+        let scores = pca.transform(&x, 3).unwrap();
+        // Off-diagonal covariance of scores should be ~0.
+        let c0 = scores.col(0);
+        let c1 = scores.col(1);
+        let r = crate::stats::pearson(&c0, &c1).unwrap();
+        assert!(r.abs() < 1e-6, "PC scores should be uncorrelated, r={r}");
+    }
+}

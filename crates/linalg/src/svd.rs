@@ -1,0 +1,206 @@
+//! Thin singular value decomposition.
+//!
+//! The DPZ paper weighs PCA against SVD/NMF as the statistical retrieval
+//! stage (Section III-A2). This module provides the SVD so that comparison
+//! can actually be run: `A = U·Σ·Vᵀ` for an `n×m` matrix with `n ≥ m`,
+//! computed via the symmetric eigendecomposition of the `m×m` Gram matrix
+//! `AᵀA` (singular values are the square roots of its eigenvalues). For the
+//! well-conditioned, strongly low-rank matrices DPZ feeds it, the Gram
+//! route is accurate and reuses the crate's cross-validated eigensolver.
+
+use crate::eigen::sym_eigen;
+use crate::{LinalgError, Matrix, Result};
+
+/// A thin SVD: `a ≈ u · diag(s) · vt`.
+#[derive(Debug, Clone)]
+pub struct Svd {
+    /// `n × r` matrix of left singular vectors (columns, orthonormal).
+    pub u: Matrix,
+    /// Singular values, descending, `r = min(n, m)` entries.
+    pub s: Vec<f64>,
+    /// `r × m` matrix of right singular vectors (rows, orthonormal).
+    pub vt: Matrix,
+}
+
+impl Svd {
+    /// Reconstruct the best rank-`k` approximation `U_k Σ_k Vᵀ_k`.
+    pub fn low_rank(&self, k: usize) -> Result<Matrix> {
+        let k = k.min(self.s.len());
+        let n = self.u.rows();
+        let m = self.vt.cols();
+        let mut out = Matrix::zeros(n, m);
+        for c in 0..k {
+            let sigma = self.s[c];
+            if sigma == 0.0 {
+                continue;
+            }
+            for r in 0..n {
+                let u_rc = self.u.get(r, c) * sigma;
+                let row = out.row_mut(r);
+                for (j, o) in row.iter_mut().enumerate() {
+                    *o += u_rc * self.vt.get(c, j);
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// Compute the thin SVD of `a` (`n × m`, requires `n >= m >= 1`).
+pub fn svd(a: &Matrix) -> Result<Svd> {
+    let (n, m) = a.shape();
+    if m == 0 || n == 0 {
+        return Err(LinalgError::Empty("svd"));
+    }
+    if n < m {
+        return Err(LinalgError::DimensionMismatch {
+            op: "svd",
+            got: format!("{n}x{m}"),
+            expected: "n >= m (transpose the input for wide matrices)".to_string(),
+        });
+    }
+    // Gram matrix and its eigenpairs: AᵀA = V Σ² Vᵀ.
+    let gram = a.gram();
+    let eig = sym_eigen(&gram)?;
+    let s: Vec<f64> = eig.eigenvalues.iter().map(|&l| l.max(0.0).sqrt()).collect();
+    let v = eig.eigenvectors; // m × m, columns = right singular vectors
+
+    // U = A·V·Σ⁻¹ column by column; zero singular values get zero columns
+    // (the thin factorization stays valid since σ=0 kills the term).
+    let av = a.matmul(&v)?;
+    let mut u = Matrix::zeros(n, m);
+    for (c, &sigma) in s.iter().enumerate() {
+        if sigma > 1e-300 {
+            let inv = 1.0 / sigma;
+            for r in 0..n {
+                u.set(r, c, av.get(r, c) * inv);
+            }
+        }
+    }
+    Ok(Svd { u, s, vt: v.transpose() })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pseudo(n: usize, m: usize, seed: u64) -> Matrix {
+        let mut s = seed | 1;
+        let mut next = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            (s >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+        };
+        let mut out = Matrix::zeros(n, m);
+        for r in 0..n {
+            for c in 0..m {
+                out.set(r, c, next());
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn full_rank_reconstruction() {
+        let a = pseudo(12, 6, 3);
+        let d = svd(&a).unwrap();
+        let recon = d.low_rank(6).unwrap();
+        assert!(recon.max_abs_diff(&a) < 1e-9);
+    }
+
+    #[test]
+    fn singular_values_descending_nonnegative() {
+        let a = pseudo(20, 8, 7);
+        let d = svd(&a).unwrap();
+        for w in d.s.windows(2) {
+            assert!(w[0] >= w[1] - 1e-12);
+        }
+        assert!(d.s.iter().all(|&x| x >= 0.0));
+    }
+
+    #[test]
+    fn orthonormal_factors() {
+        let a = pseudo(15, 5, 11);
+        let d = svd(&a).unwrap();
+        let utu = d.u.transpose().matmul(&d.u).unwrap();
+        assert!(utu.max_abs_diff(&Matrix::identity(5)) < 1e-8);
+        let vvt = d.vt.matmul(&d.vt.transpose()).unwrap();
+        assert!(vvt.max_abs_diff(&Matrix::identity(5)) < 1e-9);
+    }
+
+    #[test]
+    fn known_diagonal_case() {
+        // A = diag(3, 2) stacked with zeros: singular values 3 and 2.
+        let a = Matrix::from_vec(3, 2, vec![3.0, 0.0, 0.0, 2.0, 0.0, 0.0]).unwrap();
+        let d = svd(&a).unwrap();
+        assert!((d.s[0] - 3.0).abs() < 1e-10);
+        assert!((d.s[1] - 2.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn low_rank_truncation_error_matches_tail() {
+        // Build an exactly rank-2 matrix; rank-2 truncation is exact and
+        // the rank-1 Frobenius error equals sigma_2.
+        let u1: Vec<f64> = (0..10).map(|i| (i as f64 * 0.3).sin()).collect();
+        let u2: Vec<f64> = (0..10).map(|i| (i as f64 * 0.9).cos()).collect();
+        let mut a = Matrix::zeros(10, 4);
+        for r in 0..10 {
+            for c in 0..4 {
+                a.set(r, c, 5.0 * u1[r] * (c as f64 + 1.0) + 0.5 * u2[r] * (1.5 - c as f64));
+            }
+        }
+        let d = svd(&a).unwrap();
+        // The Gram route squares the condition number: numerical dust in a
+        // zero eigenvalue surfaces as ~1e-6 relative singular values.
+        assert!(d.s[2] < 1e-6 * d.s[0], "rank-2 input must have sigma_3 ~ 0");
+        let r2 = d.low_rank(2).unwrap();
+        assert!(r2.max_abs_diff(&a) < 1e-9);
+        let r1 = d.low_rank(1).unwrap();
+        let err = r1.sub(&a).unwrap().frobenius_norm();
+        assert!((err - d.s[1]).abs() < 1e-6 * d.s[0], "rank-1 error {err} vs sigma2 {}", d.s[1]);
+    }
+
+    #[test]
+    fn rank_deficient_handled() {
+        // Two identical columns.
+        let mut a = Matrix::zeros(6, 2);
+        for r in 0..6 {
+            a.set(r, 0, r as f64);
+            a.set(r, 1, r as f64);
+        }
+        let d = svd(&a).unwrap();
+        assert!(d.s[1] < 1e-6 * d.s[0]);
+        let recon = d.low_rank(2).unwrap();
+        assert!(recon.max_abs_diff(&a) < 1e-9);
+    }
+
+    #[test]
+    fn rejects_wide_and_empty() {
+        assert!(svd(&Matrix::zeros(2, 5)).is_err());
+        assert!(svd(&Matrix::zeros(0, 0)).is_err());
+    }
+
+    #[test]
+    fn svd_energy_matches_pca_variance() {
+        // For a centered matrix, sigma_i^2 = (n-1) * lambda_i(PCA).
+        use crate::pca::{Pca, PcaOptions};
+        let raw = pseudo(40, 5, 23);
+        // Center columns.
+        let mut a = raw.clone();
+        for c in 0..5 {
+            let col = a.col(c);
+            let mean = col.iter().sum::<f64>() / col.len() as f64;
+            let centered: Vec<f64> = col.iter().map(|v| v - mean).collect();
+            a.set_col(c, &centered);
+        }
+        let d = svd(&a).unwrap();
+        let pca = Pca::fit(&raw, PcaOptions::default()).unwrap();
+        for i in 0..5 {
+            let from_svd = d.s[i] * d.s[i] / 39.0;
+            let rel = (from_svd - pca.eigenvalues()[i]).abs()
+                / pca.eigenvalues()[0].max(1e-300);
+            assert!(rel < 1e-9, "component {i}");
+        }
+    }
+}

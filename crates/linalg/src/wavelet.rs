@@ -1,0 +1,265 @@
+//! Orthonormal discrete wavelet transforms (Haar and Daubechies-4).
+//!
+//! Section III-B2 of the DPZ paper notes that PCA can run in *any*
+//! orthogonal transform domain — "PCA in other transform domains (e.g.,
+//! wavelet transforms) should also work if the coefficients show normality,
+//! high information preservation, and can be mathematically proved for
+//! direct implementation." This module provides that alternative stage-1
+//! transform: periodic, orthonormal DWTs whose transform matrices satisfy
+//! `Aᵀ = A⁻¹`, so the PCA-in-transform-domain identity (Eq. 3–6) holds
+//! verbatim.
+//!
+//! Multi-level analysis recursively transforms the approximation band; the
+//! coefficient layout after `L` levels is
+//! `[approx_L | detail_L | detail_{L-1} | … | detail_1]`, so low-frequency
+//! content concentrates at the front — the same energy-compaction shape the
+//! DCT gives DPZ.
+
+use crate::{LinalgError, Result};
+
+/// Wavelet family.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Wavelet {
+    /// Haar: 2-tap, the simplest orthonormal wavelet.
+    Haar,
+    /// Daubechies-4: 4-tap, smoother basis with better compaction on
+    /// piecewise-smooth signals.
+    Db4,
+}
+
+impl Wavelet {
+    /// Low-pass analysis filter taps.
+    fn lowpass(self) -> &'static [f64] {
+        match self {
+            Wavelet::Haar => &HAAR_LO,
+            Wavelet::Db4 => &DB4_LO,
+        }
+    }
+}
+
+const FRAC_1_SQRT_2: f64 = std::f64::consts::FRAC_1_SQRT_2;
+static HAAR_LO: [f64; 2] = [FRAC_1_SQRT_2, FRAC_1_SQRT_2];
+// Daubechies-4 analysis low-pass (orthonormal normalization).
+static DB4_LO: [f64; 4] = [
+    0.482962913144690,
+    0.836516303737469,
+    0.224143868041857,
+    -0.129409522550921,
+];
+
+/// One analysis level: `data` (even length) becomes
+/// `[approx | detail]`, each of half length, using periodic extension.
+fn analyze_level(data: &[f64], wavelet: Wavelet, out: &mut [f64]) {
+    let n = data.len();
+    debug_assert!(n.is_multiple_of(2) && out.len() == n);
+    let lo = wavelet.lowpass();
+    let taps = lo.len();
+    let half = n / 2;
+    for i in 0..half {
+        let mut a = 0.0;
+        let mut d = 0.0;
+        for (t, &l) in lo.iter().enumerate() {
+            let idx = (2 * i + t) % n;
+            a += l * data[idx];
+            // High-pass taps by the quadrature mirror relation:
+            // g[t] = (-1)^t * h[taps-1-t].
+            let g = if t % 2 == 0 { lo[taps - 1 - t] } else { -lo[taps - 1 - t] };
+            d += g * data[idx];
+        }
+        out[i] = a;
+        out[half + i] = d;
+    }
+}
+
+/// One synthesis level: invert [`analyze_level`].
+fn synthesize_level(coeffs: &[f64], wavelet: Wavelet, out: &mut [f64]) {
+    let n = coeffs.len();
+    debug_assert!(n.is_multiple_of(2) && out.len() == n);
+    let lo = wavelet.lowpass();
+    let taps = lo.len();
+    let half = n / 2;
+    out.iter_mut().for_each(|v| *v = 0.0);
+    for i in 0..half {
+        let a = coeffs[i];
+        let d = coeffs[half + i];
+        for (t, &l) in lo.iter().enumerate() {
+            let g = if t % 2 == 0 { lo[taps - 1 - t] } else { -lo[taps - 1 - t] };
+            let idx = (2 * i + t) % n;
+            out[idx] += l * a + g * d;
+        }
+    }
+}
+
+/// Multi-level forward DWT in place. `data.len()` must be divisible by
+/// `2^levels`; `levels == 0` is a no-op.
+pub fn dwt_forward(data: &mut [f64], wavelet: Wavelet, levels: usize) -> Result<()> {
+    let n = data.len();
+    if levels == 0 {
+        return Ok(());
+    }
+    if n == 0 || !n.is_multiple_of(1 << levels) {
+        return Err(LinalgError::DimensionMismatch {
+            op: "dwt_forward",
+            got: format!("length {n}"),
+            expected: format!("multiple of 2^{levels}"),
+        });
+    }
+    let mut scratch = vec![0.0; n];
+    let mut len = n;
+    for _ in 0..levels {
+        analyze_level(&data[..len], wavelet, &mut scratch[..len]);
+        data[..len].copy_from_slice(&scratch[..len]);
+        len /= 2;
+    }
+    Ok(())
+}
+
+/// Multi-level inverse DWT in place (exact inverse of [`dwt_forward`]).
+pub fn dwt_inverse(data: &mut [f64], wavelet: Wavelet, levels: usize) -> Result<()> {
+    let n = data.len();
+    if levels == 0 {
+        return Ok(());
+    }
+    if n == 0 || !n.is_multiple_of(1 << levels) {
+        return Err(LinalgError::DimensionMismatch {
+            op: "dwt_inverse",
+            got: format!("length {n}"),
+            expected: format!("multiple of 2^{levels}"),
+        });
+    }
+    let mut scratch = vec![0.0; n];
+    let mut len = n >> (levels - 1);
+    for _ in 0..levels {
+        synthesize_level(&data[..len], wavelet, &mut scratch[..len]);
+        data[..len].copy_from_slice(&scratch[..len]);
+        len *= 2;
+    }
+    Ok(())
+}
+
+/// Largest level count usable for a given length (so every analysis level
+/// sees an even length), capped at `max_levels`.
+pub fn max_levels_for(len: usize, max_levels: usize) -> usize {
+    let mut levels = 0;
+    let mut l = len;
+    while levels < max_levels && l >= 2 && l.is_multiple_of(2) {
+        levels += 1;
+        l /= 2;
+    }
+    levels
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn signal(n: usize) -> Vec<f64> {
+        (0..n)
+            .map(|i| (i as f64 * 0.05).sin() * 3.0 + (i as f64 * 0.011).cos())
+            .collect()
+    }
+
+    #[test]
+    fn round_trip_all_wavelets_and_levels() {
+        for wavelet in [Wavelet::Haar, Wavelet::Db4] {
+            for levels in 0..=4 {
+                let original = signal(64);
+                let mut buf = original.clone();
+                dwt_forward(&mut buf, wavelet, levels).unwrap();
+                dwt_inverse(&mut buf, wavelet, levels).unwrap();
+                for (a, b) in original.iter().zip(&buf) {
+                    assert!(
+                        (a - b).abs() < 1e-10,
+                        "{wavelet:?} levels {levels}: {a} vs {b}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn energy_preserved_orthonormal() {
+        for wavelet in [Wavelet::Haar, Wavelet::Db4] {
+            let original = signal(128);
+            let e0: f64 = original.iter().map(|v| v * v).sum();
+            let mut buf = original.clone();
+            dwt_forward(&mut buf, wavelet, 3).unwrap();
+            let e1: f64 = buf.iter().map(|v| v * v).sum();
+            assert!((e0 - e1).abs() < 1e-9 * e0, "{wavelet:?}: {e0} vs {e1}");
+        }
+    }
+
+    #[test]
+    fn haar_constant_signal_compacts_to_dc() {
+        let mut buf = vec![5.0; 32];
+        dwt_forward(&mut buf, Wavelet::Haar, 5).unwrap();
+        // All energy in the single approximation coefficient: 5 * sqrt(32).
+        assert!((buf[0] - 5.0 * 32f64.sqrt()).abs() < 1e-9);
+        for v in &buf[1..] {
+            assert!(v.abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn db4_kills_linear_ramps() {
+        // Db4 has two vanishing moments: detail coefficients of a linear
+        // ramp vanish (away from the periodic wrap-around).
+        let n = 64;
+        let mut buf: Vec<f64> = (0..n).map(|i| 2.0 * i as f64 + 1.0).collect();
+        dwt_forward(&mut buf, Wavelet::Db4, 1).unwrap();
+        let details = &buf[n / 2..];
+        // All interior detail coefficients ~ 0; the wrap-around ones are not.
+        let interior = &details[1..n / 2 - 1];
+        for (i, v) in interior.iter().enumerate() {
+            assert!(v.abs() < 1e-9, "detail {i} = {v}");
+        }
+    }
+
+    #[test]
+    fn smooth_signal_energy_compaction() {
+        let mut buf = signal(256);
+        let total: f64 = buf.iter().map(|v| v * v).sum();
+        dwt_forward(&mut buf, Wavelet::Db4, 3).unwrap();
+        let head: f64 = buf[..64].iter().map(|v| v * v).sum();
+        assert!(head / total > 0.99, "head energy {}", head / total);
+    }
+
+    #[test]
+    fn rejects_bad_lengths() {
+        let mut buf = vec![0.0; 12];
+        assert!(dwt_forward(&mut buf, Wavelet::Haar, 3).is_err()); // 12 % 8 != 0
+        assert!(dwt_forward(&mut buf, Wavelet::Haar, 2).is_ok());
+        let mut empty: Vec<f64> = vec![];
+        assert!(dwt_forward(&mut empty, Wavelet::Haar, 1).is_err());
+    }
+
+    #[test]
+    fn zero_levels_is_noop() {
+        let original = signal(10);
+        let mut buf = original.clone();
+        dwt_forward(&mut buf, Wavelet::Db4, 0).unwrap();
+        assert_eq!(buf, original);
+    }
+
+    #[test]
+    fn max_levels_helper() {
+        assert_eq!(max_levels_for(64, 10), 6);
+        assert_eq!(max_levels_for(64, 3), 3);
+        assert_eq!(max_levels_for(48, 10), 4); // 48 = 16*3
+        assert_eq!(max_levels_for(7, 10), 0);
+        assert_eq!(max_levels_for(0, 10), 0);
+    }
+
+    #[test]
+    fn db4_filter_is_orthonormal() {
+        // Sum of squares = 1; shifted-by-2 inner product = 0.
+        let h = &DB4_LO;
+        let norm: f64 = h.iter().map(|v| v * v).sum();
+        assert!((norm - 1.0).abs() < 1e-12);
+        let shift2: f64 = h[0] * h[2] + h[1] * h[3];
+        assert!(shift2.abs() < 1e-12);
+        // Low-pass DC gain = sqrt(2).
+        let dc: f64 = h.iter().sum();
+        assert!((dc - std::f64::consts::SQRT_2).abs() < 1e-12);
+    }
+}

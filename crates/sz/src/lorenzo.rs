@@ -1,0 +1,188 @@
+//! Lorenzo predictors over 1-D/2-D/3-D grids.
+//!
+//! The Lorenzo predictor estimates a value from its already-visited causal
+//! neighbors with alternating-sign inclusion–exclusion over the unit cube
+//! corner at the current point. Out-of-range neighbors contribute 0, so the
+//! very first element is predicted as 0 (SZ's convention).
+
+/// Grid shape wrapper that dispatches the right stencil.
+#[derive(Debug, Clone)]
+pub struct Grid {
+    dims: Vec<usize>,
+}
+
+impl Grid {
+    /// Create a grid; 1, 2 or 3 dimensions are supported.
+    pub fn new(dims: &[usize]) -> Grid {
+        assert!(
+            (1..=3).contains(&dims.len()),
+            "Lorenzo prediction supports 1-3 dimensions, got {}",
+            dims.len()
+        );
+        assert!(dims.iter().all(|&d| d > 0), "zero-sized dimension");
+        Grid { dims: dims.to_vec() }
+    }
+
+    /// Total number of points.
+    pub fn len(&self) -> usize {
+        self.dims.iter().product()
+    }
+
+    /// True when the grid has no points (cannot happen post-construction).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Dimensions, slowest-varying first.
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// Predict the value at flat index `idx` from reconstructed values in
+    /// `recon[..idx]` (values at and after `idx` are never read).
+    #[inline]
+    pub fn predict(&self, recon: &[f64], idx: usize) -> f64 {
+        match self.dims.len() {
+            1 => {
+                if idx == 0 {
+                    0.0
+                } else {
+                    recon[idx - 1]
+                }
+            }
+            2 => {
+                let cols = self.dims[1];
+                let (r, c) = (idx / cols, idx % cols);
+                let at = |rr: usize, cc: usize| recon[rr * cols + cc];
+                match (r, c) {
+                    (0, 0) => 0.0,
+                    (0, _) => at(0, c - 1),
+                    (_, 0) => at(r - 1, 0),
+                    _ => at(r, c - 1) + at(r - 1, c) - at(r - 1, c - 1),
+                }
+            }
+            _ => {
+                let (d1, d2) = (self.dims[1], self.dims[2]);
+                let plane = d1 * d2;
+                let (i, rem) = (idx / plane, idx % plane);
+                let (j, k) = (rem / d2, rem % d2);
+                let at = |ii: usize, jj: usize, kk: usize| recon[(ii * d1 + jj) * d2 + kk];
+                let gi = i > 0;
+                let gj = j > 0;
+                let gk = k > 0;
+                let mut p = 0.0;
+                // Inclusion–exclusion over the 7 causal corners.
+                if gk {
+                    p += at(i, j, k - 1);
+                }
+                if gj {
+                    p += at(i, j - 1, k);
+                }
+                if gi {
+                    p += at(i - 1, j, k);
+                }
+                if gj && gk {
+                    p -= at(i, j - 1, k - 1);
+                }
+                if gi && gk {
+                    p -= at(i - 1, j, k - 1);
+                }
+                if gi && gj {
+                    p -= at(i - 1, j - 1, k);
+                }
+                if gi && gj && gk {
+                    p += at(i - 1, j - 1, k - 1);
+                }
+                p
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_element_predicted_zero() {
+        for dims in [vec![5], vec![3, 3], vec![2, 2, 2]] {
+            let g = Grid::new(&dims);
+            assert_eq!(g.predict(&vec![9.0; g.len()], 0), 0.0);
+        }
+    }
+
+    #[test]
+    fn linear_1d_is_predicted_with_constant_residual() {
+        // 1-D Lorenzo = previous value, so a linear ramp has residual = slope.
+        let g = Grid::new(&[10]);
+        let recon: Vec<f64> = (0..10).map(|i| 2.0 * i as f64).collect();
+        for i in 1..10 {
+            assert_eq!(recon[i] - g.predict(&recon, i), 2.0);
+        }
+    }
+
+    #[test]
+    fn bilinear_2d_exactly_predicted() {
+        // f(r,c) = a + b r + c c' is reproduced exactly by N + W - NW.
+        let (rows, cols) = (6, 7);
+        let g = Grid::new(&[rows, cols]);
+        let f = |r: usize, c: usize| 3.0 + 2.0 * r as f64 - 1.5 * c as f64;
+        let recon: Vec<f64> =
+            (0..rows * cols).map(|i| f(i / cols, i % cols)).collect();
+        for r in 1..rows {
+            for c in 1..cols {
+                let idx = r * cols + c;
+                assert!((g.predict(&recon, idx) - f(r, c)).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn trilinear_3d_exactly_predicted() {
+        let (a, b, c) = (4usize, 5usize, 3usize);
+        let g = Grid::new(&[a, b, c]);
+        let f = |i: usize, j: usize, k: usize| {
+            1.0 + 0.5 * i as f64 + 0.25 * j as f64 - 0.75 * k as f64
+        };
+        let recon: Vec<f64> = (0..a * b * c)
+            .map(|idx| {
+                let (i, rem) = (idx / (b * c), idx % (b * c));
+                f(i, rem / c, rem % c)
+            })
+            .collect();
+        for i in 1..a {
+            for j in 1..b {
+                for k in 1..c {
+                    let idx = (i * b + j) * c + k;
+                    assert!(
+                        (g.predict(&recon, idx) - f(i, j, k)).abs() < 1e-12,
+                        "at ({i},{j},{k})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn boundary_faces_fall_back_gracefully() {
+        let g = Grid::new(&[3, 3, 3]);
+        let recon = vec![1.0; 27];
+        // Constant field: all predictions on interior and faces equal 1
+        // (inclusion-exclusion of a constant is the constant), except origin.
+        for idx in 1..27 {
+            assert!((g.predict(&recon, idx) - 1.0).abs() < 1e-12, "idx {idx}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "supports 1-3 dimensions")]
+    fn rejects_4d() {
+        Grid::new(&[2, 2, 2, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-sized")]
+    fn rejects_zero_dim() {
+        Grid::new(&[4, 0]);
+    }
+}

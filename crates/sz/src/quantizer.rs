@@ -1,0 +1,134 @@
+//! Linear-scaling quantization of prediction residuals (SZ's
+//! "error-controlled quantization").
+//!
+//! Residual `r = x − pred` maps to code `m = round(r / (2·eb))`; the decoder
+//! reconstructs `pred + m·2·eb`, which differs from `x` by at most `eb`.
+//! Codes outside `(-radius, radius)` — or reconstructions whose `f32`
+//! rounding would break the bound — are escaped as exact outliers.
+
+/// Outcome of quantizing one residual.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Quantized {
+    /// In-range: the symbol to entropy-code (`code = m + radius`, so the
+    /// outlier escape 0 never collides; valid symbols are `1..2·radius`).
+    Code(u32),
+    /// Out-of-range: store the original value verbatim.
+    Outlier,
+}
+
+/// Residual quantizer with bin width `2·eb`.
+#[derive(Debug, Clone, Copy)]
+pub struct Quantizer {
+    eb: f64,
+    radius: i64,
+}
+
+impl Quantizer {
+    /// Create a quantizer; `eb > 0`, `radius >= 2`.
+    pub fn new(error_bound: f64, radius: u32) -> Quantizer {
+        assert!(error_bound > 0.0 && error_bound.is_finite());
+        assert!(radius >= 2);
+        Quantizer { eb: error_bound, radius: i64::from(radius) }
+    }
+
+    /// Number of entropy-coder symbols (`2·radius`; symbol 0 = outlier).
+    pub fn alphabet_size(&self) -> usize {
+        (2 * self.radius) as usize
+    }
+
+    /// Quantize `value` against `pred`, returning the decision and the
+    /// reconstructed value the decoder will see.
+    #[inline]
+    pub fn quantize(&self, value: f64, pred: f64) -> (Quantized, f64) {
+        let diff = value - pred;
+        let m = (diff / (2.0 * self.eb)).round();
+        if !m.is_finite() || m.abs() >= self.radius as f64 {
+            return (Quantized::Outlier, value);
+        }
+        let m = m as i64;
+        let recon = pred + (m as f64) * 2.0 * self.eb;
+        // The decoder stores f32; make sure the rounded value still honors
+        // the bound, otherwise escape.
+        let recon_f32 = recon as f32;
+        if (f64::from(recon_f32) - value).abs() > self.eb {
+            return (Quantized::Outlier, value);
+        }
+        (Quantized::Code((m + self.radius) as u32), f64::from(recon_f32))
+    }
+
+    /// Decoder side: reconstruct from a symbol (`1..2·radius`).
+    #[inline]
+    pub fn reconstruct(&self, symbol: u32, pred: f64) -> f64 {
+        let m = i64::from(symbol) - self.radius;
+        f64::from((pred + (m as f64) * 2.0 * self.eb) as f32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn in_range_value_meets_bound() {
+        let q = Quantizer::new(0.01, 1 << 10);
+        let pred = 5.0;
+        for value in [5.0, 5.004, 4.98, 5.5, 4.5] {
+            let (decision, recon) = q.quantize(value, pred);
+            match decision {
+                Quantized::Code(sym) => {
+                    assert!((recon - value).abs() <= 0.01 + 1e-12);
+                    assert!((q.reconstruct(sym, pred) - recon).abs() < 1e-12);
+                }
+                Quantized::Outlier => panic!("{value} should be in range"),
+            }
+        }
+    }
+
+    #[test]
+    fn far_value_is_outlier() {
+        let q = Quantizer::new(1e-6, 4);
+        let (decision, recon) = q.quantize(100.0, 0.0);
+        assert_eq!(decision, Quantized::Outlier);
+        assert_eq!(recon, 100.0);
+    }
+
+    #[test]
+    fn code_zero_never_produced() {
+        // Symbol 0 is the outlier escape; the smallest in-range code is 1.
+        let q = Quantizer::new(0.5, 4);
+        for value in [-3.4f64, -3.0, -2.0, 0.0, 2.0, 3.0] {
+            if let (Quantized::Code(sym), _) = q.quantize(value, 0.0) {
+                assert!((1..8).contains(&sym), "symbol {sym} for {value}");
+            }
+        }
+    }
+
+    #[test]
+    fn encoder_decoder_symmetry() {
+        let q = Quantizer::new(0.003, 1 << 12);
+        let pred = -2.25;
+        let value = -2.2501;
+        if let (Quantized::Code(sym), recon_enc) = q.quantize(value, pred) {
+            assert_eq!(q.reconstruct(sym, pred), recon_enc);
+        } else {
+            panic!("expected in-range");
+        }
+    }
+
+    #[test]
+    fn nan_becomes_outlier() {
+        let q = Quantizer::new(0.01, 8);
+        let (decision, _) = q.quantize(f64::NAN, 0.0);
+        assert_eq!(decision, Quantized::Outlier);
+    }
+
+    #[test]
+    fn f32_rounding_guard() {
+        // Huge magnitude + tiny bound: f32 rounding would violate the bound,
+        // so quantize must escape.
+        let q = Quantizer::new(1e-7, 1 << 15);
+        let value = 1e9f64 + 0.5;
+        let (decision, _) = q.quantize(value, 1e9);
+        assert_eq!(decision, Quantized::Outlier);
+    }
+}

@@ -1,0 +1,220 @@
+//! Partitioning of 1-3 dimensional arrays into 4^d blocks with edge
+//! replication for partial blocks, plus the inverse scatter.
+
+/// Side length of a ZFP block along each dimension.
+pub const SIDE: usize = 4;
+
+/// Shape bookkeeping for block iteration.
+#[derive(Debug, Clone)]
+pub struct BlockLayout {
+    dims: Vec<usize>,
+    /// Number of blocks along each dimension (ceil(dim / 4)).
+    blocks: Vec<usize>,
+}
+
+impl BlockLayout {
+    /// Build a layout over `dims` (1-3 dimensions, all non-zero).
+    pub fn new(dims: &[usize]) -> BlockLayout {
+        assert!((1..=3).contains(&dims.len()), "ZFP supports 1-3 dimensions here");
+        assert!(dims.iter().all(|&d| d > 0), "zero-sized dimension");
+        let blocks = dims.iter().map(|&d| d.div_ceil(SIDE)).collect();
+        BlockLayout { dims: dims.to_vec(), blocks }
+    }
+
+    /// Dimensionality (1, 2 or 3).
+    pub fn ndims(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Values per block (`4^d`).
+    pub fn block_len(&self) -> usize {
+        SIDE.pow(self.ndims() as u32)
+    }
+
+    /// Total number of blocks.
+    pub fn n_blocks(&self) -> usize {
+        self.blocks.iter().product()
+    }
+
+    /// Total number of array elements.
+    pub fn n_values(&self) -> usize {
+        self.dims.iter().product()
+    }
+
+    /// Original dimensions.
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// Block grid coordinates of block index `b` (slowest first).
+    fn block_coords(&self, b: usize) -> [usize; 3] {
+        match self.ndims() {
+            1 => [b, 0, 0],
+            2 => [b / self.blocks[1], b % self.blocks[1], 0],
+            _ => {
+                let plane = self.blocks[1] * self.blocks[2];
+                [b / plane, (b % plane) / self.blocks[2], b % self.blocks[2]]
+            }
+        }
+    }
+
+    /// Gather block `b` from `data` into `out` (length `block_len`), clamping
+    /// out-of-range coordinates to the array edge (replication padding).
+    // Coordinate loops mirror the 3-D indexing math; iterator forms obscure it.
+    #[allow(clippy::needless_range_loop)]
+    pub fn gather(&self, data: &[f32], b: usize, out: &mut [f64]) {
+        debug_assert_eq!(data.len(), self.n_values());
+        debug_assert_eq!(out.len(), self.block_len());
+        let bc = self.block_coords(b);
+        match self.ndims() {
+            1 => {
+                let n = self.dims[0];
+                for i in 0..SIDE {
+                    let x = (bc[0] * SIDE + i).min(n - 1);
+                    out[i] = f64::from(data[x]);
+                }
+            }
+            2 => {
+                let (r, c) = (self.dims[0], self.dims[1]);
+                for i in 0..SIDE {
+                    let x = (bc[0] * SIDE + i).min(r - 1);
+                    for j in 0..SIDE {
+                        let y = (bc[1] * SIDE + j).min(c - 1);
+                        out[i * SIDE + j] = f64::from(data[x * c + y]);
+                    }
+                }
+            }
+            _ => {
+                let (d0, d1, d2) = (self.dims[0], self.dims[1], self.dims[2]);
+                for i in 0..SIDE {
+                    let x = (bc[0] * SIDE + i).min(d0 - 1);
+                    for j in 0..SIDE {
+                        let y = (bc[1] * SIDE + j).min(d1 - 1);
+                        for k in 0..SIDE {
+                            let z = (bc[2] * SIDE + k).min(d2 - 1);
+                            out[(i * SIDE + j) * SIDE + k] =
+                                f64::from(data[(x * d1 + y) * d2 + z]);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Scatter a reconstructed block back, ignoring padded lanes.
+    #[allow(clippy::needless_range_loop)]
+    pub fn scatter(&self, block: &[f64], b: usize, data: &mut [f32]) {
+        debug_assert_eq!(data.len(), self.n_values());
+        debug_assert_eq!(block.len(), self.block_len());
+        let bc = self.block_coords(b);
+        match self.ndims() {
+            1 => {
+                let n = self.dims[0];
+                for i in 0..SIDE {
+                    let x = bc[0] * SIDE + i;
+                    if x < n {
+                        data[x] = block[i] as f32;
+                    }
+                }
+            }
+            2 => {
+                let (r, c) = (self.dims[0], self.dims[1]);
+                for i in 0..SIDE {
+                    let x = bc[0] * SIDE + i;
+                    if x >= r {
+                        continue;
+                    }
+                    for j in 0..SIDE {
+                        let y = bc[1] * SIDE + j;
+                        if y < c {
+                            data[x * c + y] = block[i * SIDE + j] as f32;
+                        }
+                    }
+                }
+            }
+            _ => {
+                let (d0, d1, d2) = (self.dims[0], self.dims[1], self.dims[2]);
+                for i in 0..SIDE {
+                    let x = bc[0] * SIDE + i;
+                    if x >= d0 {
+                        continue;
+                    }
+                    for j in 0..SIDE {
+                        let y = bc[1] * SIDE + j;
+                        if y >= d1 {
+                            continue;
+                        }
+                        for k in 0..SIDE {
+                            let z = bc[2] * SIDE + k;
+                            if z < d2 {
+                                data[(x * d1 + y) * d2 + z] =
+                                    block[(i * SIDE + j) * SIDE + k] as f32;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_counts() {
+        assert_eq!(BlockLayout::new(&[8]).n_blocks(), 2);
+        assert_eq!(BlockLayout::new(&[9]).n_blocks(), 3);
+        assert_eq!(BlockLayout::new(&[8, 8]).n_blocks(), 4);
+        assert_eq!(BlockLayout::new(&[5, 9]).n_blocks(), 2 * 3);
+        assert_eq!(BlockLayout::new(&[4, 4, 4]).n_blocks(), 1);
+        assert_eq!(BlockLayout::new(&[4, 4, 4]).block_len(), 64);
+    }
+
+    #[test]
+    fn gather_scatter_identity_exact_dims() {
+        let dims = [8usize, 12];
+        let layout = BlockLayout::new(&dims);
+        let data: Vec<f32> = (0..96).map(|i| i as f32).collect();
+        let mut out = vec![0.0f32; 96];
+        let mut buf = vec![0.0f64; layout.block_len()];
+        for b in 0..layout.n_blocks() {
+            layout.gather(&data, b, &mut buf);
+            layout.scatter(&buf, b, &mut out);
+        }
+        assert_eq!(out, data);
+    }
+
+    #[test]
+    fn gather_scatter_identity_padded_dims() {
+        for dims in [vec![5usize], vec![7, 9], vec![5, 6, 7]] {
+            let layout = BlockLayout::new(&dims);
+            let n = layout.n_values();
+            let data: Vec<f32> = (0..n).map(|i| (i as f32 * 0.7).sin()).collect();
+            let mut out = vec![0.0f32; n];
+            let mut buf = vec![0.0f64; layout.block_len()];
+            for b in 0..layout.n_blocks() {
+                layout.gather(&data, b, &mut buf);
+                layout.scatter(&buf, b, &mut out);
+            }
+            assert_eq!(out, data, "dims {dims:?}");
+        }
+    }
+
+    #[test]
+    fn padding_replicates_edge() {
+        // 1-D array of 5: second block is [4th, 4th, 4th, 4th] clamped.
+        let layout = BlockLayout::new(&[5]);
+        let data = vec![0.0f32, 1.0, 2.0, 3.0, 4.0];
+        let mut buf = vec![0.0f64; 4];
+        layout.gather(&data, 1, &mut buf);
+        assert_eq!(buf, vec![4.0, 4.0, 4.0, 4.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "1-3 dimensions")]
+    fn rejects_4d() {
+        BlockLayout::new(&[2, 2, 2, 2]);
+    }
+}

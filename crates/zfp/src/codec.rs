@@ -1,0 +1,496 @@
+//! Embedded bit-plane codec and the ZFP container.
+//!
+//! Transformed coefficients are mapped to **negabinary** (so sign
+//! information lives in high-order bits and truncation rounds toward zero),
+//! then emitted plane by plane from the most significant bit down, using
+//! ZFP's adaptive group testing: the codec tracks how many leading
+//! (sequency-ordered) coefficients have become significant and spends one
+//! test bit per plane on the insignificant tail, so smooth blocks cost very
+//! few bits per plane.
+
+use crate::block::BlockLayout;
+use crate::transform::{
+    from_fixed, fwd_transform, inv_transform, max_exponent, sequency_order, to_fixed,
+};
+use crate::{ZfpError, ZfpMode};
+use dpz_deflate::bitio::{BitReader, BitWriter};
+
+const MAGIC: &[u8; 4] = b"ZFR1";
+/// Bits in the integer coefficient representation.
+const INTPREC: u32 = 32;
+/// Negabinary mask.
+const NBMASK: u32 = 0xAAAA_AAAA;
+/// Bias added to block exponents in the header.
+const EXP_BIAS: i32 = 16384;
+
+/// Map a two's-complement coefficient to negabinary.
+#[inline]
+fn int2uint(x: i64) -> u32 {
+    let x = x as i32;
+    (x.wrapping_add(NBMASK as i32) as u32) ^ NBMASK
+}
+
+/// Map negabinary back to two's complement.
+#[inline]
+fn uint2int(u: u32) -> i64 {
+    i64::from(((u ^ NBMASK) as i32).wrapping_sub(NBMASK as i32))
+}
+
+/// Write the low `count` bits of `x` (count <= 64); higher bits are ignored.
+fn write_bits64(w: &mut BitWriter, x: u64, count: usize) {
+    let x = if count >= 64 { x } else { x & ((1u64 << count) - 1) };
+    if count <= 32 {
+        w.write_bits(x as u32, count as u32);
+    } else {
+        w.write_bits((x & 0xFFFF_FFFF) as u32, 32);
+        w.write_bits((x >> 32) as u32, (count - 32) as u32);
+    }
+}
+
+/// Read `count` bits into a u64 (count <= 64).
+fn read_bits64(r: &mut BitReader<'_>, count: usize) -> Result<u64, ZfpError> {
+    let map = |_e| ZfpError::Corrupt("bitstream truncated");
+    if count <= 32 {
+        Ok(u64::from(r.read_bits(count as u32).map_err(map)?))
+    } else {
+        let lo = u64::from(r.read_bits(32).map_err(map)?);
+        let hi = u64::from(r.read_bits((count - 32) as u32).map_err(map)?);
+        Ok(lo | (hi << 32))
+    }
+}
+
+/// Encode one block of negabinary coefficients (already in sequency order)
+/// keeping the top `maxprec` bit planes, spending at most `budget` bits
+/// (pass `u64::MAX` for unbounded). Returns bits written.
+fn encode_ints(w: &mut BitWriter, ublock: &[u32], maxprec: u32, budget: u64) -> u64 {
+    let size = ublock.len();
+    debug_assert!(size <= 64);
+    let kmin = INTPREC.saturating_sub(maxprec);
+    let mut left = budget;
+    let mut n = 0usize;
+    for k in (kmin..INTPREC).rev() {
+        if left == 0 {
+            break;
+        }
+        // Gather bit plane k across the block.
+        let mut x: u64 = 0;
+        for (i, &v) in ublock.iter().enumerate() {
+            x |= u64::from((v >> k) & 1) << i;
+        }
+        // Verbatim bits for coefficients already significant (truncated to
+        // the remaining budget, exactly like zfp's stream_write_bits).
+        let m = n.min(left as usize);
+        write_bits64(w, x, m);
+        left -= m as u64;
+        x = if n >= 64 { 0 } else { x >> n };
+        // Adaptive group testing over the insignificant tail (mirrors zfp's
+        // encode_ints loop structure exactly — the decoder depends on it).
+        let mut i = n;
+        while i < size && left > 0 {
+            // Group test: any set bit at position >= i?
+            let any = x != 0;
+            left -= 1;
+            w.write_bits(u32::from(any), 1);
+            if !any {
+                break;
+            }
+            // Emit zero bits up to the next set bit; the set bit itself is
+            // written when not at the final position, implied otherwise.
+            while i < size - 1 && left > 0 {
+                let bit = (x & 1) as u32;
+                left -= 1;
+                w.write_bits(bit, 1);
+                if bit != 0 {
+                    break;
+                }
+                x >>= 1;
+                i += 1;
+            }
+            // Consume the significant position (explicit or implied).
+            x >>= 1;
+            i += 1;
+        }
+        n = n.max(i.min(size));
+    }
+    budget - left
+}
+
+/// Decode one block of negabinary coefficients (sequency order), consuming
+/// at most `budget` bits. Returns the block and the bits consumed.
+fn decode_ints(
+    r: &mut BitReader<'_>,
+    size: usize,
+    maxprec: u32,
+    budget: u64,
+) -> Result<(Vec<u32>, u64), ZfpError> {
+    debug_assert!(size <= 64);
+    let kmin = INTPREC.saturating_sub(maxprec);
+    let mut ublock = vec![0u32; size];
+    let mut left = budget;
+    let mut n = 0usize;
+    for k in (kmin..INTPREC).rev() {
+        if left == 0 {
+            break;
+        }
+        let m = n.min(left as usize);
+        let mut x = read_bits64(r, m)?;
+        left -= m as u64;
+        let mut i = n;
+        while i < size && left > 0 {
+            left -= 1;
+            let any = read_bits64(r, 1)? != 0;
+            if !any {
+                break;
+            }
+            while i < size - 1 && left > 0 {
+                left -= 1;
+                let bit = read_bits64(r, 1)?;
+                if bit != 0 {
+                    break;
+                }
+                i += 1;
+            }
+            // Significant bit at position i (explicit or implied at the end).
+            x |= 1u64 << i;
+            i += 1;
+        }
+        n = n.max(i.min(size));
+        // Deposit the plane.
+        let mut bits = x;
+        let mut idx = 0usize;
+        while bits != 0 {
+            if bits & 1 != 0 {
+                ublock[idx] |= 1 << k;
+            }
+            bits >>= 1;
+            idx += 1;
+        }
+    }
+    Ok((ublock, budget - left))
+}
+
+/// Per-block precision for a mode given the block exponent.
+fn block_precision(mode: ZfpMode, e: i32, ndims: usize) -> u32 {
+    match mode {
+        ZfpMode::FixedPrecision(p) => p.clamp(1, INTPREC),
+        ZfpMode::FixedAccuracy(tol) => {
+            let emin = tol.max(f64::MIN_POSITIVE).log2().floor() as i32;
+            let guard = 2 * (ndims as i32 + 1);
+            (e - emin + guard).clamp(0, INTPREC as i32) as u32
+        }
+        // Fixed rate: the bit budget does the truncation, not the plane cap.
+        ZfpMode::FixedRate(_) => INTPREC,
+    }
+}
+
+/// Per-block header cost in bits: zero flag + biased exponent.
+const BLOCK_HEADER_BITS: u64 = 17;
+
+/// Total per-block bit budget for a fixed-rate mode, if any.
+fn block_bit_budget(mode: ZfpMode, block_len: usize) -> Option<u64> {
+    match mode {
+        ZfpMode::FixedRate(rate) => {
+            let bits = (rate * block_len as f64).round() as u64;
+            // Room for at least the header plus a few payload bits.
+            Some(bits.max(BLOCK_HEADER_BITS + 7))
+        }
+        _ => None,
+    }
+}
+
+/// Compress `data` with shape `dims` under `mode`.
+pub fn compress(data: &[f32], dims: &[usize], mode: ZfpMode) -> Vec<u8> {
+    let layout = BlockLayout::new(dims);
+    assert_eq!(layout.n_values(), data.len(), "dims do not match data length");
+    match mode {
+        ZfpMode::FixedAccuracy(tol) => {
+            assert!(tol > 0.0 && tol.is_finite(), "tolerance must be positive")
+        }
+        ZfpMode::FixedRate(rate) => {
+            assert!(rate > 0.0 && rate.is_finite(), "rate must be positive")
+        }
+        ZfpMode::FixedPrecision(_) => {}
+    }
+    let ndims = layout.ndims();
+    let order = sequency_order(ndims);
+    let bl = layout.block_len();
+
+    let mut w = BitWriter::new();
+    let mut fblock = vec![0.0f64; bl];
+    let mut iblock = vec![0i64; bl];
+    let rate_budget = block_bit_budget(mode, bl);
+    for b in 0..layout.n_blocks() {
+        layout.gather(data, b, &mut fblock);
+        let mut pad = 0u64;
+        match max_exponent(&fblock) {
+            None => {
+                w.write_bits(0, 1); // all-zero block
+                if let Some(total) = rate_budget {
+                    pad = total - 1;
+                }
+            }
+            Some(e) => {
+                let maxprec = block_precision(mode, e, ndims);
+                if maxprec == 0 {
+                    // Below tolerance: code as zero.
+                    w.write_bits(0, 1);
+                    if let Some(total) = rate_budget {
+                        pad = total - 1;
+                    }
+                } else {
+                    w.write_bits(1, 1);
+                    w.write_bits((e + EXP_BIAS) as u32, 16);
+                    to_fixed(&fblock, e, &mut iblock);
+                    fwd_transform(&mut iblock, ndims);
+                    let ublock: Vec<u32> =
+                        order.iter().map(|&i| int2uint(iblock[i])).collect();
+                    let payload_budget =
+                        rate_budget.map_or(u64::MAX, |t| t - BLOCK_HEADER_BITS);
+                    let used = encode_ints(&mut w, &ublock, maxprec, payload_budget);
+                    if let Some(total) = rate_budget {
+                        pad = total - BLOCK_HEADER_BITS - used;
+                    }
+                }
+            }
+        }
+        // Fixed-rate blocks are zero-padded to exactly the budget so random
+        // access by block index would be possible, as in the reference zfp.
+        let mut left = pad;
+        while left > 0 {
+            let chunk = left.min(32) as u32;
+            w.write_bits(0, chunk);
+            left -= u64::from(chunk);
+        }
+    }
+    let bitstream = w.finish();
+
+    let mut out = Vec::with_capacity(bitstream.len() + 64);
+    out.extend_from_slice(MAGIC);
+    out.push(ndims as u8);
+    for &d in dims {
+        out.extend_from_slice(&(d as u64).to_le_bytes());
+    }
+    match mode {
+        ZfpMode::FixedPrecision(p) => {
+            out.push(0);
+            out.extend_from_slice(&u64::from(p).to_le_bytes());
+        }
+        ZfpMode::FixedAccuracy(tol) => {
+            out.push(1);
+            out.extend_from_slice(&tol.to_le_bytes());
+        }
+        ZfpMode::FixedRate(rate) => {
+            out.push(2);
+            out.extend_from_slice(&rate.to_le_bytes());
+        }
+    }
+    out.extend_from_slice(&(bitstream.len() as u64).to_le_bytes());
+    out.extend_from_slice(&bitstream);
+    out
+}
+
+/// Decompress a ZFP stream, returning values and dimensions.
+pub fn decompress(bytes: &[u8]) -> Result<(Vec<f32>, Vec<usize>), ZfpError> {
+    let need = |ok: bool| if ok { Ok(()) } else { Err(ZfpError::Corrupt("truncated header")) };
+    need(bytes.len() >= 5)?;
+    if &bytes[..4] != MAGIC {
+        return Err(ZfpError::Corrupt("bad magic"));
+    }
+    let ndims = bytes[4] as usize;
+    if !(1..=3).contains(&ndims) {
+        return Err(ZfpError::Corrupt("unsupported dimensionality"));
+    }
+    let mut pos = 5;
+    let mut dims = Vec::with_capacity(ndims);
+    for _ in 0..ndims {
+        need(bytes.len() >= pos + 8)?;
+        dims.push(u64::from_le_bytes(bytes[pos..pos + 8].try_into().unwrap()) as usize);
+        pos += 8;
+    }
+    if dims.contains(&0) {
+        return Err(ZfpError::Corrupt("zero dimension"));
+    }
+    need(bytes.len() >= pos + 9)?;
+    let mode_byte = bytes[pos];
+    pos += 1;
+    let param = &bytes[pos..pos + 8];
+    pos += 8;
+    let mode = match mode_byte {
+        0 => {
+            let p = u64::from_le_bytes(param.try_into().unwrap());
+            if !(1..=u64::from(INTPREC)).contains(&p) {
+                return Err(ZfpError::Corrupt("invalid precision"));
+            }
+            ZfpMode::FixedPrecision(p as u32)
+        }
+        1 => {
+            let tol = f64::from_le_bytes(param.try_into().unwrap());
+            // `!(tol > 0.0)` also rejects NaN tolerances.
+            #[allow(clippy::neg_cmp_op_on_partial_ord)]
+            if !(tol > 0.0) || !tol.is_finite() {
+                return Err(ZfpError::Corrupt("invalid tolerance"));
+            }
+            ZfpMode::FixedAccuracy(tol)
+        }
+        2 => {
+            let rate = f64::from_le_bytes(param.try_into().unwrap());
+            #[allow(clippy::neg_cmp_op_on_partial_ord)] // also rejects NaN
+            if !(rate > 0.0) || !rate.is_finite() {
+                return Err(ZfpError::Corrupt("invalid rate"));
+            }
+            ZfpMode::FixedRate(rate)
+        }
+        _ => return Err(ZfpError::Corrupt("unknown mode")),
+    };
+    need(bytes.len() >= pos + 8)?;
+    let bits_len = u64::from_le_bytes(bytes[pos..pos + 8].try_into().unwrap()) as usize;
+    pos += 8;
+    need(bytes.len() >= pos + bits_len)?;
+    let bitstream = &bytes[pos..pos + bits_len];
+
+    let layout = BlockLayout::new(&dims);
+    let order = sequency_order(ndims);
+    let bl = layout.block_len();
+    let mut r = BitReader::new(bitstream);
+    let mut out = vec![0.0f32; layout.n_values()];
+    let mut fblock = vec![0.0f64; bl];
+    let mut iblock = vec![0i64; bl];
+    let rate_budget = block_bit_budget(mode, bl);
+    for b in 0..layout.n_blocks() {
+        let nonzero = read_bits64(&mut r, 1)? != 0;
+        let mut pad = 0u64;
+        if !nonzero {
+            fblock.iter_mut().for_each(|v| *v = 0.0);
+            if let Some(total) = rate_budget {
+                pad = total - 1;
+            }
+        } else {
+            let e = read_bits64(&mut r, 16)? as i32 - EXP_BIAS;
+            if !(-1200..=1024).contains(&e) {
+                return Err(ZfpError::Corrupt("implausible block exponent"));
+            }
+            let maxprec = block_precision(mode, e, ndims);
+            let payload_budget = rate_budget.map_or(u64::MAX, |t| t - BLOCK_HEADER_BITS);
+            let (ublock, used) = decode_ints(&mut r, bl, maxprec, payload_budget)?;
+            if let Some(total) = rate_budget {
+                pad = total - BLOCK_HEADER_BITS - used;
+            }
+            for (slot, &src) in order.iter().zip(&ublock) {
+                iblock[*slot] = uint2int(src);
+            }
+            inv_transform(&mut iblock, ndims);
+            from_fixed(&iblock, e, &mut fblock);
+        }
+        // Skip fixed-rate padding.
+        let mut left = pad;
+        while left > 0 {
+            let chunk = left.min(32) as usize;
+            read_bits64(&mut r, chunk)?;
+            left -= chunk as u64;
+        }
+        layout.scatter(&fblock, b, &mut out);
+    }
+    Ok((out, dims))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn negabinary_round_trip() {
+        for x in [-5i64, -1, 0, 1, 7, 1 << 20, -(1 << 20), i32::MAX as i64 / 2] {
+            assert_eq!(uint2int(int2uint(x)), x, "{x}");
+        }
+    }
+
+    #[test]
+    fn negabinary_small_values_have_small_codes() {
+        // Negabinary keeps small magnitudes in low bits so high planes are
+        // all zero — the property embedded coding exploits.
+        for x in [-4i64, -1, 0, 1, 4] {
+            assert!(int2uint(x) < 64, "code for {x} is {}", int2uint(x));
+        }
+    }
+
+    #[test]
+    fn encode_decode_ints_full_precision() {
+        let mut s = 5u64;
+        let block: Vec<u32> = (0..64)
+            .map(|_| {
+                s ^= s << 13;
+                s ^= s >> 7;
+                s ^= s << 17;
+                (s >> 33) as u32
+            })
+            .collect();
+        let mut w = BitWriter::new();
+        encode_ints(&mut w, &block, 32, u64::MAX);
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        let (got, _) = decode_ints(&mut r, 64, 32, u64::MAX).unwrap();
+        assert_eq!(got, block);
+    }
+
+    #[test]
+    fn encode_decode_partial_precision_truncates_low_bits() {
+        let block: Vec<u32> = (0..16).map(|i| 0x0F0F_0F0F ^ (i * 77)).collect();
+        let mut w = BitWriter::new();
+        encode_ints(&mut w, &block, 16, u64::MAX);
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        let (got, _) = decode_ints(&mut r, 16, 16, u64::MAX).unwrap();
+        for (g, b) in got.iter().zip(&block) {
+            assert_eq!(g >> 16, b >> 16, "high planes must survive");
+            assert_eq!(g & 0xFFFF, 0, "low planes must be dropped");
+        }
+    }
+
+    #[test]
+    fn sparse_plane_coding_is_compact() {
+        // One significant coefficient: bits should be far below 64*32.
+        let mut block = vec![0u32; 64];
+        block[0] = 0x8000_0000;
+        let mut w = BitWriter::new();
+        encode_ints(&mut w, &block, 32, u64::MAX);
+        let bytes = w.finish();
+        assert!(bytes.len() < 40, "sparse block took {} bytes", bytes.len());
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(decode_ints(&mut r, 64, 32, u64::MAX).unwrap().0, block);
+    }
+
+    #[test]
+    fn all_zero_data_is_tiny() {
+        let data = vec![0.0f32; 4096];
+        let packed = compress(&data, &[16, 16, 16], ZfpMode::FixedPrecision(16));
+        assert!(packed.len() < 128, "zero field took {} bytes", packed.len());
+        let (out, _) = decompress(&packed).unwrap();
+        assert!(out.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(decompress(b"???").is_err());
+        assert!(decompress(b"ZFR1\x07").is_err());
+    }
+
+    #[test]
+    fn rejects_truncation() {
+        let data: Vec<f32> = (0..256).map(|i| i as f32).collect();
+        let packed = compress(&data, &[16, 16], ZfpMode::FixedPrecision(20));
+        for cut in [4, 12, packed.len() - 3] {
+            assert!(decompress(&packed[..cut]).is_err(), "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn one_dimensional_data() {
+        let data: Vec<f32> = (0..1000).map(|i| (i as f32 * 0.01).cos()).collect();
+        let packed = compress(&data, &[1000], ZfpMode::FixedPrecision(28));
+        let (out, dims) = decompress(&packed).unwrap();
+        assert_eq!(dims, vec![1000]);
+        for (a, b) in data.iter().zip(&out) {
+            assert!((a - b).abs() < 1e-4);
+        }
+    }
+}

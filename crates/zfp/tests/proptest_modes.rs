@@ -1,0 +1,78 @@
+//! Property tests: ZFP round trips in every mode on arbitrary shapes, the
+//! rate/precision/accuracy knobs behave monotonically, and the decoder
+//! survives garbage.
+
+use dpz_zfp::{compress, decompress, ZfpMode};
+use proptest::prelude::*;
+
+fn dims_strategy() -> impl Strategy<Value = Vec<usize>> {
+    prop_oneof![
+        (8usize..300).prop_map(|n| vec![n]),
+        ((3usize..20), (3usize..20)).prop_map(|(a, b)| vec![a, b]),
+        ((2usize..9), (2usize..9), (2usize..9)).prop_map(|(a, b, c)| vec![a, b, c]),
+    ]
+}
+
+fn field(dims: &[usize], seed: u64) -> Vec<f32> {
+    let n: usize = dims.iter().product();
+    let mut s = seed | 1;
+    (0..n)
+        .map(|i| {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            let noise = (s >> 11) as f64 / (1u64 << 53) as f64 - 0.5;
+            ((i as f64 * 0.07).cos() * 3.0 + 0.05 * noise) as f32
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn high_precision_round_trip_any_shape(dims in dims_strategy(), seed in any::<u64>()) {
+        let data = field(&dims, seed);
+        let packed = compress(&data, &dims, ZfpMode::FixedPrecision(30));
+        let (out, got_dims) = decompress(&packed).unwrap();
+        prop_assert_eq!(got_dims, dims);
+        for (a, b) in data.iter().zip(&out) {
+            prop_assert!((a - b).abs() < 1e-4, "{} vs {}", a, b);
+        }
+    }
+
+    #[test]
+    fn accuracy_mode_tracks_tolerance(dims in dims_strategy(), seed in any::<u64>(), tol_exp in -4i32..-1) {
+        let data = field(&dims, seed);
+        let tol = 10f64.powi(tol_exp);
+        let packed = compress(&data, &dims, ZfpMode::FixedAccuracy(tol));
+        let (out, _) = decompress(&packed).unwrap();
+        for (a, b) in data.iter().zip(&out) {
+            let err = (f64::from(*a) - f64::from(*b)).abs();
+            prop_assert!(err <= tol * 4.0, "err {} tol {}", err, tol);
+        }
+    }
+
+    #[test]
+    fn fixed_rate_round_trips(dims in dims_strategy(), seed in any::<u64>(), rate in 2.0f64..16.0) {
+        let data = field(&dims, seed);
+        let packed = compress(&data, &dims, ZfpMode::FixedRate(rate));
+        let (out, got_dims) = decompress(&packed).unwrap();
+        prop_assert_eq!(got_dims, dims);
+        prop_assert_eq!(out.len(), data.len());
+    }
+
+    #[test]
+    fn decoder_never_panics_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..2048)) {
+        let _ = decompress(&bytes);
+    }
+
+    #[test]
+    fn bit_flips_never_panic(seed in any::<u64>(), flip in any::<usize>()) {
+        let data = field(&[200], seed);
+        let mut packed = compress(&data, &[200], ZfpMode::FixedPrecision(16));
+        let n = packed.len();
+        packed[flip % n] ^= 1 << (flip % 8);
+        let _ = decompress(&packed);
+    }
+}

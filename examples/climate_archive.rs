@@ -1,0 +1,92 @@
+//! Climate-archive scenario: a post-processing pipeline must shrink five
+//! CESM-ATM fields for long-term storage with a quality floor of ~55 dB
+//! PSNR. Compares DPZ against the SZ- and ZFP-style baselines at matched
+//! quality and reports where each wins — the paper's headline use case.
+//!
+//! ```text
+//! cargo run --release --example climate_archive
+//! ```
+
+use dpz::prelude::*;
+use dpz::zfp::ZfpMode;
+
+const QUALITY_FLOOR_DB: f64 = 55.0;
+
+/// Smallest-bitrate run of `runs` whose PSNR clears the floor.
+fn best_at_quality(runs: Vec<(String, QualityReport)>) -> Option<(String, QualityReport)> {
+    runs.into_iter()
+        .filter(|(_, r)| r.psnr >= QUALITY_FLOOR_DB)
+        .min_by(|a, b| a.1.bit_rate.partial_cmp(&b.1.bit_rate).unwrap())
+}
+
+fn main() {
+    let fields = [
+        DatasetKind::Cldhgh,
+        DatasetKind::Cldlow,
+        DatasetKind::Phis,
+        DatasetKind::Freqsh,
+        DatasetKind::Fldsc,
+    ];
+    println!("climate archive: best compressor per field at >= {QUALITY_FLOOR_DB} dB PSNR\n");
+    println!("{:<8} {:<22} {:>8} {:>10} {:>10}", "field", "winner", "CR", "bits/val", "PSNR dB");
+
+    let mut total_orig = 0usize;
+    let mut total_best = 0.0f64;
+    for kind in fields {
+        let ds = Dataset::generate(kind, Scale::Small, 2021);
+        total_orig += ds.nbytes();
+
+        let mut runs: Vec<(String, QualityReport)> = Vec::new();
+        // DPZ: sweep the TVE dial.
+        for level in TveLevel::SWEEP {
+            let cfg = DpzConfig::strict().with_tve(level);
+            if let Ok(out) = dpz::core::compress(&ds.data, &ds.dims, &cfg) {
+                if let Ok((recon, _)) = dpz::core::decompress(&out.bytes) {
+                    runs.push((
+                        format!("DPZ-s tve={}nines", level.nines()),
+                        QualityReport::evaluate(&ds.data, &recon, out.bytes.len()),
+                    ));
+                }
+            }
+        }
+        // SZ: sweep relative bounds.
+        for rel in [1e-2, 1e-3, 1e-4, 1e-5] {
+            let range = dpz::data::metrics::value_range(&ds.data).max(f64::MIN_POSITIVE);
+            let cfg = dpz::sz::SzConfig::with_error_bound(rel * range);
+            let bytes = dpz::sz::compress(&ds.data, &ds.dims, &cfg);
+            if let Ok((recon, _)) = dpz::sz::decompress(&bytes) {
+                runs.push((
+                    format!("SZ rel={rel:.0e}"),
+                    QualityReport::evaluate(&ds.data, &recon, bytes.len()),
+                ));
+            }
+        }
+        // ZFP: sweep precisions.
+        for prec in [10u32, 14, 18, 22, 26] {
+            let bytes = dpz::zfp::compress(&ds.data, &ds.dims, ZfpMode::FixedPrecision(prec));
+            if let Ok((recon, _)) = dpz::zfp::decompress(&bytes) {
+                runs.push((
+                    format!("ZFP prec={prec}"),
+                    QualityReport::evaluate(&ds.data, &recon, bytes.len()),
+                ));
+            }
+        }
+
+        match best_at_quality(runs) {
+            Some((winner, report)) => {
+                total_best += ds.nbytes() as f64 / report.compression_ratio;
+                println!(
+                    "{:<8} {:<22} {:>7.1}x {:>10.3} {:>10.1}",
+                    ds.name, winner, report.compression_ratio, report.bit_rate, report.psnr
+                );
+            }
+            None => println!("{:<8} no run met the quality floor", ds.name),
+        }
+    }
+    println!(
+        "\narchive total: {:.2} MB -> {:.2} MB ({:.1}x)",
+        total_orig as f64 / 1e6,
+        total_best / 1e6,
+        total_orig as f64 / total_best
+    );
+}

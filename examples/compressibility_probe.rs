@@ -1,0 +1,58 @@
+//! Compressibility estimation before compressing (Algorithm 2): probe each
+//! dataset's VIF, get a predicted compression-ratio range, then compress
+//! for real and compare. This is the paper's "preliminary reduction
+//! estimation" workflow — decide *whether* a field is worth the DPZ CPU
+//! time before spending it.
+//!
+//! ```text
+//! cargo run --release --example compressibility_probe
+//! ```
+
+use dpz::core::decompose;
+use dpz::core::sampling::{SamplingStrategy, VIF_CUTOFF};
+use dpz::prelude::*;
+
+fn main() {
+    println!(
+        "{:<10} {:>8} {:>6} {:>5} {:>16} {:>10}  verdict",
+        "dataset", "VIF", "low?", "k_e", "predicted CR", "actual CR"
+    );
+    for ds in standard_suite(Scale::Small) {
+        // Probe (cheap): decompose + DCT + sampled estimate.
+        let shape = decompose::choose_shape(ds.len());
+        let coeffs = decompose::dct_blocks(&decompose::to_blocks(&ds.data, shape));
+        let strat = SamplingStrategy { tve: TveLevel::FiveNines.fraction(), ..Default::default() };
+        let est = match strat.estimate(&coeffs) {
+            Ok(e) => e,
+            Err(e) => {
+                println!("{:<10} probe failed: {e}", ds.name);
+                continue;
+            }
+        };
+
+        // Compress (expensive) only to validate the prediction here.
+        let cfg = DpzConfig::loose().with_tve(TveLevel::FiveNines).with_sampling(true);
+        let actual = dpz::core::compress(&ds.data, &ds.dims, &cfg)
+            .map(|o| o.stats.cr_total)
+            .unwrap_or(f64::NAN);
+
+        let verdict = if est.vif < VIF_CUTOFF {
+            "skip DPZ: low linearity"
+        } else if est.cr_predicted.0 > 10.0 {
+            "highly compressible"
+        } else {
+            "compressible"
+        };
+        println!(
+            "{:<10} {:>8.1} {:>6} {:>5} {:>7.1}-{:<7.1} {:>10.1}  {}",
+            ds.name,
+            est.vif,
+            if est.low_linearity { "yes" } else { "no" },
+            est.k_estimate,
+            est.cr_predicted.0,
+            est.cr_predicted.1,
+            actual,
+            verdict
+        );
+    }
+}

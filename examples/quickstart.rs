@@ -1,0 +1,49 @@
+//! Quickstart: compress a small synthetic climate field with both DPZ
+//! schemes and print rate/quality numbers.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use dpz::prelude::*;
+
+fn main() {
+    // A 180x360 CESM-like clear-sky flux field (synthetic analogue).
+    let ds = Dataset::generate(DatasetKind::Fldsc, Scale::Small, 2021);
+    println!(
+        "dataset {} ({}x{} f32, {:.2} MB)",
+        ds.name,
+        ds.dims[0],
+        ds.dims[1],
+        ds.nbytes() as f64 / 1e6
+    );
+
+    for (label, cfg) in [
+        ("DPZ-l (loose, P=1e-3, 1-byte)", DpzConfig::loose()),
+        ("DPZ-s (strict, P=1e-4, 2-byte)", DpzConfig::strict()),
+    ] {
+        let cfg = cfg.with_tve(TveLevel::FiveNines);
+        let out = dpz::core::compress(&ds.data, &ds.dims, &cfg).expect("compress");
+        let (recon, dims) = dpz::core::decompress(&out.bytes).expect("decompress");
+        assert_eq!(dims, ds.dims);
+
+        let report = QualityReport::evaluate(&ds.data, &recon, out.bytes.len());
+        println!("\n{label}");
+        println!(
+            "  ratio {:.1}x | {:.3} bits/value | PSNR {:.1} dB | max err {:.2e} | θ {:.2e}",
+            report.compression_ratio,
+            report.bit_rate,
+            report.psnr,
+            report.max_abs_error,
+            report.mean_rel_error
+        );
+        println!(
+            "  pipeline: M={} blocks x N={} points, k={} components (TVE {:.5})",
+            out.stats.m, out.stats.n, out.stats.k, out.stats.tve_achieved
+        );
+        println!(
+            "  stage ratios: decomposition+PCA {:.2}x, quantization {:.2}x, lossless {:.2}x",
+            out.stats.cr_stage12, out.stats.cr_stage3, out.stats.cr_zlib
+        );
+    }
+}

@@ -1,0 +1,52 @@
+//! Checkpoint/restart scenario: a turbulence solver wants aggressive
+//! checkpoint compression and can tolerate small restart perturbations.
+//! Uses DPZ's knee-point mode (no parameter tuning — the compressor finds
+//! the optimal tradeoff itself, Section IV-B1 of the paper) and verifies
+//! the restart field stays within a tolerance of the original.
+//!
+//! ```text
+//! cargo run --release --example turbulence_checkpoint
+//! ```
+
+use dpz::linalg::fit::FitKind;
+use dpz::prelude::*;
+
+fn main() {
+    let ds = Dataset::generate(DatasetKind::Isotropic, Scale::Small, 7);
+    let range = dpz::data::metrics::value_range(&ds.data);
+    println!(
+        "checkpoint: {} {}³ velocity field, range {:.2}",
+        ds.name, ds.dims[0], range
+    );
+
+    for (label, fit) in [("knee-point (1D fit)", FitKind::Interp1d), ("knee-point (polyn fit)", FitKind::Polynomial(7))] {
+        let cfg = DpzConfig::strict().with_selection(KSelection::KneePoint(fit));
+        let out = dpz::core::compress(&ds.data, &ds.dims, &cfg).expect("compress");
+        let (restart, _) = dpz::core::decompress(&out.bytes).expect("decompress");
+        let report = QualityReport::evaluate(&ds.data, &restart, out.bytes.len());
+
+        // Restart acceptance: max pointwise perturbation below 2% of range.
+        let ok = report.max_abs_error <= 0.02 * range;
+        println!("\n{label}: k={} (auto-detected)", out.stats.k);
+        println!(
+            "  CR {:.1}x | PSNR {:.1} dB | max err {:.3e} ({:.3}% of range) -> restart {}",
+            report.compression_ratio,
+            report.psnr,
+            report.max_abs_error,
+            100.0 * report.max_abs_error / range,
+            if ok { "ACCEPTED" } else { "REJECTED (fall back to a TVE level)" }
+        );
+    }
+
+    // The fallback path a production harness would take: explicit TVE dial.
+    let cfg = DpzConfig::strict().with_tve(TveLevel::SevenNines);
+    let out = dpz::core::compress(&ds.data, &ds.dims, &cfg).expect("compress");
+    let (restart, _) = dpz::core::decompress(&out.bytes).expect("decompress");
+    let report = QualityReport::evaluate(&ds.data, &restart, out.bytes.len());
+    println!(
+        "\nseven-nine TVE fallback: CR {:.1}x | PSNR {:.1} dB | max err {:.3}% of range",
+        report.compression_ratio,
+        report.psnr,
+        100.0 * report.max_abs_error / range
+    );
+}

@@ -1,0 +1,137 @@
+//! Integration tests for the extension features: the DWT stage-1 variant,
+//! SZ's hybrid regression predictor, and ZFP's fixed-rate mode — exercised
+//! across the full dataset suite rather than toy inputs.
+
+use dpz::prelude::*;
+use dpz::sz::{Predictor, SzConfig};
+use dpz::zfp::ZfpMode;
+use dpz_data::metrics::value_range;
+
+#[test]
+fn dwt_variant_round_trips_suite_wide() {
+    for ds in standard_suite(Scale::Tiny) {
+        let cfg = DpzConfig::strict()
+            .with_tve(TveLevel::SixNines)
+            .with_transform(Stage1Transform::Dwt { levels: 4 });
+        let out = dpz::core::compress(&ds.data, &ds.dims, &cfg)
+            .unwrap_or_else(|e| panic!("{}: {e}", ds.name));
+        let (recon, dims) = dpz::core::decompress(&out.bytes).unwrap();
+        assert_eq!(dims, ds.dims, "{}", ds.name);
+        let report = QualityReport::evaluate(&ds.data, &recon, out.bytes.len());
+        assert!(report.psnr > 28.0, "{}: DWT PSNR {:.1}", ds.name, report.psnr);
+    }
+}
+
+#[test]
+fn dct_and_dwt_pick_similar_component_counts() {
+    // The PCA stage runs on an orthonormal rotation either way, so the
+    // variance spectrum — and therefore k at a fixed TVE — should be close.
+    let ds = Dataset::generate(DatasetKind::Fldsc, Scale::Small, 2021);
+    let dct = dpz::core::compress(
+        &ds.data,
+        &ds.dims,
+        &DpzConfig::strict().with_tve(TveLevel::FiveNines),
+    )
+    .unwrap();
+    let dwt = dpz::core::compress(
+        &ds.data,
+        &ds.dims,
+        &DpzConfig::strict()
+            .with_tve(TveLevel::FiveNines)
+            .with_transform(Stage1Transform::Dwt { levels: 5 }),
+    )
+    .unwrap();
+    let (a, b) = (dct.stats.k as f64, dwt.stats.k as f64);
+    assert!(
+        (a / b).max(b / a) < 3.0,
+        "k diverged: DCT {} vs DWT {}",
+        dct.stats.k,
+        dwt.stats.k
+    );
+}
+
+#[test]
+fn sz_auto_predictor_bound_holds_suite_wide() {
+    for ds in standard_suite(Scale::Tiny) {
+        let range = value_range(&ds.data).max(f64::MIN_POSITIVE);
+        let eb = 1e-3 * range;
+        let cfg = SzConfig::with_error_bound(eb).with_predictor(Predictor::Auto);
+        let bytes = dpz::sz::compress(&ds.data, &ds.dims, &cfg);
+        let (recon, _) = dpz::sz::decompress(&bytes).unwrap();
+        for (i, (a, b)) in ds.data.iter().zip(&recon).enumerate() {
+            let err = (f64::from(*a) - f64::from(*b)).abs();
+            assert!(err <= eb * (1.0 + 1e-9), "{} idx {i}: {err} > {eb}", ds.name);
+        }
+    }
+}
+
+#[test]
+fn sz_auto_helps_on_ordered_positions() {
+    // HACC-x is quasi-sorted: block hyperplanes fit its sweeps well, so the
+    // hybrid should not lose to pure Lorenzo by more than a whisker and
+    // typically wins.
+    let ds = Dataset::generate(DatasetKind::HaccX, Scale::Small, 2021);
+    let range = value_range(&ds.data).max(f64::MIN_POSITIVE);
+    let eb = 1e-4 * range;
+    let lorenzo = dpz::sz::compress(&ds.data, &ds.dims, &SzConfig::with_error_bound(eb));
+    let auto = dpz::sz::compress(
+        &ds.data,
+        &ds.dims,
+        &SzConfig::with_error_bound(eb).with_predictor(Predictor::Auto),
+    );
+    assert!(
+        (auto.len() as f64) < lorenzo.len() as f64 * 1.1,
+        "hybrid {} vs lorenzo {}",
+        auto.len(),
+        lorenzo.len()
+    );
+}
+
+#[test]
+fn zfp_fixed_rate_is_exact_across_shapes() {
+    for ds in standard_suite(Scale::Tiny) {
+        let rate = 4.0;
+        let bytes = dpz::zfp::compress(&ds.data, &ds.dims, ZfpMode::FixedRate(rate));
+        let (recon, dims) = dpz::zfp::decompress(&bytes).unwrap();
+        assert_eq!(dims, ds.dims, "{}", ds.name);
+        assert_eq!(recon.len(), ds.len());
+        // Size must be rate-determined (within container framing + the
+        // per-block minimum-budget clamp for tiny 1-D blocks).
+        let report = QualityReport::evaluate(&ds.data, &recon, bytes.len());
+        assert!(
+            report.bit_rate < 32.0,
+            "{}: fixed-rate stream unexpectedly large ({:.2} bits/val)",
+            ds.name,
+            report.bit_rate
+        );
+    }
+}
+
+#[test]
+fn zfp_rate_beats_precision_at_matched_size_or_close() {
+    // Sanity: the two modes sit on the same rate-distortion curve — at a
+    // matched compressed size their PSNRs are comparable.
+    let ds = Dataset::generate(DatasetKind::Isotropic, Scale::Tiny, 2021);
+    let fixed_rate = dpz::zfp::compress(&ds.data, &ds.dims, ZfpMode::FixedRate(8.0));
+    let (r_rate, _) = dpz::zfp::decompress(&fixed_rate).unwrap();
+    let q_rate = QualityReport::evaluate(&ds.data, &r_rate, fixed_rate.len());
+
+    // Find the precision whose size is closest to the fixed-rate stream.
+    let mut best: Option<(usize, f64)> = None;
+    for prec in 4..=24u32 {
+        let bytes = dpz::zfp::compress(&ds.data, &ds.dims, ZfpMode::FixedPrecision(prec));
+        let (recon, _) = dpz::zfp::decompress(&bytes).unwrap();
+        let q = QualityReport::evaluate(&ds.data, &recon, bytes.len());
+        let gap = (bytes.len() as i64 - fixed_rate.len() as i64).unsigned_abs() as usize;
+        if best.is_none() || gap < best.unwrap().0 {
+            best = Some((gap, q.psnr));
+        }
+    }
+    let (_, psnr_prec) = best.unwrap();
+    assert!(
+        (q_rate.psnr - psnr_prec).abs() < 15.0,
+        "modes diverged: rate {:.1} dB vs precision {:.1} dB",
+        q_rate.psnr,
+        psnr_prec
+    );
+}

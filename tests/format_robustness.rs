@@ -1,0 +1,84 @@
+//! Integration: container format stability and decoder robustness for all
+//! three formats — corrupted or truncated streams must error, never panic.
+
+use dpz::prelude::*;
+use dpz::sz::SzConfig;
+use dpz::zfp::ZfpMode;
+
+fn dpz_stream() -> Vec<u8> {
+    let ds = Dataset::generate(DatasetKind::Freqsh, Scale::Tiny, 3);
+    dpz::core::compress(&ds.data, &ds.dims, &DpzConfig::loose())
+        .unwrap()
+        .bytes
+}
+
+#[test]
+fn magic_bytes_are_stable() {
+    let ds = Dataset::generate(DatasetKind::HaccX, Scale::Tiny, 3);
+    assert_eq!(&dpz_stream()[..4], b"DPZ1");
+    let sz = dpz::sz::compress(&ds.data, &ds.dims, &SzConfig::with_error_bound(1e-2));
+    assert_eq!(&sz[..4], b"SZR1");
+    let zfp = dpz::zfp::compress(&ds.data, &ds.dims, ZfpMode::FixedPrecision(12));
+    assert_eq!(&zfp[..4], b"ZFR1");
+}
+
+#[test]
+fn truncations_error_not_panic() {
+    let stream = dpz_stream();
+    for cut in 0..stream.len().min(64) {
+        assert!(dpz::core::decompress(&stream[..cut]).is_err(), "cut {cut}");
+    }
+    // Also chop mid-payload and at the very end.
+    for cut in [stream.len() / 2, stream.len() - 1] {
+        assert!(dpz::core::decompress(&stream[..cut]).is_err(), "cut {cut}");
+    }
+}
+
+#[test]
+fn single_byte_flips_never_panic() {
+    let stream = dpz_stream();
+    // Flip a spread of positions across the container; decoding may fail or
+    // (for payload bits) succeed with altered output — but must not panic.
+    let step = (stream.len() / 97).max(1);
+    for pos in (0..stream.len()).step_by(step) {
+        let mut bad = stream.clone();
+        bad[pos] ^= 0x55;
+        let _ = dpz::core::decompress(&bad);
+    }
+}
+
+#[test]
+fn cross_format_confusion_is_rejected() {
+    let ds = Dataset::generate(DatasetKind::HaccVx, Scale::Tiny, 3);
+    let sz = dpz::sz::compress(&ds.data, &ds.dims, &SzConfig::with_error_bound(1e-2));
+    let zfp = dpz::zfp::compress(&ds.data, &ds.dims, ZfpMode::FixedPrecision(12));
+    assert!(dpz::core::decompress(&sz).is_err());
+    assert!(dpz::core::decompress(&zfp).is_err());
+    assert!(dpz::sz::decompress(&zfp).is_err());
+    assert!(dpz::zfp::decompress(&sz).is_err());
+    assert!(dpz::sz::decompress(&dpz_stream()).is_err());
+    assert!(dpz::zfp::decompress(&dpz_stream()).is_err());
+}
+
+#[test]
+fn empty_and_garbage_inputs() {
+    for bytes in [&[][..], b"garbage", &[0u8; 1024]] {
+        assert!(dpz::core::decompress(bytes).is_err());
+        assert!(dpz::sz::decompress(bytes).is_err());
+        assert!(dpz::zfp::decompress(bytes).is_err());
+    }
+}
+
+#[test]
+fn container_reports_consistent_metadata() {
+    let ds = Dataset::generate(DatasetKind::Cldlow, Scale::Tiny, 9);
+    let out = dpz::core::compress(&ds.data, &ds.dims, &DpzConfig::strict()).unwrap();
+    let payload = dpz::core::container::deserialize(&out.bytes).unwrap();
+    assert_eq!(payload.dims, ds.dims);
+    assert_eq!(payload.orig_len, ds.len());
+    assert_eq!(payload.m, out.stats.m);
+    assert_eq!(payload.n, out.stats.n);
+    assert_eq!(payload.k, out.stats.k);
+    assert_eq!(payload.p, 1e-4);
+    assert!(payload.scores.wide_index);
+}

@@ -1,0 +1,97 @@
+//! Property tests over the full DPZ pipeline and its baselines.
+
+use dpz::prelude::*;
+use dpz::sz::SzConfig;
+use dpz_data::metrics::value_range;
+use proptest::prelude::*;
+
+/// Strategy: a "scientific-ish" 1-D field — random smooth mixture of a few
+/// sinusoids plus bounded noise, arbitrary length and amplitude.
+fn field_strategy() -> impl Strategy<Value = Vec<f32>> {
+    (
+        64usize..1200,
+        proptest::collection::vec((0.001f64..0.5, -10.0f64..10.0, 0.0f64..std::f64::consts::TAU), 1..5),
+        -1e3f64..1e3,
+        0.0f64..0.3,
+        any::<u64>(),
+    )
+        .prop_map(|(len, waves, offset, noise_amp, seed)| {
+            let mut s = seed | 1;
+            (0..len)
+                .map(|i| {
+                    let mut v = offset;
+                    for &(freq, amp, phase) in &waves {
+                        v += amp * (freq * i as f64 + phase).sin();
+                    }
+                    s ^= s << 13;
+                    s ^= s >> 7;
+                    s ^= s << 17;
+                    let noise = (s >> 11) as f64 / (1u64 << 53) as f64 - 0.5;
+                    (v + noise_amp * noise) as f32
+                })
+                .collect()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn dpz_round_trip_preserves_shape_and_bounds_error(data in field_strategy()) {
+        let dims = vec![data.len()];
+        let cfg = DpzConfig::strict().with_tve(TveLevel::SevenNines);
+        let out = dpz::core::compress(&data, &dims, &cfg).unwrap();
+        let (recon, got_dims) = dpz::core::decompress(&out.bytes).unwrap();
+        prop_assert_eq!(got_dims, dims);
+        prop_assert_eq!(recon.len(), data.len());
+        // Range-relative sanity: reconstruction error well inside the range.
+        let range = value_range(&data).max(f64::MIN_POSITIVE);
+        let max_err = data
+            .iter()
+            .zip(&recon)
+            .map(|(a, b)| (f64::from(*a) - f64::from(*b)).abs())
+            .fold(0.0, f64::max);
+        prop_assert!(max_err < 0.35 * range, "max_err {} vs range {}", max_err, range);
+    }
+
+    #[test]
+    fn dpz_container_is_self_describing(data in field_strategy()) {
+        let dims = vec![data.len()];
+        let out = dpz::core::compress(&data, &dims, &DpzConfig::loose()).unwrap();
+        let payload = dpz::core::container::deserialize(&out.bytes).unwrap();
+        prop_assert_eq!(payload.orig_len, data.len());
+        prop_assert_eq!(payload.m * payload.n, data.len() + payload.pad);
+        prop_assert!(payload.k >= 1 && payload.k <= payload.m);
+    }
+
+    #[test]
+    fn sz_bound_holds_for_arbitrary_fields(data in field_strategy(), rel in 1e-5f64..1e-2) {
+        let range = value_range(&data).max(1e-9);
+        let eb = rel * range;
+        let bytes = dpz::sz::compress(&data, &[data.len()], &SzConfig::with_error_bound(eb));
+        let (recon, _) = dpz::sz::decompress(&bytes).unwrap();
+        for (a, b) in data.iter().zip(&recon) {
+            prop_assert!((f64::from(*a) - f64::from(*b)).abs() <= eb * (1.0 + 1e-9));
+        }
+    }
+
+    #[test]
+    fn zfp_high_precision_is_accurate(data in field_strategy()) {
+        let bytes = dpz::zfp::compress(&data, &[data.len()], dpz::zfp::ZfpMode::FixedPrecision(30));
+        let (recon, _) = dpz::zfp::decompress(&bytes).unwrap();
+        let range = value_range(&data).max(f64::MIN_POSITIVE);
+        for (a, b) in data.iter().zip(&recon) {
+            let err = (f64::from(*a) - f64::from(*b)).abs();
+            prop_assert!(err < 1e-4 * range, "err {} range {}", err, range);
+        }
+    }
+
+    #[test]
+    fn decompress_never_panics_on_mutations(data in field_strategy(), flip in any::<usize>()) {
+        let out = dpz::core::compress(&data, &[data.len()], &DpzConfig::loose()).unwrap();
+        let mut bytes = out.bytes;
+        let n = bytes.len();
+        bytes[flip % n] ^= 1 << (flip % 8);
+        let _ = dpz::core::decompress(&bytes); // any Result is fine
+    }
+}
