@@ -6,7 +6,9 @@ use dpz_linalg::Dct1d;
 use std::hint::black_box;
 
 fn signal(n: usize) -> Vec<f64> {
-    (0..n).map(|i| (i as f64 * 0.037).sin() + 0.01 * i as f64).collect()
+    (0..n)
+        .map(|i| (i as f64 * 0.037).sin() + 0.01 * i as f64)
+        .collect()
 }
 
 fn bench_dct(c: &mut Criterion) {

@@ -40,7 +40,11 @@ fn bench_deflate(c: &mut Criterion) {
     group.sample_size(10);
     group.throughput(Throughput::Bytes(n as u64));
     for (name, data) in &payloads {
-        for level in [CompressionLevel::Fast, CompressionLevel::Default, CompressionLevel::Best] {
+        for level in [
+            CompressionLevel::Fast,
+            CompressionLevel::Default,
+            CompressionLevel::Best,
+        ] {
             group.bench_with_input(
                 BenchmarkId::new(*name, format!("{level:?}")),
                 data,

@@ -26,7 +26,9 @@ fn bench_pipeline(c: &mut Criterion) {
         b.iter(|| dpz_core::compress(black_box(&ds.data), &ds.dims, &cfg).unwrap());
     });
     group.bench_function("dpz_loose_sampling", |b| {
-        let cfg = DpzConfig::loose().with_tve(TveLevel::FiveNines).with_sampling(true);
+        let cfg = DpzConfig::loose()
+            .with_tve(TveLevel::FiveNines)
+            .with_sampling(true);
         b.iter(|| dpz_core::compress(black_box(&ds.data), &ds.dims, &cfg).unwrap());
     });
     group.bench_function("sz_rel1e-4", |b| {
@@ -35,9 +37,7 @@ fn bench_pipeline(c: &mut Criterion) {
         b.iter(|| dpz_sz::compress(black_box(&ds.data), &ds.dims, &cfg));
     });
     group.bench_function("zfp_prec16", |b| {
-        b.iter(|| {
-            dpz_zfp::compress(black_box(&ds.data), &ds.dims, ZfpMode::FixedPrecision(16))
-        });
+        b.iter(|| dpz_zfp::compress(black_box(&ds.data), &ds.dims, ZfpMode::FixedPrecision(16)));
     });
     group.finish();
 

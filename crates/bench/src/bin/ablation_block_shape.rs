@@ -17,9 +17,11 @@ use dpz_linalg::{Matrix, Pca, PcaOptions};
 fn run_with_shape(data: &[f32], dims: &[usize], shape: BlockShape) -> (f64, f64, usize) {
     // Range-normalize like the real pipeline so the quantizer sees the same
     // score scale regardless of the field's physical units.
-    let (lo, hi) = data.iter().fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &v| {
-        (lo.min(f64::from(v)), hi.max(f64::from(v)))
-    });
+    let (lo, hi) = data
+        .iter()
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &v| {
+            (lo.min(f64::from(v)), hi.max(f64::from(v)))
+        });
     let range = if hi > lo { hi - lo } else { 1.0 };
     let mut blocks = to_blocks(data, shape);
     for v in blocks.as_mut_slice() {
@@ -43,7 +45,12 @@ fn run_with_shape(data: &[f32], dims: &[usize], shape: BlockShape) -> (f64, f64,
         dwt_levels: 0,
         p: Scheme::Strict.p(),
         standardized: false,
-        basis: pca.projection(k).as_slice().iter().map(|&v| v as f32).collect(),
+        basis: pca
+            .projection(k)
+            .as_slice()
+            .iter()
+            .map(|&v| v as f32)
+            .collect(),
         mean: pca.mean().iter().map(|&v| v as f32).collect(),
         scale: vec![],
         scores: quantized,
@@ -84,8 +91,7 @@ fn main() {
     // pipeline's own choice (largest M).
     if shapes.len() > 7 {
         let step = shapes.len() / 7;
-        let mut kept: Vec<BlockShape> =
-            shapes.iter().copied().step_by(step.max(1)).collect();
+        let mut kept: Vec<BlockShape> = shapes.iter().copied().step_by(step.max(1)).collect();
         let last = *shapes.last().unwrap();
         if kept.last() != Some(&last) {
             kept.push(last);

@@ -22,9 +22,12 @@ fn main() {
     let shape = choose_shape(ds.len());
 
     // Stage 1 (shared): normalize + decompose + DCT.
-    let (lo, hi) = ds.data.iter().fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &v| {
-        (lo.min(f64::from(v)), hi.max(f64::from(v)))
-    });
+    let (lo, hi) = ds
+        .data
+        .iter()
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &v| {
+            (lo.min(f64::from(v)), hi.max(f64::from(v)))
+        });
     let range = if hi > lo { hi - lo } else { 1.0 };
     let mut blocks = to_blocks(&ds.data, shape);
     for v in blocks.as_mut_slice() {
@@ -33,7 +36,14 @@ fn main() {
     let coeffs = dct_blocks(&blocks);
     let (n, m) = coeffs.shape();
 
-    let header = ["truncation", "rows_kept", "k", "pca_ms", "est_cr", "psnr_db"];
+    let header = [
+        "truncation",
+        "rows_kept",
+        "k",
+        "pca_ms",
+        "est_cr",
+        "psnr_db",
+    ];
     let mut rows = Vec::new();
     for frac in FRACTIONS {
         let keep_rows = ((n as f64 * frac).round() as usize).clamp(2, n);
@@ -51,12 +61,13 @@ fn main() {
 
         let quantized = quantize_scores(scores.as_slice(), Scheme::Strict);
         // Estimated compressed size: deflated indices + outliers + model.
-        let packed_idx =
-            compress_with_level(&quantized.indices, CompressionLevel::Default).len();
-        let outlier_bytes: Vec<u8> =
-            quantized.outliers.iter().flat_map(|v| v.to_le_bytes()).collect();
-        let packed_out =
-            compress_with_level(&outlier_bytes, CompressionLevel::Default).len();
+        let packed_idx = compress_with_level(&quantized.indices, CompressionLevel::Default).len();
+        let outlier_bytes: Vec<u8> = quantized
+            .outliers
+            .iter()
+            .flat_map(|v| v.to_le_bytes())
+            .collect();
+        let packed_out = compress_with_level(&outlier_bytes, CompressionLevel::Default).len();
         let model_bytes: Vec<u8> = pca
             .projection(k)
             .as_slice()
@@ -64,14 +75,12 @@ fn main() {
             .chain(pca.mean())
             .flat_map(|&v| (v as f32).to_le_bytes())
             .collect();
-        let packed_model =
-            compress_with_level(&model_bytes, CompressionLevel::Default).len();
-        let est_cr =
-            ds.nbytes() as f64 / (packed_idx + packed_out + packed_model).max(1) as f64;
+        let packed_model = compress_with_level(&model_bytes, CompressionLevel::Default).len();
+        let est_cr = ds.nbytes() as f64 / (packed_idx + packed_out + packed_model).max(1) as f64;
 
         // Reconstruct: inverse PCA on the head, zero tail, inverse DCT.
-        let score_mat = Matrix::from_vec(keep_rows, k, dequantize_scores(&quantized))
-            .expect("scores");
+        let score_mat =
+            Matrix::from_vec(keep_rows, k, dequantize_scores(&quantized)).expect("scores");
         let head_recon = pca.inverse_transform(&score_mat).expect("inverse");
         let mut full = Matrix::zeros(n, m);
         for r in 0..keep_rows {
@@ -96,7 +105,6 @@ fn main() {
         "Ablation — DCT-coefficient truncation before PCA on FLDSC (DPZ-s core, five-nine TVE)\n"
     );
     println!("{}", format_table(&header, &rows));
-    let path =
-        write_csv(&args.out_dir, "ablation_dct_truncation", &header, &rows).expect("csv");
+    let path = write_csv(&args.out_dir, "ablation_dct_truncation", &header, &rows).expect("csv");
     println!("csv: {}", path.display());
 }

@@ -32,7 +32,6 @@ fn main() {
     }
     println!("Ablation — standardization on/off (DPZ-s, five-nine TVE)\n");
     println!("{}", format_table(&header, &rows));
-    let path =
-        write_csv(&args.out_dir, "ablation_standardize", &header, &rows).expect("csv");
+    let path = write_csv(&args.out_dir, "ablation_standardize", &header, &rows).expect("csv");
     println!("csv: {}", path.display());
 }

@@ -6,13 +6,17 @@
 //! HACC-vx nearly white.
 
 use dpz_bench::harness::{fmt, format_table, write_csv, Args};
-use dpz_data::stats::{autocorrelation, histogram_entropy, roughness, spectral_slope};
 use dpz_data::standard_suite;
+use dpz_data::stats::{autocorrelation, histogram_entropy, roughness, spectral_slope};
 
 fn main() {
     let args = Args::parse();
     let header = [
-        "dataset", "entropy_bits", "autocorr_lag1", "autocorr_lag16", "roughness",
+        "dataset",
+        "entropy_bits",
+        "autocorr_lag1",
+        "autocorr_lag16",
+        "roughness",
         "spectral_slope",
     ];
     let mut rows = Vec::new();
@@ -26,7 +30,10 @@ fn main() {
             fmt(spectral_slope(&ds.data)),
         ]);
     }
-    println!("Dataset characterization (synthetic analogues, seed {})\n", args.seed);
+    println!(
+        "Dataset characterization (synthetic analogues, seed {})\n",
+        args.seed
+    );
     println!("{}", format_table(&header, &rows));
     println!(
         "\nexpected ordering: HACC-vx roughest (autocorr ~0), CESM fields smoothest,\n\

@@ -8,8 +8,11 @@ use dpz_core::decompose;
 use dpz_core::sampling::{vif_profile, VIF_CUTOFF};
 use dpz_data::{Dataset, DatasetKind};
 
-const FIELDS: [DatasetKind; 3] =
-    [DatasetKind::HaccVx, DatasetKind::Isotropic, DatasetKind::Phis];
+const FIELDS: [DatasetKind; 3] = [
+    DatasetKind::HaccVx,
+    DatasetKind::Isotropic,
+    DatasetKind::Phis,
+];
 const RATES: [f64; 2] = [0.025, 0.01];
 /// Targets probed per dataset (box-plot sample size).
 const TARGETS: usize = 16;
@@ -56,7 +59,11 @@ fn main() {
         fmt(vx),
         fmt(iso),
         fmt(phis),
-        if vx < iso && vx < phis { "separation matches the paper" } else { "SEPARATION MISMATCH" }
+        if vx < iso && vx < phis {
+            "separation matches the paper"
+        } else {
+            "SEPARATION MISMATCH"
+        }
     );
     let path = write_csv(&args.out_dir, "fig10_vif", &header, &rows).expect("csv");
     println!("csv: {}", path.display());

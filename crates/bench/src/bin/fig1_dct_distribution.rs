@@ -22,7 +22,13 @@ fn main() {
     let coeff_values: Vec<f32> = coeffs.as_slice().iter().map(|&v| v as f32).collect();
     let (dct_centers, dct_counts) = histogram(&coeff_values, BINS);
 
-    let header = ["bin", "orig_center", "orig_count", "dct_center", "dct_count"];
+    let header = [
+        "bin",
+        "orig_center",
+        "orig_count",
+        "dct_center",
+        "dct_count",
+    ];
     let rows: Vec<Vec<String>> = (0..BINS)
         .map(|b| {
             vec![
@@ -48,9 +54,12 @@ fn main() {
         .map(|(i, _)| i)
         .unwrap();
     let frac = dct_counts[near_zero_bin] as f64 / coeff_values.len() as f64;
-    println!("fraction of coefficients in the zero-centered bin: {:.1}%", frac * 100.0);
+    println!(
+        "fraction of coefficients in the zero-centered bin: {:.1}%",
+        frac * 100.0
+    );
 
-    let path = write_csv(&args.out_dir, "fig1_dct_distribution", &header, &rows)
-        .expect("write csv");
+    let path =
+        write_csv(&args.out_dir, "fig1_dct_distribution", &header, &rows).expect("write csv");
     println!("csv: {}", path.display());
 }

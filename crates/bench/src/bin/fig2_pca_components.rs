@@ -17,7 +17,10 @@ fn main() {
     let blocks = decompose::to_blocks(&ds.data, shape);
 
     // (a) Seven evenly spaced blocks, as in the paper's overlay.
-    println!("Figure 2a — seven selected blocks of FLDSC (M={} blocks, N={} points each)", shape.m, shape.n);
+    println!(
+        "Figure 2a — seven selected blocks of FLDSC (M={} blocks, N={} points each)",
+        shape.m, shape.n
+    );
     let header_a = ["block", "min", "mean", "max", "std"];
     let mut rows_a = Vec::new();
     for i in 0..7 {
@@ -27,7 +30,9 @@ fn main() {
         let var = col.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / col.len() as f64;
         let (lo, hi) = col
             .iter()
-            .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &v| (lo.min(v), hi.max(v)));
+            .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &v| {
+                (lo.min(v), hi.max(v))
+            });
         rows_a.push(vec![
             format!("bk{}", j + 1),
             fmt(lo),
@@ -42,7 +47,15 @@ fn main() {
     let pca = Pca::fit(&blocks, PcaOptions::default()).expect("pca fit");
     let k_probe = [0usize, 1, 29.min(shape.m - 1)];
     let scores = pca.transform(&blocks, shape.m).expect("transform");
-    let header = ["bin", "pc1_center", "pc1_count", "pc2_center", "pc2_count", "pc30_center", "pc30_count"];
+    let header = [
+        "bin",
+        "pc1_center",
+        "pc1_count",
+        "pc2_center",
+        "pc2_count",
+        "pc30_center",
+        "pc30_count",
+    ];
     let mut columns = Vec::new();
     for &c in &k_probe {
         let vals: Vec<f32> = scores.col(c).iter().map(|&v| v as f32).collect();
@@ -70,7 +83,6 @@ fn main() {
         fmt(ev[29.min(ev.len() - 1)])
     );
 
-    let path =
-        write_csv(&args.out_dir, "fig2_pca_components", &header, &rows).expect("write csv");
+    let path = write_csv(&args.out_dir, "fig2_pca_components", &header, &rows).expect("write csv");
     println!("csv: {}", path.display());
 }

@@ -39,7 +39,11 @@ fn main() {
     };
 
     let header = [
-        "fraction", "dct_ecr", "pca_tve", "dct_psnr_db", "pca_psnr_db",
+        "fraction",
+        "dct_ecr",
+        "pca_tve",
+        "dct_psnr_db",
+        "pca_psnr_db",
     ];
     let mut rows = Vec::new();
     for &f in &FRACTIONS {
@@ -60,7 +64,12 @@ fn main() {
         ecr_at(0.01) * 100.0,
         tve_at(0.01) * 100.0
     );
-    let path = write_csv(&args.out_dir, "fig3_information_preservation", &header, &rows)
-        .expect("write csv");
+    let path = write_csv(
+        &args.out_dir,
+        "fig3_information_preservation",
+        &header,
+        &rows,
+    )
+    .expect("write csv");
     println!("csv: {}", path.display());
 }

@@ -50,7 +50,11 @@ fn main() {
         "\nPCA on DCT mse {} vs DCT on PCA mse {} -> {}",
         fmt(best),
         fmt(worst),
-        if best <= worst { "ordering matches the paper" } else { "ORDERING MISMATCH" }
+        if best <= worst {
+            "ordering matches the paper"
+        } else {
+            "ORDERING MISMATCH"
+        }
     );
 
     // Error maps (2-D field).
@@ -69,7 +73,7 @@ fn main() {
             println!("error map: {}", path.display());
         }
     }
-    let path = write_csv(&args.out_dir, "fig4_transform_combinations", &header, &rows)
-        .expect("write csv");
+    let path =
+        write_csv(&args.out_dir, "fig4_transform_combinations", &header, &rows).expect("write csv");
     println!("csv: {}", path.display());
 }

@@ -3,7 +3,10 @@
 //! SZ sweeps range-relative error bounds; ZFP sweeps fixed precisions.
 
 use dpz_bench::harness::{fmt, format_table, write_csv, Args};
-use dpz_bench::runners::{run_dpz, run_sz_auto_relative, run_sz_relative, run_zfp, RunResult, SZ_REL_BOUNDS, ZFP_PRECISIONS};
+use dpz_bench::runners::{
+    run_dpz, run_sz_auto_relative, run_sz_relative, run_zfp, RunResult, SZ_REL_BOUNDS,
+    ZFP_PRECISIONS,
+};
 use dpz_core::{DpzConfig, TveLevel};
 use dpz_data::{standard_suite, Dataset};
 use dpz_zfp::ZfpMode;
@@ -32,7 +35,9 @@ fn row(ds: &Dataset, run: &RunResult) -> Vec<String> {
 
 fn main() {
     let args = Args::parse();
-    let header = ["dataset", "method", "setting", "bitrate", "psnr_db", "cr", "theta"];
+    let header = [
+        "dataset", "method", "setting", "bitrate", "psnr_db", "cr", "theta",
+    ];
     let mut rows = Vec::new();
     for ds in standard_suite(args.scale) {
         eprintln!("== {} ==", ds.name);
@@ -68,7 +73,6 @@ fn main() {
     }
     println!("Figure 6 — rate-distortion on the evaluation suite\n");
     println!("{}", format_table(&header, &rows));
-    let path =
-        write_csv(&args.out_dir, "fig6_rate_distortion", &header, &rows).expect("write csv");
+    let path = write_csv(&args.out_dir, "fig6_rate_distortion", &header, &rows).expect("write csv");
     println!("csv: {}", path.display());
 }

@@ -37,11 +37,7 @@ fn candidate_runs(ds: &Dataset) -> Vec<RunResult> {
 }
 
 /// For each method, the run whose `key` is closest to `target` (log scale).
-fn closest(
-    runs: &[RunResult],
-    target: f64,
-    key: impl Fn(&RunResult) -> f64,
-) -> Vec<&RunResult> {
+fn closest(runs: &[RunResult], target: f64, key: impl Fn(&RunResult) -> f64) -> Vec<&RunResult> {
     let mut picks = Vec::new();
     for method in ["DPZ-s", "SZ", "ZFP"] {
         if let Some(best) = runs
@@ -65,14 +61,17 @@ fn main() {
     let runs = candidate_runs(&ds);
 
     std::fs::create_dir_all(&args.out_dir).expect("out dir");
-    write_pgm(args.out_dir.join("fig7_original.pgm"), &ds.data, ds.dims[0], ds.dims[1])
-        .expect("pgm");
+    write_pgm(
+        args.out_dir.join("fig7_original.pgm"),
+        &ds.data,
+        ds.dims[0],
+        ds.dims[1],
+    )
+    .expect("pgm");
 
     let header = ["regime", "method", "setting", "cr", "psnr_db"];
     let mut rows = Vec::new();
-    for (regime, target, by_cr) in
-        [("CR~10.5x", 10.5, true), ("PSNR~26dB", 26.0, false)]
-    {
+    for (regime, target, by_cr) in [("CR~10.5x", 10.5, true), ("PSNR~26dB", 26.0, false)] {
         let picks = if by_cr {
             closest(&runs, target, |r| r.report.compression_ratio)
         } else {
@@ -102,7 +101,10 @@ fn main() {
     }
     println!("Figure 7 — CLDHGH visual comparison operating points\n");
     println!("{}", format_table(&header, &rows));
-    println!("(PGM renders of the original and every pick are in {})", args.out_dir.display());
+    println!(
+        "(PGM renders of the original and every pick are in {})",
+        args.out_dir.display()
+    );
     let path = write_csv(&args.out_dir, "fig7_visualization", &header, &rows).expect("csv");
     println!("csv: {}", path.display());
 }

@@ -3,7 +3,9 @@
 //! sampling-speedup claim (sampling vs non-sampling DPZ, ~1.23× on average).
 
 use dpz_bench::harness::{fmt, format_table, write_csv, Args};
-use dpz_bench::runners::{run_dpz, run_sz_relative, run_zfp, RunResult, SZ_REL_BOUNDS, ZFP_PRECISIONS};
+use dpz_bench::runners::{
+    run_dpz, run_sz_relative, run_zfp, RunResult, SZ_REL_BOUNDS, ZFP_PRECISIONS,
+};
 use dpz_core::{DpzConfig, TveLevel};
 use dpz_data::{standard_suite, Dataset, DatasetKind};
 use dpz_zfp::ZfpMode;
@@ -24,11 +26,20 @@ fn main() {
     let args = Args::parse();
     let ds = Dataset::generate(DatasetKind::Isotropic, args.scale, args.seed);
     let header = [
-        "method", "setting", "cr", "comp_s", "decomp_s", "comp_MB/s", "decomp_MB/s",
+        "method",
+        "setting",
+        "cr",
+        "comp_s",
+        "decomp_s",
+        "comp_MB/s",
+        "decomp_MB/s",
     ];
     let mut rows = Vec::new();
     for level in TveLevel::SWEEP {
-        for (label, base) in [("DPZ-l", DpzConfig::loose()), ("DPZ-s", DpzConfig::strict())] {
+        for (label, base) in [
+            ("DPZ-l", DpzConfig::loose()),
+            ("DPZ-s", DpzConfig::strict()),
+        ] {
             if let Ok((run, _)) = run_dpz(
                 &ds,
                 &base.with_tve(level),
@@ -68,7 +79,9 @@ fn main() {
         );
         let sampled = run_dpz(
             &ds,
-            &DpzConfig::loose().with_tve(TveLevel::FiveNines).with_sampling(true),
+            &DpzConfig::loose()
+                .with_tve(TveLevel::FiveNines)
+                .with_sampling(true),
             "DPZ-l",
             "sampling",
         );

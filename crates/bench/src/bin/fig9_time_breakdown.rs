@@ -1,8 +1,15 @@
 //! Figure 9: breakdown of DPZ compression time per stage across the
 //! evaluation suite. The paper's observation: stages 2 (PCA) and 3
 //! (quantization + encoding) dominate.
+//!
+//! Stage timings come from the global telemetry registry
+//! (`dpz_stage_seconds{stage=…}` histogram sums, captured as a per-dataset
+//! snapshot delta), and the accumulated registry is written alongside the
+//! CSV as a Prometheus sidecar.
 
-use dpz_bench::harness::{format_table, write_csv, Args};
+use dpz_bench::harness::{
+    format_table, stage_seconds, write_csv, write_metrics_sidecar, Args, STAGES,
+};
 use dpz_core::{compress, DpzConfig, TveLevel};
 use dpz_data::standard_suite;
 
@@ -10,29 +17,37 @@ fn main() {
     let args = Args::parse();
     let cfg = DpzConfig::strict().with_tve(TveLevel::FiveNines);
     let header = [
-        "dataset", "total_ms", "stage1_dct_%", "stage2_pca_%", "stage3_quant_%", "lossless_%",
+        "dataset",
+        "total_ms",
+        "stage1_dct_%",
+        "sampling_%",
+        "stage2_pca_%",
+        "stage3_quant_%",
+        "lossless_%",
     ];
     let mut rows = Vec::new();
+    let run_start = dpz_telemetry::global().snapshot();
     for ds in standard_suite(args.scale) {
+        let before = dpz_telemetry::global().snapshot();
         match compress(&ds.data, &ds.dims, &cfg) {
-            Ok(out) => {
-                let t = out.stats.timings;
-                let total = t.total().as_secs_f64().max(1e-12);
-                let pct = |d: std::time::Duration| format!("{:.1}", 100.0 * d.as_secs_f64() / total);
-                rows.push(vec![
-                    ds.name.clone(),
-                    format!("{:.1}", total * 1e3),
-                    pct(t.decompose_dct),
-                    pct(t.pca),
-                    pct(t.quantize),
-                    pct(t.lossless),
-                ]);
+            Ok(_) => {
+                let delta = dpz_telemetry::global().snapshot().since(&before);
+                let stages = stage_seconds(&delta);
+                let total: f64 = stages.iter().sum::<f64>().max(1e-12);
+                let mut row = vec![ds.name.clone(), format!("{:.1}", total * 1e3)];
+                row.extend(stages.iter().map(|s| format!("{:.1}", 100.0 * s / total)));
+                rows.push(row);
             }
             Err(e) => eprintln!("{}: {e}", ds.name),
         }
     }
     println!("Figure 9 — DPZ compression-time breakdown (DPZ-s, five-nine TVE)\n");
+    println!("stages: {}\n", STAGES.join(" -> "));
     println!("{}", format_table(&header, &rows));
     let path = write_csv(&args.out_dir, "fig9_time_breakdown", &header, &rows).expect("csv");
     println!("csv: {}", path.display());
+    let suite_delta = dpz_telemetry::global().snapshot().since(&run_start);
+    let prom = write_metrics_sidecar(&args.out_dir, "fig9_time_breakdown", &suite_delta)
+        .expect("metrics sidecar");
+    println!("metrics: {}", prom.display());
 }

@@ -7,7 +7,14 @@ use dpz_data::{Dataset, DatasetKind, Scale};
 fn main() {
     let args = Args::parse();
     let header = [
-        "source", "dataset", "type", "ndims", "dims(run)", "values", "MB(run)", "dims(paper)",
+        "source",
+        "dataset",
+        "type",
+        "ndims",
+        "dims(run)",
+        "values",
+        "MB(run)",
+        "dims(paper)",
     ];
     let mut rows = Vec::new();
     for kind in DatasetKind::ALL {
@@ -18,7 +25,10 @@ fn main() {
             _ => "Climate simulation",
         };
         let fmt_dims = |d: &[usize]| {
-            d.iter().map(ToString::to_string).collect::<Vec<_>>().join("x")
+            d.iter()
+                .map(ToString::to_string)
+                .collect::<Vec<_>>()
+                .join("x")
         };
         rows.push(vec![
             kind.source().to_string(),
@@ -31,9 +41,11 @@ fn main() {
             fmt_dims(&Scale::Paper.dims(kind)),
         ]);
     }
-    println!("Table I — scientific datasets (synthetic analogues, seed {})\n", args.seed);
+    println!(
+        "Table I — scientific datasets (synthetic analogues, seed {})\n",
+        args.seed
+    );
     println!("{}", format_table(&header, &rows));
-    let path = write_csv(&args.out_dir, "table1_datasets", &header, &rows)
-        .expect("write csv");
+    let path = write_csv(&args.out_dir, "table1_datasets", &header, &rows).expect("write csv");
     println!("csv: {}", path.display());
 }

@@ -19,15 +19,24 @@ const SELECTED: [DatasetKind; 6] = [
 
 fn main() {
     let args = Args::parse();
-    let header = ["dataset", "scheme", "fit", "k", "cr", "psnr_db", "mean_theta"];
+    let header = [
+        "dataset",
+        "scheme",
+        "fit",
+        "k",
+        "cr",
+        "psnr_db",
+        "mean_theta",
+    ];
     let mut rows = Vec::new();
     for kind in SELECTED {
         let ds = Dataset::generate(kind, args.scale, args.seed);
         eprintln!("== {} ==", ds.name);
-        for (scheme_label, base) in [("DPZ-l", DpzConfig::loose()), ("DPZ-s", DpzConfig::strict())]
-        {
-            for (fit_label, fit) in [("1D", FitKind::Interp1d), ("polyn", FitKind::Polynomial(7))]
-            {
+        for (scheme_label, base) in [
+            ("DPZ-l", DpzConfig::loose()),
+            ("DPZ-s", DpzConfig::strict()),
+        ] {
+            for (fit_label, fit) in [("1D", FitKind::Interp1d), ("polyn", FitKind::Polynomial(7))] {
                 let cfg = base.with_selection(KSelection::KneePoint(fit));
                 match run_dpz(&ds, &cfg, scheme_label, fit_label) {
                     Ok((run, stats)) => rows.push(vec![

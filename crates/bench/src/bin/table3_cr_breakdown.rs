@@ -15,19 +15,33 @@ const SELECTED: [DatasetKind; 6] = [
     DatasetKind::HaccVx,
 ];
 
-const LEVELS: [TveLevel; 3] = [TveLevel::ThreeNines, TveLevel::FiveNines, TveLevel::SevenNines];
+const LEVELS: [TveLevel; 3] = [
+    TveLevel::ThreeNines,
+    TveLevel::FiveNines,
+    TveLevel::SevenNines,
+];
 
 fn main() {
     let args = Args::parse();
     let header = [
-        "dataset", "tve", "scheme", "k", "cr_stage12", "cr_stage3", "cr_zlib", "cr_total",
+        "dataset",
+        "tve",
+        "scheme",
+        "k",
+        "cr_stage12",
+        "cr_stage3",
+        "cr_zlib",
+        "cr_total",
     ];
     let mut rows = Vec::new();
     for kind in SELECTED {
         let ds = Dataset::generate(kind, args.scale, args.seed);
         eprintln!("== {} ==", ds.name);
         for level in LEVELS {
-            for (label, base) in [("DPZ-l", DpzConfig::loose()), ("DPZ-s", DpzConfig::strict())] {
+            for (label, base) in [
+                ("DPZ-l", DpzConfig::loose()),
+                ("DPZ-s", DpzConfig::strict()),
+            ] {
                 let cfg = base.with_tve(level);
                 match compress(&ds.data, &ds.dims, &cfg) {
                     Ok(out) => {

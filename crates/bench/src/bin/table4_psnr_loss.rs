@@ -16,19 +16,31 @@ const SELECTED: [DatasetKind; 6] = [
     DatasetKind::HaccVx,
 ];
 
-const LEVELS: [TveLevel; 3] = [TveLevel::ThreeNines, TveLevel::FiveNines, TveLevel::SevenNines];
+const LEVELS: [TveLevel; 3] = [
+    TveLevel::ThreeNines,
+    TveLevel::FiveNines,
+    TveLevel::SevenNines,
+];
 
 fn main() {
     let args = Args::parse();
     let header = [
-        "dataset", "tve", "scheme", "psnr_stage12_db", "psnr_final_db", "delta_psnr_db",
+        "dataset",
+        "tve",
+        "scheme",
+        "psnr_stage12_db",
+        "psnr_final_db",
+        "delta_psnr_db",
     ];
     let mut rows = Vec::new();
     for kind in SELECTED {
         let ds = Dataset::generate(kind, args.scale, args.seed);
         eprintln!("== {} ==", ds.name);
         for level in LEVELS {
-            for (label, base) in [("DPZ-l", DpzConfig::loose()), ("DPZ-s", DpzConfig::strict())] {
+            for (label, base) in [
+                ("DPZ-l", DpzConfig::loose()),
+                ("DPZ-s", DpzConfig::strict()),
+            ] {
                 let cfg = base.with_tve(level);
                 match compress_with_breakdown(&ds.data, &ds.dims, &cfg) {
                     Ok(b) => rows.push(vec![

@@ -8,12 +8,23 @@ use dpz_bench::harness::{fmt, format_table, write_csv, Args};
 use dpz_core::{compress, DpzConfig, TveLevel};
 use dpz_data::standard_suite;
 
-const LEVELS: [TveLevel; 3] = [TveLevel::FiveNines, TveLevel::SixNines, TveLevel::SevenNines];
+const LEVELS: [TveLevel; 3] = [
+    TveLevel::FiveNines,
+    TveLevel::SixNines,
+    TveLevel::SevenNines,
+];
 
 fn main() {
     let args = Args::parse();
     let header = [
-        "dataset", "S", "tve", "k_e", "cr_pred_low", "cr_pred_high", "cr_actual", "hit",
+        "dataset",
+        "S",
+        "tve",
+        "k_e",
+        "cr_pred_low",
+        "cr_pred_high",
+        "cr_actual",
+        "hit",
     ];
     let mut rows = Vec::new();
     let mut hits: std::collections::HashMap<usize, (usize, usize)> = Default::default();
@@ -58,7 +69,6 @@ fn main() {
             );
         }
     }
-    let path =
-        write_csv(&args.out_dir, "table5_sampling_accuracy", &header, &rows).expect("csv");
+    let path = write_csv(&args.out_dir, "table5_sampling_accuracy", &header, &rows).expect("csv");
     println!("csv: {}", path.display());
 }

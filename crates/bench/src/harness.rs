@@ -3,6 +3,7 @@
 
 use dpz_data::dataset::DEFAULT_SEED;
 use dpz_data::Scale;
+use dpz_telemetry::Snapshot;
 use std::io::Write;
 use std::path::{Path, PathBuf};
 
@@ -39,8 +40,8 @@ impl Args {
             match flag.as_str() {
                 "--scale" => {
                     let v = it.next().ok_or("--scale needs a value")?;
-                    args.scale = Scale::from_name(v)
-                        .ok_or_else(|| format!("unknown scale '{v}'"))?;
+                    args.scale =
+                        Scale::from_name(v).ok_or_else(|| format!("unknown scale '{v}'"))?;
                 }
                 "--seed" => {
                     let v = it.next().ok_or("--seed needs a value")?;
@@ -127,9 +128,11 @@ pub fn five_number_summary(values: &[f64]) -> [f64; 5] {
 /// Equal-width histogram over `[min, max]`; returns `(bin_centers, counts)`.
 pub fn histogram(values: &[f32], bins: usize) -> (Vec<f64>, Vec<usize>) {
     assert!(bins > 0 && !values.is_empty());
-    let (lo, hi) = values.iter().fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &v| {
-        (lo.min(f64::from(v)), hi.max(f64::from(v)))
-    });
+    let (lo, hi) = values
+        .iter()
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &v| {
+            (lo.min(f64::from(v)), hi.max(f64::from(v)))
+        });
     let span = (hi - lo).max(f64::MIN_POSITIVE);
     let mut counts = vec![0usize; bins];
     for &v in values {
@@ -140,6 +143,35 @@ pub fn histogram(values: &[f32], bins: usize) -> (Vec<f64>, Vec<usize>) {
         .map(|b| lo + span * (b as f64 + 0.5) / bins as f64)
         .collect();
     (centers, counts)
+}
+
+/// The DPZ pipeline stages as labelled in the `dpz_stage_seconds` histogram,
+/// in execution order.
+pub const STAGES: [&str; 5] = ["decompose_dct", "sampling", "pca", "quantize", "lossless"];
+
+/// Per-stage wall-clock seconds from a registry snapshot (or delta), indexed
+/// like [`STAGES`]. Stages absent from the snapshot report 0.
+pub fn stage_seconds(metrics: &Snapshot) -> [f64; 5] {
+    let mut out = [0.0; 5];
+    for (i, stage) in STAGES.iter().enumerate() {
+        if let Some(h) = metrics.histogram("dpz_stage_seconds", &[("stage", stage)]) {
+            out[i] = h.sum;
+        }
+    }
+    out
+}
+
+/// Write a snapshot as a Prometheus exposition sidecar next to the CSVs:
+/// `<out_dir>/<name>.prom`.
+pub fn write_metrics_sidecar(
+    out_dir: &Path,
+    name: &str,
+    metrics: &Snapshot,
+) -> std::io::Result<PathBuf> {
+    std::fs::create_dir_all(out_dir)?;
+    let path = out_dir.join(format!("{name}.prom"));
+    std::fs::write(&path, dpz_telemetry::to_prometheus(metrics))?;
+    Ok(path)
 }
 
 /// Format a float compactly for tables.
@@ -168,8 +200,8 @@ mod tests {
         let a = Args::parse_from(&[]).unwrap();
         assert_eq!(a.scale, Scale::Default);
         assert_eq!(a.seed, DEFAULT_SEED);
-        let a = Args::parse_from(&sv(&["--scale", "tiny", "--seed", "7", "--out", "/tmp/x"]))
-            .unwrap();
+        let a =
+            Args::parse_from(&sv(&["--scale", "tiny", "--seed", "7", "--out", "/tmp/x"])).unwrap();
         assert_eq!(a.scale, Scale::Tiny);
         assert_eq!(a.seed, 7);
         assert_eq!(a.out_dir, PathBuf::from("/tmp/x"));
@@ -180,13 +212,7 @@ mod tests {
     #[test]
     fn csv_round_trip() {
         let dir = std::env::temp_dir().join("dpz_bench_csv");
-        let path = write_csv(
-            &dir,
-            "t",
-            &["a", "b"],
-            &[sv(&["1", "2"]), sv(&["3", "4"])],
-        )
-        .unwrap();
+        let path = write_csv(&dir, "t", &["a", "b"], &[sv(&["1", "2"]), sv(&["3", "4"])]).unwrap();
         let content = std::fs::read_to_string(&path).unwrap();
         assert_eq!(content, "a,b\n1,2\n3,4\n");
         std::fs::remove_dir_all(&dir).ok();
@@ -215,6 +241,41 @@ mod tests {
         assert_eq!(counts.iter().sum::<usize>(), 100);
         assert_eq!(centers.len(), 10);
         assert!(counts.iter().all(|&c| c == 10));
+    }
+
+    #[test]
+    fn stage_seconds_reads_histogram_sums() {
+        let r = dpz_telemetry::Registry::new();
+        r.histogram_with(
+            "dpz_stage_seconds",
+            &[("stage", "pca")],
+            &dpz_telemetry::LATENCY_BUCKETS_S,
+        )
+        .observe(0.25);
+        r.histogram_with(
+            "dpz_stage_seconds",
+            &[("stage", "lossless")],
+            &dpz_telemetry::LATENCY_BUCKETS_S,
+        )
+        .observe(0.5);
+        let s = stage_seconds(&r.snapshot());
+        assert_eq!(s, [0.0, 0.0, 0.25, 0.0, 0.5]);
+    }
+
+    #[test]
+    fn metrics_sidecar_is_valid_prometheus() {
+        let r = dpz_telemetry::Registry::new();
+        r.counter_with(
+            "dpz_bytes_in_total",
+            &[("codec", "dpz"), ("op", "compress")],
+        )
+        .add(1024);
+        let dir = std::env::temp_dir().join("dpz_bench_sidecar");
+        let path = write_metrics_sidecar(&dir, "t", &r.snapshot()).unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert!(content.contains("# TYPE dpz_bytes_in_total counter"));
+        assert!(content.contains("dpz_bytes_in_total{codec=\"dpz\",op=\"compress\"} 1024"));
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -5,6 +5,7 @@ use dpz_core::{compress, decompress, DpzConfig};
 use dpz_data::metrics::{value_range, QualityReport};
 use dpz_data::Dataset;
 use dpz_sz::{SzConfig, SzError};
+use dpz_telemetry::Snapshot;
 use dpz_zfp::{ZfpError, ZfpMode};
 use std::time::{Duration, Instant};
 
@@ -23,6 +24,10 @@ pub struct RunResult {
     pub decompress_time: Duration,
     /// The reconstruction (for visualization experiments).
     pub reconstructed: Vec<f32>,
+    /// Global-registry delta captured around this run (counters, gauges,
+    /// span/stage histograms). Only activity from this run when runs execute
+    /// sequentially — concurrent runs share the process-wide registry.
+    pub metrics: Snapshot,
 }
 
 impl RunResult {
@@ -44,12 +49,14 @@ pub fn run_dpz(
     label: &str,
     setting: &str,
 ) -> Result<(RunResult, dpz_core::pipeline::CompressionStats), dpz_core::DpzError> {
+    let before = dpz_telemetry::global().snapshot();
     let t = Instant::now();
     let out = compress(&ds.data, &ds.dims, cfg)?;
     let compress_time = t.elapsed();
     let t = Instant::now();
     let (recon, _) = decompress(&out.bytes)?;
     let decompress_time = t.elapsed();
+    let metrics = dpz_telemetry::global().snapshot().since(&before);
     let report = QualityReport::evaluate(&ds.data, &recon, out.bytes.len());
     Ok((
         RunResult {
@@ -59,6 +66,7 @@ pub fn run_dpz(
             compress_time,
             decompress_time,
             reconstructed: recon,
+            metrics,
         },
         out.stats,
     ))
@@ -67,12 +75,14 @@ pub fn run_dpz(
 /// Run the SZ baseline at an absolute error bound.
 pub fn run_sz(ds: &Dataset, error_bound: f64) -> Result<RunResult, SzError> {
     let cfg = SzConfig::with_error_bound(error_bound);
+    let before = dpz_telemetry::global().snapshot();
     let t = Instant::now();
     let bytes = dpz_sz::compress(&ds.data, &ds.dims, &cfg);
     let compress_time = t.elapsed();
     let t = Instant::now();
     let (recon, _) = dpz_sz::decompress(&bytes)?;
     let decompress_time = t.elapsed();
+    let metrics = dpz_telemetry::global().snapshot().since(&before);
     let report = QualityReport::evaluate(&ds.data, &recon, bytes.len());
     Ok(RunResult {
         label: "SZ".to_string(),
@@ -81,6 +91,7 @@ pub fn run_sz(ds: &Dataset, error_bound: f64) -> Result<RunResult, SzError> {
         compress_time,
         decompress_time,
         reconstructed: recon,
+        metrics,
     })
 }
 
@@ -96,14 +107,15 @@ pub fn run_sz_relative(ds: &Dataset, rel: f64) -> Result<RunResult, SzError> {
 /// Run SZ with the hybrid (SZ 2.0) predictor at a range-relative bound.
 pub fn run_sz_auto_relative(ds: &Dataset, rel: f64) -> Result<RunResult, SzError> {
     let range = value_range(&ds.data).max(f64::MIN_POSITIVE);
-    let cfg = SzConfig::with_error_bound(rel * range)
-        .with_predictor(dpz_sz::Predictor::Auto);
+    let cfg = SzConfig::with_error_bound(rel * range).with_predictor(dpz_sz::Predictor::Auto);
+    let before = dpz_telemetry::global().snapshot();
     let t = Instant::now();
     let bytes = dpz_sz::compress(&ds.data, &ds.dims, &cfg);
     let compress_time = t.elapsed();
     let t = Instant::now();
     let (recon, _) = dpz_sz::decompress(&bytes)?;
     let decompress_time = t.elapsed();
+    let metrics = dpz_telemetry::global().snapshot().since(&before);
     let report = QualityReport::evaluate(&ds.data, &recon, bytes.len());
     Ok(RunResult {
         label: "SZ-auto".to_string(),
@@ -112,17 +124,20 @@ pub fn run_sz_auto_relative(ds: &Dataset, rel: f64) -> Result<RunResult, SzError
         compress_time,
         decompress_time,
         reconstructed: recon,
+        metrics,
     })
 }
 
 /// Run the ZFP baseline.
 pub fn run_zfp(ds: &Dataset, mode: ZfpMode) -> Result<RunResult, ZfpError> {
+    let before = dpz_telemetry::global().snapshot();
     let t = Instant::now();
     let bytes = dpz_zfp::compress(&ds.data, &ds.dims, mode);
     let compress_time = t.elapsed();
     let t = Instant::now();
     let (recon, _) = dpz_zfp::decompress(&bytes)?;
     let decompress_time = t.elapsed();
+    let metrics = dpz_telemetry::global().snapshot().since(&before);
     let report = QualityReport::evaluate(&ds.data, &recon, bytes.len());
     let setting = match mode {
         ZfpMode::FixedPrecision(p) => format!("prec={p}"),
@@ -136,6 +151,7 @@ pub fn run_zfp(ds: &Dataset, mode: ZfpMode) -> Result<RunResult, ZfpError> {
         compress_time,
         decompress_time,
         reconstructed: recon,
+        metrics,
     })
 }
 
@@ -187,5 +203,46 @@ mod tests {
         let run = run_sz(&ds, 1e-2).unwrap();
         assert!(run.compress_mbps(ds.nbytes()) > 0.0);
         assert!(run.decompress_mbps(ds.nbytes()) > 0.0);
+    }
+
+    #[test]
+    fn runners_capture_registry_delta() {
+        let ds = tiny(DatasetKind::Fldsc);
+        let cfg = DpzConfig::loose().with_tve(TveLevel::FiveNines);
+        let (run, _) = run_dpz(&ds, &cfg, "DPZ-l", "tve=5").unwrap();
+        assert!(!run.metrics.is_empty());
+        assert!(
+            run.metrics
+                .counter(
+                    "dpz_bytes_in_total",
+                    &[("codec", "dpz"), ("op", "compress")]
+                )
+                .unwrap_or(0)
+                >= ds.nbytes() as u64
+        );
+        let pca = run
+            .metrics
+            .histogram("dpz_stage_seconds", &[("stage", "pca")])
+            .expect("stage histogram in delta");
+        assert!(pca.count >= 1);
+
+        let sz = run_sz(&ds, 1e-3).unwrap();
+        assert!(
+            sz.metrics
+                .counter("dpz_bytes_in_total", &[("codec", "sz"), ("op", "compress")])
+                .unwrap_or(0)
+                >= ds.nbytes() as u64
+        );
+
+        let zfp = run_zfp(&ds, ZfpMode::FixedPrecision(20)).unwrap();
+        assert!(
+            zfp.metrics
+                .counter(
+                    "dpz_bytes_in_total",
+                    &[("codec", "zfp"), ("op", "compress")]
+                )
+                .unwrap_or(0)
+                >= ds.nbytes() as u64
+        );
     }
 }

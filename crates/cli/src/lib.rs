@@ -39,7 +39,8 @@ fn err(msg: impl Into<String>) -> CliError {
 }
 
 /// Usage text.
-pub const USAGE: &str = "dpz — multi-stage information-retrieval lossy compressor (CLUSTER'21 reproduction)
+pub const USAGE: &str =
+    "dpz — multi-stage information-retrieval lossy compressor (CLUSTER'21 reproduction)
 
 USAGE:
   dpz gen <dataset> <out.f32> [--scale tiny|small|default|paper] [--seed N]
@@ -47,12 +48,18 @@ USAGE:
                [--scheme loose|strict] [--tve NINES] [--knee 1d|polyn] [--sampling]
                [--transform dct|dwt] [--eb BOUND, --predictor lorenzo|auto (sz)]
                [--precision BITS | --rate BITS/VAL (zfp)]
-  dpz decompress <in.dpz> <out.f32>
+               [--verbose] [--metrics-out <file[.prom|.json]>]
+  dpz decompress <in.dpz> <out.f32> [--verbose] [--metrics-out <file>]
   dpz info <in.dpz>
   dpz eval <orig.f32> <recon.f32> [--compressed <file>]
 
 DATASETS: Isotropic Channel CLDHGH CLDLOW PHIS FREQSH FLDSC HACC-x HACC-vx
 NINES:    3..=8 (\"--tve 5\" = 99.999%)
+
+OBSERVABILITY:
+  --verbose      trace every pipeline span to stderr (same as DPZ_TRACE=1)
+  --metrics-out  dump this run's metrics; '.json' writes the JSON form,
+                 anything else the Prometheus text exposition
 ";
 
 /// Parse dims like `1800x3600` or `128x128x128`.
@@ -75,6 +82,75 @@ fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
 
 fn has_flag(args: &[String], flag: &str) -> bool {
     args.iter().any(|a| a == flag)
+}
+
+/// Honor `--verbose` and return the registry state before the operation, so
+/// `--metrics-out` can export only this run's activity.
+fn telemetry_begin(args: &[String]) -> dpz_telemetry::Snapshot {
+    if has_flag(args, "--verbose") {
+        dpz_telemetry::set_trace(true);
+    }
+    dpz_telemetry::global().snapshot()
+}
+
+/// Delta of global registry activity since `before`; optionally written to
+/// the `--metrics-out` path (`.json` selects JSON, else Prometheus text).
+fn telemetry_finish(
+    args: &[String],
+    before: &dpz_telemetry::Snapshot,
+) -> Result<dpz_telemetry::Snapshot, CliError> {
+    let delta = dpz_telemetry::global().snapshot().since(before);
+    if let Some(path) = flag_value(args, "--metrics-out") {
+        let text = if path.ends_with(".json") {
+            dpz_telemetry::to_json(&delta)
+        } else {
+            dpz_telemetry::to_prometheus(&delta)
+        };
+        std::fs::write(path, text).map_err(|e| err(format!("write {path}: {e}")))?;
+    } else if has_flag(args, "--metrics-out") {
+        return Err(err("--metrics-out needs a file path"));
+    }
+    Ok(delta)
+}
+
+/// One-line compression summary read back from the metric deltas (ratio,
+/// model size for DPZ, throughput).
+fn compress_summary(
+    input: &str,
+    output: &str,
+    codec: &str,
+    delta: &dpz_telemetry::Snapshot,
+) -> String {
+    let labels = [("codec", codec), ("op", "compress")];
+    let bytes_in = delta.counter("dpz_bytes_in_total", &labels).unwrap_or(0);
+    let bytes_out = delta.counter("dpz_bytes_out_total", &labels).unwrap_or(0);
+    let cr = if bytes_out > 0 {
+        bytes_in as f64 / bytes_out as f64
+    } else {
+        0.0
+    };
+    let span_name = match codec {
+        "sz" => "sz.compress",
+        "zfp" => "zfp.compress",
+        _ => "compress",
+    };
+    let secs = delta
+        .histogram("dpz_span_seconds", &[("span", span_name)])
+        .map_or(0.0, |h| h.sum);
+    let mbps = if secs > 0.0 {
+        bytes_in as f64 / 1e6 / secs
+    } else {
+        0.0
+    };
+    let mut msg = format!("compressed {input} -> {output} [{codec}] {cr:.2}x");
+    if let (Some(k), Some(tve)) = (
+        delta.gauge("dpz_k_selected", &[]),
+        delta.gauge("dpz_tve_achieved", &[]),
+    ) {
+        let _ = write!(msg, ", k={k:.0} tve={tve:.8}");
+    }
+    let _ = write!(msg, ", {mbps:.1} MB/s");
+    msg
 }
 
 /// Build a [`DpzConfig`] from the optional flags.
@@ -139,8 +215,8 @@ fn cmd_gen(args: &[String]) -> Result<String, CliError> {
         (Some(a), Some(b)) => (a, b),
         _ => return Err(err("usage: dpz gen <dataset> <out.f32> [--scale ...]")),
     };
-    let kind = DatasetKind::from_name(name)
-        .ok_or_else(|| err(format!("unknown dataset '{name}'")))?;
+    let kind =
+        DatasetKind::from_name(name).ok_or_else(|| err(format!("unknown dataset '{name}'")))?;
     let scale = match flag_value(args, "--scale") {
         Some(s) => Scale::from_name(s).ok_or_else(|| err(format!("unknown scale '{s}'")))?,
         None => Scale::Default,
@@ -157,7 +233,12 @@ fn cmd_gen(args: &[String]) -> Result<String, CliError> {
         .map(ToString::to_string)
         .collect::<Vec<_>>()
         .join("x");
-    Ok(format!("wrote {} ({} values, dims {})", out, ds.len(), dims))
+    Ok(format!(
+        "wrote {} ({} values, dims {})",
+        out,
+        ds.len(),
+        dims
+    ))
 }
 
 fn cmd_compress(args: &[String]) -> Result<String, CliError> {
@@ -165,10 +246,9 @@ fn cmd_compress(args: &[String]) -> Result<String, CliError> {
         (Some(a), Some(b)) => (a, b),
         _ => return Err(err("usage: dpz compress <in.f32> <out.dpz> --dims RxC ...")),
     };
-    let dims = parse_dims(
-        flag_value(args, "--dims").ok_or_else(|| err("--dims is required"))?,
-    )?;
+    let dims = parse_dims(flag_value(args, "--dims").ok_or_else(|| err("--dims is required"))?)?;
     let data = read_f32_file(input).map_err(|e| err(format!("read {input}: {e}")))?;
+    let before = telemetry_begin(args);
     match flag_value(args, "--codec").unwrap_or("dpz") {
         "dpz" => {}
         "sz" => {
@@ -182,21 +262,20 @@ fn cmd_compress(args: &[String]) -> Result<String, CliError> {
                     "lorenzo" => cfg.with_predictor(dpz_sz::Predictor::Lorenzo),
                     "auto" => cfg.with_predictor(dpz_sz::Predictor::Auto),
                     other => {
-                        return Err(err(format!(
-                            "unknown --predictor '{other}' (lorenzo|auto)"
-                        )))
+                        return Err(err(format!("unknown --predictor '{other}' (lorenzo|auto)")))
                     }
                 };
             }
             let bytes = dpz_sz::compress(&data, &dims, &cfg);
-            let cr = (data.len() * 4) as f64 / bytes.len() as f64;
             std::fs::write(output, &bytes).map_err(|e| err(format!("write {output}: {e}")))?;
-            return Ok(format!("compressed {input} -> {output} with SZ eb={eb:e} ({cr:.2}x)"));
+            let delta = telemetry_finish(args, &before)?;
+            return Ok(compress_summary(input, output, "sz", &delta) + &format!(" (eb={eb:e})"));
         }
         "zfp" => {
             let mode = if let Some(r) = flag_value(args, "--rate") {
-                let rate: f64 =
-                    r.parse().map_err(|_| err("--rate expects bits per value"))?;
+                let rate: f64 = r
+                    .parse()
+                    .map_err(|_| err("--rate expects bits per value"))?;
                 dpz_zfp::ZfpMode::FixedRate(rate)
             } else {
                 let prec: u32 = flag_value(args, "--precision")
@@ -206,45 +285,17 @@ fn cmd_compress(args: &[String]) -> Result<String, CliError> {
                 dpz_zfp::ZfpMode::FixedPrecision(prec)
             };
             let bytes = dpz_zfp::compress(&data, &dims, mode);
-            let cr = (data.len() * 4) as f64 / bytes.len() as f64;
             std::fs::write(output, &bytes).map_err(|e| err(format!("write {output}: {e}")))?;
-            return Ok(format!(
-                "compressed {input} -> {output} with ZFP {mode:?} ({cr:.2}x)"
-            ));
+            let delta = telemetry_finish(args, &before)?;
+            return Ok(compress_summary(input, output, "zfp", &delta) + &format!(" ({mode:?})"));
         }
         other => return Err(err(format!("unknown --codec '{other}' (dpz|sz|zfp)"))),
     }
     let cfg = config_from_args(args)?;
     let out = compress(&data, &dims, &cfg).map_err(|e| err(e.to_string()))?;
     std::fs::write(output, &out.bytes).map_err(|e| err(format!("write {output}: {e}")))?;
-    let s = &out.stats;
-    let mut msg = String::new();
-    let _ = writeln!(
-        msg,
-        "compressed {} -> {} ({:.2}x, {:.3} bits/value)",
-        input,
-        output,
-        s.cr_total,
-        32.0 / s.cr_total
-    );
-    let _ = writeln!(
-        msg,
-        "  blocks M={} N={} k={} tve={:.8} standardized={}",
-        s.m, s.n, s.k, s.tve_achieved, s.standardized
-    );
-    let _ = write!(
-        msg,
-        "  stage CRs: 1&2 {:.2}x | 3 {:.2}x | lossless {:.2}x",
-        s.cr_stage12, s.cr_stage3, s.cr_zlib
-    );
-    if let Some(est) = &s.sampling {
-        let _ = write!(
-            msg,
-            "\n  sampling: VIF {:.1} k_e {} predicted CR {:.1}-{:.1}x",
-            est.vif, est.k_estimate, est.cr_predicted.0, est.cr_predicted.1
-        );
-    }
-    Ok(msg)
+    let delta = telemetry_finish(args, &before)?;
+    Ok(compress_summary(input, output, "dpz", &delta))
 }
 
 fn cmd_decompress(args: &[String]) -> Result<String, CliError> {
@@ -253,6 +304,7 @@ fn cmd_decompress(args: &[String]) -> Result<String, CliError> {
         _ => return Err(err("usage: dpz decompress <in.dpz> <out.f32>")),
     };
     let bytes = std::fs::read(input).map_err(|e| err(format!("read {input}: {e}")))?;
+    let before = telemetry_begin(args);
     // Sniff the container magic so every codec's output decompresses.
     let (values, dims) = match bytes.get(..4) {
         Some(b"SZR1") => dpz_sz::decompress(&bytes).map_err(|e| err(e.to_string()))?,
@@ -260,15 +312,24 @@ fn cmd_decompress(args: &[String]) -> Result<String, CliError> {
         _ => decompress(&bytes).map_err(|e| err(e.to_string()))?,
     };
     write_f32_file(output, &values).map_err(|e| err(format!("write {output}: {e}")))?;
-    let dims = dims.iter().map(ToString::to_string).collect::<Vec<_>>().join("x");
-    Ok(format!("decompressed {input} -> {output} ({} values, dims {dims})", values.len()))
+    telemetry_finish(args, &before)?;
+    let dims = dims
+        .iter()
+        .map(ToString::to_string)
+        .collect::<Vec<_>>()
+        .join("x");
+    Ok(format!(
+        "decompressed {input} -> {output} ({} values, dims {dims})",
+        values.len()
+    ))
 }
 
 fn cmd_info(args: &[String]) -> Result<String, CliError> {
-    let input = args.first().ok_or_else(|| err("usage: dpz info <in.dpz>"))?;
+    let input = args
+        .first()
+        .ok_or_else(|| err("usage: dpz info <in.dpz>"))?;
     let bytes = std::fs::read(input).map_err(|e| err(format!("read {input}: {e}")))?;
-    let payload =
-        dpz_core::container::deserialize(&bytes).map_err(|e| err(e.to_string()))?;
+    let payload = dpz_core::container::deserialize(&bytes).map_err(|e| err(e.to_string()))?;
     let dims = payload
         .dims
         .iter()
@@ -294,11 +355,14 @@ fn cmd_info(args: &[String]) -> Result<String, CliError> {
 fn cmd_eval(args: &[String]) -> Result<String, CliError> {
     let (orig_path, recon_path) = match (args.first(), args.get(1)) {
         (Some(a), Some(b)) => (a, b),
-        _ => return Err(err("usage: dpz eval <orig.f32> <recon.f32> [--compressed f]")),
+        _ => {
+            return Err(err(
+                "usage: dpz eval <orig.f32> <recon.f32> [--compressed f]",
+            ))
+        }
     };
     let orig = read_f32_file(orig_path).map_err(|e| err(format!("read {orig_path}: {e}")))?;
-    let recon =
-        read_f32_file(recon_path).map_err(|e| err(format!("read {recon_path}: {e}")))?;
+    let recon = read_f32_file(recon_path).map_err(|e| err(format!("read {recon_path}: {e}")))?;
     if orig.len() != recon.len() {
         return Err(err(format!(
             "length mismatch: {} vs {} values",
@@ -351,7 +415,10 @@ mod tests {
         assert_eq!(cfg.scheme, Scheme::Strict);
         assert_eq!(cfg.selection, KSelection::Tve(0.9999999));
         let cfg = config_from_args(&s(&["--knee", "polyn", "--sampling"])).unwrap();
-        assert!(matches!(cfg.selection, KSelection::KneePoint(FitKind::Polynomial(7))));
+        assert!(matches!(
+            cfg.selection,
+            KSelection::KneePoint(FitKind::Polynomial(7))
+        ));
         assert!(cfg.sampling);
         assert!(config_from_args(&s(&["--tve", "9"])).is_err());
         assert!(config_from_args(&s(&["--scheme", "wat"])).is_err());
@@ -372,13 +439,14 @@ mod tests {
         let packed = dir.join("f.dpz").to_string_lossy().into_owned();
         let restored = dir.join("f_out.f32").to_string_lossy().into_owned();
 
-        let msg =
-            run(&s(&["gen", "FLDSC", &raw, "--scale", "tiny", "--seed", "7"])).unwrap();
+        let msg = run(&s(&[
+            "gen", "FLDSC", &raw, "--scale", "tiny", "--seed", "7",
+        ]))
+        .unwrap();
         assert!(msg.contains("45x90"), "{msg}");
 
         let msg = run(&s(&[
-            "compress", &raw, &packed, "--dims", "45x90", "--scheme", "strict", "--tve",
-            "6",
+            "compress", &raw, &packed, "--dims", "45x90", "--scheme", "strict", "--tve", "6",
         ]))
         .unwrap();
         assert!(msg.contains("compressed"), "{msg}");
@@ -397,6 +465,74 @@ mod tests {
     }
 
     #[test]
+    fn metrics_out_writes_prometheus_and_json() {
+        let dir = std::env::temp_dir().join("dpz_cli_metrics");
+        std::fs::create_dir_all(&dir).unwrap();
+        let raw = dir.join("m.f32").to_string_lossy().into_owned();
+        let packed = dir.join("m.dpz").to_string_lossy().into_owned();
+        let restored = dir.join("m_out.f32").to_string_lossy().into_owned();
+        let prom_path = dir.join("metrics.prom").to_string_lossy().into_owned();
+        let json_path = dir.join("metrics.json").to_string_lossy().into_owned();
+        run(&s(&["gen", "PHIS", &raw, "--scale", "tiny"])).unwrap();
+
+        let msg = run(&s(&[
+            "compress",
+            &raw,
+            &packed,
+            "--dims",
+            "45x90",
+            "--metrics-out",
+            &prom_path,
+        ]))
+        .unwrap();
+        // The summary is one registry-derived line: ratio, k/TVE, throughput.
+        assert!(!msg.contains('\n'), "expected one line: {msg}");
+        assert!(
+            msg.contains("compressed") && msg.contains("k=") && msg.contains("MB/s"),
+            "{msg}"
+        );
+
+        let prom = std::fs::read_to_string(&prom_path).unwrap();
+        assert!(
+            prom.contains("# TYPE dpz_stage_seconds histogram"),
+            "{prom}"
+        );
+        assert!(
+            prom.contains("dpz_bytes_in_total{codec=\"dpz\",op=\"compress\"}"),
+            "{prom}"
+        );
+        assert!(
+            prom.contains("dpz_bytes_out_total{codec=\"dpz\",op=\"compress\"}"),
+            "{prom}"
+        );
+        assert!(prom.contains("dpz_k_selected"), "{prom}");
+        assert!(prom.contains("dpz_tve_achieved"), "{prom}");
+        assert!(prom.contains("dpz_span_seconds_bucket"), "{prom}");
+
+        run(&s(&[
+            "decompress",
+            &packed,
+            &restored,
+            "--metrics-out",
+            &json_path,
+        ]))
+        .unwrap();
+        let snap = dpz_telemetry::from_json(&std::fs::read_to_string(&json_path).unwrap())
+            .expect("metrics JSON parses back");
+        assert!(snap.counter("dpz_decompressions_total", &[]).unwrap() >= 1);
+        assert!(
+            snap.counter(
+                "dpz_bytes_in_total",
+                &[("codec", "dpz"), ("op", "decompress")]
+            )
+            .unwrap()
+                > 0
+        );
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
     fn compress_requires_dims() {
         let e = run(&s(&["compress", "a", "b"])).unwrap_err();
         assert!(e.0.contains("--dims"));
@@ -408,13 +544,21 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         let raw = dir.join("c.f32").to_string_lossy().into_owned();
         run(&s(&["gen", "PHIS", &raw, "--scale", "tiny"])).unwrap();
-        for (codec, extra) in [("sz", vec!["--eb", "1e-2"]), ("zfp", vec!["--precision", "18"])]
-        {
-            let packed = dir.join(format!("c.{codec}")).to_string_lossy().into_owned();
-            let restored =
-                dir.join(format!("c_{codec}.f32")).to_string_lossy().into_owned();
-            let mut argv =
-                s(&["compress", &raw, &packed, "--dims", "45x90", "--codec", codec]);
+        for (codec, extra) in [
+            ("sz", vec!["--eb", "1e-2"]),
+            ("zfp", vec!["--precision", "18"]),
+        ] {
+            let packed = dir
+                .join(format!("c.{codec}"))
+                .to_string_lossy()
+                .into_owned();
+            let restored = dir
+                .join(format!("c_{codec}.f32"))
+                .to_string_lossy()
+                .into_owned();
+            let mut argv = s(&[
+                "compress", &raw, &packed, "--dims", "45x90", "--codec", codec,
+            ]);
             argv.extend(s(&extra));
             let msg = run(&argv).unwrap();
             assert!(msg.contains("compressed"), "{msg}");
@@ -426,8 +570,10 @@ mod tests {
 
     #[test]
     fn unknown_codec_rejected() {
-        let e = run(&s(&["compress", "a", "b", "--dims", "4x4", "--codec", "lz4"]))
-            .unwrap_err();
+        let e = run(&s(&[
+            "compress", "a", "b", "--dims", "4x4", "--codec", "lz4",
+        ]))
+        .unwrap_err();
         assert!(e.0.contains("read a") || e.0.contains("unknown --codec"));
     }
 }

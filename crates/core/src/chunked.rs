@@ -20,6 +20,7 @@
 use crate::config::DpzConfig;
 use crate::container::DpzError;
 use crate::pipeline::{compress, decompress, Compressed};
+use dpz_telemetry::span;
 use rayon::prelude::*;
 
 const MAGIC: &[u8; 4] = b"DPZC";
@@ -60,6 +61,7 @@ pub fn compress_chunked(
     if data.len() < 4 {
         return Err(DpzError::BadInput("too small to chunk"));
     }
+    let _root = span!("compress_chunked");
     let (rows_per_slab, rest) = slab_extents(dims, chunks);
     let slab_values = rows_per_slab * rest;
 
@@ -95,7 +97,14 @@ pub fn compress_chunked(
         out.extend_from_slice(s);
     }
     let cr_total = (data.len() * 4) as f64 / out.len() as f64;
-    Ok(ChunkedCompressed { bytes: out, chunk_stats, cr_total })
+    dpz_telemetry::global()
+        .counter("dpz_chunks_total")
+        .add(streams.len() as u64);
+    Ok(ChunkedCompressed {
+        bytes: out,
+        chunk_stats,
+        cr_total,
+    })
 }
 
 /// Parsed chunk directory.
@@ -155,12 +164,17 @@ fn parse_directory(bytes: &[u8]) -> Result<Directory<'_>, DpzError> {
         ranges.push((offset, offset + len));
         offset += len;
     }
-    Ok(Directory { dims, ranges, payload })
+    Ok(Directory {
+        dims,
+        ranges,
+        payload,
+    })
 }
 
 /// Decompress a chunked container (chunks in parallel), returning the full
 /// array and its dimensions.
 pub fn decompress_chunked(bytes: &[u8]) -> Result<(Vec<f32>, Vec<usize>), DpzError> {
+    let _root = span!("decompress_chunked");
     let dir = parse_directory(bytes)?;
     let parts: Vec<Result<Vec<f32>, DpzError>> = dir
         .ranges

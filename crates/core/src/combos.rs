@@ -109,11 +109,11 @@ pub fn lossy_roundtrip(
             // Full (lossless) PCA rotation first.
             let pca = Pca::fit(&blocks, PcaOptions::default())?;
             let mut scores = pca.transform(&blocks, m)?; // n x m, exact
-            // DCT along each sample's *component vector* (the feature axis —
-            // the axis the stage-1 transform handed over). The PCA rotation
-            // leaves no smoothness along that axis, so the cosine basis —
-            // universal in the spatial domain — approximates poorly here:
-            // exactly the paper's argument for why this ordering loses.
+                                                         // DCT along each sample's *component vector* (the feature axis —
+                                                         // the axis the stage-1 transform handed over). The PCA rotation
+                                                         // leaves no smoothness along that axis, so the cosine basis —
+                                                         // universal in the spatial domain — approximates poorly here:
+                                                         // exactly the paper's argument for why this ordering loses.
             let keep = ((m as f64 * keep_fraction).round() as usize).max(1);
             for r in 0..n {
                 let row = scores.row_mut(r);
@@ -130,11 +130,7 @@ pub fn lossy_roundtrip(
 }
 
 /// Convenience: mean squared error of one combo at one keep fraction.
-pub fn combo_mse(
-    data: &[f32],
-    combo: TransformCombo,
-    keep_fraction: f64,
-) -> Result<f64, DpzError> {
+pub fn combo_mse(data: &[f32], combo: TransformCombo, keep_fraction: f64) -> Result<f64, DpzError> {
     let recon = lossy_roundtrip(data, combo, keep_fraction)?;
     let mse = data
         .iter()

@@ -189,7 +189,10 @@ impl DpzConfig {
 
     /// DPZ-s with the "five-nine" TVE default.
     pub fn strict() -> DpzConfig {
-        DpzConfig { scheme: Scheme::Strict, ..DpzConfig::loose() }
+        DpzConfig {
+            scheme: Scheme::Strict,
+            ..DpzConfig::loose()
+        }
     }
 
     /// Set the k-selection method.
@@ -270,7 +273,10 @@ mod tests {
 
     #[test]
     fn custom_scheme() {
-        let s = Scheme::Custom { p: 5e-3, wide_index: true };
+        let s = Scheme::Custom {
+            p: 5e-3,
+            wide_index: true,
+        };
         assert_eq!(s.p(), 5e-3);
         assert_eq!(s.bins(), 65535);
     }

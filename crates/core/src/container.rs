@@ -143,8 +143,12 @@ pub fn serialize(data: &ContainerData) -> (Vec<u8>, SectionSizes) {
     }
     let model_packed = compress_with_level(&model, CompressionLevel::Default);
     let indices_packed = compress_with_level(&data.scores.indices, CompressionLevel::Default);
-    let outlier_bytes: Vec<u8> =
-        data.scores.outliers.iter().flat_map(|v| v.to_le_bytes()).collect();
+    let outlier_bytes: Vec<u8> = data
+        .scores
+        .outliers
+        .iter()
+        .flat_map(|v| v.to_le_bytes())
+        .collect();
     let outliers_packed = compress_with_level(&outlier_bytes, CompressionLevel::Default);
 
     let sizes = SectionSizes {
@@ -289,8 +293,11 @@ pub fn deserialize(bytes: &[u8]) -> Result<ContainerData, DpzError> {
     let model_f = f32s_from(&model);
     let basis = model_f[..m * k].to_vec();
     let mean = model_f[m * k..m * k + m].to_vec();
-    let scale =
-        if standardized { model_f[m * k + m..].to_vec() } else { Vec::new() };
+    let scale = if standardized {
+        model_f[m * k + m..].to_vec()
+    } else {
+        Vec::new()
+    };
 
     let indices_raw = cur.u64()?;
     let indices_packed_len = cur.u64()?;
@@ -311,7 +318,11 @@ pub fn deserialize(bytes: &[u8]) -> Result<ContainerData, DpzError> {
     }
     let outliers = f32s_from(&outlier_bytes);
 
-    let bins = if wide_index { u32::from(u16::MAX) } else { u32::from(u8::MAX) };
+    let bins = if wide_index {
+        u32::from(u16::MAX)
+    } else {
+        u32::from(u8::MAX)
+    };
     let scores = QuantizedScores {
         indices,
         wide_index,
@@ -397,7 +408,10 @@ mod tests {
     fn rejects_bad_magic() {
         let (mut bytes, _) = serialize(&sample_container());
         bytes[0] = b'X';
-        assert!(matches!(deserialize(&bytes), Err(DpzError::Corrupt("bad magic"))));
+        assert!(matches!(
+            deserialize(&bytes),
+            Err(DpzError::Corrupt("bad magic"))
+        ));
     }
 
     #[test]

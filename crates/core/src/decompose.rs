@@ -41,7 +41,11 @@ pub fn choose_shape(len: usize) -> BlockShape {
         // Degenerate: two blocks, pad to even; keep n >= 2 so PCA has
         // at least two samples.
         let n = len.div_ceil(2).max(2);
-        return BlockShape { m: 2, n, pad: 2 * n - len };
+        return BlockShape {
+            m: 2,
+            n,
+            pad: 2 * n - len,
+        };
     }
     for r in 2..=MAX_RATIO {
         if !len.is_multiple_of(r) {
@@ -50,13 +54,21 @@ pub fn choose_shape(len: usize) -> BlockShape {
         let m2 = len / r;
         let m = (m2 as f64).sqrt().round() as usize;
         if m >= 2 && m * m == m2 {
-            return BlockShape { m, n: m * r, pad: 0 };
+            return BlockShape {
+                m,
+                n: m * r,
+                pad: 0,
+            };
         }
     }
     // Fallback: target N/M ≈ 2 and pad the remainder.
     let m = ((len as f64 / 2.0).sqrt().floor() as usize).max(2);
     let n = len.div_ceil(m);
-    BlockShape { m, n, pad: m * n - len }
+    BlockShape {
+        m,
+        n,
+        pad: m * n - len,
+    }
 }
 
 /// Rearrange flattened data into the `N x M` sample-by-feature matrix
@@ -72,7 +84,11 @@ pub fn to_blocks(data: &[f32], shape: BlockShape) -> Matrix {
         let base = j * n;
         for i in 0..n {
             let idx = base + i;
-            let v = if idx < data.len() { f64::from(data[idx]) } else { last };
+            let v = if idx < data.len() {
+                f64::from(data[idx])
+            } else {
+                last
+            };
             out.set(i, j, v);
         }
     }
@@ -143,7 +159,9 @@ fn wavelet_blocks(blocks: &Matrix, levels: usize, forward: bool) -> Matrix {
         };
         r.expect("levels validated above");
     });
-    Matrix::from_vec(m, n, data).expect("shape preserved").transpose()
+    Matrix::from_vec(m, n, data)
+        .expect("shape preserved")
+        .transpose()
 }
 
 fn transform_blocks(blocks: &Matrix, forward: bool) -> Matrix {
@@ -160,7 +178,9 @@ fn transform_blocks(blocks: &Matrix, forward: bool) -> Matrix {
             plan.inverse(row);
         }
     });
-    Matrix::from_vec(m, n, data).expect("shape preserved").transpose()
+    Matrix::from_vec(m, n, data)
+        .expect("shape preserved")
+        .transpose()
 }
 
 #[cfg(test)]
@@ -187,7 +207,11 @@ mod tests {
             assert!(s.m >= 2, "len {len}: m {}", s.m);
             assert!(s.m < s.n, "len {len}: m {} !< n {}", s.m, s.n);
             assert_eq!(s.m * s.n, len + s.pad, "len {len}");
-            assert!(s.pad < s.m.max(64), "len {len}: excessive padding {}", s.pad);
+            assert!(
+                s.pad < s.m.max(64),
+                "len {len}: excessive padding {}",
+                s.pad
+            );
         }
     }
 
@@ -284,7 +308,11 @@ mod tests {
             let head: f64 = col[..head_len].iter().map(|v| v * v).sum();
             // Periodic Db4 leaks some boundary energy into details; the
             // approximation band still dominates.
-            assert!(head / total > 0.85, "block {j}: head ratio {}", head / total);
+            assert!(
+                head / total > 0.85,
+                "block {j}: head ratio {}",
+                head / total
+            );
         }
     }
 
@@ -307,7 +335,11 @@ mod tests {
             let col = coeffs.col(j);
             let total: f64 = col.iter().map(|v| v * v).sum();
             let head: f64 = col[..4.min(col.len())].iter().map(|v| v * v).sum();
-            assert!(head / total > 0.99, "block {j}: head ratio {}", head / total);
+            assert!(
+                head / total > 0.99,
+                "block {j}: head ratio {}",
+                head / total
+            );
         }
     }
 

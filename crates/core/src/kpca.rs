@@ -32,7 +32,10 @@ pub fn select_k(pca: &Pca, selection: KSelection) -> KChoice {
         KSelection::Fixed(k) => k.clamp(1, m),
         KSelection::Tve(threshold) => pca.k_for_tve(threshold),
         KSelection::KneePoint(fit) => {
-            let opts = KneeOptions { fit, ..KneeOptions::default() };
+            let opts = KneeOptions {
+                fit,
+                ..KneeOptions::default()
+            };
             match detect_knee(&cum, opts) {
                 Ok(Some(idx)) => (idx + 1).clamp(1, m),
                 // No curvature (flat or degenerate curve): a single
@@ -65,8 +68,7 @@ mod tests {
             .collect();
         let mut rows = Vec::with_capacity(n);
         for _ in 0..n {
-            let factors: Vec<f64> =
-                (0..rank).map(|r| next() * 10.0 / (r + 1) as f64).collect();
+            let factors: Vec<f64> = (0..rank).map(|r| next() * 10.0 / (r + 1) as f64).collect();
             rows.push(
                 (0..m)
                     .map(|j| {

@@ -56,11 +56,10 @@ pub mod pipeline;
 pub mod quantize;
 pub mod sampling;
 
+pub use chunked::{compress_chunked, decompress_chunk, decompress_chunked};
 pub use config::{DpzConfig, KSelection, Scheme, Stage1Transform, Standardize, TveLevel};
 pub use container::DpzError;
 pub use pipeline::{
-    compress, compress_with_breakdown, decompress, CompressionBreakdown, Compressed,
-    StageTimings,
+    compress, compress_with_breakdown, decompress, Compressed, CompressionBreakdown, StageTimings,
 };
-pub use chunked::{compress_chunked, decompress_chunk, decompress_chunked};
 pub use sampling::{SamplingEstimate, SamplingStrategy};

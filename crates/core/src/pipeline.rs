@@ -9,7 +9,8 @@ use crate::kpca::select_k;
 use crate::quantize::{dequantize_scores, quantize_scores};
 use crate::sampling::{SamplingEstimate, SamplingStrategy};
 use dpz_linalg::{Matrix, Pca, PcaOptions};
-use std::time::{Duration, Instant};
+use dpz_telemetry::{span, LATENCY_BUCKETS_S};
+use std::time::Duration;
 
 /// Wall-clock time spent in each pipeline stage.
 #[derive(Debug, Clone, Copy, Default)]
@@ -74,9 +75,11 @@ pub struct Compressed {
 /// Minimum and range of the data, with a range floor of 1 so constant
 /// fields normalize to zero instead of dividing by zero.
 fn value_extent(data: &[f32]) -> (f64, f64) {
-    let (lo, hi) = data.iter().fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &v| {
-        (lo.min(f64::from(v)), hi.max(f64::from(v)))
-    });
+    let (lo, hi) = data
+        .iter()
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &v| {
+            (lo.min(f64::from(v)), hi.max(f64::from(v)))
+        });
     let range = hi - lo;
     (lo, if range > 0.0 { range } else { 1.0 })
 }
@@ -100,6 +103,7 @@ fn check_input(data: &[f32], dims: &[usize]) -> Result<(), DpzError> {
 /// Compress `data` (shape `dims`) under `cfg`.
 pub fn compress(data: &[f32], dims: &[usize], cfg: &DpzConfig) -> Result<Compressed, DpzError> {
     check_input(data, dims)?;
+    let _root = span!("compress");
     let mut timings = StageTimings::default();
 
     // Stage 1: range normalization, decomposition + DCT. Normalizing the
@@ -107,7 +111,7 @@ pub fn compress(data: &[f32], dims: &[usize], cfg: &DpzConfig) -> Result<Compres
     // bound P range-relative, exactly like the paper's θ metric — without
     // it, large-magnitude fields (e.g. HACC velocities) would overflow the
     // quantizer range and escape every score as an outlier.
-    let t = Instant::now();
+    let stage = span!("stage1.decompose_dct");
     let (norm_min, norm_range) = value_extent(data);
     let shape = decompose::choose_shape(data.len());
     let mut blocks = decompose::to_blocks(data, shape);
@@ -124,10 +128,11 @@ pub fn compress(data: &[f32], dims: &[usize], cfg: &DpzConfig) -> Result<Compres
         1 => decompose::dwt_blocks(&blocks, dwt_levels as usize),
         _ => decompose::dct_blocks(&blocks),
     };
-    timings.decompose_dct = t.elapsed();
+    timings.decompose_dct = stage.elapsed();
+    drop(stage);
 
     // Sampling strategy (optional).
-    let t = Instant::now();
+    let stage = span!("sampling");
     let sampling_est = if cfg.sampling {
         let tve = match cfg.selection {
             KSelection::Tve(v) => v,
@@ -143,7 +148,8 @@ pub fn compress(data: &[f32], dims: &[usize], cfg: &DpzConfig) -> Result<Compres
     } else {
         None
     };
-    timings.sampling = t.elapsed();
+    timings.sampling = stage.elapsed();
+    drop(stage);
 
     let standardize = match cfg.standardize {
         Standardize::On => true,
@@ -152,7 +158,7 @@ pub fn compress(data: &[f32], dims: &[usize], cfg: &DpzConfig) -> Result<Compres
     };
 
     // Stage 2: PCA (full, or truncated when sampling provided k_e).
-    let t = Instant::now();
+    let stage = span!("stage2.pca");
     let opts = PcaOptions { standardize };
     let (pca, choice) = match (&sampling_est, cfg.selection) {
         // A saturated estimate (subset k pinned at the subset width) is only
@@ -185,15 +191,18 @@ pub fn compress(data: &[f32], dims: &[usize], cfg: &DpzConfig) -> Result<Compres
     };
     let k = choice.k;
     let scores = pca.transform(&coeffs, k)?;
-    timings.pca = t.elapsed();
+    timings.pca = stage.elapsed();
+    drop(stage);
 
     // Stage 3: quantization.
-    let t = Instant::now();
+    let stage = span!("stage3.quantize");
     let quantized = quantize_scores(scores.as_slice(), cfg.scheme);
-    timings.quantize = t.elapsed();
+    let n_outliers = quantized.outliers.len();
+    timings.quantize = stage.elapsed();
+    drop(stage);
 
     // Lossless add-on + container.
-    let t = Instant::now();
+    let stage = span!("lossless");
     let projection = pca.projection(k);
     let basis: Vec<f32> = projection.as_slice().iter().map(|&v| v as f32).collect();
     let mean: Vec<f32> = pca.mean().iter().map(|&v| v as f32).collect();
@@ -220,7 +229,8 @@ pub fn compress(data: &[f32], dims: &[usize], cfg: &DpzConfig) -> Result<Compres
         scores: quantized,
     };
     let (bytes, sections) = container::serialize(&payload);
-    timings.lossless = t.elapsed();
+    timings.lossless = stage.elapsed();
+    drop(stage);
 
     // Per-stage ratio accounting (Table III semantics):
     //   stage 1&2 : original f32 -> f32 core (scores + basis + means[+scales])
@@ -235,29 +245,76 @@ pub fn compress(data: &[f32], dims: &[usize], cfg: &DpzConfig) -> Result<Compres
     let cr_zlib = stage3_raw as f64 / sections.total_packed() as f64;
     let cr_total = orig_bytes as f64 / bytes.len() as f64;
 
-    Ok(Compressed {
-        bytes,
-        stats: CompressionStats {
-            m: shape.m,
-            n: shape.n,
-            k,
-            tve_achieved: choice.tve_achieved,
-            standardized: standardize,
-            timings,
-            sections,
-            cr_stage12,
-            cr_stage3,
-            cr_zlib,
-            cr_total,
-            sampling: sampling_est,
-        },
-    })
+    let stats = CompressionStats {
+        m: shape.m,
+        n: shape.n,
+        k,
+        tve_achieved: choice.tve_achieved,
+        standardized: standardize,
+        timings,
+        sections,
+        cr_stage12,
+        cr_stage3,
+        cr_zlib,
+        cr_total,
+        sampling: sampling_est,
+    };
+    record_compress_metrics(&stats, orig_bytes, bytes.len(), n_outliers);
+    Ok(Compressed { bytes, stats })
+}
+
+/// Publish one compression's activity to the global telemetry registry.
+/// `CompressionStats` stays the caller-facing view; this mirrors the same
+/// numbers into the exportable metric series.
+fn record_compress_metrics(
+    stats: &CompressionStats,
+    orig_bytes: usize,
+    out_bytes: usize,
+    n_outliers: usize,
+) {
+    let reg = dpz_telemetry::global();
+    let labels = [("codec", "dpz"), ("op", "compress")];
+    reg.counter("dpz_compressions_total").inc();
+    reg.counter_with("dpz_bytes_in_total", &labels)
+        .add(orig_bytes as u64);
+    reg.counter_with("dpz_bytes_out_total", &labels)
+        .add(out_bytes as u64);
+    reg.counter_with("dpz_blocks_total", &[("codec", "dpz")])
+        .add(stats.m as u64);
+    reg.counter_with("dpz_outliers_total", &[("codec", "dpz")])
+        .add(n_outliers as u64);
+    reg.gauge("dpz_k_selected").set(stats.k as f64);
+    reg.gauge("dpz_tve_achieved").set(stats.tve_achieved);
+    reg.gauge("dpz_compression_ratio").set(stats.cr_total);
+    for (name, duration) in [
+        ("decompose_dct", stats.timings.decompose_dct),
+        ("sampling", stats.timings.sampling),
+        ("pca", stats.timings.pca),
+        ("quantize", stats.timings.quantize),
+        ("lossless", stats.timings.lossless),
+    ] {
+        reg.histogram_with("dpz_stage_seconds", &[("stage", name)], &LATENCY_BUCKETS_S)
+            .observe(duration.as_secs_f64());
+    }
+    if let Some(est) = &stats.sampling {
+        reg.gauge("dpz_sampling_vif").set(est.vif);
+        reg.gauge("dpz_sampling_k_estimate")
+            .set(est.k_estimate as f64);
+    }
 }
 
 /// Decompress a DPZ container, returning values and dimensions.
 pub fn decompress(bytes: &[u8]) -> Result<(Vec<f32>, Vec<usize>), DpzError> {
+    let _root = span!("decompress");
     let payload = container::deserialize(bytes)?;
     let (values, dims, _) = reconstruct(&payload)?;
+    let reg = dpz_telemetry::global();
+    let labels = [("codec", "dpz"), ("op", "decompress")];
+    reg.counter("dpz_decompressions_total").inc();
+    reg.counter_with("dpz_bytes_in_total", &labels)
+        .add(bytes.len() as u64);
+    reg.counter_with("dpz_bytes_out_total", &labels)
+        .add(values.len() as u64 * 4);
     Ok((values, dims))
 }
 
@@ -270,8 +327,8 @@ fn reconstruct(payload: &ContainerData) -> Result<(Vec<f32>, Vec<usize>, Matrix)
     }
     // Scores (n x k).
     let score_vals = dequantize_scores(&payload.scores);
-    let scores = Matrix::from_vec(n, k, score_vals)
-        .map_err(|_| DpzError::Corrupt("score matrix shape"))?;
+    let scores =
+        Matrix::from_vec(n, k, score_vals).map_err(|_| DpzError::Corrupt("score matrix shape"))?;
     // Basis (m x k) -> reconstruct coefficients: Z ≈ Y·Dᵀ (+ scale) + mean.
     let basis = Matrix::from_vec(m, k, payload.basis.iter().map(|&v| f64::from(v)).collect())
         .map_err(|_| DpzError::Corrupt("basis shape"))?;
@@ -298,7 +355,11 @@ fn reconstruct(payload: &ContainerData) -> Result<(Vec<f32>, Vec<usize>, Matrix)
     for v in blocks.as_mut_slice() {
         *v = (*v + 0.5) * payload.norm_range + payload.norm_min;
     }
-    let shape = BlockShape { m, n, pad: payload.pad };
+    let shape = BlockShape {
+        m,
+        n,
+        pad: payload.pad,
+    };
     let values = decompose::from_blocks(&blocks, shape, payload.orig_len);
     Ok((values, payload.dims.clone(), scores))
 }
@@ -340,7 +401,11 @@ pub fn compress_with_breakdown(
     // Stage-1&2-only reconstruction: recompute exact scores through the
     // *stored* basis (so basis f32 rounding is attributed to stage 1&2, as
     // in the paper where stage 3 only adds quantization noise).
-    let shape = BlockShape { m: payload.m, n: payload.n, pad: payload.pad };
+    let shape = BlockShape {
+        m: payload.m,
+        n: payload.n,
+        pad: payload.pad,
+    };
     let mut blocks = decompose::to_blocks(data, shape);
     for v in blocks.as_mut_slice() {
         *v = (*v - payload.norm_min) / payload.norm_range - 0.5;
@@ -449,7 +514,11 @@ mod tests {
         assert_eq!(recon.len(), data.len());
         let q = psnr(&data, &recon);
         assert!(q > 40.0, "PSNR too low: {q}");
-        assert!(out.stats.cr_total > 1.0, "no compression: {}", out.stats.cr_total);
+        assert!(
+            out.stats.cr_total > 1.0,
+            "no compression: {}",
+            out.stats.cr_total
+        );
     }
 
     #[test]
@@ -475,7 +544,11 @@ mod tests {
             .collect();
         let mut last_cr = f64::INFINITY;
         let mut last_psnr = 0.0;
-        for level in [TveLevel::ThreeNines, TveLevel::FiveNines, TveLevel::SevenNines] {
+        for level in [
+            TveLevel::ThreeNines,
+            TveLevel::FiveNines,
+            TveLevel::SevenNines,
+        ] {
             let cfg = DpzConfig::strict().with_tve(level);
             let out = compress(&data, &[96, 96], &cfg).unwrap();
             let (recon, _) = decompress(&out.bytes).unwrap();
@@ -505,7 +578,9 @@ mod tests {
     #[test]
     fn sampling_path_round_trips() {
         let data = smooth_field(64, 64);
-        let cfg = DpzConfig::loose().with_tve(TveLevel::FiveNines).with_sampling(true);
+        let cfg = DpzConfig::loose()
+            .with_tve(TveLevel::FiveNines)
+            .with_sampling(true);
         let out = compress(&data, &[64, 64], &cfg).unwrap();
         assert!(out.stats.sampling.is_some());
         let (recon, _) = decompress(&out.bytes).unwrap();
@@ -518,7 +593,10 @@ mod tests {
         let data = smooth_field(64, 64);
         let cfg = DpzConfig::strict().with_tve(TveLevel::FiveNines);
         let b = compress_with_breakdown(&data, &[64, 64], &cfg).unwrap();
-        assert!(b.psnr_stage12 >= b.psnr_final - 1e-9, "stage 1&2 can only be better");
+        assert!(
+            b.psnr_stage12 >= b.psnr_final - 1e-9,
+            "stage 1&2 can only be better"
+        );
         assert!(b.delta_psnr() >= -1e-9);
         // Multiplying the stage ratios reproduces (approximately) the total,
         // modulo the fixed-size header.
@@ -530,10 +608,8 @@ mod tests {
     #[test]
     fn loose_vs_strict_quality_ordering() {
         let data = smooth_field(96, 64);
-        let loose =
-            compress_with_breakdown(&data, &[96, 64], &DpzConfig::loose()).unwrap();
-        let strict =
-            compress_with_breakdown(&data, &[96, 64], &DpzConfig::strict()).unwrap();
+        let loose = compress_with_breakdown(&data, &[96, 64], &DpzConfig::loose()).unwrap();
+        let strict = compress_with_breakdown(&data, &[96, 64], &DpzConfig::strict()).unwrap();
         assert!(
             strict.psnr_final >= loose.psnr_final,
             "strict {} should beat loose {}",
@@ -583,6 +659,55 @@ mod tests {
     fn decompress_rejects_garbage() {
         assert!(decompress(b"DPZ?nope").is_err());
         assert!(decompress(&[]).is_err());
+    }
+
+    #[test]
+    fn stage_timings_total_sums_all_stages() {
+        let t = StageTimings {
+            decompose_dct: Duration::from_millis(1),
+            sampling: Duration::from_millis(2),
+            pca: Duration::from_millis(4),
+            quantize: Duration::from_millis(8),
+            lossless: Duration::from_millis(16),
+        };
+        assert_eq!(t.total(), Duration::from_millis(31));
+        assert_eq!(StageTimings::default().total(), Duration::ZERO);
+    }
+
+    #[test]
+    fn cr_product_matches_total_on_synthetic_field() {
+        let data = smooth_field(96, 96);
+        let out = compress(&data, &[96, 96], &DpzConfig::strict()).unwrap();
+        let product = out.stats.cr_stage12 * out.stats.cr_stage3 * out.stats.cr_zlib;
+        // The product ignores only the fixed-size container header, so it
+        // must track the end-to-end ratio closely on a real-sized field.
+        let ratio = product / out.stats.cr_total;
+        assert!(
+            (0.9..1.2).contains(&ratio),
+            "cr_stage12*cr_stage3*cr_zlib = {product:.3} vs cr_total = {:.3}",
+            out.stats.cr_total
+        );
+    }
+
+    #[test]
+    fn compress_populates_global_registry() {
+        let data = smooth_field(64, 64);
+        let before = dpz_telemetry::global().snapshot();
+        let out = compress(&data, &[64, 64], &DpzConfig::loose()).unwrap();
+        let delta = dpz_telemetry::global().snapshot().since(&before);
+        // Other tests in this process also compress, so check lower bounds.
+        assert!(delta.counter("dpz_compressions_total", &[]).unwrap() >= 1);
+        let labels = [("codec", "dpz"), ("op", "compress")];
+        assert!(delta.counter("dpz_bytes_in_total", &labels).unwrap() >= (data.len() * 4) as u64);
+        assert!(delta.counter("dpz_bytes_out_total", &labels).unwrap() >= out.bytes.len() as u64);
+        let pca = delta
+            .histogram("dpz_stage_seconds", &[("stage", "pca")])
+            .unwrap();
+        assert!(pca.count >= 1);
+        let span = delta
+            .histogram("dpz_span_seconds", &[("span", "compress.stage2.pca")])
+            .expect("pca span series");
+        assert!(span.count >= 1);
     }
 
     #[test]
@@ -639,6 +764,10 @@ mod tests {
             assert!((v - 7.25).abs() < 1e-2, "constant field reconstruction {v}");
         }
         // The container header + DEFLATE framing dominate at this tiny size.
-        assert!(out.stats.cr_total > 15.0, "constant field CR {}", out.stats.cr_total);
+        assert!(
+            out.stats.cr_total > 15.0,
+            "constant field CR {}",
+            out.stats.cr_total
+        );
     }
 }

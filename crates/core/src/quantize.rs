@@ -69,7 +69,14 @@ pub fn quantize_scores(scores: &[f64], scheme: Scheme) -> QuantizedScores {
             indices.push(code as u8);
         }
     }
-    QuantizedScores { indices, wide_index: wide, outliers, p, bins, len: scores.len() }
+    QuantizedScores {
+        indices,
+        wide_index: wide,
+        outliers,
+        p,
+        bins,
+        len: scores.len(),
+    }
 }
 
 /// Reconstruct scores from their quantized form.
@@ -192,7 +199,10 @@ mod tests {
 
     #[test]
     fn custom_scheme_wide() {
-        let scheme = Scheme::Custom { p: 0.01, wide_index: true };
+        let scheme = Scheme::Custom {
+            p: 0.01,
+            wide_index: true,
+        };
         let scores: Vec<f64> = (0..1000).map(|i| (i as f64 - 500.0) * 0.9).collect();
         check_bound(&scores, scheme);
     }

@@ -44,7 +44,12 @@ pub struct SamplingStrategy {
 
 impl Default for SamplingStrategy {
     fn default() -> Self {
-        SamplingStrategy { subsets: 10, picks: 3, vif_sample_rate: 0.01, tve: 0.99999 }
+        SamplingStrategy {
+            subsets: 10,
+            picks: 3,
+            vif_sample_rate: 0.01,
+            tve: 0.99999,
+        }
     }
 }
 
@@ -72,18 +77,23 @@ pub struct SamplingEstimate {
 impl SamplingStrategy {
     /// Run the strategy over the DCT-domain block matrix (`N x M`).
     pub fn estimate(&self, coeffs: &Matrix) -> Result<SamplingEstimate, DpzError> {
+        let _span = dpz_telemetry::span!("sampling.estimate");
         let (n, m) = coeffs.shape();
         if n < 2 || m < 2 {
-            return Err(DpzError::BadInput("sampling needs at least a 2x2 block matrix"));
+            return Err(DpzError::BadInput(
+                "sampling needs at least a 2x2 block matrix",
+            ));
         }
-        let vif_mean = self.probe_vif(coeffs)?;
-        let (subset_ks, subset_widths) = self.subset_ks(coeffs)?;
-        let saturated = subset_ks
-            .iter()
-            .zip(&subset_widths)
-            .any(|(&k, &w)| k >= w);
-        let k_estimate = ((subset_ks.iter().sum::<usize>() as f64
-            / subset_ks.len().max(1) as f64)
+        let vif_mean = {
+            let _span = dpz_telemetry::span!("vif_probe");
+            self.probe_vif(coeffs)?
+        };
+        let (subset_ks, subset_widths) = {
+            let _span = dpz_telemetry::span!("subset_ks");
+            self.subset_ks(coeffs)?
+        };
+        let saturated = subset_ks.iter().zip(&subset_widths).any(|(&k, &w)| k >= w);
+        let k_estimate = ((subset_ks.iter().sum::<usize>() as f64 / subset_ks.len().max(1) as f64)
             .round() as usize)
             .clamp(1, m);
 
@@ -96,6 +106,9 @@ impl SamplingStrategy {
             cr_stage12 * STAGE3_RANGE.0 * ZLIB_FACTOR,
             cr_stage12 * STAGE3_RANGE.1 * ZLIB_FACTOR,
         );
+        let reg = dpz_telemetry::global();
+        reg.gauge("dpz_sampling_vif").set(vif_mean);
+        reg.gauge("dpz_sampling_k_estimate").set(k_estimate as f64);
         Ok(SamplingEstimate {
             vif: vif_mean,
             low_linearity: vif_mean < VIF_CUTOFF,
@@ -277,13 +290,20 @@ mod tests {
             .unwrap();
         let (lo, hi) = est.cr_predicted;
         assert!(lo < hi);
-        assert!(lo > est.cr_stage12, "stage 3 + zlib should multiply the ratio");
+        assert!(
+            lo > est.cr_stage12,
+            "stage 3 + zlib should multiply the ratio"
+        );
     }
 
     #[test]
     fn subset_count_respected() {
         // 170 features comfortably hold 5 subsets of >= 32 features each.
-        let strat = SamplingStrategy { subsets: 5, picks: 3, ..Default::default() };
+        let strat = SamplingStrategy {
+            subsets: 5,
+            picks: 3,
+            ..Default::default()
+        };
         let est = strat.estimate(&collinear_blocks(360, 170)).unwrap();
         assert_eq!(est.subset_ks.len(), 3);
     }
@@ -292,14 +312,21 @@ mod tests {
     fn small_feature_counts_collapse_to_one_subset() {
         // With M = 50 < 2 * MIN_SUBSET_FEATURES the estimator must fall back
         // to a single (full) subset rather than bias k_e down.
-        let strat = SamplingStrategy { subsets: 10, picks: 3, ..Default::default() };
+        let strat = SamplingStrategy {
+            subsets: 10,
+            picks: 3,
+            ..Default::default()
+        };
         let est = strat.estimate(&collinear_blocks(200, 50)).unwrap();
         assert_eq!(est.subset_ks.len(), 1);
     }
 
     #[test]
     fn single_pick_works() {
-        let strat = SamplingStrategy { picks: 1, ..Default::default() };
+        let strat = SamplingStrategy {
+            picks: 1,
+            ..Default::default()
+        };
         let est = strat.estimate(&collinear_blocks(100, 30)).unwrap();
         assert_eq!(est.subset_ks.len(), 1);
     }
@@ -339,14 +366,20 @@ mod tests {
                 noisy.set(i, j, noisy.get(i, j) + 0.01 * nudge);
             }
         }
-        let loose = SamplingStrategy { tve: 0.99, ..Default::default() }
-            .estimate(&noisy)
-            .unwrap()
-            .k_estimate;
-        let tight = SamplingStrategy { tve: 0.99999999, ..Default::default() }
-            .estimate(&noisy)
-            .unwrap()
-            .k_estimate;
+        let loose = SamplingStrategy {
+            tve: 0.99,
+            ..Default::default()
+        }
+        .estimate(&noisy)
+        .unwrap()
+        .k_estimate;
+        let tight = SamplingStrategy {
+            tve: 0.99999999,
+            ..Default::default()
+        }
+        .estimate(&noisy)
+        .unwrap()
+        .k_estimate;
         assert!(loose <= tight, "loose {loose} tight {tight}");
     }
 }

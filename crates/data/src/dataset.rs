@@ -168,14 +168,22 @@ impl Dataset {
             DatasetKind::HaccX => hacc1d(HaccField::X, dims[0], seed),
             DatasetKind::HaccVx => hacc1d(HaccField::Vx, dims[0], seed),
         };
-        Dataset { name: kind.name().to_string(), dims, data }
+        Dataset {
+            name: kind.name().to_string(),
+            dims,
+            data,
+        }
     }
 
     /// Wrap existing values with explicit dimensions.
     pub fn from_values(name: impl Into<String>, dims: Vec<usize>, data: Vec<f32>) -> Dataset {
         let expected: usize = dims.iter().product();
         assert_eq!(expected, data.len(), "dims do not match value count");
-        Dataset { name: name.into(), dims, data }
+        Dataset {
+            name: name.into(),
+            dims,
+            data,
+        }
     }
 
     /// Total number of values.
@@ -229,7 +237,10 @@ mod tests {
 
     #[test]
     fn paper_scale_matches_table1() {
-        assert_eq!(Scale::Paper.dims(DatasetKind::Isotropic), vec![128, 128, 128]);
+        assert_eq!(
+            Scale::Paper.dims(DatasetKind::Isotropic),
+            vec![128, 128, 128]
+        );
         assert_eq!(Scale::Paper.dims(DatasetKind::Fldsc), vec![1800, 3600]);
         assert_eq!(Scale::Paper.dims(DatasetKind::HaccX), vec![2097152]);
     }

@@ -43,9 +43,11 @@ pub fn mse(original: &[f32], reconstructed: &[f32]) -> f64 {
 
 /// Value range (max − min) of a slice; 0 for constant data.
 pub fn value_range(data: &[f32]) -> f64 {
-    let (lo, hi) = data.iter().fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &v| {
-        (lo.min(f64::from(v)), hi.max(f64::from(v)))
-    });
+    let (lo, hi) = data
+        .iter()
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &v| {
+            (lo.min(f64::from(v)), hi.max(f64::from(v)))
+        });
     (hi - lo).max(0.0)
 }
 
@@ -116,10 +118,7 @@ impl QualityReport {
             max_abs_error: max_abs_error(original, reconstructed),
             mean_rel_error: mean_relative_error(original, reconstructed),
             range: value_range(original),
-            compression_ratio: compression_ratio(
-                std::mem::size_of_val(original),
-                compressed_bytes,
-            ),
+            compression_ratio: compression_ratio(std::mem::size_of_val(original), compressed_bytes),
             bit_rate: bit_rate(original.len(), compressed_bytes),
         }
     }

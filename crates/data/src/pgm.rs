@@ -10,16 +10,20 @@ use std::path::Path;
 /// A constant field renders mid-gray.
 pub fn to_gray(data: &[f32], rows: usize, cols: usize) -> Vec<u8> {
     assert_eq!(data.len(), rows * cols, "to_gray shape mismatch");
-    let (lo, hi) = data.iter().fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &v| {
-        (lo.min(f64::from(v)), hi.max(f64::from(v)))
-    });
+    let (lo, hi) = data
+        .iter()
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &v| {
+            (lo.min(f64::from(v)), hi.max(f64::from(v)))
+        });
     let span = hi - lo;
     data.iter()
         .map(|&v| {
             if span <= 0.0 {
                 128
             } else {
-                (((f64::from(v) - lo) / span) * 255.0).round().clamp(0.0, 255.0) as u8
+                (((f64::from(v) - lo) / span) * 255.0)
+                    .round()
+                    .clamp(0.0, 255.0) as u8
             }
         })
         .collect()

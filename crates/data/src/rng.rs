@@ -70,8 +70,7 @@ impl Xoshiro256 {
             let u1 = self.uniform();
             if u1 > 1e-300 {
                 let u2 = self.uniform();
-                return (-2.0 * u1.ln()).sqrt()
-                    * (2.0 * std::f64::consts::PI * u2).cos();
+                return (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
             }
         }
     }

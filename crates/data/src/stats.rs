@@ -13,9 +13,11 @@
 /// `log2(bins)`.
 pub fn histogram_entropy(data: &[f32], bins: usize) -> f64 {
     assert!(bins >= 2 && !data.is_empty());
-    let (lo, hi) = data.iter().fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &v| {
-        (lo.min(f64::from(v)), hi.max(f64::from(v)))
-    });
+    let (lo, hi) = data
+        .iter()
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &v| {
+            (lo.min(f64::from(v)), hi.max(f64::from(v)))
+        });
     let span = hi - lo;
     if span <= 0.0 {
         return 0.0;
@@ -95,8 +97,10 @@ pub fn spectral_slope(data: &[f32]) -> f64 {
     use dpz_linalg::fft::{fft, Complex};
     let n = (data.len().next_power_of_two() / 2).min(1 << 16);
     assert!(n >= 8, "need at least 8 samples for a spectral slope");
-    let mut buf: Vec<Complex> =
-        data[..n].iter().map(|&v| Complex::new(f64::from(v), 0.0)).collect();
+    let mut buf: Vec<Complex> = data[..n]
+        .iter()
+        .map(|&v| Complex::new(f64::from(v), 0.0))
+        .collect();
     fft(&mut buf);
     // Dyadic band energies over 1..n/2.
     let mut xs = Vec::new();
@@ -183,7 +187,10 @@ mod tests {
             s_smooth < s_white - 1.0,
             "smooth slope {s_smooth} should be far below white {s_white}"
         );
-        assert!(s_white.abs() < 1.0, "white spectrum should be ~flat: {s_white}");
+        assert!(
+            s_white.abs() < 1.0,
+            "white spectrum should be ~flat: {s_white}"
+        );
     }
 
     #[test]

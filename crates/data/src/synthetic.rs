@@ -138,7 +138,11 @@ pub fn climate2d(field: ClimateField, rows: usize, cols: usize, seed: u64) -> Ve
         for c in 0..cols {
             let idx = r * cols + c;
             let texture = buf[idx];
-            let noise = if noise_amp > 0.0 { noise_amp * rng.normal() } else { 0.0 };
+            let noise = if noise_amp > 0.0 {
+                noise_amp * rng.normal()
+            } else {
+                0.0
+            };
             let value = match field {
                 ClimateField::Cldhgh => {
                     // Tropical band of high cloud + storm tracks; saturate.
@@ -187,7 +191,10 @@ pub fn turbulence3d(
     nz: usize,
     seed: u64,
 ) -> Vec<f32> {
-    assert!(nx >= 2 && ny >= 2 && nz >= 2, "turbulence3d needs a 3-D grid");
+    assert!(
+        nx >= 2 && ny >= 2 && nz >= 2,
+        "turbulence3d needs a 3-D grid"
+    );
     let salt = match field {
         TurbulenceField::Isotropic => 0xA1u64,
         TurbulenceField::Channel => 0xB2,
@@ -232,8 +239,7 @@ pub fn turbulence3d(
                 let mut v = 0.0;
                 for m in &modes {
                     v += m.amp
-                        * (2.0 * PI * (m.k[0] * x + m.k[1] * y + m.k[2] * zc) + m.phase)
-                            .cos();
+                        * (2.0 * PI * (m.k[0] * x + m.k[1] * y + m.k[2] * zc) + m.phase).cos();
                 }
                 out[(ix * ny + iy) * nz + iz] = (shear + envelope * v) as f32;
             }
@@ -336,7 +342,11 @@ mod tests {
 
     #[test]
     fn cloud_fractions_in_unit_interval() {
-        for field in [ClimateField::Cldhgh, ClimateField::Cldlow, ClimateField::Freqsh] {
+        for field in [
+            ClimateField::Cldhgh,
+            ClimateField::Cldlow,
+            ClimateField::Freqsh,
+        ] {
             let data = climate2d(field, 30, 60, 5);
             for &v in &data {
                 assert!((0.0..=1.0).contains(&v), "{field:?} out of range: {v}");
@@ -349,7 +359,10 @@ mod tests {
         let data = climate2d(ClimateField::Phis, 40, 80, 5);
         assert!(data.iter().all(|&v| v >= 0.0));
         let max = data.iter().cloned().fold(f32::MIN, f32::max);
-        assert!(max > 1000.0, "PHIS should reach mountain magnitudes, max={max}");
+        assert!(
+            max > 1000.0,
+            "PHIS should reach mountain magnitudes, max={max}"
+        );
     }
 
     #[test]

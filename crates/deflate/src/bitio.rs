@@ -80,7 +80,12 @@ pub struct BitReader<'a> {
 impl<'a> BitReader<'a> {
     /// Wrap a byte slice.
     pub fn new(data: &'a [u8]) -> Self {
-        BitReader { data, pos: 0, acc: 0, nbits: 0 }
+        BitReader {
+            data,
+            pos: 0,
+            acc: 0,
+            nbits: 0,
+        }
     }
 
     #[inline]
@@ -102,7 +107,11 @@ impl<'a> BitReader<'a> {
                 return Err(DeflateError::UnexpectedEof);
             }
         }
-        let mask = if count == 32 { u64::MAX >> 32 } else { (1u64 << count) - 1 };
+        let mask = if count == 32 {
+            u64::MAX >> 32
+        } else {
+            (1u64 << count) - 1
+        };
         let v = (self.acc & mask) as u32;
         self.acc >>= count;
         self.nbits -= count;

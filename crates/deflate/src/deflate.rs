@@ -25,8 +25,8 @@ pub enum CompressionLevel {
 
 /// Length code table: lengths 3..=258 map to codes 257..=285 with extra bits.
 pub(crate) const LENGTH_BASE: [u16; 29] = [
-    3, 4, 5, 6, 7, 8, 9, 10, 11, 13, 15, 17, 19, 23, 27, 31, 35, 43, 51, 59, 67, 83, 99, 115,
-    131, 163, 195, 227, 258,
+    3, 4, 5, 6, 7, 8, 9, 10, 11, 13, 15, 17, 19, 23, 27, 31, 35, 43, 51, 59, 67, 83, 99, 115, 131,
+    163, 195, 227, 258,
 ];
 pub(crate) const LENGTH_EXTRA: [u8; 29] = [
     0, 0, 0, 0, 0, 0, 0, 0, 1, 1, 1, 1, 2, 2, 2, 2, 3, 3, 3, 3, 4, 4, 4, 4, 5, 5, 5, 5, 0,
@@ -38,13 +38,14 @@ pub(crate) const DIST_BASE: [u16; 30] = [
     2049, 3073, 4097, 6145, 8193, 12289, 16385, 24577,
 ];
 pub(crate) const DIST_EXTRA: [u8; 30] = [
-    0, 0, 0, 0, 1, 1, 2, 2, 3, 3, 4, 4, 5, 5, 6, 6, 7, 7, 8, 8, 9, 9, 10, 10, 11, 11, 12, 12,
-    13, 13,
+    0, 0, 0, 0, 1, 1, 2, 2, 3, 3, 4, 4, 5, 5, 6, 6, 7, 7, 8, 8, 9, 9, 10, 10, 11, 11, 12, 12, 13,
+    13,
 ];
 
 /// Transmission order of the code-length-code lengths (RFC 1951 §3.2.7).
-pub(crate) const CLC_ORDER: [usize; 19] =
-    [16, 17, 18, 0, 8, 7, 9, 6, 10, 5, 11, 4, 12, 3, 13, 2, 14, 1, 15];
+pub(crate) const CLC_ORDER: [usize; 19] = [
+    16, 17, 18, 0, 8, 7, 9, 6, 10, 5, 11, 4, 12, 3, 13, 2, 14, 1, 15,
+];
 
 /// End-of-block symbol in the literal/length alphabet.
 const EOB: usize = 256;
@@ -189,7 +190,11 @@ struct Histogram {
 }
 
 fn histogram(tokens: &[Token]) -> Histogram {
-    let mut h = Histogram { lit: [0; 288], dist: [0; 30], extra_bits: 0 };
+    let mut h = Histogram {
+        lit: [0; 288],
+        dist: [0; 30],
+        extra_bits: 0,
+    };
     for t in tokens {
         match *t {
             Token::Literal(b) => h.lit[b as usize] += 1,
@@ -318,7 +323,14 @@ fn plan_dynamic(h: &Histogram) -> DynamicPlan {
     for &(sym, _, eb) in &rle {
         header_bits += u64::from(clc_lengths[sym as usize]) + u64::from(eb);
     }
-    DynamicPlan { lit_lengths, dist_lengths, rle, clc_lengths, hclen, header_bits }
+    DynamicPlan {
+        lit_lengths,
+        dist_lengths,
+        rle,
+        clc_lengths,
+        hclen,
+        header_bits,
+    }
 }
 
 fn write_best_block(w: &mut BitWriter, data: &[u8], block: &BlockSlice<'_>, bfinal: bool) {
@@ -328,8 +340,7 @@ fn write_best_block(w: &mut BitWriter, data: &[u8], block: &BlockSlice<'_>, bfin
     let fixed_lit = fixed_lit_lengths();
     let fixed_dist = fixed_dist_lengths();
     let cost_fixed = 3 + body_cost(&h, &fixed_lit, &fixed_dist);
-    let cost_dynamic =
-        3 + plan.header_bits + body_cost(&h, &plan.lit_lengths, &plan.dist_lengths);
+    let cost_dynamic = 3 + plan.header_bits + body_cost(&h, &plan.lit_lengths, &plan.dist_lengths);
     let raw = &data[block.byte_start..block.byte_end];
     // Stored: header + alignment (worst case 7 bits) + 32-bit LEN/NLEN + body.
     let cost_stored = 3 + 7 + 32 + 8 * raw.len() as u64;
@@ -478,7 +489,12 @@ mod tests {
             .repeat(200)
             .into_bytes();
         let packed = roundtrip(&data, CompressionLevel::Default);
-        assert!(packed.len() * 5 < data.len(), "{} -> {}", data.len(), packed.len());
+        assert!(
+            packed.len() * 5 < data.len(),
+            "{} -> {}",
+            data.len(),
+            packed.len()
+        );
     }
 
     #[test]

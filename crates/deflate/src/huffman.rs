@@ -54,7 +54,10 @@ pub fn build_code_lengths(freqs: &[u64], max_bits: usize) -> Vec<u8> {
     let mut parent = vec![usize::MAX; 2 * used.len()];
     // Map heap ids to tree slots: first used.len() slots are leaves.
     for (slot, &sym) in used.iter().enumerate() {
-        heap.push(Node { freq: freqs[sym], id: slot });
+        heap.push(Node {
+            freq: freqs[sym],
+            id: slot,
+        });
     }
     let mut next_id = used.len();
     while heap.len() > 1 {
@@ -62,7 +65,10 @@ pub fn build_code_lengths(freqs: &[u64], max_bits: usize) -> Vec<u8> {
         let b = heap.pop().unwrap();
         parent[a.id] = next_id;
         parent[b.id] = next_id;
-        heap.push(Node { freq: a.freq.saturating_add(b.freq), id: next_id });
+        heap.push(Node {
+            freq: a.freq.saturating_add(b.freq),
+            id: next_id,
+        });
         next_id += 1;
     }
 
@@ -175,7 +181,10 @@ impl Encoder {
                 next_code[l as usize] += 1;
             }
         }
-        Encoder { codes, lengths: lengths.to_vec() }
+        Encoder {
+            codes,
+            lengths: lengths.to_vec(),
+        }
     }
 
     /// Emit symbol `sym` into the bit stream.
@@ -263,7 +272,13 @@ impl Decoder {
                 next[l as usize] += 1;
             }
         }
-        Ok(Decoder { first_code, first_index, counts, symbols, max_len })
+        Ok(Decoder {
+            first_code,
+            first_index,
+            counts,
+            symbols,
+            max_len,
+        })
     }
 
     /// Decode the next symbol from the bit stream.

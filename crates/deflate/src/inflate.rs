@@ -89,7 +89,9 @@ fn read_dynamic_tables(r: &mut BitReader<'_>) -> Result<(Decoder, Decoder)> {
         }
     }
     if lengths.len() != total {
-        return Err(DeflateError::Corrupt("code length run overflows header counts"));
+        return Err(DeflateError::Corrupt(
+            "code length run overflows header counts",
+        ));
     }
     if lengths[256] == 0 {
         return Err(DeflateError::Corrupt("end-of-block symbol has no code"));
@@ -113,8 +115,7 @@ fn read_huffman_block(
             257..=285 => {
                 let idx = sym - 257;
                 let extra = LENGTH_EXTRA[idx];
-                let len =
-                    LENGTH_BASE[idx] as usize + r.read_bits(u32::from(extra))? as usize;
+                let len = LENGTH_BASE[idx] as usize + r.read_bits(u32::from(extra))? as usize;
                 let dsym = dist.read(r)? as usize;
                 if dsym >= 30 {
                     return Err(DeflateError::Corrupt("invalid distance code"));
@@ -208,8 +209,9 @@ mod tests {
 
     #[test]
     fn multi_block_concatenation() {
-        let data: Vec<u8> =
-            (0..200_000u32).map(|i| (i.wrapping_mul(2654435761) >> 13) as u8).collect();
+        let data: Vec<u8> = (0..200_000u32)
+            .map(|i| (i.wrapping_mul(2654435761) >> 13) as u8)
+            .collect();
         let packed = deflate_compress(&data, CompressionLevel::Fast);
         assert_eq!(inflate(&packed).unwrap(), data);
     }

@@ -57,7 +57,10 @@ impl std::fmt::Display for DeflateError {
             DeflateError::Corrupt(what) => write!(f, "corrupt deflate stream: {what}"),
             DeflateError::BadHeader => write!(f, "bad zlib header"),
             DeflateError::ChecksumMismatch { expected, actual } => {
-                write!(f, "adler32 mismatch: stored {expected:#010x}, computed {actual:#010x}")
+                write!(
+                    f,
+                    "adler32 mismatch: stored {expected:#010x}, computed {actual:#010x}"
+                )
             }
         }
     }

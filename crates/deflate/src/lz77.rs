@@ -41,25 +41,36 @@ pub struct MatchParams {
 impl MatchParams {
     /// Fast: short chains, no lazy matching.
     pub fn fast() -> Self {
-        MatchParams { max_chain: 16, good_enough: 16, lazy: false }
+        MatchParams {
+            max_chain: 16,
+            good_enough: 16,
+            lazy: false,
+        }
     }
 
     /// Balanced default.
     pub fn default_level() -> Self {
-        MatchParams { max_chain: 128, good_enough: 64, lazy: true }
+        MatchParams {
+            max_chain: 128,
+            good_enough: 64,
+            lazy: true,
+        }
     }
 
     /// Thorough: long chains, lazy matching.
     pub fn best() -> Self {
-        MatchParams { max_chain: 1024, good_enough: 258, lazy: true }
+        MatchParams {
+            max_chain: 1024,
+            good_enough: 258,
+            lazy: true,
+        }
     }
 }
 
 #[inline]
 fn hash3(data: &[u8], pos: usize) -> usize {
-    let v = u32::from(data[pos])
-        | (u32::from(data[pos + 1]) << 8)
-        | (u32::from(data[pos + 2]) << 16);
+    let v =
+        u32::from(data[pos]) | (u32::from(data[pos + 1]) << 8) | (u32::from(data[pos + 2]) << 16);
     ((v.wrapping_mul(0x9E37_79B1)) >> (32 - HASH_BITS)) as usize
 }
 
@@ -73,7 +84,10 @@ struct Chains {
 
 impl Chains {
     fn new() -> Self {
-        Chains { head: vec![0; HASH_SIZE], prev: vec![0; WINDOW_SIZE] }
+        Chains {
+            head: vec![0; HASH_SIZE],
+            prev: vec![0; WINDOW_SIZE],
+        }
     }
 
     #[inline]
@@ -155,7 +169,10 @@ pub fn tokenize(data: &[u8], params: &MatchParams) -> Vec<Token> {
                         }
                     }
                 }
-                tokens.push(Token::Match { len: len as u16, dist: dist as u16 });
+                tokens.push(Token::Match {
+                    len: len as u16,
+                    dist: dist as u16,
+                });
                 pos += len;
             }
             None => {
@@ -227,7 +244,11 @@ mod tests {
         // dist 1 — the classic LZ77 RLE trick.
         let data = vec![b'a'; 100];
         let tokens = tokenize(&data, &MatchParams::default_level());
-        assert!(tokens.len() <= 3, "RLE should need few tokens: {}", tokens.len());
+        assert!(
+            tokens.len() <= 3,
+            "RLE should need few tokens: {}",
+            tokens.len()
+        );
         assert_eq!(expand(&tokens), data);
     }
 
@@ -242,7 +263,11 @@ mod tests {
                 (s >> 40) as u8 % 7 // small alphabet: lots of matches
             })
             .collect();
-        for params in [MatchParams::fast(), MatchParams::default_level(), MatchParams::best()] {
+        for params in [
+            MatchParams::fast(),
+            MatchParams::default_level(),
+            MatchParams::best(),
+        ] {
             roundtrip(&noisy, &params);
             roundtrip(b"the quick brown fox", &params);
             roundtrip(&vec![0u8; 70_000], &params);
@@ -281,7 +306,13 @@ mod tests {
         // followed by a longer one at pos+1.
         let data = b"xabcdeyabcdefzzzabcdefqq".to_vec();
         roundtrip(&data, &MatchParams::default_level());
-        roundtrip(&data, &MatchParams { lazy: false, ..MatchParams::default_level() });
+        roundtrip(
+            &data,
+            &MatchParams {
+                lazy: false,
+                ..MatchParams::default_level()
+            },
+        );
     }
 
     #[test]

@@ -79,7 +79,10 @@ pub fn decompress(data: &[u8]) -> Result<Vec<u8>> {
     ]);
     let actual = adler32(&out);
     if stored != actual {
-        return Err(DeflateError::ChecksumMismatch { expected: stored, actual });
+        return Err(DeflateError::ChecksumMismatch {
+            expected: stored,
+            actual,
+        });
     }
     Ok(out)
 }

@@ -213,7 +213,9 @@ pub fn dct2_naive(input: &[f64]) -> Vec<f64> {
             let sum: f64 = input
                 .iter()
                 .enumerate()
-                .map(|(j, &x)| x * (PI * (2.0 * j as f64 + 1.0) * k as f64 / (2.0 * n as f64)).cos())
+                .map(|(j, &x)| {
+                    x * (PI * (2.0 * j as f64 + 1.0) * k as f64 / (2.0 * n as f64)).cos()
+                })
                 .sum();
             sum * if k == 0 { s0 } else { sk }
         })
@@ -247,11 +249,16 @@ mod tests {
     use super::*;
 
     fn ramp(n: usize) -> Vec<f64> {
-        (0..n).map(|i| (i as f64 * 0.173).sin() + 0.01 * i as f64).collect()
+        (0..n)
+            .map(|i| (i as f64 * 0.173).sin() + 0.01 * i as f64)
+            .collect()
     }
 
     fn max_err(a: &[f64], b: &[f64]) -> f64 {
-        a.iter().zip(b).map(|(x, y)| (x - y).abs()).fold(0.0, f64::max)
+        a.iter()
+            .zip(b)
+            .map(|(x, y)| (x - y).abs())
+            .fold(0.0, f64::max)
     }
 
     #[test]

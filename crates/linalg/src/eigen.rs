@@ -230,7 +230,10 @@ pub fn sym_eigen(a: &Matrix) -> Result<SymEigen> {
         });
     }
     if n == 0 {
-        return Ok(SymEigen { eigenvalues: vec![], eigenvectors: Matrix::zeros(0, 0) });
+        return Ok(SymEigen {
+            eigenvalues: vec![],
+            eigenvectors: Matrix::zeros(0, 0),
+        });
     }
     let mut z = a.clone();
     let mut d = vec![0.0; n];
@@ -243,7 +246,10 @@ pub fn sym_eigen(a: &Matrix) -> Result<SymEigen> {
     order.sort_by(|&i, &j| d[j].partial_cmp(&d[i]).unwrap_or(std::cmp::Ordering::Equal));
     let eigenvalues: Vec<f64> = order.iter().map(|&i| d[i]).collect();
     let eigenvectors = z.select_cols(&order);
-    Ok(SymEigen { eigenvalues, eigenvectors })
+    Ok(SymEigen {
+        eigenvalues,
+        eigenvectors,
+    })
 }
 
 /// Truncated eigendecomposition: the `k` largest-magnitude eigenpairs via
@@ -265,7 +271,10 @@ pub fn sym_eigen_topk(a: &Matrix, k: usize, max_iters: usize) -> Result<SymEigen
     }
     let k = k.min(m);
     if k == 0 || m == 0 {
-        return Ok(SymEigen { eigenvalues: vec![], eigenvectors: Matrix::zeros(m, 0) });
+        return Ok(SymEigen {
+            eigenvalues: vec![],
+            eigenvectors: Matrix::zeros(m, 0),
+        });
     }
     // Deterministic pseudo-random starting subspace.
     let mut q = Matrix::zeros(m, k);
@@ -288,7 +297,10 @@ pub fn sym_eigen_topk(a: &Matrix, k: usize, max_iters: usize) -> Result<SymEigen
         // avoids a second mat-mul per iteration.
         let mut est = vec![0.0; k];
         for (c, e) in est.iter_mut().enumerate() {
-            *e = (0..m).map(|r| z.get(r, c) * z.get(r, c)).sum::<f64>().sqrt();
+            *e = (0..m)
+                .map(|r| z.get(r, c) * z.get(r, c))
+                .sum::<f64>()
+                .sqrt();
         }
         orthonormalize_columns(&mut z)?;
         q = z;
@@ -306,9 +318,15 @@ pub fn sym_eigen_topk(a: &Matrix, k: usize, max_iters: usize) -> Result<SymEigen
     // Rayleigh–Ritz: solve the small projected problem exactly.
     let aq = a.matmul(&q)?;
     let small = q.transpose().matmul(&aq)?; // k x k symmetric
-    let SymEigen { eigenvalues, eigenvectors: rot } = sym_eigen(&small)?;
+    let SymEigen {
+        eigenvalues,
+        eigenvectors: rot,
+    } = sym_eigen(&small)?;
     let eigenvectors = q.matmul(&rot)?;
-    Ok(SymEigen { eigenvalues, eigenvectors })
+    Ok(SymEigen {
+        eigenvalues,
+        eigenvectors,
+    })
 }
 
 /// In-place modified Gram–Schmidt orthonormalization of columns. Columns
@@ -383,7 +401,11 @@ mod tests {
             }
         }
         // Orthonormal columns.
-        let vtv = eig.eigenvectors.transpose().matmul(&eig.eigenvectors).unwrap();
+        let vtv = eig
+            .eigenvectors
+            .transpose()
+            .matmul(&eig.eigenvectors)
+            .unwrap();
         assert!(vtv.max_abs_diff(&Matrix::identity(n)) < tol);
     }
 
@@ -492,16 +514,25 @@ mod tests {
         let full = sym_eigen(&g).unwrap();
         let top = sym_eigen_topk(&g, 4, 300).unwrap();
         for i in 0..4 {
-            let rel = (full.eigenvalues[i] - top.eigenvalues[i]).abs()
-                / full.eigenvalues[0].max(1e-300);
-            assert!(rel < 1e-6, "eigenvalue {i}: {} vs {}", full.eigenvalues[i], top.eigenvalues[i]);
+            let rel =
+                (full.eigenvalues[i] - top.eigenvalues[i]).abs() / full.eigenvalues[0].max(1e-300);
+            assert!(
+                rel < 1e-6,
+                "eigenvalue {i}: {} vs {}",
+                full.eigenvalues[i],
+                top.eigenvalues[i]
+            );
         }
         // Eigenvectors agree up to sign.
         for i in 0..4 {
             let a = full.eigenvectors.col(i);
             let b = top.eigenvectors.col(i);
             let dot: f64 = a.iter().zip(&b).map(|(x, y)| x * y).sum();
-            assert!(dot.abs() > 0.999, "eigenvector {i} misaligned: |dot| = {}", dot.abs());
+            assert!(
+                dot.abs() > 0.999,
+                "eigenvector {i} misaligned: |dot| = {}",
+                dot.abs()
+            );
         }
     }
 

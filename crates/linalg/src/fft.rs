@@ -37,13 +37,19 @@ impl Complex {
     /// `e^{i theta}` on the unit circle.
     #[inline]
     pub fn from_angle(theta: f64) -> Self {
-        Complex { re: theta.cos(), im: theta.sin() }
+        Complex {
+            re: theta.cos(),
+            im: theta.sin(),
+        }
     }
 
     /// Complex conjugate.
     #[inline]
     pub fn conj(self) -> Self {
-        Complex { re: self.re, im: -self.im }
+        Complex {
+            re: self.re,
+            im: -self.im,
+        }
     }
 
     /// Squared magnitude.
@@ -64,19 +70,28 @@ impl Complex {
     /// Complex addition.
     #[inline]
     pub fn add(self, other: Complex) -> Complex {
-        Complex { re: self.re + other.re, im: self.im + other.im }
+        Complex {
+            re: self.re + other.re,
+            im: self.im + other.im,
+        }
     }
 
     /// Complex subtraction.
     #[inline]
     pub fn sub(self, other: Complex) -> Complex {
-        Complex { re: self.re - other.re, im: self.im - other.im }
+        Complex {
+            re: self.re - other.re,
+            im: self.im - other.im,
+        }
     }
 
     /// Scale by a real factor.
     #[inline]
     pub fn scale(self, s: f64) -> Complex {
-        Complex { re: self.re * s, im: self.im * s }
+        Complex {
+            re: self.re * s,
+            im: self.im * s,
+        }
     }
 }
 
@@ -318,7 +333,9 @@ mod tests {
     fn linearity() {
         let n = 20;
         let a = ramp(n);
-        let b: Vec<Complex> = (0..n).map(|i| Complex::new((i as f64).cos(), 0.3)).collect();
+        let b: Vec<Complex> = (0..n)
+            .map(|i| Complex::new((i as f64).cos(), 0.3))
+            .collect();
         let mut fa = a.clone();
         fft(&mut fa);
         let mut fb = b.clone();

@@ -9,8 +9,7 @@
 use crate::{LinalgError, Matrix, Result};
 
 /// Which fitting method to use on the TVE curve (Algorithm 1's `sf`).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum FitKind {
     /// Piecewise-linear interpolation through the samples ("1D").
     #[default]
@@ -18,7 +17,6 @@ pub enum FitKind {
     /// Least-squares polynomial of the given degree ("polyn").
     Polynomial(usize),
 }
-
 
 /// A fitted 1-D curve over `x ∈ [0, 1]`.
 pub trait CurveFit {
@@ -97,7 +95,9 @@ impl PolyFit {
         }
         let mut xtx = design.gram();
         let xty = design.transpose().mul_vec(y)?;
-        let diag_max = (0..cols).map(|i| xtx.get(i, i)).fold(f64::MIN_POSITIVE, f64::max);
+        let diag_max = (0..cols)
+            .map(|i| xtx.get(i, i))
+            .fold(f64::MIN_POSITIVE, f64::max);
         for i in 0..cols {
             let v = xtx.get(i, i) + 1e-10 * diag_max;
             xtx.set(i, i, v);

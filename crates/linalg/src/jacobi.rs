@@ -23,7 +23,10 @@ pub fn jacobi_eigen(a: &Matrix, max_sweeps: usize) -> Result<SymEigen> {
     }
     let n = a.rows();
     if n == 0 {
-        return Ok(SymEigen { eigenvalues: vec![], eigenvectors: Matrix::zeros(0, 0) });
+        return Ok(SymEigen {
+            eigenvalues: vec![],
+            eigenvectors: Matrix::zeros(0, 0),
+        });
     }
     let mut m = a.clone();
     let mut v = Matrix::identity(n);
@@ -94,7 +97,10 @@ pub fn jacobi_eigen(a: &Matrix, max_sweeps: usize) -> Result<SymEigen> {
     if off < 1e-9 * scale {
         Ok(finish(m, v))
     } else {
-        Err(LinalgError::NoConvergence { algorithm: "cyclic Jacobi", iterations: max_sweeps })
+        Err(LinalgError::NoConvergence {
+            algorithm: "cyclic Jacobi",
+            iterations: max_sweeps,
+        })
     }
 }
 
@@ -105,7 +111,10 @@ fn finish(m: Matrix, v: Matrix) -> SymEigen {
     order.sort_by(|&i, &j| d[j].partial_cmp(&d[i]).unwrap_or(std::cmp::Ordering::Equal));
     let eigenvectors = v.select_cols(&order);
     d = order.iter().map(|&i| d[i]).collect();
-    SymEigen { eigenvalues: d, eigenvectors }
+    SymEigen {
+        eigenvalues: d,
+        eigenvectors,
+    }
 }
 
 #[cfg(test)]
@@ -122,14 +131,14 @@ mod tests {
 
     #[test]
     fn eigenvectors_orthonormal() {
-        let a = Matrix::from_vec(
-            3,
-            3,
-            vec![4.0, 1.0, -2.0, 1.0, 2.0, 0.0, -2.0, 0.0, 3.0],
-        )
-        .unwrap();
+        let a =
+            Matrix::from_vec(3, 3, vec![4.0, 1.0, -2.0, 1.0, 2.0, 0.0, -2.0, 0.0, 3.0]).unwrap();
         let eig = jacobi_eigen(&a, 100).unwrap();
-        let vtv = eig.eigenvectors.transpose().matmul(&eig.eigenvectors).unwrap();
+        let vtv = eig
+            .eigenvectors
+            .transpose()
+            .matmul(&eig.eigenvectors)
+            .unwrap();
         assert!(vtv.max_abs_diff(&Matrix::identity(3)) < 1e-9);
     }
 

@@ -27,7 +27,10 @@ pub struct KneeOptions {
 
 impl Default for KneeOptions {
     fn default() -> Self {
-        KneeOptions { fit: FitKind::Interp1d, oversample: 4 }
+        KneeOptions {
+            fit: FitKind::Interp1d,
+            oversample: 4,
+        }
     }
 }
 
@@ -44,7 +47,9 @@ pub fn detect_knee(y: &[f64], options: KneeOptions) -> Result<Option<usize>> {
     }
     let (ymin, ymax) = y
         .iter()
-        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &v| (lo.min(v), hi.max(v)));
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &v| {
+            (lo.min(v), hi.max(v))
+        });
     let span = ymax - ymin;
     // `!(span > 0.0)` (rather than `span <= 0.0`) deliberately also catches
     // NaN spans from NaN inputs.
@@ -65,9 +70,7 @@ pub fn detect_knee(y: &[f64], options: KneeOptions) -> Result<Option<usize>> {
         FitKind::Polynomial(_) => (n * options.oversample.max(1)).max(8),
     };
     let h = 1.0 / (samples - 1) as f64;
-    let vals: Vec<f64> = (0..samples)
-        .map(|s| curve.value(s as f64 * h))
-        .collect();
+    let vals: Vec<f64> = (0..samples).map(|s| curve.value(s as f64 * h)).collect();
     let mut curvature = vec![0.0; samples];
     for s in 1..samples - 1 {
         let d1 = (vals[s + 1] - vals[s - 1]) / (2.0 * h);
@@ -115,7 +118,9 @@ pub fn kneedle(y: &[f64]) -> Option<usize> {
     }
     let (ymin, ymax) = y
         .iter()
-        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &v| (lo.min(v), hi.max(v)));
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &v| {
+            (lo.min(v), hi.max(v))
+        });
     let span = ymax - ymin;
     #[allow(clippy::neg_cmp_op_on_partial_ord)] // also rejects NaN
     if !(span > 0.0) {
@@ -186,14 +191,20 @@ mod tests {
 
     #[test]
     fn short_inputs_yield_none() {
-        assert_eq!(detect_knee(&[0.0, 1.0], KneeOptions::default()).unwrap(), None);
+        assert_eq!(
+            detect_knee(&[0.0, 1.0], KneeOptions::default()).unwrap(),
+            None
+        );
         assert_eq!(kneedle(&[0.0, 1.0]), None);
     }
 
     #[test]
     fn polynomial_fit_also_finds_knee() {
         let y = saturating(80, 25.0);
-        let opts = KneeOptions { fit: FitKind::Polynomial(7), oversample: 8 };
+        let opts = KneeOptions {
+            fit: FitKind::Polynomial(7),
+            oversample: 8,
+        };
         let idx = detect_knee(&y, opts).unwrap().unwrap();
         assert!(idx < 40, "poly-fit knee unexpectedly late: {idx}");
     }

@@ -72,10 +72,19 @@ impl std::fmt::Display for LinalgError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             LinalgError::DimensionMismatch { op, got, expected } => {
-                write!(f, "{op}: dimension mismatch (got {got}, expected {expected})")
+                write!(
+                    f,
+                    "{op}: dimension mismatch (got {got}, expected {expected})"
+                )
             }
-            LinalgError::NoConvergence { algorithm, iterations } => {
-                write!(f, "{algorithm} failed to converge after {iterations} iterations")
+            LinalgError::NoConvergence {
+                algorithm,
+                iterations,
+            } => {
+                write!(
+                    f,
+                    "{algorithm} failed to converge after {iterations} iterations"
+                )
             }
             LinalgError::Singular(what) => write!(f, "singular input in {what}"),
             LinalgError::Empty(what) => write!(f, "empty input in {what}"),

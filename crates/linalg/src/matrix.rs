@@ -25,7 +25,11 @@ pub struct Matrix {
 impl Matrix {
     /// Create a `rows x cols` matrix filled with zeros.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Create the `n x n` identity matrix.
@@ -68,7 +72,11 @@ impl Matrix {
         for r in rows {
             data.extend_from_slice(r);
         }
-        Ok(Matrix { rows: rows.len(), cols, data })
+        Ok(Matrix {
+            rows: rows.len(),
+            cols,
+            data,
+        })
     }
 
     /// Number of rows.
@@ -135,7 +143,9 @@ impl Matrix {
 
     /// Copy column `c` into a fresh vector.
     pub fn col(&self, c: usize) -> Vec<f64> {
-        (0..self.rows).map(|r| self.data[r * self.cols + c]).collect()
+        (0..self.rows)
+            .map(|r| self.data[r * self.cols + c])
+            .collect()
     }
 
     /// Overwrite column `c` from a slice of length `rows`.
@@ -261,7 +271,11 @@ impl Matrix {
                 out[j * m + i] = out[i * m + j];
             }
         }
-        Matrix { rows: m, cols: m, data: out }
+        Matrix {
+            rows: m,
+            cols: m,
+            data: out,
+        }
     }
 
     /// Frobenius norm.
@@ -355,11 +369,19 @@ impl Matrix {
         if self.shape() != other.shape() {
             return Err(LinalgError::DimensionMismatch {
                 op: "sub",
-                got: format!("{}x{} - {}x{}", self.rows, self.cols, other.rows, other.cols),
+                got: format!(
+                    "{}x{} - {}x{}",
+                    self.rows, self.cols, other.rows, other.cols
+                ),
                 expected: "matching shapes".to_string(),
             });
         }
-        let data = self.data.iter().zip(&other.data).map(|(a, b)| a - b).collect();
+        let data = self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| a - b)
+            .collect();
         Matrix::from_vec(self.rows, self.cols, data)
     }
 }
@@ -413,10 +435,10 @@ mod tests {
         // 64 rows crosses PAR_ROW_THRESHOLD; compare against a hand-rolled
         // triple loop.
         let n = 64;
-        let a = Matrix::from_vec(n, n, (0..n * n).map(|i| (i % 17) as f64 - 8.0).collect())
-            .unwrap();
-        let b = Matrix::from_vec(n, n, (0..n * n).map(|i| ((i * 7) % 13) as f64).collect())
-            .unwrap();
+        let a =
+            Matrix::from_vec(n, n, (0..n * n).map(|i| (i % 17) as f64 - 8.0).collect()).unwrap();
+        let b =
+            Matrix::from_vec(n, n, (0..n * n).map(|i| ((i * 7) % 13) as f64).collect()).unwrap();
         let c = a.matmul(&b).unwrap();
         for r in 0..n {
             for cix in 0..n {
@@ -449,8 +471,12 @@ mod tests {
 
     #[test]
     fn gram_equals_at_a() {
-        let a = Matrix::from_vec(4, 3, vec![1., 2., 0., -1., 3., 2., 0.5, 0., 1., 2., -2., 4.])
-            .unwrap();
+        let a = Matrix::from_vec(
+            4,
+            3,
+            vec![1., 2., 0., -1., 3., 2., 0.5, 0., 1., 2., -2., 4.],
+        )
+        .unwrap();
         let g = a.gram();
         let g_ref = a.transpose().matmul(&a).unwrap();
         assert!(g.max_abs_diff(&g_ref) < 1e-12);
@@ -485,7 +511,10 @@ mod tests {
     #[test]
     fn solve_detects_singular() {
         let a = Matrix::from_vec(2, 2, vec![1., 2., 2., 4.]).unwrap();
-        assert_eq!(a.solve(&[1.0, 2.0]), Err(LinalgError::Singular("Matrix::solve")));
+        assert_eq!(
+            a.solve(&[1.0, 2.0]),
+            Err(LinalgError::Singular("Matrix::solve"))
+        );
     }
 
     #[test]

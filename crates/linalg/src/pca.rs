@@ -67,7 +67,9 @@ impl Pca {
     fn fit_impl(data: &Matrix, opts: PcaOptions, truncate: Option<usize>) -> Result<Pca> {
         let (n, m) = data.shape();
         if n < 2 || m == 0 {
-            return Err(LinalgError::Empty("Pca::fit needs >=2 samples and >=1 feature"));
+            return Err(LinalgError::Empty(
+                "Pca::fit needs >=2 samples and >=1 feature",
+            ));
         }
 
         // Column means.
@@ -115,7 +117,10 @@ impl Pca {
         let mut cov = centered.gram();
         cov.scale(1.0 / (n - 1) as f64);
         let total_variance: f64 = (0..m).map(|i| cov.get(i, i)).sum();
-        let SymEigen { mut eigenvalues, eigenvectors } = match truncate {
+        let SymEigen {
+            mut eigenvalues,
+            eigenvectors,
+        } = match truncate {
             // 24 power iterations suffice for the strongly separated
             // covariance spectra DPZ feeds this path; the Rayleigh-Ritz
             // projection in sym_eigen_topk mops up the residual rotation.
@@ -321,7 +326,11 @@ mod tests {
         let x = synthetic(200, 12, 5);
         let pca = Pca::fit(&x, PcaOptions::default()).unwrap();
         let tve = pca.cumulative_tve();
-        assert!(tve[1] > 0.999, "two factors should explain ~everything, got {}", tve[1]);
+        assert!(
+            tve[1] > 0.999,
+            "two factors should explain ~everything, got {}",
+            tve[1]
+        );
         let scores = pca.transform(&x, 2).unwrap();
         let recon = pca.inverse_transform(&scores).unwrap();
         assert!(recon.max_abs_diff(&x) < 0.1);
@@ -413,8 +422,8 @@ mod tests {
         assert_eq!(trunc.n_components(), 3);
         assert!((full.total_variance() - trunc.total_variance()).abs() < 1e-9);
         for i in 0..3 {
-            let rel = (full.eigenvalues()[i] - trunc.eigenvalues()[i]).abs()
-                / full.eigenvalues()[0];
+            let rel =
+                (full.eigenvalues()[i] - trunc.eigenvalues()[i]).abs() / full.eigenvalues()[0];
             assert!(rel < 1e-6, "eigenvalue {i}");
         }
         // Reconstruction through the truncated basis matches the full one.

@@ -109,8 +109,10 @@ pub fn ols(x: &Matrix, y: &[f64], with_intercept: bool) -> Result<OlsFit> {
     let mut xtx = design.gram();
     let xty = design.transpose().mul_vec(y)?;
     // Relative ridge for numerical robustness against collinearity.
-    let diag_scale: f64 =
-        (0..cols).map(|i| xtx.get(i, i)).fold(0.0, f64::max).max(f64::MIN_POSITIVE);
+    let diag_scale: f64 = (0..cols)
+        .map(|i| xtx.get(i, i))
+        .fold(0.0, f64::max)
+        .max(f64::MIN_POSITIVE);
     for i in 0..cols {
         let v = xtx.get(i, i) + 1e-12 * diag_scale;
         xtx.set(i, i, v);
@@ -125,13 +127,26 @@ pub fn ols(x: &Matrix, y: &[f64], with_intercept: bool) -> Result<OlsFit> {
     let mut ss_res = 0.0;
     let mut ss_tot = 0.0;
     for (r, &yr) in y.iter().enumerate().take(n) {
-        let pred: f64 =
-            x.row(r).iter().zip(&coefficients).map(|(a, b)| a * b).sum::<f64>() + intercept;
+        let pred: f64 = x
+            .row(r)
+            .iter()
+            .zip(&coefficients)
+            .map(|(a, b)| a * b)
+            .sum::<f64>()
+            + intercept;
         ss_res += (yr - pred) * (yr - pred);
         ss_tot += (yr - my) * (yr - my);
     }
-    let r_squared = if ss_tot == 0.0 { 1.0 } else { (1.0 - ss_res / ss_tot).clamp(0.0, 1.0) };
-    Ok(OlsFit { intercept, coefficients, r_squared })
+    let r_squared = if ss_tot == 0.0 {
+        1.0
+    } else {
+        (1.0 - ss_res / ss_tot).clamp(0.0, 1.0)
+    };
+    Ok(OlsFit {
+        intercept,
+        coefficients,
+        r_squared,
+    })
 }
 
 /// Variance inflation factor of column `target` of `x` against the remaining
@@ -169,7 +184,9 @@ mod tests {
         assert_eq!(mean(&[]), 0.0);
         assert_eq!(mean(&[2.0, 4.0, 6.0]), 4.0);
         assert_eq!(variance_population(&[1.0, 1.0, 1.0]), 0.0);
-        assert!((variance_sample(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]) - 4.571428571).abs() < 1e-6);
+        assert!(
+            (variance_sample(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]) - 4.571428571).abs() < 1e-6
+        );
         assert_eq!(variance_sample(&[1.0]), 0.0);
     }
 
@@ -225,13 +242,7 @@ mod tests {
     #[test]
     fn ols_r2_zero_for_pure_noise_mean_model() {
         // Predicting an uncorrelated target gives a low R².
-        let x = Matrix::from_rows(&[
-            vec![1.0],
-            vec![2.0],
-            vec![3.0],
-            vec![4.0],
-        ])
-        .unwrap();
+        let x = Matrix::from_rows(&[vec![1.0], vec![2.0], vec![3.0], vec![4.0]]).unwrap();
         let y = vec![1.0, -1.0, 1.0, -1.0];
         let fit = ols(&x, &y, true).unwrap();
         assert!(fit.r_squared < 0.3);

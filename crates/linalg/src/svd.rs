@@ -77,7 +77,11 @@ pub fn svd(a: &Matrix) -> Result<Svd> {
             }
         }
     }
-    Ok(Svd { u, s, vt: v.transpose() })
+    Ok(Svd {
+        u,
+        s,
+        vt: v.transpose(),
+    })
 }
 
 #[cfg(test)]
@@ -147,7 +151,11 @@ mod tests {
         let mut a = Matrix::zeros(10, 4);
         for r in 0..10 {
             for c in 0..4 {
-                a.set(r, c, 5.0 * u1[r] * (c as f64 + 1.0) + 0.5 * u2[r] * (1.5 - c as f64));
+                a.set(
+                    r,
+                    c,
+                    5.0 * u1[r] * (c as f64 + 1.0) + 0.5 * u2[r] * (1.5 - c as f64),
+                );
             }
         }
         let d = svd(&a).unwrap();
@@ -158,7 +166,11 @@ mod tests {
         assert!(r2.max_abs_diff(&a) < 1e-9);
         let r1 = d.low_rank(1).unwrap();
         let err = r1.sub(&a).unwrap().frobenius_norm();
-        assert!((err - d.s[1]).abs() < 1e-6 * d.s[0], "rank-1 error {err} vs sigma2 {}", d.s[1]);
+        assert!(
+            (err - d.s[1]).abs() < 1e-6 * d.s[0],
+            "rank-1 error {err} vs sigma2 {}",
+            d.s[1]
+        );
     }
 
     #[test]
@@ -198,8 +210,7 @@ mod tests {
         let pca = Pca::fit(&raw, PcaOptions::default()).unwrap();
         for i in 0..5 {
             let from_svd = d.s[i] * d.s[i] / 39.0;
-            let rel = (from_svd - pca.eigenvalues()[i]).abs()
-                / pca.eigenvalues()[0].max(1e-300);
+            let rel = (from_svd - pca.eigenvalues()[i]).abs() / pca.eigenvalues()[0].max(1e-300);
             assert!(rel < 1e-9, "component {i}");
         }
     }

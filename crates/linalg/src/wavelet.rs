@@ -63,7 +63,11 @@ fn analyze_level(data: &[f64], wavelet: Wavelet, out: &mut [f64]) {
             a += l * data[idx];
             // High-pass taps by the quadrature mirror relation:
             // g[t] = (-1)^t * h[taps-1-t].
-            let g = if t % 2 == 0 { lo[taps - 1 - t] } else { -lo[taps - 1 - t] };
+            let g = if t % 2 == 0 {
+                lo[taps - 1 - t]
+            } else {
+                -lo[taps - 1 - t]
+            };
             d += g * data[idx];
         }
         out[i] = a;
@@ -83,7 +87,11 @@ fn synthesize_level(coeffs: &[f64], wavelet: Wavelet, out: &mut [f64]) {
         let a = coeffs[i];
         let d = coeffs[half + i];
         for (t, &l) in lo.iter().enumerate() {
-            let g = if t % 2 == 0 { lo[taps - 1 - t] } else { -lo[taps - 1 - t] };
+            let g = if t % 2 == 0 {
+                lo[taps - 1 - t]
+            } else {
+                -lo[taps - 1 - t]
+            };
             let idx = (2 * i + t) % n;
             out[idx] += l * a + g * d;
         }

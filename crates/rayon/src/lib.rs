@@ -1,0 +1,274 @@
+//! A vendored, std-only stand-in for the subset of [rayon]'s API this
+//! workspace uses. The build environment has no access to crates.io, so the
+//! real rayon cannot be fetched; this shim keeps the same call sites
+//! (`par_chunks`, `par_chunks_mut`, `par_iter`, `map`, `enumerate`,
+//! `for_each`, `collect`) and runs them on scoped OS threads.
+//!
+//! Work is split into contiguous groups, one per worker, so ordering
+//! semantics match rayon's indexed parallel iterators: `collect` preserves
+//! input order and `enumerate` numbers items by their original position.
+//! Worker count follows `available_parallelism`, floored at two whenever
+//! there are at least two items so concurrency is exercised even on
+//! single-core CI machines.
+//!
+//! [rayon]: https://docs.rs/rayon
+
+use std::num::NonZeroUsize;
+
+/// Number of worker threads the shim fans out to.
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+        .max(2)
+}
+
+/// Split `len` items into at most `current_num_threads()` contiguous
+/// `(start, end)` groups.
+fn groups(len: usize) -> Vec<(usize, usize)> {
+    if len == 0 {
+        return Vec::new();
+    }
+    let workers = current_num_threads().min(len);
+    let per = len.div_ceil(workers);
+    (0..workers)
+        .map(|w| (w * per, ((w + 1) * per).min(len)))
+        .filter(|(lo, hi)| lo < hi)
+        .collect()
+}
+
+/// Run `f` over every item of `items` on scoped threads, preserving input
+/// order in the returned vector.
+fn par_map_vec<I, O, F>(items: Vec<I>, f: F) -> Vec<O>
+where
+    I: Send,
+    O: Send,
+    F: Fn(usize, I) -> O + Sync,
+{
+    let len = items.len();
+    let plan = groups(len);
+    if plan.len() <= 1 {
+        return items
+            .into_iter()
+            .enumerate()
+            .map(|(i, x)| f(i, x))
+            .collect();
+    }
+    // Hand each worker a contiguous, index-tagged slice of the input.
+    let mut chunks: Vec<Vec<(usize, I)>> = Vec::with_capacity(plan.len());
+    let mut it = items.into_iter().enumerate();
+    for &(lo, hi) in &plan {
+        chunks.push((&mut it).take(hi - lo).collect());
+    }
+    let f = &f;
+    let mut out: Vec<Vec<O>> = Vec::with_capacity(plan.len());
+    std::thread::scope(|s| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|chunk| {
+                s.spawn(move || chunk.into_iter().map(|(i, x)| f(i, x)).collect::<Vec<O>>())
+            })
+            .collect();
+        for h in handles {
+            out.push(h.join().expect("rayon-shim worker panicked"));
+        }
+    });
+    out.into_iter().flatten().collect()
+}
+
+/// Parallel iterator over owned items (produced by the slice adapters).
+pub struct ParIter<I> {
+    items: Vec<I>,
+}
+
+impl<I: Send> ParIter<I> {
+    /// Map every item through `f` (runs when the iterator is consumed).
+    pub fn map<O, F>(self, f: F) -> ParMap<I, F>
+    where
+        O: Send,
+        F: Fn(I) -> O + Sync,
+    {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+
+    /// Pair every item with its input position.
+    pub fn enumerate(self) -> ParEnumerate<I> {
+        ParEnumerate { items: self.items }
+    }
+
+    /// Apply `f` to every item in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(I) + Sync,
+    {
+        par_map_vec(self.items, |_, x| f(x));
+    }
+
+    /// Collect the items in input order.
+    pub fn collect<C: FromIterator<I>>(self) -> C {
+        self.items.into_iter().collect()
+    }
+}
+
+/// Mapped parallel iterator.
+pub struct ParMap<I, F> {
+    items: Vec<I>,
+    f: F,
+}
+
+impl<I, O, F> ParMap<I, F>
+where
+    I: Send,
+    O: Send,
+    F: Fn(I) -> O + Sync,
+{
+    /// Run the map in parallel and collect results in input order.
+    pub fn collect<C: FromIterator<O>>(self) -> C {
+        par_map_vec(self.items, |_, x| (self.f)(x))
+            .into_iter()
+            .collect()
+    }
+
+    /// Run the map in parallel for its side effects.
+    pub fn for_each<G>(self, g: G)
+    where
+        G: Fn(O) + Sync,
+    {
+        let f = &self.f;
+        par_map_vec(self.items, move |_, x| g(f(x)));
+    }
+}
+
+/// Enumerated parallel iterator.
+pub struct ParEnumerate<I> {
+    items: Vec<I>,
+}
+
+impl<I: Send> ParEnumerate<I> {
+    /// Apply `f` to every `(index, item)` pair in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn((usize, I)) + Sync,
+    {
+        par_map_vec(self.items, |i, x| f((i, x)));
+    }
+
+    /// Collect `(index, item)` pairs in input order.
+    pub fn collect<C: FromIterator<(usize, I)>>(self) -> C {
+        self.items.into_iter().enumerate().collect()
+    }
+}
+
+/// The traits client code brings into scope with `use rayon::prelude::*`.
+pub mod prelude {
+    use super::ParIter;
+
+    /// `par_chunks` / shared-slice parallelism.
+    pub trait ParallelSlice<T: Sync + Send> {
+        /// Parallel iterator over `size`-element chunks.
+        fn par_chunks(&self, size: usize) -> ParIter<&[T]>;
+        /// Parallel iterator over individual elements.
+        fn par_iter(&self) -> ParIter<&T>;
+    }
+
+    impl<T: Sync + Send> ParallelSlice<T> for [T] {
+        fn par_chunks(&self, size: usize) -> ParIter<&[T]> {
+            assert!(size > 0, "chunk size must be positive");
+            ParIter {
+                items: self.chunks(size).collect(),
+            }
+        }
+
+        fn par_iter(&self) -> ParIter<&T> {
+            ParIter {
+                items: self.iter().collect(),
+            }
+        }
+    }
+
+    /// `par_chunks_mut` / exclusive-slice parallelism.
+    pub trait ParallelSliceMut<T: Send> {
+        /// Parallel iterator over `size`-element mutable chunks.
+        fn par_chunks_mut(&mut self, size: usize) -> ParIter<&mut [T]>;
+    }
+
+    impl<T: Send> ParallelSliceMut<T> for [T] {
+        fn par_chunks_mut(&mut self, size: usize) -> ParIter<&mut [T]> {
+            assert!(size > 0, "chunk size must be positive");
+            ParIter {
+                items: self.chunks_mut(size).collect(),
+            }
+        }
+    }
+
+    /// `par_iter` on owned collections taken by reference.
+    pub trait IntoParallelRefIterator<'a> {
+        /// The item type yielded by the parallel iterator.
+        type Item: Send;
+        /// Parallel iterator over shared references.
+        fn par_iter(&'a self) -> ParIter<Self::Item>;
+    }
+
+    impl<'a, T: Sync + Send + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+        type Item = &'a T;
+
+        fn par_iter(&'a self) -> ParIter<&'a T> {
+            ParIter {
+                items: self.iter().collect(),
+            }
+        }
+    }
+
+    pub use super::{ParEnumerate, ParMap};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn par_chunks_map_collect_preserves_order() {
+        let data: Vec<u32> = (0..1000).collect();
+        let sums: Vec<u64> = data
+            .par_chunks(7)
+            .map(|c| c.iter().map(|&v| u64::from(v)).sum())
+            .collect();
+        let expect: Vec<u64> = data
+            .chunks(7)
+            .map(|c| c.iter().map(|&v| u64::from(v)).sum())
+            .collect();
+        assert_eq!(sums, expect);
+    }
+
+    #[test]
+    fn par_chunks_mut_enumerate_writes_every_chunk() {
+        let mut data = vec![0usize; 64];
+        data.par_chunks_mut(8).enumerate().for_each(|(i, chunk)| {
+            for v in chunk {
+                *v = i;
+            }
+        });
+        for (i, v) in data.iter().enumerate() {
+            assert_eq!(*v, i / 8);
+        }
+    }
+
+    #[test]
+    fn par_iter_visits_everything() {
+        let items: Vec<usize> = (0..257).collect();
+        let hits = AtomicUsize::new(0);
+        items.par_iter().for_each(|_| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 257);
+    }
+
+    #[test]
+    fn thread_count_reported() {
+        assert!(super::current_num_threads() >= 2);
+    }
+}

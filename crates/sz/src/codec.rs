@@ -22,7 +22,9 @@
 
 use crate::lorenzo::Grid;
 use crate::quantizer::{Quantized, Quantizer};
-use crate::regression::{block_side, fit_plane, lorenzo_mae_estimate, plane_mae, PlaneFit, SELECTION_MARGIN};
+use crate::regression::{
+    block_side, fit_plane, lorenzo_mae_estimate, plane_mae, PlaneFit, SELECTION_MARGIN,
+};
 use crate::{Predictor, SzConfig, SzError};
 use dpz_deflate::bitio::{BitReader, BitWriter};
 use dpz_deflate::huffman::{build_code_lengths, Decoder, Encoder};
@@ -77,7 +79,12 @@ fn predict_lorenzo(data: &[f32], grid: &Grid, q: &Quantizer) -> Predicted {
         }
         recon[idx] = r;
     }
-    Predicted { symbols, outliers, selectors: Vec::new(), coefficients: Vec::new() }
+    Predicted {
+        symbols,
+        outliers,
+        selectors: Vec::new(),
+        coefficients: Vec::new(),
+    }
 }
 
 /// Hybrid block pass (predictor byte 1). The decoder must replay the exact
@@ -104,9 +111,7 @@ fn predict_blockwise(data: &[f32], dims: &[usize], grid: &Grid, q: &Quantizer) -
                 for i in 0..li {
                     for j in 0..lj {
                         for k in 0..lk {
-                            block.push(f64::from(
-                                data[flat(&e, bi + i, bj + j, bk + k)],
-                            ));
+                            block.push(f64::from(data[flat(&e, bi + i, bj + j, bk + k)]));
                         }
                     }
                 }
@@ -143,7 +148,12 @@ fn predict_blockwise(data: &[f32], dims: &[usize], grid: &Grid, q: &Quantizer) -
             }
         }
     }
-    Predicted { symbols, outliers, selectors, coefficients }
+    Predicted {
+        symbols,
+        outliers,
+        selectors,
+        coefficients,
+    }
 }
 
 /// Compress `data` with shape `dims` under `cfg`.
@@ -151,9 +161,13 @@ fn predict_blockwise(data: &[f32], dims: &[usize], grid: &Grid, q: &Quantizer) -
 /// Guarantees `|data[i] − decompress(...)[i]| ≤ cfg.error_bound` for every
 /// element, with either predictor.
 pub fn compress(data: &[f32], dims: &[usize], cfg: &SzConfig) -> Vec<u8> {
+    let _span = dpz_telemetry::span!("sz.compress");
     let grid = Grid::new(dims);
     assert_eq!(grid.len(), data.len(), "dims do not match data length");
-    assert!(cfg.quant_radius <= MAX_RADIUS, "radius too large for u16 alphabet");
+    assert!(
+        cfg.quant_radius <= MAX_RADIUS,
+        "radius too large for u16 alphabet"
+    );
     let q = Quantizer::new(cfg.error_bound, cfg.quant_radius);
 
     let predicted = match cfg.predictor {
@@ -179,8 +193,11 @@ pub fn compress(data: &[f32], dims: &[usize], cfg: &SzConfig) -> Vec<u8> {
     let bitstream = bits.finish();
 
     let packed_lengths = compress_with_level(&lengths, CompressionLevel::Default);
-    let outlier_bytes: Vec<u8> =
-        predicted.outliers.iter().flat_map(|v| v.to_le_bytes()).collect();
+    let outlier_bytes: Vec<u8> = predicted
+        .outliers
+        .iter()
+        .flat_map(|v| v.to_le_bytes())
+        .collect();
     let packed_outliers = compress_with_level(&outlier_bytes, CompressionLevel::Default);
 
     // Assemble the container.
@@ -201,8 +218,11 @@ pub fn compress(data: &[f32], dims: &[usize], cfg: &SzConfig) -> Vec<u8> {
         out.extend_from_slice(&(predicted.selectors.len() as u64).to_le_bytes());
         out.extend_from_slice(&(packed_sel.len() as u64).to_le_bytes());
         out.extend_from_slice(&packed_sel);
-        let coef_bytes: Vec<u8> =
-            predicted.coefficients.iter().flat_map(|v| v.to_le_bytes()).collect();
+        let coef_bytes: Vec<u8> = predicted
+            .coefficients
+            .iter()
+            .flat_map(|v| v.to_le_bytes())
+            .collect();
         let packed_coef = compress_with_level(&coef_bytes, CompressionLevel::Default);
         out.extend_from_slice(&(predicted.coefficients.len() as u64).to_le_bytes());
         out.extend_from_slice(&(packed_coef.len() as u64).to_le_bytes());
@@ -215,6 +235,15 @@ pub fn compress(data: &[f32], dims: &[usize], cfg: &SzConfig) -> Vec<u8> {
     out.extend_from_slice(&(predicted.outliers.len() as u64).to_le_bytes());
     out.extend_from_slice(&(packed_outliers.len() as u64).to_le_bytes());
     out.extend_from_slice(&packed_outliers);
+
+    let reg = dpz_telemetry::global();
+    let labels = [("codec", "sz"), ("op", "compress")];
+    reg.counter_with("dpz_bytes_in_total", &labels)
+        .add(data.len() as u64 * 4);
+    reg.counter_with("dpz_bytes_out_total", &labels)
+        .add(out.len() as u64);
+    reg.counter_with("dpz_outliers_total", &[("codec", "sz")])
+        .add(predicted.outliers.len() as u64);
     out
 }
 
@@ -280,6 +309,7 @@ impl SymbolReader<'_> {
 
 /// Decompress an SZ stream, returning the values and their dimensions.
 pub fn decompress(bytes: &[u8]) -> Result<(Vec<f32>, Vec<usize>), SzError> {
+    let _span = dpz_telemetry::span!("sz.decompress");
     let mut cur = Cursor { buf: bytes, pos: 0 };
     if cur.take(4)? != MAGIC {
         return Err(SzError::Corrupt("bad magic"));
@@ -383,7 +413,12 @@ pub fn decompress(bytes: &[u8]) -> Result<(Vec<f32>, Vec<usize>), SzError> {
                             let c = coef_iter
                                 .next()
                                 .ok_or(SzError::Corrupt("missing coefficients"))?;
-                            Some(PlaneFit { b0: c[0], b1: c[1], b2: c[2], b3: c[3] })
+                            Some(PlaneFit {
+                                b0: c[0],
+                                b1: c[1],
+                                b2: c[2],
+                                b3: c[3],
+                            })
                         } else {
                             None
                         };
@@ -405,6 +440,12 @@ pub fn decompress(bytes: &[u8]) -> Result<(Vec<f32>, Vec<usize>), SzError> {
         }
     }
     let out: Vec<f32> = recon.iter().map(|&v| v as f32).collect();
+    let reg = dpz_telemetry::global();
+    let labels = [("codec", "sz"), ("op", "decompress")];
+    reg.counter_with("dpz_bytes_in_total", &labels)
+        .add(bytes.len() as u64);
+    reg.counter_with("dpz_bytes_out_total", &labels)
+        .add(out.len() as u64 * 4);
     Ok((out, dims))
 }
 
@@ -418,7 +459,11 @@ mod tests {
         eb: f64,
         predictor: Predictor,
     ) -> (usize, usize) {
-        let cfg = SzConfig { error_bound: eb, quant_radius: 1 << 15, predictor };
+        let cfg = SzConfig {
+            error_bound: eb,
+            quant_radius: 1 << 15,
+            predictor,
+        };
         let packed = compress(data, dims, &cfg);
         let (out, got_dims) = decompress(&packed).unwrap();
         assert_eq!(got_dims, dims);
@@ -436,7 +481,9 @@ mod tests {
 
     #[test]
     fn bound_held_1d() {
-        let data: Vec<f32> = (0..10_000).map(|i| (i as f32 * 0.001).sin() * 10.0).collect();
+        let data: Vec<f32> = (0..10_000)
+            .map(|i| (i as f32 * 0.001).sin() * 10.0)
+            .collect();
         check_bound(&data, &[10_000], 1e-3);
     }
 
@@ -456,10 +503,14 @@ mod tests {
 
     #[test]
     fn bound_held_with_auto_predictor_all_dims() {
-        for (dims, len) in [(vec![5000usize], 5000), (vec![50, 60], 3000), (vec![12, 13, 14], 2184)]
-        {
-            let data: Vec<f32> =
-                (0..len).map(|i| (i as f32 * 0.01).sin() * 5.0 + i as f32 * 0.002).collect();
+        for (dims, len) in [
+            (vec![5000usize], 5000),
+            (vec![50, 60], 3000),
+            (vec![12, 13, 14], 2184),
+        ] {
+            let data: Vec<f32> = (0..len)
+                .map(|i| (i as f32 * 0.01).sin() * 5.0 + i as f32 * 0.002)
+                .collect();
             check_bound_with(&data, &dims, 1e-3, Predictor::Auto);
         }
     }

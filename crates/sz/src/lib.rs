@@ -55,7 +55,11 @@ impl SzConfig {
     /// and pure Lorenzo prediction.
     pub fn with_error_bound(error_bound: f64) -> SzConfig {
         assert!(error_bound > 0.0, "error bound must be positive");
-        SzConfig { error_bound, quant_radius: 1 << 15, predictor: Predictor::Lorenzo }
+        SzConfig {
+            error_bound,
+            quant_radius: 1 << 15,
+            predictor: Predictor::Lorenzo,
+        }
     }
 
     /// Switch the prediction strategy.

@@ -20,7 +20,9 @@ impl Grid {
             dims.len()
         );
         assert!(dims.iter().all(|&d| d > 0), "zero-sized dimension");
-        Grid { dims: dims.to_vec() }
+        Grid {
+            dims: dims.to_vec(),
+        }
     }
 
     /// Total number of points.
@@ -127,8 +129,7 @@ mod tests {
         let (rows, cols) = (6, 7);
         let g = Grid::new(&[rows, cols]);
         let f = |r: usize, c: usize| 3.0 + 2.0 * r as f64 - 1.5 * c as f64;
-        let recon: Vec<f64> =
-            (0..rows * cols).map(|i| f(i / cols, i % cols)).collect();
+        let recon: Vec<f64> = (0..rows * cols).map(|i| f(i / cols, i % cols)).collect();
         for r in 1..rows {
             for c in 1..cols {
                 let idx = r * cols + c;
@@ -141,9 +142,8 @@ mod tests {
     fn trilinear_3d_exactly_predicted() {
         let (a, b, c) = (4usize, 5usize, 3usize);
         let g = Grid::new(&[a, b, c]);
-        let f = |i: usize, j: usize, k: usize| {
-            1.0 + 0.5 * i as f64 + 0.25 * j as f64 - 0.75 * k as f64
-        };
+        let f =
+            |i: usize, j: usize, k: usize| 1.0 + 0.5 * i as f64 + 0.25 * j as f64 - 0.75 * k as f64;
         let recon: Vec<f64> = (0..a * b * c)
             .map(|idx| {
                 let (i, rem) = (idx / (b * c), idx % (b * c));

@@ -28,7 +28,10 @@ impl Quantizer {
     pub fn new(error_bound: f64, radius: u32) -> Quantizer {
         assert!(error_bound > 0.0 && error_bound.is_finite());
         assert!(radius >= 2);
-        Quantizer { eb: error_bound, radius: i64::from(radius) }
+        Quantizer {
+            eb: error_bound,
+            radius: i64::from(radius),
+        }
     }
 
     /// Number of entropy-coder symbols (`2·radius`; symbol 0 = outlier).
@@ -53,7 +56,10 @@ impl Quantizer {
         if (f64::from(recon_f32) - value).abs() > self.eb {
             return (Quantized::Outlier, value);
         }
-        (Quantized::Code((m + self.radius) as u32), f64::from(recon_f32))
+        (
+            Quantized::Code((m + self.radius) as u32),
+            f64::from(recon_f32),
+        )
     }
 
     /// Decoder side: reconstruct from a symbol (`1..2·radius`).

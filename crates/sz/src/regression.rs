@@ -68,7 +68,11 @@ pub fn fit_plane(values: &[f64], li: usize, lj: usize, lk: usize) -> PlaneFit {
     debug_assert_eq!(values.len(), li * lj * lk);
     let n = values.len() as f64;
     let mean: f64 = values.iter().sum::<f64>() / n;
-    let (ci, cj, ck) = ((li as f64 - 1.0) / 2.0, (lj as f64 - 1.0) / 2.0, (lk as f64 - 1.0) / 2.0);
+    let (ci, cj, ck) = (
+        (li as f64 - 1.0) / 2.0,
+        (lj as f64 - 1.0) / 2.0,
+        (lk as f64 - 1.0) / 2.0,
+    );
 
     let mut cov = [0.0f64; 3];
     let mut var = [0.0f64; 3];
@@ -94,7 +98,12 @@ pub fn fit_plane(values: &[f64], li: usize, lj: usize, lk: usize) -> PlaneFit {
     let b3 = slope(cov[2], var[2]);
     // Re-express the centered fit with the block origin as reference.
     let b0 = mean - b1 * ci - b2 * cj - b3 * ck;
-    PlaneFit { b0: b0 as f32, b1: b1 as f32, b2: b2 as f32, b3: b3 as f32 }
+    PlaneFit {
+        b0: b0 as f32,
+        b1: b1 as f32,
+        b2: b2 as f32,
+        b3: b3 as f32,
+    }
 }
 
 /// Mean absolute residual of a plane fit over the block.
@@ -211,7 +220,9 @@ mod tests {
         // High-frequency sign flips: the plane fit is hopeless (residual ~
         // amplitude); Lorenzo's estimate is ~2x amplitude. Selection between
         // the two is close — just verify both are finite and sane.
-        let block: Vec<f64> = (0..64).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let block: Vec<f64> = (0..64)
+            .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
         let fit = fit_plane(&block, 4, 4, 4);
         let reg = plane_mae(&block, 4, 4, 4, &fit);
         let lor = lorenzo_mae_estimate(&block, 4, 4, 4);

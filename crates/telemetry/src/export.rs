@@ -1,0 +1,683 @@
+//! Exporters: Prometheus text exposition and JSON (with a parser for the
+//! JSON form, so snapshots round-trip through files).
+//!
+//! Both exporters are hand-rolled over [`Snapshot`] — no serialization
+//! dependencies. The JSON grammar emitted here is plain standard JSON; the
+//! bundled parser accepts any standard JSON document shaped like the
+//! exporter's output.
+
+use crate::registry::Key;
+use crate::snapshot::{HistogramSnapshot, Snapshot};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Render `v` the way both exposition formats want it: shortest form that
+/// round-trips (Rust's default `Display` for `f64`).
+fn fmt_f64(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_string()
+    } else if v.is_infinite() {
+        if v > 0.0 {
+            "+Inf".to_string()
+        } else {
+            "-Inf".to_string()
+        }
+    } else {
+        format!("{v}")
+    }
+}
+
+fn escape_label(v: &str) -> String {
+    v.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+/// `{a="1",b="2"}` (empty string when there are no labels). `extra` lets the
+/// histogram writer append its `le` pair.
+fn label_block(labels: &[(String, String)], extra: Option<(&str, &str)>) -> String {
+    let mut pairs: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", escape_label(v)))
+        .collect();
+    if let Some((k, v)) = extra {
+        pairs.push(format!("{k}=\"{}\"", escape_label(v)));
+    }
+    if pairs.is_empty() {
+        String::new()
+    } else {
+        format!("{{{}}}", pairs.join(","))
+    }
+}
+
+/// Render a snapshot in the Prometheus text exposition format (version
+/// 0.0.4): `# TYPE` headers, one sample per line, histograms expanded into
+/// cumulative `_bucket{le=...}` series plus `_sum` and `_count`.
+pub fn to_prometheus(snap: &Snapshot) -> String {
+    let mut out = String::new();
+
+    let mut last_type_for = String::new();
+    let mut type_line = |out: &mut String, name: &str, kind: &str| {
+        if last_type_for != name {
+            let _ = writeln!(out, "# TYPE {name} {kind}");
+            last_type_for = name.to_string();
+        }
+    };
+
+    for (key, value) in &snap.counters {
+        type_line(&mut out, &key.name, "counter");
+        let _ = writeln!(
+            out,
+            "{}{} {value}",
+            key.name,
+            label_block(&key.labels, None)
+        );
+    }
+    for (key, value) in &snap.gauges {
+        type_line(&mut out, &key.name, "gauge");
+        let _ = writeln!(
+            out,
+            "{}{} {}",
+            key.name,
+            label_block(&key.labels, None),
+            fmt_f64(*value)
+        );
+    }
+    for (key, hist) in &snap.histograms {
+        type_line(&mut out, &key.name, "histogram");
+        let cumulative = hist.cumulative();
+        for (bound, cum) in hist.bounds.iter().zip(&cumulative) {
+            let le = fmt_f64(*bound);
+            let _ = writeln!(
+                out,
+                "{}_bucket{} {cum}",
+                key.name,
+                label_block(&key.labels, Some(("le", &le)))
+            );
+        }
+        let _ = writeln!(
+            out,
+            "{}_bucket{} {}",
+            key.name,
+            label_block(&key.labels, Some(("le", "+Inf"))),
+            hist.count
+        );
+        let _ = writeln!(
+            out,
+            "{}_sum{} {}",
+            key.name,
+            label_block(&key.labels, None),
+            fmt_f64(hist.sum)
+        );
+        let _ = writeln!(
+            out,
+            "{}_count{} {}",
+            key.name,
+            label_block(&key.labels, None),
+            hist.count
+        );
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// JSON export
+// ---------------------------------------------------------------------------
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// JSON numbers cannot express NaN/Inf; encode those as `null` (decoded back
+/// to NaN — gauges are the only instrument that can hold them).
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn json_labels(labels: &[(String, String)]) -> String {
+    let pairs: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("\"{}\":\"{}\"", json_escape(k), json_escape(v)))
+        .collect();
+    format!("{{{}}}", pairs.join(","))
+}
+
+fn json_u64_array(values: &[u64]) -> String {
+    let items: Vec<String> = values.iter().map(|v| v.to_string()).collect();
+    format!("[{}]", items.join(","))
+}
+
+fn json_f64_array(values: &[f64]) -> String {
+    let items: Vec<String> = values.iter().map(|&v| json_f64(v)).collect();
+    format!("[{}]", items.join(","))
+}
+
+/// Render a snapshot as a JSON document:
+///
+/// ```json
+/// {
+///   "counters":   [{"name": "...", "labels": {...}, "value": 0}],
+///   "gauges":     [{"name": "...", "labels": {...}, "value": 0.0}],
+///   "histograms": [{"name": "...", "labels": {...}, "bounds": [...],
+///                   "buckets": [...], "count": 0, "sum": 0.0}]
+/// }
+/// ```
+pub fn to_json(snap: &Snapshot) -> String {
+    let mut out = String::from("{\n  \"counters\": [");
+    let counters: Vec<String> = snap
+        .counters
+        .iter()
+        .map(|(k, v)| {
+            format!(
+                "\n    {{\"name\": \"{}\", \"labels\": {}, \"value\": {v}}}",
+                json_escape(&k.name),
+                json_labels(&k.labels)
+            )
+        })
+        .collect();
+    out.push_str(&counters.join(","));
+    out.push_str("\n  ],\n  \"gauges\": [");
+    let gauges: Vec<String> = snap
+        .gauges
+        .iter()
+        .map(|(k, v)| {
+            format!(
+                "\n    {{\"name\": \"{}\", \"labels\": {}, \"value\": {}}}",
+                json_escape(&k.name),
+                json_labels(&k.labels),
+                json_f64(*v)
+            )
+        })
+        .collect();
+    out.push_str(&gauges.join(","));
+    out.push_str("\n  ],\n  \"histograms\": [");
+    let hists: Vec<String> = snap
+        .histograms
+        .iter()
+        .map(|(k, h)| {
+            format!(
+                "\n    {{\"name\": \"{}\", \"labels\": {}, \"bounds\": {}, \
+                 \"buckets\": {}, \"count\": {}, \"sum\": {}}}",
+                json_escape(&k.name),
+                json_labels(&k.labels),
+                json_f64_array(&h.bounds),
+                json_u64_array(&h.buckets),
+                h.count,
+                json_f64(h.sum)
+            )
+        })
+        .collect();
+    out.push_str(&hists.join(","));
+    out.push_str("\n  ]\n}\n");
+    out
+}
+
+// ---------------------------------------------------------------------------
+// JSON parsing (for round-tripping snapshots through files)
+// ---------------------------------------------------------------------------
+
+/// Error from [`from_json`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct JsonError {
+    /// What went wrong.
+    pub message: String,
+    /// Byte offset in the input where parsing failed.
+    pub offset: usize,
+}
+
+impl std::fmt::Display for JsonError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "JSON error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+/// Minimal JSON value tree (only what the exporter emits).
+#[derive(Debug, Clone, PartialEq)]
+enum JsonValue {
+    Null,
+    Bool(bool),
+    Number(f64),
+    String(String),
+    Array(Vec<JsonValue>),
+    Object(BTreeMap<String, JsonValue>),
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err<T>(&self, message: &str) -> Result<T, JsonError> {
+        Err(JsonError {
+            message: message.to_string(),
+            offset: self.pos,
+        })
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, expected: u8) -> Result<(), JsonError> {
+        if self.peek() == Some(expected) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            self.err(&format!("expected '{}'", expected as char))
+        }
+    }
+
+    fn eat_literal(&mut self, lit: &str, value: JsonValue) -> Result<JsonValue, JsonError> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(value)
+        } else {
+            self.err(&format!("expected '{lit}'"))
+        }
+    }
+
+    fn value(&mut self) -> Result<JsonValue, JsonError> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(JsonValue::String(self.string()?)),
+            Some(b't') => self.eat_literal("true", JsonValue::Bool(true)),
+            Some(b'f') => self.eat_literal("false", JsonValue::Bool(false)),
+            Some(b'n') => self.eat_literal("null", JsonValue::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            _ => self.err("expected a JSON value"),
+        }
+    }
+
+    fn object(&mut self) -> Result<JsonValue, JsonError> {
+        self.eat(b'{')?;
+        let mut map = BTreeMap::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(JsonValue::Object(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.eat(b':')?;
+            map.insert(key, self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Object(map));
+                }
+                _ => return self.err("expected ',' or '}'"),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<JsonValue, JsonError> {
+        self.eat(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(JsonValue::Array(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Array(items));
+                }
+                _ => return self.err("expected ',' or ']'"),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return self.err("unterminated string"),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            if self.pos + 5 > self.bytes.len() {
+                                return self.err("truncated \\u escape");
+                            }
+                            let hex = &self.bytes[self.pos + 1..self.pos + 5];
+                            let hex = std::str::from_utf8(hex)
+                                .ok()
+                                .and_then(|h| u32::from_str_radix(h, 16).ok());
+                            match hex.and_then(char::from_u32) {
+                                Some(c) => out.push(c),
+                                None => return self.err("invalid \\u escape"),
+                            }
+                            self.pos += 4;
+                        }
+                        _ => return self.err("invalid escape"),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (input is a &str, so this
+                    // char boundary math is safe).
+                    let rest =
+                        std::str::from_utf8(&self.bytes[self.pos..]).map_err(|_| JsonError {
+                            message: "invalid UTF-8".to_string(),
+                            offset: self.pos,
+                        })?;
+                    let c = rest.chars().next().unwrap();
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<JsonValue, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit() || matches!(c, b'.' | b'e' | b'E' | b'+' | b'-'))
+        {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        match text.parse::<f64>() {
+            Ok(v) => Ok(JsonValue::Number(v)),
+            Err(_) => self.err("invalid number"),
+        }
+    }
+}
+
+fn parse_json(input: &str) -> Result<JsonValue, JsonError> {
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return p.err("trailing data after JSON document");
+    }
+    Ok(v)
+}
+
+// -- JSON tree -> Snapshot ---------------------------------------------------
+
+fn want_object<'v>(
+    v: &'v JsonValue,
+    what: &str,
+) -> Result<&'v BTreeMap<String, JsonValue>, JsonError> {
+    match v {
+        JsonValue::Object(m) => Ok(m),
+        _ => Err(JsonError {
+            message: format!("{what}: expected an object"),
+            offset: 0,
+        }),
+    }
+}
+
+fn want_array<'v>(v: &'v JsonValue, what: &str) -> Result<&'v [JsonValue], JsonError> {
+    match v {
+        JsonValue::Array(items) => Ok(items),
+        _ => Err(JsonError {
+            message: format!("{what}: expected an array"),
+            offset: 0,
+        }),
+    }
+}
+
+fn want_f64(v: &JsonValue, what: &str) -> Result<f64, JsonError> {
+    match v {
+        JsonValue::Number(n) => Ok(*n),
+        JsonValue::Null => Ok(f64::NAN), // non-finite values export as null
+        _ => Err(JsonError {
+            message: format!("{what}: expected a number"),
+            offset: 0,
+        }),
+    }
+}
+
+fn want_u64(v: &JsonValue, what: &str) -> Result<u64, JsonError> {
+    let n = want_f64(v, what)?;
+    if n.is_finite() && n >= 0.0 && n.fract() == 0.0 {
+        Ok(n as u64)
+    } else {
+        Err(JsonError {
+            message: format!("{what}: expected a non-negative integer"),
+            offset: 0,
+        })
+    }
+}
+
+fn series_key(entry: &BTreeMap<String, JsonValue>, what: &str) -> Result<Key, JsonError> {
+    let name = match entry.get("name") {
+        Some(JsonValue::String(s)) => s.clone(),
+        _ => {
+            return Err(JsonError {
+                message: format!("{what}: missing \"name\""),
+                offset: 0,
+            });
+        }
+    };
+    let mut labels = Vec::new();
+    if let Some(raw) = entry.get("labels") {
+        for (k, v) in want_object(raw, what)? {
+            match v {
+                JsonValue::String(s) => labels.push((k.clone(), s.clone())),
+                _ => {
+                    return Err(JsonError {
+                        message: format!("{what}: label values must be strings"),
+                        offset: 0,
+                    });
+                }
+            }
+        }
+    }
+    labels.sort();
+    Ok(Key { name, labels })
+}
+
+/// Parse a document produced by [`to_json`] back into a [`Snapshot`].
+pub fn from_json(input: &str) -> Result<Snapshot, JsonError> {
+    let root = parse_json(input)?;
+    let root = want_object(&root, "document")?;
+    let mut snap = Snapshot::default();
+
+    if let Some(raw) = root.get("counters") {
+        for item in want_array(raw, "counters")? {
+            let entry = want_object(item, "counter entry")?;
+            let key = series_key(entry, "counter entry")?;
+            let value = want_u64(
+                entry.get("value").unwrap_or(&JsonValue::Null),
+                "counter value",
+            )?;
+            snap.counters.insert(key, value);
+        }
+    }
+    if let Some(raw) = root.get("gauges") {
+        for item in want_array(raw, "gauges")? {
+            let entry = want_object(item, "gauge entry")?;
+            let key = series_key(entry, "gauge entry")?;
+            let value = want_f64(
+                entry.get("value").unwrap_or(&JsonValue::Null),
+                "gauge value",
+            )?;
+            snap.gauges.insert(key, value);
+        }
+    }
+    if let Some(raw) = root.get("histograms") {
+        for item in want_array(raw, "histograms")? {
+            let entry = want_object(item, "histogram entry")?;
+            let key = series_key(entry, "histogram entry")?;
+            let bounds = want_array(
+                entry.get("bounds").unwrap_or(&JsonValue::Null),
+                "histogram bounds",
+            )?
+            .iter()
+            .map(|v| want_f64(v, "histogram bound"))
+            .collect::<Result<Vec<f64>, JsonError>>()?;
+            let buckets = want_array(
+                entry.get("buckets").unwrap_or(&JsonValue::Null),
+                "histogram buckets",
+            )?
+            .iter()
+            .map(|v| want_u64(v, "histogram bucket"))
+            .collect::<Result<Vec<u64>, JsonError>>()?;
+            if buckets.len() != bounds.len() + 1 {
+                return Err(JsonError {
+                    message: "histogram entry: buckets must have bounds+1 slots".to_string(),
+                    offset: 0,
+                });
+            }
+            let count = want_u64(
+                entry.get("count").unwrap_or(&JsonValue::Null),
+                "histogram count",
+            )?;
+            let sum = want_f64(
+                entry.get("sum").unwrap_or(&JsonValue::Null),
+                "histogram sum",
+            )?;
+            snap.histograms.insert(
+                key,
+                HistogramSnapshot {
+                    bounds,
+                    buckets,
+                    count,
+                    sum,
+                },
+            );
+        }
+    }
+    Ok(snap)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::{Registry, LATENCY_BUCKETS_S};
+
+    fn sample_snapshot() -> Snapshot {
+        let r = Registry::new();
+        r.counter_with(
+            "dpz_bytes_in_total",
+            &[("codec", "dpz"), ("op", "compress")],
+        )
+        .add(4096);
+        r.counter_with(
+            "dpz_bytes_out_total",
+            &[("codec", "dpz"), ("op", "compress")],
+        )
+        .add(512);
+        r.gauge("dpz_k_selected").set(7.0);
+        r.gauge("dpz_tve_achieved").set(0.999);
+        let h = r.histogram_with(
+            "dpz_stage_seconds",
+            &[("stage", "pca")],
+            &[0.001, 0.01, 0.1, 1.0],
+        );
+        h.observe(0.004);
+        h.observe(0.03);
+        h.observe(0.03);
+        r.snapshot()
+    }
+
+    #[test]
+    fn prometheus_exposition_shape() {
+        let text = to_prometheus(&sample_snapshot());
+        assert!(text.contains("# TYPE dpz_bytes_in_total counter"));
+        assert!(text.contains("dpz_bytes_in_total{codec=\"dpz\",op=\"compress\"} 4096"));
+        assert!(text.contains("# TYPE dpz_k_selected gauge"));
+        assert!(text.contains("dpz_k_selected 7"));
+        assert!(text.contains("# TYPE dpz_stage_seconds histogram"));
+        // Cumulative le buckets: 0 <= 0.001, 1 <= 0.01, 3 <= 0.1, 3 <= 1, 3 total.
+        assert!(text.contains("dpz_stage_seconds_bucket{stage=\"pca\",le=\"0.001\"} 0"));
+        assert!(text.contains("dpz_stage_seconds_bucket{stage=\"pca\",le=\"0.01\"} 1"));
+        assert!(text.contains("dpz_stage_seconds_bucket{stage=\"pca\",le=\"0.1\"} 3"));
+        assert!(text.contains("dpz_stage_seconds_bucket{stage=\"pca\",le=\"+Inf\"} 3"));
+        assert!(text.contains("dpz_stage_seconds_count{stage=\"pca\"} 3"));
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let snap = sample_snapshot();
+        let parsed = from_json(&to_json(&snap)).expect("round-trip parse");
+        assert_eq!(parsed, snap);
+    }
+
+    #[test]
+    fn json_round_trips_latency_buckets() {
+        let r = Registry::new();
+        let h = r.histogram("dpz_span_seconds", &LATENCY_BUCKETS_S);
+        for v in [1e-7, 3e-4, 0.2, 40.0] {
+            h.observe(v);
+        }
+        let snap = r.snapshot();
+        assert_eq!(from_json(&to_json(&snap)).unwrap(), snap);
+    }
+
+    #[test]
+    fn json_rejects_malformed_documents() {
+        assert!(from_json("{").is_err());
+        assert!(from_json("[]").is_err());
+        assert!(from_json("{\"counters\": [{\"labels\": {}}]}").is_err());
+        assert!(from_json("{} trailing").is_err());
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        let r = Registry::new();
+        r.counter_with("c_total", &[("path", "a\"b\\c")]).inc();
+        let snap = r.snapshot();
+        assert!(to_prometheus(&snap).contains("c_total{path=\"a\\\"b\\\\c\"} 1"));
+        assert_eq!(from_json(&to_json(&snap)).unwrap(), snap);
+    }
+}

@@ -1,0 +1,55 @@
+//! # dpz-telemetry
+//!
+//! Zero-dependency observability for the DPZ compression pipeline: span
+//! tracing, a global metrics registry, and Prometheus/JSON exporters.
+//!
+//! ## Spans
+//!
+//! Wrap a region in a [`span!`] guard and its wall-clock duration lands in
+//! the `dpz_span_seconds{span="<path>"}` histogram of the [global
+//! registry](registry::global). Spans nest per thread into dotted paths:
+//!
+//! ```
+//! let _compress = dpz_telemetry::span!("compress");
+//! {
+//!     let _pca = dpz_telemetry::span!("stage2.pca"); // path: compress.stage2.pca
+//! }
+//! ```
+//!
+//! Setting `DPZ_TRACE=1` (or calling [`set_trace`]`(true)`, which the CLI's
+//! `--verbose` flag does) prints every span close to stderr.
+//!
+//! ## Metrics
+//!
+//! [`registry::global`] hands out named, labeled [`Counter`]s, [`Gauge`]s
+//! and [`Histogram`]s that any thread can bump lock-free. A [`Snapshot`]
+//! copies the whole registry at a point in time; [`Snapshot::since`] yields
+//! the delta between two snapshots (how the bench harness attributes
+//! activity to a single run).
+//!
+//! ## Export
+//!
+//! [`to_prometheus`] renders a snapshot in the Prometheus text exposition
+//! format; [`to_json`] / [`from_json`] round-trip it through JSON.
+
+pub mod export;
+pub mod registry;
+pub mod snapshot;
+pub mod span;
+
+pub use export::{from_json, to_json, to_prometheus, JsonError};
+pub use registry::{global, Counter, Gauge, Histogram, Key, Registry, LATENCY_BUCKETS_S};
+pub use snapshot::{HistogramSnapshot, Snapshot};
+pub use span::{set_trace, trace_enabled, Span};
+
+/// Open a timed [`Span`]; bind it to keep the region alive:
+///
+/// ```
+/// let _span = dpz_telemetry::span!("stage3.quantize");
+/// ```
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        $crate::span::span($name)
+    };
+}

@@ -1,0 +1,183 @@
+//! Point-in-time copies of the registry, plus delta arithmetic.
+//!
+//! A [`Snapshot`] is a plain-data view over every instrument at one moment.
+//! Snapshots are what the exporters consume and what the bench harness
+//! stores per run; [`Snapshot::since`] turns two cumulative snapshots into
+//! the activity between them.
+
+use crate::registry::Key;
+use std::collections::BTreeMap;
+
+/// Plain-data copy of one histogram.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Finite bucket upper bounds, strictly increasing.
+    pub bounds: Vec<f64>,
+    /// Per-bucket counts, one slot per bound plus a trailing `+Inf` slot.
+    /// These are *non*-cumulative; use [`cumulative`](Self::cumulative) for
+    /// the Prometheus `le` form.
+    pub buckets: Vec<u64>,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of observed values.
+    pub sum: f64,
+}
+
+impl HistogramSnapshot {
+    /// Running totals over the buckets — the cumulative counts Prometheus
+    /// expects against each `le` bound (the final entry equals `count`).
+    pub fn cumulative(&self) -> Vec<u64> {
+        let mut total = 0u64;
+        self.buckets
+            .iter()
+            .map(|&b| {
+                total += b;
+                total
+            })
+            .collect()
+    }
+
+    /// Observations recorded between `earlier` and `self`.
+    ///
+    /// Both snapshots must describe the same bucket layout; saturating
+    /// subtraction keeps a reset-in-between from underflowing.
+    pub fn since(&self, earlier: &HistogramSnapshot) -> HistogramSnapshot {
+        debug_assert_eq!(self.bounds, earlier.bounds, "mismatched histogram layouts");
+        HistogramSnapshot {
+            bounds: self.bounds.clone(),
+            buckets: self
+                .buckets
+                .iter()
+                .zip(&earlier.buckets)
+                .map(|(&now, &then)| now.saturating_sub(then))
+                .collect(),
+            count: self.count.saturating_sub(earlier.count),
+            sum: self.sum - earlier.sum,
+        }
+    }
+
+    /// Mean observed value, or 0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+}
+
+/// Point-in-time copy of a whole [`Registry`](crate::registry::Registry).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Snapshot {
+    /// Counter values by key.
+    pub counters: BTreeMap<Key, u64>,
+    /// Gauge values by key.
+    pub gauges: BTreeMap<Key, f64>,
+    /// Histogram states by key.
+    pub histograms: BTreeMap<Key, HistogramSnapshot>,
+}
+
+impl Snapshot {
+    /// Counter value, or `None` if the series does not exist.
+    pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> Option<u64> {
+        self.counters.get(&Key::new(name, labels)).copied()
+    }
+
+    /// Gauge value, or `None` if the series does not exist.
+    pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> Option<f64> {
+        self.gauges.get(&Key::new(name, labels)).copied()
+    }
+
+    /// Histogram state, or `None` if the series does not exist.
+    pub fn histogram(&self, name: &str, labels: &[(&str, &str)]) -> Option<&HistogramSnapshot> {
+        self.histograms.get(&Key::new(name, labels))
+    }
+
+    /// True when no instrument has been registered.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Activity between `earlier` and `self`.
+    ///
+    /// Counters and histograms are subtracted (series absent from `earlier`
+    /// count from zero; series absent from `self` are dropped). Gauges are
+    /// last-value instruments, so the newer value is kept as-is.
+    pub fn since(&self, earlier: &Snapshot) -> Snapshot {
+        Snapshot {
+            counters: self
+                .counters
+                .iter()
+                .map(|(k, &now)| {
+                    let then = earlier.counters.get(k).copied().unwrap_or(0);
+                    (k.clone(), now.saturating_sub(then))
+                })
+                .collect(),
+            gauges: self.gauges.clone(),
+            histograms: self
+                .histograms
+                .iter()
+                .map(|(k, now)| {
+                    let delta = match earlier.histograms.get(k) {
+                        Some(then) if then.bounds == now.bounds => now.since(then),
+                        _ => now.clone(),
+                    };
+                    (k.clone(), delta)
+                })
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Registry;
+
+    #[test]
+    fn cumulative_runs_to_count() {
+        let h = HistogramSnapshot {
+            bounds: vec![1.0, 2.0],
+            buckets: vec![3, 1, 2],
+            count: 6,
+            sum: 9.0,
+        };
+        assert_eq!(h.cumulative(), vec![3, 4, 6]);
+        assert_eq!(*h.cumulative().last().unwrap(), h.count);
+    }
+
+    #[test]
+    fn since_subtracts_counters_and_histograms_keeps_gauges() {
+        let r = Registry::new();
+        r.counter("c_total").add(5);
+        r.gauge("g").set(1.0);
+        r.histogram("h", &[1.0]).observe(0.5);
+        let before = r.snapshot();
+
+        r.counter("c_total").add(2);
+        r.counter("new_total").inc();
+        r.gauge("g").set(42.0);
+        r.histogram("h", &[1.0]).observe(3.0);
+        let after = r.snapshot();
+
+        let delta = after.since(&before);
+        assert_eq!(delta.counter("c_total", &[]), Some(2));
+        assert_eq!(delta.counter("new_total", &[]), Some(1));
+        assert_eq!(delta.gauge("g", &[]), Some(42.0));
+        let h = delta.histogram("h", &[]).unwrap();
+        assert_eq!(h.count, 1);
+        assert_eq!(h.buckets, vec![0, 1]);
+        assert!((h.sum - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_handles_empty() {
+        let h = HistogramSnapshot {
+            bounds: vec![],
+            buckets: vec![0],
+            count: 0,
+            sum: 0.0,
+        };
+        assert_eq!(h.mean(), 0.0);
+    }
+}

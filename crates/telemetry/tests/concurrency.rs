@@ -1,0 +1,47 @@
+//! Instruments must not lose updates under parallel load. These tests bump
+//! shared counters/histograms from rayon worker threads and check exact
+//! totals afterwards.
+
+use dpz_telemetry::Registry;
+use rayon::prelude::*;
+
+#[test]
+fn concurrent_counter_increments_are_lossless() {
+    let r = Registry::new();
+    let c = r.counter("hits_total");
+    let items: Vec<u32> = (0..10_000).collect();
+    items.par_iter().for_each(|_| c.inc());
+    assert_eq!(c.get(), 10_000);
+}
+
+#[test]
+fn concurrent_registry_lookups_hit_one_series() {
+    // Resolve the handle inside the worker, so the registry's read/write
+    // locking is exercised along with the increment itself.
+    let r = Registry::new();
+    let items: Vec<u32> = (0..4_096).collect();
+    items
+        .par_iter()
+        .for_each(|_| r.counter_with("lookups_total", &[("codec", "dpz")]).add(2));
+    assert_eq!(
+        r.counter_with("lookups_total", &[("codec", "dpz")]).get(),
+        8_192
+    );
+}
+
+#[test]
+fn concurrent_histogram_observations_keep_exact_sum() {
+    let r = Registry::new();
+    let h = r.histogram("lat_seconds", &[0.5]);
+    let items: Vec<usize> = (0..8_192).collect();
+    // 0.25 and 1.0 are exactly representable, so the CAS-looped f64 sum must
+    // come out exact regardless of addition order.
+    items
+        .par_iter()
+        .for_each(|&i| h.observe(if i % 2 == 0 { 0.25 } else { 1.0 }));
+    assert_eq!(h.count(), 8_192);
+    assert_eq!(h.sum(), 4_096.0 * 0.25 + 4_096.0);
+    let snap = r.snapshot();
+    let hs = snap.histogram("lat_seconds", &[]).unwrap();
+    assert_eq!(hs.buckets, vec![4_096, 4_096]);
+}

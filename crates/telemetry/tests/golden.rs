@@ -1,0 +1,71 @@
+//! Golden-file tests for both exporters: a fixed snapshot must render
+//! byte-for-byte identically to the checked-in expectations.
+//!
+//! To regenerate after an intentional format change:
+//! `DPZ_REGEN_GOLDEN=1 cargo test -p dpz-telemetry --test golden`
+//! (then re-run without the variable to confirm).
+
+use dpz_telemetry::{from_json, to_json, to_prometheus, Registry, Snapshot};
+
+fn sample() -> Snapshot {
+    let r = Registry::new();
+    r.counter_with(
+        "dpz_bytes_in_total",
+        &[("codec", "dpz"), ("op", "compress")],
+    )
+    .add(1_048_576);
+    r.counter_with(
+        "dpz_bytes_out_total",
+        &[("codec", "dpz"), ("op", "compress")],
+    )
+    .add(65_536);
+    r.counter("dpz_compressions_total").inc();
+    r.gauge("dpz_k_selected").set(7.0);
+    r.gauge("dpz_tve_achieved").set(0.999);
+    let h = r.histogram_with(
+        "dpz_stage_seconds",
+        &[("stage", "pca")],
+        &[0.001, 0.01, 0.1, 1.0],
+    );
+    // Exactly representable values keep the golden sum byte-stable.
+    for v in [0.25, 0.5, 4.0] {
+        h.observe(v);
+    }
+    r.snapshot()
+}
+
+fn check_golden(rel_path: &str, got: &str, expected: &str) {
+    if std::env::var_os("DPZ_REGEN_GOLDEN").is_some() {
+        let path = format!("{}/{rel_path}", env!("CARGO_MANIFEST_DIR"));
+        std::fs::write(&path, got).expect("write golden file");
+        return;
+    }
+    assert_eq!(
+        got, expected,
+        "{rel_path} is stale; see the regen note in this test file"
+    );
+}
+
+#[test]
+fn prometheus_export_matches_golden() {
+    check_golden(
+        "tests/golden/sample.prom",
+        &to_prometheus(&sample()),
+        include_str!("golden/sample.prom"),
+    );
+}
+
+#[test]
+fn json_export_matches_golden() {
+    check_golden(
+        "tests/golden/sample.json",
+        &to_json(&sample()),
+        include_str!("golden/sample.json"),
+    );
+}
+
+#[test]
+fn golden_json_parses_back_to_the_sample() {
+    let parsed = from_json(include_str!("golden/sample.json")).expect("golden JSON parses");
+    assert_eq!(parsed, sample());
+}

@@ -15,10 +15,16 @@ pub struct BlockLayout {
 impl BlockLayout {
     /// Build a layout over `dims` (1-3 dimensions, all non-zero).
     pub fn new(dims: &[usize]) -> BlockLayout {
-        assert!((1..=3).contains(&dims.len()), "ZFP supports 1-3 dimensions here");
+        assert!(
+            (1..=3).contains(&dims.len()),
+            "ZFP supports 1-3 dimensions here"
+        );
         assert!(dims.iter().all(|&d| d > 0), "zero-sized dimension");
         let blocks = dims.iter().map(|&d| d.div_ceil(SIDE)).collect();
-        BlockLayout { dims: dims.to_vec(), blocks }
+        BlockLayout {
+            dims: dims.to_vec(),
+            blocks,
+        }
     }
 
     /// Dimensionality (1, 2 or 3).
@@ -92,8 +98,7 @@ impl BlockLayout {
                         let y = (bc[1] * SIDE + j).min(d1 - 1);
                         for k in 0..SIDE {
                             let z = (bc[2] * SIDE + k).min(d2 - 1);
-                            out[(i * SIDE + j) * SIDE + k] =
-                                f64::from(data[(x * d1 + y) * d2 + z]);
+                            out[(i * SIDE + j) * SIDE + k] = f64::from(data[(x * d1 + y) * d2 + z]);
                         }
                     }
                 }

@@ -38,7 +38,11 @@ fn uint2int(u: u32) -> i64 {
 
 /// Write the low `count` bits of `x` (count <= 64); higher bits are ignored.
 fn write_bits64(w: &mut BitWriter, x: u64, count: usize) {
-    let x = if count >= 64 { x } else { x & ((1u64 << count) - 1) };
+    let x = if count >= 64 {
+        x
+    } else {
+        x & ((1u64 << count) - 1)
+    };
     if count <= 32 {
         w.write_bits(x as u32, count as u32);
     } else {
@@ -200,8 +204,13 @@ fn block_bit_budget(mode: ZfpMode, block_len: usize) -> Option<u64> {
 
 /// Compress `data` with shape `dims` under `mode`.
 pub fn compress(data: &[f32], dims: &[usize], mode: ZfpMode) -> Vec<u8> {
+    let _span = dpz_telemetry::span!("zfp.compress");
     let layout = BlockLayout::new(dims);
-    assert_eq!(layout.n_values(), data.len(), "dims do not match data length");
+    assert_eq!(
+        layout.n_values(),
+        data.len(),
+        "dims do not match data length"
+    );
     match mode {
         ZfpMode::FixedAccuracy(tol) => {
             assert!(tol > 0.0 && tol.is_finite(), "tolerance must be positive")
@@ -242,10 +251,8 @@ pub fn compress(data: &[f32], dims: &[usize], mode: ZfpMode) -> Vec<u8> {
                     w.write_bits((e + EXP_BIAS) as u32, 16);
                     to_fixed(&fblock, e, &mut iblock);
                     fwd_transform(&mut iblock, ndims);
-                    let ublock: Vec<u32> =
-                        order.iter().map(|&i| int2uint(iblock[i])).collect();
-                    let payload_budget =
-                        rate_budget.map_or(u64::MAX, |t| t - BLOCK_HEADER_BITS);
+                    let ublock: Vec<u32> = order.iter().map(|&i| int2uint(iblock[i])).collect();
+                    let payload_budget = rate_budget.map_or(u64::MAX, |t| t - BLOCK_HEADER_BITS);
                     let used = encode_ints(&mut w, &ublock, maxprec, payload_budget);
                     if let Some(total) = rate_budget {
                         pad = total - BLOCK_HEADER_BITS - used;
@@ -286,12 +293,28 @@ pub fn compress(data: &[f32], dims: &[usize], mode: ZfpMode) -> Vec<u8> {
     }
     out.extend_from_slice(&(bitstream.len() as u64).to_le_bytes());
     out.extend_from_slice(&bitstream);
+
+    let reg = dpz_telemetry::global();
+    let labels = [("codec", "zfp"), ("op", "compress")];
+    reg.counter_with("dpz_bytes_in_total", &labels)
+        .add(data.len() as u64 * 4);
+    reg.counter_with("dpz_bytes_out_total", &labels)
+        .add(out.len() as u64);
+    reg.counter_with("dpz_blocks_total", &[("codec", "zfp")])
+        .add(layout.n_blocks() as u64);
     out
 }
 
 /// Decompress a ZFP stream, returning values and dimensions.
 pub fn decompress(bytes: &[u8]) -> Result<(Vec<f32>, Vec<usize>), ZfpError> {
-    let need = |ok: bool| if ok { Ok(()) } else { Err(ZfpError::Corrupt("truncated header")) };
+    let _span = dpz_telemetry::span!("zfp.decompress");
+    let need = |ok: bool| {
+        if ok {
+            Ok(())
+        } else {
+            Err(ZfpError::Corrupt("truncated header"))
+        }
+    };
     need(bytes.len() >= 5)?;
     if &bytes[..4] != MAGIC {
         return Err(ZfpError::Corrupt("bad magic"));
@@ -348,11 +371,27 @@ pub fn decompress(bytes: &[u8]) -> Result<(Vec<f32>, Vec<usize>), ZfpError> {
     need(bytes.len() >= pos + bits_len)?;
     let bitstream = &bytes[pos..pos + bits_len];
 
+    // Sanity-check the claimed dimensions against the payload before
+    // allocating: every block consumes at least one bit (its nonzero flag),
+    // so a header whose block count exceeds the bitstream's bit count is
+    // corrupt. Checked arithmetic also rejects dims whose product overflows.
+    let n_values = dims
+        .iter()
+        .try_fold(1usize, |acc, &d| acc.checked_mul(d))
+        .ok_or(ZfpError::Corrupt("implausible dimensions"))?;
+    let n_blocks = dims
+        .iter()
+        .try_fold(1usize, |acc, &d| acc.checked_mul(d.div_ceil(4)))
+        .ok_or(ZfpError::Corrupt("implausible dimensions"))?;
+    if n_blocks > bitstream.len().saturating_mul(8) {
+        return Err(ZfpError::Corrupt("dimensions exceed bitstream capacity"));
+    }
+
     let layout = BlockLayout::new(&dims);
     let order = sequency_order(ndims);
     let bl = layout.block_len();
     let mut r = BitReader::new(bitstream);
-    let mut out = vec![0.0f32; layout.n_values()];
+    let mut out = vec![0.0f32; n_values];
     let mut fblock = vec![0.0f64; bl];
     let mut iblock = vec![0i64; bl];
     let rate_budget = block_bit_budget(mode, bl);
@@ -390,6 +429,12 @@ pub fn decompress(bytes: &[u8]) -> Result<(Vec<f32>, Vec<usize>), ZfpError> {
         }
         layout.scatter(&fblock, b, &mut out);
     }
+    let reg = dpz_telemetry::global();
+    let labels = [("codec", "zfp"), ("op", "decompress")];
+    reg.counter_with("dpz_bytes_in_total", &labels)
+        .add(bytes.len() as u64);
+    reg.counter_with("dpz_bytes_out_total", &labels)
+        .add(out.len() as u64 * 4);
     Ok((out, dims))
 }
 

@@ -196,7 +196,11 @@ pub fn to_fixed(block: &[f64], e: i32, out: &mut [i64]) {
     let scale = (FRAC_BITS - e) as f64;
     let factor = scale.exp2();
     for (o, &v) in out.iter_mut().zip(block) {
-        *o = if v.is_finite() { (v * factor).round() as i64 } else { 0 };
+        *o = if v.is_finite() {
+            (v * factor).round() as i64
+        } else {
+            0
+        };
     }
 }
 
@@ -225,7 +229,11 @@ mod tests {
     }
 
     fn max_diff(a: &[i64], b: &[i64]) -> i64 {
-        a.iter().zip(b).map(|(x, y)| (x - y).abs()).max().unwrap_or(0)
+        a.iter()
+            .zip(b)
+            .map(|(x, y)| (x - y).abs())
+            .max()
+            .unwrap_or(0)
     }
 
     #[test]
@@ -237,7 +245,10 @@ mod tests {
             let mut buf = original.clone();
             fwd_lift(&mut buf, 0, 1);
             inv_lift(&mut buf, 0, 1);
-            assert!(max_diff(&buf, &original) <= 4, "seed {seed}: {buf:?} vs {original:?}");
+            assert!(
+                max_diff(&buf, &original) <= 4,
+                "seed {seed}: {buf:?} vs {original:?}"
+            );
         }
     }
 
@@ -317,7 +328,10 @@ mod tests {
         let mut back = vec![0.0f64; 4];
         from_fixed(&fixed, e, &mut back);
         for (a, b) in block.iter().zip(&back) {
-            assert!((a - b).abs() <= 100.0 * 2.0f64.powi(-FRAC_BITS), "{a} vs {b}");
+            assert!(
+                (a - b).abs() <= 100.0 * 2.0f64.powi(-FRAC_BITS),
+                "{a} vs {b}"
+            );
         }
     }
 

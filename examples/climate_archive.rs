@@ -28,7 +28,10 @@ fn main() {
         DatasetKind::Fldsc,
     ];
     println!("climate archive: best compressor per field at >= {QUALITY_FLOOR_DB} dB PSNR\n");
-    println!("{:<8} {:<22} {:>8} {:>10} {:>10}", "field", "winner", "CR", "bits/val", "PSNR dB");
+    println!(
+        "{:<8} {:<22} {:>8} {:>10} {:>10}",
+        "field", "winner", "CR", "bits/val", "PSNR dB"
+    );
 
     let mut total_orig = 0usize;
     let mut total_best = 0.0f64;

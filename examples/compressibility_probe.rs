@@ -21,7 +21,10 @@ fn main() {
         // Probe (cheap): decompose + DCT + sampled estimate.
         let shape = decompose::choose_shape(ds.len());
         let coeffs = decompose::dct_blocks(&decompose::to_blocks(&ds.data, shape));
-        let strat = SamplingStrategy { tve: TveLevel::FiveNines.fraction(), ..Default::default() };
+        let strat = SamplingStrategy {
+            tve: TveLevel::FiveNines.fraction(),
+            ..Default::default()
+        };
         let est = match strat.estimate(&coeffs) {
             Ok(e) => e,
             Err(e) => {
@@ -31,7 +34,9 @@ fn main() {
         };
 
         // Compress (expensive) only to validate the prediction here.
-        let cfg = DpzConfig::loose().with_tve(TveLevel::FiveNines).with_sampling(true);
+        let cfg = DpzConfig::loose()
+            .with_tve(TveLevel::FiveNines)
+            .with_sampling(true);
         let actual = dpz::core::compress(&ds.data, &ds.dims, &cfg)
             .map(|o| o.stats.cr_total)
             .unwrap_or(f64::NAN);

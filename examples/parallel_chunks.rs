@@ -34,14 +34,18 @@ fn main() {
 
     // Parallel slabs through the chunked API.
     let t = Instant::now();
-    let chunked =
-        dpz::core::compress_chunked(&ds.data, &ds.dims, &cfg, SLABS).expect("chunked");
+    let chunked = dpz::core::compress_chunked(&ds.data, &ds.dims, &cfg, SLABS).expect("chunked");
     let t_par = t.elapsed();
 
     // Random access: decode just the middle slab.
-    let (slab, slab_dims) =
-        dpz::core::decompress_chunk(&chunked.bytes, SLABS / 2).expect("slab");
-    println!("random access: slab {} of {} -> {:?} ({} values)", SLABS / 2, SLABS, slab_dims, slab.len());
+    let (slab, slab_dims) = dpz::core::decompress_chunk(&chunked.bytes, SLABS / 2).expect("slab");
+    println!(
+        "random access: slab {} of {} -> {:?} ({} values)",
+        SLABS / 2,
+        SLABS,
+        slab_dims,
+        slab.len()
+    );
 
     // Full parallel decompression.
     let (restored, _) = dpz::core::decompress_chunked(&chunked.bytes).expect("decompress");

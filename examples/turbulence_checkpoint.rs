@@ -19,7 +19,10 @@ fn main() {
         ds.name, ds.dims[0], range
     );
 
-    for (label, fit) in [("knee-point (1D fit)", FitKind::Interp1d), ("knee-point (polyn fit)", FitKind::Polynomial(7))] {
+    for (label, fit) in [
+        ("knee-point (1D fit)", FitKind::Interp1d),
+        ("knee-point (polyn fit)", FitKind::Polynomial(7)),
+    ] {
         let cfg = DpzConfig::strict().with_selection(KSelection::KneePoint(fit));
         let out = dpz::core::compress(&ds.data, &ds.dims, &cfg).expect("compress");
         let (restart, _) = dpz::core::decompress(&out.bytes).expect("decompress");
@@ -34,7 +37,11 @@ fn main() {
             report.psnr,
             report.max_abs_error,
             100.0 * report.max_abs_error / range,
-            if ok { "ACCEPTED" } else { "REJECTED (fall back to a TVE level)" }
+            if ok {
+                "ACCEPTED"
+            } else {
+                "REJECTED (fall back to a TVE level)"
+            }
         );
     }
 

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_block_shape-14a7a57c18b28a71.d: crates/bench/src/bin/ablation_block_shape.rs
+
+/root/repo/target/debug/deps/ablation_block_shape-14a7a57c18b28a71: crates/bench/src/bin/ablation_block_shape.rs
+
+crates/bench/src/bin/ablation_block_shape.rs:

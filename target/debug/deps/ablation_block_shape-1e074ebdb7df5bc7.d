@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_block_shape-1e074ebdb7df5bc7.d: crates/bench/src/bin/ablation_block_shape.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_block_shape-1e074ebdb7df5bc7.rmeta: crates/bench/src/bin/ablation_block_shape.rs Cargo.toml
+
+crates/bench/src/bin/ablation_block_shape.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

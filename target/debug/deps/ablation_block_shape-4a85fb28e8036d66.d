@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_block_shape-4a85fb28e8036d66.d: crates/bench/src/bin/ablation_block_shape.rs
+
+/root/repo/target/debug/deps/ablation_block_shape-4a85fb28e8036d66: crates/bench/src/bin/ablation_block_shape.rs
+
+crates/bench/src/bin/ablation_block_shape.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_block_shape-5a19a546457dbfbb.d: crates/bench/src/bin/ablation_block_shape.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_block_shape-5a19a546457dbfbb.rmeta: crates/bench/src/bin/ablation_block_shape.rs Cargo.toml
+
+crates/bench/src/bin/ablation_block_shape.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_dct_truncation-8320add543e6eda1.d: crates/bench/src/bin/ablation_dct_truncation.rs
+
+/root/repo/target/debug/deps/ablation_dct_truncation-8320add543e6eda1: crates/bench/src/bin/ablation_dct_truncation.rs
+
+crates/bench/src/bin/ablation_dct_truncation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_dct_truncation-b578d083aa1711fb.d: crates/bench/src/bin/ablation_dct_truncation.rs
+
+/root/repo/target/debug/deps/ablation_dct_truncation-b578d083aa1711fb: crates/bench/src/bin/ablation_dct_truncation.rs
+
+crates/bench/src/bin/ablation_dct_truncation.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_dct_truncation-ccf997b4e47b0b8a.d: crates/bench/src/bin/ablation_dct_truncation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_dct_truncation-ccf997b4e47b0b8a.rmeta: crates/bench/src/bin/ablation_dct_truncation.rs Cargo.toml
+
+crates/bench/src/bin/ablation_dct_truncation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

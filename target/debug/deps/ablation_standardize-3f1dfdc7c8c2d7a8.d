@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_standardize-3f1dfdc7c8c2d7a8.d: crates/bench/src/bin/ablation_standardize.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_standardize-3f1dfdc7c8c2d7a8.rmeta: crates/bench/src/bin/ablation_standardize.rs Cargo.toml
+
+crates/bench/src/bin/ablation_standardize.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

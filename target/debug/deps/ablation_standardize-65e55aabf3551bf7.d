@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_standardize-65e55aabf3551bf7.d: crates/bench/src/bin/ablation_standardize.rs
+
+/root/repo/target/debug/deps/ablation_standardize-65e55aabf3551bf7: crates/bench/src/bin/ablation_standardize.rs
+
+crates/bench/src/bin/ablation_standardize.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_standardize-7d4d4e6a7bd18247.d: crates/bench/src/bin/ablation_standardize.rs
+
+/root/repo/target/debug/deps/ablation_standardize-7d4d4e6a7bd18247: crates/bench/src/bin/ablation_standardize.rs
+
+crates/bench/src/bin/ablation_standardize.rs:

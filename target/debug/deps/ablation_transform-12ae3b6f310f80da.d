@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_transform-12ae3b6f310f80da.d: crates/bench/src/bin/ablation_transform.rs
+
+/root/repo/target/debug/deps/ablation_transform-12ae3b6f310f80da: crates/bench/src/bin/ablation_transform.rs
+
+crates/bench/src/bin/ablation_transform.rs:

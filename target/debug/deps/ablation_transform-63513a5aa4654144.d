@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_transform-63513a5aa4654144.d: crates/bench/src/bin/ablation_transform.rs
+
+/root/repo/target/debug/deps/ablation_transform-63513a5aa4654144: crates/bench/src/bin/ablation_transform.rs
+
+crates/bench/src/bin/ablation_transform.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_transform-cb50700843e9a09c.d: crates/bench/src/bin/ablation_transform.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_transform-cb50700843e9a09c.rmeta: crates/bench/src/bin/ablation_transform.rs Cargo.toml
+
+crates/bench/src/bin/ablation_transform.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

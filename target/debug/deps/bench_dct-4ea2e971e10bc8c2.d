@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_dct-4ea2e971e10bc8c2.d: crates/bench/benches/bench_dct.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_dct-4ea2e971e10bc8c2.rmeta: crates/bench/benches/bench_dct.rs Cargo.toml
+
+crates/bench/benches/bench_dct.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

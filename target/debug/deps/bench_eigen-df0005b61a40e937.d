@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_eigen-df0005b61a40e937.d: crates/bench/benches/bench_eigen.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_eigen-df0005b61a40e937.rmeta: crates/bench/benches/bench_eigen.rs Cargo.toml
+
+crates/bench/benches/bench_eigen.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_quantizer-caf08ca63e9ba5ce.d: crates/bench/benches/bench_quantizer.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_quantizer-caf08ca63e9ba5ce.rmeta: crates/bench/benches/bench_quantizer.rs Cargo.toml
+
+crates/bench/benches/bench_quantizer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/concurrency-4253fabcabae8a89.d: crates/telemetry/tests/concurrency.rs
+
+/root/repo/target/debug/deps/concurrency-4253fabcabae8a89: crates/telemetry/tests/concurrency.rs
+
+crates/telemetry/tests/concurrency.rs:

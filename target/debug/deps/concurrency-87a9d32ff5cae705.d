@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/concurrency-87a9d32ff5cae705.d: crates/telemetry/tests/concurrency.rs Cargo.toml
+
+/root/repo/target/debug/deps/libconcurrency-87a9d32ff5cae705.rmeta: crates/telemetry/tests/concurrency.rs Cargo.toml
+
+crates/telemetry/tests/concurrency.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cross_compressor-269a9ad024390358.d: tests/cross_compressor.rs
+
+/root/repo/target/debug/deps/cross_compressor-269a9ad024390358: tests/cross_compressor.rs
+
+tests/cross_compressor.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cross_compressor-46200298ee9dc541.d: tests/cross_compressor.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcross_compressor-46200298ee9dc541.rmeta: tests/cross_compressor.rs Cargo.toml
+
+tests/cross_compressor.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cross_compressor-8938d766f0da9d6d.d: tests/cross_compressor.rs
+
+/root/repo/target/debug/deps/cross_compressor-8938d766f0da9d6d: tests/cross_compressor.rs
+
+tests/cross_compressor.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dataset_stats-8cba42c1ac238d61.d: crates/bench/src/bin/dataset_stats.rs
+
+/root/repo/target/debug/deps/dataset_stats-8cba42c1ac238d61: crates/bench/src/bin/dataset_stats.rs
+
+crates/bench/src/bin/dataset_stats.rs:

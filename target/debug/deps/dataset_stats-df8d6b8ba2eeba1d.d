@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dataset_stats-df8d6b8ba2eeba1d.d: crates/bench/src/bin/dataset_stats.rs
+
+/root/repo/target/debug/deps/dataset_stats-df8d6b8ba2eeba1d: crates/bench/src/bin/dataset_stats.rs
+
+crates/bench/src/bin/dataset_stats.rs:

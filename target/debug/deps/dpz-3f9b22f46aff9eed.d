@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dpz-3f9b22f46aff9eed.d: crates/cli/src/bin/dpz.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdpz-3f9b22f46aff9eed.rmeta: crates/cli/src/bin/dpz.rs Cargo.toml
+
+crates/cli/src/bin/dpz.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/dpz-4639a07c909c19f0.d: src/lib.rs
+
+/root/repo/target/debug/deps/libdpz-4639a07c909c19f0.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libdpz-4639a07c909c19f0.rmeta: src/lib.rs
+
+src/lib.rs:

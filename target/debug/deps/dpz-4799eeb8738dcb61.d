@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dpz-4799eeb8738dcb61.d: crates/cli/src/bin/dpz.rs
+
+/root/repo/target/debug/deps/dpz-4799eeb8738dcb61: crates/cli/src/bin/dpz.rs
+
+crates/cli/src/bin/dpz.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dpz-47e0738b193eff2a.d: crates/cli/src/bin/dpz.rs
+
+/root/repo/target/debug/deps/dpz-47e0738b193eff2a: crates/cli/src/bin/dpz.rs
+
+crates/cli/src/bin/dpz.rs:

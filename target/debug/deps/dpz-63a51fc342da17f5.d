@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dpz-63a51fc342da17f5.d: src/lib.rs
+
+/root/repo/target/debug/deps/dpz-63a51fc342da17f5: src/lib.rs
+
+src/lib.rs:

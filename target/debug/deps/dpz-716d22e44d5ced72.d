@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dpz-716d22e44d5ced72.d: crates/cli/src/bin/dpz.rs
+
+/root/repo/target/debug/deps/dpz-716d22e44d5ced72: crates/cli/src/bin/dpz.rs
+
+crates/cli/src/bin/dpz.rs:

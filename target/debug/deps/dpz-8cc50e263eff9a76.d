@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dpz-8cc50e263eff9a76.d: src/lib.rs
+
+/root/repo/target/debug/deps/dpz-8cc50e263eff9a76: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/dpz-b31fcde0fcaa5472.d: src/lib.rs
+
+/root/repo/target/debug/deps/libdpz-b31fcde0fcaa5472.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libdpz-b31fcde0fcaa5472.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dpz-fc29550b489c3e7d.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdpz-fc29550b489c3e7d.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dpz-ffeaf2cc77b04b2f.d: crates/cli/src/bin/dpz.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdpz-ffeaf2cc77b04b2f.rmeta: crates/cli/src/bin/dpz.rs Cargo.toml
+
+crates/cli/src/bin/dpz.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/dpz_bench-322c56464b717493.d: crates/bench/src/lib.rs crates/bench/src/harness.rs crates/bench/src/runners.rs
+
+/root/repo/target/debug/deps/dpz_bench-322c56464b717493: crates/bench/src/lib.rs crates/bench/src/harness.rs crates/bench/src/runners.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/harness.rs:
+crates/bench/src/runners.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dpz_bench-53a0b5ed8269b5d5.d: crates/bench/src/lib.rs crates/bench/src/harness.rs crates/bench/src/runners.rs
+
+/root/repo/target/debug/deps/libdpz_bench-53a0b5ed8269b5d5.rlib: crates/bench/src/lib.rs crates/bench/src/harness.rs crates/bench/src/runners.rs
+
+/root/repo/target/debug/deps/libdpz_bench-53a0b5ed8269b5d5.rmeta: crates/bench/src/lib.rs crates/bench/src/harness.rs crates/bench/src/runners.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/harness.rs:
+crates/bench/src/runners.rs:

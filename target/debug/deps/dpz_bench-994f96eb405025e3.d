@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/dpz_bench-994f96eb405025e3.d: crates/bench/src/lib.rs crates/bench/src/harness.rs crates/bench/src/runners.rs
+
+/root/repo/target/debug/deps/dpz_bench-994f96eb405025e3: crates/bench/src/lib.rs crates/bench/src/harness.rs crates/bench/src/runners.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/harness.rs:
+crates/bench/src/runners.rs:

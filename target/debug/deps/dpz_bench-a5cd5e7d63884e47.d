@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/dpz_bench-a5cd5e7d63884e47.d: crates/bench/src/lib.rs crates/bench/src/harness.rs crates/bench/src/runners.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdpz_bench-a5cd5e7d63884e47.rmeta: crates/bench/src/lib.rs crates/bench/src/harness.rs crates/bench/src/runners.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/harness.rs:
+crates/bench/src/runners.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

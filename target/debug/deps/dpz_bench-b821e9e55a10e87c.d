@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dpz_bench-b821e9e55a10e87c.d: crates/bench/src/lib.rs crates/bench/src/harness.rs crates/bench/src/runners.rs
+
+/root/repo/target/debug/deps/libdpz_bench-b821e9e55a10e87c.rlib: crates/bench/src/lib.rs crates/bench/src/harness.rs crates/bench/src/runners.rs
+
+/root/repo/target/debug/deps/libdpz_bench-b821e9e55a10e87c.rmeta: crates/bench/src/lib.rs crates/bench/src/harness.rs crates/bench/src/runners.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/harness.rs:
+crates/bench/src/runners.rs:

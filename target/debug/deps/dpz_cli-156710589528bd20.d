@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dpz_cli-156710589528bd20.d: crates/cli/src/lib.rs
+
+/root/repo/target/debug/deps/dpz_cli-156710589528bd20: crates/cli/src/lib.rs
+
+crates/cli/src/lib.rs:

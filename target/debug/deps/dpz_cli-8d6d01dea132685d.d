@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dpz_cli-8d6d01dea132685d.d: crates/cli/src/lib.rs
+
+/root/repo/target/debug/deps/dpz_cli-8d6d01dea132685d: crates/cli/src/lib.rs
+
+crates/cli/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dpz_cli-a13f69cd0a4754eb.d: crates/cli/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdpz_cli-a13f69cd0a4754eb.rmeta: crates/cli/src/lib.rs Cargo.toml
+
+crates/cli/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/dpz_cli-ad80dc8dcc208b8a.d: crates/cli/src/lib.rs
+
+/root/repo/target/debug/deps/libdpz_cli-ad80dc8dcc208b8a.rlib: crates/cli/src/lib.rs
+
+/root/repo/target/debug/deps/libdpz_cli-ad80dc8dcc208b8a.rmeta: crates/cli/src/lib.rs
+
+crates/cli/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/dpz_cli-c13c09336ee1db2d.d: crates/cli/src/lib.rs
+
+/root/repo/target/debug/deps/libdpz_cli-c13c09336ee1db2d.rlib: crates/cli/src/lib.rs
+
+/root/repo/target/debug/deps/libdpz_cli-c13c09336ee1db2d.rmeta: crates/cli/src/lib.rs
+
+crates/cli/src/lib.rs:

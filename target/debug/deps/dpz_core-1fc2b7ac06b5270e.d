@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/dpz_core-1fc2b7ac06b5270e.d: crates/core/src/lib.rs crates/core/src/chunked.rs crates/core/src/combos.rs crates/core/src/config.rs crates/core/src/container.rs crates/core/src/decompose.rs crates/core/src/kpca.rs crates/core/src/pipeline.rs crates/core/src/quantize.rs crates/core/src/sampling.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdpz_core-1fc2b7ac06b5270e.rmeta: crates/core/src/lib.rs crates/core/src/chunked.rs crates/core/src/combos.rs crates/core/src/config.rs crates/core/src/container.rs crates/core/src/decompose.rs crates/core/src/kpca.rs crates/core/src/pipeline.rs crates/core/src/quantize.rs crates/core/src/sampling.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/chunked.rs:
+crates/core/src/combos.rs:
+crates/core/src/config.rs:
+crates/core/src/container.rs:
+crates/core/src/decompose.rs:
+crates/core/src/kpca.rs:
+crates/core/src/pipeline.rs:
+crates/core/src/quantize.rs:
+crates/core/src/sampling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/dpz_core-db0bd2c7d7f15e56.d: crates/core/src/lib.rs crates/core/src/chunked.rs crates/core/src/combos.rs crates/core/src/config.rs crates/core/src/container.rs crates/core/src/decompose.rs crates/core/src/kpca.rs crates/core/src/pipeline.rs crates/core/src/quantize.rs crates/core/src/sampling.rs
+
+/root/repo/target/debug/deps/libdpz_core-db0bd2c7d7f15e56.rlib: crates/core/src/lib.rs crates/core/src/chunked.rs crates/core/src/combos.rs crates/core/src/config.rs crates/core/src/container.rs crates/core/src/decompose.rs crates/core/src/kpca.rs crates/core/src/pipeline.rs crates/core/src/quantize.rs crates/core/src/sampling.rs
+
+/root/repo/target/debug/deps/libdpz_core-db0bd2c7d7f15e56.rmeta: crates/core/src/lib.rs crates/core/src/chunked.rs crates/core/src/combos.rs crates/core/src/config.rs crates/core/src/container.rs crates/core/src/decompose.rs crates/core/src/kpca.rs crates/core/src/pipeline.rs crates/core/src/quantize.rs crates/core/src/sampling.rs
+
+crates/core/src/lib.rs:
+crates/core/src/chunked.rs:
+crates/core/src/combos.rs:
+crates/core/src/config.rs:
+crates/core/src/container.rs:
+crates/core/src/decompose.rs:
+crates/core/src/kpca.rs:
+crates/core/src/pipeline.rs:
+crates/core/src/quantize.rs:
+crates/core/src/sampling.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/dpz_data-1ff0ca4bfcb54548.d: crates/data/src/lib.rs crates/data/src/dataset.rs crates/data/src/io.rs crates/data/src/metrics.rs crates/data/src/pgm.rs crates/data/src/rng.rs crates/data/src/stats.rs crates/data/src/synthetic.rs
+
+/root/repo/target/debug/deps/dpz_data-1ff0ca4bfcb54548: crates/data/src/lib.rs crates/data/src/dataset.rs crates/data/src/io.rs crates/data/src/metrics.rs crates/data/src/pgm.rs crates/data/src/rng.rs crates/data/src/stats.rs crates/data/src/synthetic.rs
+
+crates/data/src/lib.rs:
+crates/data/src/dataset.rs:
+crates/data/src/io.rs:
+crates/data/src/metrics.rs:
+crates/data/src/pgm.rs:
+crates/data/src/rng.rs:
+crates/data/src/stats.rs:
+crates/data/src/synthetic.rs:

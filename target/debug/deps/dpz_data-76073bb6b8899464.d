@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/dpz_data-76073bb6b8899464.d: crates/data/src/lib.rs crates/data/src/dataset.rs crates/data/src/io.rs crates/data/src/metrics.rs crates/data/src/pgm.rs crates/data/src/rng.rs crates/data/src/stats.rs crates/data/src/synthetic.rs
+
+/root/repo/target/debug/deps/libdpz_data-76073bb6b8899464.rlib: crates/data/src/lib.rs crates/data/src/dataset.rs crates/data/src/io.rs crates/data/src/metrics.rs crates/data/src/pgm.rs crates/data/src/rng.rs crates/data/src/stats.rs crates/data/src/synthetic.rs
+
+/root/repo/target/debug/deps/libdpz_data-76073bb6b8899464.rmeta: crates/data/src/lib.rs crates/data/src/dataset.rs crates/data/src/io.rs crates/data/src/metrics.rs crates/data/src/pgm.rs crates/data/src/rng.rs crates/data/src/stats.rs crates/data/src/synthetic.rs
+
+crates/data/src/lib.rs:
+crates/data/src/dataset.rs:
+crates/data/src/io.rs:
+crates/data/src/metrics.rs:
+crates/data/src/pgm.rs:
+crates/data/src/rng.rs:
+crates/data/src/stats.rs:
+crates/data/src/synthetic.rs:

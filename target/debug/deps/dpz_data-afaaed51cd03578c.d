@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/dpz_data-afaaed51cd03578c.d: crates/data/src/lib.rs crates/data/src/dataset.rs crates/data/src/io.rs crates/data/src/metrics.rs crates/data/src/pgm.rs crates/data/src/rng.rs crates/data/src/stats.rs crates/data/src/synthetic.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdpz_data-afaaed51cd03578c.rmeta: crates/data/src/lib.rs crates/data/src/dataset.rs crates/data/src/io.rs crates/data/src/metrics.rs crates/data/src/pgm.rs crates/data/src/rng.rs crates/data/src/stats.rs crates/data/src/synthetic.rs Cargo.toml
+
+crates/data/src/lib.rs:
+crates/data/src/dataset.rs:
+crates/data/src/io.rs:
+crates/data/src/metrics.rs:
+crates/data/src/pgm.rs:
+crates/data/src/rng.rs:
+crates/data/src/stats.rs:
+crates/data/src/synthetic.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/dpz_deflate-08b8b94803ec0465.d: crates/deflate/src/lib.rs crates/deflate/src/bitio.rs crates/deflate/src/deflate.rs crates/deflate/src/huffman.rs crates/deflate/src/inflate.rs crates/deflate/src/lz77.rs crates/deflate/src/zlib.rs
+
+/root/repo/target/debug/deps/libdpz_deflate-08b8b94803ec0465.rlib: crates/deflate/src/lib.rs crates/deflate/src/bitio.rs crates/deflate/src/deflate.rs crates/deflate/src/huffman.rs crates/deflate/src/inflate.rs crates/deflate/src/lz77.rs crates/deflate/src/zlib.rs
+
+/root/repo/target/debug/deps/libdpz_deflate-08b8b94803ec0465.rmeta: crates/deflate/src/lib.rs crates/deflate/src/bitio.rs crates/deflate/src/deflate.rs crates/deflate/src/huffman.rs crates/deflate/src/inflate.rs crates/deflate/src/lz77.rs crates/deflate/src/zlib.rs
+
+crates/deflate/src/lib.rs:
+crates/deflate/src/bitio.rs:
+crates/deflate/src/deflate.rs:
+crates/deflate/src/huffman.rs:
+crates/deflate/src/inflate.rs:
+crates/deflate/src/lz77.rs:
+crates/deflate/src/zlib.rs:

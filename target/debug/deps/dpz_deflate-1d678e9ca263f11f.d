@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/dpz_deflate-1d678e9ca263f11f.d: crates/deflate/src/lib.rs crates/deflate/src/bitio.rs crates/deflate/src/deflate.rs crates/deflate/src/huffman.rs crates/deflate/src/inflate.rs crates/deflate/src/lz77.rs crates/deflate/src/zlib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdpz_deflate-1d678e9ca263f11f.rmeta: crates/deflate/src/lib.rs crates/deflate/src/bitio.rs crates/deflate/src/deflate.rs crates/deflate/src/huffman.rs crates/deflate/src/inflate.rs crates/deflate/src/lz77.rs crates/deflate/src/zlib.rs Cargo.toml
+
+crates/deflate/src/lib.rs:
+crates/deflate/src/bitio.rs:
+crates/deflate/src/deflate.rs:
+crates/deflate/src/huffman.rs:
+crates/deflate/src/inflate.rs:
+crates/deflate/src/lz77.rs:
+crates/deflate/src/zlib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/dpz_deflate-c7b8314dc9d239ad.d: crates/deflate/src/lib.rs crates/deflate/src/bitio.rs crates/deflate/src/deflate.rs crates/deflate/src/huffman.rs crates/deflate/src/inflate.rs crates/deflate/src/lz77.rs crates/deflate/src/zlib.rs
+
+/root/repo/target/debug/deps/dpz_deflate-c7b8314dc9d239ad: crates/deflate/src/lib.rs crates/deflate/src/bitio.rs crates/deflate/src/deflate.rs crates/deflate/src/huffman.rs crates/deflate/src/inflate.rs crates/deflate/src/lz77.rs crates/deflate/src/zlib.rs
+
+crates/deflate/src/lib.rs:
+crates/deflate/src/bitio.rs:
+crates/deflate/src/deflate.rs:
+crates/deflate/src/huffman.rs:
+crates/deflate/src/inflate.rs:
+crates/deflate/src/lz77.rs:
+crates/deflate/src/zlib.rs:

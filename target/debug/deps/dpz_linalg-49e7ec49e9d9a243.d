@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/dpz_linalg-49e7ec49e9d9a243.d: crates/linalg/src/lib.rs crates/linalg/src/dct.rs crates/linalg/src/eigen.rs crates/linalg/src/fft.rs crates/linalg/src/fit.rs crates/linalg/src/jacobi.rs crates/linalg/src/knee.rs crates/linalg/src/matrix.rs crates/linalg/src/pca.rs crates/linalg/src/stats.rs crates/linalg/src/svd.rs crates/linalg/src/wavelet.rs
+
+/root/repo/target/debug/deps/libdpz_linalg-49e7ec49e9d9a243.rlib: crates/linalg/src/lib.rs crates/linalg/src/dct.rs crates/linalg/src/eigen.rs crates/linalg/src/fft.rs crates/linalg/src/fit.rs crates/linalg/src/jacobi.rs crates/linalg/src/knee.rs crates/linalg/src/matrix.rs crates/linalg/src/pca.rs crates/linalg/src/stats.rs crates/linalg/src/svd.rs crates/linalg/src/wavelet.rs
+
+/root/repo/target/debug/deps/libdpz_linalg-49e7ec49e9d9a243.rmeta: crates/linalg/src/lib.rs crates/linalg/src/dct.rs crates/linalg/src/eigen.rs crates/linalg/src/fft.rs crates/linalg/src/fit.rs crates/linalg/src/jacobi.rs crates/linalg/src/knee.rs crates/linalg/src/matrix.rs crates/linalg/src/pca.rs crates/linalg/src/stats.rs crates/linalg/src/svd.rs crates/linalg/src/wavelet.rs
+
+crates/linalg/src/lib.rs:
+crates/linalg/src/dct.rs:
+crates/linalg/src/eigen.rs:
+crates/linalg/src/fft.rs:
+crates/linalg/src/fit.rs:
+crates/linalg/src/jacobi.rs:
+crates/linalg/src/knee.rs:
+crates/linalg/src/matrix.rs:
+crates/linalg/src/pca.rs:
+crates/linalg/src/stats.rs:
+crates/linalg/src/svd.rs:
+crates/linalg/src/wavelet.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/dpz_linalg-ab28e4094bdaa46b.d: crates/linalg/src/lib.rs crates/linalg/src/dct.rs crates/linalg/src/eigen.rs crates/linalg/src/fft.rs crates/linalg/src/fit.rs crates/linalg/src/jacobi.rs crates/linalg/src/knee.rs crates/linalg/src/matrix.rs crates/linalg/src/pca.rs crates/linalg/src/stats.rs crates/linalg/src/svd.rs crates/linalg/src/wavelet.rs
+
+/root/repo/target/debug/deps/dpz_linalg-ab28e4094bdaa46b: crates/linalg/src/lib.rs crates/linalg/src/dct.rs crates/linalg/src/eigen.rs crates/linalg/src/fft.rs crates/linalg/src/fit.rs crates/linalg/src/jacobi.rs crates/linalg/src/knee.rs crates/linalg/src/matrix.rs crates/linalg/src/pca.rs crates/linalg/src/stats.rs crates/linalg/src/svd.rs crates/linalg/src/wavelet.rs
+
+crates/linalg/src/lib.rs:
+crates/linalg/src/dct.rs:
+crates/linalg/src/eigen.rs:
+crates/linalg/src/fft.rs:
+crates/linalg/src/fit.rs:
+crates/linalg/src/jacobi.rs:
+crates/linalg/src/knee.rs:
+crates/linalg/src/matrix.rs:
+crates/linalg/src/pca.rs:
+crates/linalg/src/stats.rs:
+crates/linalg/src/svd.rs:
+crates/linalg/src/wavelet.rs:

@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/dpz_linalg-f17885dfad728f60.d: crates/linalg/src/lib.rs crates/linalg/src/dct.rs crates/linalg/src/eigen.rs crates/linalg/src/fft.rs crates/linalg/src/fit.rs crates/linalg/src/jacobi.rs crates/linalg/src/knee.rs crates/linalg/src/matrix.rs crates/linalg/src/pca.rs crates/linalg/src/stats.rs crates/linalg/src/svd.rs crates/linalg/src/wavelet.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdpz_linalg-f17885dfad728f60.rmeta: crates/linalg/src/lib.rs crates/linalg/src/dct.rs crates/linalg/src/eigen.rs crates/linalg/src/fft.rs crates/linalg/src/fit.rs crates/linalg/src/jacobi.rs crates/linalg/src/knee.rs crates/linalg/src/matrix.rs crates/linalg/src/pca.rs crates/linalg/src/stats.rs crates/linalg/src/svd.rs crates/linalg/src/wavelet.rs Cargo.toml
+
+crates/linalg/src/lib.rs:
+crates/linalg/src/dct.rs:
+crates/linalg/src/eigen.rs:
+crates/linalg/src/fft.rs:
+crates/linalg/src/fit.rs:
+crates/linalg/src/jacobi.rs:
+crates/linalg/src/knee.rs:
+crates/linalg/src/matrix.rs:
+crates/linalg/src/pca.rs:
+crates/linalg/src/stats.rs:
+crates/linalg/src/svd.rs:
+crates/linalg/src/wavelet.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/dpz_sz-151cc6583a535bb3.d: crates/sz/src/lib.rs crates/sz/src/codec.rs crates/sz/src/lorenzo.rs crates/sz/src/quantizer.rs crates/sz/src/regression.rs
+
+/root/repo/target/debug/deps/libdpz_sz-151cc6583a535bb3.rlib: crates/sz/src/lib.rs crates/sz/src/codec.rs crates/sz/src/lorenzo.rs crates/sz/src/quantizer.rs crates/sz/src/regression.rs
+
+/root/repo/target/debug/deps/libdpz_sz-151cc6583a535bb3.rmeta: crates/sz/src/lib.rs crates/sz/src/codec.rs crates/sz/src/lorenzo.rs crates/sz/src/quantizer.rs crates/sz/src/regression.rs
+
+crates/sz/src/lib.rs:
+crates/sz/src/codec.rs:
+crates/sz/src/lorenzo.rs:
+crates/sz/src/quantizer.rs:
+crates/sz/src/regression.rs:

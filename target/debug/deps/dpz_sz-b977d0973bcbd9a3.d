@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/dpz_sz-b977d0973bcbd9a3.d: crates/sz/src/lib.rs crates/sz/src/codec.rs crates/sz/src/lorenzo.rs crates/sz/src/quantizer.rs crates/sz/src/regression.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdpz_sz-b977d0973bcbd9a3.rmeta: crates/sz/src/lib.rs crates/sz/src/codec.rs crates/sz/src/lorenzo.rs crates/sz/src/quantizer.rs crates/sz/src/regression.rs Cargo.toml
+
+crates/sz/src/lib.rs:
+crates/sz/src/codec.rs:
+crates/sz/src/lorenzo.rs:
+crates/sz/src/quantizer.rs:
+crates/sz/src/regression.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dpz_sz-c3463af4aad18c99.d: crates/sz/src/lib.rs crates/sz/src/codec.rs crates/sz/src/lorenzo.rs crates/sz/src/quantizer.rs crates/sz/src/regression.rs
+
+/root/repo/target/debug/deps/dpz_sz-c3463af4aad18c99: crates/sz/src/lib.rs crates/sz/src/codec.rs crates/sz/src/lorenzo.rs crates/sz/src/quantizer.rs crates/sz/src/regression.rs
+
+crates/sz/src/lib.rs:
+crates/sz/src/codec.rs:
+crates/sz/src/lorenzo.rs:
+crates/sz/src/quantizer.rs:
+crates/sz/src/regression.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dpz_sz-ef5fd54a145daf07.d: crates/sz/src/lib.rs crates/sz/src/codec.rs crates/sz/src/lorenzo.rs crates/sz/src/quantizer.rs crates/sz/src/regression.rs
+
+/root/repo/target/debug/deps/dpz_sz-ef5fd54a145daf07: crates/sz/src/lib.rs crates/sz/src/codec.rs crates/sz/src/lorenzo.rs crates/sz/src/quantizer.rs crates/sz/src/regression.rs
+
+crates/sz/src/lib.rs:
+crates/sz/src/codec.rs:
+crates/sz/src/lorenzo.rs:
+crates/sz/src/quantizer.rs:
+crates/sz/src/regression.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/dpz_telemetry-18e20c574edf7dd4.d: crates/telemetry/src/lib.rs crates/telemetry/src/export.rs crates/telemetry/src/registry.rs crates/telemetry/src/snapshot.rs crates/telemetry/src/span.rs
+
+/root/repo/target/debug/deps/libdpz_telemetry-18e20c574edf7dd4.rlib: crates/telemetry/src/lib.rs crates/telemetry/src/export.rs crates/telemetry/src/registry.rs crates/telemetry/src/snapshot.rs crates/telemetry/src/span.rs
+
+/root/repo/target/debug/deps/libdpz_telemetry-18e20c574edf7dd4.rmeta: crates/telemetry/src/lib.rs crates/telemetry/src/export.rs crates/telemetry/src/registry.rs crates/telemetry/src/snapshot.rs crates/telemetry/src/span.rs
+
+crates/telemetry/src/lib.rs:
+crates/telemetry/src/export.rs:
+crates/telemetry/src/registry.rs:
+crates/telemetry/src/snapshot.rs:
+crates/telemetry/src/span.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dpz_telemetry-4b4378833e7ca818.d: crates/telemetry/src/lib.rs crates/telemetry/src/export.rs crates/telemetry/src/registry.rs crates/telemetry/src/snapshot.rs crates/telemetry/src/span.rs
+
+/root/repo/target/debug/deps/dpz_telemetry-4b4378833e7ca818: crates/telemetry/src/lib.rs crates/telemetry/src/export.rs crates/telemetry/src/registry.rs crates/telemetry/src/snapshot.rs crates/telemetry/src/span.rs
+
+crates/telemetry/src/lib.rs:
+crates/telemetry/src/export.rs:
+crates/telemetry/src/registry.rs:
+crates/telemetry/src/snapshot.rs:
+crates/telemetry/src/span.rs:

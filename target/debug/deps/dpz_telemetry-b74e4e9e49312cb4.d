@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/dpz_telemetry-b74e4e9e49312cb4.d: crates/telemetry/src/lib.rs crates/telemetry/src/export.rs crates/telemetry/src/registry.rs crates/telemetry/src/snapshot.rs crates/telemetry/src/span.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdpz_telemetry-b74e4e9e49312cb4.rmeta: crates/telemetry/src/lib.rs crates/telemetry/src/export.rs crates/telemetry/src/registry.rs crates/telemetry/src/snapshot.rs crates/telemetry/src/span.rs Cargo.toml
+
+crates/telemetry/src/lib.rs:
+crates/telemetry/src/export.rs:
+crates/telemetry/src/registry.rs:
+crates/telemetry/src/snapshot.rs:
+crates/telemetry/src/span.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/dpz_zfp-05898d74483a0e11.d: crates/zfp/src/lib.rs crates/zfp/src/block.rs crates/zfp/src/codec.rs crates/zfp/src/transform.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdpz_zfp-05898d74483a0e11.rmeta: crates/zfp/src/lib.rs crates/zfp/src/block.rs crates/zfp/src/codec.rs crates/zfp/src/transform.rs Cargo.toml
+
+crates/zfp/src/lib.rs:
+crates/zfp/src/block.rs:
+crates/zfp/src/codec.rs:
+crates/zfp/src/transform.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

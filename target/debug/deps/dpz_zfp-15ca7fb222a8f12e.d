@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/dpz_zfp-15ca7fb222a8f12e.d: crates/zfp/src/lib.rs crates/zfp/src/block.rs crates/zfp/src/codec.rs crates/zfp/src/transform.rs
+
+/root/repo/target/debug/deps/libdpz_zfp-15ca7fb222a8f12e.rlib: crates/zfp/src/lib.rs crates/zfp/src/block.rs crates/zfp/src/codec.rs crates/zfp/src/transform.rs
+
+/root/repo/target/debug/deps/libdpz_zfp-15ca7fb222a8f12e.rmeta: crates/zfp/src/lib.rs crates/zfp/src/block.rs crates/zfp/src/codec.rs crates/zfp/src/transform.rs
+
+crates/zfp/src/lib.rs:
+crates/zfp/src/block.rs:
+crates/zfp/src/codec.rs:
+crates/zfp/src/transform.rs:

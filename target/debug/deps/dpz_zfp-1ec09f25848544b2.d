@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/dpz_zfp-1ec09f25848544b2.d: crates/zfp/src/lib.rs crates/zfp/src/block.rs crates/zfp/src/codec.rs crates/zfp/src/transform.rs
+
+/root/repo/target/debug/deps/dpz_zfp-1ec09f25848544b2: crates/zfp/src/lib.rs crates/zfp/src/block.rs crates/zfp/src/codec.rs crates/zfp/src/transform.rs
+
+crates/zfp/src/lib.rs:
+crates/zfp/src/block.rs:
+crates/zfp/src/codec.rs:
+crates/zfp/src/transform.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/dpz_zfp-e70f7952412543b1.d: crates/zfp/src/lib.rs crates/zfp/src/block.rs crates/zfp/src/codec.rs crates/zfp/src/transform.rs
+
+/root/repo/target/debug/deps/libdpz_zfp-e70f7952412543b1.rlib: crates/zfp/src/lib.rs crates/zfp/src/block.rs crates/zfp/src/codec.rs crates/zfp/src/transform.rs
+
+/root/repo/target/debug/deps/libdpz_zfp-e70f7952412543b1.rmeta: crates/zfp/src/lib.rs crates/zfp/src/block.rs crates/zfp/src/codec.rs crates/zfp/src/transform.rs
+
+crates/zfp/src/lib.rs:
+crates/zfp/src/block.rs:
+crates/zfp/src/codec.rs:
+crates/zfp/src/transform.rs:

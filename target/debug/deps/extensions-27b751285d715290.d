@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/extensions-27b751285d715290.d: tests/extensions.rs
+
+/root/repo/target/debug/deps/extensions-27b751285d715290: tests/extensions.rs
+
+tests/extensions.rs:

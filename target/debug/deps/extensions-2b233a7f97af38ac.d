@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/extensions-2b233a7f97af38ac.d: tests/extensions.rs
+
+/root/repo/target/debug/deps/extensions-2b233a7f97af38ac: tests/extensions.rs
+
+tests/extensions.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10_vif-40a415ce9d70f331.d: crates/bench/src/bin/fig10_vif.rs
+
+/root/repo/target/debug/deps/fig10_vif-40a415ce9d70f331: crates/bench/src/bin/fig10_vif.rs
+
+crates/bench/src/bin/fig10_vif.rs:

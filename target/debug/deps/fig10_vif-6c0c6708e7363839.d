@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig10_vif-6c0c6708e7363839.d: crates/bench/src/bin/fig10_vif.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig10_vif-6c0c6708e7363839.rmeta: crates/bench/src/bin/fig10_vif.rs Cargo.toml
+
+crates/bench/src/bin/fig10_vif.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

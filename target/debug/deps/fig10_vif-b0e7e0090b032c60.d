@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10_vif-b0e7e0090b032c60.d: crates/bench/src/bin/fig10_vif.rs
+
+/root/repo/target/debug/deps/fig10_vif-b0e7e0090b032c60: crates/bench/src/bin/fig10_vif.rs
+
+crates/bench/src/bin/fig10_vif.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig1_dct_distribution-16328bfaa8778a78.d: crates/bench/src/bin/fig1_dct_distribution.rs
+
+/root/repo/target/debug/deps/fig1_dct_distribution-16328bfaa8778a78: crates/bench/src/bin/fig1_dct_distribution.rs
+
+crates/bench/src/bin/fig1_dct_distribution.rs:

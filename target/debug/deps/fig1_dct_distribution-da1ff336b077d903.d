@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig1_dct_distribution-da1ff336b077d903.d: crates/bench/src/bin/fig1_dct_distribution.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig1_dct_distribution-da1ff336b077d903.rmeta: crates/bench/src/bin/fig1_dct_distribution.rs Cargo.toml
+
+crates/bench/src/bin/fig1_dct_distribution.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2_pca_components-111b60e4f3237761.d: crates/bench/src/bin/fig2_pca_components.rs
+
+/root/repo/target/debug/deps/fig2_pca_components-111b60e4f3237761: crates/bench/src/bin/fig2_pca_components.rs
+
+crates/bench/src/bin/fig2_pca_components.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig2_pca_components-5b7de79bd756a934.d: crates/bench/src/bin/fig2_pca_components.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig2_pca_components-5b7de79bd756a934.rmeta: crates/bench/src/bin/fig2_pca_components.rs Cargo.toml
+
+crates/bench/src/bin/fig2_pca_components.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

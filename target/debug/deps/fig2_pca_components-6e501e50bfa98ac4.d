@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2_pca_components-6e501e50bfa98ac4.d: crates/bench/src/bin/fig2_pca_components.rs
+
+/root/repo/target/debug/deps/fig2_pca_components-6e501e50bfa98ac4: crates/bench/src/bin/fig2_pca_components.rs
+
+crates/bench/src/bin/fig2_pca_components.rs:

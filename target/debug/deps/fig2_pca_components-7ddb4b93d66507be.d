@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig2_pca_components-7ddb4b93d66507be.d: crates/bench/src/bin/fig2_pca_components.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig2_pca_components-7ddb4b93d66507be.rmeta: crates/bench/src/bin/fig2_pca_components.rs Cargo.toml
+
+crates/bench/src/bin/fig2_pca_components.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

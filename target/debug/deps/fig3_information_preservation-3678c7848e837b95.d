@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig3_information_preservation-3678c7848e837b95.d: crates/bench/src/bin/fig3_information_preservation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig3_information_preservation-3678c7848e837b95.rmeta: crates/bench/src/bin/fig3_information_preservation.rs Cargo.toml
+
+crates/bench/src/bin/fig3_information_preservation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3_information_preservation-da2deaea4a05aa9b.d: crates/bench/src/bin/fig3_information_preservation.rs
+
+/root/repo/target/debug/deps/fig3_information_preservation-da2deaea4a05aa9b: crates/bench/src/bin/fig3_information_preservation.rs
+
+crates/bench/src/bin/fig3_information_preservation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3_information_preservation-f6cf77e076227699.d: crates/bench/src/bin/fig3_information_preservation.rs
+
+/root/repo/target/debug/deps/fig3_information_preservation-f6cf77e076227699: crates/bench/src/bin/fig3_information_preservation.rs
+
+crates/bench/src/bin/fig3_information_preservation.rs:

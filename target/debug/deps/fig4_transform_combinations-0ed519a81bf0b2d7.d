@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig4_transform_combinations-0ed519a81bf0b2d7.d: crates/bench/src/bin/fig4_transform_combinations.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig4_transform_combinations-0ed519a81bf0b2d7.rmeta: crates/bench/src/bin/fig4_transform_combinations.rs Cargo.toml
+
+crates/bench/src/bin/fig4_transform_combinations.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

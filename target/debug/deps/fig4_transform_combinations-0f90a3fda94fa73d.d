@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4_transform_combinations-0f90a3fda94fa73d.d: crates/bench/src/bin/fig4_transform_combinations.rs
+
+/root/repo/target/debug/deps/fig4_transform_combinations-0f90a3fda94fa73d: crates/bench/src/bin/fig4_transform_combinations.rs
+
+crates/bench/src/bin/fig4_transform_combinations.rs:

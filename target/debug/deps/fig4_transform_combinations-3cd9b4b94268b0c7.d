@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4_transform_combinations-3cd9b4b94268b0c7.d: crates/bench/src/bin/fig4_transform_combinations.rs
+
+/root/repo/target/debug/deps/fig4_transform_combinations-3cd9b4b94268b0c7: crates/bench/src/bin/fig4_transform_combinations.rs
+
+crates/bench/src/bin/fig4_transform_combinations.rs:

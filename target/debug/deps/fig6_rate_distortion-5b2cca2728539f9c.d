@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6_rate_distortion-5b2cca2728539f9c.d: crates/bench/src/bin/fig6_rate_distortion.rs
+
+/root/repo/target/debug/deps/fig6_rate_distortion-5b2cca2728539f9c: crates/bench/src/bin/fig6_rate_distortion.rs
+
+crates/bench/src/bin/fig6_rate_distortion.rs:

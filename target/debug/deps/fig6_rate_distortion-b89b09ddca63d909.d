@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6_rate_distortion-b89b09ddca63d909.d: crates/bench/src/bin/fig6_rate_distortion.rs
+
+/root/repo/target/debug/deps/fig6_rate_distortion-b89b09ddca63d909: crates/bench/src/bin/fig6_rate_distortion.rs
+
+crates/bench/src/bin/fig6_rate_distortion.rs:

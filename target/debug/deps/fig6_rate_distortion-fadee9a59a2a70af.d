@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig6_rate_distortion-fadee9a59a2a70af.d: crates/bench/src/bin/fig6_rate_distortion.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig6_rate_distortion-fadee9a59a2a70af.rmeta: crates/bench/src/bin/fig6_rate_distortion.rs Cargo.toml
+
+crates/bench/src/bin/fig6_rate_distortion.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

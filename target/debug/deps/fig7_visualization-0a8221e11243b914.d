@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig7_visualization-0a8221e11243b914.d: crates/bench/src/bin/fig7_visualization.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig7_visualization-0a8221e11243b914.rmeta: crates/bench/src/bin/fig7_visualization.rs Cargo.toml
+
+crates/bench/src/bin/fig7_visualization.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

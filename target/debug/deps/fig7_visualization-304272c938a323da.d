@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7_visualization-304272c938a323da.d: crates/bench/src/bin/fig7_visualization.rs
+
+/root/repo/target/debug/deps/fig7_visualization-304272c938a323da: crates/bench/src/bin/fig7_visualization.rs
+
+crates/bench/src/bin/fig7_visualization.rs:

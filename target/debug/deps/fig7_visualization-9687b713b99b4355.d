@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig7_visualization-9687b713b99b4355.d: crates/bench/src/bin/fig7_visualization.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig7_visualization-9687b713b99b4355.rmeta: crates/bench/src/bin/fig7_visualization.rs Cargo.toml
+
+crates/bench/src/bin/fig7_visualization.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

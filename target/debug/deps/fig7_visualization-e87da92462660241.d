@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7_visualization-e87da92462660241.d: crates/bench/src/bin/fig7_visualization.rs
+
+/root/repo/target/debug/deps/fig7_visualization-e87da92462660241: crates/bench/src/bin/fig7_visualization.rs
+
+crates/bench/src/bin/fig7_visualization.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig8_throughput-605a3494d4002724.d: crates/bench/src/bin/fig8_throughput.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig8_throughput-605a3494d4002724.rmeta: crates/bench/src/bin/fig8_throughput.rs Cargo.toml
+
+crates/bench/src/bin/fig8_throughput.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8_throughput-afe518bed32065e5.d: crates/bench/src/bin/fig8_throughput.rs
+
+/root/repo/target/debug/deps/fig8_throughput-afe518bed32065e5: crates/bench/src/bin/fig8_throughput.rs
+
+crates/bench/src/bin/fig8_throughput.rs:

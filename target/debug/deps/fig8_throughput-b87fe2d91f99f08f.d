@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8_throughput-b87fe2d91f99f08f.d: crates/bench/src/bin/fig8_throughput.rs
+
+/root/repo/target/debug/deps/fig8_throughput-b87fe2d91f99f08f: crates/bench/src/bin/fig8_throughput.rs
+
+crates/bench/src/bin/fig8_throughput.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9_time_breakdown-49014e3ceca0ecf1.d: crates/bench/src/bin/fig9_time_breakdown.rs
+
+/root/repo/target/debug/deps/fig9_time_breakdown-49014e3ceca0ecf1: crates/bench/src/bin/fig9_time_breakdown.rs
+
+crates/bench/src/bin/fig9_time_breakdown.rs:

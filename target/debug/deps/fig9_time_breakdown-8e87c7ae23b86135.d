@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9_time_breakdown-8e87c7ae23b86135.d: crates/bench/src/bin/fig9_time_breakdown.rs
+
+/root/repo/target/debug/deps/fig9_time_breakdown-8e87c7ae23b86135: crates/bench/src/bin/fig9_time_breakdown.rs
+
+crates/bench/src/bin/fig9_time_breakdown.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/format_robustness-09c5fb109eef8238.d: tests/format_robustness.rs Cargo.toml
+
+/root/repo/target/debug/deps/libformat_robustness-09c5fb109eef8238.rmeta: tests/format_robustness.rs Cargo.toml
+
+tests/format_robustness.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

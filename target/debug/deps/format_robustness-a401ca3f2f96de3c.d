@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/format_robustness-a401ca3f2f96de3c.d: tests/format_robustness.rs
+
+/root/repo/target/debug/deps/format_robustness-a401ca3f2f96de3c: tests/format_robustness.rs
+
+tests/format_robustness.rs:

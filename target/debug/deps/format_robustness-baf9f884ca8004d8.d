@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/format_robustness-baf9f884ca8004d8.d: tests/format_robustness.rs
+
+/root/repo/target/debug/deps/format_robustness-baf9f884ca8004d8: tests/format_robustness.rs
+
+tests/format_robustness.rs:

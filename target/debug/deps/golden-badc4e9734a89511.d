@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/golden-badc4e9734a89511.d: crates/telemetry/tests/golden.rs crates/telemetry/tests/golden/sample.prom crates/telemetry/tests/golden/sample.json Cargo.toml
+
+/root/repo/target/debug/deps/libgolden-badc4e9734a89511.rmeta: crates/telemetry/tests/golden.rs crates/telemetry/tests/golden/sample.prom crates/telemetry/tests/golden/sample.json Cargo.toml
+
+crates/telemetry/tests/golden.rs:
+crates/telemetry/tests/golden/sample.prom:
+crates/telemetry/tests/golden/sample.json:
+Cargo.toml:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/telemetry
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/golden-f4ddf1f21992f180.d: crates/telemetry/tests/golden.rs crates/telemetry/tests/golden/sample.prom crates/telemetry/tests/golden/sample.json
+
+/root/repo/target/debug/deps/golden-f4ddf1f21992f180: crates/telemetry/tests/golden.rs crates/telemetry/tests/golden/sample.prom crates/telemetry/tests/golden/sample.json
+
+crates/telemetry/tests/golden.rs:
+crates/telemetry/tests/golden/sample.prom:
+crates/telemetry/tests/golden/sample.json:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/telemetry

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_bound-0c7a127e20b76589.d: crates/sz/tests/proptest_bound.rs
+
+/root/repo/target/debug/deps/proptest_bound-0c7a127e20b76589: crates/sz/tests/proptest_bound.rs
+
+crates/sz/tests/proptest_bound.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest_bound-1f80f31db7702684.d: crates/sz/tests/proptest_bound.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest_bound-1f80f31db7702684.rmeta: crates/sz/tests/proptest_bound.rs Cargo.toml
+
+crates/sz/tests/proptest_bound.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

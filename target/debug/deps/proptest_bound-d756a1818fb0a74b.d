@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_bound-d756a1818fb0a74b.d: crates/sz/tests/proptest_bound.rs
+
+/root/repo/target/debug/deps/proptest_bound-d756a1818fb0a74b: crates/sz/tests/proptest_bound.rs
+
+crates/sz/tests/proptest_bound.rs:

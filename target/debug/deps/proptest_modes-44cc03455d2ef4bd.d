@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest_modes-44cc03455d2ef4bd.d: crates/zfp/tests/proptest_modes.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest_modes-44cc03455d2ef4bd.rmeta: crates/zfp/tests/proptest_modes.rs Cargo.toml
+
+crates/zfp/tests/proptest_modes.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

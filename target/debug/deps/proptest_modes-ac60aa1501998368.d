@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_modes-ac60aa1501998368.d: crates/zfp/tests/proptest_modes.rs
+
+/root/repo/target/debug/deps/proptest_modes-ac60aa1501998368: crates/zfp/tests/proptest_modes.rs
+
+crates/zfp/tests/proptest_modes.rs:

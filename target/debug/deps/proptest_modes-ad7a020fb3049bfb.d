@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_modes-ad7a020fb3049bfb.d: crates/zfp/tests/proptest_modes.rs
+
+/root/repo/target/debug/deps/proptest_modes-ad7a020fb3049bfb: crates/zfp/tests/proptest_modes.rs
+
+crates/zfp/tests/proptest_modes.rs:

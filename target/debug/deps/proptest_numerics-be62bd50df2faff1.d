@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_numerics-be62bd50df2faff1.d: crates/linalg/tests/proptest_numerics.rs
+
+/root/repo/target/debug/deps/proptest_numerics-be62bd50df2faff1: crates/linalg/tests/proptest_numerics.rs
+
+crates/linalg/tests/proptest_numerics.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest_numerics-e9f585d8fdc266e9.d: crates/linalg/tests/proptest_numerics.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest_numerics-e9f585d8fdc266e9.rmeta: crates/linalg/tests/proptest_numerics.rs Cargo.toml
+
+crates/linalg/tests/proptest_numerics.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_pipeline-07fba6f71c05b3d3.d: tests/proptest_pipeline.rs
+
+/root/repo/target/debug/deps/proptest_pipeline-07fba6f71c05b3d3: tests/proptest_pipeline.rs
+
+tests/proptest_pipeline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_pipeline-bde1ccf9e18a8025.d: tests/proptest_pipeline.rs
+
+/root/repo/target/debug/deps/proptest_pipeline-bde1ccf9e18a8025: tests/proptest_pipeline.rs
+
+tests/proptest_pipeline.rs:

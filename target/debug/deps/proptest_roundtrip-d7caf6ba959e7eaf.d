@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest_roundtrip-d7caf6ba959e7eaf.d: crates/deflate/tests/proptest_roundtrip.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest_roundtrip-d7caf6ba959e7eaf.rmeta: crates/deflate/tests/proptest_roundtrip.rs Cargo.toml
+
+crates/deflate/tests/proptest_roundtrip.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

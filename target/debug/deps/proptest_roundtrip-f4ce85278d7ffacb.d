@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_roundtrip-f4ce85278d7ffacb.d: crates/deflate/tests/proptest_roundtrip.rs
+
+/root/repo/target/debug/deps/proptest_roundtrip-f4ce85278d7ffacb: crates/deflate/tests/proptest_roundtrip.rs
+
+crates/deflate/tests/proptest_roundtrip.rs:

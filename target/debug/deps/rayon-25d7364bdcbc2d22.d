@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rayon-25d7364bdcbc2d22.d: crates/rayon/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/librayon-25d7364bdcbc2d22.rmeta: crates/rayon/src/lib.rs Cargo.toml
+
+crates/rayon/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

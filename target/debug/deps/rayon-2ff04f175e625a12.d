@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rayon-2ff04f175e625a12.d: crates/rayon/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/librayon-2ff04f175e625a12.rmeta: crates/rayon/src/lib.rs Cargo.toml
+
+crates/rayon/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rayon-71d4d017066c5c90.d: crates/rayon/src/lib.rs
+
+/root/repo/target/debug/deps/rayon-71d4d017066c5c90: crates/rayon/src/lib.rs
+
+crates/rayon/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rayon-9531446d1ba411da.d: crates/rayon/src/lib.rs
+
+/root/repo/target/debug/deps/librayon-9531446d1ba411da.rlib: crates/rayon/src/lib.rs
+
+/root/repo/target/debug/deps/librayon-9531446d1ba411da.rmeta: crates/rayon/src/lib.rs
+
+crates/rayon/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/roundtrip_suite-847584b424e6109e.d: tests/roundtrip_suite.rs Cargo.toml
+
+/root/repo/target/debug/deps/libroundtrip_suite-847584b424e6109e.rmeta: tests/roundtrip_suite.rs Cargo.toml
+
+tests/roundtrip_suite.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

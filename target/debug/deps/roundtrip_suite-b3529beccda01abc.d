@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/roundtrip_suite-b3529beccda01abc.d: tests/roundtrip_suite.rs
+
+/root/repo/target/debug/deps/roundtrip_suite-b3529beccda01abc: tests/roundtrip_suite.rs
+
+tests/roundtrip_suite.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/roundtrip_suite-dfc24504d31129c2.d: tests/roundtrip_suite.rs
+
+/root/repo/target/debug/deps/roundtrip_suite-dfc24504d31129c2: tests/roundtrip_suite.rs
+
+tests/roundtrip_suite.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1_datasets-691795c96da29b71.d: crates/bench/src/bin/table1_datasets.rs
+
+/root/repo/target/debug/deps/table1_datasets-691795c96da29b71: crates/bench/src/bin/table1_datasets.rs
+
+crates/bench/src/bin/table1_datasets.rs:

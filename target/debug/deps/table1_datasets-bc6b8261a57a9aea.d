@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1_datasets-bc6b8261a57a9aea.d: crates/bench/src/bin/table1_datasets.rs
+
+/root/repo/target/debug/deps/table1_datasets-bc6b8261a57a9aea: crates/bench/src/bin/table1_datasets.rs
+
+crates/bench/src/bin/table1_datasets.rs:

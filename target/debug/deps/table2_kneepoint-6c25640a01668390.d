@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2_kneepoint-6c25640a01668390.d: crates/bench/src/bin/table2_kneepoint.rs
+
+/root/repo/target/debug/deps/table2_kneepoint-6c25640a01668390: crates/bench/src/bin/table2_kneepoint.rs
+
+crates/bench/src/bin/table2_kneepoint.rs:

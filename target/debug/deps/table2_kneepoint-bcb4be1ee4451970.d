@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2_kneepoint-bcb4be1ee4451970.d: crates/bench/src/bin/table2_kneepoint.rs
+
+/root/repo/target/debug/deps/table2_kneepoint-bcb4be1ee4451970: crates/bench/src/bin/table2_kneepoint.rs
+
+crates/bench/src/bin/table2_kneepoint.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3_cr_breakdown-12d7ee213b6a0b9a.d: crates/bench/src/bin/table3_cr_breakdown.rs
+
+/root/repo/target/debug/deps/table3_cr_breakdown-12d7ee213b6a0b9a: crates/bench/src/bin/table3_cr_breakdown.rs
+
+crates/bench/src/bin/table3_cr_breakdown.rs:

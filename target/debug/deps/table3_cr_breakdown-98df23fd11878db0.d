@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table3_cr_breakdown-98df23fd11878db0.d: crates/bench/src/bin/table3_cr_breakdown.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable3_cr_breakdown-98df23fd11878db0.rmeta: crates/bench/src/bin/table3_cr_breakdown.rs Cargo.toml
+
+crates/bench/src/bin/table3_cr_breakdown.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

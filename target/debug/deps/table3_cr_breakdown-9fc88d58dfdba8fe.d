@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3_cr_breakdown-9fc88d58dfdba8fe.d: crates/bench/src/bin/table3_cr_breakdown.rs
+
+/root/repo/target/debug/deps/table3_cr_breakdown-9fc88d58dfdba8fe: crates/bench/src/bin/table3_cr_breakdown.rs
+
+crates/bench/src/bin/table3_cr_breakdown.rs:

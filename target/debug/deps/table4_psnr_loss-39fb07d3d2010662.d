@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table4_psnr_loss-39fb07d3d2010662.d: crates/bench/src/bin/table4_psnr_loss.rs
+
+/root/repo/target/debug/deps/table4_psnr_loss-39fb07d3d2010662: crates/bench/src/bin/table4_psnr_loss.rs
+
+crates/bench/src/bin/table4_psnr_loss.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table4_psnr_loss-caba5942519b7232.d: crates/bench/src/bin/table4_psnr_loss.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable4_psnr_loss-caba5942519b7232.rmeta: crates/bench/src/bin/table4_psnr_loss.rs Cargo.toml
+
+crates/bench/src/bin/table4_psnr_loss.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table4_psnr_loss-fd3b328766be376f.d: crates/bench/src/bin/table4_psnr_loss.rs
+
+/root/repo/target/debug/deps/table4_psnr_loss-fd3b328766be376f: crates/bench/src/bin/table4_psnr_loss.rs
+
+crates/bench/src/bin/table4_psnr_loss.rs:

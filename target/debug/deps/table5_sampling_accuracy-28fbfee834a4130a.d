@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table5_sampling_accuracy-28fbfee834a4130a.d: crates/bench/src/bin/table5_sampling_accuracy.rs
+
+/root/repo/target/debug/deps/table5_sampling_accuracy-28fbfee834a4130a: crates/bench/src/bin/table5_sampling_accuracy.rs
+
+crates/bench/src/bin/table5_sampling_accuracy.rs:

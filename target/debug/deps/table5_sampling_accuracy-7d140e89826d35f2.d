@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table5_sampling_accuracy-7d140e89826d35f2.d: crates/bench/src/bin/table5_sampling_accuracy.rs
+
+/root/repo/target/debug/deps/table5_sampling_accuracy-7d140e89826d35f2: crates/bench/src/bin/table5_sampling_accuracy.rs
+
+crates/bench/src/bin/table5_sampling_accuracy.rs:

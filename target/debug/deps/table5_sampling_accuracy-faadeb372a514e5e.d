@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table5_sampling_accuracy-faadeb372a514e5e.d: crates/bench/src/bin/table5_sampling_accuracy.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable5_sampling_accuracy-faadeb372a514e5e.rmeta: crates/bench/src/bin/table5_sampling_accuracy.rs Cargo.toml
+
+crates/bench/src/bin/table5_sampling_accuracy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/climate_archive-4934af0f9f09deb5.d: examples/climate_archive.rs
+
+/root/repo/target/debug/examples/climate_archive-4934af0f9f09deb5: examples/climate_archive.rs
+
+examples/climate_archive.rs:

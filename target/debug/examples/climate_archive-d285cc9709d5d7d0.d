@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/climate_archive-d285cc9709d5d7d0.d: examples/climate_archive.rs Cargo.toml
+
+/root/repo/target/debug/examples/libclimate_archive-d285cc9709d5d7d0.rmeta: examples/climate_archive.rs Cargo.toml
+
+examples/climate_archive.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

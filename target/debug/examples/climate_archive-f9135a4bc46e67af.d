@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/climate_archive-f9135a4bc46e67af.d: examples/climate_archive.rs
+
+/root/repo/target/debug/examples/climate_archive-f9135a4bc46e67af: examples/climate_archive.rs
+
+examples/climate_archive.rs:

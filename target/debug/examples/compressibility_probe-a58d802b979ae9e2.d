@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/compressibility_probe-a58d802b979ae9e2.d: examples/compressibility_probe.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcompressibility_probe-a58d802b979ae9e2.rmeta: examples/compressibility_probe.rs Cargo.toml
+
+examples/compressibility_probe.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

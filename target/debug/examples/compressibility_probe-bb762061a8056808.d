@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/compressibility_probe-bb762061a8056808.d: examples/compressibility_probe.rs
+
+/root/repo/target/debug/examples/compressibility_probe-bb762061a8056808: examples/compressibility_probe.rs
+
+examples/compressibility_probe.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/compressibility_probe-d69570f923c4d7b8.d: examples/compressibility_probe.rs
+
+/root/repo/target/debug/examples/compressibility_probe-d69570f923c4d7b8: examples/compressibility_probe.rs
+
+examples/compressibility_probe.rs:

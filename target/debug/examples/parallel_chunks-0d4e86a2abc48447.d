@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/parallel_chunks-0d4e86a2abc48447.d: examples/parallel_chunks.rs
+
+/root/repo/target/debug/examples/parallel_chunks-0d4e86a2abc48447: examples/parallel_chunks.rs
+
+examples/parallel_chunks.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/parallel_chunks-7aa22c628485b512.d: examples/parallel_chunks.rs Cargo.toml
+
+/root/repo/target/debug/examples/libparallel_chunks-7aa22c628485b512.rmeta: examples/parallel_chunks.rs Cargo.toml
+
+examples/parallel_chunks.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/parallel_chunks-c5014d5218820dd5.d: examples/parallel_chunks.rs
+
+/root/repo/target/debug/examples/parallel_chunks-c5014d5218820dd5: examples/parallel_chunks.rs
+
+examples/parallel_chunks.rs:

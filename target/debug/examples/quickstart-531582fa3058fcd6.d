@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-531582fa3058fcd6.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-531582fa3058fcd6: examples/quickstart.rs
+
+examples/quickstart.rs:

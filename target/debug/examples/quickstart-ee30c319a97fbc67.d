@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-ee30c319a97fbc67.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-ee30c319a97fbc67: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/turbulence_checkpoint-0b1afd319041ca0c.d: examples/turbulence_checkpoint.rs Cargo.toml
+
+/root/repo/target/debug/examples/libturbulence_checkpoint-0b1afd319041ca0c.rmeta: examples/turbulence_checkpoint.rs Cargo.toml
+
+examples/turbulence_checkpoint.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

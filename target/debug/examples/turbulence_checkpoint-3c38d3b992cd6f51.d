@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/turbulence_checkpoint-3c38d3b992cd6f51.d: examples/turbulence_checkpoint.rs
+
+/root/repo/target/debug/examples/turbulence_checkpoint-3c38d3b992cd6f51: examples/turbulence_checkpoint.rs
+
+examples/turbulence_checkpoint.rs:

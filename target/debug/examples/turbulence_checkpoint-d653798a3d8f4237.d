@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/turbulence_checkpoint-d653798a3d8f4237.d: examples/turbulence_checkpoint.rs
+
+/root/repo/target/debug/examples/turbulence_checkpoint-d653798a3d8f4237: examples/turbulence_checkpoint.rs
+
+examples/turbulence_checkpoint.rs:

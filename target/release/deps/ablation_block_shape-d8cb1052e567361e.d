@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_block_shape-d8cb1052e567361e.d: crates/bench/src/bin/ablation_block_shape.rs
+
+/root/repo/target/release/deps/ablation_block_shape-d8cb1052e567361e: crates/bench/src/bin/ablation_block_shape.rs
+
+crates/bench/src/bin/ablation_block_shape.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_block_shape-da0c443930d27079.d: crates/bench/src/bin/ablation_block_shape.rs
+
+/root/repo/target/release/deps/ablation_block_shape-da0c443930d27079: crates/bench/src/bin/ablation_block_shape.rs
+
+crates/bench/src/bin/ablation_block_shape.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_dct_truncation-86db93af7dbcc16c.d: crates/bench/src/bin/ablation_dct_truncation.rs
+
+/root/repo/target/release/deps/ablation_dct_truncation-86db93af7dbcc16c: crates/bench/src/bin/ablation_dct_truncation.rs
+
+crates/bench/src/bin/ablation_dct_truncation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_dct_truncation-bb2d05febc2ef8a2.d: crates/bench/src/bin/ablation_dct_truncation.rs
+
+/root/repo/target/release/deps/ablation_dct_truncation-bb2d05febc2ef8a2: crates/bench/src/bin/ablation_dct_truncation.rs
+
+crates/bench/src/bin/ablation_dct_truncation.rs:

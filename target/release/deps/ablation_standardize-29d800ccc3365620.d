@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_standardize-29d800ccc3365620.d: crates/bench/src/bin/ablation_standardize.rs
+
+/root/repo/target/release/deps/ablation_standardize-29d800ccc3365620: crates/bench/src/bin/ablation_standardize.rs
+
+crates/bench/src/bin/ablation_standardize.rs:

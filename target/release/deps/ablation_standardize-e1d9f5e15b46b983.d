@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_standardize-e1d9f5e15b46b983.d: crates/bench/src/bin/ablation_standardize.rs
+
+/root/repo/target/release/deps/ablation_standardize-e1d9f5e15b46b983: crates/bench/src/bin/ablation_standardize.rs
+
+crates/bench/src/bin/ablation_standardize.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_transform-0f4a1a614c0fac64.d: crates/bench/src/bin/ablation_transform.rs
+
+/root/repo/target/release/deps/ablation_transform-0f4a1a614c0fac64: crates/bench/src/bin/ablation_transform.rs
+
+crates/bench/src/bin/ablation_transform.rs:

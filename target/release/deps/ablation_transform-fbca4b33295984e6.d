@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_transform-fbca4b33295984e6.d: crates/bench/src/bin/ablation_transform.rs
+
+/root/repo/target/release/deps/ablation_transform-fbca4b33295984e6: crates/bench/src/bin/ablation_transform.rs
+
+crates/bench/src/bin/ablation_transform.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/criterion-b6649ada4e4e140f.d: crates/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-b6649ada4e4e140f.rlib: crates/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-b6649ada4e4e140f.rmeta: crates/criterion/src/lib.rs
+
+crates/criterion/src/lib.rs:

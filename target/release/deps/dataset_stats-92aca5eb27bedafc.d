@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/dataset_stats-92aca5eb27bedafc.d: crates/bench/src/bin/dataset_stats.rs
+
+/root/repo/target/release/deps/dataset_stats-92aca5eb27bedafc: crates/bench/src/bin/dataset_stats.rs
+
+crates/bench/src/bin/dataset_stats.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/dataset_stats-94f441ce5a4df7f1.d: crates/bench/src/bin/dataset_stats.rs
+
+/root/repo/target/release/deps/dataset_stats-94f441ce5a4df7f1: crates/bench/src/bin/dataset_stats.rs
+
+crates/bench/src/bin/dataset_stats.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/dpz-25582b2ebc67dcf0.d: crates/cli/src/bin/dpz.rs
+
+/root/repo/target/release/deps/dpz-25582b2ebc67dcf0: crates/cli/src/bin/dpz.rs
+
+crates/cli/src/bin/dpz.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/dpz-8838b3252fb1cccf.d: src/lib.rs
+
+/root/repo/target/release/deps/libdpz-8838b3252fb1cccf.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libdpz-8838b3252fb1cccf.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/dpz-c20283aef3f5a46a.d: src/lib.rs
+
+/root/repo/target/release/deps/libdpz-c20283aef3f5a46a.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libdpz-c20283aef3f5a46a.rmeta: src/lib.rs
+
+src/lib.rs:

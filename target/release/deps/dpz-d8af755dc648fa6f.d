@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/dpz-d8af755dc648fa6f.d: crates/cli/src/bin/dpz.rs
+
+/root/repo/target/release/deps/dpz-d8af755dc648fa6f: crates/cli/src/bin/dpz.rs
+
+crates/cli/src/bin/dpz.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/dpz_bench-d8946d31f0bd7f65.d: crates/bench/src/lib.rs crates/bench/src/harness.rs crates/bench/src/runners.rs
+
+/root/repo/target/release/deps/libdpz_bench-d8946d31f0bd7f65.rlib: crates/bench/src/lib.rs crates/bench/src/harness.rs crates/bench/src/runners.rs
+
+/root/repo/target/release/deps/libdpz_bench-d8946d31f0bd7f65.rmeta: crates/bench/src/lib.rs crates/bench/src/harness.rs crates/bench/src/runners.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/harness.rs:
+crates/bench/src/runners.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/dpz_bench-fe1730fe9af81131.d: crates/bench/src/lib.rs crates/bench/src/harness.rs crates/bench/src/runners.rs
+
+/root/repo/target/release/deps/libdpz_bench-fe1730fe9af81131.rlib: crates/bench/src/lib.rs crates/bench/src/harness.rs crates/bench/src/runners.rs
+
+/root/repo/target/release/deps/libdpz_bench-fe1730fe9af81131.rmeta: crates/bench/src/lib.rs crates/bench/src/harness.rs crates/bench/src/runners.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/harness.rs:
+crates/bench/src/runners.rs:

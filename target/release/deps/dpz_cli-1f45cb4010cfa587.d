@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/dpz_cli-1f45cb4010cfa587.d: crates/cli/src/lib.rs
+
+/root/repo/target/release/deps/libdpz_cli-1f45cb4010cfa587.rlib: crates/cli/src/lib.rs
+
+/root/repo/target/release/deps/libdpz_cli-1f45cb4010cfa587.rmeta: crates/cli/src/lib.rs
+
+crates/cli/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/dpz_cli-bb7217c1f67272f1.d: crates/cli/src/lib.rs
+
+/root/repo/target/release/deps/libdpz_cli-bb7217c1f67272f1.rlib: crates/cli/src/lib.rs
+
+/root/repo/target/release/deps/libdpz_cli-bb7217c1f67272f1.rmeta: crates/cli/src/lib.rs
+
+crates/cli/src/lib.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/dpz_core-8882edaebfd6f762.d: crates/core/src/lib.rs crates/core/src/chunked.rs crates/core/src/combos.rs crates/core/src/config.rs crates/core/src/container.rs crates/core/src/decompose.rs crates/core/src/kpca.rs crates/core/src/pipeline.rs crates/core/src/quantize.rs crates/core/src/sampling.rs
+
+/root/repo/target/release/deps/libdpz_core-8882edaebfd6f762.rlib: crates/core/src/lib.rs crates/core/src/chunked.rs crates/core/src/combos.rs crates/core/src/config.rs crates/core/src/container.rs crates/core/src/decompose.rs crates/core/src/kpca.rs crates/core/src/pipeline.rs crates/core/src/quantize.rs crates/core/src/sampling.rs
+
+/root/repo/target/release/deps/libdpz_core-8882edaebfd6f762.rmeta: crates/core/src/lib.rs crates/core/src/chunked.rs crates/core/src/combos.rs crates/core/src/config.rs crates/core/src/container.rs crates/core/src/decompose.rs crates/core/src/kpca.rs crates/core/src/pipeline.rs crates/core/src/quantize.rs crates/core/src/sampling.rs
+
+crates/core/src/lib.rs:
+crates/core/src/chunked.rs:
+crates/core/src/combos.rs:
+crates/core/src/config.rs:
+crates/core/src/container.rs:
+crates/core/src/decompose.rs:
+crates/core/src/kpca.rs:
+crates/core/src/pipeline.rs:
+crates/core/src/quantize.rs:
+crates/core/src/sampling.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/dpz_data-aa74d3b6234a56e3.d: crates/data/src/lib.rs crates/data/src/dataset.rs crates/data/src/io.rs crates/data/src/metrics.rs crates/data/src/pgm.rs crates/data/src/rng.rs crates/data/src/stats.rs crates/data/src/synthetic.rs
+
+/root/repo/target/release/deps/libdpz_data-aa74d3b6234a56e3.rlib: crates/data/src/lib.rs crates/data/src/dataset.rs crates/data/src/io.rs crates/data/src/metrics.rs crates/data/src/pgm.rs crates/data/src/rng.rs crates/data/src/stats.rs crates/data/src/synthetic.rs
+
+/root/repo/target/release/deps/libdpz_data-aa74d3b6234a56e3.rmeta: crates/data/src/lib.rs crates/data/src/dataset.rs crates/data/src/io.rs crates/data/src/metrics.rs crates/data/src/pgm.rs crates/data/src/rng.rs crates/data/src/stats.rs crates/data/src/synthetic.rs
+
+crates/data/src/lib.rs:
+crates/data/src/dataset.rs:
+crates/data/src/io.rs:
+crates/data/src/metrics.rs:
+crates/data/src/pgm.rs:
+crates/data/src/rng.rs:
+crates/data/src/stats.rs:
+crates/data/src/synthetic.rs:

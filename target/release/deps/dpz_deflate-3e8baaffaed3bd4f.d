@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/dpz_deflate-3e8baaffaed3bd4f.d: crates/deflate/src/lib.rs crates/deflate/src/bitio.rs crates/deflate/src/deflate.rs crates/deflate/src/huffman.rs crates/deflate/src/inflate.rs crates/deflate/src/lz77.rs crates/deflate/src/zlib.rs
+
+/root/repo/target/release/deps/libdpz_deflate-3e8baaffaed3bd4f.rlib: crates/deflate/src/lib.rs crates/deflate/src/bitio.rs crates/deflate/src/deflate.rs crates/deflate/src/huffman.rs crates/deflate/src/inflate.rs crates/deflate/src/lz77.rs crates/deflate/src/zlib.rs
+
+/root/repo/target/release/deps/libdpz_deflate-3e8baaffaed3bd4f.rmeta: crates/deflate/src/lib.rs crates/deflate/src/bitio.rs crates/deflate/src/deflate.rs crates/deflate/src/huffman.rs crates/deflate/src/inflate.rs crates/deflate/src/lz77.rs crates/deflate/src/zlib.rs
+
+crates/deflate/src/lib.rs:
+crates/deflate/src/bitio.rs:
+crates/deflate/src/deflate.rs:
+crates/deflate/src/huffman.rs:
+crates/deflate/src/inflate.rs:
+crates/deflate/src/lz77.rs:
+crates/deflate/src/zlib.rs:

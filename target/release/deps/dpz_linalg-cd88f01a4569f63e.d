@@ -1,0 +1,18 @@
+/root/repo/target/release/deps/dpz_linalg-cd88f01a4569f63e.d: crates/linalg/src/lib.rs crates/linalg/src/dct.rs crates/linalg/src/eigen.rs crates/linalg/src/fft.rs crates/linalg/src/fit.rs crates/linalg/src/jacobi.rs crates/linalg/src/knee.rs crates/linalg/src/matrix.rs crates/linalg/src/pca.rs crates/linalg/src/stats.rs crates/linalg/src/svd.rs crates/linalg/src/wavelet.rs
+
+/root/repo/target/release/deps/libdpz_linalg-cd88f01a4569f63e.rlib: crates/linalg/src/lib.rs crates/linalg/src/dct.rs crates/linalg/src/eigen.rs crates/linalg/src/fft.rs crates/linalg/src/fit.rs crates/linalg/src/jacobi.rs crates/linalg/src/knee.rs crates/linalg/src/matrix.rs crates/linalg/src/pca.rs crates/linalg/src/stats.rs crates/linalg/src/svd.rs crates/linalg/src/wavelet.rs
+
+/root/repo/target/release/deps/libdpz_linalg-cd88f01a4569f63e.rmeta: crates/linalg/src/lib.rs crates/linalg/src/dct.rs crates/linalg/src/eigen.rs crates/linalg/src/fft.rs crates/linalg/src/fit.rs crates/linalg/src/jacobi.rs crates/linalg/src/knee.rs crates/linalg/src/matrix.rs crates/linalg/src/pca.rs crates/linalg/src/stats.rs crates/linalg/src/svd.rs crates/linalg/src/wavelet.rs
+
+crates/linalg/src/lib.rs:
+crates/linalg/src/dct.rs:
+crates/linalg/src/eigen.rs:
+crates/linalg/src/fft.rs:
+crates/linalg/src/fit.rs:
+crates/linalg/src/jacobi.rs:
+crates/linalg/src/knee.rs:
+crates/linalg/src/matrix.rs:
+crates/linalg/src/pca.rs:
+crates/linalg/src/stats.rs:
+crates/linalg/src/svd.rs:
+crates/linalg/src/wavelet.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/dpz_sz-be265e0acc9fa6eb.d: crates/sz/src/lib.rs crates/sz/src/codec.rs crates/sz/src/lorenzo.rs crates/sz/src/quantizer.rs crates/sz/src/regression.rs
+
+/root/repo/target/release/deps/libdpz_sz-be265e0acc9fa6eb.rlib: crates/sz/src/lib.rs crates/sz/src/codec.rs crates/sz/src/lorenzo.rs crates/sz/src/quantizer.rs crates/sz/src/regression.rs
+
+/root/repo/target/release/deps/libdpz_sz-be265e0acc9fa6eb.rmeta: crates/sz/src/lib.rs crates/sz/src/codec.rs crates/sz/src/lorenzo.rs crates/sz/src/quantizer.rs crates/sz/src/regression.rs
+
+crates/sz/src/lib.rs:
+crates/sz/src/codec.rs:
+crates/sz/src/lorenzo.rs:
+crates/sz/src/quantizer.rs:
+crates/sz/src/regression.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/dpz_telemetry-d7f6e1ab062f00b4.d: crates/telemetry/src/lib.rs crates/telemetry/src/export.rs crates/telemetry/src/registry.rs crates/telemetry/src/snapshot.rs crates/telemetry/src/span.rs
+
+/root/repo/target/release/deps/libdpz_telemetry-d7f6e1ab062f00b4.rlib: crates/telemetry/src/lib.rs crates/telemetry/src/export.rs crates/telemetry/src/registry.rs crates/telemetry/src/snapshot.rs crates/telemetry/src/span.rs
+
+/root/repo/target/release/deps/libdpz_telemetry-d7f6e1ab062f00b4.rmeta: crates/telemetry/src/lib.rs crates/telemetry/src/export.rs crates/telemetry/src/registry.rs crates/telemetry/src/snapshot.rs crates/telemetry/src/span.rs
+
+crates/telemetry/src/lib.rs:
+crates/telemetry/src/export.rs:
+crates/telemetry/src/registry.rs:
+crates/telemetry/src/snapshot.rs:
+crates/telemetry/src/span.rs:

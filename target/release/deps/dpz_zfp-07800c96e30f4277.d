@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/dpz_zfp-07800c96e30f4277.d: crates/zfp/src/lib.rs crates/zfp/src/block.rs crates/zfp/src/codec.rs crates/zfp/src/transform.rs
+
+/root/repo/target/release/deps/libdpz_zfp-07800c96e30f4277.rlib: crates/zfp/src/lib.rs crates/zfp/src/block.rs crates/zfp/src/codec.rs crates/zfp/src/transform.rs
+
+/root/repo/target/release/deps/libdpz_zfp-07800c96e30f4277.rmeta: crates/zfp/src/lib.rs crates/zfp/src/block.rs crates/zfp/src/codec.rs crates/zfp/src/transform.rs
+
+crates/zfp/src/lib.rs:
+crates/zfp/src/block.rs:
+crates/zfp/src/codec.rs:
+crates/zfp/src/transform.rs:

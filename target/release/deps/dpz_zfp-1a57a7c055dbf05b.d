@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/dpz_zfp-1a57a7c055dbf05b.d: crates/zfp/src/lib.rs crates/zfp/src/block.rs crates/zfp/src/codec.rs crates/zfp/src/transform.rs
+
+/root/repo/target/release/deps/libdpz_zfp-1a57a7c055dbf05b.rlib: crates/zfp/src/lib.rs crates/zfp/src/block.rs crates/zfp/src/codec.rs crates/zfp/src/transform.rs
+
+/root/repo/target/release/deps/libdpz_zfp-1a57a7c055dbf05b.rmeta: crates/zfp/src/lib.rs crates/zfp/src/block.rs crates/zfp/src/codec.rs crates/zfp/src/transform.rs
+
+crates/zfp/src/lib.rs:
+crates/zfp/src/block.rs:
+crates/zfp/src/codec.rs:
+crates/zfp/src/transform.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig10_vif-1c2ef97cc404f1e8.d: crates/bench/src/bin/fig10_vif.rs
+
+/root/repo/target/release/deps/fig10_vif-1c2ef97cc404f1e8: crates/bench/src/bin/fig10_vif.rs
+
+crates/bench/src/bin/fig10_vif.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig10_vif-6cb50f5f457bcff5.d: crates/bench/src/bin/fig10_vif.rs
+
+/root/repo/target/release/deps/fig10_vif-6cb50f5f457bcff5: crates/bench/src/bin/fig10_vif.rs
+
+crates/bench/src/bin/fig10_vif.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig1_dct_distribution-0110fb668e4decaa.d: crates/bench/src/bin/fig1_dct_distribution.rs
+
+/root/repo/target/release/deps/fig1_dct_distribution-0110fb668e4decaa: crates/bench/src/bin/fig1_dct_distribution.rs
+
+crates/bench/src/bin/fig1_dct_distribution.rs:

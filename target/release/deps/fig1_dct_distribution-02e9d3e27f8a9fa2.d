@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig1_dct_distribution-02e9d3e27f8a9fa2.d: crates/bench/src/bin/fig1_dct_distribution.rs
+
+/root/repo/target/release/deps/fig1_dct_distribution-02e9d3e27f8a9fa2: crates/bench/src/bin/fig1_dct_distribution.rs
+
+crates/bench/src/bin/fig1_dct_distribution.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig2_pca_components-a776c10d1a55a283.d: crates/bench/src/bin/fig2_pca_components.rs
+
+/root/repo/target/release/deps/fig2_pca_components-a776c10d1a55a283: crates/bench/src/bin/fig2_pca_components.rs
+
+crates/bench/src/bin/fig2_pca_components.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig2_pca_components-b941734bc2807b93.d: crates/bench/src/bin/fig2_pca_components.rs
+
+/root/repo/target/release/deps/fig2_pca_components-b941734bc2807b93: crates/bench/src/bin/fig2_pca_components.rs
+
+crates/bench/src/bin/fig2_pca_components.rs:

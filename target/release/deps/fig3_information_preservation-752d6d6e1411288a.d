@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig3_information_preservation-752d6d6e1411288a.d: crates/bench/src/bin/fig3_information_preservation.rs
+
+/root/repo/target/release/deps/fig3_information_preservation-752d6d6e1411288a: crates/bench/src/bin/fig3_information_preservation.rs
+
+crates/bench/src/bin/fig3_information_preservation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig3_information_preservation-e8e6850e8816b1c9.d: crates/bench/src/bin/fig3_information_preservation.rs
+
+/root/repo/target/release/deps/fig3_information_preservation-e8e6850e8816b1c9: crates/bench/src/bin/fig3_information_preservation.rs
+
+crates/bench/src/bin/fig3_information_preservation.rs:

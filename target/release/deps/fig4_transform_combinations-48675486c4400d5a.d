@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig4_transform_combinations-48675486c4400d5a.d: crates/bench/src/bin/fig4_transform_combinations.rs
+
+/root/repo/target/release/deps/fig4_transform_combinations-48675486c4400d5a: crates/bench/src/bin/fig4_transform_combinations.rs
+
+crates/bench/src/bin/fig4_transform_combinations.rs:

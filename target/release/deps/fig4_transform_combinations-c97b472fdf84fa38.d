@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig4_transform_combinations-c97b472fdf84fa38.d: crates/bench/src/bin/fig4_transform_combinations.rs
+
+/root/repo/target/release/deps/fig4_transform_combinations-c97b472fdf84fa38: crates/bench/src/bin/fig4_transform_combinations.rs
+
+crates/bench/src/bin/fig4_transform_combinations.rs:

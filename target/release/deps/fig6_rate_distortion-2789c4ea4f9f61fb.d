@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig6_rate_distortion-2789c4ea4f9f61fb.d: crates/bench/src/bin/fig6_rate_distortion.rs
+
+/root/repo/target/release/deps/fig6_rate_distortion-2789c4ea4f9f61fb: crates/bench/src/bin/fig6_rate_distortion.rs
+
+crates/bench/src/bin/fig6_rate_distortion.rs:

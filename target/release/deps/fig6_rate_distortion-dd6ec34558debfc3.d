@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig6_rate_distortion-dd6ec34558debfc3.d: crates/bench/src/bin/fig6_rate_distortion.rs
+
+/root/repo/target/release/deps/fig6_rate_distortion-dd6ec34558debfc3: crates/bench/src/bin/fig6_rate_distortion.rs
+
+crates/bench/src/bin/fig6_rate_distortion.rs:

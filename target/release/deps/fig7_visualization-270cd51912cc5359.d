@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig7_visualization-270cd51912cc5359.d: crates/bench/src/bin/fig7_visualization.rs
+
+/root/repo/target/release/deps/fig7_visualization-270cd51912cc5359: crates/bench/src/bin/fig7_visualization.rs
+
+crates/bench/src/bin/fig7_visualization.rs:

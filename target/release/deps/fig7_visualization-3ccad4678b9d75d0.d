@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig7_visualization-3ccad4678b9d75d0.d: crates/bench/src/bin/fig7_visualization.rs
+
+/root/repo/target/release/deps/fig7_visualization-3ccad4678b9d75d0: crates/bench/src/bin/fig7_visualization.rs
+
+crates/bench/src/bin/fig7_visualization.rs:

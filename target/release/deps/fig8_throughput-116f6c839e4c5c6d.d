@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig8_throughput-116f6c839e4c5c6d.d: crates/bench/src/bin/fig8_throughput.rs
+
+/root/repo/target/release/deps/fig8_throughput-116f6c839e4c5c6d: crates/bench/src/bin/fig8_throughput.rs
+
+crates/bench/src/bin/fig8_throughput.rs:

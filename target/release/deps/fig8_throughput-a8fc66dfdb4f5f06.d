@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig8_throughput-a8fc66dfdb4f5f06.d: crates/bench/src/bin/fig8_throughput.rs
+
+/root/repo/target/release/deps/fig8_throughput-a8fc66dfdb4f5f06: crates/bench/src/bin/fig8_throughput.rs
+
+crates/bench/src/bin/fig8_throughput.rs:

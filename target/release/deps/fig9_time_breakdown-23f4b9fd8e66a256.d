@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig9_time_breakdown-23f4b9fd8e66a256.d: crates/bench/src/bin/fig9_time_breakdown.rs
+
+/root/repo/target/release/deps/fig9_time_breakdown-23f4b9fd8e66a256: crates/bench/src/bin/fig9_time_breakdown.rs
+
+crates/bench/src/bin/fig9_time_breakdown.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig9_time_breakdown-beded45f2a18996d.d: crates/bench/src/bin/fig9_time_breakdown.rs
+
+/root/repo/target/release/deps/fig9_time_breakdown-beded45f2a18996d: crates/bench/src/bin/fig9_time_breakdown.rs
+
+crates/bench/src/bin/fig9_time_breakdown.rs:

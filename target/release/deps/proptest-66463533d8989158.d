@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/proptest-66463533d8989158.d: crates/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-66463533d8989158.rlib: crates/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-66463533d8989158.rmeta: crates/proptest/src/lib.rs
+
+crates/proptest/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rayon-a135e3155642a958.d: crates/rayon/src/lib.rs
+
+/root/repo/target/release/deps/librayon-a135e3155642a958.rlib: crates/rayon/src/lib.rs
+
+/root/repo/target/release/deps/librayon-a135e3155642a958.rmeta: crates/rayon/src/lib.rs
+
+crates/rayon/src/lib.rs:

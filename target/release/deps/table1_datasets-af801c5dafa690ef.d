@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1_datasets-af801c5dafa690ef.d: crates/bench/src/bin/table1_datasets.rs
+
+/root/repo/target/release/deps/table1_datasets-af801c5dafa690ef: crates/bench/src/bin/table1_datasets.rs
+
+crates/bench/src/bin/table1_datasets.rs:

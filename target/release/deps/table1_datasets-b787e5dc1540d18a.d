@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1_datasets-b787e5dc1540d18a.d: crates/bench/src/bin/table1_datasets.rs
+
+/root/repo/target/release/deps/table1_datasets-b787e5dc1540d18a: crates/bench/src/bin/table1_datasets.rs
+
+crates/bench/src/bin/table1_datasets.rs:

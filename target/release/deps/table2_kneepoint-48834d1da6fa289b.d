@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2_kneepoint-48834d1da6fa289b.d: crates/bench/src/bin/table2_kneepoint.rs
+
+/root/repo/target/release/deps/table2_kneepoint-48834d1da6fa289b: crates/bench/src/bin/table2_kneepoint.rs
+
+crates/bench/src/bin/table2_kneepoint.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2_kneepoint-4edf36570fdf0495.d: crates/bench/src/bin/table2_kneepoint.rs
+
+/root/repo/target/release/deps/table2_kneepoint-4edf36570fdf0495: crates/bench/src/bin/table2_kneepoint.rs
+
+crates/bench/src/bin/table2_kneepoint.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table3_cr_breakdown-07e4c5aebca8bfd8.d: crates/bench/src/bin/table3_cr_breakdown.rs
+
+/root/repo/target/release/deps/table3_cr_breakdown-07e4c5aebca8bfd8: crates/bench/src/bin/table3_cr_breakdown.rs
+
+crates/bench/src/bin/table3_cr_breakdown.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table3_cr_breakdown-230c8c5fa56f7051.d: crates/bench/src/bin/table3_cr_breakdown.rs
+
+/root/repo/target/release/deps/table3_cr_breakdown-230c8c5fa56f7051: crates/bench/src/bin/table3_cr_breakdown.rs
+
+crates/bench/src/bin/table3_cr_breakdown.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table4_psnr_loss-3e88d0d4adb10a04.d: crates/bench/src/bin/table4_psnr_loss.rs
+
+/root/repo/target/release/deps/table4_psnr_loss-3e88d0d4adb10a04: crates/bench/src/bin/table4_psnr_loss.rs
+
+crates/bench/src/bin/table4_psnr_loss.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table4_psnr_loss-80a0cfe90b321875.d: crates/bench/src/bin/table4_psnr_loss.rs
+
+/root/repo/target/release/deps/table4_psnr_loss-80a0cfe90b321875: crates/bench/src/bin/table4_psnr_loss.rs
+
+crates/bench/src/bin/table4_psnr_loss.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table5_sampling_accuracy-b79a826d59874507.d: crates/bench/src/bin/table5_sampling_accuracy.rs
+
+/root/repo/target/release/deps/table5_sampling_accuracy-b79a826d59874507: crates/bench/src/bin/table5_sampling_accuracy.rs
+
+crates/bench/src/bin/table5_sampling_accuracy.rs:

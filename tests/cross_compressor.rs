@@ -16,7 +16,11 @@ fn sz_pointwise_bound_on_every_suite_member() {
         let (recon, _) = dpz::sz::decompress(&bytes).unwrap();
         for (i, (a, b)) in ds.data.iter().zip(&recon).enumerate() {
             let err = (f64::from(*a) - f64::from(*b)).abs();
-            assert!(err <= eb * (1.0 + 1e-9), "{} idx {i}: {err} > {eb}", ds.name);
+            assert!(
+                err <= eb * (1.0 + 1e-9),
+                "{} idx {i}: {err} > {eb}",
+                ds.name
+            );
         }
     }
 }
@@ -37,7 +41,11 @@ fn zfp_quality_improves_with_precision_everywhere() {
             ph.psnr,
             pl.psnr
         );
-        assert!(hi.len() > lo.len(), "{}: more precision must cost more bits", ds.name);
+        assert!(
+            hi.len() > lo.len(),
+            "{}: more precision must cost more bits",
+            ds.name
+        );
     }
 }
 
@@ -65,11 +73,7 @@ fn dpz_beats_baselines_on_smooth_climate_field_at_matched_quality() {
     let range = value_range(&ds.data).max(f64::MIN_POSITIVE);
     let mut best_sz = 0.0f64;
     for rel in [1e-2, 1e-3, 1e-4, 1e-5] {
-        let bytes = dpz::sz::compress(
-            &ds.data,
-            &ds.dims,
-            &SzConfig::with_error_bound(rel * range),
-        );
+        let bytes = dpz::sz::compress(&ds.data, &ds.dims, &SzConfig::with_error_bound(rel * range));
         let (recon, _) = dpz::sz::decompress(&bytes).unwrap();
         let r = QualityReport::evaluate(&ds.data, &recon, bytes.len());
         if r.psnr >= floor {

@@ -18,7 +18,12 @@ fn dwt_variant_round_trips_suite_wide() {
         let (recon, dims) = dpz::core::decompress(&out.bytes).unwrap();
         assert_eq!(dims, ds.dims, "{}", ds.name);
         let report = QualityReport::evaluate(&ds.data, &recon, out.bytes.len());
-        assert!(report.psnr > 28.0, "{}: DWT PSNR {:.1}", ds.name, report.psnr);
+        assert!(
+            report.psnr > 28.0,
+            "{}: DWT PSNR {:.1}",
+            ds.name,
+            report.psnr
+        );
     }
 }
 
@@ -60,7 +65,11 @@ fn sz_auto_predictor_bound_holds_suite_wide() {
         let (recon, _) = dpz::sz::decompress(&bytes).unwrap();
         for (i, (a, b)) in ds.data.iter().zip(&recon).enumerate() {
             let err = (f64::from(*a) - f64::from(*b)).abs();
-            assert!(err <= eb * (1.0 + 1e-9), "{} idx {i}: {err} > {eb}", ds.name);
+            assert!(
+                err <= eb * (1.0 + 1e-9),
+                "{} idx {i}: {err} > {eb}",
+                ds.name
+            );
         }
     }
 }

@@ -10,7 +10,10 @@ use proptest::prelude::*;
 fn field_strategy() -> impl Strategy<Value = Vec<f32>> {
     (
         64usize..1200,
-        proptest::collection::vec((0.001f64..0.5, -10.0f64..10.0, 0.0f64..std::f64::consts::TAU), 1..5),
+        proptest::collection::vec(
+            (0.001f64..0.5, -10.0f64..10.0, 0.0f64..std::f64::consts::TAU),
+            1..5,
+        ),
         -1e3f64..1e3,
         0.0f64..0.3,
         any::<u64>(),

@@ -7,8 +7,7 @@ use dpz_core::{compress, decompress};
 fn every_dataset_round_trips_with_reasonable_quality() {
     for ds in standard_suite(Scale::Tiny) {
         let cfg = DpzConfig::strict().with_tve(TveLevel::SixNines);
-        let out = compress(&ds.data, &ds.dims, &cfg)
-            .unwrap_or_else(|e| panic!("{}: {e}", ds.name));
+        let out = compress(&ds.data, &ds.dims, &cfg).unwrap_or_else(|e| panic!("{}: {e}", ds.name));
         let (recon, dims) = decompress(&out.bytes).unwrap();
         assert_eq!(dims, ds.dims, "{}", ds.name);
         assert_eq!(recon.len(), ds.len(), "{}", ds.name);
@@ -19,7 +18,12 @@ fn every_dataset_round_trips_with_reasonable_quality() {
             ds.name,
             report.psnr
         );
-        assert!(report.mean_rel_error < 0.02, "{}: θ {}", ds.name, report.mean_rel_error);
+        assert!(
+            report.mean_rel_error < 0.02,
+            "{}: θ {}",
+            ds.name,
+            report.mean_rel_error
+        );
     }
 }
 
@@ -29,7 +33,10 @@ fn compression_is_deterministic() {
     let cfg = DpzConfig::loose();
     let a = compress(&ds.data, &ds.dims, &cfg).unwrap();
     let b = compress(&ds.data, &ds.dims, &cfg).unwrap();
-    assert_eq!(a.bytes, b.bytes, "same input + config must give identical streams");
+    assert_eq!(
+        a.bytes, b.bytes,
+        "same input + config must give identical streams"
+    );
 }
 
 #[test]
@@ -44,7 +51,11 @@ fn loose_vs_strict_tradeoff_holds_suite_wide() {
         let (rs, _) = decompress(&s.bytes).unwrap();
         let pl = QualityReport::evaluate(&ds.data, &rl, l.bytes.len()).psnr;
         let ps = QualityReport::evaluate(&ds.data, &rs, s.bytes.len()).psnr;
-        assert!(ps >= pl - 0.5, "{}: strict {ps:.1} dB vs loose {pl:.1} dB", ds.name);
+        assert!(
+            ps >= pl - 0.5,
+            "{}: strict {ps:.1} dB vs loose {pl:.1} dB",
+            ds.name
+        );
     }
 }
 
@@ -52,9 +63,12 @@ fn loose_vs_strict_tradeoff_holds_suite_wide() {
 fn tve_dial_monotone_on_smooth_fields() {
     let ds = Dataset::generate(DatasetKind::Fldsc, Scale::Tiny, 2021);
     let mut last_psnr = 0.0;
-    for level in [TveLevel::ThreeNines, TveLevel::FiveNines, TveLevel::SevenNines] {
-        let out =
-            compress(&ds.data, &ds.dims, &DpzConfig::strict().with_tve(level)).unwrap();
+    for level in [
+        TveLevel::ThreeNines,
+        TveLevel::FiveNines,
+        TveLevel::SevenNines,
+    ] {
+        let out = compress(&ds.data, &ds.dims, &DpzConfig::strict().with_tve(level)).unwrap();
         let (recon, _) = decompress(&out.bytes).unwrap();
         let psnr = QualityReport::evaluate(&ds.data, &recon, out.bytes.len()).psnr;
         assert!(
