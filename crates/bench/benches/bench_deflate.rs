@@ -3,7 +3,7 @@
 //! sections, incompressible noise).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use dpz_deflate::{compress_with_level, decompress, CompressionLevel};
+use dpz_deflate::{compress_parallel, compress_with_level, decompress, CompressionLevel};
 use std::hint::black_box;
 
 fn index_plane(n: usize) -> Vec<u8> {
@@ -52,6 +52,22 @@ fn bench_deflate(c: &mut Criterion) {
             );
         }
     }
+    group.finish();
+
+    // Multi-member zlib: one independently-deflated member per worker strip
+    // (single-stream output below the 64 KiB split threshold or on one
+    // worker), so this group shows the pool-scaling headroom of stage 3.
+    let big = 1024 * 1024;
+    let big_indices = index_plane(big);
+    let mut group = c.benchmark_group("zlib_parallel_compress_1mib");
+    group.sample_size(10);
+    group.throughput(Throughput::Bytes(big as u64));
+    group.bench_function("single_stream", |b| {
+        b.iter(|| compress_with_level(black_box(&big_indices), CompressionLevel::Default));
+    });
+    group.bench_function("multi_member", |b| {
+        b.iter(|| compress_parallel(black_box(&big_indices), CompressionLevel::Default));
+    });
     group.finish();
 
     let mut group = c.benchmark_group("deflate_decompress");

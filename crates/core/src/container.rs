@@ -19,7 +19,7 @@
 //! out-of-range points; compressing the model too is strictly beneficial).
 
 use crate::quantize::QuantizedScores;
-use dpz_deflate::{compress_with_level, decompress as inflate, CompressionLevel, DeflateError};
+use dpz_deflate::{compress_parallel, decompress as inflate, CompressionLevel, DeflateError};
 
 const MAGIC: &[u8; 4] = b"DPZ1";
 const VERSION: u8 = 1;
@@ -141,15 +141,18 @@ pub fn serialize(data: &ContainerData) -> (Vec<u8>, SectionSizes) {
     for &v in data.basis.iter().chain(&data.mean).chain(&data.scale) {
         model.extend_from_slice(&v.to_le_bytes());
     }
-    let model_packed = compress_with_level(&model, CompressionLevel::Default);
-    let indices_packed = compress_with_level(&data.scores.indices, CompressionLevel::Default);
+    // Multi-member zlib: each section deflates in parallel strips; small
+    // sections fall back to a byte-identical single member (see
+    // `dpz_deflate::compress_parallel`).
+    let model_packed = compress_parallel(&model, CompressionLevel::Default);
+    let indices_packed = compress_parallel(&data.scores.indices, CompressionLevel::Default);
     let outlier_bytes: Vec<u8> = data
         .scores
         .outliers
         .iter()
         .flat_map(|v| v.to_le_bytes())
         .collect();
-    let outliers_packed = compress_with_level(&outlier_bytes, CompressionLevel::Default);
+    let outliers_packed = compress_parallel(&outlier_bytes, CompressionLevel::Default);
 
     let sizes = SectionSizes {
         model_raw: model.len(),

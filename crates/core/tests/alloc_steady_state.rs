@@ -1,0 +1,71 @@
+//! Steady-state allocation discipline for the stage-1 transform.
+//!
+//! The PR-2 acceptance bar: transforming a 256x1024 field does O(1) heap
+//! allocations once warm — the per-worker DCT/FFT scratch must absorb the
+//! former per-block `vec![Complex; n]`. A counting global allocator makes
+//! the bound measurable; this file is its own test binary because
+//! `#[global_allocator]` is per-binary and the thread-count pin must happen
+//! before the pool exists.
+
+use dpz_core::decompose::{choose_shape, dct_blocks, idct_blocks};
+use dpz_linalg::Matrix;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+#[test]
+fn transform_blocks_is_alloc_free_after_warmup() {
+    // Pin the pool before first use so the bound is host-independent.
+    std::env::set_var("DPZ_THREADS", "4");
+
+    // A 256x1024 field: shape m=256 blocks of length n=1024 (radix-2 FFT).
+    let shape = choose_shape(256 * 1024);
+    assert_eq!((shape.m, shape.n), (256, 1024));
+    let data: Vec<f64> = (0..shape.m * shape.n)
+        .map(|i| (i as f64 * 0.001).sin())
+        .collect();
+    let blocks = Matrix::from_vec(shape.n, shape.m, data).unwrap();
+
+    // Warm-up: builds the pool, per-thread scratch, transpose buffers.
+    let warm = dct_blocks(&blocks);
+    let _ = idct_blocks(&warm);
+
+    // Steady state: the only allocations left are the O(workers) transpose /
+    // fan-out bookkeeping — emphatically NOT O(m) per-block scratch vectors.
+    let before = ALLOCS.load(Ordering::Relaxed);
+    let out = dct_blocks(&blocks);
+    let delta = ALLOCS.load(Ordering::Relaxed) - before;
+    assert!(
+        delta <= 64,
+        "dct_blocks did {delta} allocations in steady state (expected <= 64; \
+         per-block scratch would cost >= {})",
+        shape.m
+    );
+
+    // And the result still inverts correctly.
+    let round = idct_blocks(&out);
+    let err = round.max_abs_diff(&blocks);
+    assert!(err < 1e-9, "round-trip error {err}");
+}

@@ -90,7 +90,7 @@ impl BenchmarkGroup<'_> {
     fn run(&mut self, label: &str, f: &mut dyn FnMut(&mut Bencher)) {
         let mut b = Bencher {
             median: 0.0,
-            samples: self.sample_size,
+            samples: sample_override().unwrap_or(self.sample_size),
         };
         f(&mut b);
         let rate = match self.throughput {
@@ -173,6 +173,16 @@ impl Criterion {
     }
 }
 
+/// CI smoke override: `DPZ_BENCH_SAMPLES=N` caps every benchmark at `N`
+/// timed samples regardless of the source's `sample_size`, so a bench run
+/// can double as a fast "does it still execute" check.
+fn sample_override() -> Option<usize> {
+    std::env::var("DPZ_BENCH_SAMPLES")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+}
+
 fn format_seconds(s: f64) -> String {
     if s >= 1.0 {
         format!("{s:.3} s")
@@ -231,6 +241,18 @@ mod tests {
         assert!(format_seconds(2e-3).ends_with(" ms"));
         assert!(format_seconds(2e-6).ends_with(" µs"));
         assert!(format_seconds(2e-9).ends_with(" ns"));
+    }
+
+    #[test]
+    fn sample_override_parses_strictly() {
+        std::env::set_var("DPZ_BENCH_SAMPLES", "2");
+        assert_eq!(sample_override(), Some(2));
+        std::env::set_var("DPZ_BENCH_SAMPLES", "0");
+        assert_eq!(sample_override(), None);
+        std::env::set_var("DPZ_BENCH_SAMPLES", "lots");
+        assert_eq!(sample_override(), None);
+        std::env::remove_var("DPZ_BENCH_SAMPLES");
+        assert_eq!(sample_override(), None);
     }
 
     #[test]

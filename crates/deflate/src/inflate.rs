@@ -10,6 +10,15 @@ use crate::{DeflateError, Result};
 
 /// Decompress a raw DEFLATE stream into bytes.
 pub fn inflate(data: &[u8]) -> Result<Vec<u8>> {
+    inflate_consumed(data).map(|(out, _)| out)
+}
+
+/// Decompress a raw DEFLATE stream and also report how many input bytes the
+/// stream occupied (rounded up to the byte after the final block).
+///
+/// The consumed count lets callers parse *concatenated* streams — e.g. the
+/// multi-member zlib container — by restarting after each member.
+pub fn inflate_consumed(data: &[u8]) -> Result<(Vec<u8>, usize)> {
     let mut r = BitReader::new(data);
     let mut out = Vec::with_capacity(data.len() * 3);
     loop {
@@ -32,7 +41,9 @@ pub fn inflate(data: &[u8]) -> Result<Vec<u8>> {
             break;
         }
     }
-    Ok(out)
+    // Discard the final block's bit padding so byte_position() is exact.
+    r.align_to_byte();
+    Ok((out, r.byte_position()))
 }
 
 fn read_stored_block(r: &mut BitReader<'_>, out: &mut Vec<u8>) -> Result<()> {
@@ -214,6 +225,18 @@ mod tests {
             .collect();
         let packed = deflate_compress(&data, CompressionLevel::Fast);
         assert_eq!(inflate(&packed).unwrap(), data);
+    }
+
+    #[test]
+    fn consumed_reports_exact_stream_length() {
+        let data = b"consumed length probe ".repeat(40);
+        let packed = deflate_compress(&data, CompressionLevel::Default);
+        // Append trailing garbage; the decoder must stop at the real end.
+        let mut padded = packed.clone();
+        padded.extend_from_slice(&[0xDE, 0xAD, 0xBE, 0xEF]);
+        let (out, used) = inflate_consumed(&padded).unwrap();
+        assert_eq!(out, data);
+        assert_eq!(used, packed.len());
     }
 
     #[test]

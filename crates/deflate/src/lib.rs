@@ -30,7 +30,7 @@ pub mod lz77;
 pub mod zlib;
 
 pub use deflate::CompressionLevel;
-pub use zlib::{compress, compress_with_level, decompress};
+pub use zlib::{compress, compress_parallel, compress_with_level, decompress};
 
 /// Errors produced while decoding a compressed stream.
 #[derive(Debug, Clone, PartialEq, Eq)]

@@ -1,8 +1,17 @@
 //! zlib container (RFC 1950): 2-byte header, DEFLATE body, Adler-32 trailer.
+//!
+//! On top of the classic single-stream functions this module offers a
+//! **multi-member** variant ([`compress_parallel`]): the payload is split
+//! into worker strips and each strip is deflated independently into a
+//! complete zlib stream; the members are then concatenated. Every member is
+//! a fully valid RFC 1950 stream, and [`decompress`] simply loops — so old
+//! single-member streams decode unchanged, and multi-member streams decode
+//! on any version that loops (forward + backward compatible).
 
 use crate::deflate::{deflate_compress, CompressionLevel};
-use crate::inflate::inflate;
+use crate::inflate::inflate_consumed;
 use crate::{DeflateError, Result};
+use rayon::prelude::*;
 
 /// Adler-32 modulus.
 const MOD_ADLER: u32 = 65_521;
@@ -53,8 +62,43 @@ pub fn compress_with_level(data: &[u8], level: CompressionLevel) -> Vec<u8> {
     out
 }
 
-/// Decompress a zlib stream, verifying the header and Adler-32 trailer.
-pub fn decompress(data: &[u8]) -> Result<Vec<u8>> {
+/// Minimum bytes of raw input per member when splitting for parallel
+/// compression. Below this the per-member header/trailer overhead and the
+/// lost cross-strip match window outweigh the parallelism, so small payloads
+/// stay byte-identical to the single-stream [`compress_with_level`] output.
+const MIN_MEMBER_BYTES: usize = 64 * 1024;
+
+/// Compress into one *or more* concatenated zlib members, deflating the
+/// members in parallel on the global thread pool.
+///
+/// The input is split into `current_num_threads()` contiguous strips (each
+/// at least [`MIN_MEMBER_BYTES`] long); each strip becomes an independent,
+/// complete RFC 1950 stream. [`decompress`] concatenates them back
+/// transparently. With one worker — or input shorter than two strips — the
+/// output is byte-identical to [`compress_with_level`].
+pub fn compress_parallel(data: &[u8], level: CompressionLevel) -> Vec<u8> {
+    let workers = rayon::current_num_threads();
+    let members = (data.len() / MIN_MEMBER_BYTES).clamp(1, workers);
+    if members <= 1 {
+        return compress_with_level(data, level);
+    }
+    let strip = data.len().div_ceil(members);
+    let parts: Vec<Vec<u8>> = data
+        .par_chunks(strip)
+        .map(|chunk| compress_with_level(chunk, level))
+        .collect();
+    let total = parts.iter().map(Vec::len).sum();
+    let mut out = Vec::with_capacity(total);
+    for p in &parts {
+        out.extend_from_slice(p);
+    }
+    out
+}
+
+/// Decompress one zlib member starting at the beginning of `data`.
+/// Returns the decoded bytes and the member's total encoded length
+/// (header + deflate body + trailer).
+fn decompress_member(data: &[u8]) -> Result<(Vec<u8>, usize)> {
     if data.len() < 6 {
         return Err(DeflateError::UnexpectedEof);
     }
@@ -69,13 +113,16 @@ pub fn decompress(data: &[u8]) -> Result<Vec<u8>> {
     if flg & 0x20 != 0 {
         return Err(DeflateError::BadHeader); // FDICT unsupported
     }
-    let body = &data[2..data.len() - 4];
-    let out = inflate(body)?;
+    let (out, body_len) = inflate_consumed(&data[2..data.len() - 4])?;
+    let trailer = 2 + body_len;
+    if data.len() < trailer + 4 {
+        return Err(DeflateError::UnexpectedEof);
+    }
     let stored = u32::from_be_bytes([
-        data[data.len() - 4],
-        data[data.len() - 3],
-        data[data.len() - 2],
-        data[data.len() - 1],
+        data[trailer],
+        data[trailer + 1],
+        data[trailer + 2],
+        data[trailer + 3],
     ]);
     let actual = adler32(&out);
     if stored != actual {
@@ -83,6 +130,20 @@ pub fn decompress(data: &[u8]) -> Result<Vec<u8>> {
             expected: stored,
             actual,
         });
+    }
+    Ok((out, trailer + 4))
+}
+
+/// Decompress a zlib stream — single-member or a concatenation of members
+/// (see [`compress_parallel`]) — verifying every header and Adler-32
+/// trailer. Single-member streams written by older versions decode exactly
+/// as before.
+pub fn decompress(data: &[u8]) -> Result<Vec<u8>> {
+    let (mut out, mut pos) = decompress_member(data)?;
+    while pos < data.len() {
+        let (mut member, used) = decompress_member(&data[pos..])?;
+        out.append(&mut member);
+        pos += used;
     }
     Ok(out)
 }
@@ -142,5 +203,91 @@ mod tests {
     #[test]
     fn rejects_short_input() {
         assert_eq!(decompress(&[0x78]), Err(DeflateError::UnexpectedEof));
+    }
+
+    fn mixed_payload(n: usize) -> Vec<u8> {
+        let mut s = 0x9E3779B9u64;
+        (0..n)
+            .map(|i| {
+                s ^= s << 13;
+                s ^= s >> 7;
+                s ^= s << 17;
+                if i % 3 == 0 {
+                    (s >> 32) as u8
+                } else {
+                    (i % 251) as u8
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn parallel_small_input_is_byte_identical_to_single_stream() {
+        // Below the member threshold the parallel path must not change the
+        // bytes at all (the container format stays stable for small blobs).
+        let data = mixed_payload(MIN_MEMBER_BYTES - 1);
+        assert_eq!(
+            compress_parallel(&data, CompressionLevel::Default),
+            compress_with_level(&data, CompressionLevel::Default)
+        );
+    }
+
+    #[test]
+    fn parallel_round_trips_large_inputs() {
+        for &n in &[
+            MIN_MEMBER_BYTES,
+            2 * MIN_MEMBER_BYTES + 17,
+            5 * MIN_MEMBER_BYTES,
+        ] {
+            let data = mixed_payload(n);
+            let packed = compress_parallel(&data, CompressionLevel::Fast);
+            assert_eq!(decompress(&packed).unwrap(), data, "n={n}");
+        }
+    }
+
+    #[test]
+    fn decompress_handles_hand_concatenated_members() {
+        // Members written by the plain single-stream encoder, glued
+        // together: decompress must see one logical payload regardless of
+        // worker count.
+        let a = b"first member ".repeat(300);
+        let b = b"second member, different content ".repeat(200);
+        let c: Vec<u8> = vec![0u8; 10_000];
+        let mut glued = compress(&a);
+        glued.extend_from_slice(&compress(&b));
+        glued.extend_from_slice(&compress(&c));
+        let mut expect = a.clone();
+        expect.extend_from_slice(&b);
+        expect.extend_from_slice(&c);
+        assert_eq!(decompress(&glued).unwrap(), expect);
+    }
+
+    #[test]
+    fn single_member_streams_from_old_writer_still_decode() {
+        // `compress_with_level` is the PR-1-era writer; its output must
+        // decode byte-identically through the looping decoder.
+        let data = mixed_payload(3 * MIN_MEMBER_BYTES);
+        let old = compress_with_level(&data, CompressionLevel::Default);
+        assert_eq!(decompress(&old).unwrap(), data);
+    }
+
+    #[test]
+    fn corrupted_second_member_is_detected() {
+        let a = b"alpha ".repeat(100);
+        let b = b"beta ".repeat(100);
+        let first = compress(&a);
+        let mut glued = first.clone();
+        glued.extend_from_slice(&compress(&b));
+        let n = glued.len();
+        glued[n - 1] ^= 0xFF; // break member 2's adler trailer
+        match decompress(&glued) {
+            Err(DeflateError::ChecksumMismatch { .. }) | Err(DeflateError::Corrupt(_)) => {}
+            other => panic!("expected checksum/corrupt error, got {other:?}"),
+        }
+        // Truncated second member: a dangling partial header is an error,
+        // not silently ignored trailing bytes.
+        let mut trunc = first;
+        trunc.extend_from_slice(&[0x78]);
+        assert!(decompress(&trunc).is_err());
     }
 }

@@ -18,8 +18,40 @@
 //! (Bluestein covers non-powers of two). A naive `O(n²)` pair is kept as the
 //! test oracle.
 
-use crate::fft::{fft, ifft, Complex};
+use crate::fft::{fft_with, ifft_with, Complex, FftScratch};
+use std::cell::RefCell;
 use std::f64::consts::PI;
+
+/// Reusable workspace for [`Dct1d::forward_with`] / [`Dct1d::inverse_with`].
+///
+/// Holds the complex permutation buffer, the descaled-coefficient buffer and
+/// the FFT's own scratch. After the first transform of a given length the
+/// buffers are warm and subsequent transforms perform **zero heap
+/// allocations**. The default [`Dct1d::forward`] / [`Dct1d::inverse`] route
+/// through a thread-local instance, so per-worker reuse happens even at call
+/// sites that never mention the scratch.
+#[derive(Debug, Default)]
+pub struct DctScratch {
+    /// Complex buffer for the Makhoul-permuted sequence.
+    v: Vec<Complex>,
+    /// Raw cosine sums `C[k]` (inverse direction only).
+    c: Vec<f64>,
+    /// Workspace for the non-power-of-two FFT path.
+    fft: FftScratch,
+}
+
+impl DctScratch {
+    /// Empty scratch; buffers grow on first use and are reused afterwards.
+    pub fn new() -> Self {
+        DctScratch::default()
+    }
+}
+
+thread_local! {
+    /// Per-thread scratch backing the allocation-free default path. Pool
+    /// workers are persistent, so this stays warm across `par_*` calls.
+    static LOCAL_SCRATCH: RefCell<DctScratch> = RefCell::new(DctScratch::new());
+}
 
 /// A reusable DCT plan for a fixed length `n`.
 ///
@@ -64,7 +96,15 @@ impl Dct1d {
     }
 
     /// In-place orthonormal DCT-II. `data.len()` must equal the plan length.
+    ///
+    /// Uses a thread-local [`DctScratch`], so repeated calls on one thread
+    /// allocate nothing after the first transform of this length.
     pub fn forward(&self, data: &mut [f64]) {
+        LOCAL_SCRATCH.with(|s| self.forward_with(data, &mut s.borrow_mut()));
+    }
+
+    /// [`Dct1d::forward`] with caller-owned scratch.
+    pub fn forward_with(&self, data: &mut [f64], scratch: &mut DctScratch) {
         assert_eq!(data.len(), self.n, "Dct1d::forward length mismatch");
         let n = self.n;
         if n <= 1 {
@@ -74,8 +114,10 @@ impl Dct1d {
             return;
         }
         // Makhoul permutation: even-indexed samples ascending, then
-        // odd-indexed samples descending.
-        let mut v = vec![Complex::default(); n];
+        // odd-indexed samples descending. Every slot of `v` is overwritten,
+        // so a resize (no clear) is enough.
+        scratch.v.resize(n, Complex::default());
+        let v = &mut scratch.v[..n];
         let half = n.div_ceil(2);
         for j in 0..half {
             v[j] = Complex::new(data[2 * j], 0.0);
@@ -83,7 +125,7 @@ impl Dct1d {
         for j in 0..n / 2 {
             v[n - 1 - j] = Complex::new(data[2 * j + 1], 0.0);
         }
-        fft(&mut v);
+        fft_with(v, &mut scratch.fft);
         // C[k] = Re(e^{-iπk/(2n)} V[k]); apply orthonormal scaling.
         data[0] = v[0].re * self.s0;
         for k in 1..n {
@@ -93,7 +135,15 @@ impl Dct1d {
     }
 
     /// In-place orthonormal DCT-III (the inverse of [`Dct1d::forward`]).
+    ///
+    /// Uses a thread-local [`DctScratch`], so repeated calls on one thread
+    /// allocate nothing after the first transform of this length.
     pub fn inverse(&self, data: &mut [f64]) {
+        LOCAL_SCRATCH.with(|s| self.inverse_with(data, &mut s.borrow_mut()));
+    }
+
+    /// [`Dct1d::inverse`] with caller-owned scratch.
+    pub fn inverse_with(&self, data: &mut [f64], scratch: &mut DctScratch) {
         assert_eq!(data.len(), self.n, "Dct1d::inverse length mismatch");
         let n = self.n;
         if n <= 1 {
@@ -103,20 +153,22 @@ impl Dct1d {
             return;
         }
         // Undo the orthonormal scaling to recover the raw cosine sums C[k].
-        let mut c = vec![0.0; n];
+        scratch.c.resize(n, 0.0);
+        let c = &mut scratch.c[..n];
         c[0] = data[0] / self.s0;
         for k in 1..n {
             c[k] = data[k] / self.sk;
         }
         // Rebuild V[k] = e^{+iπk/(2n)} (C[k] - i·C[n-k]), V[0] = C[0], then
         // invert the FFT and the Makhoul permutation.
-        let mut v = vec![Complex::default(); n];
+        scratch.v.resize(n, Complex::default());
+        let v = &mut scratch.v[..n];
         v[0] = Complex::new(c[0], 0.0);
         for k in 1..n {
             let w = Complex::new(c[k], -c[n - k]);
             v[k] = self.twiddle[k].conj().mul(w);
         }
-        ifft(&mut v);
+        ifft_with(v, &mut scratch.fft);
         let half = n.div_ceil(2);
         for j in 0..half {
             data[2 * j] = v[j].re;
@@ -348,6 +400,24 @@ mod tests {
         plan.forward(&mut a);
         plan.forward(&mut b);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn explicit_scratch_matches_thread_local_path() {
+        let mut scratch = DctScratch::new();
+        // Mixed lengths (pow2 and Bluestein) through one scratch; results
+        // must match the default path bit-for-bit.
+        for &n in &[8usize, 33, 8, 100, 64, 33] {
+            let plan = Dct1d::new(n);
+            let x = ramp(n);
+            let mut with = x.clone();
+            plan.forward_with(&mut with, &mut scratch);
+            let mut default = x.clone();
+            plan.forward(&mut default);
+            assert_eq!(with, default, "forward n={n}");
+            plan.inverse_with(&mut with, &mut scratch);
+            assert!(max_err(&with, &x) < 1e-10 * n as f64, "roundtrip n={n}");
+        }
     }
 
     #[test]

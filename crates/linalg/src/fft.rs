@@ -101,11 +101,79 @@ pub fn is_power_of_two(n: usize) -> bool {
     n != 0 && n & (n - 1) == 0
 }
 
+/// Reusable workspace for the non-power-of-two (Bluestein) path.
+///
+/// Bluestein's chirp sequence and the FFT of its circular extension depend
+/// only on the transform length and direction, so a scratch that sticks to
+/// one `(n, direction)` pair — the common case when transforming many
+/// equal-length blocks — computes them once and then performs **zero heap
+/// allocations** per transform. Power-of-two lengths are in-place already
+/// and never touch the scratch.
+#[derive(Debug, Default)]
+pub struct FftScratch {
+    /// `(n, inverse)` the cached chirp/b_fft were built for.
+    key: Option<(usize, bool)>,
+    /// Chirp `w[j] = e^{∓i π j² / n}`, length `n`.
+    chirp: Vec<Complex>,
+    /// FFT of the conjugate chirp's circular extension, length `m`.
+    b_fft: Vec<Complex>,
+    /// Convolution buffer, length `m`; refilled on every call.
+    a: Vec<Complex>,
+}
+
+impl FftScratch {
+    /// Empty scratch; buffers grow on first use and are reused afterwards.
+    pub fn new() -> Self {
+        FftScratch::default()
+    }
+
+    /// (Re)build the cached chirp and `b_fft` for `(n, inverse)` if the
+    /// scratch currently holds a different pair.
+    fn prepare(&mut self, n: usize, inverse: bool) {
+        if self.key == Some((n, inverse)) {
+            return;
+        }
+        // Forward DFT needs the chirp w[j] = e^{-i pi j^2 / n}; the inverse
+        // flips the sign. Using j^2 mod 2n keeps the angle argument bounded
+        // and avoids precision loss for large j.
+        let sign = if inverse { -1.0 } else { 1.0 };
+        self.chirp.clear();
+        self.chirp.reserve(n);
+        let two_n = 2 * n as u64;
+        for jj in 0..n as u64 {
+            let sq = (jj * jj) % two_n;
+            let angle = sign * -PI * sq as f64 / n as f64;
+            self.chirp.push(Complex::from_angle(angle));
+        }
+
+        let m = (2 * n - 1).next_power_of_two();
+        self.b_fft.clear();
+        self.b_fft.resize(m, Complex::default());
+        self.b_fft[0] = self.chirp[0].conj();
+        for j in 1..n {
+            let c = self.chirp[j].conj();
+            self.b_fft[j] = c;
+            self.b_fft[m - j] = c;
+        }
+        fft_pow2(&mut self.b_fft, false);
+        self.a.resize(m, Complex::default());
+        self.key = Some((n, inverse));
+    }
+}
+
 /// In-place forward DFT: `X[k] = sum_j x[j] e^{-2 pi i jk / n}`.
 ///
 /// Dispatches to radix-2 for power-of-two lengths and Bluestein otherwise.
-/// Length 0 and 1 are no-ops.
+/// Length 0 and 1 are no-ops. Allocates Bluestein workspace per call; use
+/// [`fft_with`] to amortize it.
 pub fn fft(buf: &mut [Complex]) {
+    let mut scratch = FftScratch::new();
+    fft_with(buf, &mut scratch);
+}
+
+/// [`fft`] with caller-owned scratch: allocation-free once `scratch` has
+/// warmed up on this length/direction.
+pub fn fft_with(buf: &mut [Complex], scratch: &mut FftScratch) {
     let n = buf.len();
     if n <= 1 {
         return;
@@ -113,13 +181,21 @@ pub fn fft(buf: &mut [Complex]) {
     if is_power_of_two(n) {
         fft_pow2(buf, false);
     } else {
-        bluestein(buf, false);
+        bluestein(buf, false, scratch);
     }
 }
 
 /// In-place inverse DFT (unscaled convention divided by `n`, so
-/// `ifft(fft(x)) == x`).
+/// `ifft(fft(x)) == x`). Allocates Bluestein workspace per call; use
+/// [`ifft_with`] to amortize it.
 pub fn ifft(buf: &mut [Complex]) {
+    let mut scratch = FftScratch::new();
+    ifft_with(buf, &mut scratch);
+}
+
+/// [`ifft`] with caller-owned scratch: allocation-free once `scratch` has
+/// warmed up on this length/direction.
+pub fn ifft_with(buf: &mut [Complex], scratch: &mut FftScratch) {
     let n = buf.len();
     if n <= 1 {
         return;
@@ -127,7 +203,7 @@ pub fn ifft(buf: &mut [Complex]) {
     if is_power_of_two(n) {
         fft_pow2(buf, true);
     } else {
-        bluestein(buf, true);
+        bluestein(buf, true, scratch);
     }
     let inv = 1.0 / n as f64;
     for v in buf.iter_mut() {
@@ -179,43 +255,30 @@ fn fft_pow2(buf: &mut [Complex], inverse: bool) {
 
 /// Bluestein's algorithm: express the length-`n` DFT as a circular
 /// convolution of chirp-modulated sequences, computed with a power-of-two FFT
-/// of length `m >= 2n - 1`.
-fn bluestein(buf: &mut [Complex], inverse: bool) {
+/// of length `m >= 2n - 1`. The chirp and the FFT of its circular extension
+/// come from `scratch`, rebuilt only when the length/direction changes.
+fn bluestein(buf: &mut [Complex], inverse: bool, scratch: &mut FftScratch) {
     let n = buf.len();
-    // Forward DFT needs the chirp w[j] = e^{-i pi j^2 / n}; the inverse flips
-    // the sign. Using j^2 mod 2n keeps the angle argument bounded and avoids
-    // precision loss for large j.
-    let sign = if inverse { -1.0 } else { 1.0 };
-    let mut chirp = Vec::with_capacity(n);
-    let two_n = 2 * n as u64;
-    for jj in 0..n as u64 {
-        let sq = (jj * jj) % two_n;
-        let angle = sign * -PI * sq as f64 / n as f64;
-        chirp.push(Complex::from_angle(angle));
-    }
-
-    let m = (2 * n - 1).next_power_of_two();
-    let mut a = vec![Complex::default(); m];
-    let mut b = vec![Complex::default(); m];
+    scratch.prepare(n, inverse);
+    let chirp = &scratch.chirp;
+    let b_fft = &scratch.b_fft;
+    let a = &mut scratch.a;
+    let m = a.len();
 
     for j in 0..n {
         a[j] = buf[j].mul(chirp[j]);
     }
-    b[0] = chirp[0].conj();
-    for j in 1..n {
-        let c = chirp[j].conj();
-        b[j] = c;
-        b[m - j] = c;
+    for v in a[n..].iter_mut() {
+        *v = Complex::default();
     }
 
-    fft_pow2(&mut a, false);
-    fft_pow2(&mut b, false);
-    for (x, y) in a.iter_mut().zip(&b) {
+    fft_pow2(a, false);
+    for (x, y) in a.iter_mut().zip(b_fft) {
         *x = x.mul(*y);
     }
-    fft_pow2(&mut a, true);
+    fft_pow2(a, true);
     let inv_m = 1.0 / m as f64;
-    for (out, (conv, ch)) in buf.iter_mut().zip(a.iter().zip(&chirp)) {
+    for (out, (conv, ch)) in buf.iter_mut().zip(a.iter().zip(chirp)) {
         *out = conv.scale(inv_m).mul(*ch);
     }
 }
@@ -327,6 +390,23 @@ mod tests {
         assert_eq!(single[0], Complex::new(3.0, -1.0));
         ifft(&mut single);
         assert_eq!(single[0], Complex::new(3.0, -1.0));
+    }
+
+    #[test]
+    fn scratch_reuse_matches_fresh_across_lengths_and_directions() {
+        let mut scratch = FftScratch::new();
+        // Interleave lengths and directions so the cache is invalidated and
+        // rebuilt repeatedly; results must stay identical to the fresh path.
+        for &n in &[5usize, 12, 5, 100, 100, 31, 5] {
+            let input = ramp(n);
+            let mut with = input.clone();
+            fft_with(&mut with, &mut scratch);
+            let mut fresh = input.clone();
+            fft(&mut fresh);
+            assert_eq!(with, fresh, "forward n={n}");
+            ifft_with(&mut with, &mut scratch);
+            assert!(max_err(&with, &input) < 1e-9 * n as f64, "roundtrip n={n}");
+        }
     }
 
     #[test]

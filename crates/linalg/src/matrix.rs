@@ -252,19 +252,41 @@ impl Matrix {
         let n = self.rows;
         let mut out = vec![0.0; m * m];
 
-        // Parallelize over output rows of the (upper triangular) Gram matrix.
-        out.par_chunks_mut(m).enumerate().for_each(|(i, out_row)| {
-            for r in 0..n {
-                let row = &self.data[r * m..(r + 1) * m];
-                let xi = row[i];
-                if xi == 0.0 {
-                    continue;
-                }
-                for j in i..m {
-                    out_row[j] += xi * row[j];
+        // Parallelize over *input* row-strips, one per worker: each strip
+        // accumulates a private partial upper triangle (balanced — every
+        // strip does `strip_rows · m²/2` work and reads its rows exactly
+        // once), and the partials are reduced element-wise at the end. The
+        // previous scheme parallelized over output rows, which skewed the
+        // load (row `i` costs `m - i`) and re-read the whole input per
+        // worker.
+        if m > 0 && n > 0 {
+            let strips = rayon::current_num_threads().min(n);
+            let strip_rows = n.div_ceil(strips);
+            let partials: Vec<Vec<f64>> = self
+                .data
+                .par_chunks(strip_rows * m)
+                .map(|rows| {
+                    let mut part = vec![0.0; m * m];
+                    for row in rows.chunks_exact(m) {
+                        for (i, &xi) in row.iter().enumerate() {
+                            if xi == 0.0 {
+                                continue;
+                            }
+                            let dst = &mut part[i * m..(i + 1) * m];
+                            for j in i..m {
+                                dst[j] += xi * row[j];
+                            }
+                        }
+                    }
+                    part
+                })
+                .collect();
+            for part in &partials {
+                for (o, p) in out.iter_mut().zip(part) {
+                    *o += p;
                 }
             }
-        });
+        }
         // Mirror the strict upper triangle into the lower one.
         for i in 0..m {
             for j in (i + 1)..m {

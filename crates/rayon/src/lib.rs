@@ -2,26 +2,25 @@
 //! workspace uses. The build environment has no access to crates.io, so the
 //! real rayon cannot be fetched; this shim keeps the same call sites
 //! (`par_chunks`, `par_chunks_mut`, `par_iter`, `map`, `enumerate`,
-//! `for_each`, `collect`) and runs them on scoped OS threads.
+//! `for_each`, `collect`) and runs them on a persistent work-stealing
+//! thread pool (see [`pool`]) instead of spawning scoped OS threads on
+//! every call.
 //!
 //! Work is split into contiguous groups, one per worker, so ordering
 //! semantics match rayon's indexed parallel iterators: `collect` preserves
 //! input order and `enumerate` numbers items by their original position.
-//! Worker count follows `available_parallelism`, floored at two whenever
-//! there are at least two items so concurrency is exercised even on
-//! single-core CI machines.
+//! Worker count follows `ThreadPoolBuilder::num_threads`, then the
+//! `DPZ_THREADS` environment variable, then `available_parallelism`.
 //!
 //! [rayon]: https://docs.rs/rayon
 
-use std::num::NonZeroUsize;
+mod pool;
 
-/// Number of worker threads the shim fans out to.
-pub fn current_num_threads() -> usize {
-    std::thread::available_parallelism()
-        .map(NonZeroUsize::get)
-        .unwrap_or(1)
-        .max(2)
-}
+pub use pool::{
+    current_num_threads, pool_stats, PoolStats, ThreadPool, ThreadPoolBuildError, ThreadPoolBuilder,
+};
+
+use std::mem::{ManuallyDrop, MaybeUninit};
 
 /// Split `len` items into at most `current_num_threads()` contiguous
 /// `(start, end)` groups.
@@ -37,7 +36,18 @@ fn groups(len: usize) -> Vec<(usize, usize)> {
         .collect()
 }
 
-/// Run `f` over every item of `items` on scoped threads, preserving input
+/// Raw pointer wrapper so disjoint writers can share the output buffer.
+/// Safety rests on the callers: each task writes only its own index range.
+struct SendPtr<T>(*mut T);
+unsafe impl<T: Send> Send for SendPtr<T> {}
+unsafe impl<T: Send> Sync for SendPtr<T> {}
+impl<T> Clone for SendPtr<T> {
+    fn clone(&self) -> Self {
+        SendPtr(self.0)
+    }
+}
+
+/// Run `f` over every item of `items` on the global pool, preserving input
 /// order in the returned vector.
 fn par_map_vec<I, O, F>(items: Vec<I>, f: F) -> Vec<O>
 where
@@ -54,26 +64,43 @@ where
             .map(|(i, x)| f(i, x))
             .collect();
     }
-    // Hand each worker a contiguous, index-tagged slice of the input.
+    // Hand each worker a contiguous, index-tagged run of the input and a
+    // shared uninitialized output buffer; workers write disjoint ranges.
     let mut chunks: Vec<Vec<(usize, I)>> = Vec::with_capacity(plan.len());
     let mut it = items.into_iter().enumerate();
     for &(lo, hi) in &plan {
         chunks.push((&mut it).take(hi - lo).collect());
     }
+    let mut out: Vec<MaybeUninit<O>> = Vec::with_capacity(len);
+    // SAFETY: MaybeUninit<O> needs no initialization.
+    unsafe { out.set_len(len) };
+    let base = SendPtr(out.as_mut_ptr());
     let f = &f;
-    let mut out: Vec<Vec<O>> = Vec::with_capacity(plan.len());
-    std::thread::scope(|s| {
-        let handles: Vec<_> = chunks
-            .into_iter()
-            .map(|chunk| {
-                s.spawn(move || chunk.into_iter().map(|(i, x)| f(i, x)).collect::<Vec<O>>())
-            })
-            .collect();
-        for h in handles {
-            out.push(h.join().expect("rayon-shim worker panicked"));
-        }
-    });
-    out.into_iter().flatten().collect()
+    let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = chunks
+        .into_iter()
+        .map(|chunk| {
+            let base = base.clone();
+            Box::new(move || {
+                let base = base;
+                for (i, x) in chunk {
+                    let v = f(i, x);
+                    // SAFETY: `i` is unique across all tasks (each input
+                    // index appears in exactly one chunk) and in-bounds.
+                    unsafe { base.0.add(i).write(MaybeUninit::new(v)) };
+                }
+            }) as Box<dyn FnOnce() + Send + '_>
+        })
+        .collect();
+    // If a task panics, `scope` re-throws here and `out` is dropped as
+    // Vec<MaybeUninit<O>>: the written elements leak rather than double-free
+    // or read uninitialized memory — safe, if unfortunate.
+    pool::global_pool().scope(tasks);
+    // SAFETY: every index 0..len was written exactly once by some task and
+    // scope() returned without panicking, so all elements are initialized.
+    unsafe {
+        let mut out = ManuallyDrop::new(out);
+        Vec::from_raw_parts(out.as_mut_ptr().cast::<O>(), out.len(), out.capacity())
+    }
 }
 
 /// Parallel iterator over owned items (produced by the slice adapters).
@@ -269,6 +296,22 @@ mod tests {
 
     #[test]
     fn thread_count_reported() {
+        // Unit tests keep the historical >= 2 floor (see pool::resolve_threads).
         assert!(super::current_num_threads() >= 2);
+    }
+
+    #[test]
+    fn repeated_calls_reuse_the_pool() {
+        // Many back-to-back par calls must not exhaust anything; tasks_total
+        // strictly grows.
+        let before = super::pool_stats().tasks_executed;
+        for _ in 0..32 {
+            let v: Vec<usize> = (0..64).collect();
+            let doubled: Vec<usize> = v.par_iter().map(|&x| x * 2).collect();
+            assert_eq!(doubled[63], 126);
+        }
+        let after = super::pool_stats().tasks_executed;
+        assert!(after >= before);
+        assert!(super::pool_stats().threads >= 2);
     }
 }

@@ -1,0 +1,36 @@
+//! `DPZ_THREADS=1` must force a fully sequential, deterministic pool.
+//!
+//! This lives in its own integration-test binary (fresh process) with a
+//! single test, so the env var is set before anything touches the global
+//! pool and no other test races the initialization.
+
+use rayon::prelude::*;
+use std::sync::Mutex;
+
+#[test]
+fn dpz_threads_1_is_sequential_and_deterministic() {
+    std::env::set_var("DPZ_THREADS", "1");
+    assert_eq!(rayon::current_num_threads(), 1);
+    assert_eq!(rayon::pool_stats().threads, 1);
+
+    // Everything runs inline on the calling thread, in submission order.
+    let caller = std::thread::current().id();
+    let order = Mutex::new(Vec::new());
+    let items: Vec<usize> = (0..50).collect();
+    items.par_iter().for_each(|&i| {
+        assert_eq!(std::thread::current().id(), caller);
+        order.lock().unwrap().push(i);
+    });
+    assert_eq!(*order.lock().unwrap(), (0..50).collect::<Vec<_>>());
+
+    // collect keeps input order, trivially.
+    let sq: Vec<usize> = items.par_iter().map(|&x| x * x).collect();
+    assert_eq!(sq, (0..50).map(|x| x * x).collect::<Vec<_>>());
+
+    // The builder cannot resize an initialized pool.
+    let err = rayon::ThreadPoolBuilder::new()
+        .num_threads(3)
+        .build_global()
+        .expect_err("resize after init must fail");
+    assert!(err.to_string().contains("already initialized"));
+}

@@ -1,0 +1,109 @@
+//! Behavioral tests for the persistent pool: nesting, panic propagation,
+//! ordering, and reuse. Integration tests compile the shim without
+//! `cfg(test)`, so the pool here has its production sizing policy; the
+//! builder pins it to 4 workers so the assertions are host-independent.
+
+use rayon::prelude::*;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Pin the shared global pool to 4 workers (idempotent across tests in this
+/// binary; `build_global` is Ok when the pool already has the same size).
+fn pool4() {
+    rayon::ThreadPoolBuilder::new()
+        .num_threads(4)
+        .build_global()
+        .expect("pool size agreed across tests");
+}
+
+#[test]
+fn nested_par_calls_do_not_deadlock() {
+    pool4();
+    let total = AtomicUsize::new(0);
+    let outer: Vec<usize> = (0..16).collect();
+    outer.par_iter().for_each(|&i| {
+        // A worker blocking on this inner scope must help run queued tasks,
+        // otherwise 16 outer tasks on 4 workers deadlock.
+        let inner: Vec<usize> = (0..8).collect();
+        inner.par_iter().for_each(|&j| {
+            total.fetch_add(i * 100 + j, Ordering::Relaxed);
+        });
+    });
+    let expect: usize = (0..16).flat_map(|i| (0..8).map(move |j| i * 100 + j)).sum();
+    assert_eq!(total.load(Ordering::Relaxed), expect);
+}
+
+#[test]
+fn doubly_nested_collect_preserves_order() {
+    pool4();
+    let data: Vec<usize> = (0..64).collect();
+    let result: Vec<Vec<usize>> = data
+        .par_iter()
+        .map(|&i| {
+            let row: Vec<usize> = (0..8).collect();
+            row.par_iter().map(|&j| i * 10 + j).collect()
+        })
+        .collect();
+    for (i, row) in result.iter().enumerate() {
+        let expect: Vec<usize> = (0..8).map(|j| i * 10 + j).collect();
+        assert_eq!(row, &expect);
+    }
+}
+
+#[test]
+fn panic_propagates_and_pool_survives() {
+    pool4();
+    let items: Vec<usize> = (0..32).collect();
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        items.par_iter().for_each(|&i| {
+            if i == 17 {
+                panic!("task 17 exploded");
+            }
+        });
+    }));
+    let payload = result.expect_err("panic must reach the caller");
+    let msg = payload
+        .downcast_ref::<&str>()
+        .copied()
+        .unwrap_or("non-str payload");
+    assert!(msg.contains("exploded"), "unexpected payload: {msg}");
+
+    // The pool must stay fully usable after a task panic.
+    for _ in 0..4 {
+        let v: Vec<usize> = (0..100).collect();
+        let doubled: Vec<usize> = v.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+    }
+}
+
+#[test]
+fn enumerate_matches_input_positions() {
+    pool4();
+    let mut data = vec![0usize; 177];
+    data.par_chunks_mut(10).enumerate().for_each(|(i, chunk)| {
+        for v in chunk.iter_mut() {
+            *v = i;
+        }
+    });
+    for (pos, v) in data.iter().enumerate() {
+        assert_eq!(*v, pos / 10);
+    }
+}
+
+#[test]
+fn reported_thread_count_is_pool_size() {
+    pool4();
+    assert_eq!(rayon::current_num_threads(), 4);
+    let stats = rayon::pool_stats();
+    assert_eq!(stats.threads, 4);
+}
+
+#[test]
+fn stats_grow_with_work() {
+    pool4();
+    let before = rayon::pool_stats().tasks_executed;
+    let v: Vec<usize> = (0..1000).collect();
+    let s: usize = v.par_iter().map(|&x| x).collect::<Vec<_>>().iter().sum();
+    assert_eq!(s, 499_500);
+    assert!(rayon::pool_stats().tasks_executed > before);
+}
