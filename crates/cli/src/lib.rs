@@ -14,7 +14,10 @@
 
 #![warn(missing_docs)]
 
-use dpz_core::{compress, decompress, DpzConfig, KSelection, Stage1Transform, TveLevel};
+use dpz_core::{
+    compress, decompress_chunked_with_info, decompress_with_info, ContainerInfo, DpzConfig,
+    KSelection, Stage1Transform, TveLevel,
+};
 use dpz_data::dataset::DEFAULT_SEED;
 use dpz_data::io::{read_f32_file, write_f32_file};
 use dpz_data::metrics;
@@ -326,7 +329,21 @@ fn cmd_compress(args: &[String]) -> Result<String, CliError> {
     let out = compress(&data, &dims, &cfg).map_err(|e| err(e.to_string()))?;
     std::fs::write(output, &out.bytes).map_err(|e| err(format!("write {output}: {e}")))?;
     let delta = telemetry_finish(args, &before)?;
-    Ok(compress_summary(input, output, "dpz", threads, &delta))
+    let crc = if out.stats.checksummed {
+        ", crc32"
+    } else {
+        ", no-crc"
+    };
+    Ok(compress_summary(input, output, "dpz", threads, &delta) + crc)
+}
+
+/// Human-readable checksum status for decode summaries.
+fn crc_status(info: Option<ContainerInfo>) -> &'static str {
+    match info {
+        Some(i) if i.checksummed => "crc=verified",
+        Some(_) => "crc=absent (v1 container)",
+        None => "crc=n/a",
+    }
 }
 
 fn cmd_decompress(args: &[String]) -> Result<String, CliError> {
@@ -338,10 +355,23 @@ fn cmd_decompress(args: &[String]) -> Result<String, CliError> {
     let bytes = std::fs::read(input).map_err(|e| err(format!("read {input}: {e}")))?;
     let before = telemetry_begin(args);
     // Sniff the container magic so every codec's output decompresses.
-    let (values, dims) = match bytes.get(..4) {
-        Some(b"SZR1") => dpz_sz::decompress(&bytes).map_err(|e| err(e.to_string()))?,
-        Some(b"ZFR1") => dpz_zfp::decompress(&bytes).map_err(|e| err(e.to_string()))?,
-        _ => decompress(&bytes).map_err(|e| err(e.to_string()))?,
+    let (values, dims, info) = match bytes.get(..4) {
+        Some(b"SZR1") => {
+            let (v, d) = dpz_sz::decompress(&bytes).map_err(|e| err(e.to_string()))?;
+            (v, d, None)
+        }
+        Some(b"ZFR1") => {
+            let (v, d) = dpz_zfp::decompress(&bytes).map_err(|e| err(e.to_string()))?;
+            (v, d, None)
+        }
+        Some(b"DPZC") => {
+            let (v, d, i) = decompress_chunked_with_info(&bytes).map_err(|e| err(e.to_string()))?;
+            (v, d, Some(i))
+        }
+        _ => {
+            let (v, d, i) = decompress_with_info(&bytes).map_err(|e| err(e.to_string()))?;
+            (v, d, Some(i))
+        }
     };
     write_f32_file(output, &values).map_err(|e| err(format!("write {output}: {e}")))?;
     telemetry_finish(args, &before)?;
@@ -351,8 +381,9 @@ fn cmd_decompress(args: &[String]) -> Result<String, CliError> {
         .collect::<Vec<_>>()
         .join("x");
     Ok(format!(
-        "decompressed {input} -> {output} ({} values, dims {dims}, threads={threads})",
-        values.len()
+        "decompressed {input} -> {output} ({} values, dims {dims}, {}, threads={threads})",
+        values.len(),
+        crc_status(info),
     ))
 }
 
@@ -361,7 +392,8 @@ fn cmd_info(args: &[String]) -> Result<String, CliError> {
         .first()
         .ok_or_else(|| err("usage: dpz info <in.dpz>"))?;
     let bytes = std::fs::read(input).map_err(|e| err(format!("read {input}: {e}")))?;
-    let payload = dpz_core::container::deserialize(&bytes).map_err(|e| err(e.to_string()))?;
+    let (payload, info) =
+        dpz_core::container::deserialize_with_info(&bytes).map_err(|e| err(e.to_string()))?;
     let dims = payload
         .dims
         .iter()
@@ -369,7 +401,13 @@ fn cmd_info(args: &[String]) -> Result<String, CliError> {
         .collect::<Vec<_>>()
         .join("x");
     Ok(format!(
-        "DPZ container: dims {dims} ({} values)\n  M={} N={} pad={} k={}\n  P={:e} wide_index={} standardized={}\n  outliers={} container {} bytes (CR {:.2}x)",
+        "DPZ container: v{} ({}) dims {dims} ({} values)\n  M={} N={} pad={} k={}\n  P={:e} wide_index={} standardized={}\n  outliers={} container {} bytes (CR {:.2}x)",
+        info.version,
+        if info.checksummed {
+            "crc32 per section"
+        } else {
+            "no checksums"
+        },
         payload.orig_len,
         payload.m,
         payload.n,

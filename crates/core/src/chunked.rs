@@ -15,16 +15,26 @@
 //! ratio for parallelism; 4–16 slabs is a good range at the default scales.
 //!
 //! Container: `magic "DPZC" | version u8 | ndims u8 | dims u64×ndims
-//! | chunk count u64 | chunk byte lengths u64×count | streams…`.
+//! | chunk count u64 | chunk byte lengths u64×count
+//! | chunk crc32 u32×count (version ≥ 2) | streams…`.
+//!
+//! Version 2 inserts a CRC-32 column (one checksum per chunk stream) between
+//! the length directory and the payload, so slab corruption is caught before
+//! the inner DPZ decoder runs. Version-1 containers still decode;
+//! [`decompress_chunked_with_info`] reports which form was seen.
 
 use crate::config::DpzConfig;
-use crate::container::DpzError;
+use crate::container::{checked_product, ContainerInfo, DpzError};
 use crate::pipeline::{compress, decompress, Compressed};
+use dpz_deflate::crc32;
 use dpz_telemetry::span;
 use rayon::prelude::*;
 
 const MAGIC: &[u8; 4] = b"DPZC";
-const VERSION: u8 = 1;
+/// Current writer version (per-chunk CRC-32 column).
+const VERSION: u8 = 2;
+/// Oldest version the decoder still accepts (pre-checksum layout).
+const MIN_VERSION: u8 = 1;
 
 /// Result of a chunked compression.
 #[derive(Debug, Clone)]
@@ -55,7 +65,7 @@ pub fn compress_chunked(
     cfg: &DpzConfig,
     chunks: usize,
 ) -> Result<ChunkedCompressed, DpzError> {
-    if dims.is_empty() || dims.iter().product::<usize>() != data.len() {
+    if dims.is_empty() || checked_product(dims, "dims overflow").ok() != Some(data.len()) {
         return Err(DpzError::BadInput("dims do not match data length"));
     }
     if data.len() < 4 {
@@ -82,20 +92,7 @@ pub fn compress_chunked(
         chunk_stats.push(c.stats);
     }
 
-    let mut out = Vec::new();
-    out.extend_from_slice(MAGIC);
-    out.push(VERSION);
-    out.push(dims.len() as u8);
-    for &d in dims {
-        out.extend_from_slice(&(d as u64).to_le_bytes());
-    }
-    out.extend_from_slice(&(streams.len() as u64).to_le_bytes());
-    for s in &streams {
-        out.extend_from_slice(&(s.len() as u64).to_le_bytes());
-    }
-    for s in &streams {
-        out.extend_from_slice(s);
-    }
+    let out = assemble(dims, &streams, VERSION);
     let cr_total = (data.len() * 4) as f64 / out.len() as f64;
     dpz_telemetry::global()
         .counter("dpz_chunks_total")
@@ -107,12 +104,54 @@ pub fn compress_chunked(
     })
 }
 
+/// Build the container bytes for a set of chunk streams. `version` controls
+/// whether the CRC-32 column is written (≥ 2) or omitted (1, legacy).
+fn assemble(dims: &[usize], streams: &[Vec<u8>], version: u8) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(MAGIC);
+    out.push(version);
+    out.push(dims.len() as u8);
+    for &d in dims {
+        out.extend_from_slice(&(d as u64).to_le_bytes());
+    }
+    out.extend_from_slice(&(streams.len() as u64).to_le_bytes());
+    for s in streams {
+        out.extend_from_slice(&(s.len() as u64).to_le_bytes());
+    }
+    if version >= 2 {
+        for s in streams {
+            out.extend_from_slice(&crc32(s).to_le_bytes());
+        }
+    }
+    for s in streams {
+        out.extend_from_slice(s);
+    }
+    out
+}
+
 /// Parsed chunk directory.
 struct Directory<'a> {
     dims: Vec<usize>,
     /// Byte range of each chunk stream within `payload`.
     ranges: Vec<(usize, usize)>,
+    /// Stored per-chunk CRC-32 values (empty for version-1 containers).
+    crcs: Vec<u32>,
     payload: &'a [u8],
+    info: ContainerInfo,
+}
+
+impl Directory<'_> {
+    /// Verify the stored CRC of chunk `i` against its payload bytes.
+    /// Version-1 directories have no checksums and trivially pass.
+    fn check_chunk(&self, i: usize) -> Result<(), DpzError> {
+        if let Some(&stored) = self.crcs.get(i) {
+            let (lo, hi) = self.ranges[i];
+            if crc32(&self.payload[lo..hi]) != stored {
+                return Err(DpzError::Corrupt("chunk checksum mismatch"));
+            }
+        }
+        Ok(())
+    }
 }
 
 fn parse_directory(bytes: &[u8]) -> Result<Directory<'_>, DpzError> {
@@ -127,16 +166,18 @@ fn parse_directory(bytes: &[u8]) -> Result<Directory<'_>, DpzError> {
     if &bytes[..4] != MAGIC {
         return Err(DpzError::Corrupt("bad chunk magic"));
     }
-    if bytes[4] != VERSION {
+    let version = bytes[4];
+    if !(MIN_VERSION..=VERSION).contains(&version) {
         return Err(DpzError::Corrupt("unsupported chunk version"));
     }
+    let checksummed = version >= 2;
     let ndims = bytes[5] as usize;
     if ndims == 0 || ndims > 8 {
         return Err(DpzError::Corrupt("implausible dimensionality"));
     }
     let mut pos = 6;
     let u64_at = |p: &mut usize| -> Result<usize, DpzError> {
-        need(bytes.len() >= *p + 8)?;
+        need(bytes.len() >= p.checked_add(8).ok_or(DpzError::Corrupt("size overflow"))?)?;
         let v = u64::from_le_bytes(bytes[*p..*p + 8].try_into().unwrap());
         *p += 8;
         usize::try_from(v).map_err(|_| DpzError::Corrupt("size overflow"))
@@ -145,6 +186,9 @@ fn parse_directory(bytes: &[u8]) -> Result<Directory<'_>, DpzError> {
     for _ in 0..ndims {
         dims.push(u64_at(&mut pos)?);
     }
+    // Validate the dims product up front (checked: eight huge dims must be a
+    // decode error, not a multiply-overflow panic in the stitch step).
+    checked_product(&dims, "dims overflow")?;
     let count = u64_at(&mut pos)?;
     if count == 0 || count > 1 << 20 {
         return Err(DpzError::Corrupt("implausible chunk count"));
@@ -153,8 +197,22 @@ fn parse_directory(bytes: &[u8]) -> Result<Directory<'_>, DpzError> {
     for _ in 0..count {
         lens.push(u64_at(&mut pos)?);
     }
+    let mut crcs = Vec::new();
+    if checksummed {
+        crcs.reserve(count);
+        for _ in 0..count {
+            need(bytes.len() >= pos + 4)?;
+            crcs.push(u32::from_le_bytes(bytes[pos..pos + 4].try_into().unwrap()));
+            pos += 4;
+        }
+    }
     let payload = &bytes[pos..];
-    let total: usize = lens.iter().sum();
+    // Checked fold: a directory of near-usize::MAX lengths used to wrap the
+    // plain `iter().sum()` and alias a bogus total onto the payload length.
+    let total = lens
+        .iter()
+        .try_fold(0usize, |acc, &l| acc.checked_add(l))
+        .ok_or(DpzError::Corrupt("chunk lengths overflow"))?;
     if total != payload.len() {
         return Err(DpzError::Corrupt("chunk payload length mismatch"));
     }
@@ -167,28 +225,57 @@ fn parse_directory(bytes: &[u8]) -> Result<Directory<'_>, DpzError> {
     Ok(Directory {
         dims,
         ranges,
+        crcs,
         payload,
+        info: ContainerInfo {
+            version,
+            checksummed,
+        },
     })
 }
 
 /// Decompress a chunked container (chunks in parallel), returning the full
 /// array and its dimensions.
 pub fn decompress_chunked(bytes: &[u8]) -> Result<(Vec<f32>, Vec<usize>), DpzError> {
+    decompress_chunked_with_info(bytes).map(|(v, dims, _)| (v, dims))
+}
+
+/// [`decompress_chunked`] that also reports the container version and
+/// checksum status.
+pub fn decompress_chunked_with_info(
+    bytes: &[u8],
+) -> Result<(Vec<f32>, Vec<usize>, ContainerInfo), DpzError> {
     let _root = span!("decompress_chunked");
-    let dir = parse_directory(bytes)?;
-    let parts: Vec<Result<Vec<f32>, DpzError>> = dir
-        .ranges
-        .par_iter()
-        .map(|&(lo, hi)| decompress(&dir.payload[lo..hi]).map(|(v, _)| v))
-        .collect();
-    let mut out = Vec::with_capacity(dir.dims.iter().product());
-    for p in parts {
-        out.extend_from_slice(&p?);
+    let result = (|| {
+        let dir = parse_directory(bytes)?;
+        for i in 0..dir.ranges.len() {
+            dir.check_chunk(i)?;
+        }
+        let parts: Vec<Result<Vec<f32>, DpzError>> = dir
+            .ranges
+            .par_iter()
+            .map(|&(lo, hi)| decompress(&dir.payload[lo..hi]).map(|(v, _)| v))
+            .collect();
+        let expected = checked_product(&dir.dims, "dims overflow")?;
+        let mut out = Vec::new();
+        for p in parts {
+            let p = p?;
+            if out.len() + p.len() > expected {
+                return Err(DpzError::Corrupt("stitched length mismatch"));
+            }
+            out.extend_from_slice(&p);
+        }
+        if out.len() != expected {
+            return Err(DpzError::Corrupt("stitched length mismatch"));
+        }
+        Ok((out, dir.dims, dir.info))
+    })();
+    if result.is_err() {
+        dpz_telemetry::global()
+            .counter_with("dpz_decode_rejects_total", &[("codec", "dpzc")])
+            .inc();
     }
-    if out.len() != dir.dims.iter().product::<usize>() {
-        return Err(DpzError::Corrupt("stitched length mismatch"));
-    }
-    Ok((out, dir.dims))
+    result
 }
 
 /// Number of chunks in a chunked container.
@@ -197,13 +284,15 @@ pub fn chunk_count(bytes: &[u8]) -> Result<usize, DpzError> {
 }
 
 /// Decompress a single chunk (random access). Returns the slab's values and
-/// its dims (slowest axis shrunk to the slab height).
+/// its dims (slowest axis shrunk to the slab height). Only the requested
+/// chunk's checksum is verified — the point of random access.
 pub fn decompress_chunk(bytes: &[u8], index: usize) -> Result<(Vec<f32>, Vec<usize>), DpzError> {
     let dir = parse_directory(bytes)?;
     let &(lo, hi) = dir
         .ranges
         .get(index)
         .ok_or(DpzError::BadInput("chunk index out of range"))?;
+    dir.check_chunk(index)?;
     decompress(&dir.payload[lo..hi])
 }
 
@@ -289,6 +378,98 @@ mod tests {
         bad[0] = b'X';
         assert!(decompress_chunked(&bad).is_err());
         assert!(decompress_chunked(&[]).is_err());
+    }
+
+    /// Re-encode a v2 container as a genuine v1 stream (no CRC column) by
+    /// splitting it back into chunk streams and reassembling.
+    fn as_v1(bytes: &[u8]) -> Vec<u8> {
+        let dir = parse_directory(bytes).unwrap();
+        let streams: Vec<Vec<u8>> = dir
+            .ranges
+            .iter()
+            .map(|&(lo, hi)| dir.payload[lo..hi].to_vec())
+            .collect();
+        assemble(&dir.dims, &streams, 1)
+    }
+
+    #[test]
+    fn v1_containers_still_decode() {
+        let data = field(16, 16);
+        let out = compress_chunked(&data, &[16, 16], &DpzConfig::loose(), 2).unwrap();
+        let v1 = as_v1(&out.bytes);
+        assert_eq!(v1.len(), out.bytes.len() - 2 * 4); // minus the crc column
+        let (a, dims_a, info) = decompress_chunked_with_info(&v1).unwrap();
+        assert_eq!(
+            info,
+            ContainerInfo {
+                version: 1,
+                checksummed: false
+            }
+        );
+        let (b, dims_b, info2) = decompress_chunked_with_info(&out.bytes).unwrap();
+        assert_eq!(
+            info2,
+            ContainerInfo {
+                version: 2,
+                checksummed: true
+            }
+        );
+        assert_eq!(a, b);
+        assert_eq!(dims_a, dims_b);
+        assert_eq!(chunk_count(&v1).unwrap(), 2);
+    }
+
+    #[test]
+    fn corrupted_chunk_payload_fails_crc() {
+        let data = field(16, 16);
+        let out = compress_chunked(&data, &[16, 16], &DpzConfig::loose(), 2).unwrap();
+        let mut bad = out.bytes.clone();
+        let n = bad.len();
+        bad[n - 1] ^= 0xFF; // inside the last chunk's stream
+        assert!(matches!(
+            decompress_chunked(&bad),
+            Err(DpzError::Corrupt("chunk checksum mismatch"))
+        ));
+        // Random access to an *undamaged* chunk still works.
+        assert!(decompress_chunk(&bad, 0).is_ok());
+        assert!(decompress_chunk(&bad, 1).is_err());
+    }
+
+    #[test]
+    fn overflowing_chunk_lengths_are_corrupt_not_panic() {
+        // Regression: a directory whose lengths sum past usize::MAX used to
+        // wrap `lens.iter().sum()` (debug: add-overflow panic; release: a
+        // bogus aliased total).
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(MAGIC);
+        bytes.push(1); // v1: no crc column needed to reach the sum
+        bytes.push(1); // ndims
+        bytes.extend_from_slice(&16u64.to_le_bytes());
+        bytes.extend_from_slice(&3u64.to_le_bytes()); // count
+        for _ in 0..3 {
+            bytes.extend_from_slice(&(u64::MAX / 2).to_le_bytes());
+        }
+        assert!(matches!(
+            decompress_chunked(&bytes),
+            Err(DpzError::Corrupt("chunk lengths overflow"))
+        ));
+    }
+
+    #[test]
+    fn overflowing_dims_are_corrupt_not_panic() {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(MAGIC);
+        bytes.push(1);
+        bytes.push(8);
+        for _ in 0..8 {
+            bytes.extend_from_slice(&(u64::MAX / 2).to_le_bytes());
+        }
+        bytes.extend_from_slice(&1u64.to_le_bytes()); // count
+        bytes.extend_from_slice(&0u64.to_le_bytes()); // one empty chunk
+        assert!(matches!(
+            decompress_chunked(&bytes),
+            Err(DpzError::Corrupt("dims overflow"))
+        ));
     }
 
     #[test]

@@ -7,22 +7,36 @@
 //! | orig_len u64 | M u64 | N u64 | pad u64
 //! | norm_min f64 | norm_range f64 | k u64
 //! | transform u8 | dwt_levels u8 | P f64 | wide_index u8 | standardized u8
-//! | model section   (u64 raw len, u64 packed len, DEFLATE bytes)
-//! | indices section (u64 raw len, u64 packed len, DEFLATE bytes)
-//! | outlier section (u64 count, u64 packed len, DEFLATE bytes)
+//! | model section   (u64 raw len, u64 packed len, DEFLATE bytes[, crc32 u32])
+//! | indices section (u64 raw len, u64 packed len, DEFLATE bytes[, crc32 u32])
+//! | outlier section (u64 count, u64 packed len, DEFLATE bytes[, crc32 u32])
 //! ```
+//!
+//! Version 2 appends a CRC-32 trailer (over the *packed* bytes) to every
+//! section, so container corruption is detected before any inflate work.
+//! Version-1 streams — identical layout minus the trailers — still decode;
+//! [`deserialize_with_info`] reports which form was seen.
 //!
 //! The *model* section is the PCA projection matrix `D` (`M×k` `f32`,
 //! row-major), the `M` feature means (`f32`), and — when standardization was
 //! applied — the `M` feature scales (`f32`). Every section is compressed
 //! with `dpz-deflate` (the paper's "zlib add-on" applied to indices and
 //! out-of-range points; compressing the model too is strictly beneficial).
+//!
+//! **Decode hardening contract:** no byte stream may panic, abort, or force
+//! a large allocation. All header arithmetic is checked (overflow ⇒
+//! [`DpzError::Corrupt`]); every section inflate is bounded by the size the
+//! validated header implies, so declared-small-but-inflates-huge bombs fail
+//! fast with [`DeflateError::TooLarge`].
 
 use crate::quantize::QuantizedScores;
-use dpz_deflate::{compress_parallel, decompress as inflate, CompressionLevel, DeflateError};
+use dpz_deflate::{compress_parallel, crc32, decompress_bounded, CompressionLevel, DeflateError};
 
 const MAGIC: &[u8; 4] = b"DPZ1";
-const VERSION: u8 = 1;
+/// Current writer version (per-section CRC-32 trailers).
+const VERSION: u8 = 2;
+/// Oldest version the decoder still accepts (pre-checksum layout).
+const MIN_VERSION: u8 = 1;
 
 /// Errors from DPZ compression or decompression.
 #[derive(Debug, Clone, PartialEq)]
@@ -134,8 +148,20 @@ fn push_u64(out: &mut Vec<u8>, v: usize) {
     out.extend_from_slice(&(v as u64).to_le_bytes());
 }
 
-/// Serialize to the container format, also reporting per-section sizes.
+/// Serialize to the current (version 2, checksummed) container format,
+/// also reporting per-section sizes.
 pub fn serialize(data: &ContainerData) -> (Vec<u8>, SectionSizes) {
+    serialize_as(data, VERSION)
+}
+
+/// Serialize to the legacy version-1 layout (no CRC trailers). Kept so the
+/// backward-compatibility suite can fabricate genuine v1 streams and so
+/// operators can write containers readable by pre-checksum deployments.
+pub fn serialize_v1(data: &ContainerData) -> (Vec<u8>, SectionSizes) {
+    serialize_as(data, 1)
+}
+
+fn serialize_as(data: &ContainerData, version: u8) -> (Vec<u8>, SectionSizes) {
     // Model section: basis ++ mean ++ scale.
     let mut model = Vec::with_capacity((data.basis.len() + 2 * data.mean.len()) * 4);
     for &v in data.basis.iter().chain(&data.mean).chain(&data.scale) {
@@ -163,9 +189,16 @@ pub fn serialize(data: &ContainerData) -> (Vec<u8>, SectionSizes) {
         outliers_packed: outliers_packed.len(),
     };
 
+    // Per-section CRC-32 trailer for version >= 2 (absent in v1).
+    let crc_trailer = |out: &mut Vec<u8>, packed: &[u8]| {
+        if version >= 2 {
+            out.extend_from_slice(&crc32(packed).to_le_bytes());
+        }
+    };
+
     let mut out = Vec::with_capacity(sizes.total_packed() + 128);
     out.extend_from_slice(MAGIC);
-    out.push(VERSION);
+    out.push(version);
     out.push(data.dims.len() as u8);
     for &d in &data.dims {
         push_u64(&mut out, d);
@@ -185,12 +218,15 @@ pub fn serialize(data: &ContainerData) -> (Vec<u8>, SectionSizes) {
     push_u64(&mut out, model.len());
     push_u64(&mut out, model_packed.len());
     out.extend_from_slice(&model_packed);
+    crc_trailer(&mut out, &model_packed);
     push_u64(&mut out, data.scores.indices.len());
     push_u64(&mut out, indices_packed.len());
     out.extend_from_slice(&indices_packed);
+    crc_trailer(&mut out, &indices_packed);
     push_u64(&mut out, data.scores.outliers.len());
     push_u64(&mut out, outliers_packed.len());
     out.extend_from_slice(&outliers_packed);
+    crc_trailer(&mut out, &outliers_packed);
     (out, sizes)
 }
 
@@ -201,16 +237,25 @@ struct Cursor<'a> {
 
 impl<'a> Cursor<'a> {
     fn take(&mut self, n: usize) -> Result<&'a [u8], DpzError> {
-        if self.pos + n > self.buf.len() {
+        let end = self
+            .pos
+            .checked_add(n)
+            .ok_or(DpzError::Corrupt("truncated stream"))?;
+        if end > self.buf.len() {
             return Err(DpzError::Corrupt("truncated stream"));
         }
-        let s = &self.buf[self.pos..self.pos + n];
-        self.pos += n;
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
         Ok(s)
     }
 
     fn u8(&mut self) -> Result<u8, DpzError> {
         Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, DpzError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes(b.try_into().unwrap()))
     }
 
     fn u64(&mut self) -> Result<usize, DpzError> {
@@ -223,6 +268,40 @@ impl<'a> Cursor<'a> {
         let b = self.take(8)?;
         Ok(f64::from_le_bytes(b.try_into().unwrap()))
     }
+
+    /// Read one packed section (`packed_len` + bytes `[+ crc]`), verify the
+    /// trailer when present, and inflate it under the `expected_raw` bound
+    /// the validated header implies. The CRC is checked *before* inflating
+    /// so corrupt payloads are rejected at container speed.
+    fn section(
+        &mut self,
+        expected_raw: usize,
+        checksummed: bool,
+        what: &'static str,
+    ) -> Result<Vec<u8>, DpzError> {
+        let packed_len = self.u64()?;
+        let packed = self.take(packed_len)?;
+        if checksummed {
+            let stored = self.u32()?;
+            if crc32(packed) != stored {
+                return Err(DpzError::Corrupt(what));
+            }
+        }
+        let raw = decompress_bounded(packed, expected_raw)?;
+        if raw.len() != expected_raw {
+            return Err(DpzError::Corrupt("section size mismatch"));
+        }
+        Ok(raw)
+    }
+}
+
+/// Multiply header-derived sizes with overflow turned into a decode error —
+/// the fix for the `dims.iter().product()` panic class.
+pub(crate) fn checked_product(factors: &[usize], what: &'static str) -> Result<usize, DpzError> {
+    factors
+        .iter()
+        .try_fold(1usize, |acc, &f| acc.checked_mul(f))
+        .ok_or(DpzError::Corrupt(what))
 }
 
 fn f32s_from(bytes: &[u8]) -> Vec<f32> {
@@ -232,15 +311,32 @@ fn f32s_from(bytes: &[u8]) -> Vec<f32> {
         .collect()
 }
 
+/// Decode-time metadata that is not part of the payload itself.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ContainerInfo {
+    /// Format version byte found in the stream.
+    pub version: u8,
+    /// Whether per-section CRC-32 trailers were present and verified (always
+    /// true for version >= 2 streams — a mismatch is a hard decode error).
+    pub checksummed: bool,
+}
+
 /// Parse a container back into its parts.
 pub fn deserialize(bytes: &[u8]) -> Result<ContainerData, DpzError> {
+    deserialize_with_info(bytes).map(|(data, _)| data)
+}
+
+/// Parse a container, also reporting the format version and checksum status.
+pub fn deserialize_with_info(bytes: &[u8]) -> Result<(ContainerData, ContainerInfo), DpzError> {
     let mut cur = Cursor { buf: bytes, pos: 0 };
     if cur.take(4)? != MAGIC {
         return Err(DpzError::Corrupt("bad magic"));
     }
-    if cur.u8()? != VERSION {
+    let version = cur.u8()?;
+    if !(MIN_VERSION..=VERSION).contains(&version) {
         return Err(DpzError::Corrupt("unsupported version"));
     }
+    let checksummed = version >= 2;
     let ndims = cur.u8()? as usize;
     if ndims == 0 || ndims > 8 {
         return Err(DpzError::Corrupt("implausible dimensionality"));
@@ -264,10 +360,18 @@ pub fn deserialize(bytes: &[u8]) -> Result<ContainerData, DpzError> {
     let p = cur.f64()?;
     let wide_index = cur.u8()? != 0;
     let standardized = cur.u8()? != 0;
-    if dims.iter().product::<usize>() != orig_len {
+    // Every size that combines attacker-controlled header fields goes
+    // through checked arithmetic: the eight-large-dims header must land in
+    // `Corrupt`, not an `attempt to multiply with overflow` panic.
+    if checked_product(&dims, "dims overflow")? != orig_len {
         return Err(DpzError::Corrupt("dims do not match length"));
     }
-    if m == 0 || n == 0 || m.checked_mul(n) != Some(orig_len + pad) {
+    if m == 0
+        || n == 0
+        || orig_len
+            .checked_add(pad)
+            .is_none_or(|padded| m.checked_mul(n) != Some(padded))
+    {
         return Err(DpzError::Corrupt("inconsistent block shape"));
     }
     if k == 0 || k > m {
@@ -283,42 +387,54 @@ pub fn deserialize(bytes: &[u8]) -> Result<ContainerData, DpzError> {
         return Err(DpzError::Corrupt("invalid normalization"));
     }
 
+    let mk = checked_product(&[m, k], "model size overflow")?;
+    let expected_model = mk
+        .checked_add(m)
+        .and_then(|v| v.checked_add(if standardized { m } else { 0 }))
+        .and_then(|v| v.checked_mul(4))
+        .ok_or(DpzError::Corrupt("model size overflow"))?;
     let model_raw = cur.u64()?;
-    let model_packed_len = cur.u64()?;
-    let model = inflate(cur.take(model_packed_len)?)?;
-    if model.len() != model_raw {
-        return Err(DpzError::Corrupt("model section size mismatch"));
-    }
-    let expected_model = m * k + m + if standardized { m } else { 0 };
-    if model.len() != expected_model * 4 {
+    if model_raw != expected_model {
         return Err(DpzError::Corrupt("model section shape mismatch"));
     }
+    let model = cur.section(
+        expected_model,
+        checksummed,
+        "model section checksum mismatch",
+    )?;
     let model_f = f32s_from(&model);
-    let basis = model_f[..m * k].to_vec();
-    let mean = model_f[m * k..m * k + m].to_vec();
+    let basis = model_f[..mk].to_vec();
+    let mean = model_f[mk..mk + m].to_vec();
     let scale = if standardized {
-        model_f[m * k + m..].to_vec()
+        model_f[mk + m..].to_vec()
     } else {
         Vec::new()
     };
 
-    let indices_raw = cur.u64()?;
-    let indices_packed_len = cur.u64()?;
-    let indices = inflate(cur.take(indices_packed_len)?)?;
-    if indices.len() != indices_raw {
-        return Err(DpzError::Corrupt("index section size mismatch"));
-    }
     let index_width = if wide_index { 2 } else { 1 };
-    if indices.len() != n * k * index_width {
+    let nk = checked_product(&[n, k], "index size overflow")?;
+    let expected_indices = checked_product(&[nk, index_width], "index size overflow")?;
+    let indices_raw = cur.u64()?;
+    if indices_raw != expected_indices {
         return Err(DpzError::Corrupt("index stream length mismatch"));
     }
+    let indices = cur.section(
+        expected_indices,
+        checksummed,
+        "index section checksum mismatch",
+    )?;
 
     let n_outliers = cur.u64()?;
-    let outliers_packed_len = cur.u64()?;
-    let outlier_bytes = inflate(cur.take(outliers_packed_len)?)?;
-    if outlier_bytes.len() != n_outliers * 4 {
-        return Err(DpzError::Corrupt("outlier section size mismatch"));
+    // Outliers are escaped scores, so there can never be more than n·k.
+    if n_outliers > nk {
+        return Err(DpzError::Corrupt("implausible outlier count"));
     }
+    let expected_outliers = checked_product(&[n_outliers, 4], "outlier size overflow")?;
+    let outlier_bytes = cur.section(
+        expected_outliers,
+        checksummed,
+        "outlier section checksum mismatch",
+    )?;
     let outliers = f32s_from(&outlier_bytes);
 
     let bins = if wide_index {
@@ -332,9 +448,9 @@ pub fn deserialize(bytes: &[u8]) -> Result<ContainerData, DpzError> {
         outliers,
         p,
         bins,
-        len: n * k,
+        len: nk,
     };
-    Ok(ContainerData {
+    let data = ContainerData {
         dims,
         orig_len,
         m,
@@ -351,7 +467,14 @@ pub fn deserialize(bytes: &[u8]) -> Result<ContainerData, DpzError> {
         mean,
         scale,
         scores,
-    })
+    };
+    Ok((
+        data,
+        ContainerInfo {
+            version,
+            checksummed,
+        },
+    ))
 }
 
 #[cfg(test)]
@@ -435,6 +558,104 @@ mod tests {
         data.orig_len = 81; // dims product mismatch
         let (bytes, _) = serialize(&data);
         assert!(deserialize(&bytes).is_err());
+    }
+
+    #[test]
+    fn v2_streams_carry_crc_trailers_and_report_checksummed() {
+        let data = sample_container();
+        let (v2, _) = serialize(&data);
+        let (v1, _) = serialize_v1(&data);
+        // Three u32 trailers is the only layout difference.
+        assert_eq!(v2.len(), v1.len() + 12);
+        let (_, info) = deserialize_with_info(&v2).unwrap();
+        assert_eq!(
+            info,
+            ContainerInfo {
+                version: 2,
+                checksummed: true
+            }
+        );
+    }
+
+    #[test]
+    fn v1_streams_still_decode() {
+        let data = sample_container();
+        let (bytes, _) = serialize_v1(&data);
+        let (parsed, info) = deserialize_with_info(&bytes).unwrap();
+        assert_eq!(
+            info,
+            ContainerInfo {
+                version: 1,
+                checksummed: false
+            }
+        );
+        assert_eq!(parsed.dims, data.dims);
+        assert_eq!(parsed.basis, data.basis);
+        assert_eq!(parsed.scores, data.scores);
+    }
+
+    #[test]
+    fn corrupted_packed_section_fails_crc() {
+        let (bytes, sizes) = serialize(&sample_container());
+        // Flip a byte inside the packed model payload: the stored CRC no
+        // longer matches, and decode must say so (not an inflate error).
+        let mut corrupt = bytes.clone();
+        let model_start = bytes.len() - 12 // three crc trailers
+            - sizes.outliers_packed - 16
+            - sizes.indices_packed - 16
+            - sizes.model_packed;
+        corrupt[model_start + sizes.model_packed / 2] ^= 0xFF;
+        assert!(matches!(
+            deserialize(&corrupt),
+            Err(DpzError::Corrupt("model section checksum mismatch"))
+        ));
+    }
+
+    #[test]
+    fn rejects_future_version() {
+        let (mut bytes, _) = serialize(&sample_container());
+        bytes[4] = 9;
+        assert!(matches!(
+            deserialize(&bytes),
+            Err(DpzError::Corrupt("unsupported version"))
+        ));
+    }
+
+    #[test]
+    fn overflowing_dims_header_is_corrupt_not_panic() {
+        // Regression: eight near-max dims used to hit `attempt to multiply
+        // with overflow` in debug builds via `dims.iter().product()`.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(MAGIC);
+        bytes.push(VERSION);
+        bytes.push(8); // ndims
+        for _ in 0..8 {
+            bytes.extend_from_slice(&(u64::MAX / 2).to_le_bytes());
+        }
+        // Enough trailing zeros to reach the dims-product check.
+        bytes.extend_from_slice(&[0u8; 128]);
+        assert!(matches!(
+            deserialize(&bytes),
+            Err(DpzError::Corrupt("dims overflow"))
+        ));
+    }
+
+    #[test]
+    fn huge_declared_section_len_is_error_not_allocation() {
+        // A valid header followed by a section whose packed_len claims more
+        // bytes than the stream holds must fail as truncation, and a
+        // packed_len near usize::MAX must not overflow cursor math.
+        let data = sample_container();
+        let (bytes, _) = serialize(&data);
+        // Locate the model packed_len field: header is fixed-size up to it.
+        let header_len = 4 + 1 + 1 + 8 * data.dims.len() + 8 * 4 + 8 * 2 + 8 + 1 + 1 + 8 + 1 + 1;
+        let packed_len_off = header_len + 8; // after model_raw
+        let mut evil = bytes.clone();
+        evil[packed_len_off..packed_len_off + 8].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert!(deserialize(&evil).is_err());
+        let mut evil = bytes;
+        evil[packed_len_off..packed_len_off + 8].copy_from_slice(&(u64::MAX - 7).to_le_bytes());
+        assert!(deserialize(&evil).is_err());
     }
 
     #[test]

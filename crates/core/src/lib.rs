@@ -56,10 +56,13 @@ pub mod pipeline;
 pub mod quantize;
 pub mod sampling;
 
-pub use chunked::{compress_chunked, decompress_chunk, decompress_chunked};
+pub use chunked::{
+    compress_chunked, decompress_chunk, decompress_chunked, decompress_chunked_with_info,
+};
 pub use config::{DpzConfig, KSelection, Scheme, Stage1Transform, Standardize, TveLevel};
-pub use container::DpzError;
+pub use container::{ContainerInfo, DpzError};
 pub use pipeline::{
-    compress, compress_with_breakdown, decompress, Compressed, CompressionBreakdown, StageTimings,
+    compress, compress_with_breakdown, decompress, decompress_with_info, Compressed,
+    CompressionBreakdown, StageTimings,
 };
 pub use sampling::{SamplingEstimate, SamplingStrategy};

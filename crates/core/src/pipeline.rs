@@ -3,7 +3,7 @@
 //! behind Tables III/IV and Figures 8/9 of the paper).
 
 use crate::config::{DpzConfig, KSelection, Stage1Transform, Standardize};
-use crate::container::{self, ContainerData, DpzError, SectionSizes};
+use crate::container::{self, ContainerData, ContainerInfo, DpzError, SectionSizes};
 use crate::decompose::{self, BlockShape};
 use crate::kpca::select_k;
 use crate::quantize::{dequantize_scores, quantize_scores};
@@ -61,6 +61,9 @@ pub struct CompressionStats {
     pub cr_total: f64,
     /// Sampling estimate when the strategy ran.
     pub sampling: Option<SamplingEstimate>,
+    /// Whether the emitted container carries per-section CRC-32 trailers
+    /// (true for the current version-2 writer).
+    pub checksummed: bool,
 }
 
 /// Output of [`compress`].
@@ -258,6 +261,7 @@ pub fn compress(data: &[f32], dims: &[usize], cfg: &DpzConfig) -> Result<Compres
         cr_zlib,
         cr_total,
         sampling: sampling_est,
+        checksummed: true,
     };
     record_compress_metrics(&stats, orig_bytes, bytes.len(), n_outliers);
     Ok(Compressed { bytes, stats })
@@ -305,17 +309,36 @@ fn record_compress_metrics(
 
 /// Decompress a DPZ container, returning values and dimensions.
 pub fn decompress(bytes: &[u8]) -> Result<(Vec<f32>, Vec<usize>), DpzError> {
+    decompress_with_info(bytes).map(|(v, dims, _)| (v, dims))
+}
+
+/// [`decompress`] that also reports the container version and checksum
+/// status (for CLI summaries and migration tooling).
+pub fn decompress_with_info(
+    bytes: &[u8],
+) -> Result<(Vec<f32>, Vec<usize>, ContainerInfo), DpzError> {
     let _root = span!("decompress");
-    let payload = container::deserialize(bytes)?;
-    let (values, dims, _) = reconstruct(&payload)?;
+    let result = (|| {
+        let (payload, info) = container::deserialize_with_info(bytes)?;
+        let (values, dims, _) = reconstruct(&payload)?;
+        Ok((values, dims, info))
+    })();
     let reg = dpz_telemetry::global();
-    let labels = [("codec", "dpz"), ("op", "decompress")];
-    reg.counter("dpz_decompressions_total").inc();
-    reg.counter_with("dpz_bytes_in_total", &labels)
-        .add(bytes.len() as u64);
-    reg.counter_with("dpz_bytes_out_total", &labels)
-        .add(values.len() as u64 * 4);
-    Ok((values, dims))
+    match &result {
+        Ok((values, _, _)) => {
+            let labels = [("codec", "dpz"), ("op", "decompress")];
+            reg.counter("dpz_decompressions_total").inc();
+            reg.counter_with("dpz_bytes_in_total", &labels)
+                .add(bytes.len() as u64);
+            reg.counter_with("dpz_bytes_out_total", &labels)
+                .add(values.len() as u64 * 4);
+        }
+        Err(_) => {
+            reg.counter_with("dpz_decode_rejects_total", &[("codec", "dpz")])
+                .inc();
+        }
+    }
+    result
 }
 
 /// Shared reconstruction path. Also returns the de-quantized scores matrix

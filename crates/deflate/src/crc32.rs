@@ -1,0 +1,83 @@
+//! CRC-32 (IEEE 802.3, the gzip/zip/PNG polynomial 0xEDB88320).
+//!
+//! The DPZ containers use per-section CRC-32 trailers over the *packed*
+//! section bytes, so corruption is detected before any inflate work happens.
+//! Adler-32 (in [`crate::zlib`]) stays the per-member zlib trailer; CRC-32
+//! gives the outer containers an independent, stronger short-burst detector
+//! at the cost of one table lookup per byte.
+
+/// Byte-at-a-time lookup table for the reflected polynomial.
+const TABLE: [u32; 256] = build_table();
+
+const fn build_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+/// Compute the CRC-32 of `data`.
+pub fn crc32(data: &[u8]) -> u32 {
+    update(0xFFFF_FFFF, data) ^ 0xFFFF_FFFF
+}
+
+/// Fold more bytes into a running (pre-inverted) CRC state. Start from
+/// `0xFFFF_FFFF`, finish by xoring with `0xFFFF_FFFF` — [`crc32`] does both
+/// for the one-shot case.
+pub fn update(state: u32, data: &[u8]) -> u32 {
+    let mut crc = state;
+    for &b in data {
+        crc = (crc >> 8) ^ TABLE[((crc ^ u32::from(b)) & 0xFF) as usize];
+    }
+    crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Reference values from the PNG specification / zlib's crc32().
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"a"), 0xE8B7_BE43);
+        assert_eq!(crc32(b"abc"), 0x3524_41C2);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
+    }
+
+    #[test]
+    fn incremental_matches_one_shot() {
+        let data = b"incremental crc folding must match the one-shot form";
+        let (a, b) = data.split_at(17);
+        let state = update(update(0xFFFF_FFFF, a), b) ^ 0xFFFF_FFFF;
+        assert_eq!(state, crc32(data));
+    }
+
+    #[test]
+    fn detects_single_bit_flips() {
+        let mut data = b"sensitivity probe".to_vec();
+        let base = crc32(&data);
+        for i in 0..data.len() {
+            data[i] ^= 0x40;
+            assert_ne!(crc32(&data), base, "flip at {i} undetected");
+            data[i] ^= 0x40;
+        }
+    }
+}

@@ -8,9 +8,26 @@ use crate::deflate::{
 use crate::huffman::Decoder;
 use crate::{DeflateError, Result};
 
+/// Initial output reservation ceiling. The decoder must never size a buffer
+/// from untrusted input alone, so the up-front guess is clamped here and the
+/// vector grows incrementally (amortized) from then on.
+const INITIAL_RESERVE_CAP: usize = 64 * 1024;
+
 /// Decompress a raw DEFLATE stream into bytes.
 pub fn inflate(data: &[u8]) -> Result<Vec<u8>> {
     inflate_consumed(data).map(|(out, _)| out)
+}
+
+/// Decompress a raw DEFLATE stream, failing with [`DeflateError::TooLarge`]
+/// as soon as the output would exceed `max_out` bytes.
+///
+/// This is the decompression-bomb guard: a few hundred input bytes can
+/// legally inflate to megabytes (stored-block-free RLE approaches ~1030:1),
+/// so any decoder fed untrusted data must bound the output by what the
+/// surrounding container *declared* — the bound trips after at most
+/// `max_out` bytes have been materialized, never after.
+pub fn inflate_bounded(data: &[u8], max_out: usize) -> Result<Vec<u8>> {
+    inflate_consumed_bounded(data, max_out).map(|(out, _)| out)
 }
 
 /// Decompress a raw DEFLATE stream and also report how many input bytes the
@@ -19,21 +36,34 @@ pub fn inflate(data: &[u8]) -> Result<Vec<u8>> {
 /// The consumed count lets callers parse *concatenated* streams — e.g. the
 /// multi-member zlib container — by restarting after each member.
 pub fn inflate_consumed(data: &[u8]) -> Result<(Vec<u8>, usize)> {
+    inflate_consumed_bounded(data, usize::MAX)
+}
+
+/// [`inflate_consumed`] with the [`inflate_bounded`] output cap.
+pub fn inflate_consumed_bounded(data: &[u8], max_out: usize) -> Result<(Vec<u8>, usize)> {
     let mut r = BitReader::new(data);
-    let mut out = Vec::with_capacity(data.len() * 3);
+    // Reserve from the *smaller* of a heuristic on the input size and the
+    // caller's bound, clamped to a fixed ceiling: untrusted lengths must not
+    // drive a large up-front allocation (the old `data.len() * 3` guess did).
+    let mut out = Vec::with_capacity(
+        data.len()
+            .saturating_mul(2)
+            .min(max_out)
+            .min(INITIAL_RESERVE_CAP),
+    );
     loop {
         let bfinal = r.read_bit()?;
         let btype = r.read_bits(2)?;
         match btype {
-            0b00 => read_stored_block(&mut r, &mut out)?,
+            0b00 => read_stored_block(&mut r, &mut out, max_out)?,
             0b01 => {
                 let lit = Decoder::from_lengths(&fixed_lit_lengths())?;
                 let dist = Decoder::from_lengths(&fixed_dist_lengths())?;
-                read_huffman_block(&mut r, &mut out, &lit, &dist)?;
+                read_huffman_block(&mut r, &mut out, &lit, &dist, max_out)?;
             }
             0b10 => {
                 let (lit, dist) = read_dynamic_tables(&mut r)?;
-                read_huffman_block(&mut r, &mut out, &lit, &dist)?;
+                read_huffman_block(&mut r, &mut out, &lit, &dist, max_out)?;
             }
             _ => return Err(DeflateError::Corrupt("reserved block type 11")),
         }
@@ -46,13 +76,16 @@ pub fn inflate_consumed(data: &[u8]) -> Result<(Vec<u8>, usize)> {
     Ok((out, r.byte_position()))
 }
 
-fn read_stored_block(r: &mut BitReader<'_>, out: &mut Vec<u8>) -> Result<()> {
+fn read_stored_block(r: &mut BitReader<'_>, out: &mut Vec<u8>, max_out: usize) -> Result<()> {
     r.align_to_byte();
     let header = r.read_bytes(4)?;
     let len = u16::from_le_bytes([header[0], header[1]]);
     let nlen = u16::from_le_bytes([header[2], header[3]]);
     if len != !nlen {
         return Err(DeflateError::Corrupt("stored block LEN/NLEN mismatch"));
+    }
+    if max_out.saturating_sub(out.len()) < usize::from(len) {
+        return Err(DeflateError::TooLarge { limit: max_out });
     }
     out.extend_from_slice(&r.read_bytes(len as usize)?);
     Ok(())
@@ -117,11 +150,17 @@ fn read_huffman_block(
     out: &mut Vec<u8>,
     lit: &Decoder,
     dist: &Decoder,
+    max_out: usize,
 ) -> Result<()> {
     loop {
         let sym = lit.read(r)? as usize;
         match sym {
-            0..=255 => out.push(sym as u8),
+            0..=255 => {
+                if out.len() >= max_out {
+                    return Err(DeflateError::TooLarge { limit: max_out });
+                }
+                out.push(sym as u8);
+            }
             256 => return Ok(()),
             257..=285 => {
                 let idx = sym - 257;
@@ -135,6 +174,9 @@ fn read_huffman_block(
                 let d = DIST_BASE[dsym] as usize + r.read_bits(u32::from(dextra))? as usize;
                 if d > out.len() {
                     return Err(DeflateError::Corrupt("distance beyond output start"));
+                }
+                if max_out.saturating_sub(out.len()) < len {
+                    return Err(DeflateError::TooLarge { limit: max_out });
                 }
                 let start = out.len() - d;
                 // Byte-at-a-time copy: overlapping copies (d < len) are the
@@ -244,5 +286,46 @@ mod tests {
         let data = vec![9u8; 1000];
         let packed = deflate_compress(&data, CompressionLevel::Best);
         assert_eq!(inflate(&packed).unwrap(), data);
+    }
+
+    #[test]
+    fn bounded_inflate_accepts_exact_fit() {
+        let data = b"bounded but legal".repeat(100);
+        let packed = deflate_compress(&data, CompressionLevel::Default);
+        assert_eq!(inflate_bounded(&packed, data.len()).unwrap(), data);
+    }
+
+    #[test]
+    fn bounded_inflate_trips_on_rle_bomb() {
+        // ~1000:1 bomb: a megabyte of zeros packs into ~1 KiB. The bound
+        // must trip without materializing more than `cap` bytes.
+        let data = vec![0u8; 1 << 20];
+        let packed = deflate_compress(&data, CompressionLevel::Best);
+        assert!(packed.len() < 8192, "bomb input is {} bytes", packed.len());
+        for cap in [0usize, 1, 100, data.len() - 1] {
+            assert_eq!(
+                inflate_bounded(&packed, cap),
+                Err(DeflateError::TooLarge { limit: cap }),
+                "cap {cap}"
+            );
+        }
+    }
+
+    #[test]
+    fn bounded_inflate_trips_on_stored_blocks() {
+        // Stored blocks take the other write path; cap must apply there too.
+        let mut s = 1u64;
+        let data: Vec<u8> = (0..100_000)
+            .map(|_| {
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+                (s >> 33) as u8
+            })
+            .collect();
+        let packed = deflate_compress(&data, CompressionLevel::Store);
+        assert!(matches!(
+            inflate_bounded(&packed, 10),
+            Err(DeflateError::TooLarge { limit: 10 })
+        ));
+        assert_eq!(inflate_bounded(&packed, data.len()).unwrap(), data);
     }
 }

@@ -23,14 +23,16 @@
 #![warn(missing_docs)]
 
 pub mod bitio;
+pub mod crc32;
 pub mod deflate;
 pub mod huffman;
 pub mod inflate;
 pub mod lz77;
 pub mod zlib;
 
+pub use crc32::crc32;
 pub use deflate::CompressionLevel;
-pub use zlib::{compress, compress_parallel, compress_with_level, decompress};
+pub use zlib::{compress, compress_parallel, compress_with_level, decompress, decompress_bounded};
 
 /// Errors produced while decoding a compressed stream.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -41,6 +43,12 @@ pub enum DeflateError {
     Corrupt(&'static str),
     /// The zlib header is malformed or uses an unsupported method.
     BadHeader,
+    /// The decompressed output would exceed the caller's declared bound —
+    /// the decompression-bomb guard (see [`inflate::inflate_bounded`]).
+    TooLarge {
+        /// The output cap that was exceeded.
+        limit: usize,
+    },
     /// The Adler-32 checksum of the decompressed data does not match.
     ChecksumMismatch {
         /// Checksum stored in the stream trailer.
@@ -56,6 +64,12 @@ impl std::fmt::Display for DeflateError {
             DeflateError::UnexpectedEof => write!(f, "unexpected end of compressed input"),
             DeflateError::Corrupt(what) => write!(f, "corrupt deflate stream: {what}"),
             DeflateError::BadHeader => write!(f, "bad zlib header"),
+            DeflateError::TooLarge { limit } => {
+                write!(
+                    f,
+                    "decompressed output exceeds the declared bound of {limit} bytes"
+                )
+            }
             DeflateError::ChecksumMismatch { expected, actual } => {
                 write!(
                     f,

@@ -9,7 +9,7 @@
 //! on any version that loops (forward + backward compatible).
 
 use crate::deflate::{deflate_compress, CompressionLevel};
-use crate::inflate::inflate_consumed;
+use crate::inflate::inflate_consumed_bounded;
 use crate::{DeflateError, Result};
 use rayon::prelude::*;
 
@@ -95,10 +95,10 @@ pub fn compress_parallel(data: &[u8], level: CompressionLevel) -> Vec<u8> {
     out
 }
 
-/// Decompress one zlib member starting at the beginning of `data`.
-/// Returns the decoded bytes and the member's total encoded length
-/// (header + deflate body + trailer).
-fn decompress_member(data: &[u8]) -> Result<(Vec<u8>, usize)> {
+/// Decompress one zlib member starting at the beginning of `data`,
+/// producing at most `max_out` bytes. Returns the decoded bytes and the
+/// member's total encoded length (header + deflate body + trailer).
+fn decompress_member(data: &[u8], max_out: usize) -> Result<(Vec<u8>, usize)> {
     if data.len() < 6 {
         return Err(DeflateError::UnexpectedEof);
     }
@@ -113,7 +113,7 @@ fn decompress_member(data: &[u8]) -> Result<(Vec<u8>, usize)> {
     if flg & 0x20 != 0 {
         return Err(DeflateError::BadHeader); // FDICT unsupported
     }
-    let (out, body_len) = inflate_consumed(&data[2..data.len() - 4])?;
+    let (out, body_len) = inflate_consumed_bounded(&data[2..data.len() - 4], max_out)?;
     let trailer = 2 + body_len;
     if data.len() < trailer + 4 {
         return Err(DeflateError::UnexpectedEof);
@@ -139,9 +139,18 @@ fn decompress_member(data: &[u8]) -> Result<(Vec<u8>, usize)> {
 /// trailer. Single-member streams written by older versions decode exactly
 /// as before.
 pub fn decompress(data: &[u8]) -> Result<Vec<u8>> {
-    let (mut out, mut pos) = decompress_member(data)?;
+    decompress_bounded(data, usize::MAX)
+}
+
+/// [`decompress`] with a hard cap on the total decoded size across all
+/// members: the call fails with [`DeflateError::TooLarge`] the moment the
+/// output would exceed `max_out` bytes, long before a decompression bomb
+/// can exhaust memory. Callers should derive `max_out` from the size the
+/// surrounding container *declared* for this payload.
+pub fn decompress_bounded(data: &[u8], max_out: usize) -> Result<Vec<u8>> {
+    let (mut out, mut pos) = decompress_member(data, max_out)?;
     while pos < data.len() {
-        let (mut member, used) = decompress_member(&data[pos..])?;
+        let (mut member, used) = decompress_member(&data[pos..], max_out - out.len())?;
         out.append(&mut member);
         pos += used;
     }
@@ -269,6 +278,27 @@ mod tests {
         let data = mixed_payload(3 * MIN_MEMBER_BYTES);
         let old = compress_with_level(&data, CompressionLevel::Default);
         assert_eq!(decompress(&old).unwrap(), data);
+    }
+
+    #[test]
+    fn bounded_decompress_caps_across_members() {
+        // The cap applies to the *sum* of members, not to each one.
+        let a = b"member one ".repeat(50);
+        let b = b"member two ".repeat(50);
+        let mut glued = compress(&a);
+        glued.extend_from_slice(&compress(&b));
+        let total = a.len() + b.len();
+        let mut expect = a.clone();
+        expect.extend_from_slice(&b);
+        assert_eq!(decompress_bounded(&glued, total).unwrap(), expect);
+        assert!(matches!(
+            decompress_bounded(&glued, total - 1),
+            Err(DeflateError::TooLarge { .. })
+        ));
+        assert!(matches!(
+            decompress_bounded(&glued, a.len()),
+            Err(DeflateError::TooLarge { .. })
+        ));
     }
 
     #[test]

@@ -1,0 +1,478 @@
+//! Deterministic, structure-aware corruption fuzzing for every DPZ decode
+//! path.
+//!
+//! The decode-hardening contract says *no byte stream may panic, abort, or
+//! force an outsized allocation in any decoder* — this crate is the
+//! executable form of that contract. It needs no external fuzzing engine:
+//! a seeded [`Xoshiro256`] drives a mutator that knows where the interesting
+//! header fields live in each container format, so a few thousand iterations
+//! reach the arithmetic-overflow and bomb paths that random byte noise
+//! almost never hits.
+//!
+//! Mutation kinds (chosen per iteration):
+//!
+//! 1. **Truncation** at a random offset (header, directory, or payload).
+//! 2. **Header-field substitution**: a known field offset is overwritten
+//!    with an "interesting" integer (0, 1, powers of two, `u64::MAX/2`,
+//!    `u64::MAX`, …) — the class that used to trigger `attempt to multiply
+//!    with overflow` panics.
+//! 3. **Cross-format splice**: the body of one format grafted behind
+//!    another format's magic, and magic-swaps between formats.
+//! 4. **Byte flips**: 1–8 random single-byte XORs anywhere in the stream.
+//! 5. **Random garbage**: fresh random bytes, optionally behind a valid
+//!    magic so parsing proceeds past the first check.
+//!
+//! Every mutated stream is fed to the real decoder under
+//! `std::panic::catch_unwind`; a panic fails the run with the format, seed
+//! and iteration number so the case can be replayed exactly. Decoders are
+//! allowed to *succeed* on a mutation (e.g. a flip inside an unchecked v1
+//! payload) — the contract is "no panic", not "always reject".
+//!
+//! Run the bounded suite via `cargo test -p dpz-fuzz`; crank iterations with
+//! the `DPZ_FUZZ_ITERS` environment variable (the CI fuzz-smoke job uses
+//! 10 000 per format).
+
+#![warn(missing_docs)]
+
+use dpz_data::rng::Xoshiro256;
+use dpz_deflate::crc32;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Every decode surface the repo ships.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Format {
+    /// The single-stream DPZ1 container (`dpz_core::decompress`).
+    Dpz,
+    /// The DPZC chunked container (`dpz_core::decompress_chunked`).
+    Chunked,
+    /// The SZR1 predictor/Huffman container (`dpz_sz::decompress`).
+    Sz,
+    /// The ZFR1 bit-plane container (`dpz_zfp::decompress`).
+    Zfp,
+    /// A bare zlib stream (`dpz_deflate::decompress_bounded`).
+    Zlib,
+}
+
+impl Format {
+    /// All fuzzed formats.
+    pub const ALL: [Format; 5] = [
+        Format::Dpz,
+        Format::Chunked,
+        Format::Sz,
+        Format::Zfp,
+        Format::Zlib,
+    ];
+
+    /// Container magic, where the format has one.
+    fn magic(self) -> &'static [u8] {
+        match self {
+            Format::Dpz => b"DPZ1",
+            Format::Chunked => b"DPZC",
+            Format::Sz => b"SZR1",
+            Format::Zfp => b"ZFR1",
+            Format::Zlib => &[0x78, 0x9C],
+        }
+    }
+
+    /// Byte offsets of size-like header fields worth substituting. These are
+    /// the fields whose arithmetic used to be unchecked; keeping the list in
+    /// one place makes the mutator track format changes.
+    fn field_offsets(self) -> &'static [usize] {
+        match self {
+            // magic(4) ver(1) ndims(1) dims(2×8) orig(8) m(8) n(8) pad(8)
+            // norm(16) k(8) flags(2+8+2) model_raw(8) model_packed(8)
+            Format::Dpz => &[6, 14, 22, 30, 38, 46, 70, 90, 98],
+            // magic(4) ver(1) ndims(1) dims(2×8) count(8) lens(8×count)
+            Format::Chunked => &[6, 14, 22, 30, 38],
+            // magic(4) ndims(1) dims(8) eb(8) radius(4) pred(1) …
+            Format::Sz => &[5, 13, 21, 26, 34],
+            // magic(4) ndims(1) dims(8) mode(1) param(8) bits_len(8)
+            Format::Zfp => &[5, 14, 22],
+            Format::Zlib => &[0, 2, 8],
+        }
+    }
+}
+
+/// Cap for [`Format::Zlib`] decodes: generous next to every corpus payload,
+/// tiny next to a bomb.
+const ZLIB_FUZZ_CAP: usize = 1 << 20;
+
+/// What one decode attempt did.
+enum Outcome {
+    Accepted,
+    Rejected,
+    Panicked(String),
+}
+
+/// Feed `bytes` to `format`'s decoder, catching panics.
+fn try_decode(format: Format, bytes: &[u8]) -> Outcome {
+    let result = catch_unwind(AssertUnwindSafe(|| match format {
+        Format::Dpz => dpz_core::decompress(bytes).map(drop).map_err(drop),
+        Format::Chunked => dpz_core::decompress_chunked(bytes).map(drop).map_err(drop),
+        Format::Sz => dpz_sz::decompress(bytes).map(drop).map_err(drop),
+        Format::Zfp => dpz_zfp::decompress(bytes).map(drop).map_err(drop),
+        Format::Zlib => dpz_deflate::decompress_bounded(bytes, ZLIB_FUZZ_CAP)
+            .map(drop)
+            .map_err(drop),
+    }));
+    match result {
+        Ok(Ok(())) => Outcome::Accepted,
+        Ok(Err(())) => Outcome::Rejected,
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "non-string panic payload".to_string());
+            Outcome::Panicked(msg)
+        }
+    }
+}
+
+/// One valid stream per shape variant, per format — the mutation substrate.
+pub struct Corpus {
+    dpz: Vec<Vec<u8>>,
+    chunked: Vec<Vec<u8>>,
+    sz: Vec<Vec<u8>>,
+    zfp: Vec<Vec<u8>>,
+    zlib: Vec<Vec<u8>>,
+}
+
+impl Corpus {
+    /// Build valid container streams from seeded synthetic fields.
+    pub fn generate(seed: u64) -> Corpus {
+        let mut rng = Xoshiro256::seed_from_u64(seed);
+        let field: Vec<f32> = (0..1024)
+            .map(|i| {
+                let r = (i / 32) as f32;
+                let c = (i % 32) as f32;
+                (0.1 * r).sin() * 5.0 + (0.07 * c).cos() * 3.0 + rng.normal() as f32 * 0.01
+            })
+            .collect();
+        let line: Vec<f32> = (0..600).map(|i| (i as f32 * 0.02).sin() * 4.0).collect();
+
+        let cfg = dpz_core::DpzConfig::loose();
+        let dpz = vec![
+            dpz_core::compress(&field, &[32, 32], &cfg).unwrap().bytes,
+            dpz_core::compress(&line, &[600], &cfg).unwrap().bytes,
+        ];
+        let chunked = vec![
+            dpz_core::compress_chunked(&field, &[32, 32], &cfg, 2)
+                .unwrap()
+                .bytes,
+        ];
+        let sz_cfg = dpz_sz::SzConfig::with_error_bound(1e-3);
+        let sz_auto = sz_cfg.with_predictor(dpz_sz::Predictor::Auto);
+        let sz = vec![
+            dpz_sz::compress(&line, &[600], &sz_cfg),
+            dpz_sz::compress(&field, &[32, 32], &sz_auto),
+        ];
+        let zfp = vec![
+            dpz_zfp::compress(&field, &[32, 32], dpz_zfp::ZfpMode::FixedPrecision(16)),
+            dpz_zfp::compress(&line, &[600], dpz_zfp::ZfpMode::FixedAccuracy(1e-3)),
+        ];
+        let raw: Vec<u8> = (0..4096).map(|_| (rng.next_u64() >> 32) as u8).collect();
+        let zlib = vec![
+            dpz_deflate::compress(&raw),
+            dpz_deflate::compress(&vec![0u8; 2048]),
+        ];
+        Corpus {
+            dpz,
+            chunked,
+            sz,
+            zfp,
+            zlib,
+        }
+    }
+
+    fn streams(&self, format: Format) -> &[Vec<u8>] {
+        match format {
+            Format::Dpz => &self.dpz,
+            Format::Chunked => &self.chunked,
+            Format::Sz => &self.sz,
+            Format::Zfp => &self.zfp,
+            Format::Zlib => &self.zlib,
+        }
+    }
+
+    /// A random stream of a random *other* format, for splicing.
+    fn foreign(&self, format: Format, rng: &mut Xoshiro256) -> &[u8] {
+        loop {
+            let other = Format::ALL[rng.below(Format::ALL.len())];
+            if other != format {
+                let streams = self.streams(other);
+                return &streams[rng.below(streams.len())];
+            }
+        }
+    }
+}
+
+/// Integer values that historically break size arithmetic.
+const INTERESTING: [u64; 12] = [
+    0,
+    1,
+    2,
+    7,
+    255,
+    65_535,
+    1 << 20,
+    1 << 31,
+    1 << 32,
+    u64::MAX / 2,
+    u64::MAX - 1,
+    u64::MAX,
+];
+
+/// Produce one mutated stream from a corpus entry.
+fn mutate(base: &[u8], format: Format, corpus: &Corpus, rng: &mut Xoshiro256) -> Vec<u8> {
+    match rng.below(5) {
+        // Truncation: anywhere from empty to one-byte-short.
+        0 => base[..rng.below(base.len().max(1))].to_vec(),
+        // Structure-aware field substitution.
+        1 => {
+            let mut out = base.to_vec();
+            let offsets = format.field_offsets();
+            let off = offsets[rng.below(offsets.len())];
+            let value = if rng.below(4) == 0 {
+                rng.next_u64()
+            } else {
+                INTERESTING[rng.below(INTERESTING.len())]
+            };
+            let bytes = value.to_le_bytes();
+            for (i, b) in bytes.iter().enumerate() {
+                if off + i < out.len() {
+                    out[off + i] = *b;
+                }
+            }
+            out
+        }
+        // Cross-format splice.
+        2 => {
+            let foreign = corpus.foreign(format, rng);
+            let magic = format.magic();
+            match rng.below(3) {
+                // This format's magic, the other format's body.
+                0 => {
+                    let mut out = magic.to_vec();
+                    out.extend_from_slice(&foreign[foreign.len().min(magic.len())..]);
+                    out
+                }
+                // Head of this stream, tail of the other.
+                1 => {
+                    let cut = rng.below(base.len().max(1));
+                    let mut out = base[..cut].to_vec();
+                    out.extend_from_slice(&foreign[rng.below(foreign.len().max(1))..]);
+                    out
+                }
+                // The other stream verbatim (wrong decoder entirely).
+                _ => foreign.to_vec(),
+            }
+        }
+        // Byte flips.
+        3 => {
+            let mut out = base.to_vec();
+            if !out.is_empty() {
+                for _ in 0..1 + rng.below(8) {
+                    let i = rng.below(out.len());
+                    out[i] ^= 1 << rng.below(8);
+                }
+            }
+            out
+        }
+        // Random garbage, sometimes behind a valid magic.
+        _ => {
+            let len = rng.below(512);
+            let mut out = if rng.below(2) == 0 {
+                format.magic().to_vec()
+            } else {
+                Vec::new()
+            };
+            out.extend((0..len).map(|_| (rng.next_u64() >> 56) as u8));
+            out
+        }
+    }
+}
+
+/// Tally of one fuzz run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FuzzReport {
+    /// Mutations fed to the decoder.
+    pub iterations: usize,
+    /// Decodes that returned `Err` (the expected outcome).
+    pub rejected: usize,
+    /// Decodes that still succeeded (benign mutations).
+    pub accepted: usize,
+}
+
+/// Run `iters` seeded mutations against `format`'s decoder.
+///
+/// # Panics
+///
+/// Panics — failing the enclosing test — if any decoder invocation panics,
+/// reporting the format, seed and iteration for exact replay.
+pub fn run(format: Format, seed: u64, iters: usize) -> FuzzReport {
+    let corpus = Corpus::generate(seed);
+    // Decouple the mutation stream from corpus generation so adding corpus
+    // entries doesn't shift every subsequent case.
+    let mut rng = Xoshiro256::seed_from_u64(seed ^ 0xD9F2_0071 ^ format as u64);
+    let mut report = FuzzReport {
+        iterations: iters,
+        rejected: 0,
+        accepted: 0,
+    };
+    for iter in 0..iters {
+        let streams = corpus.streams(format);
+        let base = &streams[rng.below(streams.len())];
+        let mutated = mutate(base, format, &corpus, &mut rng);
+        match try_decode(format, &mutated) {
+            Outcome::Accepted => report.accepted += 1,
+            Outcome::Rejected => report.rejected += 1,
+            Outcome::Panicked(msg) => panic!(
+                "decoder panic: format {format:?} seed {seed} iteration {iter} \
+                 ({} mutated bytes): {msg}",
+                mutated.len()
+            ),
+        }
+    }
+    report
+}
+
+/// Iteration count for in-tree tests: `DPZ_FUZZ_ITERS` env var, default 500.
+pub fn iters_from_env() -> usize {
+    std::env::var("DPZ_FUZZ_ITERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(500)
+}
+
+fn push_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// The overflow-header repro from the hardening work: a DPZ1 header whose
+/// eight dims are each `u64::MAX / 2`, so their product overflows `usize`.
+/// Must decode to `Err`, never an `attempt to multiply with overflow` panic.
+pub fn overflow_dims_header() -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(b"DPZ1");
+    out.push(2); // version
+    out.push(8); // ndims
+    for _ in 0..8 {
+        push_u64(&mut out, u64::MAX / 2);
+    }
+    // Enough zeroed header tail to reach the dims-product check.
+    out.extend_from_slice(&[0u8; 128]);
+    out
+}
+
+/// A DPZC directory whose chunk lengths sum past `usize::MAX`.
+pub fn overflow_chunk_lens() -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(b"DPZC");
+    out.push(1); // v1: reaches the length sum without a crc column
+    out.push(1); // ndims
+    push_u64(&mut out, 16);
+    push_u64(&mut out, 3); // count
+    for _ in 0..3 {
+        push_u64(&mut out, u64::MAX / 2);
+    }
+    out
+}
+
+/// A syntactically valid v2 DPZ1 container whose index section *declares*
+/// 40 raw bytes but whose packed stream inflates to `payload_mib` MiB of
+/// zeros — a classic decompression bomb with correct CRCs, so decode gets
+/// all the way to the inflate bound before rejecting.
+pub fn deflate_bomb_container(payload_mib: usize) -> Vec<u8> {
+    let section = |out: &mut Vec<u8>, declared_raw: u64, raw: &[u8]| {
+        let packed = dpz_deflate::compress_with_level(raw, dpz_deflate::CompressionLevel::Fast);
+        push_u64(out, declared_raw);
+        push_u64(out, packed.len() as u64);
+        out.extend_from_slice(&packed);
+        out.extend_from_slice(&crc32(&packed).to_le_bytes());
+    };
+    let mut out = Vec::new();
+    out.extend_from_slice(b"DPZ1");
+    out.push(2); // version
+    out.push(2); // ndims
+    push_u64(&mut out, 10);
+    push_u64(&mut out, 8);
+    push_u64(&mut out, 80); // orig_len
+    push_u64(&mut out, 8); // m
+    push_u64(&mut out, 10); // n
+    push_u64(&mut out, 0); // pad
+    out.extend_from_slice(&0.0f64.to_le_bytes()); // norm_min
+    out.extend_from_slice(&1.0f64.to_le_bytes()); // norm_range
+    push_u64(&mut out, 4); // k
+    out.push(0); // transform
+    out.push(0); // dwt levels
+    out.extend_from_slice(&1e-3f64.to_le_bytes()); // p
+    out.push(0); // wide_index
+    out.push(0); // standardized
+                 // Model: (m*k + m) * 4 = 160 bytes, honest.
+    section(&mut out, 160, &[0u8; 160]);
+    // Indices: declares n*k = 40 raw bytes, inflates to megabytes.
+    section(&mut out, 40, &vec![0u8; payload_mib << 20]);
+    // Outliers: honest empty section.
+    section(&mut out, 0, &[]);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_streams_decode_cleanly() {
+        let corpus = Corpus::generate(1);
+        for format in Format::ALL {
+            for (i, stream) in corpus.streams(format).iter().enumerate() {
+                match try_decode(format, stream) {
+                    Outcome::Accepted => {}
+                    _ => panic!("corpus stream {i} for {format:?} must decode"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fuzz_every_format_bounded() {
+        let iters = iters_from_env();
+        for format in Format::ALL {
+            let report = run(format, 0xDEFA_CED5, iters);
+            assert_eq!(report.iterations, iters);
+            // Structure-aware mutation must actually exercise reject paths.
+            assert!(
+                report.rejected > iters / 4,
+                "{format:?}: only {}/{iters} rejected — mutator too tame?",
+                report.rejected
+            );
+        }
+    }
+
+    #[test]
+    fn fuzz_is_deterministic() {
+        let a = run(Format::Dpz, 7, 100);
+        let b = run(Format::Dpz, 7, 100);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn crafted_overflow_headers_are_rejected() {
+        assert!(matches!(
+            try_decode(Format::Dpz, &overflow_dims_header()),
+            Outcome::Rejected
+        ));
+        assert!(matches!(
+            try_decode(Format::Chunked, &overflow_chunk_lens()),
+            Outcome::Rejected
+        ));
+    }
+
+    #[test]
+    fn bomb_container_is_rejected() {
+        // 96 MiB declared-as-40-bytes: must reject at the inflate bound.
+        let bomb = deflate_bomb_container(96);
+        assert!(matches!(try_decode(Format::Dpz, &bomb), Outcome::Rejected));
+    }
+}

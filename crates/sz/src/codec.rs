@@ -28,7 +28,7 @@ use crate::regression::{
 use crate::{Predictor, SzConfig, SzError};
 use dpz_deflate::bitio::{BitReader, BitWriter};
 use dpz_deflate::huffman::{build_code_lengths, Decoder, Encoder};
-use dpz_deflate::{compress_with_level, decompress as zlib_decompress, CompressionLevel};
+use dpz_deflate::{compress_with_level, decompress_bounded, CompressionLevel};
 
 const MAGIC: &[u8; 4] = b"SZR1";
 /// Largest radius keeping symbols within the `u16` decoder alphabet.
@@ -255,11 +255,15 @@ struct Cursor<'a> {
 
 impl<'a> Cursor<'a> {
     fn take(&mut self, n: usize) -> Result<&'a [u8], SzError> {
-        if self.pos + n > self.buf.len() {
+        let end = self
+            .pos
+            .checked_add(n)
+            .ok_or(SzError::Corrupt("truncated stream"))?;
+        if end > self.buf.len() {
             return Err(SzError::Corrupt("truncated stream"));
         }
-        let s = &self.buf[self.pos..self.pos + n];
-        self.pos += n;
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
         Ok(s)
     }
 
@@ -274,7 +278,13 @@ impl<'a> Cursor<'a> {
 
     fn u64(&mut self) -> Result<u64, SzError> {
         let b = self.take(8)?;
-        Ok(u64::from_le_bytes(b.try_into().unwrap()))
+        let v = u64::from_le_bytes(b.try_into().unwrap());
+        // Reject sizes beyond the address space up front so later `as usize`
+        // casts can never truncate.
+        if usize::try_from(v).is_err() {
+            return Err(SzError::Corrupt("size overflows usize"));
+        }
+        Ok(v)
     }
 
     fn f64(&mut self) -> Result<f64, SzError> {
@@ -310,6 +320,16 @@ impl SymbolReader<'_> {
 /// Decompress an SZ stream, returning the values and their dimensions.
 pub fn decompress(bytes: &[u8]) -> Result<(Vec<f32>, Vec<usize>), SzError> {
     let _span = dpz_telemetry::span!("sz.decompress");
+    let result = decompress_inner(bytes);
+    if result.is_err() {
+        dpz_telemetry::global()
+            .counter_with("dpz_decode_rejects_total", &[("codec", "sz")])
+            .inc();
+    }
+    result
+}
+
+fn decompress_inner(bytes: &[u8]) -> Result<(Vec<f32>, Vec<usize>), SzError> {
     let mut cur = Cursor { buf: bytes, pos: 0 };
     if cur.take(4)? != MAGIC {
         return Err(SzError::Corrupt("bad magic"));
@@ -321,6 +341,21 @@ pub fn decompress(bytes: &[u8]) -> Result<(Vec<f32>, Vec<usize>), SzError> {
     let mut dims = Vec::with_capacity(ndims);
     for _ in 0..ndims {
         dims.push(cur.u64()? as usize);
+    }
+    // Validate the shape before it reaches `Grid::new` (which asserts) or
+    // sizes any allocation: non-zero extents, checked product, and a
+    // plausibility cap — every value costs at least one Huffman bit, so `n`
+    // can never exceed 8× the container length. A header declaring more is
+    // corrupt, and rejecting it here bounds every later allocation.
+    if dims.contains(&0) {
+        return Err(SzError::Corrupt("zero dimension"));
+    }
+    let n = dims
+        .iter()
+        .try_fold(1usize, |acc, &d| acc.checked_mul(d))
+        .ok_or(SzError::Corrupt("dims overflow"))?;
+    if n > bytes.len().saturating_mul(8) {
+        return Err(SzError::Corrupt("implausible value count"));
     }
     let eb = cur.f64()?;
     // `!(eb > 0.0)` rather than `eb <= 0.0`: NaN must also be rejected.
@@ -339,15 +374,26 @@ pub fn decompress(bytes: &[u8]) -> Result<(Vec<f32>, Vec<usize>), SzError> {
     };
     let (selectors, coefficients) = if predictor == Predictor::Auto {
         let n_sel = cur.u64()? as usize;
+        // One selector per block, at least one value per block.
+        if n_sel > n {
+            return Err(SzError::Corrupt("implausible selector count"));
+        }
         let len_sel = cur.u64()? as usize;
-        let selectors = zlib_decompress(cur.take(len_sel)?)?;
+        let selectors = decompress_bounded(cur.take(len_sel)?, n_sel)?;
         if selectors.len() != n_sel {
             return Err(SzError::Corrupt("selector count mismatch"));
         }
         let n_coef = cur.u64()? as usize;
+        // Four plane coefficients per regression block, at most.
+        if n_coef > n_sel.saturating_mul(4) {
+            return Err(SzError::Corrupt("implausible coefficient count"));
+        }
+        let expected_coef = n_coef
+            .checked_mul(4)
+            .ok_or(SzError::Corrupt("coefficient size overflow"))?;
         let len_coef = cur.u64()? as usize;
-        let coef_bytes = zlib_decompress(cur.take(len_coef)?)?;
-        if coef_bytes.len() != n_coef * 4 {
+        let coef_bytes = decompress_bounded(cur.take(len_coef)?, expected_coef)?;
+        if coef_bytes.len() != expected_coef {
             return Err(SzError::Corrupt("coefficient payload mismatch"));
         }
         let coefficients: Vec<f32> = coef_bytes
@@ -360,16 +406,23 @@ pub fn decompress(bytes: &[u8]) -> Result<(Vec<f32>, Vec<usize>), SzError> {
     };
 
     let len_lengths = cur.u64()? as usize;
-    let lengths = zlib_decompress(cur.take(len_lengths)?)?;
+    let lengths = decompress_bounded(cur.take(len_lengths)?, 2 * radius as usize)?;
     if lengths.len() != 2 * radius as usize {
         return Err(SzError::Corrupt("code-length table size mismatch"));
     }
     let len_bits = cur.u64()? as usize;
     let bitstream = cur.take(len_bits)?;
     let n_outliers = cur.u64()? as usize;
+    // Outliers are escaped values, so there can never be more than `n`.
+    if n_outliers > n {
+        return Err(SzError::Corrupt("implausible outlier count"));
+    }
+    let expected_outliers = n_outliers
+        .checked_mul(4)
+        .ok_or(SzError::Corrupt("outlier size overflow"))?;
     let len_outliers = cur.u64()? as usize;
-    let outlier_bytes = zlib_decompress(cur.take(len_outliers)?)?;
-    if outlier_bytes.len() != n_outliers * 4 {
+    let outlier_bytes = decompress_bounded(cur.take(len_outliers)?, expected_outliers)?;
+    if outlier_bytes.len() != expected_outliers {
         return Err(SzError::Corrupt("outlier payload size mismatch"));
     }
     let outliers: Vec<f32> = outlier_bytes
@@ -378,7 +431,6 @@ pub fn decompress(bytes: &[u8]) -> Result<(Vec<f32>, Vec<usize>), SzError> {
         .collect();
 
     let grid = Grid::new(&dims);
-    let n = grid.len();
     let mut reader = SymbolReader {
         decoder: Decoder::from_lengths(&lengths)?,
         bits: BitReader::new(bitstream),

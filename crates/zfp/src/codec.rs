@@ -308,6 +308,16 @@ pub fn compress(data: &[f32], dims: &[usize], mode: ZfpMode) -> Vec<u8> {
 /// Decompress a ZFP stream, returning values and dimensions.
 pub fn decompress(bytes: &[u8]) -> Result<(Vec<f32>, Vec<usize>), ZfpError> {
     let _span = dpz_telemetry::span!("zfp.decompress");
+    let result = decompress_inner(bytes);
+    if result.is_err() {
+        dpz_telemetry::global()
+            .counter_with("dpz_decode_rejects_total", &[("codec", "zfp")])
+            .inc();
+    }
+    result
+}
+
+fn decompress_inner(bytes: &[u8]) -> Result<(Vec<f32>, Vec<usize>), ZfpError> {
     let need = |ok: bool| {
         if ok {
             Ok(())
@@ -366,10 +376,16 @@ pub fn decompress(bytes: &[u8]) -> Result<(Vec<f32>, Vec<usize>), ZfpError> {
         _ => return Err(ZfpError::Corrupt("unknown mode")),
     };
     need(bytes.len() >= pos + 8)?;
-    let bits_len = u64::from_le_bytes(bytes[pos..pos + 8].try_into().unwrap()) as usize;
+    let bits_len = u64::from_le_bytes(bytes[pos..pos + 8].try_into().unwrap());
+    let bits_len =
+        usize::try_from(bits_len).map_err(|_| ZfpError::Corrupt("bitstream length overflow"))?;
     pos += 8;
-    need(bytes.len() >= pos + bits_len)?;
-    let bitstream = &bytes[pos..pos + bits_len];
+    // Checked: a near-usize::MAX declared length must not wrap `pos + len`.
+    let bits_end = pos
+        .checked_add(bits_len)
+        .ok_or(ZfpError::Corrupt("bitstream length overflow"))?;
+    need(bytes.len() >= bits_end)?;
+    let bitstream = &bytes[pos..bits_end];
 
     // Sanity-check the claimed dimensions against the payload before
     // allocating: every block consumes at least one bit (its nonzero flag),

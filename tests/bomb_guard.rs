@@ -1,0 +1,70 @@
+//! Decompression-bomb memory guard.
+//!
+//! The hardening acceptance bar: decoding a container whose index section
+//! packs a >1000:1 zlib zero-run must fail *without* materialising the
+//! inflated payload — peak heap growth during the decode stays far under
+//! 64 MiB. A peak-tracking global allocator makes that measurable; this
+//! file is its own test binary because `#[global_allocator]` is
+//! per-binary and the measurement must not share a heap with other tests.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+struct PeakAlloc;
+
+static LIVE: AtomicUsize = AtomicUsize::new(0);
+static PEAK: AtomicUsize = AtomicUsize::new(0);
+
+fn note_live(new_live: usize) {
+    PEAK.fetch_max(new_live, Ordering::Relaxed);
+}
+
+unsafe impl GlobalAlloc for PeakAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let live = LIVE.fetch_add(layout.size(), Ordering::Relaxed) + layout.size();
+        note_live(live);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        LIVE.fetch_sub(layout.size(), Ordering::Relaxed);
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if new_size >= layout.size() {
+            let grow = new_size - layout.size();
+            let live = LIVE.fetch_add(grow, Ordering::Relaxed) + grow;
+            note_live(live);
+        } else {
+            LIVE.fetch_sub(layout.size() - new_size, Ordering::Relaxed);
+        }
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: PeakAlloc = PeakAlloc;
+
+#[test]
+fn deflate_bomb_decodes_to_error_without_inflating() {
+    // A valid-looking v2 container whose index section declares 40 raw
+    // bytes but whose packed stream holds 96 MiB of zeros with a correct
+    // CRC trailer — decode gets past every checksum and is stopped only by
+    // the inflate bound derived from the declared size.
+    let bomb = dpz_fuzz::deflate_bomb_container(96);
+
+    // Fixture construction itself allocates the 96 MiB plaintext; reset the
+    // high-water mark to the current live footprint before measuring.
+    PEAK.store(LIVE.load(Ordering::Relaxed), Ordering::Relaxed);
+    let baseline = PEAK.load(Ordering::Relaxed);
+
+    assert!(dpz::core::decompress(&bomb).is_err());
+
+    let peak_growth = PEAK.load(Ordering::Relaxed).saturating_sub(baseline);
+    assert!(
+        peak_growth < 64 << 20,
+        "decoding the bomb grew the heap by {peak_growth} bytes (>= 64 MiB): \
+         the inflate bound is not holding"
+    );
+}

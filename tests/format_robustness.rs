@@ -69,6 +69,122 @@ fn empty_and_garbage_inputs() {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Adversarial headers: size fields chosen to overflow the decoder's
+// arithmetic or to declare absurd allocations. Each case is a regression
+// test for a panic (or unbounded allocation) the decode-hardening pass
+// fixed; all must come back as `Err`, never a panic.
+// ---------------------------------------------------------------------------
+
+fn push_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+#[test]
+fn overflowing_dims_product_is_rejected() {
+    // Regression: `dims.iter().product::<usize>()` used to overflow-panic in
+    // debug builds. Eight dims of u64::MAX/2 overflow any usize product.
+    let stream = dpz_fuzz::overflow_dims_header();
+    assert!(dpz::core::decompress(&stream).is_err());
+}
+
+#[test]
+fn overflowing_chunk_lengths_are_rejected() {
+    // Regression: `lens.iter().sum::<usize>()` in the DPZC directory parser.
+    let stream = dpz_fuzz::overflow_chunk_lens();
+    assert!(dpz::core::decompress_chunked(&stream).is_err());
+    assert!(dpz::core::decompress_chunk(&stream, 0).is_err());
+}
+
+#[test]
+fn max_ndims_header_is_rejected() {
+    // ndims = 255 with a stream far too short to hold 255 dim fields.
+    let mut stream = b"DPZ1".to_vec();
+    stream.push(2);
+    stream.push(255);
+    stream.extend_from_slice(&[0u8; 64]);
+    assert!(dpz::core::decompress(&stream).is_err());
+}
+
+#[test]
+fn huge_declared_section_lengths_are_rejected() {
+    // A header that parses cleanly but declares a near-usize::MAX packed
+    // section length: must fail the bounds check, not allocate or
+    // overflow `pos + n` in the cursor.
+    let mut stream = b"DPZ1".to_vec();
+    stream.push(2); // version
+    stream.push(1); // ndims
+    push_u64(&mut stream, 16); // dim
+    push_u64(&mut stream, 16); // orig_len
+    push_u64(&mut stream, 4); // m
+    push_u64(&mut stream, 4); // n
+    push_u64(&mut stream, 0); // pad
+    stream.extend_from_slice(&0.0f64.to_le_bytes()); // norm_min
+    stream.extend_from_slice(&1.0f64.to_le_bytes()); // norm_range
+    push_u64(&mut stream, 2); // k
+    stream.extend_from_slice(&[0, 0]); // transform, dwt levels
+    stream.extend_from_slice(&1e-3f64.to_le_bytes()); // p
+    stream.extend_from_slice(&[0, 0]); // wide_index, standardized
+    push_u64(&mut stream, 48); // model declared raw
+    for packed_len in [u64::MAX, u64::MAX - 7, u64::MAX / 2] {
+        let mut bad = stream.clone();
+        push_u64(&mut bad, packed_len);
+        bad.extend_from_slice(&[0u8; 32]);
+        assert!(dpz::core::decompress(&bad).is_err(), "len {packed_len}");
+    }
+}
+
+#[test]
+fn sz_implausible_value_count_is_rejected() {
+    // SZR1 header declaring ~u64::MAX values backed by a handful of bytes.
+    let mut stream = b"SZR1".to_vec();
+    stream.push(1); // ndims
+    push_u64(&mut stream, u64::MAX / 2); // dim
+    stream.extend_from_slice(&[0u8; 64]);
+    assert!(dpz::sz::decompress(&stream).is_err());
+}
+
+#[test]
+fn zfp_bitstream_length_overflow_is_rejected() {
+    // ZFR1 header whose bitstream length wraps `pos + bits_len`.
+    let mut stream = b"ZFR1".to_vec();
+    stream.push(1); // ndims
+    push_u64(&mut stream, 64); // dim
+    stream.push(0); // mode tag
+    push_u64(&mut stream, 16); // mode param
+    push_u64(&mut stream, u64::MAX - 8); // bits_len
+    stream.extend_from_slice(&[0u8; 16]);
+    assert!(dpz::zfp::decompress(&stream).is_err());
+}
+
+#[test]
+fn deflate_bomb_section_is_rejected() {
+    // A v2 container whose index section declares 40 raw bytes but packs a
+    // multi-MiB zero run (>1000:1). The bounded inflate must reject it.
+    let bomb = dpz_fuzz::deflate_bomb_container(8);
+    assert!(dpz::core::decompress(&bomb).is_err());
+}
+
+#[test]
+fn v2_containers_verify_and_v1_still_decode() {
+    let ds = Dataset::generate(DatasetKind::Freqsh, Scale::Tiny, 3);
+    let out = dpz::core::compress(&ds.data, &ds.dims, &DpzConfig::loose()).unwrap();
+    assert!(out.stats.checksummed);
+    let (_, _, info) = dpz::core::decompress_with_info(&out.bytes).unwrap();
+    assert_eq!(info.version, 2);
+    assert!(info.checksummed);
+
+    // The v1 writer is kept for back-compat: same payload, no trailers.
+    let payload = dpz::core::container::deserialize(&out.bytes).unwrap();
+    let (v1, _) = dpz::core::container::serialize_v1(&payload);
+    let (via_v1, dims_v1, info_v1) = dpz::core::decompress_with_info(&v1).unwrap();
+    let (via_v2, dims_v2) = dpz::core::decompress(&out.bytes).unwrap();
+    assert_eq!(info_v1.version, 1);
+    assert!(!info_v1.checksummed);
+    assert_eq!(dims_v1, dims_v2);
+    assert_eq!(via_v1, via_v2);
+}
+
 #[test]
 fn container_reports_consistent_metadata() {
     let ds = Dataset::generate(DatasetKind::Cldlow, Scale::Tiny, 9);
