@@ -144,6 +144,7 @@ fn telemetry_finish(
 /// One-line compression summary read back from the metric deltas (ratio,
 /// model size for DPZ, throughput).
 fn compress_summary(
+    args: &[String],
     input: &str,
     output: &str,
     codec: &str,
@@ -179,6 +180,9 @@ fn compress_summary(
         let _ = write!(msg, ", k={k:.0} tve={tve:.8}");
     }
     let _ = write!(msg, ", {mbps:.1} MB/s, threads={threads}");
+    if has_flag(args, "--verbose") {
+        let _ = write!(msg, ", kernel={}", dpz_kernels::backend_name());
+    }
     msg
 }
 
@@ -299,9 +303,8 @@ fn cmd_compress(args: &[String]) -> Result<String, CliError> {
             let bytes = dpz_sz::compress(&data, &dims, &cfg);
             std::fs::write(output, &bytes).map_err(|e| err(format!("write {output}: {e}")))?;
             let delta = telemetry_finish(args, &before)?;
-            return Ok(
-                compress_summary(input, output, "sz", threads, &delta) + &format!(" (eb={eb:e})")
-            );
+            return Ok(compress_summary(args, input, output, "sz", threads, &delta)
+                + &format!(" (eb={eb:e})"));
         }
         "zfp" => {
             let mode = if let Some(r) = flag_value(args, "--rate") {
@@ -320,7 +323,8 @@ fn cmd_compress(args: &[String]) -> Result<String, CliError> {
             std::fs::write(output, &bytes).map_err(|e| err(format!("write {output}: {e}")))?;
             let delta = telemetry_finish(args, &before)?;
             return Ok(
-                compress_summary(input, output, "zfp", threads, &delta) + &format!(" ({mode:?})")
+                compress_summary(args, input, output, "zfp", threads, &delta)
+                    + &format!(" ({mode:?})"),
             );
         }
         other => return Err(err(format!("unknown --codec '{other}' (dpz|sz|zfp)"))),
@@ -334,7 +338,7 @@ fn cmd_compress(args: &[String]) -> Result<String, CliError> {
     } else {
         ", no-crc"
     };
-    Ok(compress_summary(input, output, "dpz", threads, &delta) + crc)
+    Ok(compress_summary(args, input, output, "dpz", threads, &delta) + crc)
 }
 
 /// Human-readable checksum status for decode summaries.
@@ -629,6 +633,36 @@ mod tests {
 
         let msg = run(&s(&["decompress", &packed, &restored, "--threads", &n])).unwrap();
         assert!(msg.contains(&format!("threads={n}")), "{msg}");
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn verbose_summary_reports_kernel_backend() {
+        let dir = std::env::temp_dir().join("dpz_cli_kernel");
+        std::fs::create_dir_all(&dir).unwrap();
+        let raw = dir.join("k.f32").to_string_lossy().into_owned();
+        let packed = dir.join("k.dpz").to_string_lossy().into_owned();
+        run(&s(&["gen", "PHIS", &raw, "--scale", "tiny"])).unwrap();
+
+        let msg = run(&s(&[
+            "compress",
+            &raw,
+            &packed,
+            "--dims",
+            "45x90",
+            "--verbose",
+        ]))
+        .unwrap();
+        dpz_telemetry::set_trace(false); // don't leak span tracing into other tests
+        assert!(
+            msg.contains(&format!("kernel={}", dpz_kernels::backend_name())),
+            "{msg}"
+        );
+
+        // Without --verbose the summary stays as terse as before.
+        let msg = run(&s(&["compress", &raw, &packed, "--dims", "45x90"])).unwrap();
+        assert!(!msg.contains("kernel="), "{msg}");
 
         std::fs::remove_dir_all(&dir).ok();
     }

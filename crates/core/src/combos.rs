@@ -10,7 +10,7 @@
 
 use crate::container::DpzError;
 use crate::decompose::{self, BlockShape};
-use dpz_linalg::{dct2, dct3, Matrix, Pca, PcaOptions};
+use dpz_linalg::{Dct1d, DctScratch, Matrix, Pca, PcaOptions};
 
 /// The four pipelines of Figure 4.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -115,13 +115,15 @@ pub fn lossy_roundtrip(
                                                          // universal in the spatial domain — approximates poorly here:
                                                          // exactly the paper's argument for why this ordering loses.
             let keep = ((m as f64 * keep_fraction).round() as usize).max(1);
+            let plan = Dct1d::new(m);
+            let mut scratch = DctScratch::new();
             for r in 0..n {
                 let row = scores.row_mut(r);
-                let mut transformed = dct2(row);
-                for v in transformed.iter_mut().skip(keep) {
+                plan.forward_with(row, &mut scratch);
+                for v in row.iter_mut().skip(keep) {
                     *v = 0.0;
                 }
-                row.copy_from_slice(&dct3(&transformed));
+                plan.inverse_with(row, &mut scratch);
             }
             pca.inverse_transform(&scores)?
         }

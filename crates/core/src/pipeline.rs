@@ -175,10 +175,10 @@ pub fn compress(data: &[f32], dims: &[usize], cfg: &DpzConfig) -> Result<Compres
             let k_e = est.k_estimate;
             let margin = (k_e / 4).max(2);
             let want = (k_e + margin).min(shape.m);
-            // Cost model: subspace iteration costs ~iters·2·M²·k flops vs
-            // ~4·M³ for the direct solver, so it only wins for k ≲ M/8 at
-            // the iteration budget used by fit_truncated.
-            let pca = if want * 8 < shape.m {
+            // Measured crossover with the SIMD GEMM backend: subspace
+            // iteration at the fit_truncated budget beats the direct solver
+            // up to roughly k = M/6.
+            let pca = if want * 6 < shape.m {
                 Pca::fit_truncated(&coeffs, opts, want)?
             } else {
                 Pca::fit(&coeffs, opts)?
@@ -186,6 +186,36 @@ pub fn compress(data: &[f32], dims: &[usize], cfg: &DpzConfig) -> Result<Compres
             let choice = select_k(&pca, KSelection::Fixed(k_e));
             (pca, choice)
         }
+        // No sampling estimate, but the selection mode itself bounds the
+        // needed rank: route through the truncated solvers instead of the
+        // full O(M³) decomposition whenever the bound is far below M.
+        (_, KSelection::Fixed(k_fixed)) => {
+            let want = (k_fixed + (k_fixed / 4).max(2)).min(shape.m);
+            let pca = if want * 6 < shape.m {
+                Pca::fit_truncated(&coeffs, opts, want)?
+            } else {
+                Pca::fit(&coeffs, opts)?
+            };
+            let choice = select_k(&pca, cfg.selection);
+            (pca, choice)
+        }
+        (_, KSelection::Tve(tve)) => {
+            // Escalating truncated solve; falls back to the full solver
+            // internally once the attempted rank stops being ≪ M. The
+            // escalation's probe solves only amortize when the full solve
+            // is itself expensive — at a few hundred features a direct
+            // solve costs about what one k₀ probe does, so small shapes
+            // skip straight to it.
+            let pca = if shape.m >= 512 {
+                let k0 = (shape.m / 32).max(8);
+                Pca::fit_tve_bounded(&coeffs, opts, tve, k0)?
+            } else {
+                Pca::fit(&coeffs, opts)?
+            };
+            let choice = select_k(&pca, cfg.selection);
+            (pca, choice)
+        }
+        // Knee-point detection inspects the whole spectrum.
         _ => {
             let pca = Pca::fit(&coeffs, opts)?;
             let choice = select_k(&pca, cfg.selection);
@@ -290,6 +320,10 @@ fn record_compress_metrics(
     reg.gauge("dpz_k_selected").set(stats.k as f64);
     reg.gauge("dpz_tve_achieved").set(stats.tve_achieved);
     reg.gauge("dpz_compression_ratio").set(stats.cr_total);
+    // Which SIMD kernel backend served this compression (0 = scalar
+    // fallback; see dpz_kernels::Backend::id for the mapping).
+    reg.gauge("dpz_kernel_backend")
+        .set(f64::from(dpz_kernels::backend().id()));
     for (name, duration) in [
         ("decompose_dct", stats.timings.decompose_dct),
         ("sampling", stats.timings.sampling),

@@ -36,36 +36,36 @@ impl QuantizedScores {
 }
 
 /// Quantize a flat score array under `scheme`.
+///
+/// The per-score bin mapping (`floor((s + half) / 2P)` with the escape code
+/// for non-finite or out-of-range values) runs through the fused
+/// `dpz-kernels` quantize kernel; this layer owns the byte-width policy
+/// (1-byte vs 2-byte little-endian indices) and the outlier side stream.
 pub fn quantize_scores(scores: &[f64], scheme: Scheme) -> QuantizedScores {
     let p = scheme.p();
     assert!(p > 0.0 && p.is_finite(), "quantizer needs a positive P");
     let bins = scheme.bins();
     let wide = scheme.wide_index();
-    let escape: u32 = bins; // one past the last valid bin index
+    let escape = bins as u16; // one past the last valid bin index
     let half_range = p * f64::from(bins);
+
+    let mut codes = vec![0u16; scores.len()];
+    dpz_kernels::quant::quantize_codes(scores, half_range, p, bins, escape, &mut codes);
 
     let mut indices = Vec::with_capacity(scores.len() * if wide { 2 } else { 1 });
     let mut outliers = Vec::new();
-    for &s in scores {
-        // Bin index: floor((s + half) / 2P), clamped to the valid range
-        // only when s is genuinely inside [-half, half).
-        let code = if s.is_finite() && s.abs() < half_range {
-            let idx = ((s + half_range) / (2.0 * p)).floor();
-            // Guard the upper boundary (s == half_range - epsilon rounds in).
-            if idx >= 0.0 && idx < f64::from(bins) {
-                idx as u32
-            } else {
-                escape
+    if wide {
+        for (&code, &s) in codes.iter().zip(scores) {
+            if code == escape {
+                outliers.push(s as f32);
             }
-        } else {
-            escape
-        };
-        if code == escape {
-            outliers.push(s as f32);
+            indices.extend_from_slice(&code.to_le_bytes());
         }
-        if wide {
-            indices.extend_from_slice(&(code as u16).to_le_bytes());
-        } else {
+    } else {
+        for (&code, &s) in codes.iter().zip(scores) {
+            if code == escape {
+                outliers.push(s as f32);
+            }
             indices.push(code as u8);
         }
     }
@@ -82,24 +82,31 @@ pub fn quantize_scores(scores: &[f64], scheme: Scheme) -> QuantizedScores {
 /// Reconstruct scores from their quantized form.
 pub fn dequantize_scores(q: &QuantizedScores) -> Vec<f64> {
     let half_range = q.p * f64::from(q.bins);
-    let escape = q.bins;
-    let mut out = Vec::with_capacity(q.len);
-    let mut outlier_iter = q.outliers.iter();
-    let read_code = |i: usize| -> u32 {
-        if q.wide_index {
-            u32::from(u16::from_le_bytes([q.indices[2 * i], q.indices[2 * i + 1]]))
-        } else {
-            u32::from(q.indices[i])
+    let escape = q.bins as u16;
+    let width = if q.wide_index { 2 } else { 1 };
+    assert!(
+        q.indices.len() >= q.len * width,
+        "index stream shorter than declared score count"
+    );
+    let mut codes = vec![0u16; q.len];
+    if q.wide_index {
+        for (c, b) in codes.iter_mut().zip(q.indices.chunks_exact(2)) {
+            *c = u16::from_le_bytes([b[0], b[1]]);
         }
-    };
-    for i in 0..q.len {
-        let code = read_code(i);
+    } else {
+        for (c, &b) in codes.iter_mut().zip(&q.indices) {
+            *c = u16::from(b);
+        }
+    }
+    // Bin centers for every lane (-half + (2*code + 1) * P); escape slots are
+    // overwritten from the outlier stream below.
+    let mut out = vec![0.0; q.len];
+    dpz_kernels::quant::dequantize_codes(&codes, half_range, q.p, &mut out);
+    let mut outlier_iter = q.outliers.iter();
+    for (v, &code) in out.iter_mut().zip(&codes) {
         if code == escape {
-            let v = outlier_iter.next().expect("outlier stream exhausted");
-            out.push(f64::from(*v));
-        } else {
-            // Bin center: -half + (2*code + 1) * P.
-            out.push(-half_range + (2.0 * f64::from(code) + 1.0) * q.p);
+            let o = outlier_iter.next().expect("outlier stream exhausted");
+            *v = f64::from(*o);
         }
     }
     out

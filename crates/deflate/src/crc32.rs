@@ -3,31 +3,10 @@
 //! The DPZ containers use per-section CRC-32 trailers over the *packed*
 //! section bytes, so corruption is detected before any inflate work happens.
 //! Adler-32 (in [`crate::zlib`]) stays the per-member zlib trailer; CRC-32
-//! gives the outer containers an independent, stronger short-burst detector
-//! at the cost of one table lookup per byte.
-
-/// Byte-at-a-time lookup table for the reflected polynomial.
-const TABLE: [u32; 256] = build_table();
-
-const fn build_table() -> [u32; 256] {
-    let mut table = [0u32; 256];
-    let mut i = 0;
-    while i < 256 {
-        let mut crc = i as u32;
-        let mut bit = 0;
-        while bit < 8 {
-            crc = if crc & 1 != 0 {
-                (crc >> 1) ^ 0xEDB8_8320
-            } else {
-                crc >> 1
-            };
-            bit += 1;
-        }
-        table[i] = crc;
-        i += 1;
-    }
-    table
-}
+//! gives the outer containers an independent, stronger short-burst detector.
+//!
+//! The byte loop lives in `dpz-kernels`: slice-by-8 tables for the general
+//! case, with a PCLMULQDQ fold for long runs on CPUs that have it.
 
 /// Compute the CRC-32 of `data`.
 pub fn crc32(data: &[u8]) -> u32 {
@@ -38,11 +17,7 @@ pub fn crc32(data: &[u8]) -> u32 {
 /// `0xFFFF_FFFF`, finish by xoring with `0xFFFF_FFFF` — [`crc32`] does both
 /// for the one-shot case.
 pub fn update(state: u32, data: &[u8]) -> u32 {
-    let mut crc = state;
-    for &b in data {
-        crc = (crc >> 8) ^ TABLE[((crc ^ u32::from(b)) & 0xFF) as usize];
-    }
-    crc
+    dpz_kernels::checksum::crc32_update(state, data)
 }
 
 #[cfg(test)]
@@ -68,6 +43,27 @@ mod tests {
         let (a, b) = data.split_at(17);
         let state = update(update(0xFFFF_FFFF, a), b) ^ 0xFFFF_FFFF;
         assert_eq!(state, crc32(data));
+    }
+
+    #[test]
+    fn long_inputs_cross_the_simd_fold_threshold() {
+        // > 128 bytes engages the PCLMUL fold (where available); the result
+        // must match a byte-at-a-time reference regardless of backend.
+        for n in [127usize, 128, 129, 500, 4096] {
+            let data: Vec<u8> = (0..n).map(|i| (i * 37 + 11) as u8).collect();
+            let mut crc = 0xFFFF_FFFFu32;
+            for &b in &data {
+                crc ^= u32::from(b);
+                for _ in 0..8 {
+                    crc = if crc & 1 != 0 {
+                        (crc >> 1) ^ 0xEDB8_8320
+                    } else {
+                        crc >> 1
+                    };
+                }
+            }
+            assert_eq!(crc32(&data), crc ^ 0xFFFF_FFFF, "n={n}");
+        }
     }
 
     #[test]

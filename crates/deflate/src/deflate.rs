@@ -195,9 +195,25 @@ fn histogram(tokens: &[Token]) -> Histogram {
         dist: [0; 30],
         extra_bits: 0,
     };
+    // Literals dominate DPZ token streams (quantized indices rarely repeat
+    // at match length), so batch them through the unrolled multi-table
+    // byte-histogram kernel instead of bumping one counter per token.
+    let mut batch = [0u8; 1024];
+    let mut n = 0usize;
+    let flush = |h: &mut Histogram, bytes: &[u8]| {
+        let lit: &mut [u64; 256] = (&mut h.lit[..256]).try_into().expect("256-entry prefix");
+        dpz_kernels::checksum::byte_histogram(bytes, lit);
+    };
     for t in tokens {
         match *t {
-            Token::Literal(b) => h.lit[b as usize] += 1,
+            Token::Literal(b) => {
+                batch[n] = b;
+                n += 1;
+                if n == batch.len() {
+                    flush(&mut h, &batch);
+                    n = 0;
+                }
+            }
             Token::Match { len, dist } => {
                 let (lc, _, le) = length_symbol(len as usize);
                 let (dc, _, de) = dist_symbol(dist as usize);
@@ -206,6 +222,9 @@ fn histogram(tokens: &[Token]) -> Histogram {
                 h.extra_bits += u64::from(le) + u64::from(de);
             }
         }
+    }
+    if n > 0 {
+        flush(&mut h, &batch[..n]);
     }
     h.lit[EOB] += 1;
     h

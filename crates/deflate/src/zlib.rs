@@ -13,24 +13,12 @@ use crate::inflate::inflate_consumed_bounded;
 use crate::{DeflateError, Result};
 use rayon::prelude::*;
 
-/// Adler-32 modulus.
-const MOD_ADLER: u32 = 65_521;
-/// Largest number of bytes we can accumulate before the s2 sum can overflow.
-const NMAX: usize = 5552;
-
 /// Compute the Adler-32 checksum of `data` (RFC 1950 §8).
+///
+/// The summation loop lives in `dpz-kernels` (vectorized on AVX2 via the
+/// SAD/MADD reduction, scalar NMAX-blocked otherwise).
 pub fn adler32(data: &[u8]) -> u32 {
-    let mut s1: u32 = 1;
-    let mut s2: u32 = 0;
-    for chunk in data.chunks(NMAX) {
-        for &b in chunk {
-            s1 += u32::from(b);
-            s2 += s1;
-        }
-        s1 %= MOD_ADLER;
-        s2 %= MOD_ADLER;
-    }
-    (s2 << 16) | s1
+    dpz_kernels::checksum::adler32_update(1, data)
 }
 
 /// Compress with the default effort level.

@@ -1,0 +1,127 @@
+//! Runtime backend selection.
+//!
+//! Every kernel in this crate is compiled in (at least) two forms: a portable
+//! scalar fallback and one or more SIMD variants gated on `target_arch`. The
+//! variant actually executed is chosen **once per process** here, from CPU
+//! feature detection, and cached — kernels branch on [`backend`] rather than
+//! re-detecting per call.
+//!
+//! Setting the environment variable `DPZ_FORCE_SCALAR=1` (or `true`) pins the
+//! scalar fallback regardless of what the CPU supports. CI uses this to run
+//! the whole test suite on both dispatch arms; the parity suite in
+//! `tests/parity.rs` additionally compares the arms directly.
+
+use std::sync::OnceLock;
+
+/// The kernel implementation family selected at runtime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Backend {
+    /// Portable scalar fallback, available everywhere.
+    Scalar,
+    /// x86_64 AVX2 + FMA.
+    Avx2,
+    /// aarch64 NEON (f64x2).
+    Neon,
+}
+
+impl Backend {
+    /// Stable lowercase name, used for telemetry labels and CLI summaries.
+    pub fn name(self) -> &'static str {
+        match self {
+            Backend::Scalar => "scalar",
+            Backend::Avx2 => "avx2",
+            Backend::Neon => "neon",
+        }
+    }
+
+    /// Stable numeric id for the `dpz_kernel_backend` gauge
+    /// (0 = scalar, 1 = avx2, 2 = neon).
+    pub fn id(self) -> u8 {
+        match self {
+            Backend::Scalar => 0,
+            Backend::Avx2 => 1,
+            Backend::Neon => 2,
+        }
+    }
+}
+
+fn force_scalar() -> bool {
+    matches!(
+        std::env::var("DPZ_FORCE_SCALAR").as_deref(),
+        Ok("1") | Ok("true") | Ok("TRUE")
+    )
+}
+
+fn detect() -> Backend {
+    if force_scalar() {
+        return Backend::Scalar;
+    }
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma")
+        {
+            return Backend::Avx2;
+        }
+    }
+    #[cfg(target_arch = "aarch64")]
+    {
+        // NEON is architecturally mandatory on aarch64.
+        return Backend::Neon;
+    }
+    #[allow(unreachable_code)]
+    Backend::Scalar
+}
+
+/// The backend selected for this process (cached after the first call).
+pub fn backend() -> Backend {
+    static BACKEND: OnceLock<Backend> = OnceLock::new();
+    *BACKEND.get_or_init(detect)
+}
+
+/// Convenience: [`Backend::name`] of the selected backend.
+pub fn backend_name() -> &'static str {
+    backend().name()
+}
+
+/// True when the CRC-32 kernel may use carry-less multiply folding
+/// (x86_64 `pclmulqdq` + SSE4.1). Independent of [`backend`] because a CPU
+/// can have PCLMUL without AVX2; still honors `DPZ_FORCE_SCALAR`.
+pub fn has_pclmul() -> bool {
+    static PCLMUL: OnceLock<bool> = OnceLock::new();
+    *PCLMUL.get_or_init(|| {
+        if force_scalar() {
+            return false;
+        }
+        #[cfg(target_arch = "x86_64")]
+        {
+            std::arch::is_x86_feature_detected!("pclmulqdq")
+                && std::arch::is_x86_feature_detected!("sse4.1")
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        {
+            false
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backend_is_stable_across_calls() {
+        assert_eq!(backend(), backend());
+        assert_eq!(backend().name(), backend_name());
+    }
+
+    #[test]
+    fn names_and_ids_are_distinct() {
+        let all = [Backend::Scalar, Backend::Avx2, Backend::Neon];
+        for (i, a) in all.iter().enumerate() {
+            for b in &all[i + 1..] {
+                assert_ne!(a.name(), b.name());
+                assert_ne!(a.id(), b.id());
+            }
+        }
+    }
+}

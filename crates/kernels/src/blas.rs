@@ -1,0 +1,396 @@
+//! Level-1 vector kernels: dot product, fused multiply-add updates, and the
+//! Givens rotation applied across two rows.
+//!
+//! These back the dense matrix layer (`Matrix::gram`), the restructured
+//! symmetric eigensolver (Householder dots/updates, QL rotations) and the
+//! subspace-iteration orthonormalization in `dpz-linalg`.
+//!
+//! ## Parity contract
+//!
+//! Every per-element operation uses a *fused* multiply-add in both arms
+//! (`f64::mul_add` in the scalar fallback, `vfmadd`/`vfma` in SIMD), so each
+//! output element sees the identical op sequence and the arms agree
+//! bit-for-bit. [`dot`] additionally fixes the accumulation tree: 8 virtual
+//! lanes filled in stride-8 chunks, reduced as
+//! `((a0+a4)+(a2+a6)) + ((a1+a5)+(a3+a7)) + tail`, with the tail folded in a
+//! single sequential chain — the scalar arm replays exactly that tree.
+
+use crate::backend::{backend, Backend};
+
+/// Dot product `Σ x[i]·y[i]` with the fixed 8-lane accumulation tree.
+///
+/// Panics if the slices differ in length.
+pub fn dot(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len(), "dot length mismatch");
+    match backend() {
+        #[cfg(target_arch = "x86_64")]
+        Backend::Avx2 => unsafe { dot_avx2(x, y) },
+        #[cfg(target_arch = "aarch64")]
+        Backend::Neon => unsafe { dot_neon(x, y) },
+        _ => dot_scalar(x, y),
+    }
+}
+
+/// Scalar arm of [`dot`] (public for the parity tests and benches).
+pub fn dot_scalar(x: &[f64], y: &[f64]) -> f64 {
+    let mut acc = [0.0f64; 8];
+    let chunks = x.len() / 8;
+    for c in 0..chunks {
+        let base = c * 8;
+        for (l, a) in acc.iter_mut().enumerate() {
+            *a = x[base + l].mul_add(y[base + l], *a);
+        }
+    }
+    let mut tail = 0.0f64;
+    for i in chunks * 8..x.len() {
+        tail = x[i].mul_add(y[i], tail);
+    }
+    ((acc[0] + acc[4]) + (acc[2] + acc[6])) + ((acc[1] + acc[5]) + (acc[3] + acc[7])) + tail
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn dot_avx2(x: &[f64], y: &[f64]) -> f64 {
+    use std::arch::x86_64::*;
+    let n = x.len();
+    let chunks = n / 8;
+    let xp = x.as_ptr();
+    let yp = y.as_ptr();
+    // Lane map: v0 holds virtual lanes 0..4, v1 holds 4..8.
+    let mut v0 = _mm256_setzero_pd();
+    let mut v1 = _mm256_setzero_pd();
+    for c in 0..chunks {
+        let b = c * 8;
+        v0 = _mm256_fmadd_pd(_mm256_loadu_pd(xp.add(b)), _mm256_loadu_pd(yp.add(b)), v0);
+        v1 = _mm256_fmadd_pd(
+            _mm256_loadu_pd(xp.add(b + 4)),
+            _mm256_loadu_pd(yp.add(b + 4)),
+            v1,
+        );
+    }
+    // v[i] = acc[i] + acc[i+4]; then [v0+v2, v1+v3]; then lane0 + lane1.
+    let v = _mm256_add_pd(v0, v1);
+    let lo = _mm256_castpd256_pd128(v);
+    let hi = _mm256_extractf128_pd(v, 1);
+    let s2 = _mm_add_pd(lo, hi);
+    let s = _mm_cvtsd_f64(s2) + _mm_cvtsd_f64(_mm_unpackhi_pd(s2, s2));
+    let mut tail = 0.0f64;
+    for i in chunks * 8..n {
+        tail = x[i].mul_add(y[i], tail);
+    }
+    s + tail
+}
+
+#[cfg(target_arch = "aarch64")]
+#[target_feature(enable = "neon")]
+unsafe fn dot_neon(x: &[f64], y: &[f64]) -> f64 {
+    use std::arch::aarch64::*;
+    let n = x.len();
+    let chunks = n / 8;
+    let xp = x.as_ptr();
+    let yp = y.as_ptr();
+    // Virtual lanes: a0 = {0,1}, a1 = {2,3}, a2 = {4,5}, a3 = {6,7}.
+    let mut a0 = vdupq_n_f64(0.0);
+    let mut a1 = vdupq_n_f64(0.0);
+    let mut a2 = vdupq_n_f64(0.0);
+    let mut a3 = vdupq_n_f64(0.0);
+    for c in 0..chunks {
+        let b = c * 8;
+        a0 = vfmaq_f64(a0, vld1q_f64(xp.add(b)), vld1q_f64(yp.add(b)));
+        a1 = vfmaq_f64(a1, vld1q_f64(xp.add(b + 2)), vld1q_f64(yp.add(b + 2)));
+        a2 = vfmaq_f64(a2, vld1q_f64(xp.add(b + 4)), vld1q_f64(yp.add(b + 4)));
+        a3 = vfmaq_f64(a3, vld1q_f64(xp.add(b + 6)), vld1q_f64(yp.add(b + 6)));
+    }
+    // {a0+a4, a1+a5} and {a2+a6, a3+a7}, then the same tree as scalar.
+    let p02 = vaddq_f64(a0, a2);
+    let p13 = vaddq_f64(a1, a3);
+    let q = vaddq_f64(p02, p13);
+    let s = vgetq_lane_f64(q, 0) + vgetq_lane_f64(q, 1);
+    let mut tail = 0.0f64;
+    for i in chunks * 8..n {
+        tail = x[i].mul_add(y[i], tail);
+    }
+    s + tail
+}
+
+/// Fused `dst[i] += alpha · x[i]` (one rounding per element).
+///
+/// Panics if the slices differ in length.
+pub fn axpy(dst: &mut [f64], x: &[f64], alpha: f64) {
+    assert_eq!(dst.len(), x.len(), "axpy length mismatch");
+    match backend() {
+        #[cfg(target_arch = "x86_64")]
+        Backend::Avx2 => unsafe { axpy_avx2(dst, x, alpha) },
+        #[cfg(target_arch = "aarch64")]
+        Backend::Neon => unsafe { axpy_neon(dst, x, alpha) },
+        _ => axpy_scalar(dst, x, alpha),
+    }
+}
+
+/// Scalar arm of [`axpy`].
+pub fn axpy_scalar(dst: &mut [f64], x: &[f64], alpha: f64) {
+    for (d, &v) in dst.iter_mut().zip(x) {
+        *d = alpha.mul_add(v, *d);
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn axpy_avx2(dst: &mut [f64], x: &[f64], alpha: f64) {
+    use std::arch::x86_64::*;
+    let n = dst.len();
+    let a = _mm256_set1_pd(alpha);
+    let dp = dst.as_mut_ptr();
+    let xp = x.as_ptr();
+    let mut i = 0usize;
+    while i + 4 <= n {
+        let d = _mm256_loadu_pd(dp.add(i));
+        let v = _mm256_loadu_pd(xp.add(i));
+        _mm256_storeu_pd(dp.add(i), _mm256_fmadd_pd(a, v, d));
+        i += 4;
+    }
+    while i < n {
+        dst[i] = alpha.mul_add(x[i], dst[i]);
+        i += 1;
+    }
+}
+
+#[cfg(target_arch = "aarch64")]
+#[target_feature(enable = "neon")]
+unsafe fn axpy_neon(dst: &mut [f64], x: &[f64], alpha: f64) {
+    use std::arch::aarch64::*;
+    let n = dst.len();
+    let a = vdupq_n_f64(alpha);
+    let dp = dst.as_mut_ptr();
+    let xp = x.as_ptr();
+    let mut i = 0usize;
+    while i + 2 <= n {
+        let d = vld1q_f64(dp.add(i));
+        let v = vld1q_f64(xp.add(i));
+        vst1q_f64(dp.add(i), vfmaq_f64(d, a, v));
+        i += 2;
+    }
+    while i < n {
+        dst[i] = alpha.mul_add(x[i], dst[i]);
+        i += 1;
+    }
+}
+
+/// Fused two-vector update `dst[i] -= a·x[i] + b·y[i]`, computed as
+/// `dst = fma(-b, y, fma(-a, x, dst))` in both arms (Householder column
+/// update in `tred2`).
+pub fn update2(dst: &mut [f64], x: &[f64], y: &[f64], a: f64, b: f64) {
+    assert!(
+        dst.len() == x.len() && dst.len() == y.len(),
+        "update2 length mismatch"
+    );
+    match backend() {
+        #[cfg(target_arch = "x86_64")]
+        Backend::Avx2 => unsafe { update2_avx2(dst, x, y, a, b) },
+        #[cfg(target_arch = "aarch64")]
+        Backend::Neon => unsafe { update2_neon(dst, x, y, a, b) },
+        _ => update2_scalar(dst, x, y, a, b),
+    }
+}
+
+/// Scalar arm of [`update2`].
+pub fn update2_scalar(dst: &mut [f64], x: &[f64], y: &[f64], a: f64, b: f64) {
+    for i in 0..dst.len() {
+        dst[i] = (-b).mul_add(y[i], (-a).mul_add(x[i], dst[i]));
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn update2_avx2(dst: &mut [f64], x: &[f64], y: &[f64], a: f64, b: f64) {
+    use std::arch::x86_64::*;
+    let n = dst.len();
+    let va = _mm256_set1_pd(a);
+    let vb = _mm256_set1_pd(b);
+    let dp = dst.as_mut_ptr();
+    let xp = x.as_ptr();
+    let yp = y.as_ptr();
+    let mut i = 0usize;
+    while i + 4 <= n {
+        let d = _mm256_loadu_pd(dp.add(i));
+        let t = _mm256_fnmadd_pd(va, _mm256_loadu_pd(xp.add(i)), d);
+        let r = _mm256_fnmadd_pd(vb, _mm256_loadu_pd(yp.add(i)), t);
+        _mm256_storeu_pd(dp.add(i), r);
+        i += 4;
+    }
+    while i < n {
+        dst[i] = (-b).mul_add(y[i], (-a).mul_add(x[i], dst[i]));
+        i += 1;
+    }
+}
+
+#[cfg(target_arch = "aarch64")]
+#[target_feature(enable = "neon")]
+unsafe fn update2_neon(dst: &mut [f64], x: &[f64], y: &[f64], a: f64, b: f64) {
+    use std::arch::aarch64::*;
+    let n = dst.len();
+    let va = vdupq_n_f64(a);
+    let vb = vdupq_n_f64(b);
+    let dp = dst.as_mut_ptr();
+    let xp = x.as_ptr();
+    let yp = y.as_ptr();
+    let mut i = 0usize;
+    while i + 2 <= n {
+        let d = vld1q_f64(dp.add(i));
+        let t = vfmsq_f64(d, va, vld1q_f64(xp.add(i)));
+        let r = vfmsq_f64(t, vb, vld1q_f64(yp.add(i)));
+        vst1q_f64(dp.add(i), r);
+        i += 2;
+    }
+    while i < n {
+        dst[i] = (-b).mul_add(y[i], (-a).mul_add(x[i], dst[i]));
+        i += 1;
+    }
+}
+
+/// Apply a Givens rotation across two rows:
+/// `(r0[k], r1[k]) ← (c·r0[k] − s·r1[k], s·r0[k] + c·r1[k])`, with the fixed
+/// op order `t = c·r1[k]` (rounded), `r1' = fma(s, r0[k], t)`,
+/// `u = c·r0[k]` (rounded), `r0' = fma(−s, r1[k], u)` in both arms.
+pub fn rot2(r0: &mut [f64], r1: &mut [f64], c: f64, s: f64) {
+    assert_eq!(r0.len(), r1.len(), "rot2 length mismatch");
+    match backend() {
+        #[cfg(target_arch = "x86_64")]
+        Backend::Avx2 => unsafe { rot2_avx2(r0, r1, c, s) },
+        #[cfg(target_arch = "aarch64")]
+        Backend::Neon => unsafe { rot2_neon(r0, r1, c, s) },
+        _ => rot2_scalar(r0, r1, c, s),
+    }
+}
+
+/// Scalar arm of [`rot2`].
+pub fn rot2_scalar(r0: &mut [f64], r1: &mut [f64], c: f64, s: f64) {
+    for k in 0..r0.len() {
+        let f = r1[k];
+        let g = r0[k];
+        r1[k] = s.mul_add(g, c * f);
+        r0[k] = (-s).mul_add(f, c * g);
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn rot2_avx2(r0: &mut [f64], r1: &mut [f64], c: f64, s: f64) {
+    use std::arch::x86_64::*;
+    let n = r0.len();
+    let vc = _mm256_set1_pd(c);
+    let vs = _mm256_set1_pd(s);
+    let p0 = r0.as_mut_ptr();
+    let p1 = r1.as_mut_ptr();
+    let mut k = 0usize;
+    while k + 4 <= n {
+        let f = _mm256_loadu_pd(p1.add(k));
+        let g = _mm256_loadu_pd(p0.add(k));
+        _mm256_storeu_pd(p1.add(k), _mm256_fmadd_pd(vs, g, _mm256_mul_pd(vc, f)));
+        _mm256_storeu_pd(p0.add(k), _mm256_fnmadd_pd(vs, f, _mm256_mul_pd(vc, g)));
+        k += 4;
+    }
+    while k < n {
+        let f = r1[k];
+        let g = r0[k];
+        r1[k] = s.mul_add(g, c * f);
+        r0[k] = (-s).mul_add(f, c * g);
+        k += 1;
+    }
+}
+
+#[cfg(target_arch = "aarch64")]
+#[target_feature(enable = "neon")]
+unsafe fn rot2_neon(r0: &mut [f64], r1: &mut [f64], c: f64, s: f64) {
+    use std::arch::aarch64::*;
+    let n = r0.len();
+    let vc = vdupq_n_f64(c);
+    let vs = vdupq_n_f64(s);
+    let p0 = r0.as_mut_ptr();
+    let p1 = r1.as_mut_ptr();
+    let mut k = 0usize;
+    while k + 2 <= n {
+        let f = vld1q_f64(p1.add(k));
+        let g = vld1q_f64(p0.add(k));
+        vst1q_f64(p1.add(k), vfmaq_f64(vmulq_f64(vc, f), vs, g));
+        vst1q_f64(p0.add(k), vfmsq_f64(vmulq_f64(vc, g), vs, f));
+        k += 2;
+    }
+    while k < n {
+        let f = r1[k];
+        let g = r0[k];
+        r1[k] = s.mul_add(g, c * f);
+        r0[k] = (-s).mul_add(f, c * g);
+        k += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seq(n: usize, mul: f64) -> Vec<f64> {
+        (0..n).map(|i| (i as f64 * mul).sin() + 0.1).collect()
+    }
+
+    #[test]
+    fn dot_matches_scalar_bitwise() {
+        for n in [0usize, 1, 3, 7, 8, 9, 31, 100, 255] {
+            let x = seq(n, 0.37);
+            let y = seq(n, 0.11);
+            assert_eq!(dot(&x, &y).to_bits(), dot_scalar(&x, &y).to_bits(), "n={n}");
+        }
+    }
+
+    #[test]
+    fn dot_is_accurate() {
+        let x = seq(500, 0.2);
+        let y = seq(500, 0.3);
+        let naive: f64 = x.iter().zip(&y).map(|(a, b)| a * b).sum();
+        assert!((dot(&x, &y) - naive).abs() < 1e-9 * naive.abs().max(1.0));
+    }
+
+    #[test]
+    fn axpy_matches_scalar_bitwise() {
+        for n in [0usize, 1, 5, 16, 33] {
+            let x = seq(n, 0.7);
+            let mut a = seq(n, 0.2);
+            let mut b = a.clone();
+            axpy(&mut a, &x, 1.37);
+            axpy_scalar(&mut b, &x, 1.37);
+            assert_eq!(a, b, "n={n}");
+        }
+    }
+
+    #[test]
+    fn update2_matches_scalar_bitwise() {
+        for n in [0usize, 2, 9, 40] {
+            let x = seq(n, 0.3);
+            let y = seq(n, 0.9);
+            let mut a = seq(n, 0.5);
+            let mut b = a.clone();
+            update2(&mut a, &x, &y, 0.7, -1.3);
+            update2_scalar(&mut b, &x, &y, 0.7, -1.3);
+            assert_eq!(a, b, "n={n}");
+        }
+    }
+
+    #[test]
+    fn rot2_matches_scalar_and_is_orthogonal() {
+        let (c, s) = (0.8, 0.6); // c² + s² = 1
+        for n in [1usize, 4, 11] {
+            let mut a0 = seq(n, 0.4);
+            let mut a1 = seq(n, 0.8);
+            let (b0, b1) = (a0.clone(), a1.clone());
+            let norm_before: f64 = a0.iter().chain(&a1).map(|v| v * v).sum();
+            rot2(&mut a0, &mut a1, c, s);
+            let norm_after: f64 = a0.iter().chain(&a1).map(|v| v * v).sum();
+            assert!((norm_before - norm_after).abs() < 1e-12 * norm_before);
+            let mut c0 = b0.clone();
+            let mut c1 = b1.clone();
+            rot2_scalar(&mut c0, &mut c1, c, s);
+            assert_eq!(a0, c0);
+            assert_eq!(a1, c1);
+        }
+    }
+}

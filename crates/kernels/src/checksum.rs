@@ -1,0 +1,356 @@
+//! Integrity/entropy-stage kernels: CRC-32 (IEEE, reflected), Adler-32, and
+//! the literal-byte histogram feeding Huffman code-length counting.
+//!
+//! CRC-32 uses slice-by-8 tables everywhere and, when the CPU has
+//! `pclmulqdq` (see [`crate::backend::has_pclmul`]), a fold-by-4 carry-less
+//! multiply loop for buffers ≥ 128 bytes. The folding constants are the
+//! published Intel/zlib values for the reflected CRC-32 polynomial
+//! (`x^{512+64}, x^{512}, x^{128+64}, x^{128} mod P`); instead of a Barrett
+//! reduction the final 16 folded bytes are pushed through the table path,
+//! which keeps the code small and exactly matches the scalar result.
+//!
+//! All kernels here are exact integer computations, so scalar/SIMD parity is
+//! equality of values, not merely of rounding behavior.
+
+use crate::backend::{backend, has_pclmul, Backend};
+
+const CRC_POLY: u32 = 0xEDB8_8320;
+
+const fn crc_tables() -> [[u32; 256]; 8] {
+    let mut t = [[0u32; 256]; 8];
+    let mut i = 0usize;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut j = 0;
+        while j < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ CRC_POLY
+            } else {
+                crc >> 1
+            };
+            j += 1;
+        }
+        t[0][i] = crc;
+        i += 1;
+    }
+    let mut k = 1usize;
+    while k < 8 {
+        let mut i = 0usize;
+        while i < 256 {
+            t[k][i] = (t[k - 1][i] >> 8) ^ t[0][(t[k - 1][i] & 0xFF) as usize];
+            i += 1;
+        }
+        k += 1;
+    }
+    t
+}
+
+static CRC_TABLES: [[u32; 256]; 8] = crc_tables();
+
+/// Advance a raw (pre-inverted) CRC-32 state over `data`. Streaming-safe:
+/// splitting `data` at any point and chaining calls gives the same result.
+pub fn crc32_update(state: u32, data: &[u8]) -> u32 {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if data.len() >= 128 && has_pclmul() {
+            return unsafe { crc32_pclmul(state, data) };
+        }
+    }
+    crc32_update_scalar(state, data)
+}
+
+/// Slice-by-8 table arm of [`crc32_update`] (public for the parity tests and
+/// benches).
+pub fn crc32_update_scalar(state: u32, data: &[u8]) -> u32 {
+    let mut crc = state;
+    let mut chunks = data.chunks_exact(8);
+    for c in &mut chunks {
+        let lo = u32::from_le_bytes([c[0], c[1], c[2], c[3]]) ^ crc;
+        let hi = u32::from_le_bytes([c[4], c[5], c[6], c[7]]);
+        crc = CRC_TABLES[7][(lo & 0xFF) as usize]
+            ^ CRC_TABLES[6][((lo >> 8) & 0xFF) as usize]
+            ^ CRC_TABLES[5][((lo >> 16) & 0xFF) as usize]
+            ^ CRC_TABLES[4][(lo >> 24) as usize]
+            ^ CRC_TABLES[3][(hi & 0xFF) as usize]
+            ^ CRC_TABLES[2][((hi >> 8) & 0xFF) as usize]
+            ^ CRC_TABLES[1][((hi >> 16) & 0xFF) as usize]
+            ^ CRC_TABLES[0][(hi >> 24) as usize];
+    }
+    for &b in chunks.remainder() {
+        crc = (crc >> 8) ^ CRC_TABLES[0][((crc ^ b as u32) & 0xFF) as usize];
+    }
+    crc
+}
+
+// Reflected-domain folding constants (Intel "Fast CRC Computation Using
+// PCLMULQDQ" / zlib): x^{512+64}, x^{512}, x^{128+64}, x^{128} mod P.
+#[cfg(target_arch = "x86_64")]
+const K1: i64 = 0x0000_0001_5444_2bd4;
+#[cfg(target_arch = "x86_64")]
+const K2: i64 = 0x0000_0001_c6e4_1596;
+#[cfg(target_arch = "x86_64")]
+const K3: i64 = 0x0000_0001_7519_97d0;
+#[cfg(target_arch = "x86_64")]
+const K4: i64 = 0x0000_0000_ccaa_009e;
+
+/// Fold the 128-bit accumulator `a` across 512 or 128 bits (per `keys`) and
+/// absorb the next block `b`.
+#[cfg(target_arch = "x86_64")]
+#[inline]
+#[target_feature(enable = "pclmulqdq", enable = "sse4.1")]
+unsafe fn fold(
+    a: std::arch::x86_64::__m128i,
+    b: std::arch::x86_64::__m128i,
+    keys: std::arch::x86_64::__m128i,
+) -> std::arch::x86_64::__m128i {
+    use std::arch::x86_64::*;
+    let lo = _mm_clmulepi64_si128(a, keys, 0x00);
+    let hi = _mm_clmulepi64_si128(a, keys, 0x11);
+    _mm_xor_si128(_mm_xor_si128(b, lo), hi)
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "pclmulqdq", enable = "sse4.1")]
+unsafe fn crc32_pclmul(state: u32, data: &[u8]) -> u32 {
+    use std::arch::x86_64::*;
+    debug_assert!(data.len() >= 64);
+    let mut p = data.as_ptr() as *const __m128i;
+    let mut rem = data.len();
+    // Oldest-to-newest stream order: x3, x2, x1, x0.
+    let mut x3 = _mm_loadu_si128(p);
+    let mut x2 = _mm_loadu_si128(p.add(1));
+    let mut x1 = _mm_loadu_si128(p.add(2));
+    let mut x0 = _mm_loadu_si128(p.add(3));
+    p = p.add(4);
+    rem -= 64;
+    // The incoming state folds into the first four message bytes (the table
+    // recurrence is linear in state ^ leading bytes).
+    x3 = _mm_xor_si128(x3, _mm_cvtsi32_si128(state as i32));
+
+    let k1k2 = _mm_set_epi64x(K2, K1);
+    while rem >= 64 {
+        x3 = fold(x3, _mm_loadu_si128(p), k1k2);
+        x2 = fold(x2, _mm_loadu_si128(p.add(1)), k1k2);
+        x1 = fold(x1, _mm_loadu_si128(p.add(2)), k1k2);
+        x0 = fold(x0, _mm_loadu_si128(p.add(3)), k1k2);
+        p = p.add(4);
+        rem -= 64;
+    }
+
+    let k3k4 = _mm_set_epi64x(K4, K3);
+    let mut x = fold(x3, x2, k3k4);
+    x = fold(x, x1, k3k4);
+    x = fold(x, x0, k3k4);
+    while rem >= 16 {
+        x = fold(x, _mm_loadu_si128(p), k3k4);
+        p = p.add(1);
+        rem -= 16;
+    }
+
+    // Finish via the table path: CRC of (16 folded bytes ++ tail) from a
+    // zero state equals the CRC of the whole original stream.
+    let mut xb = [0u8; 16];
+    _mm_storeu_si128(xb.as_mut_ptr() as *mut __m128i, x);
+    let crc = crc32_update_scalar(0, &xb);
+    crc32_update_scalar(crc, &data[data.len() - rem..])
+}
+
+const MOD_ADLER: u32 = 65_521;
+const NMAX: usize = 5552;
+
+/// Advance an Adler-32 state (`s2 << 16 | s1`, initial state 1) over `data`.
+pub fn adler32_update(state: u32, data: &[u8]) -> u32 {
+    match backend() {
+        #[cfg(target_arch = "x86_64")]
+        Backend::Avx2 => unsafe { adler32_avx2(state, data) },
+        _ => adler32_update_scalar(state, data),
+    }
+}
+
+/// Scalar arm of [`adler32_update`].
+pub fn adler32_update_scalar(state: u32, data: &[u8]) -> u32 {
+    let mut s1 = state & 0xFFFF;
+    let mut s2 = state >> 16;
+    for block in data.chunks(NMAX) {
+        for &b in block {
+            s1 += b as u32;
+            s2 += s1;
+        }
+        s1 %= MOD_ADLER;
+        s2 %= MOD_ADLER;
+    }
+    (s2 << 16) | s1
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn adler32_avx2(state: u32, data: &[u8]) -> u32 {
+    use std::arch::x86_64::*;
+    let mut s1 = (state & 0xFFFF) as u64;
+    let mut s2 = (state >> 16) as u64;
+    // Weights 32..1 for Σ (32−i)·b_i within a chunk.
+    let weights = _mm256_set_epi8(
+        1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16, 17, 18, 19, 20, 21, 22, 23, 24, 25,
+        26, 27, 28, 29, 30, 31, 32,
+    );
+    let ones = _mm256_set1_epi16(1);
+    let zero = _mm256_setzero_si256();
+    for block in data.chunks(NMAX) {
+        let chunks = block.len() / 32;
+        if chunks > 0 {
+            let mut vb = zero; // Σ Bsum_j lanes (epi64 from SAD)
+            let mut vb_later = zero; // Σ_j (chunks−1−j)·Bsum_j lanes
+            let mut vw = zero; // Σ weighted sums (epi32)
+            let bp = block.as_ptr();
+            for j in 0..chunks {
+                let d = _mm256_loadu_si256(bp.add(j * 32) as *const __m256i);
+                vb_later = _mm256_add_epi64(vb_later, vb);
+                vb = _mm256_add_epi64(vb, _mm256_sad_epu8(d, zero));
+                let w16 = _mm256_maddubs_epi16(d, weights);
+                vw = _mm256_add_epi32(vw, _mm256_madd_epi16(w16, ones));
+            }
+            let hsum64 = |v: __m256i| -> u64 {
+                let lo = _mm256_castsi256_si128(v);
+                let hi = _mm256_extracti128_si256(v, 1);
+                let s = _mm_add_epi64(lo, hi);
+                (_mm_cvtsi128_si64(s) as u64)
+                    .wrapping_add(_mm_cvtsi128_si64(_mm_unpackhi_epi64(s, s)) as u64)
+            };
+            let hsum32 = |v: __m256i| -> u64 {
+                let lo = _mm256_castsi256_si128(v);
+                let hi = _mm256_extracti128_si256(v, 1);
+                let s = _mm_add_epi32(lo, hi);
+                let s = _mm_add_epi32(s, _mm_shuffle_epi32(s, 0b01_00_11_10));
+                let s = _mm_add_epi32(s, _mm_shuffle_epi32(s, 0b00_00_00_01));
+                (_mm_cvtsi128_si32(s) as u32) as u64
+            };
+            let b_total = hsum64(vb);
+            let b_later = hsum64(vb_later);
+            let w_total = hsum32(vw);
+            // s2 gains 32·s1 per chunk, plus 32× the byte sums of earlier
+            // chunks, plus each chunk's in-chunk weighted sum.
+            s2 += 32 * chunks as u64 * s1 + 32 * b_later + w_total;
+            s1 += b_total;
+        }
+        for &b in &block[chunks * 32..] {
+            s1 += b as u64;
+            s2 += s1;
+        }
+        s1 %= MOD_ADLER as u64;
+        s2 %= MOD_ADLER as u64;
+    }
+    ((s2 as u32) << 16) | s1 as u32
+}
+
+/// Accumulate byte counts into `counts`. Four-way table unrolling breaks the
+/// store-to-load dependency on repeated bytes; exact counting, no SIMD
+/// (vectorized histograms need conflict detection, AVX-512 CD territory).
+pub fn byte_histogram(data: &[u8], counts: &mut [u64; 256]) {
+    let mut t0 = [0u32; 256];
+    let mut t1 = [0u32; 256];
+    let mut t2 = [0u32; 256];
+    let mut t3 = [0u32; 256];
+    let mut chunks = data.chunks_exact(4);
+    for c in &mut chunks {
+        t0[c[0] as usize] += 1;
+        t1[c[1] as usize] += 1;
+        t2[c[2] as usize] += 1;
+        t3[c[3] as usize] += 1;
+    }
+    for &b in chunks.remainder() {
+        t0[b as usize] += 1;
+    }
+    for i in 0..256 {
+        counts[i] += t0[i] as u64 + t1[i] as u64 + t2[i] as u64 + t3[i] as u64;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn crc_bitwise(data: &[u8]) -> u32 {
+        let mut crc = 0xFFFF_FFFFu32;
+        for &b in data {
+            crc ^= b as u32;
+            for _ in 0..8 {
+                crc = if crc & 1 != 0 {
+                    (crc >> 1) ^ CRC_POLY
+                } else {
+                    crc >> 1
+                };
+            }
+        }
+        crc ^ 0xFFFF_FFFF
+    }
+
+    fn crc32(data: &[u8]) -> u32 {
+        crc32_update(0xFFFF_FFFF, data) ^ 0xFFFF_FFFF
+    }
+
+    fn pattern(n: usize) -> Vec<u8> {
+        (0..n)
+            .map(|i| (i as u32).wrapping_mul(2654435761).to_le_bytes()[0])
+            .collect()
+    }
+
+    #[test]
+    fn crc32_known_vectors() {
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b"a"), 0xE8B7_BE43);
+        assert_eq!(crc32(b"abc"), 0x3524_41C2);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn crc32_matches_bitwise_reference_across_sizes() {
+        for n in [
+            0usize, 1, 7, 8, 9, 63, 64, 65, 127, 128, 129, 255, 1024, 4097,
+        ] {
+            let d = pattern(n);
+            assert_eq!(crc32(&d), crc_bitwise(&d), "n={n}");
+            assert_eq!(
+                crc32_update(0xFFFF_FFFF, &d) ^ 0xFFFF_FFFF,
+                crc32_update_scalar(0xFFFF_FFFF, &d) ^ 0xFFFF_FFFF,
+                "parity n={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn crc32_streaming_split_anywhere() {
+        let d = pattern(777);
+        let whole = crc32_update(0xFFFF_FFFF, &d);
+        for split in [0usize, 1, 16, 63, 64, 130, 776, 777] {
+            let s = crc32_update(crc32_update(0xFFFF_FFFF, &d[..split]), &d[split..]);
+            assert_eq!(s, whole, "split={split}");
+        }
+    }
+
+    #[test]
+    fn adler32_matches_scalar_across_sizes() {
+        for n in [0usize, 1, 31, 32, 33, 100, 5551, 5552, 5553, 20000] {
+            let d = pattern(n);
+            assert_eq!(adler32_update(1, &d), adler32_update_scalar(1, &d), "n={n}");
+        }
+        // Known vector: adler32("Wikipedia") = 0x11E60398.
+        assert_eq!(adler32_update(1, b"Wikipedia"), 0x11E6_0398);
+    }
+
+    #[test]
+    fn histogram_counts_exactly() {
+        let d = pattern(10_007);
+        let mut got = [0u64; 256];
+        byte_histogram(&d, &mut got);
+        let mut want = [0u64; 256];
+        for &b in &d {
+            want[b as usize] += 1;
+        }
+        assert_eq!(got, want);
+        // Accumulates rather than overwrites.
+        byte_histogram(&d, &mut got);
+        for i in 0..256 {
+            assert_eq!(got[i], 2 * want[i]);
+        }
+    }
+}

@@ -1,0 +1,119 @@
+//! The complex number type shared by the FFT/DCT kernels and `dpz-linalg`.
+//!
+//! Lives here (rather than in `dpz-linalg`) because the vectorized butterfly
+//! passes reinterpret `&[Complex]` as packed `f64` lanes: `#[repr(C)]`
+//! guarantees the `[re, im]` memory layout the SIMD loads rely on.
+//! `dpz-linalg` re-exports this type, so downstream code is unchanged.
+
+/// A complex number. Minimal on purpose: only the operations the FFT and DCT
+/// need are provided. `#[repr(C)]` pins the `[re, im]` interleaved layout the
+/// SIMD kernels load directly.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+#[repr(C)]
+pub struct Complex {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+// `mul`/`add`/`sub` intentionally mirror the operator names without the
+// operator-trait machinery: this Complex type exists only for the FFT hot
+// loops, where explicit method calls keep the codegen obvious.
+#[allow(clippy::should_implement_trait)]
+impl Complex {
+    /// Construct from real and imaginary parts.
+    #[inline]
+    pub fn new(re: f64, im: f64) -> Self {
+        Complex { re, im }
+    }
+
+    /// `e^{i theta}` on the unit circle.
+    #[inline]
+    pub fn from_angle(theta: f64) -> Self {
+        Complex {
+            re: theta.cos(),
+            im: theta.sin(),
+        }
+    }
+
+    /// Complex conjugate.
+    #[inline]
+    pub fn conj(self) -> Self {
+        Complex {
+            re: self.re,
+            im: -self.im,
+        }
+    }
+
+    /// Squared magnitude.
+    #[inline]
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Complex multiplication.
+    ///
+    /// The exact operation order (`a·c − b·d`, `a·d + b·c`, no FMA) is part
+    /// of this crate's parity contract: every SIMD arm reproduces it
+    /// bit-for-bit via the `movedup`/`permute`/`addsub` recipe.
+    #[inline]
+    pub fn mul(self, other: Complex) -> Complex {
+        Complex {
+            re: self.re * other.re - self.im * other.im,
+            im: self.re * other.im + self.im * other.re,
+        }
+    }
+
+    /// Complex addition.
+    #[inline]
+    pub fn add(self, other: Complex) -> Complex {
+        Complex {
+            re: self.re + other.re,
+            im: self.im + other.im,
+        }
+    }
+
+    /// Complex subtraction.
+    #[inline]
+    pub fn sub(self, other: Complex) -> Complex {
+        Complex {
+            re: self.re - other.re,
+            im: self.im - other.im,
+        }
+    }
+
+    /// Scale by a real factor.
+    #[inline]
+    pub fn scale(self, s: f64) -> Complex {
+        Complex {
+            re: self.re * s,
+            im: self.im * s,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layout_is_interleaved_re_im() {
+        assert_eq!(std::mem::size_of::<Complex>(), 16);
+        let v = [Complex::new(1.0, 2.0), Complex::new(3.0, 4.0)];
+        let flat = unsafe { std::slice::from_raw_parts(v.as_ptr() as *const f64, 4) };
+        assert_eq!(flat, &[1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn arithmetic_basics() {
+        let a = Complex::new(1.0, 2.0);
+        let b = Complex::new(3.0, -1.0);
+        assert_eq!(a.mul(b), Complex::new(5.0, 5.0));
+        assert_eq!(a.add(b), Complex::new(4.0, 1.0));
+        assert_eq!(a.sub(b), Complex::new(-2.0, 3.0));
+        assert_eq!(a.conj(), Complex::new(1.0, -2.0));
+        assert_eq!(a.scale(2.0), Complex::new(2.0, 4.0));
+        assert_eq!(a.norm_sqr(), 5.0);
+    }
+}

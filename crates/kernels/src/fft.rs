@@ -1,0 +1,565 @@
+//! Radix-2 FFT butterfly passes, pointwise complex multiplies for the
+//! Bluestein convolution, and the DCT-II/III pre/post rotation stages.
+//!
+//! The FFT here replaces the serial twiddle recurrence (`w = w.mul(wlen)`)
+//! with per-stage twiddle tables built once by [`fill_stage_twiddles`] and
+//! cached by `dpz-linalg`'s `FftScratch` — that alone removes a loop-carried
+//! dependency from every butterfly pass, and the tables give the SIMD arm
+//! contiguous twiddle loads.
+//!
+//! ## Parity contract
+//!
+//! Complex multiplication follows `Complex::mul` exactly (`a·c − b·d`,
+//! `a·d + b·c`, two products and one add/sub per component, no FMA). The
+//! AVX2 arm reproduces that bit-for-bit with the
+//! `movedup`/`permute`/`addsub` recipe in `cmul_pd`. Butterfly adds and
+//! subtracts are per-element and commute with vectorization, so scalar and
+//! dispatched transforms agree bit-for-bit.
+
+use crate::backend::{backend, Backend};
+use crate::complex::Complex;
+
+/// Build the per-stage twiddle tables for a power-of-two FFT of length `n`.
+///
+/// Stage `len` (2, 4, …, n) owns `len/2` entries at offset `len/2 − 1`:
+/// entry `j` is `e^{s·2πi·j/len}` with `s = +1` for inverse, `−1` for
+/// forward. Total table length is `n − 1` (empty for `n ≤ 1`).
+pub fn fill_stage_twiddles(table: &mut Vec<Complex>, n: usize, inverse: bool) {
+    table.clear();
+    if n > 1 {
+        table.reserve(n - 1);
+        let mut len = 2usize;
+        while len <= n {
+            let half = len / 2;
+            let base = if inverse {
+                2.0 * std::f64::consts::PI / len as f64
+            } else {
+                -2.0 * std::f64::consts::PI / len as f64
+            };
+            for j in 0..half {
+                table.push(Complex::from_angle(base * j as f64));
+            }
+            len <<= 1;
+        }
+        debug_assert_eq!(table.len(), n - 1);
+    }
+}
+
+fn bit_reverse(buf: &mut [Complex]) {
+    let n = buf.len();
+    let mut j = 0usize;
+    for i in 1..n {
+        let mut bit = n >> 1;
+        while j & bit != 0 {
+            j ^= bit;
+            bit >>= 1;
+        }
+        j |= bit;
+        if i < j {
+            buf.swap(i, j);
+        }
+    }
+}
+
+/// In-place power-of-two FFT using pre-built stage tables (direction is baked
+/// into the table). The inverse transform is unscaled — callers divide by
+/// `n` themselves, matching the historical `dpz-linalg` behavior.
+///
+/// Panics in debug builds if `buf.len()` is not a power of two or the table
+/// length does not match.
+pub fn fft_pow2(buf: &mut [Complex], table: &[Complex]) {
+    let n = buf.len();
+    debug_assert!(n <= 1 || n.is_power_of_two(), "fft_pow2: non-pow2 length");
+    debug_assert_eq!(table.len(), n.saturating_sub(1), "fft_pow2: table mismatch");
+    bit_reverse(buf);
+    match backend() {
+        #[cfg(target_arch = "x86_64")]
+        Backend::Avx2 => unsafe { stages_avx2(buf, table) },
+        _ => stages_scalar(buf, table),
+    }
+}
+
+/// Scalar arm of [`fft_pow2`] (public for the parity tests and benches).
+pub fn fft_pow2_scalar(buf: &mut [Complex], table: &[Complex]) {
+    let n = buf.len();
+    debug_assert!(n <= 1 || n.is_power_of_two());
+    debug_assert_eq!(table.len(), n.saturating_sub(1));
+    bit_reverse(buf);
+    stages_scalar(buf, table);
+}
+
+fn stages_scalar(buf: &mut [Complex], table: &[Complex]) {
+    let n = buf.len();
+    let mut len = 2usize;
+    while len <= n {
+        let half = len / 2;
+        let tw = &table[half - 1..half - 1 + half];
+        let mut base = 0usize;
+        while base < n {
+            for j in 0..half {
+                let u = buf[base + j];
+                let v = buf[base + j + half].mul(tw[j]);
+                buf[base + j] = u.add(v);
+                buf[base + j + half] = u.sub(v);
+            }
+            base += len;
+        }
+        len <<= 1;
+    }
+}
+
+/// `a.mul(b)` lane-pairwise on two packed complex numbers, bit-identical to
+/// `Complex::mul`.
+#[cfg(target_arch = "x86_64")]
+#[inline]
+#[target_feature(enable = "avx2")]
+unsafe fn cmul_pd(
+    a: std::arch::x86_64::__m256d,
+    b: std::arch::x86_64::__m256d,
+) -> std::arch::x86_64::__m256d {
+    use std::arch::x86_64::*;
+    let ar = _mm256_movedup_pd(a); // [a0.re, a0.re, a1.re, a1.re]
+    let ai = _mm256_permute_pd(a, 0xF); // [a0.im, a0.im, a1.im, a1.im]
+    let bswap = _mm256_permute_pd(b, 0x5); // [b0.im, b0.re, b1.im, b1.re]
+    _mm256_addsub_pd(_mm256_mul_pd(ar, b), _mm256_mul_pd(ai, bswap))
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn stages_avx2(buf: &mut [Complex], table: &[Complex]) {
+    use std::arch::x86_64::*;
+    let n = buf.len();
+    if n < 2 {
+        return;
+    }
+    let p = buf.as_mut_ptr() as *mut f64;
+    // len == 2: butterflies on adjacent pairs, one YMM each.
+    let mut i = 0usize;
+    while i + 2 <= n {
+        let x = _mm256_loadu_pd(p.add(2 * i)); // [u.re, u.im, v.re, v.im]
+        let t = _mm256_permute2f128_pd(x, x, 0x01); // [v.re, v.im, u.re, u.im]
+        let add = _mm256_add_pd(x, t); // [u+v, v+u]
+        let sub = _mm256_sub_pd(t, x); // [v−u, u−v]
+                                       // low half = u + v, high half = u − v.
+        _mm256_storeu_pd(p.add(2 * i), _mm256_blend_pd(add, sub, 0b1100));
+        i += 2;
+    }
+    // len >= 4: half is a multiple of 2, so the j loop never has a remainder.
+    let mut len = 4usize;
+    while len <= n {
+        let half = len / 2;
+        let tp = table[half - 1..half - 1 + half].as_ptr() as *const f64;
+        let mut base = 0usize;
+        while base < n {
+            let mut j = 0usize;
+            while j < half {
+                let w = _mm256_loadu_pd(tp.add(2 * j));
+                let v = _mm256_loadu_pd(p.add(2 * (base + j + half)));
+                let vw = cmul_pd(v, w);
+                let u = _mm256_loadu_pd(p.add(2 * (base + j)));
+                _mm256_storeu_pd(p.add(2 * (base + j)), _mm256_add_pd(u, vw));
+                _mm256_storeu_pd(p.add(2 * (base + j + half)), _mm256_sub_pd(u, vw));
+                j += 2;
+            }
+            base += len;
+        }
+        len <<= 1;
+    }
+}
+
+/// Pointwise `dst[i] = dst[i].mul(other[i])` (Bluestein convolution).
+pub fn cmul_assign(dst: &mut [Complex], other: &[Complex]) {
+    assert_eq!(dst.len(), other.len(), "cmul_assign length mismatch");
+    match backend() {
+        #[cfg(target_arch = "x86_64")]
+        Backend::Avx2 => unsafe { cmul_assign_avx2(dst, other) },
+        _ => cmul_assign_scalar(dst, other),
+    }
+}
+
+/// Scalar arm of [`cmul_assign`].
+pub fn cmul_assign_scalar(dst: &mut [Complex], other: &[Complex]) {
+    for (d, &o) in dst.iter_mut().zip(other) {
+        *d = d.mul(o);
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn cmul_assign_avx2(dst: &mut [Complex], other: &[Complex]) {
+    use std::arch::x86_64::*;
+    let n = dst.len();
+    let dp = dst.as_mut_ptr() as *mut f64;
+    let op = other.as_ptr() as *const f64;
+    let mut i = 0usize;
+    while i + 2 <= n {
+        let a = _mm256_loadu_pd(dp.add(2 * i));
+        let b = _mm256_loadu_pd(op.add(2 * i));
+        _mm256_storeu_pd(dp.add(2 * i), cmul_pd(a, b));
+        i += 2;
+    }
+    while i < n {
+        dst[i] = dst[i].mul(other[i]);
+        i += 1;
+    }
+}
+
+/// Pointwise `dst[i] = dst[i].scale(s).mul(other[i])` — the Bluestein
+/// epilogue (`conv · (1/m) · chirp`) with the historical op order preserved.
+pub fn cmul_assign_prescaled(dst: &mut [Complex], other: &[Complex], s: f64) {
+    assert_eq!(
+        dst.len(),
+        other.len(),
+        "cmul_assign_prescaled length mismatch"
+    );
+    match backend() {
+        #[cfg(target_arch = "x86_64")]
+        Backend::Avx2 => unsafe { cmul_assign_prescaled_avx2(dst, other, s) },
+        _ => cmul_assign_prescaled_scalar(dst, other, s),
+    }
+}
+
+/// Scalar arm of [`cmul_assign_prescaled`].
+pub fn cmul_assign_prescaled_scalar(dst: &mut [Complex], other: &[Complex], s: f64) {
+    for (d, &o) in dst.iter_mut().zip(other) {
+        *d = d.scale(s).mul(o);
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn cmul_assign_prescaled_avx2(dst: &mut [Complex], other: &[Complex], s: f64) {
+    use std::arch::x86_64::*;
+    let n = dst.len();
+    let dp = dst.as_mut_ptr() as *mut f64;
+    let op = other.as_ptr() as *const f64;
+    let vs = _mm256_set1_pd(s);
+    let mut i = 0usize;
+    while i + 2 <= n {
+        let a = _mm256_mul_pd(_mm256_loadu_pd(dp.add(2 * i)), vs);
+        let b = _mm256_loadu_pd(op.add(2 * i));
+        _mm256_storeu_pd(dp.add(2 * i), cmul_pd(a, b));
+        i += 2;
+    }
+    while i < n {
+        dst[i] = dst[i].scale(s).mul(other[i]);
+        i += 1;
+    }
+}
+
+/// `out[i] = x[i].mul(y[i])` into a separate destination (Bluestein prologue:
+/// input times chirp).
+pub fn cmul_into(out: &mut [Complex], x: &[Complex], y: &[Complex]) {
+    assert!(
+        out.len() == x.len() && out.len() == y.len(),
+        "cmul_into length mismatch"
+    );
+    match backend() {
+        #[cfg(target_arch = "x86_64")]
+        Backend::Avx2 => unsafe { cmul_into_avx2(out, x, y) },
+        _ => cmul_into_scalar(out, x, y),
+    }
+}
+
+/// Scalar arm of [`cmul_into`].
+pub fn cmul_into_scalar(out: &mut [Complex], x: &[Complex], y: &[Complex]) {
+    for i in 0..out.len() {
+        out[i] = x[i].mul(y[i]);
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn cmul_into_avx2(out: &mut [Complex], x: &[Complex], y: &[Complex]) {
+    use std::arch::x86_64::*;
+    let n = out.len();
+    let op = out.as_mut_ptr() as *mut f64;
+    let xp = x.as_ptr() as *const f64;
+    let yp = y.as_ptr() as *const f64;
+    let mut i = 0usize;
+    while i + 2 <= n {
+        let a = _mm256_loadu_pd(xp.add(2 * i));
+        let b = _mm256_loadu_pd(yp.add(2 * i));
+        _mm256_storeu_pd(op.add(2 * i), cmul_pd(a, b));
+        i += 2;
+    }
+    while i < n {
+        out[i] = x[i].mul(y[i]);
+        i += 1;
+    }
+}
+
+/// Scale a complex buffer in place (`buf[i] = buf[i].scale(s)`, the inverse
+/// FFT's `1/n` normalization).
+pub fn cscale(buf: &mut [Complex], s: f64) {
+    match backend() {
+        #[cfg(target_arch = "x86_64")]
+        Backend::Avx2 => unsafe { cscale_avx2(buf, s) },
+        _ => cscale_scalar(buf, s),
+    }
+}
+
+/// Scalar arm of [`cscale`].
+pub fn cscale_scalar(buf: &mut [Complex], s: f64) {
+    for v in buf.iter_mut() {
+        *v = v.scale(s);
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn cscale_avx2(buf: &mut [Complex], s: f64) {
+    use std::arch::x86_64::*;
+    let n = buf.len();
+    let p = buf.as_mut_ptr() as *mut f64;
+    let vs = _mm256_set1_pd(s);
+    let mut i = 0usize;
+    while i + 2 <= n {
+        _mm256_storeu_pd(
+            p.add(2 * i),
+            _mm256_mul_pd(_mm256_loadu_pd(p.add(2 * i)), vs),
+        );
+        i += 2;
+    }
+    while i < n {
+        buf[i] = buf[i].scale(s);
+        i += 1;
+    }
+}
+
+/// DCT-II post-rotation: `out[i] = tw[i].mul(v[i]).re · sk` over equal-length
+/// slices (callers pass the `k = 1..n` range; `k = 0` uses a different scale).
+pub fn dct2_post(out: &mut [f64], tw: &[Complex], v: &[Complex], sk: f64) {
+    assert!(
+        out.len() == tw.len() && out.len() == v.len(),
+        "dct2_post length mismatch"
+    );
+    match backend() {
+        #[cfg(target_arch = "x86_64")]
+        Backend::Avx2 => unsafe { dct2_post_avx2(out, tw, v, sk) },
+        _ => dct2_post_scalar(out, tw, v, sk),
+    }
+}
+
+/// Scalar arm of [`dct2_post`].
+pub fn dct2_post_scalar(out: &mut [f64], tw: &[Complex], v: &[Complex], sk: f64) {
+    for i in 0..out.len() {
+        out[i] = tw[i].mul(v[i]).re * sk;
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn dct2_post_avx2(out: &mut [f64], tw: &[Complex], v: &[Complex], sk: f64) {
+    use std::arch::x86_64::*;
+    let n = out.len();
+    let tp = tw.as_ptr() as *const f64;
+    let vp = v.as_ptr() as *const f64;
+    let vs = _mm_set1_pd(sk);
+    let mut i = 0usize;
+    while i + 2 <= n {
+        let prod = cmul_pd(
+            _mm256_loadu_pd(tp.add(2 * i)),
+            _mm256_loadu_pd(vp.add(2 * i)),
+        );
+        // [re0, re1, im0, im1] — keep the low 128 bits.
+        let sorted = _mm256_permute4x64_pd(prod, 0b11011000);
+        let re = _mm256_castpd256_pd128(sorted);
+        _mm_storeu_pd(out.as_mut_ptr().add(i), _mm_mul_pd(re, vs));
+        i += 2;
+    }
+    while i < n {
+        out[i] = tw[i].mul(v[i]).re * sk;
+        i += 1;
+    }
+}
+
+/// DCT-III pre-rotation: for `k` in `1..n`,
+/// `v[k] = tw[k].conj().mul(Complex::new(c[k], −c[n−k]))`. `v[0]` is left
+/// untouched for the caller. All slices have length `n`.
+pub fn dct3_pre(v: &mut [Complex], tw: &[Complex], c: &[f64]) {
+    let n = c.len();
+    assert!(v.len() == n && tw.len() == n, "dct3_pre length mismatch");
+    match backend() {
+        #[cfg(target_arch = "x86_64")]
+        Backend::Avx2 => unsafe { dct3_pre_avx2(v, tw, c) },
+        _ => dct3_pre_scalar(v, tw, c),
+    }
+}
+
+/// Scalar arm of [`dct3_pre`].
+pub fn dct3_pre_scalar(v: &mut [Complex], tw: &[Complex], c: &[f64]) {
+    let n = c.len();
+    for k in 1..n {
+        v[k] = tw[k].conj().mul(Complex::new(c[k], -c[n - k]));
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn dct3_pre_avx2(v: &mut [Complex], tw: &[Complex], c: &[f64]) {
+    use std::arch::x86_64::*;
+    let n = c.len();
+    if n < 2 {
+        return;
+    }
+    let vp = v.as_mut_ptr() as *mut f64;
+    let tp = tw.as_ptr() as *const f64;
+    let cp = c.as_ptr();
+    // Sign masks: conj flips im lanes; the rhs negates its im component.
+    let conj_mask = _mm256_castsi256_pd(_mm256_set_epi64x(
+        i64::MIN,
+        0,
+        i64::MIN,
+        0, // lanes [0,1,2,3] = [0, −0, 0, −0]
+    ));
+    let neg = _mm_castsi128_pd(_mm_set1_epi64x(i64::MIN));
+    let mut k = 1usize;
+    while k + 2 <= n {
+        // b = [c[k], −c[n−k], c[k+1], −c[n−k−1]]
+        let cf = _mm_loadu_pd(cp.add(k)); // [c[k], c[k+1]]
+        let cr = _mm_loadu_pd(cp.add(n - k - 1)); // [c[n−k−1], c[n−k]]
+        let nr = _mm_xor_pd(_mm_shuffle_pd(cr, cr, 0b01), neg); // [−c[n−k], −c[n−k−1]]
+        let lo = _mm_unpacklo_pd(cf, nr);
+        let hi = _mm_unpackhi_pd(cf, nr);
+        let b = _mm256_set_m128d(hi, lo);
+        let a = _mm256_xor_pd(_mm256_loadu_pd(tp.add(2 * k)), conj_mask); // tw.conj()
+        _mm256_storeu_pd(vp.add(2 * k), cmul_pd(a, b));
+        k += 2;
+    }
+    while k < n {
+        v[k] = tw[k].conj().mul(Complex::new(c[k], -c[n - k]));
+        k += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dft_naive(input: &[Complex], inverse: bool) -> Vec<Complex> {
+        let n = input.len();
+        let sign = if inverse { 1.0 } else { -1.0 };
+        (0..n)
+            .map(|k| {
+                let mut acc = Complex::default();
+                for (j, &x) in input.iter().enumerate() {
+                    let ang = sign * 2.0 * std::f64::consts::PI * (k * j) as f64 / n as f64;
+                    acc = acc.add(x.mul(Complex::from_angle(ang)));
+                }
+                acc
+            })
+            .collect()
+    }
+
+    fn signal(n: usize) -> Vec<Complex> {
+        (0..n)
+            .map(|i| Complex::new((i as f64 * 0.7).sin(), (i as f64 * 0.3).cos()))
+            .collect()
+    }
+
+    #[test]
+    fn fft_matches_naive_dft() {
+        for n in [1usize, 2, 4, 8, 16, 64, 256] {
+            for inverse in [false, true] {
+                let input = signal(n);
+                let mut table = Vec::new();
+                fill_stage_twiddles(&mut table, n, inverse);
+                let mut buf = input.clone();
+                fft_pow2(&mut buf, &table);
+                let want = dft_naive(&input, inverse);
+                for (g, w) in buf.iter().zip(&want) {
+                    assert!(
+                        (g.re - w.re).abs() < 1e-9 && (g.im - w.im).abs() < 1e-9,
+                        "n={n}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fft_dispatched_matches_scalar_bitwise() {
+        for n in [2usize, 4, 32, 128, 1024] {
+            let input = signal(n);
+            let mut table = Vec::new();
+            fill_stage_twiddles(&mut table, n, false);
+            let mut a = input.clone();
+            let mut b = input;
+            fft_pow2(&mut a, &table);
+            fft_pow2_scalar(&mut b, &table);
+            assert_eq!(a, b, "n={n}");
+        }
+    }
+
+    #[test]
+    fn cmul_variants_match_scalar_bitwise() {
+        for n in [0usize, 1, 2, 5, 17] {
+            let x = signal(n);
+            let y: Vec<Complex> = signal(n).iter().map(|c| c.conj()).collect();
+            let mut d0 = x.clone();
+            let mut d1 = x.clone();
+            cmul_assign(&mut d0, &y);
+            cmul_assign_scalar(&mut d1, &y);
+            assert_eq!(d0, d1);
+
+            let mut p0 = x.clone();
+            let mut p1 = x.clone();
+            cmul_assign_prescaled(&mut p0, &y, 0.125);
+            cmul_assign_prescaled_scalar(&mut p1, &y, 0.125);
+            assert_eq!(p0, p1);
+
+            let mut o0 = vec![Complex::default(); n];
+            let mut o1 = vec![Complex::default(); n];
+            cmul_into(&mut o0, &x, &y);
+            cmul_into_scalar(&mut o1, &x, &y);
+            assert_eq!(o0, o1);
+
+            let mut s0 = x.clone();
+            let mut s1 = x.clone();
+            cscale(&mut s0, 1.0 / 3.0);
+            cscale_scalar(&mut s1, 1.0 / 3.0);
+            assert_eq!(s0, s1);
+        }
+    }
+
+    #[test]
+    fn dct_rotations_match_scalar_bitwise() {
+        for n in [1usize, 2, 3, 8, 15, 64] {
+            let tw: Vec<Complex> = (0..n)
+                .map(|k| Complex::from_angle(-std::f64::consts::PI * k as f64 / (2.0 * n as f64)))
+                .collect();
+            let v = signal(n);
+            let c: Vec<f64> = (0..n).map(|i| (i as f64 * 0.9).cos()).collect();
+
+            let mut o0 = vec![0.0f64; n];
+            let mut o1 = vec![0.0f64; n];
+            dct2_post(&mut o0, &tw, &v, 0.37);
+            dct2_post_scalar(&mut o1, &tw, &v, 0.37);
+            assert_eq!(o0, o1, "dct2_post n={n}");
+
+            let mut v0 = vec![Complex::default(); n];
+            let mut v1 = vec![Complex::default(); n];
+            dct3_pre(&mut v0, &tw, &c);
+            dct3_pre_scalar(&mut v1, &tw, &c);
+            assert_eq!(v0, v1, "dct3_pre n={n}");
+        }
+    }
+
+    #[test]
+    fn fft_roundtrip_recovers_input() {
+        let n = 128usize;
+        let input = signal(n);
+        let mut fwd = Vec::new();
+        let mut inv = Vec::new();
+        fill_stage_twiddles(&mut fwd, n, false);
+        fill_stage_twiddles(&mut inv, n, true);
+        let mut buf = input.clone();
+        fft_pow2(&mut buf, &fwd);
+        fft_pow2(&mut buf, &inv);
+        cscale(&mut buf, 1.0 / n as f64);
+        for (g, w) in buf.iter().zip(&input) {
+            assert!((g.re - w.re).abs() < 1e-12 && (g.im - w.im).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,281 @@
+//! Cache-blocked f64 matrix-multiply microkernel.
+//!
+//! The B operand is packed once into zero-padded column panels of width
+//! [`NR`] ([`PackedB`]); callers then drive [`gemm_strip`] over row strips of
+//! A (the `dpz-linalg` matrix layer parallelizes across strips, so one
+//! `PackedB` is shared read-only by every worker). Each strip packs [`MR`]
+//! rows of A at a time and runs a register-tiled MR×NR microkernel
+//! (8 YMM accumulators on AVX2, 16 NEON q-registers on aarch64).
+//!
+//! ## Parity contract
+//!
+//! Every output element is an independent chain
+//! `acc = fma(a[r][k], b[k][j], acc)` over `k` in ascending order, followed by
+//! one final `c += acc`. The scalar arm replays exactly that chain per
+//! element, so the arms agree bit-for-bit (tiling only reorders *independent*
+//! chains, never the additions within one).
+
+use crate::backend::{backend, Backend};
+
+/// Microkernel row count (rows of A per register tile).
+pub const MR: usize = 4;
+/// Microkernel column count (columns of B per packed panel).
+pub const NR: usize = 8;
+
+/// B packed into `ceil(n / NR)` column panels, each `k × NR` with the last
+/// panel zero-padded on the right. Panel `p` holds columns
+/// `p·NR .. min((p+1)·NR, n)`; entry `(k, j)` of a panel lives at
+/// `panel[k·NR + j]`.
+pub struct PackedB {
+    data: Vec<f64>,
+    /// Shared (inner) dimension.
+    pub k: usize,
+    /// Output column count.
+    pub n: usize,
+}
+
+impl PackedB {
+    /// Pack a row-major `k × n` matrix.
+    pub fn new(b: &[f64], k: usize, n: usize) -> Self {
+        assert_eq!(b.len(), k * n, "PackedB shape mismatch");
+        let panels = n.div_ceil(NR);
+        let mut data = vec![0.0f64; panels * k * NR];
+        for p in 0..panels {
+            let j0 = p * NR;
+            let w = NR.min(n - j0);
+            let panel = &mut data[p * k * NR..(p + 1) * k * NR];
+            for kk in 0..k {
+                let src = &b[kk * n + j0..kk * n + j0 + w];
+                panel[kk * NR..kk * NR + w].copy_from_slice(src);
+            }
+        }
+        PackedB { data, k, n }
+    }
+
+    #[inline]
+    fn panel(&self, p: usize) -> &[f64] {
+        &self.data[p * self.k * NR..(p + 1) * self.k * NR]
+    }
+}
+
+/// `c += a · b` for a row strip: `a` is `rows × k` row-major, `c` is
+/// `rows × b.n` row-major, `b` pre-packed. Safe to call concurrently on
+/// disjoint strips sharing one [`PackedB`].
+pub fn gemm_strip(c: &mut [f64], a: &[f64], rows: usize, b: &PackedB) {
+    let k = b.k;
+    assert_eq!(a.len(), rows * k, "gemm_strip: A shape mismatch");
+    assert_eq!(c.len(), rows * b.n, "gemm_strip: C shape mismatch");
+    match backend() {
+        #[cfg(target_arch = "x86_64")]
+        Backend::Avx2 => unsafe { gemm_strip_avx2(c, a, rows, b) },
+        #[cfg(target_arch = "aarch64")]
+        Backend::Neon => unsafe { gemm_strip_neon(c, a, rows, b) },
+        _ => gemm_strip_scalar(c, a, rows, b),
+    }
+}
+
+/// Scalar arm of [`gemm_strip`] (public for the parity tests and benches).
+pub fn gemm_strip_scalar(c: &mut [f64], a: &[f64], rows: usize, b: &PackedB) {
+    let k = b.k;
+    let n = b.n;
+    let panels = n.div_ceil(NR);
+    for p in 0..panels {
+        let j0 = p * NR;
+        let w = NR.min(n - j0);
+        let panel = b.panel(p);
+        for r in 0..rows {
+            let arow = &a[r * k..(r + 1) * k];
+            let crow = &mut c[r * n + j0..r * n + j0 + w];
+            for (j, cv) in crow.iter_mut().enumerate() {
+                let mut acc = 0.0f64;
+                for (kk, &av) in arow.iter().enumerate() {
+                    acc = av.mul_add(panel[kk * NR + j], acc);
+                }
+                *cv += acc;
+            }
+        }
+    }
+}
+
+/// Pack `mr` rows of A (row `r0 + i`, length `k`) into `apack` laid out
+/// column-major (`apack[kk·MR + i]`), zero-padding missing rows.
+#[inline]
+fn pack_a_block(apack: &mut [f64], a: &[f64], k: usize, r0: usize, mr: usize) {
+    apack[..k * MR].fill(0.0);
+    for i in 0..mr {
+        let row = &a[(r0 + i) * k..(r0 + i + 1) * k];
+        for (kk, &v) in row.iter().enumerate() {
+            apack[kk * MR + i] = v;
+        }
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn gemm_strip_avx2(c: &mut [f64], a: &[f64], rows: usize, b: &PackedB) {
+    use std::arch::x86_64::*;
+    let k = b.k;
+    let n = b.n;
+    let panels = n.div_ceil(NR);
+    let mut apack = vec![0.0f64; k.max(1) * MR];
+    let mut tile = [0.0f64; MR * NR];
+    let mut r0 = 0usize;
+    while r0 < rows {
+        let mr = MR.min(rows - r0);
+        pack_a_block(&mut apack, a, k, r0, mr);
+        let ap = apack.as_ptr();
+        for p in 0..panels {
+            let j0 = p * NR;
+            let w = NR.min(n - j0);
+            let bp = b.panel(p).as_ptr();
+            let mut acc = [_mm256_setzero_pd(); MR * 2];
+            for kk in 0..k {
+                let b0 = _mm256_loadu_pd(bp.add(kk * NR));
+                let b1 = _mm256_loadu_pd(bp.add(kk * NR + 4));
+                for i in 0..MR {
+                    let av = _mm256_set1_pd(*ap.add(kk * MR + i));
+                    acc[i * 2] = _mm256_fmadd_pd(av, b0, acc[i * 2]);
+                    acc[i * 2 + 1] = _mm256_fmadd_pd(av, b1, acc[i * 2 + 1]);
+                }
+            }
+            let tp = tile.as_mut_ptr();
+            for i in 0..MR {
+                _mm256_storeu_pd(tp.add(i * NR), acc[i * 2]);
+                _mm256_storeu_pd(tp.add(i * NR + 4), acc[i * 2 + 1]);
+            }
+            for i in 0..mr {
+                let crow = &mut c[(r0 + i) * n + j0..(r0 + i) * n + j0 + w];
+                for (j, cv) in crow.iter_mut().enumerate() {
+                    *cv += tile[i * NR + j];
+                }
+            }
+        }
+        r0 += mr;
+    }
+}
+
+#[cfg(target_arch = "aarch64")]
+#[target_feature(enable = "neon")]
+unsafe fn gemm_strip_neon(c: &mut [f64], a: &[f64], rows: usize, b: &PackedB) {
+    use std::arch::aarch64::*;
+    let k = b.k;
+    let n = b.n;
+    let panels = n.div_ceil(NR);
+    let mut apack = vec![0.0f64; k.max(1) * MR];
+    let mut tile = [0.0f64; MR * NR];
+    let mut r0 = 0usize;
+    while r0 < rows {
+        let mr = MR.min(rows - r0);
+        pack_a_block(&mut apack, a, k, r0, mr);
+        let ap = apack.as_ptr();
+        for p in 0..panels {
+            let j0 = p * NR;
+            let w = NR.min(n - j0);
+            let bp = b.panel(p).as_ptr();
+            let mut acc = [vdupq_n_f64(0.0); MR * 4];
+            for kk in 0..k {
+                let b0 = vld1q_f64(bp.add(kk * NR));
+                let b1 = vld1q_f64(bp.add(kk * NR + 2));
+                let b2 = vld1q_f64(bp.add(kk * NR + 4));
+                let b3 = vld1q_f64(bp.add(kk * NR + 6));
+                for i in 0..MR {
+                    let av = vdupq_n_f64(*ap.add(kk * MR + i));
+                    acc[i * 4] = vfmaq_f64(acc[i * 4], av, b0);
+                    acc[i * 4 + 1] = vfmaq_f64(acc[i * 4 + 1], av, b1);
+                    acc[i * 4 + 2] = vfmaq_f64(acc[i * 4 + 2], av, b2);
+                    acc[i * 4 + 3] = vfmaq_f64(acc[i * 4 + 3], av, b3);
+                }
+            }
+            let tp = tile.as_mut_ptr();
+            for i in 0..MR {
+                vst1q_f64(tp.add(i * NR), acc[i * 4]);
+                vst1q_f64(tp.add(i * NR + 2), acc[i * 4 + 1]);
+                vst1q_f64(tp.add(i * NR + 4), acc[i * 4 + 2]);
+                vst1q_f64(tp.add(i * NR + 6), acc[i * 4 + 3]);
+            }
+            for i in 0..mr {
+                let crow = &mut c[(r0 + i) * n + j0..(r0 + i) * n + j0 + w];
+                for (j, cv) in crow.iter_mut().enumerate() {
+                    *cv += tile[i * NR + j];
+                }
+            }
+        }
+        r0 += mr;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fill(rows: usize, cols: usize, seed: f64) -> Vec<f64> {
+        (0..rows * cols)
+            .map(|i| ((i as f64) * seed).sin() * 2.0 - 0.3)
+            .collect()
+    }
+
+    fn naive(a: &[f64], b: &[f64], n: usize, k: usize, p: usize) -> Vec<f64> {
+        let mut c = vec![0.0; n * p];
+        for i in 0..n {
+            for j in 0..p {
+                let mut acc = 0.0;
+                for kk in 0..k {
+                    acc += a[i * k + kk] * b[kk * p + j];
+                }
+                c[i * p + j] = acc;
+            }
+        }
+        c
+    }
+
+    #[test]
+    fn gemm_matches_naive_within_tolerance() {
+        for &(n, k, p) in &[
+            (1usize, 1usize, 1usize),
+            (3, 5, 7),
+            (4, 8, 8),
+            (13, 17, 19),
+            (32, 24, 40),
+        ] {
+            let a = fill(n, k, 0.13);
+            let b = fill(k, p, 0.29);
+            let pb = PackedB::new(&b, k, p);
+            let mut c = vec![0.0; n * p];
+            gemm_strip(&mut c, &a, n, &pb);
+            let want = naive(&a, &b, n, k, p);
+            for (got, exp) in c.iter().zip(&want) {
+                assert!(
+                    (got - exp).abs() <= 1e-12 * exp.abs().max(1.0),
+                    "{n}x{k}x{p}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dispatched_matches_scalar_bitwise() {
+        for &(n, k, p) in &[(5usize, 9usize, 11usize), (16, 16, 16), (7, 180, 23)] {
+            let a = fill(n, k, 0.21);
+            let b = fill(k, p, 0.17);
+            let pb = PackedB::new(&b, k, p);
+            let mut c0 = vec![0.0; n * p];
+            let mut c1 = vec![0.0; n * p];
+            gemm_strip(&mut c0, &a, n, &pb);
+            gemm_strip_scalar(&mut c1, &a, n, &pb);
+            assert_eq!(c0, c1, "{n}x{k}x{p}");
+        }
+    }
+
+    #[test]
+    fn accumulates_into_existing_c() {
+        let a = fill(2, 3, 0.4);
+        let b = fill(3, 2, 0.6);
+        let pb = PackedB::new(&b, 3, 2);
+        let mut c = vec![1.0; 4];
+        gemm_strip(&mut c, &a, 2, &pb);
+        let want = naive(&a, &b, 2, 3, 2);
+        for (got, exp) in c.iter().zip(&want) {
+            assert!((got - (exp + 1.0)).abs() < 1e-12);
+        }
+    }
+}

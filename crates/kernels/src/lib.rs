@@ -1,0 +1,29 @@
+//! Runtime-dispatched SIMD kernels for the DPZ hot paths.
+//!
+//! One CPU-feature probe at startup picks a [`Backend`] (AVX2+FMA on x86_64,
+//! NEON on aarch64, portable scalar everywhere); every kernel then branches
+//! on that cached choice. The scalar arm is always compiled, is exercised by
+//! `DPZ_FORCE_SCALAR=1`, and is bit-identical to the SIMD arms by
+//! construction — see the parity contract notes on each module and the
+//! property suite in `tests/parity.rs`.
+//!
+//! Module map:
+//! - [`backend`] — detection, `DPZ_FORCE_SCALAR`, PCLMUL availability
+//! - [`blas`] — dot / axpy / fused two-vector update / Givens row rotation
+//! - [`gemm`] — packed-panel f64 matmul microkernel (4×8 register tiles)
+//! - [`fft`] — radix-2 butterflies, Bluestein pointwise ops, DCT rotations
+//! - [`quant`] — fused quantize/dequantize with escape-code handling
+//! - [`checksum`] — CRC-32 (slice-by-8 + PCLMUL), Adler-32, byte histogram
+
+#![warn(missing_docs)]
+
+pub mod backend;
+pub mod blas;
+pub mod checksum;
+pub mod complex;
+pub mod fft;
+pub mod gemm;
+pub mod quant;
+
+pub use backend::{backend, backend_name, Backend};
+pub use complex::Complex;

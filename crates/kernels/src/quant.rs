@@ -1,0 +1,249 @@
+//! Fused quantize/dequantize kernels for the DPZ score stage.
+//!
+//! [`quantize_codes`] maps each f64 score to a bin index in `0..bins` or to
+//! the caller's escape code (out-of-range, ±∞, NaN — anything the uniform
+//! quantizer cannot represent). The AVX2 arm tests all four lanes with a
+//! movemask: the common all-in-range case does a packed `u16` store, any lane
+//! needing the escape path falls back to per-lane scalar handling.
+//! [`dequantize_codes`] is the inverse midpoint reconstruction; escape slots
+//! get the same formula applied to the escape code and are patched by the
+//! caller from the outlier list.
+//!
+//! ## Parity contract
+//!
+//! Per element, both arms compute exactly
+//! `idx = floor((s + half_range) / (2·p))` (true division, floor via
+//! `_mm256_round_pd(NEG_INF)` = `f64::floor`), validity
+//! `|s| < half_range && 0 ≤ idx < bins` (NaN/±∞ fail the comparison in both
+//! arms), and reconstruction `−half_range + (2·code + 1)·p` with
+//! multiply-then-add (no FMA). Results are bit-identical.
+
+use crate::backend::{backend, Backend};
+
+/// Quantize `scores` into `codes` (equal lengths): in-range values get their
+/// bin index, everything else gets `escape`. `bins` must be ≤ 65 535 and
+/// `escape` must not collide with a valid index.
+pub fn quantize_codes(
+    scores: &[f64],
+    half_range: f64,
+    p: f64,
+    bins: u32,
+    escape: u16,
+    codes: &mut [u16],
+) {
+    assert_eq!(scores.len(), codes.len(), "quantize_codes length mismatch");
+    assert!(
+        bins <= u16::MAX as u32 + 1,
+        "quantize_codes: bins too large"
+    );
+    match backend() {
+        #[cfg(target_arch = "x86_64")]
+        Backend::Avx2 => unsafe { quantize_avx2(scores, half_range, p, bins, escape, codes) },
+        _ => quantize_scalar(scores, half_range, p, bins, escape, codes),
+    }
+}
+
+/// Scalar arm of [`quantize_codes`] (public for the parity tests and benches).
+pub fn quantize_scalar(
+    scores: &[f64],
+    half_range: f64,
+    p: f64,
+    bins: u32,
+    escape: u16,
+    codes: &mut [u16],
+) {
+    let two_p = 2.0 * p;
+    let binsf = bins as f64;
+    for (c, &s) in codes.iter_mut().zip(scores) {
+        let idx = ((s + half_range) / two_p).floor();
+        *c = if s.abs() < half_range && idx >= 0.0 && idx < binsf {
+            idx as u16
+        } else {
+            escape
+        };
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn quantize_avx2(
+    scores: &[f64],
+    half_range: f64,
+    p: f64,
+    bins: u32,
+    escape: u16,
+    codes: &mut [u16],
+) {
+    use std::arch::x86_64::*;
+    let n = scores.len();
+    let two_p = 2.0 * p;
+    let binsf = bins as f64;
+    let vhalf = _mm256_set1_pd(half_range);
+    let v2p = _mm256_set1_pd(two_p);
+    let vbins = _mm256_set1_pd(binsf);
+    let vzero = _mm256_setzero_pd();
+    let abs_mask = _mm256_castsi256_pd(_mm256_set1_epi64x(i64::MAX));
+    let sp = scores.as_ptr();
+    let cp = codes.as_mut_ptr();
+    let mut i = 0usize;
+    while i + 4 <= n {
+        let s = _mm256_loadu_pd(sp.add(i));
+        let idx = _mm256_round_pd(
+            _mm256_div_pd(_mm256_add_pd(s, vhalf), v2p),
+            _MM_FROUND_TO_NEG_INF | _MM_FROUND_NO_EXC,
+        );
+        let in_range = _mm256_and_pd(
+            _mm256_cmp_pd(_mm256_and_pd(s, abs_mask), vhalf, _CMP_LT_OQ),
+            _mm256_and_pd(
+                _mm256_cmp_pd(idx, vzero, _CMP_GE_OQ),
+                _mm256_cmp_pd(idx, vbins, _CMP_LT_OQ),
+            ),
+        );
+        if _mm256_movemask_pd(in_range) == 0b1111 {
+            // idx is integral in [0, 65535]: truncate to i32, pack to u16.
+            let i32s = _mm256_cvttpd_epi32(idx);
+            let u16s = _mm_packus_epi32(i32s, i32s);
+            _mm_storel_epi64(cp.add(i) as *mut __m128i, u16s);
+        } else {
+            for l in 0..4 {
+                let s = scores[i + l];
+                let idx = ((s + half_range) / two_p).floor();
+                codes[i + l] = if s.abs() < half_range && idx >= 0.0 && idx < binsf {
+                    idx as u16
+                } else {
+                    escape
+                };
+            }
+        }
+        i += 4;
+    }
+    while i < n {
+        let s = scores[i];
+        let idx = ((s + half_range) / two_p).floor();
+        codes[i] = if s.abs() < half_range && idx >= 0.0 && idx < binsf {
+            idx as u16
+        } else {
+            escape
+        };
+        i += 1;
+    }
+}
+
+/// Midpoint reconstruction `out[i] = −half_range + (2·codes[i] + 1)·p` for
+/// every slot, escape slots included — the caller patches those from its
+/// outlier list afterwards.
+pub fn dequantize_codes(codes: &[u16], half_range: f64, p: f64, out: &mut [f64]) {
+    assert_eq!(codes.len(), out.len(), "dequantize_codes length mismatch");
+    match backend() {
+        #[cfg(target_arch = "x86_64")]
+        Backend::Avx2 => unsafe { dequantize_avx2(codes, half_range, p, out) },
+        _ => dequantize_scalar(codes, half_range, p, out),
+    }
+}
+
+/// Scalar arm of [`dequantize_codes`].
+pub fn dequantize_scalar(codes: &[u16], half_range: f64, p: f64, out: &mut [f64]) {
+    for (o, &c) in out.iter_mut().zip(codes) {
+        *o = -half_range + (2.0 * c as f64 + 1.0) * p;
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn dequantize_avx2(codes: &[u16], half_range: f64, p: f64, out: &mut [f64]) {
+    use std::arch::x86_64::*;
+    let n = codes.len();
+    let vneg_half = _mm256_set1_pd(-half_range);
+    let vp = _mm256_set1_pd(p);
+    let vone = _mm256_set1_pd(1.0);
+    let cp = codes.as_ptr();
+    let op = out.as_mut_ptr();
+    let mut i = 0usize;
+    while i + 4 <= n {
+        let u16s = _mm_loadl_epi64(cp.add(i) as *const __m128i);
+        let i32s = _mm_cvtepu16_epi32(u16s);
+        let codef = _mm256_cvtepi32_pd(i32s);
+        // 2·code + 1 is exact; then multiply-then-add (no FMA) for parity.
+        let t = _mm256_add_pd(_mm256_add_pd(codef, codef), vone);
+        _mm256_storeu_pd(op.add(i), _mm256_add_pd(vneg_half, _mm256_mul_pd(t, vp)));
+        i += 4;
+    }
+    while i < n {
+        out[i] = -half_range + (2.0 * codes[i] as f64 + 1.0) * p;
+        i += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scores(n: usize) -> Vec<f64> {
+        (0..n)
+            .map(|i| match i % 13 {
+                11 => f64::NAN,
+                12 => f64::INFINITY,
+                7 => 1e300,
+                _ => ((i as f64) * 0.61).sin() * 4.0,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn quantize_matches_scalar_bitwise() {
+        for n in [0usize, 1, 3, 4, 5, 64, 129] {
+            let s = scores(n);
+            let mut a = vec![0u16; n];
+            let mut b = vec![0u16; n];
+            quantize_codes(&s, 4.0, 0.01, 400, 400, &mut a);
+            quantize_scalar(&s, 4.0, 0.01, 400, 400, &mut b);
+            assert_eq!(a, b, "n={n}");
+        }
+    }
+
+    #[test]
+    fn quantize_escapes_non_finite_and_out_of_range() {
+        let s = [
+            f64::NAN,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            100.0,
+            -100.0,
+            0.0,
+        ];
+        let mut codes = vec![0u16; s.len()];
+        quantize_codes(&s, 4.0, 0.01, 400, 65535, &mut codes);
+        assert_eq!(&codes[..5], &[65535; 5]);
+        assert!(codes[5] < 400);
+    }
+
+    #[test]
+    fn dequantize_matches_scalar_bitwise() {
+        for n in [0usize, 1, 4, 7, 100] {
+            let codes: Vec<u16> = (0..n).map(|i| (i * 37 % 401) as u16).collect();
+            let mut a = vec![0.0; n];
+            let mut b = vec![0.0; n];
+            dequantize_codes(&codes, 4.0, 0.01, &mut a);
+            dequantize_scalar(&codes, 4.0, 0.01, &mut b);
+            for (x, y) in a.iter().zip(&b) {
+                assert_eq!(x.to_bits(), y.to_bits(), "n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn roundtrip_error_is_bounded_by_p() {
+        let p = 0.01;
+        let half = 4.0;
+        let s: Vec<f64> = (0..1000).map(|i| (i as f64 * 0.017).sin() * 3.9).collect();
+        let mut codes = vec![0u16; s.len()];
+        quantize_codes(&s, half, p, 400, 65535, &mut codes);
+        let mut back = vec![0.0; s.len()];
+        dequantize_codes(&codes, half, p, &mut back);
+        for (i, (&orig, &rec)) in s.iter().zip(&back).enumerate() {
+            if codes[i] != 65535 {
+                assert!((orig - rec).abs() <= p + 1e-12, "i={i} {orig} {rec}");
+            }
+        }
+    }
+}

@@ -1,0 +1,338 @@
+//! Backend parity properties: the scalar arm of every kernel must agree with
+//! whatever `backend()` dispatched on this host. On AVX2/NEON machines these
+//! properties compare genuinely different code paths; under
+//! `DPZ_FORCE_SCALAR=1` (CI runs the suite both ways) they degenerate to
+//! self-comparison, which keeps the suite green on scalar-only hosts.
+//!
+//! Tolerances follow each module's documented contract: blas, gemm, quant,
+//! and checksum arms are engineered bit-identical; the fft/dct rotation
+//! stages are held to ≤ 1 ulp per component.
+
+use dpz_kernels::{blas, checksum, fft, gemm, quant, Complex};
+use proptest::prelude::*;
+
+/// xorshift64* stream for dependently-sized buffers (the shim's `vec`
+/// strategy cannot couple a length drawn in the same case).
+fn fill_f64(n: usize, seed: u64) -> Vec<f64> {
+    let mut s = seed | 1;
+    (0..n)
+        .map(|_| {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            (s.wrapping_mul(0x2545_f491_4f6c_dd1d) >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+        })
+        .collect()
+}
+
+fn fill_bytes(n: usize, seed: u64) -> Vec<u8> {
+    let mut s = seed | 1;
+    (0..n)
+        .map(|_| {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            (s >> 32) as u8
+        })
+        .collect()
+}
+
+/// Distance in units-in-the-last-place between two finite doubles
+/// (0 for bit-equal values, including ±0).
+fn ulp_diff(a: f64, b: f64) -> u64 {
+    if a.to_bits() == b.to_bits() || a == b {
+        return 0;
+    }
+    if a.is_nan() || b.is_nan() {
+        return u64::MAX;
+    }
+    // Monotone total-order transform: negatives fold below the positives.
+    let key = |x: f64| -> u64 {
+        let bits = x.to_bits();
+        if bits >> 63 == 1 {
+            !bits
+        } else {
+            bits | (1 << 63)
+        }
+    };
+    key(a).abs_diff(key(b))
+}
+
+fn assert_bits_eq(got: &[f64], want: &[f64], what: &str) {
+    assert_eq!(got.len(), want.len(), "{what}: length");
+    for (i, (g, w)) in got.iter().zip(want).enumerate() {
+        assert_eq!(
+            g.to_bits(),
+            w.to_bits(),
+            "{what}: element {i} differs ({g:e} vs {w:e})"
+        );
+    }
+}
+
+fn assert_ulp_le(got: &[f64], want: &[f64], max_ulp: u64, what: &str) {
+    assert_eq!(got.len(), want.len(), "{what}: length");
+    for (i, (&g, &w)) in got.iter().zip(want).enumerate() {
+        let d = ulp_diff(g, w);
+        assert!(
+            d <= max_ulp,
+            "{what}: element {i} off by {d} ulp ({g:e} vs {w:e})"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    // ---- blas: bit-identical ----
+
+    #[test]
+    fn dot_matches_scalar_bitwise(n in 0usize..200, seed in any::<u64>()) {
+        let x = fill_f64(n, seed);
+        let y = fill_f64(n, seed ^ 0xDEAD_BEEF);
+        let a = blas::dot(&x, &y);
+        let b = blas::dot_scalar(&x, &y);
+        prop_assert_eq!(a.to_bits(), b.to_bits(), "dot: {} vs {}", a, b);
+    }
+
+    #[test]
+    fn axpy_matches_scalar_bitwise(
+        n in 0usize..200,
+        alpha in -4.0f64..4.0,
+        seed in any::<u64>(),
+    ) {
+        let x = fill_f64(n, seed);
+        let mut d0 = fill_f64(n, seed ^ 1);
+        let mut d1 = d0.clone();
+        blas::axpy(&mut d0, &x, alpha);
+        blas::axpy_scalar(&mut d1, &x, alpha);
+        assert_bits_eq(&d0, &d1, "axpy");
+    }
+
+    #[test]
+    fn update2_matches_scalar_bitwise(
+        n in 0usize..200,
+        a in -3.0f64..3.0,
+        b in -3.0f64..3.0,
+        seed in any::<u64>(),
+    ) {
+        let x = fill_f64(n, seed);
+        let y = fill_f64(n, seed ^ 2);
+        let mut d0 = fill_f64(n, seed ^ 3);
+        let mut d1 = d0.clone();
+        blas::update2(&mut d0, &x, &y, a, b);
+        blas::update2_scalar(&mut d1, &x, &y, a, b);
+        assert_bits_eq(&d0, &d1, "update2");
+    }
+
+    #[test]
+    fn rot2_matches_scalar_bitwise(n in 0usize..200, angle in 0.0f64..6.5, seed in any::<u64>()) {
+        let (s, c) = angle.sin_cos();
+        let mut a0 = fill_f64(n, seed);
+        let mut b0 = fill_f64(n, seed ^ 4);
+        let mut a1 = a0.clone();
+        let mut b1 = b0.clone();
+        blas::rot2(&mut a0, &mut b0, c, s);
+        blas::rot2_scalar(&mut a1, &mut b1, c, s);
+        assert_bits_eq(&a0, &a1, "rot2 r0");
+        assert_bits_eq(&b0, &b1, "rot2 r1");
+    }
+
+    // ---- gemm: the microkernel reorders independent chains only ----
+
+    #[test]
+    fn gemm_strip_matches_scalar(
+        m in 1usize..12,
+        k in 1usize..48,
+        n in 1usize..36,
+        seed in any::<u64>(),
+    ) {
+        let a = fill_f64(m * k, seed);
+        let b = fill_f64(k * n, seed ^ 5);
+        let packed = gemm::PackedB::new(&b, k, n);
+        let mut c0 = fill_f64(m * n, seed ^ 6);
+        let mut c1 = c0.clone();
+        gemm::gemm_strip(&mut c0, &a, m, &packed);
+        gemm::gemm_strip_scalar(&mut c1, &a, m, &packed);
+        assert_ulp_le(&c0, &c1, 1, "gemm_strip");
+    }
+
+    // ---- quant: bit-identical codes and reconstructions ----
+
+    #[test]
+    fn quantize_matches_scalar_bitwise(
+        n in 0usize..2000,
+        wide in any::<bool>(),
+        seed in any::<u64>(),
+    ) {
+        let bins: u32 = if wide { 65535 } else { 255 };
+        let escape = bins as u16;
+        // Scale some scores far past half_range so escape codes appear.
+        let scores: Vec<f64> = fill_f64(n, seed)
+            .into_iter()
+            .enumerate()
+            .map(|(i, v)| if i % 7 == 0 { v * 40.0 } else { v })
+            .collect();
+        let p = 0.5 / f64::from(bins);
+        let half_range = p * f64::from(bins);
+        let mut c0 = vec![0u16; n];
+        let mut c1 = vec![0u16; n];
+        quant::quantize_codes(&scores, half_range, p, bins, escape, &mut c0);
+        quant::quantize_scalar(&scores, half_range, p, bins, escape, &mut c1);
+        prop_assert_eq!(&c0, &c1);
+
+        let inliers: Vec<u16> = c0.iter().map(|&c| if c == escape { 0 } else { c }).collect();
+        let mut d0 = vec![0.0f64; n];
+        let mut d1 = vec![0.0f64; n];
+        quant::dequantize_codes(&inliers, half_range, p, &mut d0);
+        quant::dequantize_scalar(&inliers, half_range, p, &mut d1);
+        assert_bits_eq(&d0, &d1, "dequantize");
+    }
+
+    // ---- checksum: exact integer results ----
+
+    #[test]
+    fn crc32_matches_scalar(n in 0usize..5000, state in any::<u32>(), seed in any::<u64>()) {
+        let data = fill_bytes(n, seed);
+        prop_assert_eq!(
+            checksum::crc32_update(state, &data),
+            checksum::crc32_update_scalar(state, &data)
+        );
+    }
+
+    #[test]
+    fn adler32_matches_scalar(n in 0usize..20000, seed in any::<u64>()) {
+        // Lengths past NMAX = 5552 exercise the modular-reduction blocking.
+        let data = fill_bytes(n, seed);
+        prop_assert_eq!(
+            checksum::adler32_update(1, &data),
+            checksum::adler32_update_scalar(1, &data)
+        );
+    }
+
+    #[test]
+    fn byte_histogram_matches_naive(n in 0usize..5000, seed in any::<u64>()) {
+        let data = fill_bytes(n, seed);
+        let mut counts = [0u64; 256];
+        checksum::byte_histogram(&data, &mut counts);
+        let mut naive = [0u64; 256];
+        for &b in &data {
+            naive[b as usize] += 1;
+        }
+        prop_assert_eq!(counts.to_vec(), naive.to_vec());
+    }
+
+    // ---- fft / dct rotation stages: ≤ 1 ulp per component ----
+
+    #[test]
+    fn fft_pow2_matches_scalar(log_n in 0u32..9, inverse in any::<bool>(), seed in any::<u64>()) {
+        let n = 1usize << log_n;
+        let re = fill_f64(n, seed);
+        let im = fill_f64(n, seed ^ 7);
+        let mut b0: Vec<Complex> = re
+            .iter()
+            .zip(&im)
+            .map(|(&r, &i)| Complex::new(r, i))
+            .collect();
+        let mut b1 = b0.clone();
+        let mut table = Vec::new();
+        fft::fill_stage_twiddles(&mut table, n, inverse);
+        fft::fft_pow2(&mut b0, &table);
+        fft::fft_pow2_scalar(&mut b1, &table);
+        for (i, (g, w)) in b0.iter().zip(&b1).enumerate() {
+            prop_assert!(
+                ulp_diff(g.re, w.re) <= 1 && ulp_diff(g.im, w.im) <= 1,
+                "fft bin {}: ({}, {}) vs ({}, {})", i, g.re, g.im, w.re, w.im
+            );
+        }
+    }
+
+    #[test]
+    fn cmul_kernels_match_scalar(n in 0usize..300, s in -2.0f64..2.0, seed in any::<u64>()) {
+        let mk = |sd: u64| -> Vec<Complex> {
+            let re = fill_f64(n, sd);
+            let im = fill_f64(n, sd ^ 9);
+            re.iter().zip(&im).map(|(&r, &i)| Complex::new(r, i)).collect()
+        };
+        let x = mk(seed);
+        let y = mk(seed ^ 8);
+        let check = |got: &[Complex], want: &[Complex], what: &str| {
+            for (i, (g, w)) in got.iter().zip(want).enumerate() {
+                assert!(
+                    ulp_diff(g.re, w.re) <= 1 && ulp_diff(g.im, w.im) <= 1,
+                    "{what} element {i}: ({}, {}) vs ({}, {})", g.re, g.im, w.re, w.im
+                );
+            }
+        };
+
+        let mut d0 = x.clone();
+        let mut d1 = x.clone();
+        fft::cmul_assign(&mut d0, &y);
+        fft::cmul_assign_scalar(&mut d1, &y);
+        check(&d0, &d1, "cmul_assign");
+
+        let mut d0 = x.clone();
+        let mut d1 = x.clone();
+        fft::cmul_assign_prescaled(&mut d0, &y, s);
+        fft::cmul_assign_prescaled_scalar(&mut d1, &y, s);
+        check(&d0, &d1, "cmul_assign_prescaled");
+
+        let mut o0 = vec![Complex::new(0.0, 0.0); n];
+        let mut o1 = o0.clone();
+        fft::cmul_into(&mut o0, &x, &y);
+        fft::cmul_into_scalar(&mut o1, &x, &y);
+        check(&o0, &o1, "cmul_into");
+
+        let mut d0 = x.clone();
+        let mut d1 = x;
+        fft::cscale(&mut d0, s);
+        fft::cscale_scalar(&mut d1, s);
+        check(&d0, &d1, "cscale");
+    }
+
+    #[test]
+    fn dct_rotation_stages_match_scalar(n in 2usize..200, sk in 0.01f64..2.0, seed in any::<u64>()) {
+        let re = fill_f64(n, seed);
+        let im = fill_f64(n, seed ^ 10);
+        let tw: Vec<Complex> = re
+            .iter()
+            .zip(&im)
+            .map(|(&r, &i)| Complex::new(r, i))
+            .collect();
+        let v: Vec<Complex> = fill_f64(n, seed ^ 11)
+            .iter()
+            .zip(fill_f64(n, seed ^ 12).iter())
+            .map(|(&r, &i)| Complex::new(r, i))
+            .collect();
+
+        let mut o0 = vec![0.0f64; n];
+        let mut o1 = vec![0.0f64; n];
+        fft::dct2_post(&mut o0, &tw, &v, sk);
+        fft::dct2_post_scalar(&mut o1, &tw, &v, sk);
+        assert_ulp_le(&o0, &o1, 1, "dct2_post");
+
+        let c = fill_f64(n, seed ^ 13);
+        let mut v0 = v.clone();
+        let mut v1 = v;
+        fft::dct3_pre(&mut v0, &tw, &c);
+        fft::dct3_pre_scalar(&mut v1, &tw, &c);
+        for (i, (g, w)) in v0.iter().zip(&v1).enumerate() {
+            prop_assert!(
+                ulp_diff(g.re, w.re) <= 1 && ulp_diff(g.im, w.im) <= 1,
+                "dct3_pre element {}: ({}, {}) vs ({}, {})", i, g.re, g.im, w.re, w.im
+            );
+        }
+    }
+}
+
+/// The ulp metric itself has to be sound for the tolerances above to mean
+/// anything.
+#[test]
+fn ulp_diff_sanity() {
+    assert_eq!(ulp_diff(1.0, 1.0), 0);
+    assert_eq!(ulp_diff(0.0, -0.0), 0);
+    assert_eq!(ulp_diff(1.0, 1.0 + f64::EPSILON), 1);
+    assert_eq!(ulp_diff(-1.0, -1.0 - f64::EPSILON), 1);
+    assert!(ulp_diff(1.0, 2.0) > 1);
+    assert!(ulp_diff(1.0, -1.0) > 1);
+    assert_eq!(ulp_diff(f64::NAN, 1.0), u64::MAX);
+}

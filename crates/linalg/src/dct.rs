@@ -19,6 +19,7 @@
 //! test oracle.
 
 use crate::fft::{fft_with, ifft_with, Complex, FftScratch};
+use dpz_kernels::fft as kfft;
 use std::cell::RefCell;
 use std::f64::consts::PI;
 
@@ -128,10 +129,7 @@ impl Dct1d {
         fft_with(v, &mut scratch.fft);
         // C[k] = Re(e^{-iπk/(2n)} V[k]); apply orthonormal scaling.
         data[0] = v[0].re * self.s0;
-        for k in 1..n {
-            let w = self.twiddle[k].mul(v[k]);
-            data[k] = w.re * self.sk;
-        }
+        kfft::dct2_post(&mut data[1..], &self.twiddle[1..], &v[1..], self.sk);
     }
 
     /// In-place orthonormal DCT-III (the inverse of [`Dct1d::forward`]).
@@ -164,10 +162,7 @@ impl Dct1d {
         scratch.v.resize(n, Complex::default());
         let v = &mut scratch.v[..n];
         v[0] = Complex::new(c[0], 0.0);
-        for k in 1..n {
-            let w = Complex::new(c[k], -c[n - k]);
-            v[k] = self.twiddle[k].conj().mul(w);
-        }
+        kfft::dct3_pre(v, &self.twiddle, c);
         ifft_with(v, &mut scratch.fft);
         let half = n.div_ceil(2);
         for j in 0..half {
@@ -203,52 +198,109 @@ pub fn dct3_inplace(data: &mut [f64]) {
     Dct1d::new(data.len()).inverse(data);
 }
 
+/// Reusable workspace for [`dct2_2d_with`] / [`dct3_2d_with`]: caches the
+/// row/column [`Dct1d`] plans (keyed by length), the column gather buffer and
+/// the 1-D scratch. After warming up on one `(rows, cols)` shape, repeated
+/// 2-D transforms perform **zero heap allocations**.
+#[derive(Debug, Default)]
+pub struct Dct2dScratch {
+    /// Plan for row transforms (length = `cols`).
+    row_plan: Option<Dct1d>,
+    /// Plan for column transforms (length = `rows`).
+    col_plan: Option<Dct1d>,
+    /// Strided-column gather/scatter buffer, length `rows`.
+    col_buf: Vec<f64>,
+    /// 1-D transform workspace shared by both passes.
+    dct: DctScratch,
+}
+
+impl Dct2dScratch {
+    /// Empty scratch; plans and buffers are built on first use.
+    pub fn new() -> Self {
+        Dct2dScratch::default()
+    }
+
+    /// Cached plans for this shape, rebuilding whichever is stale.
+    fn plans(&mut self, rows: usize, cols: usize) -> (&Dct1d, &Dct1d) {
+        if self.row_plan.as_ref().map(Dct1d::len) != Some(cols) {
+            self.row_plan = Some(Dct1d::new(cols));
+        }
+        if self.col_plan.as_ref().map(Dct1d::len) != Some(rows) {
+            self.col_plan = Some(Dct1d::new(rows));
+        }
+        (
+            self.row_plan.as_ref().unwrap(),
+            self.col_plan.as_ref().unwrap(),
+        )
+    }
+}
+
 /// Separable 2-D orthonormal DCT-II over a row-major `rows x cols` matrix:
 /// `Z = Aᵀ_rows · X · A_cols` computed as row transforms followed by column
 /// transforms (the identity the paper's Section III-B2 uses to extend the
 /// PCA-in-DCT-domain proof to 2-D).
+///
+/// Allocates plans and scratch per call; use [`dct2_2d_with`] to amortize.
 pub fn dct2_2d(data: &mut [f64], rows: usize, cols: usize) {
+    let mut scratch = Dct2dScratch::new();
+    dct2_2d_with(data, rows, cols, &mut scratch);
+}
+
+/// [`dct2_2d`] with caller-owned scratch: allocation-free once `scratch` has
+/// warmed up on this shape.
+pub fn dct2_2d_with(data: &mut [f64], rows: usize, cols: usize, scratch: &mut Dct2dScratch) {
     assert_eq!(data.len(), rows * cols, "dct2_2d shape mismatch");
     if rows == 0 || cols == 0 {
         return;
     }
-    let row_plan = Dct1d::new(cols);
+    scratch.plans(rows, cols);
+    scratch.col_buf.resize(rows, 0.0);
+    let row_plan = scratch.row_plan.as_ref().unwrap();
+    let col_plan = scratch.col_plan.as_ref().unwrap();
     for r in 0..rows {
-        row_plan.forward(&mut data[r * cols..(r + 1) * cols]);
+        row_plan.forward_with(&mut data[r * cols..(r + 1) * cols], &mut scratch.dct);
     }
-    let col_plan = Dct1d::new(rows);
-    let mut col_buf = vec![0.0; rows];
     for c in 0..cols {
         for r in 0..rows {
-            col_buf[r] = data[r * cols + c];
+            scratch.col_buf[r] = data[r * cols + c];
         }
-        col_plan.forward(&mut col_buf);
+        col_plan.forward_with(&mut scratch.col_buf, &mut scratch.dct);
         for r in 0..rows {
-            data[r * cols + c] = col_buf[r];
+            data[r * cols + c] = scratch.col_buf[r];
         }
     }
 }
 
 /// Inverse of [`dct2_2d`] (2-D DCT-III, columns then rows).
+///
+/// Allocates plans and scratch per call; use [`dct3_2d_with`] to amortize.
 pub fn dct3_2d(data: &mut [f64], rows: usize, cols: usize) {
+    let mut scratch = Dct2dScratch::new();
+    dct3_2d_with(data, rows, cols, &mut scratch);
+}
+
+/// [`dct3_2d`] with caller-owned scratch: allocation-free once `scratch` has
+/// warmed up on this shape.
+pub fn dct3_2d_with(data: &mut [f64], rows: usize, cols: usize, scratch: &mut Dct2dScratch) {
     assert_eq!(data.len(), rows * cols, "dct3_2d shape mismatch");
     if rows == 0 || cols == 0 {
         return;
     }
-    let col_plan = Dct1d::new(rows);
-    let mut col_buf = vec![0.0; rows];
+    scratch.plans(rows, cols);
+    scratch.col_buf.resize(rows, 0.0);
+    let row_plan = scratch.row_plan.as_ref().unwrap();
+    let col_plan = scratch.col_plan.as_ref().unwrap();
     for c in 0..cols {
         for r in 0..rows {
-            col_buf[r] = data[r * cols + c];
+            scratch.col_buf[r] = data[r * cols + c];
         }
-        col_plan.inverse(&mut col_buf);
+        col_plan.inverse_with(&mut scratch.col_buf, &mut scratch.dct);
         for r in 0..rows {
-            data[r * cols + c] = col_buf[r];
+            data[r * cols + c] = scratch.col_buf[r];
         }
     }
-    let row_plan = Dct1d::new(cols);
     for r in 0..rows {
-        row_plan.inverse(&mut data[r * cols..(r + 1) * cols]);
+        row_plan.inverse_with(&mut data[r * cols..(r + 1) * cols], &mut scratch.dct);
     }
 }
 
@@ -493,6 +545,23 @@ mod tests {
             }
         }
         assert!(corner / total > 0.99, "corner energy {}", corner / total);
+    }
+
+    #[test]
+    fn dct_2d_with_scratch_matches_fresh_across_shapes() {
+        let mut scratch = Dct2dScratch::new();
+        // Shape changes invalidate the cached plans; results must stay
+        // bit-identical to the allocating path.
+        for &(rows, cols) in &[(4usize, 6usize), (12, 17), (4, 6), (1, 9), (9, 1), (8, 8)] {
+            let x: Vec<f64> = (0..rows * cols).map(|i| (i as f64 * 0.31).sin()).collect();
+            let mut with = x.clone();
+            dct2_2d_with(&mut with, rows, cols, &mut scratch);
+            let mut fresh = x.clone();
+            dct2_2d(&mut fresh, rows, cols);
+            assert_eq!(with, fresh, "forward {rows}x{cols}");
+            dct3_2d_with(&mut with, rows, cols, &mut scratch);
+            assert!(max_err(&with, &x) < 1e-10, "roundtrip {rows}x{cols}");
+        }
     }
 
     #[test]

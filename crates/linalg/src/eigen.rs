@@ -16,6 +16,7 @@
 //! cross-validate this implementation in tests.
 
 use crate::{LinalgError, Matrix, Result};
+use dpz_kernels::blas;
 
 /// Maximum QL iterations per eigenvalue before giving up.
 const MAX_QL_ITERATIONS: usize = 64;
@@ -60,11 +61,26 @@ fn sign_like(magnitude: f64, sign_of: f64) -> f64 {
 /// Householder reduction of symmetric `z` (modified in place, becoming the
 /// accumulated orthogonal transform) to tridiagonal form with diagonal `d`
 /// and off-diagonal `e` (`e[0]` unused).
-// Index-based loops follow the classic tred2/tql2 formulation; rewriting
-// them with iterators would obscure the correspondence to the algorithm.
+///
+/// The classic tred2 formulation walks *columns* of the lower triangle in its
+/// inner loops (strided access). Both hot phases here are interchanged to
+/// operate on contiguous rows so they can run through the `dpz-kernels`
+/// level-1 primitives:
+///
+/// * the projection `p = A·u / h` is computed as a symmetric matvec over
+///   lower-triangle rows (`dot` for the at-or-below-diagonal part, `axpy`
+///   scattering each row's contribution to earlier entries);
+/// * the rank-2 update `A ← A − u·pᵀ − p·uᵀ` runs row-by-row via `update2`;
+/// * the transform accumulation `Z ← Z · (I − u·uᵀ/h)` gathers `g = Zᵀu`
+///   with row `axpy`s and applies the outer-product update with row `axpy`s
+///   (all `g[j]` are read from the pre-update `Z`, so the interchange is
+///   alias-free).
 #[allow(clippy::needless_range_loop)]
 fn tridiagonalize(z: &mut Matrix, d: &mut [f64], e: &mut [f64]) {
     let n = z.rows();
+    // Scratch: `ubuf` holds a copy of the (scaled) Householder vector, `gbuf`
+    // the gather target in the accumulation phase.
+    let mut ubuf = vec![0.0f64; n];
     for i in (1..n).rev() {
         let l = i - 1;
         let mut h = 0.0;
@@ -83,28 +99,34 @@ fn tridiagonalize(z: &mut Matrix, d: &mut [f64], e: &mut [f64]) {
                 e[i] = scale * g;
                 h -= f * g;
                 z.set(i, l, f - g);
+                let u = &mut ubuf[..i];
+                u.copy_from_slice(&z.row(i)[..i]);
+                for j in 0..i {
+                    z.set(j, i, u[j] / h);
+                }
+                // p = A·u using the lower triangle, row-contiguous:
+                // p[j] = Σ_{k≤j} A[j][k]·u[k]  (dot over row j)
+                //      + Σ_{k>j} A[k][j]·u[k]  (row k scatters into p[..k]).
+                e[..i].fill(0.0);
+                for j in 0..i {
+                    let row_j = &z.row(j)[..=j];
+                    e[j] += blas::dot(row_j, &u[..=j]);
+                    blas::axpy(&mut e[..j], &row_j[..j], u[j]);
+                }
                 let mut fsum = 0.0;
                 for j in 0..i {
-                    z.set(j, i, z.get(i, j) / h);
-                    let mut g2 = 0.0;
-                    for k in 0..=j {
-                        g2 += z.get(j, k) * z.get(i, k);
-                    }
-                    for k in (j + 1)..i {
-                        g2 += z.get(k, j) * z.get(i, k);
-                    }
-                    e[j] = g2 / h;
-                    fsum += e[j] * z.get(i, j);
+                    e[j] /= h;
+                    fsum += e[j] * u[j];
                 }
+                // Rank-2 update of the lower triangle, one contiguous row at
+                // a time; e[..=j] is fully rewritten before row j reads it.
                 let hh = fsum / (h + h);
                 for j in 0..i {
-                    let f2 = z.get(i, j);
+                    let f2 = u[j];
                     let g2 = e[j] - hh * f2;
                     e[j] = g2;
-                    for k in 0..=j {
-                        let v = z.get(j, k) - (f2 * e[k] + g2 * z.get(i, k));
-                        z.set(j, k, v);
-                    }
+                    let row_j = &mut z.row_mut(j)[..=j];
+                    blas::update2(row_j, &e[..=j], &u[..=j], f2, g2);
                 }
             }
         } else {
@@ -115,17 +137,24 @@ fn tridiagonalize(z: &mut Matrix, d: &mut [f64], e: &mut [f64]) {
     d[0] = 0.0;
     e[0] = 0.0;
     // Accumulate the Householder transforms into z.
+    let mut gbuf = vec![0.0f64; n];
     for i in 0..n {
         if d[i] != 0.0 {
-            for j in 0..i {
-                let mut g = 0.0;
-                for k in 0..i {
-                    g += z.get(i, k) * z.get(k, j);
-                }
-                for k in 0..i {
-                    let v = z.get(k, j) - g * z.get(k, i);
-                    z.set(k, j, v);
-                }
+            let u = &mut ubuf[..i];
+            u.copy_from_slice(&z.row(i)[..i]);
+            // g = Z[..i, ..i]ᵀ · u gathered from contiguous rows. Every g[j]
+            // depends only on columns 0..i of rows 0..i, none of which are
+            // written until the update pass below, so computing the full
+            // gather first is exactly equivalent to the column-major
+            // original.
+            let g = &mut gbuf[..i];
+            g.fill(0.0);
+            for k in 0..i {
+                blas::axpy(g, &z.row(k)[..i], u[k]);
+            }
+            for k in 0..i {
+                let zki = z.get(k, i);
+                blas::axpy(&mut z.row_mut(k)[..i], g, -zki);
             }
         }
         d[i] = z.get(i, i);
@@ -137,10 +166,17 @@ fn tridiagonalize(z: &mut Matrix, d: &mut [f64], e: &mut [f64]) {
     }
 }
 
-/// Implicit QL with shifts on the tridiagonal `(d, e)`, rotating the columns
-/// of `z` into eigenvectors. On success `d` holds eigenvalues (unsorted).
+/// Implicit QL with shifts on the tridiagonal `(d, e)`, rotating the **rows**
+/// of `zt` (the transposed accumulated basis) into eigenvectors. On success
+/// `d` holds eigenvalues (unsorted) and row `i` of `zt` is the eigenvector
+/// for `d[i]`.
+///
+/// Operating on the transpose turns each Givens rotation into a fused pass
+/// over two contiguous rows ([`blas::rot2`]) instead of a strided
+/// column-pair walk — the dominant cost of the QL phase for the matrix
+/// sizes PCA feeds in.
 #[allow(clippy::needless_range_loop)]
-fn ql_implicit(d: &mut [f64], e: &mut [f64], z: &mut Matrix) -> Result<()> {
+fn ql_implicit(d: &mut [f64], e: &mut [f64], zt: &mut Matrix) -> Result<()> {
     let n = d.len();
     if n == 0 {
         return Ok(());
@@ -179,7 +215,7 @@ fn ql_implicit(d: &mut [f64], e: &mut [f64], z: &mut Matrix) -> Result<()> {
             let mut p = 0.0f64;
             let mut underflow = false;
             for i in (l..m).rev() {
-                let mut f = s * e[i];
+                let f = s * e[i];
                 let b = c * e[i];
                 r = pythag(f, g);
                 e[i + 1] = r;
@@ -197,12 +233,10 @@ fn ql_implicit(d: &mut [f64], e: &mut [f64], z: &mut Matrix) -> Result<()> {
                 p = s * r;
                 d[i + 1] = g + p;
                 g = c * r - b;
-                // Apply the rotation to the eigenvector columns i, i+1.
-                for k in 0..n {
-                    f = z.get(k, i + 1);
-                    z.set(k, i + 1, s * z.get(k, i) + c * f);
-                    z.set(k, i, c * z.get(k, i) - s * f);
-                }
+                // Apply the rotation to eigenvector rows i, i+1 (adjacent
+                // and contiguous in the row-major transpose).
+                let (row_i, row_i1) = zt.as_mut_slice()[i * n..(i + 2) * n].split_at_mut(n);
+                blas::rot2(row_i, row_i1, c, s);
             }
             if underflow {
                 continue;
@@ -239,13 +273,23 @@ pub fn sym_eigen(a: &Matrix) -> Result<SymEigen> {
     let mut d = vec![0.0; n];
     let mut e = vec![0.0; n];
     tridiagonalize(&mut z, &mut d, &mut e);
-    ql_implicit(&mut d, &mut e, &mut z)?;
+    // QL runs on the transpose so each Givens rotation touches two
+    // contiguous rows instead of two strided columns.
+    let mut zt = z.transpose();
+    ql_implicit(&mut d, &mut e, &mut zt)?;
 
-    // Sort descending by eigenvalue, permuting eigenvector columns to match.
+    // Sort descending by eigenvalue, gathering eigenvector rows of the
+    // transpose back into columns of the result.
     let mut order: Vec<usize> = (0..n).collect();
     order.sort_by(|&i, &j| d[j].partial_cmp(&d[i]).unwrap_or(std::cmp::Ordering::Equal));
     let eigenvalues: Vec<f64> = order.iter().map(|&i| d[i]).collect();
-    let eigenvectors = z.select_cols(&order);
+    let mut eigenvectors = Matrix::zeros(n, n);
+    for (c, &idx) in order.iter().enumerate() {
+        let src = zt.row(idx);
+        for (r, &v) in src.iter().enumerate() {
+            eigenvectors.set(r, c, v);
+        }
+    }
     Ok(SymEigen {
         eigenvalues,
         eigenvectors,
@@ -276,34 +320,36 @@ pub fn sym_eigen_topk(a: &Matrix, k: usize, max_iters: usize) -> Result<SymEigen
             eigenvectors: Matrix::zeros(m, 0),
         });
     }
-    // Deterministic pseudo-random starting subspace.
-    let mut q = Matrix::zeros(m, k);
+    // Deterministic pseudo-random starting subspace, stored transposed: row
+    // `c` of `qt` is subspace vector `c`, so every inner-loop access below
+    // (orthonormalization, norm estimates) is a contiguous row.
+    let mut qt = Matrix::zeros(k, m);
     let mut state = 0x0123_4567_89AB_CDEFu64;
-    for r in 0..m {
-        for c in 0..k {
+    for r in 0..k {
+        for c in 0..m {
             state ^= state << 13;
             state ^= state >> 7;
             state ^= state << 17;
-            q.set(r, c, (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5);
+            qt.set(r, c, (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5);
         }
     }
-    orthonormalize_columns(&mut q)?;
+    orthonormalize_rows(&mut qt)?;
 
     let mut prev = vec![f64::INFINITY; k];
     for _ in 0..max_iters.max(1) {
-        let mut z = a.matmul(&q)?;
+        // (A·Q)ᵀ = Qᵀ·A for symmetric A, so the transposed iterate is one
+        // row-major mat-mul with the packed GEMM path.
+        let mut zt = qt.matmul(a)?;
         // Convergence estimate from the un-normalized image: once the
-        // subspace has settled, |A·q_i| approaches |lambda_i|. Reusing `z`
+        // subspace has settled, |A·q_i| approaches |lambda_i|. Reusing `zt`
         // avoids a second mat-mul per iteration.
         let mut est = vec![0.0; k];
         for (c, e) in est.iter_mut().enumerate() {
-            *e = (0..m)
-                .map(|r| z.get(r, c) * z.get(r, c))
-                .sum::<f64>()
-                .sqrt();
+            let row = zt.row(c);
+            *e = blas::dot(row, row).sqrt();
         }
-        orthonormalize_columns(&mut z)?;
-        q = z;
+        orthonormalize_rows(&mut zt)?;
+        qt = zt;
         let delta = est
             .iter()
             .zip(&prev)
@@ -316,45 +362,81 @@ pub fn sym_eigen_topk(a: &Matrix, k: usize, max_iters: usize) -> Result<SymEigen
         }
     }
     // Rayleigh–Ritz: solve the small projected problem exactly.
-    let aq = a.matmul(&q)?;
-    let small = q.transpose().matmul(&aq)?; // k x k symmetric
+    let aqt = qt.matmul(a)?; // k x m = QᵀA
+    let small = aqt.matmul_transb(&qt)?; // QᵀAQ, k x k symmetric
     let SymEigen {
         eigenvalues,
         eigenvectors: rot,
     } = sym_eigen(&small)?;
-    let eigenvectors = q.matmul(&rot)?;
+    // V = Q·rot, built transposed as Vᵀ = rotᵀ·Qᵀ.
+    let vt = rot.transpose().matmul(&qt)?;
+    let eigenvectors = vt.transpose();
     Ok(SymEigen {
         eigenvalues,
         eigenvectors,
     })
 }
 
-/// In-place modified Gram–Schmidt orthonormalization of columns. Columns
-/// that collapse numerically are replaced by unit basis vectors to keep the
-/// subspace full-rank.
-fn orthonormalize_columns(q: &mut Matrix) -> Result<()> {
-    let (m, k) = q.shape();
-    for c in 0..k {
-        let mut col = q.col(c);
-        for prev in 0..c {
-            let pcol = q.col(prev);
-            let dot: f64 = col.iter().zip(&pcol).map(|(a, b)| a * b).sum();
-            for (v, p) in col.iter_mut().zip(&pcol) {
-                *v -= dot * p;
+/// In-place modified Gram–Schmidt orthonormalization of the **rows** of `q`
+/// (the transposed subspace layout used by [`sym_eigen_topk`]).
+///
+/// Rows that collapse numerically are replaced by a unit basis vector that
+/// is itself orthogonalized against the rows already processed (cycling to
+/// the next basis vector if the projection collapses too) so the output is
+/// always orthonormal. Replacing with a *raw* basis vector — what this
+/// routine previously did in column form — breaks orthogonality and lets
+/// Rayleigh–Ritz values overshoot the true spectrum on (near) low-rank
+/// inputs.
+fn orthonormalize_rows(q: &mut Matrix) -> Result<()> {
+    let (k, m) = q.shape();
+    for r in 0..k {
+        let mut attempts = 0usize;
+        'direction: loop {
+            let (done, rest) = q.as_mut_slice().split_at_mut(r * m);
+            let row = &mut rest[..m];
+            // Projection with re-orthogonalization ("twice is enough"): a
+            // pass that removes most of the norm signals cancellation, so
+            // the residual's direction is unreliable — project again until
+            // the norm stabilizes. A single pass here is exactly the bug
+            // that let Ritz values overshoot lambda_max on low-rank inputs.
+            let mut norm = blas::dot(row, row).sqrt();
+            if norm >= 1e-150 {
+                for _pass in 0..3 {
+                    for p in 0..r {
+                        let prow = &done[p * m..(p + 1) * m];
+                        let proj = blas::dot(row, prow);
+                        blas::axpy(row, prow, -proj);
+                    }
+                    let after = blas::dot(row, row).sqrt();
+                    if after < 1e-150 {
+                        break;
+                    }
+                    if after >= 0.5 * norm {
+                        let inv = 1.0 / after;
+                        for v in row.iter_mut() {
+                            *v *= inv;
+                        }
+                        break 'direction;
+                    }
+                    norm = after;
+                }
             }
+            if attempts >= m {
+                // k ≤ m rows can always be completed from the m basis
+                // vectors; hitting this means the caller asked for more
+                // rows than the ambient dimension.
+                return Err(LinalgError::NoConvergence {
+                    algorithm: "orthonormalize_rows (sym_eigen_topk)",
+                    iterations: attempts,
+                });
+            }
+            // Degenerate direction: seed with the next untried basis vector
+            // and loop back to orthogonalize it against rows 0..r.
+            for (i, v) in row.iter_mut().enumerate() {
+                *v = if i == (r + attempts) % m { 1.0 } else { 0.0 };
+            }
+            attempts += 1;
         }
-        let norm: f64 = col.iter().map(|v| v * v).sum::<f64>().sqrt();
-        if norm < 1e-150 {
-            // Degenerate direction: restart from a basis vector.
-            for (i, v) in col.iter_mut().enumerate() {
-                *v = if i == c % m { 1.0 } else { 0.0 };
-            }
-        } else {
-            for v in &mut col {
-                *v /= norm;
-            }
-        }
-        q.set_col(c, &col);
     }
     Ok(())
 }
@@ -534,6 +616,45 @@ mod tests {
                 dot.abs()
             );
         }
+    }
+
+    #[test]
+    fn topk_never_overshoots_on_low_rank_input() {
+        // Rank-4 PSD matrix with k past the rank: the degenerate subspace
+        // directions must be re-orthogonalized, not just reset to raw basis
+        // vectors, or Rayleigh–Ritz values can exceed the true lambda_max.
+        let n = 24;
+        let mut x = Matrix::zeros(4, n);
+        let mut state = 99u64;
+        for r in 0..4 {
+            for c in 0..n {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                x.set(r, c, (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5);
+            }
+        }
+        let g = x.gram(); // n x n, rank <= 4
+        let full = sym_eigen(&g).unwrap();
+        let top = sym_eigen_topk(&g, 8, 200).unwrap();
+        let lmax = full.eigenvalues[0];
+        for (i, &l) in top.eigenvalues.iter().enumerate() {
+            assert!(
+                l <= lmax * (1.0 + 1e-9) + 1e-12,
+                "Ritz value {i} = {l} overshoots lambda_max = {lmax}"
+            );
+        }
+        for i in 0..4 {
+            let rel = (full.eigenvalues[i] - top.eigenvalues[i]).abs() / lmax.max(1e-300);
+            assert!(rel < 1e-8, "eigenvalue {i} mismatch");
+        }
+        // Orthonormal output even past the numerical rank.
+        let vtv = top
+            .eigenvectors
+            .transpose()
+            .matmul(&top.eigenvectors)
+            .unwrap();
+        assert!(vtv.max_abs_diff(&Matrix::identity(8)) < 1e-9);
     }
 
     #[test]

@@ -13,87 +13,9 @@
 
 use std::f64::consts::PI;
 
-/// A complex number. Minimal on purpose: only the operations the FFT and DCT
-/// need are provided.
-#[derive(Debug, Clone, Copy, PartialEq, Default)]
-pub struct Complex {
-    /// Real part.
-    pub re: f64,
-    /// Imaginary part.
-    pub im: f64,
-}
+use dpz_kernels::fft as kfft;
 
-// `mul`/`add`/`sub` intentionally mirror the operator names without the
-// operator-trait machinery: this Complex type exists only for the FFT hot
-// loops, where explicit method calls keep the codegen obvious.
-#[allow(clippy::should_implement_trait)]
-impl Complex {
-    /// Construct from real and imaginary parts.
-    #[inline]
-    pub fn new(re: f64, im: f64) -> Self {
-        Complex { re, im }
-    }
-
-    /// `e^{i theta}` on the unit circle.
-    #[inline]
-    pub fn from_angle(theta: f64) -> Self {
-        Complex {
-            re: theta.cos(),
-            im: theta.sin(),
-        }
-    }
-
-    /// Complex conjugate.
-    #[inline]
-    pub fn conj(self) -> Self {
-        Complex {
-            re: self.re,
-            im: -self.im,
-        }
-    }
-
-    /// Squared magnitude.
-    #[inline]
-    pub fn norm_sqr(self) -> f64 {
-        self.re * self.re + self.im * self.im
-    }
-
-    /// Complex multiplication.
-    #[inline]
-    pub fn mul(self, other: Complex) -> Complex {
-        Complex {
-            re: self.re * other.re - self.im * other.im,
-            im: self.re * other.im + self.im * other.re,
-        }
-    }
-
-    /// Complex addition.
-    #[inline]
-    pub fn add(self, other: Complex) -> Complex {
-        Complex {
-            re: self.re + other.re,
-            im: self.im + other.im,
-        }
-    }
-
-    /// Complex subtraction.
-    #[inline]
-    pub fn sub(self, other: Complex) -> Complex {
-        Complex {
-            re: self.re - other.re,
-            im: self.im - other.im,
-        }
-    }
-
-    /// Scale by a real factor.
-    #[inline]
-    pub fn scale(self, s: f64) -> Complex {
-        Complex {
-            re: self.re * s,
-            im: self.im * s,
-        }
-    }
-}
+pub use dpz_kernels::Complex;
 
 /// Returns true when `n` is a power of two (and non-zero).
 #[inline]
@@ -119,12 +41,34 @@ pub struct FftScratch {
     b_fft: Vec<Complex>,
     /// Convolution buffer, length `m`; refilled on every call.
     a: Vec<Complex>,
+    /// Forward per-stage twiddle tables and the pow2 length they were built
+    /// for (see [`dpz_kernels::fft::fill_stage_twiddles`]).
+    tw_fwd: Vec<Complex>,
+    tw_fwd_n: usize,
+    /// Inverse per-stage twiddle tables and their pow2 length.
+    tw_inv: Vec<Complex>,
+    tw_inv_n: usize,
 }
 
 impl FftScratch {
     /// Empty scratch; buffers grow on first use and are reused afterwards.
     pub fn new() -> Self {
         FftScratch::default()
+    }
+
+    /// (Re)build the per-stage twiddle table for a pow2 length `n` and
+    /// direction, returning a view of it.
+    fn twiddles(&mut self, n: usize, inverse: bool) -> &[Complex] {
+        let (tw, cached) = if inverse {
+            (&mut self.tw_inv, &mut self.tw_inv_n)
+        } else {
+            (&mut self.tw_fwd, &mut self.tw_fwd_n)
+        };
+        if *cached != n {
+            kfft::fill_stage_twiddles(tw, n, inverse);
+            *cached = n;
+        }
+        tw
     }
 
     /// (Re)build the cached chirp and `b_fft` for `(n, inverse)` if the
@@ -155,7 +99,8 @@ impl FftScratch {
             self.b_fft[j] = c;
             self.b_fft[m - j] = c;
         }
-        fft_pow2(&mut self.b_fft, false);
+        self.twiddles(m, false);
+        kfft::fft_pow2(&mut self.b_fft, &self.tw_fwd);
         self.a.resize(m, Complex::default());
         self.key = Some((n, inverse));
     }
@@ -179,7 +124,7 @@ pub fn fft_with(buf: &mut [Complex], scratch: &mut FftScratch) {
         return;
     }
     if is_power_of_two(n) {
-        fft_pow2(buf, false);
+        kfft::fft_pow2(buf, scratch.twiddles(n, false));
     } else {
         bluestein(buf, false, scratch);
     }
@@ -201,86 +146,45 @@ pub fn ifft_with(buf: &mut [Complex], scratch: &mut FftScratch) {
         return;
     }
     if is_power_of_two(n) {
-        fft_pow2(buf, true);
+        kfft::fft_pow2(buf, scratch.twiddles(n, true));
     } else {
         bluestein(buf, true, scratch);
     }
-    let inv = 1.0 / n as f64;
-    for v in buf.iter_mut() {
-        *v = v.scale(inv);
-    }
-}
-
-/// Iterative in-place radix-2 Cooley–Tukey, bit-reversal permutation first.
-/// `inverse` flips the twiddle sign; scaling is the caller's job.
-fn fft_pow2(buf: &mut [Complex], inverse: bool) {
-    let n = buf.len();
-    debug_assert!(is_power_of_two(n));
-
-    // Bit-reversal permutation.
-    let mut j = 0usize;
-    for i in 1..n {
-        let mut bit = n >> 1;
-        while j & bit != 0 {
-            j ^= bit;
-            bit >>= 1;
-        }
-        j |= bit;
-        if i < j {
-            buf.swap(i, j);
-        }
-    }
-
-    let sign = if inverse { 1.0 } else { -1.0 };
-    let mut len = 2;
-    while len <= n {
-        let ang = sign * 2.0 * PI / len as f64;
-        let wlen = Complex::from_angle(ang);
-        let half = len / 2;
-        let mut start = 0;
-        while start < n {
-            let mut w = Complex::new(1.0, 0.0);
-            for k in 0..half {
-                let u = buf[start + k];
-                let v = buf[start + k + half].mul(w);
-                buf[start + k] = u.add(v);
-                buf[start + k + half] = u.sub(v);
-                w = w.mul(wlen);
-            }
-            start += len;
-        }
-        len <<= 1;
-    }
+    kfft::cscale(buf, 1.0 / n as f64);
 }
 
 /// Bluestein's algorithm: express the length-`n` DFT as a circular
 /// convolution of chirp-modulated sequences, computed with a power-of-two FFT
-/// of length `m >= 2n - 1`. The chirp and the FFT of its circular extension
-/// come from `scratch`, rebuilt only when the length/direction changes.
+/// of length `m >= 2n - 1`. The chirp, the FFT of its circular extension, and
+/// the per-stage twiddle tables come from `scratch`, rebuilt only when the
+/// length/direction changes.
 fn bluestein(buf: &mut [Complex], inverse: bool, scratch: &mut FftScratch) {
     let n = buf.len();
     scratch.prepare(n, inverse);
-    let chirp = &scratch.chirp;
-    let b_fft = &scratch.b_fft;
-    let a = &mut scratch.a;
-    let m = a.len();
+    let m = scratch.a.len();
+    // An interleaved pow2 transform of another length may have repurposed the
+    // tables since `prepare` cached the chirp, so re-check both directions.
+    scratch.twiddles(m, false);
+    scratch.twiddles(m, true);
+    let FftScratch {
+        chirp,
+        b_fft,
+        a,
+        tw_fwd,
+        tw_inv,
+        ..
+    } = scratch;
 
-    for j in 0..n {
-        a[j] = buf[j].mul(chirp[j]);
-    }
+    kfft::cmul_into(&mut a[..n], buf, &chirp[..n]);
     for v in a[n..].iter_mut() {
         *v = Complex::default();
     }
 
-    fft_pow2(a, false);
-    for (x, y) in a.iter_mut().zip(b_fft) {
-        *x = x.mul(*y);
-    }
-    fft_pow2(a, true);
-    let inv_m = 1.0 / m as f64;
-    for (out, (conv, ch)) in buf.iter_mut().zip(a.iter().zip(chirp)) {
-        *out = conv.scale(inv_m).mul(*ch);
-    }
+    kfft::fft_pow2(a, tw_fwd);
+    kfft::cmul_assign(a, b_fft);
+    kfft::fft_pow2(a, tw_inv);
+    buf.copy_from_slice(&a[..n]);
+    kfft::cmul_assign_prescaled(buf, &chirp[..n], 1.0 / m as f64);
 }
 
 /// Naive `O(n^2)` DFT used as a correctness oracle in tests.

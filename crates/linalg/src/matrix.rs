@@ -3,6 +3,7 @@
 //! multiplication, Gram/covariance products and a direct linear solver.
 
 use crate::{LinalgError, Result};
+use dpz_kernels::{blas, gemm};
 use rayon::prelude::*;
 
 /// Minimum number of rows in the output before `matmul` fans out to rayon.
@@ -207,25 +208,55 @@ impl Matrix {
         }
         let (n, k, m) = (self.rows, self.cols, rhs.cols);
         let mut out = vec![0.0; n * m];
+        if n == 0 || m == 0 {
+            return Matrix::from_vec(n, m, out);
+        }
 
+        // Pack B once into zero-padded column panels; the packed form is
+        // shared read-only by every worker. Each strip then runs the
+        // register-tiled microkernel (see `dpz_kernels::gemm`).
+        let packed = gemm::PackedB::new(&rhs.data, k, m);
+        if n >= PAR_ROW_THRESHOLD {
+            let threads = rayon::current_num_threads().max(1);
+            let strip = n.div_ceil(threads).next_multiple_of(gemm::MR).max(gemm::MR);
+            out.par_chunks_mut(strip * m)
+                .enumerate()
+                .for_each(|(si, c_chunk)| {
+                    let r0 = si * strip;
+                    let rows = c_chunk.len() / m;
+                    let a_chunk = &self.data[r0 * k..(r0 + rows) * k];
+                    gemm::gemm_strip(c_chunk, a_chunk, rows, &packed);
+                });
+        } else {
+            gemm::gemm_strip(&mut out, &self.data, n, &packed);
+        }
+        Matrix::from_vec(n, m, out)
+    }
+
+    /// Matrix product with a transposed right-hand side: `self * rhsᵀ`,
+    /// where `rhs` is stored row-major as an `m x k` matrix. Both operands
+    /// stream along contiguous rows, so each output element is a single
+    /// [`dpz_kernels::blas::dot`].
+    pub fn matmul_transb(&self, rhs: &Matrix) -> Result<Matrix> {
+        if self.cols != rhs.cols {
+            return Err(LinalgError::DimensionMismatch {
+                op: "matmul_transb",
+                got: format!("{}x{} * ({}x{})ᵀ", self.rows, self.cols, rhs.rows, rhs.cols),
+                expected: "lhs.cols == rhs.cols".to_string(),
+            });
+        }
+        let (n, k, m) = (self.rows, self.cols, rhs.rows);
+        let mut out = vec![0.0; n * m];
         let body = |(r, out_row): (usize, &mut [f64])| {
             let lhs_row = &self.data[r * k..(r + 1) * k];
-            // ikj loop order: stream through rhs rows, accumulate into out_row.
-            for (i, &a) in lhs_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let rhs_row = &rhs.data[i * m..(i + 1) * m];
-                for (o, &b) in out_row.iter_mut().zip(rhs_row) {
-                    *o += a * b;
-                }
+            for (j, o) in out_row.iter_mut().enumerate() {
+                *o = blas::dot(lhs_row, &rhs.data[j * k..(j + 1) * k]);
             }
         };
-
         if n >= PAR_ROW_THRESHOLD {
-            out.par_chunks_mut(m).enumerate().for_each(body);
+            out.par_chunks_mut(m.max(1)).enumerate().for_each(body);
         } else {
-            out.chunks_mut(m).enumerate().for_each(body);
+            out.chunks_mut(m.max(1)).enumerate().for_each(body);
         }
         Matrix::from_vec(n, m, out)
     }
@@ -239,9 +270,7 @@ impl Matrix {
                 expected: format!("vector of {}", self.cols),
             });
         }
-        Ok((0..self.rows)
-            .map(|r| self.row(r).iter().zip(v).map(|(a, b)| a * b).sum())
-            .collect())
+        Ok((0..self.rows).map(|r| blas::dot(self.row(r), v)).collect())
     }
 
     /// Gram product `selfᵀ * self`, the `cols x cols` matrix of column inner
@@ -272,10 +301,9 @@ impl Matrix {
                             if xi == 0.0 {
                                 continue;
                             }
-                            let dst = &mut part[i * m..(i + 1) * m];
-                            for j in i..m {
-                                dst[j] += xi * row[j];
-                            }
+                            // Upper-triangle row update as one contiguous
+                            // fused axpy: part[i, i..] += xi * row[i..].
+                            blas::axpy(&mut part[i * m + i..(i + 1) * m], &row[i..], xi);
                         }
                     }
                     part
@@ -471,6 +499,22 @@ mod tests {
                 assert!(approx(c.get(r, cix), s, 1e-9), "mismatch at ({r},{cix})");
             }
         }
+    }
+
+    #[test]
+    fn matmul_transb_matches_explicit_transpose() {
+        for &(n, k, m) in &[(3usize, 5usize, 4usize), (40, 17, 33), (1, 1, 1)] {
+            let a = Matrix::from_vec(n, k, (0..n * k).map(|i| (i % 11) as f64 - 5.0).collect())
+                .unwrap();
+            let b =
+                Matrix::from_vec(m, k, (0..m * k).map(|i| ((i * 3) % 7) as f64).collect()).unwrap();
+            let fast = a.matmul_transb(&b).unwrap();
+            let slow = a.matmul(&b.transpose()).unwrap();
+            assert!(fast.max_abs_diff(&slow) < 1e-12, "{n}x{k}x{m}");
+        }
+        assert!(Matrix::zeros(2, 3)
+            .matmul_transb(&Matrix::zeros(2, 4))
+            .is_err());
     }
 
     #[test]
