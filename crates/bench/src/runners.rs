@@ -1,12 +1,13 @@
 //! One-call compression runners for the three evaluated compressors,
 //! returning the metrics every figure/table needs.
 
-use dpz_core::{compress, decompress, DpzConfig};
+use dpz_codec::{Codec, SzCodec, ZfpCodec};
+use dpz_core::{compress, decompress, DpzConfig, DpzError};
 use dpz_data::metrics::{value_range, QualityReport};
 use dpz_data::Dataset;
-use dpz_sz::{SzConfig, SzError};
+use dpz_sz::SzConfig;
 use dpz_telemetry::Snapshot;
-use dpz_zfp::{ZfpError, ZfpMode};
+use dpz_zfp::ZfpMode;
 use std::time::{Duration, Instant};
 
 /// Result of one compression run.
@@ -72,32 +73,49 @@ pub fn run_dpz(
     ))
 }
 
-/// Run the SZ baseline at an absolute error bound.
-pub fn run_sz(ds: &Dataset, error_bound: f64) -> Result<RunResult, SzError> {
-    let cfg = SzConfig::with_error_bound(error_bound);
+/// Run any [`Codec`] end to end with the standard timing/metrics capture.
+/// The baseline runners below are thin settings-wrappers over this.
+pub fn run_codec(
+    codec: &dyn Codec,
+    ds: &Dataset,
+    label: &str,
+    setting: &str,
+) -> Result<RunResult, DpzError> {
     let before = dpz_telemetry::global().snapshot();
     let t = Instant::now();
-    let bytes = dpz_sz::compress(&ds.data, &ds.dims, &cfg);
+    let mut bytes = Vec::new();
+    codec.compress_into(&ds.data, &ds.dims, &mut bytes)?;
     let compress_time = t.elapsed();
     let t = Instant::now();
-    let (recon, _) = dpz_sz::decompress(&bytes)?;
+    let decoded = codec.decompress_from(&mut &bytes[..])?;
     let decompress_time = t.elapsed();
     let metrics = dpz_telemetry::global().snapshot().since(&before);
-    let report = QualityReport::evaluate(&ds.data, &recon, bytes.len());
+    let report = QualityReport::evaluate(&ds.data, &decoded.values, bytes.len());
     Ok(RunResult {
-        label: "SZ".to_string(),
-        setting: format!("eb={error_bound:.1e}"),
+        label: label.to_string(),
+        setting: setting.to_string(),
         report,
         compress_time,
         decompress_time,
-        reconstructed: recon,
+        reconstructed: decoded.values,
         metrics,
     })
 }
 
+/// Run the SZ baseline at an absolute error bound.
+pub fn run_sz(ds: &Dataset, error_bound: f64) -> Result<RunResult, DpzError> {
+    let cfg = SzConfig::with_error_bound(error_bound);
+    run_codec(
+        &SzCodec::new(cfg),
+        ds,
+        "SZ",
+        &format!("eb={error_bound:.1e}"),
+    )
+}
+
 /// Run SZ at a *range-relative* bound (`rel × value range`), the way the
 /// paper sweeps its rate-distortion curves.
-pub fn run_sz_relative(ds: &Dataset, rel: f64) -> Result<RunResult, SzError> {
+pub fn run_sz_relative(ds: &Dataset, rel: f64) -> Result<RunResult, DpzError> {
     let range = value_range(&ds.data).max(f64::MIN_POSITIVE);
     let mut r = run_sz(ds, rel * range)?;
     r.setting = format!("rel={rel:.0e}");
@@ -105,54 +123,20 @@ pub fn run_sz_relative(ds: &Dataset, rel: f64) -> Result<RunResult, SzError> {
 }
 
 /// Run SZ with the hybrid (SZ 2.0) predictor at a range-relative bound.
-pub fn run_sz_auto_relative(ds: &Dataset, rel: f64) -> Result<RunResult, SzError> {
+pub fn run_sz_auto_relative(ds: &Dataset, rel: f64) -> Result<RunResult, DpzError> {
     let range = value_range(&ds.data).max(f64::MIN_POSITIVE);
     let cfg = SzConfig::with_error_bound(rel * range).with_predictor(dpz_sz::Predictor::Auto);
-    let before = dpz_telemetry::global().snapshot();
-    let t = Instant::now();
-    let bytes = dpz_sz::compress(&ds.data, &ds.dims, &cfg);
-    let compress_time = t.elapsed();
-    let t = Instant::now();
-    let (recon, _) = dpz_sz::decompress(&bytes)?;
-    let decompress_time = t.elapsed();
-    let metrics = dpz_telemetry::global().snapshot().since(&before);
-    let report = QualityReport::evaluate(&ds.data, &recon, bytes.len());
-    Ok(RunResult {
-        label: "SZ-auto".to_string(),
-        setting: format!("rel={rel:.0e}"),
-        report,
-        compress_time,
-        decompress_time,
-        reconstructed: recon,
-        metrics,
-    })
+    run_codec(&SzCodec::new(cfg), ds, "SZ-auto", &format!("rel={rel:.0e}"))
 }
 
 /// Run the ZFP baseline.
-pub fn run_zfp(ds: &Dataset, mode: ZfpMode) -> Result<RunResult, ZfpError> {
-    let before = dpz_telemetry::global().snapshot();
-    let t = Instant::now();
-    let bytes = dpz_zfp::compress(&ds.data, &ds.dims, mode);
-    let compress_time = t.elapsed();
-    let t = Instant::now();
-    let (recon, _) = dpz_zfp::decompress(&bytes)?;
-    let decompress_time = t.elapsed();
-    let metrics = dpz_telemetry::global().snapshot().since(&before);
-    let report = QualityReport::evaluate(&ds.data, &recon, bytes.len());
+pub fn run_zfp(ds: &Dataset, mode: ZfpMode) -> Result<RunResult, DpzError> {
     let setting = match mode {
         ZfpMode::FixedPrecision(p) => format!("prec={p}"),
         ZfpMode::FixedAccuracy(tol) => format!("tol={tol:.1e}"),
         ZfpMode::FixedRate(rate) => format!("rate={rate:.2}"),
     };
-    Ok(RunResult {
-        label: "ZFP".to_string(),
-        setting,
-        report,
-        compress_time,
-        decompress_time,
-        reconstructed: recon,
-        metrics,
-    })
+    run_codec(&ZfpCodec::new(mode), ds, "ZFP", &setting)
 }
 
 /// The relative error bounds swept for SZ in rate-distortion figures.
@@ -194,6 +178,14 @@ mod tests {
         let ds = tiny(DatasetKind::Isotropic);
         let run = run_zfp(&ds, ZfpMode::FixedPrecision(20)).unwrap();
         assert!(run.report.psnr > 30.0, "psnr {}", run.report.psnr);
+        assert!(run.report.compression_ratio > 1.0);
+    }
+
+    #[test]
+    fn generic_codec_runner_accepts_any_backend() {
+        let ds = tiny(DatasetKind::Fldsc);
+        let run = run_codec(&dpz_codec::AutoCodec::new(), &ds, "AUTO", "default").unwrap();
+        assert_eq!(run.reconstructed.len(), ds.len());
         assert!(run.report.compression_ratio > 1.0);
     }
 

@@ -4,7 +4,7 @@
 //!
 //! ```text
 //! dpz gen <dataset> <out.f32> [--scale tiny|small|default|paper] [--seed N]
-//! dpz compress <in.f32> <out.dpz> --dims RxCxD [--codec dpz|sz|zfp]
+//! dpz compress <in.f32> <out.dpz> --dims RxCxD [--codec dpz|dpzc|sz|zfp|auto]
 //!     [--scheme loose|strict] [--tve NINES | --knee 1d|polyn] [--sampling]
 //!     [--eb BOUND] [--precision BITS]
 //! dpz decompress <in.dpz> <out.f32>
@@ -14,10 +14,10 @@
 
 #![warn(missing_docs)]
 
-use dpz_core::{
-    compress, decompress_chunked_with_info, decompress_with_info, ContainerInfo, DpzConfig,
-    KSelection, Stage1Transform, TveLevel,
+use dpz_codec::{
+    AutoCodec, Codec, CodecStats, DpzChunkedCodec, DpzCodec, Registry, SzCodec, ZfpCodec,
 };
+use dpz_core::{ContainerInfo, DpzConfig, KSelection, Stage1Transform, TveLevel};
 use dpz_data::dataset::DEFAULT_SEED;
 use dpz_data::io::{read_f32_file, write_f32_file};
 use dpz_data::metrics;
@@ -47,9 +47,10 @@ pub const USAGE: &str =
 
 USAGE:
   dpz gen <dataset> <out.f32> [--scale tiny|small|default|paper] [--seed N]
-  dpz compress <in.f32> <out.dpz> --dims RxC[xD] [--codec dpz|sz|zfp]
+  dpz compress <in.f32> <out.dpz> --dims RxC[xD] [--codec dpz|dpzc|sz|zfp|auto]
                [--scheme loose|strict] [--tve NINES] [--knee 1d|polyn] [--sampling]
-               [--transform dct|dwt] [--eb BOUND, --predictor lorenzo|auto (sz)]
+               [--transform dct|dwt] [--chunks N (dpzc)]
+               [--eb BOUND, --predictor lorenzo|auto (sz)]
                [--precision BITS | --rate BITS/VAL (zfp)]
                [--threads N] [--verbose] [--metrics-out <file[.prom|.json]>]
   dpz decompress <in.dpz> <out.f32> [--threads N] [--verbose] [--metrics-out <file>]
@@ -141,38 +142,42 @@ fn telemetry_finish(
     Ok(delta)
 }
 
-/// One-line compression summary read back from the metric deltas (ratio,
-/// model size for DPZ, throughput).
+/// One-line compression summary: ratio from the codec's own stats, model
+/// size (DPZ) and throughput read back from the metric deltas.
 fn compress_summary(
     args: &[String],
     input: &str,
     output: &str,
-    codec: &str,
+    requested: &str,
+    stats: &CodecStats,
     threads: usize,
     delta: &dpz_telemetry::Snapshot,
 ) -> String {
-    let labels = [("codec", codec), ("op", "compress")];
-    let bytes_in = delta.counter("dpz_bytes_in_total", &labels).unwrap_or(0);
-    let bytes_out = delta.counter("dpz_bytes_out_total", &labels).unwrap_or(0);
-    let cr = if bytes_out > 0 {
-        bytes_in as f64 / bytes_out as f64
+    // For `--codec auto` the label shows both the request and the backend
+    // the selector actually ran.
+    let display = if requested == stats.codec {
+        requested.to_string()
     } else {
-        0.0
+        format!("{requested}:{}", stats.codec)
     };
-    let span_name = match codec {
+    let span_name = match stats.codec {
         "sz" => "sz.compress",
         "zfp" => "zfp.compress",
+        "dpzc" => "compress_chunked",
         _ => "compress",
     };
     let secs = delta
         .histogram("dpz_span_seconds", &[("span", span_name)])
         .map_or(0.0, |h| h.sum);
     let mbps = if secs > 0.0 {
-        bytes_in as f64 / 1e6 / secs
+        stats.bytes_in as f64 / 1e6 / secs
     } else {
         0.0
     };
-    let mut msg = format!("compressed {input} -> {output} [{codec}] {cr:.2}x");
+    let mut msg = format!(
+        "compressed {input} -> {output} [{display}] {:.2}x",
+        stats.ratio()
+    );
     if let (Some(k), Some(tve)) = (
         delta.gauge("dpz_k_selected", &[]),
         delta.gauge("dpz_tve_achieved", &[]),
@@ -181,7 +186,12 @@ fn compress_summary(
     }
     let _ = write!(msg, ", {mbps:.1} MB/s, threads={threads}");
     if has_flag(args, "--verbose") {
-        let _ = write!(msg, ", kernel={}", dpz_kernels::backend_name());
+        let _ = write!(
+            msg,
+            ", codec={}, kernel={}",
+            stats.codec,
+            dpz_kernels::backend_name()
+        );
     }
     msg
 }
@@ -274,17 +284,28 @@ fn cmd_gen(args: &[String]) -> Result<String, CliError> {
     ))
 }
 
-fn cmd_compress(args: &[String]) -> Result<String, CliError> {
-    let (input, output) = match (args.first(), args.get(1)) {
-        (Some(a), Some(b)) => (a, b),
-        _ => return Err(err("usage: dpz compress <in.f32> <out.dpz> --dims RxC ...")),
-    };
-    let dims = parse_dims(flag_value(args, "--dims").ok_or_else(|| err("--dims is required"))?)?;
-    let threads = apply_threads(args)?;
-    let data = read_f32_file(input).map_err(|e| err(format!("read {input}: {e}")))?;
-    let before = telemetry_begin(args);
+/// Resolve `--codec` (plus its codec-specific flags) to a trait object and
+/// a suffix for the summary line. Every compressor goes through the same
+/// [`Codec`] path after this point.
+fn codec_from_args(args: &[String]) -> Result<(Box<dyn Codec>, String), CliError> {
     match flag_value(args, "--codec").unwrap_or("dpz") {
-        "dpz" => {}
+        "dpz" => {
+            let cfg = config_from_args(args)?;
+            Ok((Box::new(DpzCodec::new(cfg)), String::new()))
+        }
+        "dpzc" => {
+            let cfg = config_from_args(args)?;
+            let chunks: usize = flag_value(args, "--chunks")
+                .unwrap_or("4")
+                .parse()
+                .ok()
+                .filter(|&n| n >= 1)
+                .ok_or_else(|| err("--chunks expects a positive integer"))?;
+            Ok((
+                Box::new(DpzChunkedCodec::new(cfg, chunks)),
+                format!(" (chunks={chunks})"),
+            ))
+        }
         "sz" => {
             let eb: f64 = flag_value(args, "--eb")
                 .unwrap_or("1e-3")
@@ -300,11 +321,7 @@ fn cmd_compress(args: &[String]) -> Result<String, CliError> {
                     }
                 };
             }
-            let bytes = dpz_sz::compress(&data, &dims, &cfg);
-            std::fs::write(output, &bytes).map_err(|e| err(format!("write {output}: {e}")))?;
-            let delta = telemetry_finish(args, &before)?;
-            return Ok(compress_summary(args, input, output, "sz", threads, &delta)
-                + &format!(" (eb={eb:e})"));
+            Ok((Box::new(SzCodec::new(cfg)), format!(" (eb={eb:e})")))
         }
         "zfp" => {
             let mode = if let Some(r) = flag_value(args, "--rate") {
@@ -319,26 +336,38 @@ fn cmd_compress(args: &[String]) -> Result<String, CliError> {
                     .map_err(|_| err("--precision expects 1..=32"))?;
                 dpz_zfp::ZfpMode::FixedPrecision(prec)
             };
-            let bytes = dpz_zfp::compress(&data, &dims, mode);
-            std::fs::write(output, &bytes).map_err(|e| err(format!("write {output}: {e}")))?;
-            let delta = telemetry_finish(args, &before)?;
-            return Ok(
-                compress_summary(args, input, output, "zfp", threads, &delta)
-                    + &format!(" ({mode:?})"),
-            );
+            Ok((Box::new(ZfpCodec::new(mode)), format!(" ({mode:?})")))
         }
-        other => return Err(err(format!("unknown --codec '{other}' (dpz|sz|zfp)"))),
+        "auto" => Ok((Box::new(AutoCodec::new()), String::new())),
+        other => Err(err(format!(
+            "unknown --codec '{other}' (dpz|dpzc|sz|zfp|auto)"
+        ))),
     }
-    let cfg = config_from_args(args)?;
-    let out = compress(&data, &dims, &cfg).map_err(|e| err(e.to_string()))?;
-    std::fs::write(output, &out.bytes).map_err(|e| err(format!("write {output}: {e}")))?;
-    let delta = telemetry_finish(args, &before)?;
-    let crc = if out.stats.checksummed {
-        ", crc32"
-    } else {
-        ", no-crc"
+}
+
+fn cmd_compress(args: &[String]) -> Result<String, CliError> {
+    let (input, output) = match (args.first(), args.get(1)) {
+        (Some(a), Some(b)) => (a, b),
+        _ => return Err(err("usage: dpz compress <in.f32> <out.dpz> --dims RxC ...")),
     };
-    Ok(compress_summary(args, input, output, "dpz", threads, &delta) + crc)
+    let dims = parse_dims(flag_value(args, "--dims").ok_or_else(|| err("--dims is required"))?)?;
+    let requested = flag_value(args, "--codec").unwrap_or("dpz").to_string();
+    let (codec, suffix) = codec_from_args(args)?;
+    let threads = apply_threads(args)?;
+    let data = read_f32_file(input).map_err(|e| err(format!("read {input}: {e}")))?;
+    let before = telemetry_begin(args);
+    let mut bytes = Vec::new();
+    let stats = codec
+        .compress_into(&data, &dims, &mut bytes)
+        .map_err(|e| err(e.to_string()))?;
+    std::fs::write(output, &bytes).map_err(|e| err(format!("write {output}: {e}")))?;
+    let delta = telemetry_finish(args, &before)?;
+    let crc = match &stats.dpz {
+        Some(s) if s.checksummed => ", crc32",
+        Some(_) => ", no-crc",
+        None => "",
+    };
+    Ok(compress_summary(args, input, output, &requested, &stats, threads, &delta) + crc + &suffix)
 }
 
 /// Human-readable checksum status for decode summaries.
@@ -358,25 +387,12 @@ fn cmd_decompress(args: &[String]) -> Result<String, CliError> {
     let threads = apply_threads(args)?;
     let bytes = std::fs::read(input).map_err(|e| err(format!("read {input}: {e}")))?;
     let before = telemetry_begin(args);
-    // Sniff the container magic so every codec's output decompresses.
-    let (values, dims, info) = match bytes.get(..4) {
-        Some(b"SZR1") => {
-            let (v, d) = dpz_sz::decompress(&bytes).map_err(|e| err(e.to_string()))?;
-            (v, d, None)
-        }
-        Some(b"ZFR1") => {
-            let (v, d) = dpz_zfp::decompress(&bytes).map_err(|e| err(e.to_string()))?;
-            (v, d, None)
-        }
-        Some(b"DPZC") => {
-            let (v, d, i) = decompress_chunked_with_info(&bytes).map_err(|e| err(e.to_string()))?;
-            (v, d, Some(i))
-        }
-        _ => {
-            let (v, d, i) = decompress_with_info(&bytes).map_err(|e| err(e.to_string()))?;
-            (v, d, Some(i))
-        }
-    };
+    // The registry sniffs the container magic, so every codec's output
+    // decompresses through the same call.
+    let decoded = Registry::builtin()
+        .decompress(&bytes)
+        .map_err(|e| err(e.to_string()))?;
+    let (values, dims, info) = (decoded.values, decoded.dims, decoded.info);
     write_f32_file(output, &values).map_err(|e| err(format!("write {output}: {e}")))?;
     telemetry_finish(args, &before)?;
     let dims = dims
@@ -719,6 +735,60 @@ mod tests {
             let msg = run(&s(&["decompress", &packed, &restored])).unwrap();
             assert!(msg.contains("4050 values"), "{msg}");
         }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn chunked_and_auto_codecs_round_trip_via_cli() {
+        let dir = std::env::temp_dir().join("dpz_cli_trait_codecs");
+        std::fs::create_dir_all(&dir).unwrap();
+        let raw = dir.join("a.f32").to_string_lossy().into_owned();
+        run(&s(&["gen", "PHIS", &raw, "--scale", "tiny"])).unwrap();
+
+        // Chunked DPZ through the generic path, with the chunk count echoed.
+        let packed = dir.join("a.dpzc").to_string_lossy().into_owned();
+        let restored = dir.join("a_dpzc.f32").to_string_lossy().into_owned();
+        let msg = run(&s(&[
+            "compress", &raw, &packed, "--dims", "45x90", "--codec", "dpzc", "--chunks", "3",
+        ]))
+        .unwrap();
+        assert!(
+            msg.contains("[dpzc]") && msg.contains("(chunks=3)"),
+            "{msg}"
+        );
+        let msg = run(&s(&["decompress", &packed, &restored])).unwrap();
+        assert!(msg.contains("4050 values"), "{msg}");
+
+        // Auto selection: the summary names the backend that actually ran,
+        // and --verbose echoes it as codec= next to kernel=.
+        let packed = dir.join("a.auto").to_string_lossy().into_owned();
+        let restored = dir.join("a_auto.f32").to_string_lossy().into_owned();
+        let msg = run(&s(&[
+            "compress",
+            &raw,
+            &packed,
+            "--dims",
+            "45x90",
+            "--codec",
+            "auto",
+            "--verbose",
+        ]))
+        .unwrap();
+        dpz_telemetry::set_trace(false);
+        assert!(msg.contains("[auto:"), "{msg}");
+        assert!(
+            msg.contains(", codec=") && msg.contains(", kernel="),
+            "{msg}"
+        );
+        let msg = run(&s(&["decompress", &packed, &restored])).unwrap();
+        assert!(msg.contains("4050 values"), "{msg}");
+
+        let e = run(&s(&[
+            "compress", &raw, &packed, "--dims", "45x90", "--codec", "dpzc", "--chunks", "0",
+        ]))
+        .unwrap_err();
+        assert!(e.0.contains("--chunks"), "{}", e.0);
+
         std::fs::remove_dir_all(&dir).ok();
     }
 

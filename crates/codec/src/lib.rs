@@ -1,0 +1,125 @@
+//! # dpz-codec
+//!
+//! The codec engine: one contract every compressor in the workspace
+//! implements, so selection, serving, and tooling layers are thin clients
+//! of a single interface (the payoff Tao et al.'s online SZ/ZFP selection
+//! and FRaZ's codec-agnostic search loop demonstrate).
+//!
+//! Three pieces:
+//!
+//! * [`Codec`] — the streaming trait: `compress_into` a [`std::io::Write`],
+//!   `decompress_from` a [`std::io::Read`], and `probe` a header for format
+//!   sniffing. Implemented here for DPZ single-stream ([`DpzCodec`]),
+//!   DPZ chunked ([`DpzChunkedCodec`]), SZ ([`SzCodec`]) and ZFP
+//!   ([`ZfpCodec`]).
+//! * [`Registry`] — sniffs `DPZ1`/`DPZC`/`SZR1`/`ZFR1` magic and dispatches
+//!   to the owning codec; [`Registry::builtin`] registers all four.
+//! * [`AutoCodec`] — per-input backend selection using the paper's §V
+//!   sampling predictor (`CR_p = (M/k_e) × CR'_stage3 × CR'_zlib`) for DPZ
+//!   against micro-probes of SZ and ZFP on a sample.
+//!
+//! The DPZ pipeline's *internal* composition substrate — the [`Stage`]
+//! trait, [`StageGraph`] engine, and [`BufferPool`] — lives in
+//! `dpz_core::stage` (stages need core internals) and is re-exported here
+//! so this crate presents the complete codec-engine contract.
+
+#![warn(missing_docs)]
+
+mod auto;
+mod registry;
+mod wrappers;
+
+pub use auto::{AutoCodec, Selection};
+pub use dpz_core::stage::{BufferPool, Stage, StageGraph, StageTrace};
+pub use dpz_core::{CompressionStats, ContainerInfo, DpzError, PipelinePlan};
+pub use registry::{Format, Registry};
+pub use wrappers::{DpzChunkedCodec, DpzCodec, SzCodec, ZfpCodec};
+
+use std::io::{Read, Write};
+
+/// What one compression produced, uniformly across backends.
+#[derive(Debug, Clone)]
+pub struct CodecStats {
+    /// Name of the backend that actually encoded the stream (for
+    /// [`AutoCodec`] this is the *selected* backend, not `"auto"`).
+    pub codec: &'static str,
+    /// Input size in bytes (`4 × values`).
+    pub bytes_in: u64,
+    /// Compressed size in bytes.
+    pub bytes_out: u64,
+    /// Rich per-stage statistics when the DPZ pipeline ran (absent for
+    /// SZ/ZFP, which have no stage structure to report).
+    pub dpz: Option<CompressionStats>,
+}
+
+impl CodecStats {
+    /// End-to-end compression ratio.
+    pub fn ratio(&self) -> f64 {
+        self.bytes_in as f64 / (self.bytes_out as f64).max(1.0)
+    }
+}
+
+/// One decompressed stream, uniformly across backends.
+#[derive(Debug, Clone)]
+pub struct Decoded {
+    /// Reconstructed values.
+    pub values: Vec<f32>,
+    /// Array dimensions.
+    pub dims: Vec<usize>,
+    /// Container format the stream was in.
+    pub format: Format,
+    /// Container version/checksum details (DPZ formats only).
+    pub info: Option<ContainerInfo>,
+}
+
+/// The contract every compressor implements: streaming compress into any
+/// [`Write`], streaming decompress from any [`Read`], and header sniffing.
+///
+/// Implementations must be `Send + Sync` so a registry can be shared across
+/// worker threads; all state is per-call.
+pub trait Codec: Send + Sync {
+    /// Stable codec name (`"dpz"`, `"dpzc"`, `"sz"`, `"zfp"`, `"auto"`).
+    fn name(&self) -> &'static str;
+
+    /// Compress `src` (shape `dims`) into `dst`.
+    fn compress_into(
+        &self,
+        src: &[f32],
+        dims: &[usize],
+        dst: &mut dyn Write,
+    ) -> Result<CodecStats, DpzError>;
+
+    /// Decompress a complete stream read from `src`.
+    fn decompress_from(&self, src: &mut dyn Read) -> Result<Decoded, DpzError>;
+
+    /// Whether `header` (the stream's first bytes — at least 4 are needed
+    /// for any positive answer) begins a stream this codec decodes, and if
+    /// so which format.
+    fn probe(&self, header: &[u8]) -> Option<Format>;
+}
+
+/// Map an I/O error into the shared error type.
+pub(crate) fn io_err(e: std::io::Error) -> DpzError {
+    DpzError::Io(e.to_string())
+}
+
+/// Drain a reader to a byte buffer (all current container formats need the
+/// full stream before decoding can start).
+pub(crate) fn read_all(src: &mut dyn Read) -> Result<Vec<u8>, DpzError> {
+    let mut buf = Vec::new();
+    src.read_to_end(&mut buf).map_err(io_err)?;
+    Ok(buf)
+}
+
+/// Validate dims against the value count before handing to backends whose
+/// free functions `assert!` on mismatch.
+pub(crate) fn check_dims(src: &[f32], dims: &[usize]) -> Result<(), DpzError> {
+    let product = dims
+        .iter()
+        .try_fold(1usize, |acc, &d| acc.checked_mul(d))
+        .ok_or(DpzError::BadInput("dims overflow"))?;
+    if dims.is_empty() || product != src.len() {
+        return Err(DpzError::BadInput("dims do not match data length"));
+    }
+    Ok(())
+}

@@ -1,0 +1,285 @@
+//! [`Codec`] implementations for the four concrete backends.
+
+use crate::{check_dims, io_err, read_all, Codec, CodecStats, Decoded, Format};
+use dpz_core::{DpzConfig, DpzError};
+use dpz_sz::{SzConfig, SzError};
+use dpz_zfp::{ZfpError, ZfpMode};
+use std::io::{Read, Write};
+
+fn write_stream(dst: &mut dyn Write, bytes: &[u8]) -> Result<(), DpzError> {
+    dst.write_all(bytes).map_err(io_err)
+}
+
+fn sniff(header: &[u8], format: Format) -> Option<Format> {
+    (header.len() >= 4 && &header[..4] == format.magic()).then_some(format)
+}
+
+fn sz_err(e: SzError) -> DpzError {
+    match e {
+        SzError::Corrupt(w) => DpzError::Corrupt(w),
+        SzError::Deflate(d) => DpzError::Deflate(d),
+    }
+}
+
+fn zfp_err(e: ZfpError) -> DpzError {
+    match e {
+        ZfpError::Corrupt(w) => DpzError::Corrupt(w),
+    }
+}
+
+/// The SZ/ZFP baseline cores `assert!` on unsupported geometry; turn those
+/// preconditions into [`DpzError::BadInput`] at the trait boundary.
+fn check_baseline_geometry(dims: &[usize]) -> Result<(), DpzError> {
+    if !(1..=3).contains(&dims.len()) {
+        return Err(DpzError::BadInput("baseline codecs support 1-3 dimensions"));
+    }
+    if dims.contains(&0) {
+        return Err(DpzError::BadInput("zero-sized dimension"));
+    }
+    Ok(())
+}
+
+/// Single-stream DPZ (`DPZ1`): the paper's Stage 1–3 pipeline.
+#[derive(Debug, Clone, Copy)]
+pub struct DpzCodec {
+    /// Pipeline configuration used by [`Codec::compress_into`].
+    pub cfg: DpzConfig,
+}
+
+impl DpzCodec {
+    /// DPZ with the given pipeline configuration.
+    pub fn new(cfg: DpzConfig) -> Self {
+        DpzCodec { cfg }
+    }
+}
+
+impl Default for DpzCodec {
+    /// DPZ-l (`loose`) — the paper's high-ratio operating point.
+    fn default() -> Self {
+        DpzCodec::new(DpzConfig::loose())
+    }
+}
+
+impl Codec for DpzCodec {
+    fn name(&self) -> &'static str {
+        "dpz"
+    }
+
+    fn compress_into(
+        &self,
+        src: &[f32],
+        dims: &[usize],
+        dst: &mut dyn Write,
+    ) -> Result<CodecStats, DpzError> {
+        let out = dpz_core::compress(src, dims, &self.cfg)?;
+        write_stream(dst, &out.bytes)?;
+        Ok(CodecStats {
+            codec: "dpz",
+            bytes_in: (src.len() * 4) as u64,
+            bytes_out: out.bytes.len() as u64,
+            dpz: Some(out.stats),
+        })
+    }
+
+    fn decompress_from(&self, src: &mut dyn Read) -> Result<Decoded, DpzError> {
+        let bytes = read_all(src)?;
+        let (values, dims, info) = dpz_core::decompress_with_info(&bytes)?;
+        Ok(Decoded {
+            values,
+            dims,
+            format: Format::Dpz,
+            info: Some(info),
+        })
+    }
+
+    fn probe(&self, header: &[u8]) -> Option<Format> {
+        sniff(header, Format::Dpz)
+    }
+}
+
+/// Chunked DPZ (`DPZC`): the same stage graph executed once per slab, with
+/// slab-granular random access.
+#[derive(Debug, Clone, Copy)]
+pub struct DpzChunkedCodec {
+    /// Pipeline configuration for every slab.
+    pub cfg: DpzConfig,
+    /// Number of slabs along the slowest axis.
+    pub chunks: usize,
+}
+
+impl DpzChunkedCodec {
+    /// Chunked DPZ with the given configuration and slab count.
+    pub fn new(cfg: DpzConfig, chunks: usize) -> Self {
+        DpzChunkedCodec { cfg, chunks }
+    }
+}
+
+impl Default for DpzChunkedCodec {
+    /// DPZ-l with 4 slabs (the sweet spot of the ratio/parallelism
+    /// trade-off at default scales; see `dpz_core::chunked`).
+    fn default() -> Self {
+        DpzChunkedCodec::new(DpzConfig::loose(), 4)
+    }
+}
+
+impl Codec for DpzChunkedCodec {
+    fn name(&self) -> &'static str {
+        "dpzc"
+    }
+
+    fn compress_into(
+        &self,
+        src: &[f32],
+        dims: &[usize],
+        dst: &mut dyn Write,
+    ) -> Result<CodecStats, DpzError> {
+        let out = dpz_core::compress_chunked(src, dims, &self.cfg, self.chunks)?;
+        write_stream(dst, &out.bytes)?;
+        // Report the first slab's stage breakdown as representative; the
+        // aggregate ratio is exact.
+        let dpz = out.chunk_stats.into_iter().next();
+        Ok(CodecStats {
+            codec: "dpzc",
+            bytes_in: (src.len() * 4) as u64,
+            bytes_out: out.bytes.len() as u64,
+            dpz,
+        })
+    }
+
+    fn decompress_from(&self, src: &mut dyn Read) -> Result<Decoded, DpzError> {
+        let bytes = read_all(src)?;
+        let (values, dims, info) = dpz_core::decompress_chunked_with_info(&bytes)?;
+        Ok(Decoded {
+            values,
+            dims,
+            format: Format::DpzChunked,
+            info: Some(info),
+        })
+    }
+
+    fn probe(&self, header: &[u8]) -> Option<Format> {
+        sniff(header, Format::DpzChunked)
+    }
+}
+
+/// SZ-style baseline (`SZR1`): Lorenzo prediction + linear-scaling
+/// quantization + Huffman.
+#[derive(Debug, Clone, Copy)]
+pub struct SzCodec {
+    /// Error-bound configuration.
+    pub cfg: SzConfig,
+}
+
+impl SzCodec {
+    /// SZ with the given configuration.
+    pub fn new(cfg: SzConfig) -> Self {
+        SzCodec { cfg }
+    }
+}
+
+impl Default for SzCodec {
+    /// Absolute error bound 1e-3 with Lorenzo prediction.
+    fn default() -> Self {
+        SzCodec::new(SzConfig::with_error_bound(1e-3))
+    }
+}
+
+impl Codec for SzCodec {
+    fn name(&self) -> &'static str {
+        "sz"
+    }
+
+    fn compress_into(
+        &self,
+        src: &[f32],
+        dims: &[usize],
+        dst: &mut dyn Write,
+    ) -> Result<CodecStats, DpzError> {
+        check_dims(src, dims)?;
+        check_baseline_geometry(dims)?;
+        let bytes = dpz_sz::compress(src, dims, &self.cfg);
+        write_stream(dst, &bytes)?;
+        Ok(CodecStats {
+            codec: "sz",
+            bytes_in: (src.len() * 4) as u64,
+            bytes_out: bytes.len() as u64,
+            dpz: None,
+        })
+    }
+
+    fn decompress_from(&self, src: &mut dyn Read) -> Result<Decoded, DpzError> {
+        let bytes = read_all(src)?;
+        let (values, dims) = dpz_sz::decompress(&bytes).map_err(sz_err)?;
+        Ok(Decoded {
+            values,
+            dims,
+            format: Format::Sz,
+            info: None,
+        })
+    }
+
+    fn probe(&self, header: &[u8]) -> Option<Format> {
+        sniff(header, Format::Sz)
+    }
+}
+
+/// ZFP-style baseline (`ZFR1`): block transform + embedded bit-plane
+/// coding.
+#[derive(Debug, Clone, Copy)]
+pub struct ZfpCodec {
+    /// Compression mode (precision / accuracy / rate).
+    pub mode: ZfpMode,
+}
+
+impl ZfpCodec {
+    /// ZFP in the given mode.
+    pub fn new(mode: ZfpMode) -> Self {
+        ZfpCodec { mode }
+    }
+}
+
+impl Default for ZfpCodec {
+    /// Fixed accuracy 1e-3 — comparable to the default SZ bound.
+    fn default() -> Self {
+        ZfpCodec::new(ZfpMode::FixedAccuracy(1e-3))
+    }
+}
+
+impl Codec for ZfpCodec {
+    fn name(&self) -> &'static str {
+        "zfp"
+    }
+
+    fn compress_into(
+        &self,
+        src: &[f32],
+        dims: &[usize],
+        dst: &mut dyn Write,
+    ) -> Result<CodecStats, DpzError> {
+        check_dims(src, dims)?;
+        check_baseline_geometry(dims)?;
+        let bytes = dpz_zfp::compress(src, dims, self.mode);
+        write_stream(dst, &bytes)?;
+        Ok(CodecStats {
+            codec: "zfp",
+            bytes_in: (src.len() * 4) as u64,
+            bytes_out: bytes.len() as u64,
+            dpz: None,
+        })
+    }
+
+    fn decompress_from(&self, src: &mut dyn Read) -> Result<Decoded, DpzError> {
+        let bytes = read_all(src)?;
+        let (values, dims) = dpz_zfp::decompress(&bytes).map_err(zfp_err)?;
+        Ok(Decoded {
+            values,
+            dims,
+            format: Format::Zfp,
+            info: None,
+        })
+    }
+
+    fn probe(&self, header: &[u8]) -> Option<Format> {
+        sniff(header, Format::Zfp)
+    }
+}

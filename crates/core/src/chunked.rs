@@ -25,10 +25,12 @@
 
 use crate::config::DpzConfig;
 use crate::container::{checked_product, ContainerInfo, DpzError};
-use crate::pipeline::{compress, decompress, Compressed};
+use crate::pipeline::{decompress, Compressed, PipelinePlan};
+use crate::stage::BufferPool;
 use dpz_deflate::crc32;
 use dpz_telemetry::span;
 use rayon::prelude::*;
+use std::sync::Arc;
 
 const MAGIC: &[u8; 4] = b"DPZC";
 /// Current writer version (per-chunk CRC-32 column).
@@ -75,13 +77,30 @@ pub fn compress_chunked(
     let (rows_per_slab, rest) = slab_extents(dims, chunks);
     let slab_values = rows_per_slab * rest;
 
+    // The chunked driver is the plain pipeline's stage graph executed once
+    // per slab: at most two distinct slab lengths exist (full slabs and a
+    // ragged tail), so two shared plans cover every chunk, and one shared
+    // pool recycles the block-matrix scratch across rayon workers.
+    let pool = Arc::new(BufferPool::new());
+    let full_plan = PipelinePlan::with_pool(slab_values, cfg, Arc::clone(&pool))?;
+    let tail_len = data.len() % slab_values;
+    let tail_plan = match tail_len {
+        0 => None,
+        l => Some(PipelinePlan::with_pool(l, cfg, Arc::clone(&pool))?),
+    };
+
     let results: Vec<Result<Compressed, DpzError>> = data
         .par_chunks(slab_values)
         .map(|chunk| {
             let rows = chunk.len() / rest;
             let mut slab_dims = dims.to_vec();
             slab_dims[0] = rows;
-            compress(chunk, &slab_dims, cfg)
+            let plan = if chunk.len() == slab_values {
+                &full_plan
+            } else {
+                tail_plan.as_ref().expect("ragged tail was planned")
+            };
+            plan.execute(chunk, &slab_dims)
         })
         .collect();
     let mut streams = Vec::with_capacity(results.len());
@@ -356,6 +375,25 @@ mod tests {
             assert!((v - expect).abs() < 0.5, "idx {i}: {v} vs {expect}");
         }
         assert!(decompress_chunk(&out.bytes, 9).is_err());
+    }
+
+    #[test]
+    fn random_access_last_ragged_chunk_reports_chunk_local_dims() {
+        // 10 rows into 4 chunks -> slabs of 3+3+3+1 rows. The final chunk
+        // must report its *own* shape ([1, 40]), not the whole-array dims.
+        let data = field(10, 40);
+        let out = compress_chunked(&data, &[10, 40], &DpzConfig::loose(), 4).unwrap();
+        assert_eq!(chunk_count(&out.bytes).unwrap(), 4);
+        let (slab, dims) = decompress_chunk(&out.bytes, 3).unwrap();
+        assert_eq!(dims, vec![1, 40], "ragged tail must have chunk-local dims");
+        assert_eq!(slab.len(), 40);
+        for (i, v) in slab.iter().enumerate() {
+            let expect = data[9 * 40 + i];
+            assert!((v - expect).abs() < 0.5, "idx {i}: {v} vs {expect}");
+        }
+        // A full-height interior chunk reports its slab shape too.
+        let (_, dims) = decompress_chunk(&out.bytes, 1).unwrap();
+        assert_eq!(dims, vec![3, 40]);
     }
 
     #[test]

@@ -7,9 +7,15 @@
 //! earlier stages are lossless orthogonal rotations. This module implements
 //! all four so the figure (and the ablation bench) can regenerate the
 //! result that PCA∘DCT introduces the least error.
+//!
+//! Each pipeline is a [`StageGraph`] over a small [`ComboCtx`] — the same
+//! engine that drives the production pipeline — so a combo is literally its
+//! list of stages (see [`TransformCombo::graph`]), not a hand-written match
+//! arm, and the per-stage spans/timings come for free.
 
 use crate::container::DpzError;
 use crate::decompose::{self, BlockShape};
+use crate::stage::{Stage, StageGraph};
 use dpz_linalg::{Dct1d, DctScratch, Matrix, Pca, PcaOptions};
 
 /// The four pipelines of Figure 4.
@@ -45,6 +51,47 @@ impl TransformCombo {
             TransformCombo::PcaOnDct => "PCA on DCT",
         }
     }
+
+    /// The combo's pipeline as a stage graph. Selection always sits in the
+    /// final transform's stage; everything before it is a lossless rotation.
+    pub fn graph(self) -> StageGraph<ComboCtx> {
+        match self {
+            TransformCombo::DctOnly => StageGraph::new()
+                .then(DctForward)
+                .then(KeepCoeffPrefix)
+                .then(DctInverse),
+            TransformCombo::PcaOnly => StageGraph::new()
+                .then(PcaFit)
+                .then(PcaSelect)
+                .then(PcaInverse),
+            TransformCombo::PcaOnDct => StageGraph::new()
+                .then(DctForward)
+                .then(PcaFit)
+                .then(PcaSelect)
+                .then(PcaInverse)
+                .then(DctInverse),
+            TransformCombo::DctOnPca => StageGraph::new()
+                .then(PcaFit)
+                .then(PcaRotate)
+                .then(RowDctSelect)
+                .then(PcaInverse),
+        }
+    }
+}
+
+/// Shared state for the combo stage graphs: the working `N × M` matrix
+/// (blocks in, reconstruction out), the keep fraction, and the fitted PCA
+/// model once the `combo.pca_fit` stage has run.
+pub struct ComboCtx {
+    mat: Option<Matrix>,
+    keep_fraction: f64,
+    pca: Option<Pca>,
+}
+
+impl ComboCtx {
+    fn take(&mut self) -> Matrix {
+        self.mat.take().expect("working matrix present")
+    }
 }
 
 /// Zero all but the first `keep` (lowest-frequency) entries of each column.
@@ -65,6 +112,144 @@ fn keep_top_per_column(mat: &mut Matrix, keep: usize) {
     }
 }
 
+/// Per-block DCT-II (lossless rotation).
+struct DctForward;
+
+impl Stage<ComboCtx> for DctForward {
+    fn name(&self) -> &'static str {
+        "combo.dct"
+    }
+    fn execute(&self, ctx: &mut ComboCtx) -> Result<(), DpzError> {
+        let mat = ctx.take();
+        ctx.mat = Some(decompose::dct_blocks(&mat));
+        Ok(())
+    }
+}
+
+/// Per-block inverse DCT.
+struct DctInverse;
+
+impl Stage<ComboCtx> for DctInverse {
+    fn name(&self) -> &'static str {
+        "combo.idct"
+    }
+    fn execute(&self, ctx: &mut ComboCtx) -> Result<(), DpzError> {
+        let mat = ctx.take();
+        ctx.mat = Some(decompose::idct_blocks(&mat));
+        Ok(())
+    }
+}
+
+/// Frequency-domain selection: keep the leading `⌈n·f⌉` coefficients of
+/// every block.
+struct KeepCoeffPrefix;
+
+impl Stage<ComboCtx> for KeepCoeffPrefix {
+    fn name(&self) -> &'static str {
+        "combo.keep_prefix"
+    }
+    fn execute(&self, ctx: &mut ComboCtx) -> Result<(), DpzError> {
+        let mut mat = ctx.take();
+        let (n, _) = mat.shape();
+        let keep = ((n as f64 * ctx.keep_fraction).round() as usize).max(1);
+        keep_top_per_column(&mut mat, keep);
+        ctx.mat = Some(mat);
+        Ok(())
+    }
+}
+
+/// Fit the PCA model on the current matrix (no transformation yet).
+struct PcaFit;
+
+impl Stage<ComboCtx> for PcaFit {
+    fn name(&self) -> &'static str {
+        "combo.pca_fit"
+    }
+    fn execute(&self, ctx: &mut ComboCtx) -> Result<(), DpzError> {
+        let mat = ctx.mat.as_ref().expect("working matrix present");
+        ctx.pca = Some(Pca::fit(mat, PcaOptions::default())?);
+        Ok(())
+    }
+}
+
+/// Component selection: project onto the leading `⌈m·f⌉` components.
+struct PcaSelect;
+
+impl Stage<ComboCtx> for PcaSelect {
+    fn name(&self) -> &'static str {
+        "combo.pca_select"
+    }
+    fn execute(&self, ctx: &mut ComboCtx) -> Result<(), DpzError> {
+        let mat = ctx.take();
+        let (_, m) = mat.shape();
+        let k = ((m as f64 * ctx.keep_fraction).round() as usize).clamp(1, m);
+        let pca = ctx.pca.as_ref().expect("PcaFit ran");
+        ctx.mat = Some(pca.transform(&mat, k)?);
+        Ok(())
+    }
+}
+
+/// Full (lossless) rotation into the component basis — all `m` components.
+struct PcaRotate;
+
+impl Stage<ComboCtx> for PcaRotate {
+    fn name(&self) -> &'static str {
+        "combo.pca_rotate"
+    }
+    fn execute(&self, ctx: &mut ComboCtx) -> Result<(), DpzError> {
+        let mat = ctx.take();
+        let (_, m) = mat.shape();
+        let pca = ctx.pca.as_ref().expect("PcaFit ran");
+        ctx.mat = Some(pca.transform(&mat, m)?);
+        Ok(())
+    }
+}
+
+/// Rotate scores back out of the component basis.
+struct PcaInverse;
+
+impl Stage<ComboCtx> for PcaInverse {
+    fn name(&self) -> &'static str {
+        "combo.pca_inverse"
+    }
+    fn execute(&self, ctx: &mut ComboCtx) -> Result<(), DpzError> {
+        let mat = ctx.take();
+        let pca = ctx.pca.as_ref().expect("PcaFit ran");
+        ctx.mat = Some(pca.inverse_transform(&mat)?);
+        Ok(())
+    }
+}
+
+/// DCT along each sample's *component vector* (the feature axis — the axis
+/// the stage-1 transform handed over), keep a coefficient prefix, and
+/// invert. The PCA rotation leaves no smoothness along that axis, so the
+/// cosine basis — universal in the spatial domain — approximates poorly
+/// here: exactly the paper's argument for why this ordering loses.
+struct RowDctSelect;
+
+impl Stage<ComboCtx> for RowDctSelect {
+    fn name(&self) -> &'static str {
+        "combo.row_dct_select"
+    }
+    fn execute(&self, ctx: &mut ComboCtx) -> Result<(), DpzError> {
+        let mut scores = ctx.take();
+        let (n, m) = scores.shape();
+        let keep = ((m as f64 * ctx.keep_fraction).round() as usize).max(1);
+        let plan = Dct1d::new(m);
+        let mut scratch = DctScratch::new();
+        for r in 0..n {
+            let row = scores.row_mut(r);
+            plan.forward_with(row, &mut scratch);
+            for v in row.iter_mut().skip(keep) {
+                *v = 0.0;
+            }
+            plan.inverse_with(row, &mut scratch);
+        }
+        ctx.mat = Some(scores);
+        Ok(())
+    }
+}
+
 /// Run one pipeline at the given keep fraction and reconstruct.
 ///
 /// `keep_fraction` is the fraction of features retained in the selection
@@ -82,52 +267,13 @@ pub fn lossy_roundtrip(
     }
     let shape: BlockShape = decompose::choose_shape(data.len());
     let blocks = decompose::to_blocks(data, shape); // n x m
-    let (n, m) = blocks.shape();
-
-    let recon = match combo {
-        TransformCombo::DctOnly => {
-            let mut coeffs = decompose::dct_blocks(&blocks);
-            let keep = ((n as f64 * keep_fraction).round() as usize).max(1);
-            keep_top_per_column(&mut coeffs, keep);
-            decompose::idct_blocks(&coeffs)
-        }
-        TransformCombo::PcaOnly => {
-            let pca = Pca::fit(&blocks, PcaOptions::default())?;
-            let k = ((m as f64 * keep_fraction).round() as usize).clamp(1, m);
-            let scores = pca.transform(&blocks, k)?;
-            pca.inverse_transform(&scores)?
-        }
-        TransformCombo::PcaOnDct => {
-            let coeffs = decompose::dct_blocks(&blocks);
-            let pca = Pca::fit(&coeffs, PcaOptions::default())?;
-            let k = ((m as f64 * keep_fraction).round() as usize).clamp(1, m);
-            let scores = pca.transform(&coeffs, k)?;
-            let recon_coeffs = pca.inverse_transform(&scores)?;
-            decompose::idct_blocks(&recon_coeffs)
-        }
-        TransformCombo::DctOnPca => {
-            // Full (lossless) PCA rotation first.
-            let pca = Pca::fit(&blocks, PcaOptions::default())?;
-            let mut scores = pca.transform(&blocks, m)?; // n x m, exact
-                                                         // DCT along each sample's *component vector* (the feature axis —
-                                                         // the axis the stage-1 transform handed over). The PCA rotation
-                                                         // leaves no smoothness along that axis, so the cosine basis —
-                                                         // universal in the spatial domain — approximates poorly here:
-                                                         // exactly the paper's argument for why this ordering loses.
-            let keep = ((m as f64 * keep_fraction).round() as usize).max(1);
-            let plan = Dct1d::new(m);
-            let mut scratch = DctScratch::new();
-            for r in 0..n {
-                let row = scores.row_mut(r);
-                plan.forward_with(row, &mut scratch);
-                for v in row.iter_mut().skip(keep) {
-                    *v = 0.0;
-                }
-                plan.inverse_with(row, &mut scratch);
-            }
-            pca.inverse_transform(&scores)?
-        }
+    let mut ctx = ComboCtx {
+        mat: Some(blocks),
+        keep_fraction,
+        pca: None,
     };
+    combo.graph().run(&mut ctx)?;
+    let recon = ctx.take();
     Ok(decompose::from_blocks(&recon, shape, data.len()))
 }
 
@@ -228,5 +374,30 @@ mod tests {
         let labels: std::collections::HashSet<_> =
             TransformCombo::ALL.iter().map(|c| c.label()).collect();
         assert_eq!(labels.len(), 4);
+    }
+
+    #[test]
+    fn combo_graphs_match_their_definitions() {
+        assert_eq!(
+            TransformCombo::PcaOnDct.graph().stage_names(),
+            vec![
+                "combo.dct",
+                "combo.pca_fit",
+                "combo.pca_select",
+                "combo.pca_inverse",
+                "combo.idct"
+            ]
+        );
+        assert_eq!(
+            TransformCombo::DctOnPca.graph().stage_names(),
+            vec![
+                "combo.pca_fit",
+                "combo.pca_rotate",
+                "combo.row_dct_select",
+                "combo.pca_inverse"
+            ]
+        );
+        assert_eq!(TransformCombo::DctOnly.graph().len(), 3);
+        assert_eq!(TransformCombo::PcaOnly.graph().len(), 3);
     }
 }

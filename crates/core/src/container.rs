@@ -49,6 +49,8 @@ pub enum DpzError {
     Numeric(String),
     /// Input that cannot be compressed (too small, wrong shape, …).
     BadInput(&'static str),
+    /// I/O failure on a streaming source or sink (codec trait paths).
+    Io(String),
 }
 
 impl std::fmt::Display for DpzError {
@@ -58,6 +60,7 @@ impl std::fmt::Display for DpzError {
             DpzError::Deflate(e) => write!(f, "DPZ section: {e}"),
             DpzError::Numeric(w) => write!(f, "numerical failure: {w}"),
             DpzError::BadInput(w) => write!(f, "bad input: {w}"),
+            DpzError::Io(w) => write!(f, "i/o failure: {w}"),
         }
     }
 }

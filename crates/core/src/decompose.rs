@@ -75,10 +75,19 @@ pub fn choose_shape(len: usize) -> BlockShape {
 /// (column `j` holds block `j`, i.e. `data[j*N .. (j+1)*N]`), padding the
 /// tail by replicating the final value.
 pub fn to_blocks(data: &[f32], shape: BlockShape) -> Matrix {
+    to_blocks_in(data, shape, Vec::new())
+}
+
+/// [`to_blocks`] writing into caller-provided storage (resized as needed),
+/// so a [`crate::stage::BufferPool`] can recycle the block matrix — the
+/// pipeline's largest transient allocation — across executions.
+pub fn to_blocks_in(data: &[f32], shape: BlockShape, mut storage: Vec<f64>) -> Matrix {
     assert_eq!(shape.m * shape.n, data.len() + shape.pad, "shape mismatch");
     let (m, n) = (shape.m, shape.n);
     let last = *data.last().expect("non-empty data") as f64;
-    let mut out = Matrix::zeros(n, m);
+    storage.clear();
+    storage.resize(m * n, 0.0);
+    let mut out = Matrix::from_vec(n, m, storage).expect("storage sized above");
     // out[(i, j)] = data[j*n + i]; iterate source-sequentially per block.
     for j in 0..m {
         let base = j * n;

@@ -55,6 +55,7 @@ pub mod kpca;
 pub mod pipeline;
 pub mod quantize;
 pub mod sampling;
+pub mod stage;
 
 pub use chunked::{
     compress_chunked, decompress_chunk, decompress_chunked, decompress_chunked_with_info,
@@ -63,6 +64,7 @@ pub use config::{DpzConfig, KSelection, Scheme, Stage1Transform, Standardize, Tv
 pub use container::{ContainerInfo, DpzError};
 pub use pipeline::{
     compress, compress_with_breakdown, decompress, decompress_with_info, Compressed,
-    CompressionBreakdown, StageTimings,
+    CompressionBreakdown, CompressionStats, PipelinePlan, StageTimings,
 };
 pub use sampling::{SamplingEstimate, SamplingStrategy};
+pub use stage::{BufferPool, Stage, StageGraph, StageTrace};

@@ -1,15 +1,31 @@
 //! The end-to-end DPZ pipeline: compress, decompress, and the instrumented
 //! breakdown variant that reports per-stage ratios and accuracy (the data
 //! behind Tables III/IV and Figures 8/9 of the paper).
+//!
+//! Since the stage-graph refactor there is exactly **one** description of
+//! the compression chain — the five [`Stage`] impls in this module, composed
+//! by [`PipelinePlan`]:
+//!
+//! ```text
+//! stage1.decompose_dct → sampling → stage2.pca → stage3.quantize → lossless
+//! ```
+//!
+//! [`compress`] plans and executes that graph once; the chunked driver
+//! ([`crate::chunked`]) executes the same graph once per chunk through
+//! shared plans; [`compress_with_breakdown`] executes it with a tap that
+//! captures the stage-1 coefficients so per-stage accuracy can be measured
+//! without re-deriving any stage body.
 
 use crate::config::{DpzConfig, KSelection, Stage1Transform, Standardize};
 use crate::container::{self, ContainerData, ContainerInfo, DpzError, SectionSizes};
 use crate::decompose::{self, BlockShape};
 use crate::kpca::select_k;
-use crate::quantize::{dequantize_scores, quantize_scores};
+use crate::quantize::{dequantize_scores, quantize_scores, QuantizedScores};
 use crate::sampling::{SamplingEstimate, SamplingStrategy};
+use crate::stage::{BufferPool, Stage, StageGraph, StageTrace};
 use dpz_linalg::{Matrix, Pca, PcaOptions};
 use dpz_telemetry::{span, LATENCY_BUCKETS_S};
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Wall-clock time spent in each pipeline stage.
@@ -31,6 +47,16 @@ impl StageTimings {
     /// Total compression time.
     pub fn total(&self) -> Duration {
         self.decompose_dct + self.sampling + self.pca + self.quantize + self.lossless
+    }
+
+    fn from_trace(trace: &StageTrace) -> Self {
+        StageTimings {
+            decompose_dct: trace.duration(STAGE1_NAME),
+            sampling: trace.duration(SAMPLING_NAME),
+            pca: trace.duration(STAGE2_NAME),
+            quantize: trace.duration(STAGE3_NAME),
+            lossless: trace.duration(LOSSLESS_NAME),
+        }
     }
 }
 
@@ -103,198 +129,427 @@ fn check_input(data: &[f32], dims: &[usize]) -> Result<(), DpzError> {
     Ok(())
 }
 
-/// Compress `data` (shape `dims`) under `cfg`.
-pub fn compress(data: &[f32], dims: &[usize], cfg: &DpzConfig) -> Result<Compressed, DpzError> {
-    check_input(data, dims)?;
-    let _root = span!("compress");
-    let mut timings = StageTimings::default();
+// Stage names double as telemetry span names and StageTrace keys; the
+// chunked driver and telemetry tests rely on them, so they are constants.
+const STAGE1_NAME: &str = "stage1.decompose_dct";
+const SAMPLING_NAME: &str = "sampling";
+const STAGE2_NAME: &str = "stage2.pca";
+const STAGE3_NAME: &str = "stage3.quantize";
+const LOSSLESS_NAME: &str = "lossless";
 
-    // Stage 1: range normalization, decomposition + DCT. Normalizing the
-    // flattened data to [-0.5, 0.5] (DCTZ heritage) makes the stage-3 error
-    // bound P range-relative, exactly like the paper's θ metric — without
-    // it, large-magnitude fields (e.g. HACC velocities) would overflow the
-    // quantizer range and escape every score as an outlier.
-    let stage = span!("stage1.decompose_dct");
-    let (norm_min, norm_range) = value_extent(data);
-    let shape = decompose::choose_shape(data.len());
-    let mut blocks = decompose::to_blocks(data, shape);
-    for v in blocks.as_mut_slice() {
-        *v = (*v - norm_min) / norm_range - 0.5;
+/// Mutable state threaded through the compression stage graph: the input
+/// (borrowed), the planned shape, and each stage's product.
+struct PipelineCtx<'a> {
+    // Input + plan (read-only for stages).
+    data: &'a [f32],
+    dims: &'a [usize],
+    cfg: &'a DpzConfig,
+    shape: BlockShape,
+    transform_tag: u8,
+    dwt_levels: u8,
+    pool: &'a BufferPool,
+    // Stage products.
+    norm_min: f64,
+    norm_range: f64,
+    coeffs: Option<Matrix>,
+    sampling_est: Option<SamplingEstimate>,
+    standardize: bool,
+    pca: Option<Pca>,
+    k: usize,
+    tve_achieved: f64,
+    scores: Option<Matrix>,
+    quantized: Option<QuantizedScores>,
+    n_outliers: usize,
+    bytes: Vec<u8>,
+    sections: Option<SectionSizes>,
+}
+
+/// Stage 1: range normalization, decomposition + block transform.
+///
+/// Normalizing the flattened data to [-0.5, 0.5] (DCTZ heritage) makes the
+/// stage-3 error bound P range-relative, exactly like the paper's θ metric —
+/// without it, large-magnitude fields (e.g. HACC velocities) would overflow
+/// the quantizer range and escape every score as an outlier.
+struct Stage1Decompose;
+
+impl<'a> Stage<PipelineCtx<'a>> for Stage1Decompose {
+    fn name(&self) -> &'static str {
+        STAGE1_NAME
     }
-    let (transform_tag, dwt_levels) = match cfg.transform {
-        Stage1Transform::Dct => (0u8, 0u8),
-        Stage1Transform::Dwt { levels } => {
-            (1u8, decompose::effective_dwt_levels(shape.n, levels) as u8)
-        }
-    };
-    let coeffs = match transform_tag {
-        1 => decompose::dwt_blocks(&blocks, dwt_levels as usize),
-        _ => decompose::dct_blocks(&blocks),
-    };
-    timings.decompose_dct = stage.elapsed();
-    drop(stage);
 
-    // Sampling strategy (optional).
-    let stage = span!("sampling");
-    let sampling_est = if cfg.sampling {
-        let tve = match cfg.selection {
+    fn execute(&self, ctx: &mut PipelineCtx<'a>) -> Result<(), DpzError> {
+        let (norm_min, norm_range) = value_extent(ctx.data);
+        ctx.norm_min = norm_min;
+        ctx.norm_range = norm_range;
+        let storage = ctx.pool.acquire(ctx.shape.m * ctx.shape.n);
+        let mut blocks = decompose::to_blocks_in(ctx.data, ctx.shape, storage);
+        for v in blocks.as_mut_slice() {
+            *v = (*v - norm_min) / norm_range - 0.5;
+        }
+        let coeffs = match ctx.transform_tag {
+            1 => decompose::dwt_blocks(&blocks, ctx.dwt_levels as usize),
+            _ => decompose::dct_blocks(&blocks),
+        };
+        ctx.pool.release(blocks.into_vec());
+        ctx.coeffs = Some(coeffs);
+        Ok(())
+    }
+}
+
+/// Sampling strategy (optional): Algorithm 2's VIF probe + subset-k
+/// estimate, feeding both the truncated-solver routing in stage 2 and the
+/// predicted-ratio telemetry.
+struct SamplingStage;
+
+impl<'a> Stage<PipelineCtx<'a>> for SamplingStage {
+    fn name(&self) -> &'static str {
+        SAMPLING_NAME
+    }
+
+    fn execute(&self, ctx: &mut PipelineCtx<'a>) -> Result<(), DpzError> {
+        if !ctx.cfg.sampling {
+            return Ok(());
+        }
+        let tve = match ctx.cfg.selection {
             KSelection::Tve(v) => v,
             _ => SamplingStrategy::default().tve,
         };
         let strat = SamplingStrategy {
-            subsets: cfg.sampling_subsets,
-            picks: cfg.sampling_picks,
-            vif_sample_rate: cfg.vif_sample_rate,
+            subsets: ctx.cfg.sampling_subsets,
+            picks: ctx.cfg.sampling_picks,
+            vif_sample_rate: ctx.cfg.vif_sample_rate,
             tve,
         };
-        Some(strat.estimate(&coeffs)?)
-    } else {
-        None
-    };
-    timings.sampling = stage.elapsed();
-    drop(stage);
+        let coeffs = ctx.coeffs.as_ref().expect("stage 1 ran");
+        ctx.sampling_est = Some(strat.estimate(coeffs)?);
+        Ok(())
+    }
+}
 
-    let standardize = match cfg.standardize {
-        Standardize::On => true,
-        Standardize::Off => false,
-        Standardize::Auto => sampling_est.as_ref().is_some_and(|e| e.low_linearity),
-    };
+/// Stage 2: PCA (full, or truncated when sampling provided k_e), k
+/// selection, and projection to scores.
+struct Stage2Pca;
 
-    // Stage 2: PCA (full, or truncated when sampling provided k_e).
-    let stage = span!("stage2.pca");
-    let opts = PcaOptions { standardize };
-    let (pca, choice) = match (&sampling_est, cfg.selection) {
-        // A saturated estimate (subset k pinned at the subset width) is only
-        // a lower bound on the true k; using it would silently degrade
-        // quality, so fall through to the full path instead.
-        (Some(est), KSelection::Tve(_)) if !est.saturated => {
-            // Fast path: k comes from the sample; fit only k_e (+ margin)
-            // components with the truncated solver. Subspace iteration only
-            // beats the direct solver when the subspace is genuinely small,
-            // so fall back to the full decomposition for large k_e.
-            let k_e = est.k_estimate;
-            let margin = (k_e / 4).max(2);
-            let want = (k_e + margin).min(shape.m);
-            // Measured crossover with the SIMD GEMM backend: subspace
-            // iteration at the fit_truncated budget beats the direct solver
-            // up to roughly k = M/6.
-            let pca = if want * 6 < shape.m {
-                Pca::fit_truncated(&coeffs, opts, want)?
-            } else {
-                Pca::fit(&coeffs, opts)?
-            };
-            let choice = select_k(&pca, KSelection::Fixed(k_e));
-            (pca, choice)
+impl<'a> Stage<PipelineCtx<'a>> for Stage2Pca {
+    fn name(&self) -> &'static str {
+        STAGE2_NAME
+    }
+
+    fn execute(&self, ctx: &mut PipelineCtx<'a>) -> Result<(), DpzError> {
+        let cfg = ctx.cfg;
+        let shape = ctx.shape;
+        let standardize = match cfg.standardize {
+            Standardize::On => true,
+            Standardize::Off => false,
+            Standardize::Auto => ctx.sampling_est.as_ref().is_some_and(|e| e.low_linearity),
+        };
+        ctx.standardize = standardize;
+        let coeffs = ctx.coeffs.take().expect("stage 1 ran");
+        let opts = PcaOptions { standardize };
+        let (pca, choice) = match (&ctx.sampling_est, cfg.selection) {
+            // A saturated estimate (subset k pinned at the subset width) is only
+            // a lower bound on the true k; using it would silently degrade
+            // quality, so fall through to the full path instead.
+            (Some(est), KSelection::Tve(_)) if !est.saturated => {
+                // Fast path: k comes from the sample; fit only k_e (+ margin)
+                // components with the truncated solver. Subspace iteration only
+                // beats the direct solver when the subspace is genuinely small,
+                // so fall back to the full decomposition for large k_e.
+                let k_e = est.k_estimate;
+                let margin = (k_e / 4).max(2);
+                let want = (k_e + margin).min(shape.m);
+                // Measured crossover with the SIMD GEMM backend: subspace
+                // iteration at the fit_truncated budget beats the direct solver
+                // up to roughly k = M/6.
+                let pca = if want * 6 < shape.m {
+                    Pca::fit_truncated(&coeffs, opts, want)?
+                } else {
+                    Pca::fit(&coeffs, opts)?
+                };
+                let choice = select_k(&pca, KSelection::Fixed(k_e));
+                (pca, choice)
+            }
+            // No sampling estimate, but the selection mode itself bounds the
+            // needed rank: route through the truncated solvers instead of the
+            // full O(M³) decomposition whenever the bound is far below M.
+            (_, KSelection::Fixed(k_fixed)) => {
+                let want = (k_fixed + (k_fixed / 4).max(2)).min(shape.m);
+                let pca = if want * 6 < shape.m {
+                    Pca::fit_truncated(&coeffs, opts, want)?
+                } else {
+                    Pca::fit(&coeffs, opts)?
+                };
+                let choice = select_k(&pca, cfg.selection);
+                (pca, choice)
+            }
+            (_, KSelection::Tve(tve)) => {
+                // Escalating truncated solve; falls back to the full solver
+                // internally once the attempted rank stops being ≪ M. The
+                // escalation's probe solves only amortize when the full solve
+                // is itself expensive — at a few hundred features a direct
+                // solve costs about what one k₀ probe does, so small shapes
+                // skip straight to it.
+                let pca = if shape.m >= 512 {
+                    let k0 = (shape.m / 32).max(8);
+                    Pca::fit_tve_bounded(&coeffs, opts, tve, k0)?
+                } else {
+                    Pca::fit(&coeffs, opts)?
+                };
+                let choice = select_k(&pca, cfg.selection);
+                (pca, choice)
+            }
+            // Knee-point detection inspects the whole spectrum.
+            _ => {
+                let pca = Pca::fit(&coeffs, opts)?;
+                let choice = select_k(&pca, cfg.selection);
+                (pca, choice)
+            }
+        };
+        ctx.k = choice.k;
+        ctx.tve_achieved = choice.tve_achieved;
+        ctx.scores = Some(pca.transform(&coeffs, choice.k)?);
+        ctx.pool.release(coeffs.into_vec());
+        ctx.pca = Some(pca);
+        Ok(())
+    }
+}
+
+/// Stage 3: uniform symmetric quantization of the scores.
+struct Stage3Quantize;
+
+impl<'a> Stage<PipelineCtx<'a>> for Stage3Quantize {
+    fn name(&self) -> &'static str {
+        STAGE3_NAME
+    }
+
+    fn execute(&self, ctx: &mut PipelineCtx<'a>) -> Result<(), DpzError> {
+        let scores = ctx.scores.take().expect("stage 2 ran");
+        let quantized = quantize_scores(scores.as_slice(), ctx.cfg.scheme);
+        ctx.pool.release(scores.into_vec());
+        ctx.n_outliers = quantized.outliers.len();
+        ctx.quantized = Some(quantized);
+        Ok(())
+    }
+}
+
+/// Lossless add-on: f32-round the model, DEFLATE every section, and
+/// assemble the self-describing container.
+struct LosslessStage;
+
+impl<'a> Stage<PipelineCtx<'a>> for LosslessStage {
+    fn name(&self) -> &'static str {
+        LOSSLESS_NAME
+    }
+
+    fn execute(&self, ctx: &mut PipelineCtx<'a>) -> Result<(), DpzError> {
+        let pca = ctx.pca.as_ref().expect("stage 2 ran");
+        let k = ctx.k;
+        let projection = pca.projection(k);
+        let basis: Vec<f32> = projection.as_slice().iter().map(|&v| v as f32).collect();
+        let mean: Vec<f32> = pca.mean().iter().map(|&v| v as f32).collect();
+        let scale: Vec<f32> = pca
+            .feature_scale()
+            .map(|s| s.iter().map(|&v| v as f32).collect())
+            .unwrap_or_default();
+        let payload = ContainerData {
+            dims: ctx.dims.to_vec(),
+            orig_len: ctx.data.len(),
+            m: ctx.shape.m,
+            n: ctx.shape.n,
+            pad: ctx.shape.pad,
+            norm_min: ctx.norm_min,
+            norm_range: ctx.norm_range,
+            k,
+            transform_tag: ctx.transform_tag,
+            dwt_levels: ctx.dwt_levels,
+            p: ctx.cfg.scheme.p(),
+            standardized: ctx.standardize,
+            basis,
+            mean,
+            scale,
+            scores: ctx.quantized.take().expect("stage 3 ran"),
+        };
+        let (bytes, sections) = container::serialize(&payload);
+        ctx.bytes = bytes;
+        ctx.sections = Some(sections);
+        Ok(())
+    }
+}
+
+/// A planned compression: shape and transform resolved once for a given
+/// `(length, config)`, executable against any number of equal-length
+/// buffers. Scratch storage is recycled through a shared [`BufferPool`], so
+/// repeated executions — one per chunk in the chunked driver, one per frame
+/// in a streaming caller — reach steady state without per-buffer
+/// allocation of the block matrix.
+pub struct PipelinePlan {
+    cfg: DpzConfig,
+    len: usize,
+    shape: BlockShape,
+    transform_tag: u8,
+    dwt_levels: u8,
+    pool: Arc<BufferPool>,
+}
+
+impl PipelinePlan {
+    /// Plan a compression of `len` values under `cfg`, with a private
+    /// buffer pool.
+    pub fn new(len: usize, cfg: &DpzConfig) -> Result<Self, DpzError> {
+        Self::with_pool(len, cfg, Arc::new(BufferPool::new()))
+    }
+
+    /// [`PipelinePlan::new`] with a caller-provided pool, so several plans
+    /// (e.g. the chunked driver's full-slab and ragged-tail plans) share
+    /// one free-list.
+    pub fn with_pool(len: usize, cfg: &DpzConfig, pool: Arc<BufferPool>) -> Result<Self, DpzError> {
+        if len < 2 {
+            return Err(DpzError::BadInput("need at least two values"));
         }
-        // No sampling estimate, but the selection mode itself bounds the
-        // needed rank: route through the truncated solvers instead of the
-        // full O(M³) decomposition whenever the bound is far below M.
-        (_, KSelection::Fixed(k_fixed)) => {
-            let want = (k_fixed + (k_fixed / 4).max(2)).min(shape.m);
-            let pca = if want * 6 < shape.m {
-                Pca::fit_truncated(&coeffs, opts, want)?
-            } else {
-                Pca::fit(&coeffs, opts)?
-            };
-            let choice = select_k(&pca, cfg.selection);
-            (pca, choice)
+        let shape = decompose::choose_shape(len);
+        let (transform_tag, dwt_levels) = match cfg.transform {
+            Stage1Transform::Dct => (0u8, 0u8),
+            Stage1Transform::Dwt { levels } => {
+                (1u8, decompose::effective_dwt_levels(shape.n, levels) as u8)
+            }
+        };
+        Ok(PipelinePlan {
+            cfg: *cfg,
+            len,
+            shape,
+            transform_tag,
+            dwt_levels,
+            pool,
+        })
+    }
+
+    /// The block shape this plan resolved.
+    pub fn shape(&self) -> BlockShape {
+        self.shape
+    }
+
+    /// Planned input length.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the plan is for an empty input (never true: planning
+    /// requires at least two values).
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The stage names of the compression graph, in execution order.
+    pub fn stage_names() -> [&'static str; 5] {
+        [
+            STAGE1_NAME,
+            SAMPLING_NAME,
+            STAGE2_NAME,
+            STAGE3_NAME,
+            LOSSLESS_NAME,
+        ]
+    }
+
+    /// Execute the plan against one buffer. `data.len()` must equal the
+    /// planned length and `dims` must describe it.
+    pub fn execute(&self, data: &[f32], dims: &[usize]) -> Result<Compressed, DpzError> {
+        self.execute_inner(data, dims, false).map(|(c, _)| c)
+    }
+
+    /// [`PipelinePlan::execute`] that additionally captures the stage-1
+    /// coefficient matrix via a graph tap (for breakdown analyses).
+    fn execute_inner(
+        &self,
+        data: &[f32],
+        dims: &[usize],
+        capture_coeffs: bool,
+    ) -> Result<(Compressed, Option<Matrix>), DpzError> {
+        check_input(data, dims)?;
+        if data.len() != self.len {
+            return Err(DpzError::BadInput("data length does not match plan"));
         }
-        (_, KSelection::Tve(tve)) => {
-            // Escalating truncated solve; falls back to the full solver
-            // internally once the attempted rank stops being ≪ M. The
-            // escalation's probe solves only amortize when the full solve
-            // is itself expensive — at a few hundred features a direct
-            // solve costs about what one k₀ probe does, so small shapes
-            // skip straight to it.
-            let pca = if shape.m >= 512 {
-                let k0 = (shape.m / 32).max(8);
-                Pca::fit_tve_bounded(&coeffs, opts, tve, k0)?
-            } else {
-                Pca::fit(&coeffs, opts)?
-            };
-            let choice = select_k(&pca, cfg.selection);
-            (pca, choice)
-        }
-        // Knee-point detection inspects the whole spectrum.
-        _ => {
-            let pca = Pca::fit(&coeffs, opts)?;
-            let choice = select_k(&pca, cfg.selection);
-            (pca, choice)
-        }
-    };
-    let k = choice.k;
-    let scores = pca.transform(&coeffs, k)?;
-    timings.pca = stage.elapsed();
-    drop(stage);
+        let _root = span!("compress");
 
-    // Stage 3: quantization.
-    let stage = span!("stage3.quantize");
-    let quantized = quantize_scores(scores.as_slice(), cfg.scheme);
-    let n_outliers = quantized.outliers.len();
-    timings.quantize = stage.elapsed();
-    drop(stage);
+        let graph: StageGraph<PipelineCtx> = StageGraph::new()
+            .then(Stage1Decompose)
+            .then(SamplingStage)
+            .then(Stage2Pca)
+            .then(Stage3Quantize)
+            .then(LosslessStage);
+        let mut ctx = PipelineCtx {
+            data,
+            dims,
+            cfg: &self.cfg,
+            shape: self.shape,
+            transform_tag: self.transform_tag,
+            dwt_levels: self.dwt_levels,
+            pool: &self.pool,
+            norm_min: 0.0,
+            norm_range: 1.0,
+            coeffs: None,
+            sampling_est: None,
+            standardize: false,
+            pca: None,
+            k: 0,
+            tve_achieved: 0.0,
+            scores: None,
+            quantized: None,
+            n_outliers: 0,
+            bytes: Vec::new(),
+            sections: None,
+        };
+        let mut captured = None;
+        let trace = graph.run_with_tap(&mut ctx, |name, c| {
+            if capture_coeffs && name == STAGE1_NAME {
+                captured = c.coeffs.clone();
+            }
+        })?;
+        let timings = StageTimings::from_trace(&trace);
 
-    // Lossless add-on + container.
-    let stage = span!("lossless");
-    let projection = pca.projection(k);
-    let basis: Vec<f32> = projection.as_slice().iter().map(|&v| v as f32).collect();
-    let mean: Vec<f32> = pca.mean().iter().map(|&v| v as f32).collect();
-    let scale: Vec<f32> = pca
-        .feature_scale()
-        .map(|s| s.iter().map(|&v| v as f32).collect())
-        .unwrap_or_default();
-    let payload = ContainerData {
-        dims: dims.to_vec(),
-        orig_len: data.len(),
-        m: shape.m,
-        n: shape.n,
-        pad: shape.pad,
-        norm_min,
-        norm_range,
-        k,
-        transform_tag,
-        dwt_levels,
-        p: cfg.scheme.p(),
-        standardized: standardize,
-        basis,
-        mean,
-        scale,
-        scores: quantized,
-    };
-    let (bytes, sections) = container::serialize(&payload);
-    timings.lossless = stage.elapsed();
-    drop(stage);
+        let bytes = std::mem::take(&mut ctx.bytes);
+        let sections = ctx.sections.take().expect("lossless stage ran");
+        let (shape, k, standardize) = (self.shape, ctx.k, ctx.standardize);
 
-    // Per-stage ratio accounting (Table III semantics):
-    //   stage 1&2 : original f32 -> f32 core (scores + basis + means[+scales])
-    //   stage 3   : f32 core -> quantized sections (indices + outliers + model)
-    //   zlib      : quantized sections -> DEFLATE output
-    let orig_bytes = data.len() * 4;
-    let core_f32 =
-        (shape.n * k + shape.m * k + shape.m + if standardize { shape.m } else { 0 }) * 4;
-    let stage3_raw = sections.total_raw();
-    let cr_stage12 = orig_bytes as f64 / core_f32 as f64;
-    let cr_stage3 = core_f32 as f64 / stage3_raw as f64;
-    let cr_zlib = stage3_raw as f64 / sections.total_packed() as f64;
-    let cr_total = orig_bytes as f64 / bytes.len() as f64;
+        // Per-stage ratio accounting (Table III semantics):
+        //   stage 1&2 : original f32 -> f32 core (scores + basis + means[+scales])
+        //   stage 3   : f32 core -> quantized sections (indices + outliers + model)
+        //   zlib      : quantized sections -> DEFLATE output
+        let orig_bytes = data.len() * 4;
+        let core_f32 =
+            (shape.n * k + shape.m * k + shape.m + if standardize { shape.m } else { 0 }) * 4;
+        let stage3_raw = sections.total_raw();
+        let cr_stage12 = orig_bytes as f64 / core_f32 as f64;
+        let cr_stage3 = core_f32 as f64 / stage3_raw as f64;
+        let cr_zlib = stage3_raw as f64 / sections.total_packed() as f64;
+        let cr_total = orig_bytes as f64 / bytes.len() as f64;
 
-    let stats = CompressionStats {
-        m: shape.m,
-        n: shape.n,
-        k,
-        tve_achieved: choice.tve_achieved,
-        standardized: standardize,
-        timings,
-        sections,
-        cr_stage12,
-        cr_stage3,
-        cr_zlib,
-        cr_total,
-        sampling: sampling_est,
-        checksummed: true,
-    };
-    record_compress_metrics(&stats, orig_bytes, bytes.len(), n_outliers);
-    Ok(Compressed { bytes, stats })
+        let stats = CompressionStats {
+            m: shape.m,
+            n: shape.n,
+            k,
+            tve_achieved: ctx.tve_achieved,
+            standardized: standardize,
+            timings,
+            sections,
+            cr_stage12,
+            cr_stage3,
+            cr_zlib,
+            cr_total,
+            sampling: ctx.sampling_est.take(),
+            checksummed: true,
+        };
+        record_compress_metrics(&stats, orig_bytes, bytes.len(), ctx.n_outliers);
+        Ok((Compressed { bytes, stats }, captured))
+    }
+}
+
+/// Compress `data` (shape `dims`) under `cfg`.
+///
+/// Thin wrapper: plans once and executes the stage graph once. Callers
+/// compressing many equal-length buffers should hold a [`PipelinePlan`]
+/// instead and amortize the planning + scratch allocation.
+pub fn compress(data: &[f32], dims: &[usize], cfg: &DpzConfig) -> Result<Compressed, DpzError> {
+    check_input(data, dims)?;
+    PipelinePlan::new(data.len(), cfg)?.execute(data, dims)
 }
 
 /// Publish one compression's activity to the global telemetry registry.
@@ -375,18 +630,13 @@ pub fn decompress_with_info(
     result
 }
 
-/// Shared reconstruction path. Also returns the de-quantized scores matrix
-/// for breakdown analyses.
-fn reconstruct(payload: &ContainerData) -> Result<(Vec<f32>, Vec<usize>, Matrix), DpzError> {
+/// Undo stages 1 & 2 for a given scores matrix: re-expand through the
+/// stored basis (`Z ≈ Y·Dᵀ`, plus scale/mean), inverse-transform every
+/// block, denormalize, and re-flatten. Shared by [`reconstruct`] (with
+/// dequantized scores) and the breakdown path (with exact scores), so the
+/// inverse chain exists once.
+fn expand_scores(scores: &Matrix, payload: &ContainerData) -> Result<Vec<f32>, DpzError> {
     let (m, n, k) = (payload.m, payload.n, payload.k);
-    if payload.basis.len() != m * k || payload.mean.len() != m {
-        return Err(DpzError::Corrupt("model vectors inconsistent with header"));
-    }
-    // Scores (n x k).
-    let score_vals = dequantize_scores(&payload.scores);
-    let scores =
-        Matrix::from_vec(n, k, score_vals).map_err(|_| DpzError::Corrupt("score matrix shape"))?;
-    // Basis (m x k) -> reconstruct coefficients: Z ≈ Y·Dᵀ (+ scale) + mean.
     let basis = Matrix::from_vec(m, k, payload.basis.iter().map(|&v| f64::from(v)).collect())
         .map_err(|_| DpzError::Corrupt("basis shape"))?;
     let mut coeffs = scores.matmul(&basis.transpose())?;
@@ -417,7 +667,21 @@ fn reconstruct(payload: &ContainerData) -> Result<(Vec<f32>, Vec<usize>, Matrix)
         n,
         pad: payload.pad,
     };
-    let values = decompose::from_blocks(&blocks, shape, payload.orig_len);
+    Ok(decompose::from_blocks(&blocks, shape, payload.orig_len))
+}
+
+/// Shared reconstruction path. Also returns the de-quantized scores matrix
+/// for breakdown analyses.
+fn reconstruct(payload: &ContainerData) -> Result<(Vec<f32>, Vec<usize>, Matrix), DpzError> {
+    let (m, n, k) = (payload.m, payload.n, payload.k);
+    if payload.basis.len() != m * k || payload.mean.len() != m {
+        return Err(DpzError::Corrupt("model vectors inconsistent with header"));
+    }
+    // Scores (n x k).
+    let score_vals = dequantize_scores(&payload.scores);
+    let scores =
+        Matrix::from_vec(n, k, score_vals).map_err(|_| DpzError::Corrupt("score matrix shape"))?;
+    let values = expand_scores(&scores, payload)?;
     Ok((values, payload.dims.clone(), scores))
 }
 
@@ -446,38 +710,32 @@ impl CompressionBreakdown {
 
 /// Compress and additionally measure where the error budget goes: the
 /// stage-1&2-only PSNR (unquantized scores) versus the final PSNR.
+///
+/// This is the *same* stage graph as [`compress`] — a tap after
+/// `stage1.decompose_dct` captures the coefficient matrix, and the
+/// stage-1&2 reconstruction projects it through the *stored* (f32-rounded)
+/// model so basis rounding is attributed to stage 1&2, as in the paper
+/// where stage 3 only adds quantization noise.
 pub fn compress_with_breakdown(
     data: &[f32],
     dims: &[usize],
     cfg: &DpzConfig,
 ) -> Result<CompressionBreakdown, DpzError> {
-    let compressed = compress(data, dims, cfg)?;
+    check_input(data, dims)?;
+    let plan = PipelinePlan::new(data.len(), cfg)?;
+    let (compressed, coeffs) = plan.execute_inner(data, dims, true)?;
+    let coeffs = coeffs.expect("tap captured stage-1 coefficients");
     let payload = container::deserialize(&compressed.bytes)?;
     let (reconstructed, _, _) = reconstruct(&payload)?;
 
-    // Stage-1&2-only reconstruction: recompute exact scores through the
-    // *stored* basis (so basis f32 rounding is attributed to stage 1&2, as
-    // in the paper where stage 3 only adds quantization noise).
-    let shape = BlockShape {
-        m: payload.m,
-        n: payload.n,
-        pad: payload.pad,
-    };
-    let mut blocks = decompose::to_blocks(data, shape);
-    for v in blocks.as_mut_slice() {
-        *v = (*v - payload.norm_min) / payload.norm_range - 0.5;
-    }
-    let coeffs = match payload.transform_tag {
-        1 => decompose::dwt_blocks(&blocks, payload.dwt_levels as usize),
-        _ => decompose::dct_blocks(&blocks),
-    };
+    // Center (and scale) the captured coefficients with the stored model,
+    // project to exact (unquantized) scores, and run the shared inverse.
     let basis = Matrix::from_vec(
         payload.m,
         payload.k,
         payload.basis.iter().map(|&v| f64::from(v)).collect(),
     )
     .map_err(|_| DpzError::Corrupt("basis shape"))?;
-    // Center (and scale) with the stored model, project, reconstruct.
     let mut centered = coeffs;
     for r in 0..payload.n {
         let row = centered.row_mut(r);
@@ -491,26 +749,7 @@ pub fn compress_with_breakdown(
         }
     }
     let exact_scores = centered.matmul(&basis)?;
-    let mut recon_coeffs = exact_scores.matmul(&basis.transpose())?;
-    for r in 0..payload.n {
-        let row = recon_coeffs.row_mut(r);
-        if payload.standardized {
-            for (v, &s) in row.iter_mut().zip(&payload.scale) {
-                *v *= f64::from(s);
-            }
-        }
-        for (v, &mu) in row.iter_mut().zip(&payload.mean) {
-            *v += f64::from(mu);
-        }
-    }
-    let mut stage12_blocks = match payload.transform_tag {
-        1 => decompose::idwt_blocks(&recon_coeffs, payload.dwt_levels as usize),
-        _ => decompose::idct_blocks(&recon_coeffs),
-    };
-    for v in stage12_blocks.as_mut_slice() {
-        *v = (*v + 0.5) * payload.norm_range + payload.norm_min;
-    }
-    let stage12 = decompose::from_blocks(&stage12_blocks, shape, payload.orig_len);
+    let stage12 = expand_scores(&exact_scores, &payload)?;
 
     let psnr_stage12 = psnr(data, &stage12);
     let psnr_final = psnr(data, &reconstructed);
@@ -663,6 +902,17 @@ mod tests {
     }
 
     #[test]
+    fn breakdown_bytes_match_plain_compress() {
+        // The breakdown path must be the same graph, not a variant: its
+        // container has to be byte-identical to a plain compress.
+        let data = smooth_field(64, 96);
+        let cfg = DpzConfig::strict().with_tve(TveLevel::FiveNines);
+        let plain = compress(&data, &[64, 96], &cfg).unwrap();
+        let b = compress_with_breakdown(&data, &[64, 96], &cfg).unwrap();
+        assert_eq!(plain.bytes, b.bytes);
+    }
+
+    #[test]
     fn loose_vs_strict_quality_ordering() {
         let data = smooth_field(96, 64);
         let loose = compress_with_breakdown(&data, &[96, 64], &DpzConfig::loose()).unwrap();
@@ -710,6 +960,49 @@ mod tests {
             compress(&[1.0, f32::NAN], &[2], &DpzConfig::loose()),
             Err(DpzError::BadInput(_))
         ));
+    }
+
+    #[test]
+    fn plan_rejects_mismatched_buffers() {
+        assert!(matches!(
+            PipelinePlan::new(1, &DpzConfig::loose()),
+            Err(DpzError::BadInput(_))
+        ));
+        let plan = PipelinePlan::new(64, &DpzConfig::loose()).unwrap();
+        assert_eq!(plan.len(), 64);
+        assert!(!plan.is_empty());
+        let short = vec![1.0f32; 32];
+        assert!(matches!(
+            plan.execute(&short, &[32]),
+            Err(DpzError::BadInput("data length does not match plan"))
+        ));
+    }
+
+    #[test]
+    fn plan_reuse_is_deterministic_and_recycles_buffers() {
+        let data = smooth_field(64, 64);
+        let plan = PipelinePlan::new(data.len(), &DpzConfig::loose()).unwrap();
+        let a = plan.execute(&data, &[64, 64]).unwrap();
+        assert!(plan.pool.idle() > 0, "scratch returned to the pool");
+        let b = plan.execute(&data, &[64, 64]).unwrap();
+        assert_eq!(a.bytes, b.bytes, "plan reuse must be deterministic");
+        // And identical to the one-shot wrapper.
+        let c = compress(&data, &[64, 64], &DpzConfig::loose()).unwrap();
+        assert_eq!(a.bytes, c.bytes);
+    }
+
+    #[test]
+    fn stage_names_are_stable() {
+        assert_eq!(
+            PipelinePlan::stage_names(),
+            [
+                "stage1.decompose_dct",
+                "sampling",
+                "stage2.pca",
+                "stage3.quantize",
+                "lossless"
+            ]
+        );
     }
 
     #[test]

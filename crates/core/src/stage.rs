@@ -1,0 +1,295 @@
+//! The stage-graph engine: a generic, observable composition substrate for
+//! multi-stage codecs.
+//!
+//! Every DPZ entry point — [`crate::pipeline::compress`],
+//! [`crate::chunked::compress_chunked`], the instrumented
+//! [`crate::pipeline::compress_with_breakdown`], and the transform-combination
+//! study in [`crate::combos`] — is a *composition of stages* over a shared
+//! mutable context, driven by one engine:
+//!
+//! * [`Stage`] is one step (decompose, PCA, quantize, …) operating on a
+//!   caller-defined context type `Ctx`.
+//! * [`StageGraph`] runs a sequence of stages, emitting one telemetry span
+//!   per stage (named after the stage, so per-stage span names come from the
+//!   graph rather than from hand-written instrumentation), collecting a
+//!   per-stage wall-clock [`StageTrace`], and offering a **tap**: a callback
+//!   invoked between stages, which is how the breakdown path observes
+//!   intermediate products without duplicating stage bodies.
+//! * [`BufferPool`] recycles the large `f64` scratch buffers (block
+//!   matrices) across executions — and across rayon workers in the chunked
+//!   driver — extending the PR 2 allocation discipline to the whole
+//!   pipeline.
+//!
+//! The engine is deliberately dumb: stages run in order, the first error
+//! aborts the run. Determinism is part of the contract — the engine adds no
+//! reordering or speculation, so a stage graph produces byte-identical
+//! artifacts to the straight-line code it replaced.
+
+use crate::container::DpzError;
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// One step of a stage graph: a named transformation of the shared context.
+///
+/// Implementations should be cheap to construct (most are zero-sized) and
+/// keep per-shape planning out of `execute` — that is the job of the plan
+/// object that builds the graph (see [`crate::pipeline::PipelinePlan`]).
+pub trait Stage<Ctx: ?Sized>: Send + Sync {
+    /// Stable stage name; becomes the telemetry span name and the
+    /// [`StageTrace`] key.
+    fn name(&self) -> &'static str;
+
+    /// Run the stage against the context.
+    fn execute(&self, ctx: &mut Ctx) -> Result<(), DpzError>;
+}
+
+/// Per-stage wall-clock record of one graph execution.
+#[derive(Debug, Clone, Default)]
+pub struct StageTrace {
+    entries: Vec<(&'static str, Duration)>,
+}
+
+impl StageTrace {
+    /// Wall-clock spent in the named stage (zero when it did not run).
+    pub fn duration(&self, name: &str) -> Duration {
+        self.entries
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, d)| *d)
+            .unwrap_or(Duration::ZERO)
+    }
+
+    /// All `(stage, duration)` entries in execution order.
+    pub fn entries(&self) -> &[(&'static str, Duration)] {
+        &self.entries
+    }
+
+    /// Total wall-clock across all stages.
+    pub fn total(&self) -> Duration {
+        self.entries.iter().map(|(_, d)| *d).sum()
+    }
+}
+
+/// An ordered composition of [`Stage`]s over a shared context type.
+pub struct StageGraph<Ctx: ?Sized> {
+    stages: Vec<Box<dyn Stage<Ctx>>>,
+}
+
+impl<Ctx: ?Sized> Default for StageGraph<Ctx> {
+    fn default() -> Self {
+        StageGraph { stages: Vec::new() }
+    }
+}
+
+impl<Ctx: ?Sized> StageGraph<Ctx> {
+    /// An empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append a stage (builder style).
+    pub fn then(mut self, stage: impl Stage<Ctx> + 'static) -> Self {
+        self.stages.push(Box::new(stage));
+        self
+    }
+
+    /// Names of the composed stages, in execution order.
+    pub fn stage_names(&self) -> Vec<&'static str> {
+        self.stages.iter().map(|s| s.name()).collect()
+    }
+
+    /// Number of stages.
+    pub fn len(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// Whether the graph has no stages.
+    pub fn is_empty(&self) -> bool {
+        self.stages.is_empty()
+    }
+
+    /// Run every stage in order, spanning and timing each one.
+    pub fn run(&self, ctx: &mut Ctx) -> Result<StageTrace, DpzError> {
+        self.run_with_tap(ctx, |_, _| {})
+    }
+
+    /// [`StageGraph::run`] with a tap invoked after each stage completes.
+    ///
+    /// The tap receives the stage name and the context, *outside* the
+    /// stage's span/timing window — observation cost is not billed to the
+    /// stage. This is how instrumented variants (per-stage accuracy
+    /// breakdowns, progress reporting) ride the same graph instead of
+    /// duplicating its bodies.
+    pub fn run_with_tap(
+        &self,
+        ctx: &mut Ctx,
+        mut tap: impl FnMut(&'static str, &mut Ctx),
+    ) -> Result<StageTrace, DpzError> {
+        let mut trace = StageTrace::default();
+        for stage in &self.stages {
+            let span = dpz_telemetry::span::span(stage.name());
+            stage.execute(ctx)?;
+            trace.entries.push((stage.name(), span.elapsed()));
+            drop(span);
+            tap(stage.name(), ctx);
+        }
+        Ok(trace)
+    }
+}
+
+/// Largest number of idle buffers a pool retains; beyond this, released
+/// buffers are dropped (steady-state pipelines never exceed a handful).
+const POOL_MAX_IDLE: usize = 8;
+
+/// A shared free-list of `f64` scratch buffers.
+///
+/// The stage-1 block matrix is the pipeline's largest transient allocation
+/// (`M·N` doubles — the input itself, widened). Re-executing a plan, or
+/// compressing many chunks through shared plans, would otherwise allocate
+/// and free it once per buffer; the pool recycles those backing stores. It
+/// is `Mutex`-protected so rayon workers in the chunked driver can share
+/// one pool — contention is negligible because acquire/release happen once
+/// per chunk, not per element.
+#[derive(Default)]
+pub struct BufferPool {
+    free: Mutex<Vec<Vec<f64>>>,
+}
+
+impl BufferPool {
+    /// An empty pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Take a buffer of exactly `len` elements (contents unspecified, but
+    /// every element is initialized). Reuses the largest-capacity idle
+    /// buffer when one exists.
+    pub fn acquire(&self, len: usize) -> Vec<f64> {
+        let reused = {
+            let mut free = self.free.lock().unwrap_or_else(|e| e.into_inner());
+            (0..free.len())
+                .max_by_key(|&i| free[i].capacity())
+                .map(|i| free.swap_remove(i))
+        };
+        match reused {
+            Some(mut buf) => {
+                buf.clear();
+                buf.resize(len, 0.0);
+                buf
+            }
+            None => vec![0.0; len],
+        }
+    }
+
+    /// Return a buffer to the pool for reuse.
+    pub fn release(&self, buf: Vec<f64>) {
+        if buf.capacity() == 0 {
+            return;
+        }
+        let mut free = self.free.lock().unwrap_or_else(|e| e.into_inner());
+        if free.len() < POOL_MAX_IDLE {
+            free.push(buf);
+        }
+    }
+
+    /// Number of idle buffers currently held.
+    pub fn idle(&self) -> usize {
+        self.free.lock().unwrap_or_else(|e| e.into_inner()).len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Push(&'static str, i32);
+
+    impl Stage<Vec<i32>> for Push {
+        fn name(&self) -> &'static str {
+            self.0
+        }
+        fn execute(&self, ctx: &mut Vec<i32>) -> Result<(), DpzError> {
+            if self.1 < 0 {
+                return Err(DpzError::BadInput("negative"));
+            }
+            ctx.push(self.1);
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn stages_run_in_order_and_are_timed() {
+        let graph = StageGraph::new()
+            .then(Push("a", 1))
+            .then(Push("b", 2))
+            .then(Push("c", 3));
+        assert_eq!(graph.stage_names(), vec!["a", "b", "c"]);
+        assert_eq!(graph.len(), 3);
+        let mut ctx = Vec::new();
+        let trace = graph.run(&mut ctx).unwrap();
+        assert_eq!(ctx, vec![1, 2, 3]);
+        assert_eq!(trace.entries().len(), 3);
+        assert_eq!(trace.duration("nope"), Duration::ZERO);
+        assert!(trace.total() >= trace.duration("a"));
+    }
+
+    #[test]
+    fn error_aborts_remaining_stages() {
+        let graph = StageGraph::new()
+            .then(Push("ok", 1))
+            .then(Push("bad", -1))
+            .then(Push("never", 9));
+        let mut ctx = Vec::new();
+        assert!(graph.run(&mut ctx).is_err());
+        assert_eq!(ctx, vec![1], "stages after the failure must not run");
+    }
+
+    #[test]
+    fn tap_sees_every_stage_boundary() {
+        let graph = StageGraph::new().then(Push("a", 1)).then(Push("b", 2));
+        let mut ctx = Vec::new();
+        let mut seen = Vec::new();
+        graph
+            .run_with_tap(&mut ctx, |name, c: &mut Vec<i32>| {
+                seen.push((name, c.len()));
+            })
+            .unwrap();
+        assert_eq!(seen, vec![("a", 1), ("b", 2)]);
+    }
+
+    #[test]
+    fn stage_spans_use_stage_names() {
+        let before = dpz_telemetry::global().snapshot();
+        let graph = StageGraph::new().then(Push("stagegraph_span_probe", 7));
+        graph.run(&mut Vec::new()).unwrap();
+        let delta = dpz_telemetry::global().snapshot().since(&before);
+        let h = delta
+            .histogram("dpz_span_seconds", &[("span", "stagegraph_span_probe")])
+            .expect("span series derived from the stage name");
+        assert!(h.count >= 1);
+    }
+
+    #[test]
+    fn buffer_pool_recycles_backing_stores() {
+        let pool = BufferPool::new();
+        let a = pool.acquire(1024);
+        let ptr = a.as_ptr();
+        pool.release(a);
+        assert_eq!(pool.idle(), 1);
+        let b = pool.acquire(512);
+        assert_eq!(b.as_ptr(), ptr, "smaller request reuses the same store");
+        assert_eq!(b.len(), 512);
+        pool.release(b);
+        let c = pool.acquire(4096); // larger: may reallocate, must still work
+        assert_eq!(c.len(), 4096);
+    }
+
+    #[test]
+    fn buffer_pool_bounds_idle_buffers() {
+        let pool = BufferPool::new();
+        for _ in 0..32 {
+            pool.release(vec![0.0; 16]);
+        }
+        assert!(pool.idle() <= POOL_MAX_IDLE);
+    }
+}

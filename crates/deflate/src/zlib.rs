@@ -60,7 +60,7 @@ const MIN_MEMBER_BYTES: usize = 64 * 1024;
 /// members in parallel on the global thread pool.
 ///
 /// The input is split into `current_num_threads()` contiguous strips (each
-/// at least [`MIN_MEMBER_BYTES`] long); each strip becomes an independent,
+/// at least `MIN_MEMBER_BYTES` = 64 KiB long); each strip becomes an independent,
 /// complete RFC 1950 stream. [`decompress`] concatenates them back
 /// transparently. With one worker — or input shorter than two strips — the
 /// output is byte-identical to [`compress_with_level`].

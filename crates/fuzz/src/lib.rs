@@ -37,6 +37,7 @@
 use dpz_data::rng::Xoshiro256;
 use dpz_deflate::crc32;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::OnceLock;
 
 /// Every decode surface the repo ships.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -104,16 +105,38 @@ enum Outcome {
     Panicked(String),
 }
 
+/// The shared codec set every container format decodes through. Built once;
+/// the registry is immutable and `Sync`.
+fn registry() -> &'static dpz_codec::Registry {
+    static REG: OnceLock<dpz_codec::Registry> = OnceLock::new();
+    REG.get_or_init(dpz_codec::Registry::builtin)
+}
+
 /// Feed `bytes` to `format`'s decoder, catching panics.
+///
+/// Container formats go through the production `Codec` trait objects — the
+/// same surface the CLI and registry expose. Each format targets its *own*
+/// codec by name (not magic sniffing), so magic-swap mutations still reach
+/// the decoder under test rather than being re-routed.
 fn try_decode(format: Format, bytes: &[u8]) -> Outcome {
-    let result = catch_unwind(AssertUnwindSafe(|| match format {
-        Format::Dpz => dpz_core::decompress(bytes).map(drop).map_err(drop),
-        Format::Chunked => dpz_core::decompress_chunked(bytes).map(drop).map_err(drop),
-        Format::Sz => dpz_sz::decompress(bytes).map(drop).map_err(drop),
-        Format::Zfp => dpz_zfp::decompress(bytes).map(drop).map_err(drop),
-        Format::Zlib => dpz_deflate::decompress_bounded(bytes, ZLIB_FUZZ_CAP)
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        let codec_name = match format {
+            Format::Dpz => "dpz",
+            Format::Chunked => "dpzc",
+            Format::Sz => "sz",
+            Format::Zfp => "zfp",
+            Format::Zlib => {
+                return dpz_deflate::decompress_bounded(bytes, ZLIB_FUZZ_CAP)
+                    .map(drop)
+                    .map_err(drop)
+            }
+        };
+        registry()
+            .get(codec_name)
+            .expect("builtin registry covers every container format")
+            .decompress_from(&mut &bytes[..])
             .map(drop)
-            .map_err(drop),
+            .map_err(drop)
     }));
     match result {
         Ok(Ok(())) => Outcome::Accepted,

@@ -8,7 +8,7 @@
 //! property suite in `tests/parity.rs`.
 //!
 //! Module map:
-//! - [`backend`] — detection, `DPZ_FORCE_SCALAR`, PCLMUL availability
+//! - [`mod@backend`] — detection, `DPZ_FORCE_SCALAR`, PCLMUL availability
 //! - [`blas`] — dot / axpy / fused two-vector update / Givens row rotation
 //! - [`gemm`] — packed-panel f64 matmul microkernel (4×8 register tiles)
 //! - [`fft`] — radix-2 butterflies, Bluestein pointwise ops, DCT rotations

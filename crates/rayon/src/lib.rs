@@ -3,7 +3,7 @@
 //! real rayon cannot be fetched; this shim keeps the same call sites
 //! (`par_chunks`, `par_chunks_mut`, `par_iter`, `map`, `enumerate`,
 //! `for_each`, `collect`) and runs them on a persistent work-stealing
-//! thread pool (see [`pool`]) instead of spawning scoped OS threads on
+//! thread pool (the internal `pool` module) instead of spawning scoped OS threads on
 //! every call.
 //!
 //! Work is split into contiguous groups, one per worker, so ordering

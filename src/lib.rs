@@ -6,6 +6,8 @@
 //! member crate so downstream users can depend on a single crate:
 //!
 //! * [`core`] — the DPZ compressor itself (compress / decompress / sampling),
+//! * [`codec`] — the unified `Codec` trait, format registry, and
+//!   sampling-driven [`AutoCodec`](codec::AutoCodec) backend selector,
 //! * [`sz`] and [`zfp`] — the SZ-style and ZFP-style baseline compressors,
 //! * [`data`] — synthetic dataset generators and quality metrics,
 //! * [`linalg`] — the DCT/FFT/PCA/knee-point numerical substrate,
@@ -23,6 +25,7 @@
 
 #![warn(missing_docs)]
 
+pub use dpz_codec as codec;
 pub use dpz_core as core;
 pub use dpz_data as data;
 pub use dpz_deflate as deflate;
@@ -32,6 +35,7 @@ pub use dpz_zfp as zfp;
 
 /// Most-used items in one import.
 pub mod prelude {
+    pub use dpz_codec::{AutoCodec, Codec, Registry};
     pub use dpz_core::{
         compress, compress_with_breakdown, decompress, DpzConfig, KSelection, Scheme,
         Stage1Transform, Standardize, TveLevel,

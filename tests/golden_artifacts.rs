@@ -1,0 +1,95 @@
+//! Byte-identity pins for the two DPZ container formats.
+//!
+//! The stage-graph refactor (and any future one) must not change a single
+//! emitted byte for a fixed input and config: DPZ1 and DPZC artifacts are
+//! archival formats, and deployments diff them across versions. These FNV-1a
+//! digests were captured from the pre-refactor pipeline; if an intentional
+//! format change ever lands, re-capture them in the same commit that bumps
+//! the container version.
+
+use dpz::prelude::*;
+use dpz_core::compress_chunked;
+
+/// FNV-1a, 64-bit — dependency-free and stable across platforms.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Deterministic smooth field, identical to the pipeline unit-test fixture.
+fn smooth_field(rows: usize, cols: usize) -> Vec<f32> {
+    (0..rows * cols)
+        .map(|i| {
+            let r = (i / cols) as f32;
+            let c = (i % cols) as f32;
+            (0.04 * r).sin() * 40.0 + (0.03 * c).cos() * 25.0 + 100.0
+        })
+        .collect()
+}
+
+fn golden_cases() -> Vec<(&'static str, Vec<u8>)> {
+    let field = smooth_field(64, 96);
+    let line: Vec<f32> = (0..4096).map(|i| (i as f32 * 0.01).sin()).collect();
+    vec![
+        (
+            "dpz1-loose-64x96",
+            compress(&field, &[64, 96], &DpzConfig::loose())
+                .unwrap()
+                .bytes,
+        ),
+        (
+            "dpz1-strict-tve6-64x96",
+            compress(
+                &field,
+                &[64, 96],
+                &DpzConfig::strict().with_tve(TveLevel::SixNines),
+            )
+            .unwrap()
+            .bytes,
+        ),
+        (
+            "dpz1-loose-1d-4096",
+            compress(&line, &[4096], &DpzConfig::loose()).unwrap().bytes,
+        ),
+        (
+            "dpzc-loose-4x-64x96",
+            compress_chunked(&field, &[64, 96], &DpzConfig::loose(), 4)
+                .unwrap()
+                .bytes,
+        ),
+        (
+            "dpzc-strict-3x-ragged-50x96",
+            compress_chunked(&smooth_field(50, 96), &[50, 96], &DpzConfig::strict(), 3)
+                .unwrap()
+                .bytes,
+        ),
+    ]
+}
+
+#[test]
+fn dpz_artifacts_are_byte_identical_to_golden() {
+    // Captured from the pre-stage-graph pipeline (PR 4 tree).
+    let expected: &[(&str, u64)] = &[
+        ("dpz1-loose-64x96", 0x7ef602ab972c21e0),
+        ("dpz1-strict-tve6-64x96", 0xe5b5c8adf9ebe8e5),
+        ("dpz1-loose-1d-4096", 0x3a0ea93de3215a3a),
+        ("dpzc-loose-4x-64x96", 0x18d260a9aa2de7a6),
+        ("dpzc-strict-3x-ragged-50x96", 0x73ccbc69c56c5ebd),
+    ];
+    let mut failures = Vec::new();
+    for ((name, bytes), (ename, ehash)) in golden_cases().iter().zip(expected) {
+        assert_eq!(name, ename);
+        let h = fnv1a(bytes);
+        println!("golden {name}: {h:#018x} ({} bytes)", bytes.len());
+        if h != *ehash {
+            failures.push(format!(
+                "{name}: artifact bytes changed (got {h:#018x}, expected {ehash:#018x})"
+            ));
+        }
+    }
+    assert!(failures.is_empty(), "{}", failures.join("\n"));
+}
