@@ -8,7 +8,8 @@
 //! CSV as a Prometheus sidecar.
 
 use dpz_bench::harness::{
-    format_table, stage_seconds, write_csv, write_metrics_sidecar, Args, STAGES,
+    format_table, stage_seconds, write_csv, write_metrics_sidecar, write_trace_sidecar, Args,
+    STAGES,
 };
 use dpz_core::{compress, DpzConfig, TveLevel};
 use dpz_data::standard_suite;
@@ -16,6 +17,9 @@ use dpz_data::standard_suite;
 fn main() {
     let args = Args::parse();
     let cfg = DpzConfig::strict().with_tve(TveLevel::FiveNines);
+    // Record the whole suite into the event journal; it is written next to
+    // the .prom sidecar as a Perfetto-loadable trace.
+    dpz_telemetry::trace::start();
     let header = [
         "dataset",
         "total_ms",
@@ -50,4 +54,9 @@ fn main() {
     let prom = write_metrics_sidecar(&args.out_dir, "fig9_time_breakdown", &suite_delta)
         .expect("metrics sidecar");
     println!("metrics: {}", prom.display());
+    dpz_telemetry::trace::stop();
+    let events = dpz_telemetry::trace::drain();
+    let trace =
+        write_trace_sidecar(&args.out_dir, "fig9_time_breakdown", &events).expect("trace sidecar");
+    println!("trace: {}", trace.display());
 }

@@ -1,0 +1,274 @@
+//! Perf regression gate: measures the hot end-to-end paths (best-of-N wall
+//! clock on the Figure 8 field) and compares them against a checked-in
+//! baseline (`BENCH_pr*.json`, `gate` section), failing when any path
+//! regresses by more than the allowed percentage.
+//!
+//! ```text
+//! perf_gate [--samples N] [--out fresh.json]              # measure only
+//! perf_gate --baseline BENCH_pr6.json [--max-regress PCT] # measure + gate
+//! ```
+//!
+//! Host speed drifts between CI runs, so comparisons are normalized by the
+//! SZ canary (a path this repo's PRs rarely touch): each fresh time is
+//! scaled by `baseline_sz_ms / fresh_sz_ms` before the threshold check.
+
+use dpz_core::{DpzConfig, TveLevel};
+use dpz_data::metrics::value_range;
+use dpz_data::{Dataset, DatasetKind, Scale};
+use dpz_sz::SzConfig;
+use dpz_telemetry::json::{self, JsonValue};
+use std::hint::black_box;
+use std::time::Instant;
+
+/// One measured path: best-of-N milliseconds plus derived throughput.
+struct Measurement {
+    name: &'static str,
+    ms: f64,
+    mb_per_s: f64,
+}
+
+/// Best-of-N wall-clock milliseconds of `f` (one warmup call first).
+fn best_of<F: FnMut()>(samples: usize, mut f: F) -> f64 {
+    f();
+    (0..samples)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_secs_f64() * 1e3
+        })
+        .fold(f64::INFINITY, f64::min)
+}
+
+/// Measure every gated path on the bench_pipeline dataset.
+fn measure(samples: usize) -> Vec<Measurement> {
+    let ds = Dataset::generate(DatasetKind::Cldhgh, Scale::Small, 2021);
+    let mb = ds.nbytes() as f64 / 1e6;
+    let loose = DpzConfig::loose().with_tve(TveLevel::FiveNines);
+    let strict = DpzConfig::strict().with_tve(TveLevel::FiveNines);
+    let sz_cfg = SzConfig::with_error_bound(1e-4 * value_range(&ds.data));
+    let strict_bytes = dpz_core::compress(&ds.data, &ds.dims, &strict)
+        .unwrap()
+        .bytes;
+
+    let mut out = Vec::new();
+    let mut record = |name, ms| {
+        out.push(Measurement {
+            name,
+            ms,
+            mb_per_s: mb / (ms / 1e3),
+        });
+    };
+    record(
+        "compress_dpz_loose",
+        best_of(samples, || {
+            dpz_core::compress(black_box(&ds.data), &ds.dims, &loose).unwrap();
+        }),
+    );
+    record(
+        "compress_dpz_strict",
+        best_of(samples, || {
+            dpz_core::compress(black_box(&ds.data), &ds.dims, &strict).unwrap();
+        }),
+    );
+    record(
+        "decompress_dpz_strict",
+        best_of(samples, || {
+            dpz_core::decompress(black_box(&strict_bytes)).unwrap();
+        }),
+    );
+    record(
+        "sz_canary",
+        best_of(samples, || {
+            dpz_sz::compress(black_box(&ds.data), &ds.dims, &sz_cfg);
+        }),
+    );
+    out
+}
+
+/// The fresh measurements as the JSON `gate` document the baseline embeds.
+fn to_json(samples: usize, measured: &[Measurement]) -> String {
+    let mut s = String::from("{\n");
+    s.push_str(&format!("  \"samples\": {samples},\n"));
+    s.push_str("  \"gate\": {\n");
+    for (i, m) in measured.iter().enumerate() {
+        let sep = if i + 1 == measured.len() { "" } else { "," };
+        s.push_str(&format!(
+            "    \"{}\": {{ \"ms\": {:.3}, \"mb_per_s\": {:.1} }}{sep}\n",
+            m.name, m.ms, m.mb_per_s
+        ));
+    }
+    s.push_str("  }\n}\n");
+    s
+}
+
+/// Baseline `gate.<name>.ms` values from a `BENCH_pr*.json` document.
+fn baseline_ms(doc: &JsonValue, name: &str) -> Option<f64> {
+    doc.get("gate")?.get(name)?.get("ms")?.as_f64()
+}
+
+/// Names of paths whose canary-normalized fresh time exceeds the baseline
+/// by more than `max_regress_pct`, with their regression percentages.
+fn regressions(
+    fresh: &[Measurement],
+    doc: &JsonValue,
+    max_regress_pct: f64,
+) -> Result<Vec<(String, f64)>, String> {
+    let fresh_canary = fresh
+        .iter()
+        .find(|m| m.name == "sz_canary")
+        .ok_or("fresh run has no sz_canary")?;
+    let base_canary = baseline_ms(doc, "sz_canary").ok_or("baseline has no gate.sz_canary.ms")?;
+    let scale = base_canary / fresh_canary.ms;
+    let mut out = Vec::new();
+    for m in fresh.iter().filter(|m| m.name != "sz_canary") {
+        let Some(base) = baseline_ms(doc, m.name) else {
+            return Err(format!("baseline has no gate.{}.ms", m.name));
+        };
+        let pct = 100.0 * (m.ms * scale / base - 1.0);
+        if pct > max_regress_pct {
+            out.push((m.name.to_string(), pct));
+        }
+    }
+    Ok(out)
+}
+
+fn fail(msg: &str) -> ! {
+    eprintln!("perf_gate: {msg}");
+    std::process::exit(2);
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut baseline: Option<String> = None;
+    let mut out: Option<String> = None;
+    let mut samples = 5usize;
+    let mut max_regress = 10.0f64;
+    let mut with_trace = false;
+    let mut it = argv.iter();
+    while let Some(flag) = it.next() {
+        let mut value = || {
+            it.next()
+                .unwrap_or_else(|| fail(&format!("{flag} needs a value")))
+                .clone()
+        };
+        match flag.as_str() {
+            "--baseline" => baseline = Some(value()),
+            "--out" => out = Some(value()),
+            "--samples" => {
+                samples = value()
+                    .parse()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .unwrap_or_else(|| fail("--samples expects a positive integer"))
+            }
+            "--max-regress" => {
+                max_regress = value()
+                    .parse()
+                    .ok()
+                    .filter(|p: &f64| p.is_finite() && *p >= 0.0)
+                    .unwrap_or_else(|| fail("--max-regress expects a percentage"))
+            }
+            "--trace" => with_trace = true,
+            other => fail(&format!(
+                "unknown flag '{other}' (--baseline/--out/--samples/--max-regress/--trace)"
+            )),
+        }
+    }
+
+    // --trace measures with the event journal recording, to quantify the
+    // instrumentation overhead against a default (journal-off) run.
+    if with_trace {
+        dpz_telemetry::trace::start();
+    }
+    let measured = measure(samples);
+    if with_trace {
+        dpz_telemetry::trace::stop();
+        let trace = dpz_telemetry::trace::drain();
+        println!(
+            "journal: {} events from {} threads ({} dropped)",
+            trace.events.len(),
+            trace.threads.len(),
+            trace.dropped
+        );
+    }
+    println!("perf_gate — Cldhgh/Small, best of {samples}");
+    for m in &measured {
+        println!(
+            "  {:<24} {:>9.3} ms  {:>7.1} MB/s",
+            m.name, m.ms, m.mb_per_s
+        );
+    }
+    if let Some(path) = &out {
+        std::fs::write(path, to_json(samples, &measured))
+            .unwrap_or_else(|e| fail(&format!("write {path}: {e}")));
+        println!("wrote {path}");
+    }
+
+    let Some(path) = baseline else { return };
+    let text =
+        std::fs::read_to_string(&path).unwrap_or_else(|e| fail(&format!("read {path}: {e}")));
+    let doc = json::parse(&text).unwrap_or_else(|e| fail(&format!("{path}: {e}")));
+    match regressions(&measured, &doc, max_regress) {
+        Ok(regressed) if regressed.is_empty() => {
+            println!("gate: OK (no path regressed > {max_regress:.0}% vs {path})");
+        }
+        Ok(regressed) => {
+            for (name, pct) in &regressed {
+                eprintln!("gate: {name} regressed {pct:.1}% (canary-normalized)");
+            }
+            std::process::exit(1);
+        }
+        Err(msg) => fail(&msg),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fake(name: &'static str, ms: f64) -> Measurement {
+        Measurement {
+            name,
+            ms,
+            mb_per_s: 1.0,
+        }
+    }
+
+    #[test]
+    fn gate_json_round_trips_and_flags_regressions() {
+        let base = vec![
+            fake("compress_dpz_loose", 10.0),
+            fake("decompress_dpz_strict", 4.0),
+            fake("sz_canary", 2.0),
+        ];
+        let doc = json::parse(&to_json(5, &base)).unwrap();
+        assert_eq!(doc.get("samples").and_then(JsonValue::as_f64), Some(5.0));
+        assert_eq!(baseline_ms(&doc, "sz_canary"), Some(2.0));
+
+        // Identical fresh run: nothing regresses.
+        assert!(regressions(&base, &doc, 10.0).unwrap().is_empty());
+
+        // A 50% slowdown on one path trips the gate...
+        let slow = vec![
+            fake("compress_dpz_loose", 15.0),
+            fake("decompress_dpz_strict", 4.0),
+            fake("sz_canary", 2.0),
+        ];
+        let regressed = regressions(&slow, &doc, 10.0).unwrap();
+        assert_eq!(regressed.len(), 1);
+        assert_eq!(regressed[0].0, "compress_dpz_loose");
+        assert!((regressed[0].1 - 50.0).abs() < 1e-9);
+
+        // ...unless the canary slowed down identically (host drift).
+        let drift = vec![
+            fake("compress_dpz_loose", 15.0),
+            fake("decompress_dpz_strict", 6.0),
+            fake("sz_canary", 3.0),
+        ];
+        assert!(regressions(&drift, &doc, 10.0).unwrap().is_empty());
+
+        // Missing baseline entries are a hard error, not a silent pass.
+        let doc = json::parse(r#"{"gate": {"sz_canary": {"ms": 2.0}}}"#).unwrap();
+        assert!(regressions(&base, &doc, 10.0).is_err());
+    }
+}

@@ -174,6 +174,20 @@ pub fn write_metrics_sidecar(
     Ok(path)
 }
 
+/// Write a drained event journal as a Chrome trace-event sidecar next to
+/// the CSVs: `<out_dir>/<name>.trace.json` (open in Perfetto or
+/// chrome://tracing).
+pub fn write_trace_sidecar(
+    out_dir: &Path,
+    name: &str,
+    trace: &dpz_telemetry::trace::Trace,
+) -> std::io::Result<PathBuf> {
+    std::fs::create_dir_all(out_dir)?;
+    let path = out_dir.join(format!("{name}.trace.json"));
+    std::fs::write(&path, dpz_telemetry::trace::to_chrome_json(trace))?;
+    Ok(path)
+}
+
 /// Format a float compactly for tables.
 pub fn fmt(v: f64) -> String {
     if !v.is_finite() {
@@ -275,6 +289,24 @@ mod tests {
         let content = std::fs::read_to_string(&path).unwrap();
         assert!(content.contains("# TYPE dpz_bytes_in_total counter"));
         assert!(content.contains("dpz_bytes_in_total{codec=\"dpz\",op=\"compress\"} 1024"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn trace_sidecar_is_valid_chrome_json() {
+        use dpz_telemetry::trace;
+        trace::start();
+        {
+            let _s = dpz_telemetry::span!("sidecar_probe");
+        }
+        trace::stop();
+        let drained = trace::drain();
+        let dir = std::env::temp_dir().join("dpz_bench_trace_sidecar");
+        let path = write_trace_sidecar(&dir, "t", &drained).unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        let doc = dpz_telemetry::json::parse(&content).expect("chrome trace parses");
+        assert!(doc.get("traceEvents").is_some());
+        assert!(path.to_string_lossy().ends_with("t.trace.json"));
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -53,7 +53,9 @@ USAGE:
                [--eb BOUND, --predictor lorenzo|auto (sz)]
                [--precision BITS | --rate BITS/VAL (zfp)]
                [--threads N] [--verbose] [--metrics-out <file[.prom|.json]>]
+               [--trace-out <trace.json>]
   dpz decompress <in.dpz> <out.f32> [--threads N] [--verbose] [--metrics-out <file>]
+                 [--trace-out <trace.json>]
   dpz info <in.dpz>
   dpz eval <orig.f32> <recon.f32> [--compressed <file>]
 
@@ -64,6 +66,8 @@ OBSERVABILITY:
   --verbose      trace every pipeline span to stderr (same as DPZ_TRACE=1)
   --metrics-out  dump this run's metrics; '.json' writes the JSON form,
                  anything else the Prometheus text exposition
+  --trace-out    record an event trace of this run and write it as Chrome
+                 trace-event JSON (open in Perfetto or chrome://tracing)
 
 PARALLELISM:
   --threads N    size of the work-stealing pool (default: DPZ_THREADS env,
@@ -113,22 +117,60 @@ fn apply_threads(args: &[String]) -> Result<usize, CliError> {
     Ok(rayon::current_num_threads())
 }
 
-/// Honor `--verbose` and return the registry state before the operation, so
-/// `--metrics-out` can export only this run's activity.
-fn telemetry_begin(args: &[String]) -> dpz_telemetry::Snapshot {
-    if has_flag(args, "--verbose") {
-        dpz_telemetry::set_trace(true);
-    }
-    dpz_telemetry::global().snapshot()
+/// Per-run observability state: the registry snapshot backing
+/// `--metrics-out`, the scoped `--verbose` span tracing (restored on drop so
+/// it cannot leak into later runs in the same process), and the event
+/// journal backing `--trace-out`.
+struct RunTelemetry {
+    before: dpz_telemetry::Snapshot,
+    trace_out: Option<String>,
+    _verbose: Option<dpz_telemetry::TraceGuard>,
 }
 
-/// Delta of global registry activity since `before`; optionally written to
-/// the `--metrics-out` path (`.json` selects JSON, else Prometheus text).
+impl Drop for RunTelemetry {
+    fn drop(&mut self) {
+        // An error between begin and finish must not leave the global
+        // journal recording (stop is idempotent, so the normal path — which
+        // already stopped it in `telemetry_finish` — is unaffected).
+        if self.trace_out.is_some() {
+            dpz_telemetry::trace::stop();
+        }
+    }
+}
+
+/// Honor `--verbose`/`--trace-out` and capture the registry state before the
+/// operation, so `--metrics-out` can export only this run's activity.
+fn telemetry_begin(args: &[String]) -> Result<RunTelemetry, CliError> {
+    let _verbose = has_flag(args, "--verbose").then(|| dpz_telemetry::TraceGuard::set(true));
+    let trace_out = match flag_value(args, "--trace-out") {
+        Some(path) => {
+            dpz_telemetry::trace::start();
+            Some(path.to_string())
+        }
+        None if has_flag(args, "--trace-out") => return Err(err("--trace-out needs a file path")),
+        None => None,
+    };
+    Ok(RunTelemetry {
+        before: dpz_telemetry::global().snapshot(),
+        trace_out,
+        _verbose,
+    })
+}
+
+/// Delta of global registry activity since `run` began; optionally written
+/// to the `--metrics-out` path (`.json` selects JSON, else Prometheus text).
+/// Drains the event journal to the `--trace-out` path as Chrome trace JSON.
 fn telemetry_finish(
     args: &[String],
-    before: &dpz_telemetry::Snapshot,
+    run: RunTelemetry,
 ) -> Result<dpz_telemetry::Snapshot, CliError> {
-    let delta = dpz_telemetry::global().snapshot().since(before);
+    let delta = dpz_telemetry::global().snapshot().since(&run.before);
+    if let Some(path) = run.trace_out.as_deref() {
+        dpz_telemetry::trace::stop();
+        let trace = dpz_telemetry::trace::drain();
+        std::fs::write(path, dpz_telemetry::trace::to_chrome_json(&trace))
+            .map_err(|e| err(format!("write {path}: {e}")))?;
+    }
     if let Some(path) = flag_value(args, "--metrics-out") {
         let text = if path.ends_with(".json") {
             dpz_telemetry::to_json(&delta)
@@ -355,13 +397,13 @@ fn cmd_compress(args: &[String]) -> Result<String, CliError> {
     let (codec, suffix) = codec_from_args(args)?;
     let threads = apply_threads(args)?;
     let data = read_f32_file(input).map_err(|e| err(format!("read {input}: {e}")))?;
-    let before = telemetry_begin(args);
+    let run = telemetry_begin(args)?;
     let mut bytes = Vec::new();
     let stats = codec
         .compress_into(&data, &dims, &mut bytes)
         .map_err(|e| err(e.to_string()))?;
     std::fs::write(output, &bytes).map_err(|e| err(format!("write {output}: {e}")))?;
-    let delta = telemetry_finish(args, &before)?;
+    let delta = telemetry_finish(args, run)?;
     let crc = match &stats.dpz {
         Some(s) if s.checksummed => ", crc32",
         Some(_) => ", no-crc",
@@ -386,7 +428,7 @@ fn cmd_decompress(args: &[String]) -> Result<String, CliError> {
     };
     let threads = apply_threads(args)?;
     let bytes = std::fs::read(input).map_err(|e| err(format!("read {input}: {e}")))?;
-    let before = telemetry_begin(args);
+    let run = telemetry_begin(args)?;
     // The registry sniffs the container magic, so every codec's output
     // decompresses through the same call.
     let decoded = Registry::builtin()
@@ -394,7 +436,7 @@ fn cmd_decompress(args: &[String]) -> Result<String, CliError> {
         .map_err(|e| err(e.to_string()))?;
     let (values, dims, info) = (decoded.values, decoded.dims, decoded.info);
     write_f32_file(output, &values).map_err(|e| err(format!("write {output}: {e}")))?;
-    telemetry_finish(args, &before)?;
+    telemetry_finish(args, run)?;
     let dims = dims
         .iter()
         .map(ToString::to_string)
@@ -623,6 +665,124 @@ mod tests {
     }
 
     #[test]
+    fn trace_out_writes_chrome_trace_json() {
+        use dpz_telemetry::json::JsonValue;
+        let dir = std::env::temp_dir().join("dpz_cli_trace");
+        std::fs::create_dir_all(&dir).unwrap();
+        let raw = dir.join("t.f32").to_string_lossy().into_owned();
+        let packed = dir.join("t.dpzc").to_string_lossy().into_owned();
+        let trace_path = dir.join("trace.json").to_string_lossy().into_owned();
+        run(&s(&["gen", "PHIS", &raw, "--scale", "tiny"])).unwrap();
+
+        // Chunked DPZ exercises every producer at once: per-stage spans,
+        // per-chunk spans, and the worker pool.
+        run(&s(&[
+            "compress",
+            &raw,
+            &packed,
+            "--dims",
+            "45x90",
+            "--codec",
+            "dpzc",
+            "--chunks",
+            "2",
+            "--trace-out",
+            &trace_path,
+        ]))
+        .unwrap();
+        // The journal is scoped to the traced run.
+        assert!(!dpz_telemetry::trace::journal_enabled());
+
+        let text = std::fs::read_to_string(&trace_path).unwrap();
+        let doc = dpz_telemetry::json::parse(&text).expect("trace file is valid JSON");
+        let events = doc
+            .get("traceEvents")
+            .and_then(JsonValue::as_array)
+            .expect("traceEvents array");
+        let str_field = |ev: &JsonValue, key: &str| {
+            ev.get(key)
+                .and_then(JsonValue::as_str)
+                .map(str::to_string)
+                .unwrap_or_default()
+        };
+
+        // Every record carries the Chrome trace-event essentials, and every
+        // complete event a microsecond timestamp/duration pair.
+        assert!(!events.is_empty());
+        for ev in events {
+            assert!(
+                ev.get("pid").is_some() && ev.get("name").is_some(),
+                "{text}"
+            );
+            if str_field(ev, "ph") == "X" {
+                assert!(ev.get("ts").and_then(JsonValue::as_f64).is_some());
+                assert!(ev.get("dur").and_then(JsonValue::as_f64).is_some());
+                assert!(ev.get("tid").and_then(JsonValue::as_f64).is_some());
+            }
+        }
+
+        // All five pipeline stages show up as spans (paths are dotted, e.g.
+        // "chunk.compress.stage2.pca", so match by suffix).
+        let spans: Vec<String> = events
+            .iter()
+            .filter(|ev| str_field(ev, "ph") == "X")
+            .map(|ev| str_field(ev, "name"))
+            .collect();
+        for stage in [
+            "stage1.decompose_dct",
+            "sampling",
+            "stage2.pca",
+            "stage3.quantize",
+            "lossless",
+        ] {
+            assert!(
+                spans.iter().any(|n| n.ends_with(stage)),
+                "missing stage span '{stage}' in {spans:?}"
+            );
+        }
+
+        // Per-chunk spans are tagged with their chunk index and byte count.
+        assert!(
+            events.iter().any(|ev| {
+                str_field(ev, "name").ends_with("chunk")
+                    && ev
+                        .get("args")
+                        .and_then(|a| a.get("chunk"))
+                        .and_then(JsonValue::as_f64)
+                        .is_some()
+            }),
+            "no annotated chunk span in {spans:?}"
+        );
+
+        // thread_name metadata gives Perfetto one lane per thread.
+        assert!(
+            events
+                .iter()
+                .any(|ev| str_field(ev, "ph") == "M" && str_field(ev, "name") == "thread_name"),
+            "{text}"
+        );
+
+        // The embedded self-describing summary rides along.
+        assert!(
+            doc.get("dpzSummary").and_then(|s| s.get("spans")).is_some(),
+            "{text}"
+        );
+
+        let e = run(&s(&[
+            "compress",
+            &raw,
+            &packed,
+            "--dims",
+            "45x90",
+            "--trace-out",
+        ]))
+        .unwrap_err();
+        assert!(e.0.contains("--trace-out"), "{}", e.0);
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
     fn threads_flag_is_applied_and_echoed() {
         let dir = std::env::temp_dir().join("dpz_cli_threads");
         std::fs::create_dir_all(&dir).unwrap();
@@ -670,7 +830,8 @@ mod tests {
             "--verbose",
         ]))
         .unwrap();
-        dpz_telemetry::set_trace(false); // don't leak span tracing into other tests
+        // --verbose holds a TraceGuard for the run's duration, so span
+        // tracing is restored (no hand-reset) before the next command.
         assert!(
             msg.contains(&format!("kernel={}", dpz_kernels::backend_name())),
             "{msg}"
@@ -774,7 +935,6 @@ mod tests {
             "--verbose",
         ]))
         .unwrap();
-        dpz_telemetry::set_trace(false);
         assert!(msg.contains("[auto:"), "{msg}");
         assert!(
             msg.contains(", codec=") && msg.contains(", kernel="),

@@ -76,14 +76,23 @@ impl AutoCodec {
             });
         }
 
+        let _probe_span = dpz_telemetry::span!("auto.select");
         let sample = &src[..src.len().min(SAMPLE_CAP)];
-        let dpz_cr = self.predict_dpz(sample).unwrap_or(0.0);
+        let dpz_cr = {
+            let _s = dpz_telemetry::span!("auto.predict_dpz");
+            self.predict_dpz(sample).unwrap_or(0.0)
+        };
 
         let (sz_cr, zfp_cr) = if baseline_ok {
-            (
-                probe_ratio(&self.sz, sample),
-                probe_ratio(&self.zfp, sample),
-            )
+            let sz_cr = {
+                let _s = dpz_telemetry::span!("auto.probe_sz");
+                probe_ratio(&self.sz, sample)
+            };
+            let zfp_cr = {
+                let _s = dpz_telemetry::span!("auto.probe_zfp");
+                probe_ratio(&self.zfp, sample)
+            };
+            (sz_cr, zfp_cr)
         } else {
             (0.0, 0.0)
         };
@@ -183,6 +192,11 @@ impl Codec for AutoCodec {
                 &[("codec", selection.codec_name())],
             )
             .inc();
+        // Tag the journal with the backend that won, so a trace file is
+        // self-describing about which codec produced its pipeline spans.
+        if dpz_telemetry::trace::journal_enabled() {
+            dpz_telemetry::trace::instant(&format!("codec_selected.{}", selection.codec_name()));
+        }
         match selection {
             Selection::Dpz { loose, .. } => {
                 let cfg = if loose {

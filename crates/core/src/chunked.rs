@@ -89,9 +89,17 @@ pub fn compress_chunked(
         l => Some(PipelinePlan::with_pool(l, cfg, Arc::clone(&pool))?),
     };
 
+    let base = data.as_ptr() as usize;
     let results: Vec<Result<Compressed, DpzError>> = data
         .par_chunks(slab_values)
         .map(|chunk| {
+            // Chunk index from the slice offset: par_chunks carries no index,
+            // and the journal wants each chunk span tagged with which slab it
+            // was. The emitting worker's lane identifies the thread.
+            let index = (chunk.as_ptr() as usize - base) / (slab_values * 4);
+            let mut chunk_span = dpz_telemetry::span::span("chunk");
+            chunk_span.annotate("chunk", index as f64);
+            chunk_span.annotate("bytes", (chunk.len() * 4) as f64);
             let rows = chunk.len() / rest;
             let mut slab_dims = dims.to_vec();
             slab_dims[0] = rows;

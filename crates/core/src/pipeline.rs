@@ -24,7 +24,7 @@ use crate::quantize::{dequantize_scores, quantize_scores, QuantizedScores};
 use crate::sampling::{SamplingEstimate, SamplingStrategy};
 use crate::stage::{BufferPool, Stage, StageGraph, StageTrace};
 use dpz_linalg::{Matrix, Pca, PcaOptions};
-use dpz_telemetry::{span, LATENCY_BUCKETS_S};
+use dpz_telemetry::span;
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -194,6 +194,14 @@ impl<'a> Stage<PipelineCtx<'a>> for Stage1Decompose {
         ctx.coeffs = Some(coeffs);
         Ok(())
     }
+
+    fn trace_args(&self, ctx: &PipelineCtx<'a>) -> Vec<(&'static str, f64)> {
+        // Coefficient matrix: the pipeline's largest transient buffer.
+        vec![
+            ("bytes", (ctx.shape.m * ctx.shape.n * 8) as f64),
+            ("blocks", ctx.shape.m as f64),
+        ]
+    }
 }
 
 /// Sampling strategy (optional): Algorithm 2's VIF probe + subset-k
@@ -223,6 +231,13 @@ impl<'a> Stage<PipelineCtx<'a>> for SamplingStage {
         let coeffs = ctx.coeffs.as_ref().expect("stage 1 ran");
         ctx.sampling_est = Some(strat.estimate(coeffs)?);
         Ok(())
+    }
+
+    fn trace_args(&self, ctx: &PipelineCtx<'a>) -> Vec<(&'static str, f64)> {
+        match &ctx.sampling_est {
+            Some(est) => vec![("k_estimate", est.k_estimate as f64)],
+            None => Vec::new(),
+        }
     }
 }
 
@@ -312,6 +327,14 @@ impl<'a> Stage<PipelineCtx<'a>> for Stage2Pca {
         ctx.pca = Some(pca);
         Ok(())
     }
+
+    fn trace_args(&self, ctx: &PipelineCtx<'a>) -> Vec<(&'static str, f64)> {
+        // Score matrix size: what stage 3 will quantize.
+        vec![
+            ("k", ctx.k as f64),
+            ("bytes", (ctx.shape.n * ctx.k * 8) as f64),
+        ]
+    }
 }
 
 /// Stage 3: uniform symmetric quantization of the scores.
@@ -329,6 +352,10 @@ impl<'a> Stage<PipelineCtx<'a>> for Stage3Quantize {
         ctx.n_outliers = quantized.outliers.len();
         ctx.quantized = Some(quantized);
         Ok(())
+    }
+
+    fn trace_args(&self, ctx: &PipelineCtx<'a>) -> Vec<(&'static str, f64)> {
+        vec![("outliers", ctx.n_outliers as f64)]
     }
 }
 
@@ -373,6 +400,10 @@ impl<'a> Stage<PipelineCtx<'a>> for LosslessStage {
         ctx.bytes = bytes;
         ctx.sections = Some(sections);
         Ok(())
+    }
+
+    fn trace_args(&self, ctx: &PipelineCtx<'a>) -> Vec<(&'static str, f64)> {
+        vec![("bytes", ctx.bytes.len() as f64)]
     }
 }
 
@@ -467,7 +498,8 @@ impl PipelinePlan {
         if data.len() != self.len {
             return Err(DpzError::BadInput("data length does not match plan"));
         }
-        let _root = span!("compress");
+        let mut root = span!("compress");
+        root.annotate("bytes", (data.len() * 4) as f64);
 
         let graph: StageGraph<PipelineCtx> = StageGraph::new()
             .then(Stage1Decompose)
@@ -586,7 +618,9 @@ fn record_compress_metrics(
         ("quantize", stats.timings.quantize),
         ("lossless", stats.timings.lossless),
     ] {
-        reg.histogram_with("dpz_stage_seconds", &[("stage", name)], &LATENCY_BUCKETS_S)
+        // Stage latencies span sub-µs (sampling off) to seconds (exascale
+        // chunks): eight decades starting at 1 µs.
+        reg.histogram_exponential_with("dpz_stage_seconds", &[("stage", name)], 1e-6, 10.0, 8)
             .observe(duration.as_secs_f64());
     }
     if let Some(est) = &stats.sampling {
@@ -606,7 +640,7 @@ pub fn decompress(bytes: &[u8]) -> Result<(Vec<f32>, Vec<usize>), DpzError> {
 pub fn decompress_with_info(
     bytes: &[u8],
 ) -> Result<(Vec<f32>, Vec<usize>, ContainerInfo), DpzError> {
-    let _root = span!("decompress");
+    let mut root = span!("decompress");
     let result = (|| {
         let (payload, info) = container::deserialize_with_info(bytes)?;
         let (values, dims, _) = reconstruct(&payload)?;
@@ -615,6 +649,7 @@ pub fn decompress_with_info(
     let reg = dpz_telemetry::global();
     match &result {
         Ok((values, _, _)) => {
+            root.annotate("bytes", (values.len() * 4) as f64);
             let labels = [("codec", "dpz"), ("op", "decompress")];
             reg.counter("dpz_decompressions_total").inc();
             reg.counter_with("dpz_bytes_in_total", &labels)

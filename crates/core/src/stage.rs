@@ -41,6 +41,14 @@ pub trait Stage<Ctx: ?Sized>: Send + Sync {
 
     /// Run the stage against the context.
     fn execute(&self, ctx: &mut Ctx) -> Result<(), DpzError>;
+
+    /// Annotations for the stage's journal event (buffer sizes, selected
+    /// ranks, …), sampled from the context after `execute` returns. Only
+    /// consulted when the event journal is enabled; at most
+    /// [`dpz_telemetry::trace::MAX_ARGS`] stick.
+    fn trace_args(&self, _ctx: &Ctx) -> Vec<(&'static str, f64)> {
+        Vec::new()
+    }
 }
 
 /// Per-stage wall-clock record of one graph execution.
@@ -127,8 +135,13 @@ impl<Ctx: ?Sized> StageGraph<Ctx> {
     ) -> Result<StageTrace, DpzError> {
         let mut trace = StageTrace::default();
         for stage in &self.stages {
-            let span = dpz_telemetry::span::span(stage.name());
+            let mut span = dpz_telemetry::span::span(stage.name());
             stage.execute(ctx)?;
+            if dpz_telemetry::trace::journal_enabled() {
+                for (key, value) in stage.trace_args(ctx) {
+                    span.annotate(key, value);
+                }
+            }
             trace.entries.push((stage.name(), span.elapsed()));
             drop(span);
             tap(stage.name(), ctx);
@@ -155,6 +168,25 @@ pub struct BufferPool {
     free: Mutex<Vec<Vec<f64>>>,
 }
 
+/// Cached handles for the pool's global metrics, resolved once.
+struct PoolMetrics {
+    reuse: std::sync::Arc<dpz_telemetry::Counter>,
+    miss: std::sync::Arc<dpz_telemetry::Counter>,
+    idle: std::sync::Arc<dpz_telemetry::Gauge>,
+}
+
+fn pool_metrics() -> &'static PoolMetrics {
+    static METRICS: std::sync::OnceLock<PoolMetrics> = std::sync::OnceLock::new();
+    METRICS.get_or_init(|| {
+        let r = dpz_telemetry::global();
+        PoolMetrics {
+            reuse: r.counter("dpz_buffer_pool_reuse_total"),
+            miss: r.counter("dpz_buffer_pool_miss_total"),
+            idle: r.gauge("dpz_buffer_pool_idle"),
+        }
+    })
+}
+
 impl BufferPool {
     /// An empty pool.
     pub fn new() -> Self {
@@ -165,19 +197,34 @@ impl BufferPool {
     /// every element is initialized). Reuses the largest-capacity idle
     /// buffer when one exists.
     pub fn acquire(&self, len: usize) -> Vec<f64> {
-        let reused = {
+        let (reused, idle_left) = {
             let mut free = self.free.lock().unwrap_or_else(|e| e.into_inner());
-            (0..free.len())
+            let reused = (0..free.len())
                 .max_by_key(|&i| free[i].capacity())
-                .map(|i| free.swap_remove(i))
+                .map(|i| free.swap_remove(i));
+            (reused, free.len())
         };
+        let metrics = pool_metrics();
+        metrics.idle.set(idle_left as f64);
         match reused {
             Some(mut buf) => {
+                metrics.reuse.inc();
+                dpz_telemetry::trace::counter(
+                    "dpz_buffer_pool_reuse_total",
+                    metrics.reuse.get() as f64,
+                );
                 buf.clear();
                 buf.resize(len, 0.0);
                 buf
             }
-            None => vec![0.0; len],
+            None => {
+                metrics.miss.inc();
+                dpz_telemetry::trace::counter(
+                    "dpz_buffer_pool_miss_total",
+                    metrics.miss.get() as f64,
+                );
+                vec![0.0; len]
+            }
         }
     }
 
@@ -186,10 +233,14 @@ impl BufferPool {
         if buf.capacity() == 0 {
             return;
         }
-        let mut free = self.free.lock().unwrap_or_else(|e| e.into_inner());
-        if free.len() < POOL_MAX_IDLE {
-            free.push(buf);
-        }
+        let idle = {
+            let mut free = self.free.lock().unwrap_or_else(|e| e.into_inner());
+            if free.len() < POOL_MAX_IDLE {
+                free.push(buf);
+            }
+            free.len()
+        };
+        pool_metrics().idle.set(idle as f64);
     }
 
     /// Number of idle buffers currently held.
@@ -291,5 +342,58 @@ mod tests {
             pool.release(vec![0.0; 16]);
         }
         assert!(pool.idle() <= POOL_MAX_IDLE);
+    }
+
+    #[test]
+    fn buffer_pool_exports_reuse_miss_metrics() {
+        let before = dpz_telemetry::global().snapshot();
+        let pool = BufferPool::new();
+        let a = pool.acquire(64); // miss: empty pool
+        pool.release(a);
+        let b = pool.acquire(32); // reuse
+        drop(b);
+        let delta = dpz_telemetry::global().snapshot().since(&before);
+        assert!(
+            delta
+                .counter("dpz_buffer_pool_miss_total", &[])
+                .unwrap_or(0)
+                >= 1
+        );
+        assert!(
+            delta
+                .counter("dpz_buffer_pool_reuse_total", &[])
+                .unwrap_or(0)
+                >= 1
+        );
+    }
+
+    struct Sized(&'static str);
+
+    impl Stage<Vec<i32>> for Sized {
+        fn name(&self) -> &'static str {
+            self.0
+        }
+        fn execute(&self, ctx: &mut Vec<i32>) -> Result<(), DpzError> {
+            ctx.extend_from_slice(&[1, 2, 3]);
+            Ok(())
+        }
+        fn trace_args(&self, ctx: &Vec<i32>) -> Vec<(&'static str, f64)> {
+            vec![("bytes", (ctx.len() * 4) as f64)]
+        }
+    }
+
+    #[test]
+    fn stage_journal_events_carry_trace_args() {
+        dpz_telemetry::trace::start();
+        let graph = StageGraph::new().then(Sized("stagegraph_journal_probe"));
+        graph.run(&mut Vec::new()).unwrap();
+        dpz_telemetry::trace::stop();
+        let trace = dpz_telemetry::trace::drain();
+        let ev = trace
+            .events
+            .iter()
+            .find(|e| e.name.ends_with("stagegraph_journal_probe"))
+            .expect("stage event in journal");
+        assert_eq!(ev.args, vec![("bytes".to_string(), 12.0)]);
     }
 }

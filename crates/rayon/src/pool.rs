@@ -79,6 +79,7 @@ impl Shared {
                 self.pending.fetch_sub(1, Ordering::AcqRel);
                 self.steals_total.fetch_add(1, Ordering::Relaxed);
                 telemetry().steals.inc();
+                dpz_telemetry::trace::instant_with("pool.steal", &[("victim", q as f64)]);
                 return Some(t);
             }
         }
@@ -100,7 +101,13 @@ impl Shared {
     fn run(&self, task: Task) {
         self.tasks_total.fetch_add(1, Ordering::Relaxed);
         telemetry().tasks.inc();
-        task();
+        if dpz_telemetry::trace::journal_enabled() {
+            let t0 = std::time::Instant::now();
+            task();
+            dpz_telemetry::trace::complete("pool.task", t0.elapsed().as_nanos() as u64, &[]);
+        } else {
+            task();
+        }
     }
 }
 
@@ -230,12 +237,23 @@ fn worker_loop(shared: &Shared, id: usize) {
         match shared.take(id) {
             Some(task) => shared.run(task),
             None => {
+                let idle_from =
+                    dpz_telemetry::trace::journal_enabled().then(std::time::Instant::now);
                 let guard = shared.sleep.lock().expect("sleep lock");
                 if shared.pending.load(Ordering::Acquire) == 0 {
                     let _ = shared
                         .wake
                         .wait_timeout(guard, IDLE_PARK)
                         .expect("sleep wait");
+                    // Idle windows render as their own spans in the worker's
+                    // timeline lane, so utilization gaps are visible.
+                    if let Some(t0) = idle_from {
+                        dpz_telemetry::trace::complete(
+                            "pool.idle",
+                            t0.elapsed().as_nanos() as u64,
+                            &[],
+                        );
+                    }
                 }
             }
         }

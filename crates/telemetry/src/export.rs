@@ -2,14 +2,16 @@
 //! JSON form, so snapshots round-trip through files).
 //!
 //! Both exporters are hand-rolled over [`Snapshot`] — no serialization
-//! dependencies. The JSON grammar emitted here is plain standard JSON; the
-//! bundled parser accepts any standard JSON document shaped like the
-//! exporter's output.
+//! dependencies. The JSON grammar emitted here is plain standard JSON,
+//! decoded back through the generic [`crate::json`] parser.
 
+use crate::json::{self, JsonValue};
 use crate::registry::Key;
 use crate::snapshot::{HistogramSnapshot, Snapshot};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
+
+pub use crate::json::JsonError;
 
 /// Render `v` the way both exposition formats want it: shortest form that
 /// round-trips (Rust's default `Display` for `f64`).
@@ -124,24 +126,6 @@ pub fn to_prometheus(snap: &Snapshot) -> String {
 // JSON export
 // ---------------------------------------------------------------------------
 
-fn json_escape(s: &str) -> String {
-    let mut out = String::with_capacity(s.len());
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                let _ = write!(out, "\\u{:04x}", c as u32);
-            }
-            c => out.push(c),
-        }
-    }
-    out
-}
-
 /// JSON numbers cannot express NaN/Inf; encode those as `null` (decoded back
 /// to NaN — gauges are the only instrument that can hold them).
 fn json_f64(v: f64) -> String {
@@ -155,7 +139,7 @@ fn json_f64(v: f64) -> String {
 fn json_labels(labels: &[(String, String)]) -> String {
     let pairs: Vec<String> = labels
         .iter()
-        .map(|(k, v)| format!("\"{}\":\"{}\"", json_escape(k), json_escape(v)))
+        .map(|(k, v)| format!("\"{}\":\"{}\"", json::escape(k), json::escape(v)))
         .collect();
     format!("{{{}}}", pairs.join(","))
 }
@@ -188,7 +172,7 @@ pub fn to_json(snap: &Snapshot) -> String {
         .map(|(k, v)| {
             format!(
                 "\n    {{\"name\": \"{}\", \"labels\": {}, \"value\": {v}}}",
-                json_escape(&k.name),
+                json::escape(&k.name),
                 json_labels(&k.labels)
             )
         })
@@ -201,7 +185,7 @@ pub fn to_json(snap: &Snapshot) -> String {
         .map(|(k, v)| {
             format!(
                 "\n    {{\"name\": \"{}\", \"labels\": {}, \"value\": {}}}",
-                json_escape(&k.name),
+                json::escape(&k.name),
                 json_labels(&k.labels),
                 json_f64(*v)
             )
@@ -216,7 +200,7 @@ pub fn to_json(snap: &Snapshot) -> String {
             format!(
                 "\n    {{\"name\": \"{}\", \"labels\": {}, \"bounds\": {}, \
                  \"buckets\": {}, \"count\": {}, \"sum\": {}}}",
-                json_escape(&k.name),
+                json::escape(&k.name),
                 json_labels(&k.labels),
                 json_f64_array(&h.bounds),
                 json_u64_array(&h.buckets),
@@ -231,258 +215,27 @@ pub fn to_json(snap: &Snapshot) -> String {
 }
 
 // ---------------------------------------------------------------------------
-// JSON parsing (for round-tripping snapshots through files)
+// JSON tree -> Snapshot
 // ---------------------------------------------------------------------------
-
-/// Error from [`from_json`].
-#[derive(Debug, Clone, PartialEq)]
-pub struct JsonError {
-    /// What went wrong.
-    pub message: String,
-    /// Byte offset in the input where parsing failed.
-    pub offset: usize,
-}
-
-impl std::fmt::Display for JsonError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "JSON error at byte {}: {}", self.offset, self.message)
-    }
-}
-
-impl std::error::Error for JsonError {}
-
-/// Minimal JSON value tree (only what the exporter emits).
-#[derive(Debug, Clone, PartialEq)]
-enum JsonValue {
-    Null,
-    Bool(bool),
-    Number(f64),
-    String(String),
-    Array(Vec<JsonValue>),
-    Object(BTreeMap<String, JsonValue>),
-}
-
-struct Parser<'a> {
-    bytes: &'a [u8],
-    pos: usize,
-}
-
-impl<'a> Parser<'a> {
-    fn err<T>(&self, message: &str) -> Result<T, JsonError> {
-        Err(JsonError {
-            message: message.to_string(),
-            offset: self.pos,
-        })
-    }
-
-    fn skip_ws(&mut self) {
-        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
-            self.pos += 1;
-        }
-    }
-
-    fn peek(&self) -> Option<u8> {
-        self.bytes.get(self.pos).copied()
-    }
-
-    fn eat(&mut self, expected: u8) -> Result<(), JsonError> {
-        if self.peek() == Some(expected) {
-            self.pos += 1;
-            Ok(())
-        } else {
-            self.err(&format!("expected '{}'", expected as char))
-        }
-    }
-
-    fn eat_literal(&mut self, lit: &str, value: JsonValue) -> Result<JsonValue, JsonError> {
-        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
-            self.pos += lit.len();
-            Ok(value)
-        } else {
-            self.err(&format!("expected '{lit}'"))
-        }
-    }
-
-    fn value(&mut self) -> Result<JsonValue, JsonError> {
-        self.skip_ws();
-        match self.peek() {
-            Some(b'{') => self.object(),
-            Some(b'[') => self.array(),
-            Some(b'"') => Ok(JsonValue::String(self.string()?)),
-            Some(b't') => self.eat_literal("true", JsonValue::Bool(true)),
-            Some(b'f') => self.eat_literal("false", JsonValue::Bool(false)),
-            Some(b'n') => self.eat_literal("null", JsonValue::Null),
-            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
-            _ => self.err("expected a JSON value"),
-        }
-    }
-
-    fn object(&mut self) -> Result<JsonValue, JsonError> {
-        self.eat(b'{')?;
-        let mut map = BTreeMap::new();
-        self.skip_ws();
-        if self.peek() == Some(b'}') {
-            self.pos += 1;
-            return Ok(JsonValue::Object(map));
-        }
-        loop {
-            self.skip_ws();
-            let key = self.string()?;
-            self.skip_ws();
-            self.eat(b':')?;
-            map.insert(key, self.value()?);
-            self.skip_ws();
-            match self.peek() {
-                Some(b',') => self.pos += 1,
-                Some(b'}') => {
-                    self.pos += 1;
-                    return Ok(JsonValue::Object(map));
-                }
-                _ => return self.err("expected ',' or '}'"),
-            }
-        }
-    }
-
-    fn array(&mut self) -> Result<JsonValue, JsonError> {
-        self.eat(b'[')?;
-        let mut items = Vec::new();
-        self.skip_ws();
-        if self.peek() == Some(b']') {
-            self.pos += 1;
-            return Ok(JsonValue::Array(items));
-        }
-        loop {
-            items.push(self.value()?);
-            self.skip_ws();
-            match self.peek() {
-                Some(b',') => self.pos += 1,
-                Some(b']') => {
-                    self.pos += 1;
-                    return Ok(JsonValue::Array(items));
-                }
-                _ => return self.err("expected ',' or ']'"),
-            }
-        }
-    }
-
-    fn string(&mut self) -> Result<String, JsonError> {
-        self.eat(b'"')?;
-        let mut out = String::new();
-        loop {
-            match self.peek() {
-                None => return self.err("unterminated string"),
-                Some(b'"') => {
-                    self.pos += 1;
-                    return Ok(out);
-                }
-                Some(b'\\') => {
-                    self.pos += 1;
-                    match self.peek() {
-                        Some(b'"') => out.push('"'),
-                        Some(b'\\') => out.push('\\'),
-                        Some(b'/') => out.push('/'),
-                        Some(b'n') => out.push('\n'),
-                        Some(b'r') => out.push('\r'),
-                        Some(b't') => out.push('\t'),
-                        Some(b'b') => out.push('\u{8}'),
-                        Some(b'f') => out.push('\u{c}'),
-                        Some(b'u') => {
-                            if self.pos + 5 > self.bytes.len() {
-                                return self.err("truncated \\u escape");
-                            }
-                            let hex = &self.bytes[self.pos + 1..self.pos + 5];
-                            let hex = std::str::from_utf8(hex)
-                                .ok()
-                                .and_then(|h| u32::from_str_radix(h, 16).ok());
-                            match hex.and_then(char::from_u32) {
-                                Some(c) => out.push(c),
-                                None => return self.err("invalid \\u escape"),
-                            }
-                            self.pos += 4;
-                        }
-                        _ => return self.err("invalid escape"),
-                    }
-                    self.pos += 1;
-                }
-                Some(_) => {
-                    // Consume one UTF-8 scalar (input is a &str, so this
-                    // char boundary math is safe).
-                    let rest =
-                        std::str::from_utf8(&self.bytes[self.pos..]).map_err(|_| JsonError {
-                            message: "invalid UTF-8".to_string(),
-                            offset: self.pos,
-                        })?;
-                    let c = rest.chars().next().unwrap();
-                    out.push(c);
-                    self.pos += c.len_utf8();
-                }
-            }
-        }
-    }
-
-    fn number(&mut self) -> Result<JsonValue, JsonError> {
-        let start = self.pos;
-        if self.peek() == Some(b'-') {
-            self.pos += 1;
-        }
-        while matches!(self.peek(), Some(c) if c.is_ascii_digit() || matches!(c, b'.' | b'e' | b'E' | b'+' | b'-'))
-        {
-            self.pos += 1;
-        }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
-        match text.parse::<f64>() {
-            Ok(v) => Ok(JsonValue::Number(v)),
-            Err(_) => self.err("invalid number"),
-        }
-    }
-}
-
-fn parse_json(input: &str) -> Result<JsonValue, JsonError> {
-    let mut p = Parser {
-        bytes: input.as_bytes(),
-        pos: 0,
-    };
-    let v = p.value()?;
-    p.skip_ws();
-    if p.pos != p.bytes.len() {
-        return p.err("trailing data after JSON document");
-    }
-    Ok(v)
-}
-
-// -- JSON tree -> Snapshot ---------------------------------------------------
 
 fn want_object<'v>(
     v: &'v JsonValue,
     what: &str,
 ) -> Result<&'v BTreeMap<String, JsonValue>, JsonError> {
-    match v {
-        JsonValue::Object(m) => Ok(m),
-        _ => Err(JsonError {
-            message: format!("{what}: expected an object"),
-            offset: 0,
-        }),
-    }
+    v.as_object()
+        .ok_or_else(|| JsonError::shape(format!("{what}: expected an object")))
 }
 
 fn want_array<'v>(v: &'v JsonValue, what: &str) -> Result<&'v [JsonValue], JsonError> {
-    match v {
-        JsonValue::Array(items) => Ok(items),
-        _ => Err(JsonError {
-            message: format!("{what}: expected an array"),
-            offset: 0,
-        }),
-    }
+    v.as_array()
+        .ok_or_else(|| JsonError::shape(format!("{what}: expected an array")))
 }
 
 fn want_f64(v: &JsonValue, what: &str) -> Result<f64, JsonError> {
     match v {
         JsonValue::Number(n) => Ok(*n),
         JsonValue::Null => Ok(f64::NAN), // non-finite values export as null
-        _ => Err(JsonError {
-            message: format!("{what}: expected a number"),
-            offset: 0,
-        }),
+        _ => Err(JsonError::shape(format!("{what}: expected a number"))),
     }
 }
 
@@ -491,10 +244,9 @@ fn want_u64(v: &JsonValue, what: &str) -> Result<u64, JsonError> {
     if n.is_finite() && n >= 0.0 && n.fract() == 0.0 {
         Ok(n as u64)
     } else {
-        Err(JsonError {
-            message: format!("{what}: expected a non-negative integer"),
-            offset: 0,
-        })
+        Err(JsonError::shape(format!(
+            "{what}: expected a non-negative integer"
+        )))
     }
 }
 
@@ -502,10 +254,7 @@ fn series_key(entry: &BTreeMap<String, JsonValue>, what: &str) -> Result<Key, Js
     let name = match entry.get("name") {
         Some(JsonValue::String(s)) => s.clone(),
         _ => {
-            return Err(JsonError {
-                message: format!("{what}: missing \"name\""),
-                offset: 0,
-            });
+            return Err(JsonError::shape(format!("{what}: missing \"name\"")));
         }
     };
     let mut labels = Vec::new();
@@ -514,10 +263,9 @@ fn series_key(entry: &BTreeMap<String, JsonValue>, what: &str) -> Result<Key, Js
             match v {
                 JsonValue::String(s) => labels.push((k.clone(), s.clone())),
                 _ => {
-                    return Err(JsonError {
-                        message: format!("{what}: label values must be strings"),
-                        offset: 0,
-                    });
+                    return Err(JsonError::shape(format!(
+                        "{what}: label values must be strings"
+                    )));
                 }
             }
         }
@@ -528,7 +276,7 @@ fn series_key(entry: &BTreeMap<String, JsonValue>, what: &str) -> Result<Key, Js
 
 /// Parse a document produced by [`to_json`] back into a [`Snapshot`].
 pub fn from_json(input: &str) -> Result<Snapshot, JsonError> {
-    let root = parse_json(input)?;
+    let root = json::parse(input)?;
     let root = want_object(&root, "document")?;
     let mut snap = Snapshot::default();
 
@@ -573,10 +321,9 @@ pub fn from_json(input: &str) -> Result<Snapshot, JsonError> {
             .map(|v| want_u64(v, "histogram bucket"))
             .collect::<Result<Vec<u64>, JsonError>>()?;
             if buckets.len() != bounds.len() + 1 {
-                return Err(JsonError {
-                    message: "histogram entry: buckets must have bounds+1 slots".to_string(),
-                    offset: 0,
-                });
+                return Err(JsonError::shape(
+                    "histogram entry: buckets must have bounds+1 slots",
+                ));
             }
             let count = want_u64(
                 entry.get("count").unwrap_or(&JsonValue::Null),

@@ -27,20 +27,35 @@
 //! the delta between two snapshots (how the bench harness attributes
 //! activity to a single run).
 //!
+//! ## Event journal
+//!
+//! [`trace`] is a structured event journal behind the same spans: when
+//! enabled ([`trace::start`]), every span close, instant marker and counter
+//! sample lands in a per-thread lock-free ring buffer. [`trace::drain`]
+//! collects the events and [`trace::to_chrome_json`] renders them as Chrome
+//! trace-event JSON for Perfetto / `chrome://tracing`, with a p50/p99 and
+//! MB/s digest embedded. When the journal is off, the cost is one relaxed
+//! atomic load per event site.
+//!
 //! ## Export
 //!
 //! [`to_prometheus`] renders a snapshot in the Prometheus text exposition
-//! format; [`to_json`] / [`from_json`] round-trip it through JSON.
+//! format; [`to_json`] / [`from_json`] round-trip it through JSON. The
+//! [`json`] module exposes the underlying zero-dependency JSON parser.
 
 pub mod export;
+pub mod json;
 pub mod registry;
 pub mod snapshot;
 pub mod span;
+pub mod trace;
 
 pub use export::{from_json, to_json, to_prometheus, JsonError};
-pub use registry::{global, Counter, Gauge, Histogram, Key, Registry, LATENCY_BUCKETS_S};
+pub use registry::{
+    exponential_buckets, global, Counter, Gauge, Histogram, Key, Registry, LATENCY_BUCKETS_S,
+};
 pub use snapshot::{HistogramSnapshot, Snapshot};
-pub use span::{set_trace, trace_enabled, Span};
+pub use span::{set_trace, trace_enabled, Span, TraceGuard};
 
 /// Open a timed [`Span`]; bind it to keep the region alive:
 ///

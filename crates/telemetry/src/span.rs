@@ -34,6 +34,29 @@ pub fn set_trace(on: bool) {
     TRACE_OVERRIDE.store(i8::from(on), Ordering::Relaxed);
 }
 
+/// RAII scoped form of [`set_trace`]: flips the override and restores the
+/// previous state (including "unset, fall back to env") on drop, so tests
+/// and CLI runs cannot leak tracing into unrelated code.
+#[derive(Debug)]
+pub struct TraceGuard {
+    prev: i8,
+}
+
+impl TraceGuard {
+    /// Set stderr tracing for the guard's lifetime.
+    pub fn set(on: bool) -> TraceGuard {
+        TraceGuard {
+            prev: TRACE_OVERRIDE.swap(i8::from(on), Ordering::Relaxed),
+        }
+    }
+}
+
+impl Drop for TraceGuard {
+    fn drop(&mut self) {
+        TRACE_OVERRIDE.store(self.prev, Ordering::Relaxed);
+    }
+}
+
 /// Whether span close events are printed to stderr.
 pub fn trace_enabled() -> bool {
     match TRACE_OVERRIDE.load(Ordering::Relaxed) {
@@ -55,6 +78,7 @@ pub struct Span {
     path: String,
     depth: usize,
     start: Instant,
+    args: [Option<(&'static str, f64)>; crate::trace::MAX_ARGS],
 }
 
 /// Open a span named `name`, nested under the thread's innermost live span.
@@ -73,6 +97,7 @@ pub fn span(name: &str) -> Span {
         path,
         depth,
         start: Instant::now(),
+        args: [None; crate::trace::MAX_ARGS],
     }
 }
 
@@ -97,6 +122,25 @@ impl Span {
     pub fn elapsed(&self) -> std::time::Duration {
         self.start.elapsed()
     }
+
+    /// Attach a numeric annotation (buffer size, chunk index, …) carried on
+    /// the span's journal event. At most [`crate::trace::MAX_ARGS`] stick;
+    /// re-annotating an existing key overwrites it.
+    pub fn annotate(&mut self, key: &'static str, value: f64) {
+        for slot in &mut self.args {
+            match slot {
+                Some((k, v)) if *k == key => {
+                    *v = value;
+                    return;
+                }
+                None => {
+                    *slot = Some((key, value));
+                    return;
+                }
+                Some(_) => {}
+            }
+        }
+    }
 }
 
 impl Drop for Span {
@@ -117,6 +161,10 @@ impl Drop for Span {
                 &LATENCY_BUCKETS_S,
             )
             .observe(secs);
+        if crate::trace::journal_enabled() {
+            let args: Vec<(&str, f64)> = self.args.iter().flatten().copied().collect();
+            crate::trace::complete(&self.path, self.start.elapsed().as_nanos() as u64, &args);
+        }
         if trace_enabled() {
             let indent = "  ".repeat(self.depth);
             eprintln!("[dpz-trace] {indent}{path} {secs:.6}s", path = self.path);
@@ -167,6 +215,29 @@ mod tests {
         assert!(trace_enabled());
         set_trace(false);
         assert!(!trace_enabled());
+        // The scoped guard restores whatever was set before it, including
+        // the "unset, fall back to env" state.
+        {
+            let _on = TraceGuard::set(true);
+            assert!(trace_enabled());
+            {
+                let _off = TraceGuard::set(false);
+                assert!(!trace_enabled());
+            }
+            assert!(trace_enabled());
+        }
+        assert!(!trace_enabled());
         TRACE_OVERRIDE.store(-1, Ordering::Relaxed);
+    }
+
+    #[test]
+    fn annotations_cap_at_max_args_and_overwrite() {
+        let mut s = span("annotated");
+        s.annotate("bytes", 10.0);
+        s.annotate("chunk", 2.0);
+        s.annotate("extra", 99.0); // no slot left; silently dropped
+        s.annotate("bytes", 20.0); // overwrite
+        assert_eq!(s.args[0], Some(("bytes", 20.0)));
+        assert_eq!(s.args[1], Some(("chunk", 2.0)));
     }
 }

@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Performance regression gate.
+#
+# Builds the release perf_gate binary, measures the hot end-to-end paths
+# (best-of-N wall clock on the Figure 8 field) and compares them against the
+# checked-in baseline, failing when any DPZ path regresses by more than the
+# allowed percentage after canary normalization (the SZ timing absorbs host
+# speed drift between runs).
+#
+#   ./scripts/perf_gate.sh                      # gate vs newest BENCH_pr*.json
+#   ./scripts/perf_gate.sh --baseline B.json    # gate vs a specific baseline
+#   ./scripts/perf_gate.sh --bless B.json       # re-measure, write a fresh
+#                                               # gate document to B.json
+#
+# Extra flags (--samples N, --max-regress PCT) pass through to the binary.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+if [[ "${1:-}" == "--bless" ]]; then
+    out="${2:?--bless needs an output path}"
+    cargo run --release -q -p dpz-bench --bin perf_gate -- --out "$out"
+    exit 0
+fi
+
+args=("$@")
+if [[ ! " ${args[*]-} " == *" --baseline "* ]]; then
+    # Default to the newest checked-in baseline that has a gate section.
+    baseline=""
+    for f in $(ls -1 BENCH_pr*.json 2>/dev/null | sort -rV); do
+        if grep -q '"gate"' "$f"; then baseline="$f"; break; fi
+    done
+    [[ -n "$baseline" ]] || { echo "no BENCH_pr*.json with a 'gate' section; run --bless first" >&2; exit 2; }
+    args+=(--baseline "$baseline")
+fi
+
+cargo run --release -q -p dpz-bench --bin perf_gate -- "${args[@]}"
