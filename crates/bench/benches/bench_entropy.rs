@@ -1,0 +1,144 @@
+//! Microbenchmark: the entropy stage primitives behind the lossless
+//! backends — Huffman decode (bit-by-bit tree walk vs the multi-symbol
+//! LUT), the tANS coder, and the LZ77 match-length kernel (portable scalar
+//! vs the runtime-dispatched SIMD arm).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dpz_deflate::bitio::{BitReader, BitWriter};
+use dpz_deflate::huffman::{build_code_lengths, Decoder, Encoder, LutDecoder};
+use dpz_deflate::tans;
+use std::hint::black_box;
+
+/// Quantizer-index-like bytes: concentrated histogram, the payload shape
+/// both entropy coders see in practice.
+fn index_plane(n: usize) -> Vec<u8> {
+    let mut s = 99u64;
+    (0..n)
+        .map(|_| {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            let g = ((s >> 40) as u8 as i32 - 128) / 24;
+            (128 + g) as u8
+        })
+        .collect()
+}
+
+/// A literal-only Huffman stream over `data`'s byte alphabet, plus the code
+/// lengths needed to rebuild either decoder.
+fn huffman_stream(data: &[u8]) -> (Vec<u8>, Vec<u8>) {
+    let mut freqs = [0u64; 256];
+    for &b in data {
+        freqs[b as usize] += 1;
+    }
+    let lengths = build_code_lengths(&freqs, 15);
+    let enc = Encoder::from_lengths(&lengths);
+    let mut w = BitWriter::new();
+    for &b in data {
+        enc.write(&mut w, b as usize);
+    }
+    (w.finish(), lengths)
+}
+
+fn bench_huffman_decode(c: &mut Criterion) {
+    let n = 256 * 1024;
+    let data = index_plane(n);
+    let (bits, lengths) = huffman_stream(&data);
+
+    let mut group = c.benchmark_group("huffman_decode");
+    group.sample_size(10);
+    group.throughput(Throughput::Bytes(n as u64));
+    group.bench_function("single_symbol", |b| {
+        let dec = Decoder::from_lengths(&lengths).unwrap();
+        b.iter(|| {
+            let mut r = BitReader::new(black_box(&bits));
+            let mut sum = 0u64;
+            for _ in 0..n {
+                sum += u64::from(dec.read(&mut r).unwrap());
+            }
+            sum
+        });
+    });
+    group.bench_function("multi_symbol_lut", |b| {
+        let lut = LutDecoder::from_lengths(&lengths, true).unwrap();
+        b.iter(|| {
+            let mut r = BitReader::new(black_box(&bits));
+            let mut sum = 0u64;
+            let mut decoded = 0usize;
+            while decoded < n {
+                let e = lut.read_entry(&mut r).unwrap();
+                sum += u64::from(e.symbol());
+                decoded += 1;
+                if decoded < n {
+                    if let Some(second) = e.second_literal() {
+                        sum += u64::from(second);
+                        decoded += 1;
+                    }
+                }
+            }
+            sum
+        });
+    });
+    group.finish();
+}
+
+fn bench_tans(c: &mut Criterion) {
+    let n = 256 * 1024;
+    let data = index_plane(n);
+    let packed = tans::compress(&data);
+
+    let mut group = c.benchmark_group("tans");
+    group.sample_size(10);
+    group.throughput(Throughput::Bytes(n as u64));
+    group.bench_function("encode", |b| {
+        b.iter(|| tans::compress(black_box(&data)));
+    });
+    group.bench_function("decode", |b| {
+        b.iter(|| tans::decompress_bounded(black_box(&packed), n).unwrap());
+    });
+    group.finish();
+}
+
+fn bench_match_len(c: &mut Criterion) {
+    // Buffer pairs that diverge after a spread of prefix lengths, visited
+    // round-robin so the branch predictor can't memorize one exit point.
+    let limit = 258usize;
+    let base: Vec<u8> = (0..4096).map(|i| (i % 251) as u8).collect();
+    let cases: Vec<(Vec<u8>, Vec<u8>)> = [3usize, 9, 31, 64, 130, 258]
+        .iter()
+        .map(|&k| {
+            let mut b = base.clone();
+            b[k] ^= 0x5A;
+            (base.clone(), b)
+        })
+        .collect();
+    let total: usize = [3usize, 9, 31, 64, 130, 258].iter().sum();
+
+    let mut group = c.benchmark_group("lz77_match_len");
+    group.sample_size(10);
+    group.throughput(Throughput::Bytes(total as u64));
+    for (name, f) in [
+        (
+            "scalar",
+            dpz_kernels::matchlen::match_len_scalar as fn(&[u8], &[u8], usize) -> usize,
+        ),
+        (
+            "simd_dispatch",
+            dpz_kernels::matchlen::match_len as fn(&[u8], &[u8], usize) -> usize,
+        ),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &cases, |b, cases| {
+            b.iter(|| {
+                let mut sum = 0usize;
+                for (x, y) in cases {
+                    sum += f(black_box(x), black_box(y), limit);
+                }
+                sum
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_huffman_decode, bench_tans, bench_match_len);
+criterion_main!(benches);

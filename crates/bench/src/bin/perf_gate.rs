@@ -11,6 +11,11 @@
 //! Host speed drifts between CI runs, so comparisons are normalized by the
 //! SZ canary (a path this repo's PRs rarely touch): each fresh time is
 //! scaled by `baseline_sz_ms / fresh_sz_ms` before the threshold check.
+//!
+//! The canary cannot correct for a *different machine class*: numbers taken
+//! with another SIMD backend or worker count are incomparable, so each
+//! emitted JSON records both under `host` and gating against a baseline
+//! from a mismatched host is refused unless `--allow-backend-mismatch`.
 
 use dpz_core::{DpzConfig, TveLevel};
 use dpz_data::metrics::value_range;
@@ -86,9 +91,17 @@ fn measure(samples: usize) -> Vec<Measurement> {
 }
 
 /// The fresh measurements as the JSON `gate` document the baseline embeds.
+/// The `host` section records the kernel backend and worker count the
+/// numbers were taken with, so a later gate run can refuse to compare
+/// across incompatible hosts.
 fn to_json(samples: usize, measured: &[Measurement]) -> String {
     let mut s = String::from("{\n");
     s.push_str(&format!("  \"samples\": {samples},\n"));
+    s.push_str(&format!(
+        "  \"host\": {{ \"backend\": \"{}\", \"threads\": {} }},\n",
+        dpz_kernels::backend_name(),
+        rayon::current_num_threads()
+    ));
     s.push_str("  \"gate\": {\n");
     for (i, m) in measured.iter().enumerate() {
         let sep = if i + 1 == measured.len() { "" } else { "," };
@@ -104,6 +117,38 @@ fn to_json(samples: usize, measured: &[Measurement]) -> String {
 /// Baseline `gate.<name>.ms` values from a `BENCH_pr*.json` document.
 fn baseline_ms(doc: &JsonValue, name: &str) -> Option<f64> {
     doc.get("gate")?.get(name)?.get("ms")?.as_f64()
+}
+
+/// Why the baseline host is incomparable to this one, if it is. The SZ
+/// canary corrects for clock-speed drift but not for a different SIMD
+/// backend or worker count — those scale each path unevenly, so comparing
+/// across them silently mis-gates. A baseline without a `host` section
+/// (pre-PR7 files) is accepted with a warning instead.
+fn host_mismatch(doc: &JsonValue) -> Option<String> {
+    let host = match doc.get("host") {
+        Some(h) => h,
+        None => {
+            eprintln!("perf_gate: warning: baseline records no host section; cannot verify backend/thread match");
+            return None;
+        }
+    };
+    let base_backend = host.get("backend").and_then(JsonValue::as_str);
+    let base_threads = host.get("threads").and_then(JsonValue::as_f64);
+    let backend = dpz_kernels::backend_name();
+    let threads = rayon::current_num_threads() as f64;
+    if base_backend.is_some_and(|b| b != backend) {
+        return Some(format!(
+            "baseline was measured with kernel backend '{}', this host uses '{backend}'",
+            base_backend.unwrap_or_default()
+        ));
+    }
+    if base_threads.is_some_and(|t| t != threads) {
+        return Some(format!(
+            "baseline was measured with {} worker threads, this host uses {threads}",
+            base_threads.unwrap_or_default()
+        ));
+    }
+    None
 }
 
 /// Names of paths whose canary-normalized fresh time exceeds the baseline
@@ -144,6 +189,7 @@ fn main() {
     let mut samples = 5usize;
     let mut max_regress = 10.0f64;
     let mut with_trace = false;
+    let mut allow_backend_mismatch = false;
     let mut it = argv.iter();
     while let Some(flag) = it.next() {
         let mut value = || {
@@ -169,8 +215,9 @@ fn main() {
                     .unwrap_or_else(|| fail("--max-regress expects a percentage"))
             }
             "--trace" => with_trace = true,
+            "--allow-backend-mismatch" => allow_backend_mismatch = true,
             other => fail(&format!(
-                "unknown flag '{other}' (--baseline/--out/--samples/--max-regress/--trace)"
+                "unknown flag '{other}' (--baseline/--out/--samples/--max-regress/--trace/--allow-backend-mismatch)"
             )),
         }
     }
@@ -208,6 +255,15 @@ fn main() {
     let text =
         std::fs::read_to_string(&path).unwrap_or_else(|e| fail(&format!("read {path}: {e}")));
     let doc = json::parse(&text).unwrap_or_else(|e| fail(&format!("{path}: {e}")));
+    if let Some(why) = host_mismatch(&doc) {
+        if allow_backend_mismatch {
+            eprintln!("perf_gate: warning: {why} (continuing: --allow-backend-mismatch)");
+        } else {
+            fail(&format!(
+                "{why}; refusing to compare (pass --allow-backend-mismatch to override)"
+            ));
+        }
+    }
     match regressions(&measured, &doc, max_regress) {
         Ok(regressed) if regressed.is_empty() => {
             println!("gate: OK (no path regressed > {max_regress:.0}% vs {path})");
@@ -270,5 +326,32 @@ mod tests {
         // Missing baseline entries are a hard error, not a silent pass.
         let doc = json::parse(r#"{"gate": {"sz_canary": {"ms": 2.0}}}"#).unwrap();
         assert!(regressions(&base, &doc, 10.0).is_err());
+    }
+
+    #[test]
+    fn host_mismatch_detection() {
+        // Matching host: comparable.
+        let same = format!(
+            r#"{{"host": {{"backend": "{}", "threads": {}}}, "gate": {{}}}}"#,
+            dpz_kernels::backend_name(),
+            rayon::current_num_threads()
+        );
+        assert!(host_mismatch(&json::parse(&same).unwrap()).is_none());
+
+        // Different backend: refused.
+        let other = r#"{"host": {"backend": "not-a-real-backend", "threads": 1}, "gate": {}}"#;
+        let why = host_mismatch(&json::parse(other).unwrap()).expect("mismatch");
+        assert!(why.contains("not-a-real-backend"), "{why}");
+
+        // Different thread count: refused.
+        let other = format!(
+            r#"{{"host": {{"backend": "{}", "threads": 100000}}, "gate": {{}}}}"#,
+            dpz_kernels::backend_name()
+        );
+        let why = host_mismatch(&json::parse(&other).unwrap()).expect("mismatch");
+        assert!(why.contains("worker threads"), "{why}");
+
+        // Legacy baseline without a host section: comparable (with warning).
+        assert!(host_mismatch(&json::parse(r#"{"gate": {}}"#).unwrap()).is_none());
     }
 }

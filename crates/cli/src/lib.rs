@@ -6,7 +6,7 @@
 //! dpz gen <dataset> <out.f32> [--scale tiny|small|default|paper] [--seed N]
 //! dpz compress <in.f32> <out.dpz> --dims RxCxD [--codec dpz|dpzc|sz|zfp|auto]
 //!     [--scheme loose|strict] [--tve NINES | --knee 1d|polyn] [--sampling]
-//!     [--eb BOUND] [--precision BITS]
+//!     [--lossless deflate|tans] [--eb BOUND] [--precision BITS]
 //! dpz decompress <in.dpz> <out.f32>
 //! dpz info <in.dpz>
 //! dpz eval <orig.f32> <recon.f32> [--compressed <file>]
@@ -17,7 +17,7 @@
 use dpz_codec::{
     AutoCodec, Codec, CodecStats, DpzChunkedCodec, DpzCodec, Registry, SzCodec, ZfpCodec,
 };
-use dpz_core::{ContainerInfo, DpzConfig, KSelection, Stage1Transform, TveLevel};
+use dpz_core::{ContainerInfo, DpzConfig, KSelection, LosslessBackend, Stage1Transform, TveLevel};
 use dpz_data::dataset::DEFAULT_SEED;
 use dpz_data::io::{read_f32_file, write_f32_file};
 use dpz_data::metrics;
@@ -49,7 +49,7 @@ USAGE:
   dpz gen <dataset> <out.f32> [--scale tiny|small|default|paper] [--seed N]
   dpz compress <in.f32> <out.dpz> --dims RxC[xD] [--codec dpz|dpzc|sz|zfp|auto]
                [--scheme loose|strict] [--tve NINES] [--knee 1d|polyn] [--sampling]
-               [--transform dct|dwt] [--chunks N (dpzc)]
+               [--transform dct|dwt] [--lossless deflate|tans] [--chunks N (dpzc)]
                [--eb BOUND, --predictor lorenzo|auto (sz)]
                [--precision BITS | --rate BITS/VAL (zfp)]
                [--threads N] [--verbose] [--metrics-out <file[.prom|.json]>]
@@ -276,6 +276,15 @@ pub fn config_from_args(args: &[String]) -> Result<DpzConfig, CliError> {
             other => return Err(err(format!("unknown --transform '{other}' (dct|dwt)"))),
         };
     }
+    if let Some(b) = flag_value(args, "--lossless") {
+        cfg = match b {
+            "deflate" => cfg.with_lossless(LosslessBackend::Deflate),
+            "tans" => cfg.with_lossless(LosslessBackend::Tans),
+            other => {
+                return Err(err(format!("unknown --lossless '{other}' (deflate|tans)")));
+            }
+        };
+    }
     Ok(cfg)
 }
 
@@ -413,11 +422,17 @@ fn cmd_compress(args: &[String]) -> Result<String, CliError> {
 }
 
 /// Human-readable checksum status for decode summaries.
-fn crc_status(info: Option<ContainerInfo>) -> &'static str {
-    match info {
+fn crc_status(info: Option<ContainerInfo>) -> String {
+    let crc = match info {
         Some(i) if i.checksummed => "crc=verified",
         Some(_) => "crc=absent (v1 container)",
         None => "crc=n/a",
+    };
+    match info {
+        Some(i) if i.tans_sections > 0 => {
+            format!("{crc}, tans-sections={}", i.tans_sections)
+        }
+        _ => crc.to_string(),
     }
 }
 
@@ -554,6 +569,44 @@ mod tests {
         assert!(cfg.sampling);
         assert!(config_from_args(&s(&["--tve", "9"])).is_err());
         assert!(config_from_args(&s(&["--scheme", "wat"])).is_err());
+        let cfg = config_from_args(&s(&["--lossless", "tans"])).unwrap();
+        assert_eq!(cfg.lossless, LosslessBackend::Tans);
+        assert_eq!(
+            config_from_args(&[]).unwrap().lossless,
+            LosslessBackend::Deflate
+        );
+        assert!(config_from_args(&s(&["--lossless", "lzma"])).is_err());
+    }
+
+    #[test]
+    fn tans_backend_round_trips_through_the_cli() {
+        let dir = std::env::temp_dir().join("dpz_cli_tans");
+        std::fs::create_dir_all(&dir).unwrap();
+        let raw = dir.join("t.f32").to_string_lossy().into_owned();
+        let packed = dir.join("t.dpz").to_string_lossy().into_owned();
+        let restored = dir.join("t_out.f32").to_string_lossy().into_owned();
+
+        run(&s(&[
+            "gen", "FLDSC", &raw, "--scale", "tiny", "--seed", "3",
+        ]))
+        .unwrap();
+        run(&s(&[
+            "compress",
+            &raw,
+            &packed,
+            "--dims",
+            "45x90",
+            "--lossless",
+            "tans",
+        ]))
+        .unwrap();
+        let bytes = std::fs::read(&packed).unwrap();
+        assert_eq!(bytes[4], 3, "tANS output must be a v3 container");
+        let msg = run(&s(&["decompress", &packed, &restored])).unwrap();
+        assert!(msg.contains("4050 values"), "{msg}");
+        assert!(msg.contains("tans-sections="), "{msg}");
+
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

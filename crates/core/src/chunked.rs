@@ -89,32 +89,65 @@ pub fn compress_chunked(
         l => Some(PipelinePlan::with_pool(l, cfg, Arc::clone(&pool))?),
     };
 
-    let base = data.as_ptr() as usize;
-    let results: Vec<Result<Compressed, DpzError>> = data
-        .par_chunks(slab_values)
-        .map(|chunk| {
-            // Chunk index from the slice offset: par_chunks carries no index,
-            // and the journal wants each chunk span tagged with which slab it
-            // was. The emitting worker's lane identifies the thread.
-            let index = (chunk.as_ptr() as usize - base) / (slab_values * 4);
-            let mut chunk_span = dpz_telemetry::span::span("chunk");
-            chunk_span.annotate("chunk", index as f64);
-            chunk_span.annotate("bytes", (chunk.len() * 4) as f64);
-            let rows = chunk.len() / rest;
-            let mut slab_dims = dims.to_vec();
-            slab_dims[0] = rows;
-            let plan = if chunk.len() == slab_values {
-                &full_plan
-            } else {
-                tail_plan.as_ref().expect("ragged tail was planned")
-            };
-            plan.execute(chunk, &slab_dims)
-        })
-        .collect();
-    let mut streams = Vec::with_capacity(results.len());
-    let mut chunk_stats = Vec::with_capacity(results.len());
-    for r in results {
-        let c = r?;
+    // Two-phase pipelined execution: each slab's numeric stages
+    // (DCT → PCA → quantize, via `PipelinePlan::project`) and its entropy
+    // coding (`PipelinePlan::encode`) are separate tasks. Slabs are taken
+    // in waves of one pool's width; `rayon::join` runs wave `w`'s entropy
+    // coding concurrently with wave `w+1`'s numeric stages, so the DEFLATE
+    // or tANS work of finished slabs overlaps the transform math of later
+    // ones instead of serializing behind it. At most two waves of numeric
+    // outcomes are ever alive — the bounded in-flight queue that keeps
+    // memory proportional to the pool width, not the chunk count.
+    // Each chunk's bytes come from the same project+encode pair `execute`
+    // runs, in chunk order, so the container is byte-identical to the
+    // sequential driver's.
+    let project_one = |(index, chunk): (usize, &[f32])| {
+        let mut chunk_span = dpz_telemetry::span::span("chunk");
+        chunk_span.annotate("chunk", index as f64);
+        chunk_span.annotate("bytes", (chunk.len() * 4) as f64);
+        let rows = chunk.len() / rest;
+        let mut slab_dims = dims.to_vec();
+        slab_dims[0] = rows;
+        let plan = if chunk.len() == slab_values {
+            &full_plan
+        } else {
+            tail_plan.as_ref().expect("ragged tail was planned")
+        };
+        plan.project(chunk, &slab_dims)
+    };
+    let encode_wave = |outcomes: Vec<crate::pipeline::NumericOutcome>| -> Vec<Compressed> {
+        outcomes
+            .into_par_iter()
+            .map(|o| full_plan.encode(o))
+            .collect()
+    };
+
+    let slabs: Vec<(usize, &[f32])> = data.chunks(slab_values).enumerate().collect();
+    let wave = rayon::current_num_threads().max(1);
+    let mut streams = Vec::with_capacity(slabs.len());
+    let mut chunk_stats = Vec::with_capacity(slabs.len());
+    let mut pending: Option<Vec<crate::pipeline::NumericOutcome>> = None;
+    for wave_slabs in slabs.chunks(wave) {
+        let (encoded, projected) = rayon::join(
+            || pending.take().map(&encode_wave),
+            || {
+                wave_slabs
+                    .par_iter()
+                    .map(|&s| project_one(s))
+                    .collect::<Vec<Result<_, DpzError>>>()
+            },
+        );
+        for c in encoded.into_iter().flatten() {
+            streams.push(c.bytes);
+            chunk_stats.push(c.stats);
+        }
+        let mut wave_outcomes = Vec::with_capacity(projected.len());
+        for r in projected {
+            wave_outcomes.push(r?);
+        }
+        pending = Some(wave_outcomes);
+    }
+    for c in pending.take().map(&encode_wave).into_iter().flatten() {
         streams.push(c.bytes);
         chunk_stats.push(c.stats);
     }
@@ -257,6 +290,9 @@ fn parse_directory(bytes: &[u8]) -> Result<Directory<'_>, DpzError> {
         info: ContainerInfo {
             version,
             checksummed,
+            // Describes the outer DPZC directory only; each inner DPZ1
+            // stream carries its own per-section backend flags.
+            tans_sections: 0,
         },
     })
 }
@@ -449,7 +485,8 @@ mod tests {
             info,
             ContainerInfo {
                 version: 1,
-                checksummed: false
+                checksummed: false,
+                tans_sections: 0
             }
         );
         let (b, dims_b, info2) = decompress_chunked_with_info(&out.bytes).unwrap();
@@ -457,7 +494,8 @@ mod tests {
             info2,
             ContainerInfo {
                 version: 2,
-                checksummed: true
+                checksummed: true,
+                tans_sections: 0
             }
         );
         assert_eq!(a, b);

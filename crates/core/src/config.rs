@@ -1,6 +1,7 @@
 //! Compressor configuration: the paper's DPZ-l / DPZ-s schemes, the two
 //! k-selection methods of Algorithm 1, and the standardization policy.
 
+use crate::container::LosslessBackend;
 use dpz_linalg::fit::FitKind;
 
 /// Which deterministic transform stage 1 applies to each block.
@@ -170,6 +171,8 @@ pub struct DpzConfig {
     pub sampling_picks: usize,
     /// Sampling rate for the VIF compressibility probe.
     pub vif_sample_rate: f64,
+    /// Entropy backend for the container's lossless sections (stage 4).
+    pub lossless: LosslessBackend,
 }
 
 impl DpzConfig {
@@ -184,6 +187,7 @@ impl DpzConfig {
             sampling_subsets: 10,
             sampling_picks: 3,
             vif_sample_rate: 0.01,
+            lossless: LosslessBackend::Deflate,
         }
     }
 
@@ -221,6 +225,14 @@ impl DpzConfig {
     /// Set the stage-1 transform.
     pub fn with_transform(mut self, transform: Stage1Transform) -> DpzConfig {
         self.transform = transform;
+        self
+    }
+
+    /// Set the lossless entropy backend (stage 4). [`LosslessBackend::Tans`]
+    /// writes version-3 containers; the default DEFLATE output is
+    /// byte-identical to previous releases.
+    pub fn with_lossless(mut self, lossless: LosslessBackend) -> DpzConfig {
+        self.lossless = lossless;
         self
     }
 }

@@ -17,6 +17,12 @@
 //! Version-1 streams — identical layout minus the trailers — still decode;
 //! [`deserialize_with_info`] reports which form was seen.
 //!
+//! Version 3 prefixes every section with a one-byte [`LosslessBackend`]
+//! flag (0 = DEFLATE, 1 = tANS), letting each section pick its entropy
+//! coder independently. The writer emits v3 *only* when at least one
+//! section actually uses tANS; with the default DEFLATE backend the output
+//! is byte-identical to version 2, and v1/v2 streams keep decoding.
+//!
 //! The *model* section is the PCA projection matrix `D` (`M×k` `f32`,
 //! row-major), the `M` feature means (`f32`), and — when standardization was
 //! applied — the `M` feature scales (`f32`). Every section is compressed
@@ -30,13 +36,37 @@
 //! fast with [`DeflateError::TooLarge`].
 
 use crate::quantize::QuantizedScores;
-use dpz_deflate::{compress_parallel, crc32, decompress_bounded, CompressionLevel, DeflateError};
+use dpz_deflate::{
+    compress_parallel, crc32, decompress_bounded, tans, CompressionLevel, DeflateError,
+};
 
 const MAGIC: &[u8; 4] = b"DPZ1";
-/// Current writer version (per-section CRC-32 trailers).
+/// Default writer version (per-section CRC-32 trailers, DEFLATE sections).
 const VERSION: u8 = 2;
+/// Writer version when any section uses the tANS backend.
+const VERSION_TANS: u8 = 3;
 /// Oldest version the decoder still accepts (pre-checksum layout).
 const MIN_VERSION: u8 = 1;
+/// Sections smaller than this stay on DEFLATE even under the tANS backend:
+/// the tANS frequency-table header dominates tiny payloads.
+const TANS_MIN_SECTION: usize = 256;
+
+/// Entropy coder used for a container section's packed bytes.
+///
+/// The default, [`LosslessBackend::Deflate`], reproduces the paper's "zlib
+/// add-on" byte-for-byte (a v2 container). [`LosslessBackend::Tans`]
+/// switches bulky sections to the interleaved tabled-ANS coder in
+/// `dpz_deflate::tans` — an order-0 coder with no string matcher, which
+/// trades a little ratio on match-heavy payloads for a much faster,
+/// branch-light decode loop — and stamps the container as version 3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LosslessBackend {
+    /// LZ77 + Huffman per RFC 1951 (the v2 default).
+    #[default]
+    Deflate,
+    /// Interleaved tabled-ANS; forces a version-3 container.
+    Tans,
+}
 
 /// Errors from DPZ compression or decompression.
 #[derive(Debug, Clone, PartialEq)]
@@ -151,37 +181,73 @@ fn push_u64(out: &mut Vec<u8>, v: usize) {
     out.extend_from_slice(&(v as u64).to_le_bytes());
 }
 
-/// Serialize to the current (version 2, checksummed) container format,
-/// also reporting per-section sizes.
+/// Serialize to the current default (version 2, checksummed, DEFLATE)
+/// container format, also reporting per-section sizes.
 pub fn serialize(data: &ContainerData) -> (Vec<u8>, SectionSizes) {
-    serialize_as(data, VERSION)
+    serialize_with_backend(data, LosslessBackend::Deflate)
+}
+
+/// Serialize with an explicit entropy backend. DEFLATE produces the v2
+/// layout byte-for-byte; tANS upgrades the container to v3 with a
+/// per-section backend flag (tiny sections stay on DEFLATE — see
+/// [`TANS_MIN_SECTION`] — so a v3 stream may legitimately mix coders).
+pub fn serialize_with_backend(
+    data: &ContainerData,
+    backend: LosslessBackend,
+) -> (Vec<u8>, SectionSizes) {
+    let version = match backend {
+        LosslessBackend::Deflate => VERSION,
+        LosslessBackend::Tans => VERSION_TANS,
+    };
+    serialize_as(data, version, backend)
 }
 
 /// Serialize to the legacy version-1 layout (no CRC trailers). Kept so the
 /// backward-compatibility suite can fabricate genuine v1 streams and so
 /// operators can write containers readable by pre-checksum deployments.
 pub fn serialize_v1(data: &ContainerData) -> (Vec<u8>, SectionSizes) {
-    serialize_as(data, 1)
+    serialize_as(data, 1, LosslessBackend::Deflate)
 }
 
-fn serialize_as(data: &ContainerData, version: u8) -> (Vec<u8>, SectionSizes) {
+/// Pack one section under the requested backend, returning the bytes and
+/// the flag actually used (the tANS header does not pay for itself on tiny
+/// or >4 GiB payloads, so those fall back to DEFLATE).
+fn pack_section(raw: &[u8], backend: LosslessBackend) -> (Vec<u8>, LosslessBackend) {
+    match backend {
+        LosslessBackend::Tans
+            if raw.len() >= TANS_MIN_SECTION && raw.len() <= u32::MAX as usize =>
+        {
+            (tans::compress(raw), LosslessBackend::Tans)
+        }
+        _ => (
+            compress_parallel(raw, CompressionLevel::Default),
+            LosslessBackend::Deflate,
+        ),
+    }
+}
+
+fn serialize_as(
+    data: &ContainerData,
+    version: u8,
+    backend: LosslessBackend,
+) -> (Vec<u8>, SectionSizes) {
     // Model section: basis ++ mean ++ scale.
     let mut model = Vec::with_capacity((data.basis.len() + 2 * data.mean.len()) * 4);
     for &v in data.basis.iter().chain(&data.mean).chain(&data.scale) {
         model.extend_from_slice(&v.to_le_bytes());
     }
-    // Multi-member zlib: each section deflates in parallel strips; small
-    // sections fall back to a byte-identical single member (see
-    // `dpz_deflate::compress_parallel`).
-    let model_packed = compress_parallel(&model, CompressionLevel::Default);
-    let indices_packed = compress_parallel(&data.scores.indices, CompressionLevel::Default);
+    // DEFLATE sections are multi-member zlib: parallel strips, with small
+    // sections falling back to a byte-identical single member (see
+    // `dpz_deflate::compress_parallel`). tANS sections are one stream.
+    let (model_packed, model_backend) = pack_section(&model, backend);
+    let (indices_packed, indices_backend) = pack_section(&data.scores.indices, backend);
     let outlier_bytes: Vec<u8> = data
         .scores
         .outliers
         .iter()
         .flat_map(|v| v.to_le_bytes())
         .collect();
-    let outliers_packed = compress_parallel(&outlier_bytes, CompressionLevel::Default);
+    let (outliers_packed, outliers_backend) = pack_section(&outlier_bytes, backend);
 
     let sizes = SectionSizes {
         model_raw: model.len(),
@@ -192,10 +258,19 @@ fn serialize_as(data: &ContainerData, version: u8) -> (Vec<u8>, SectionSizes) {
         outliers_packed: outliers_packed.len(),
     };
 
-    // Per-section CRC-32 trailer for version >= 2 (absent in v1).
+    // Per-section CRC-32 trailer for version >= 2 (absent in v1); backend
+    // flag byte for version >= 3 (absent before, where DEFLATE is implied).
     let crc_trailer = |out: &mut Vec<u8>, packed: &[u8]| {
         if version >= 2 {
             out.extend_from_slice(&crc32(packed).to_le_bytes());
+        }
+    };
+    let backend_flag = |out: &mut Vec<u8>, b: LosslessBackend| {
+        if version >= VERSION_TANS {
+            out.push(match b {
+                LosslessBackend::Deflate => 0,
+                LosslessBackend::Tans => 1,
+            });
         }
     };
 
@@ -218,14 +293,17 @@ fn serialize_as(data: &ContainerData, version: u8) -> (Vec<u8>, SectionSizes) {
     out.extend_from_slice(&data.p.to_le_bytes());
     out.push(u8::from(data.scores.wide_index));
     out.push(u8::from(data.standardized));
+    backend_flag(&mut out, model_backend);
     push_u64(&mut out, model.len());
     push_u64(&mut out, model_packed.len());
     out.extend_from_slice(&model_packed);
     crc_trailer(&mut out, &model_packed);
+    backend_flag(&mut out, indices_backend);
     push_u64(&mut out, data.scores.indices.len());
     push_u64(&mut out, indices_packed.len());
     out.extend_from_slice(&indices_packed);
     crc_trailer(&mut out, &indices_packed);
+    backend_flag(&mut out, outliers_backend);
     push_u64(&mut out, data.scores.outliers.len());
     push_u64(&mut out, outliers_packed.len());
     out.extend_from_slice(&outliers_packed);
@@ -272,14 +350,29 @@ impl<'a> Cursor<'a> {
         Ok(f64::from_le_bytes(b.try_into().unwrap()))
     }
 
+    /// Read a section's backend flag: explicit byte in v3+, implicitly
+    /// DEFLATE before that.
+    fn backend(&mut self, version: u8) -> Result<LosslessBackend, DpzError> {
+        if version < VERSION_TANS {
+            return Ok(LosslessBackend::Deflate);
+        }
+        match self.u8()? {
+            0 => Ok(LosslessBackend::Deflate),
+            1 => Ok(LosslessBackend::Tans),
+            _ => Err(DpzError::Corrupt("unknown section backend")),
+        }
+    }
+
     /// Read one packed section (`packed_len` + bytes `[+ crc]`), verify the
-    /// trailer when present, and inflate it under the `expected_raw` bound
-    /// the validated header implies. The CRC is checked *before* inflating
-    /// so corrupt payloads are rejected at container speed.
+    /// trailer when present, and unpack it with the flagged backend under
+    /// the `expected_raw` bound the validated header implies. The CRC is
+    /// checked *before* any entropy decode so corrupt payloads are rejected
+    /// at container speed.
     fn section(
         &mut self,
         expected_raw: usize,
         checksummed: bool,
+        backend: LosslessBackend,
         what: &'static str,
     ) -> Result<Vec<u8>, DpzError> {
         let packed_len = self.u64()?;
@@ -290,7 +383,10 @@ impl<'a> Cursor<'a> {
                 return Err(DpzError::Corrupt(what));
             }
         }
-        let raw = decompress_bounded(packed, expected_raw)?;
+        let raw = match backend {
+            LosslessBackend::Deflate => decompress_bounded(packed, expected_raw)?,
+            LosslessBackend::Tans => tans::decompress_bounded(packed, expected_raw)?,
+        };
         if raw.len() != expected_raw {
             return Err(DpzError::Corrupt("section size mismatch"));
         }
@@ -322,6 +418,9 @@ pub struct ContainerInfo {
     /// Whether per-section CRC-32 trailers were present and verified (always
     /// true for version >= 2 streams — a mismatch is a hard decode error).
     pub checksummed: bool,
+    /// How many of the three sections were tANS-coded (0 for v1/v2 streams
+    /// and for v3 streams that happened to stay on DEFLATE throughout).
+    pub tans_sections: u8,
 }
 
 /// Parse a container back into its parts.
@@ -336,7 +435,7 @@ pub fn deserialize_with_info(bytes: &[u8]) -> Result<(ContainerData, ContainerIn
         return Err(DpzError::Corrupt("bad magic"));
     }
     let version = cur.u8()?;
-    if !(MIN_VERSION..=VERSION).contains(&version) {
+    if !(MIN_VERSION..=VERSION_TANS).contains(&version) {
         return Err(DpzError::Corrupt("unsupported version"));
     }
     let checksummed = version >= 2;
@@ -396,6 +495,13 @@ pub fn deserialize_with_info(bytes: &[u8]) -> Result<(ContainerData, ContainerIn
         .and_then(|v| v.checked_add(if standardized { m } else { 0 }))
         .and_then(|v| v.checked_mul(4))
         .ok_or(DpzError::Corrupt("model size overflow"))?;
+    let mut tans_sections = 0u8;
+    let mut count_tans = |b: LosslessBackend| {
+        tans_sections += u8::from(b == LosslessBackend::Tans);
+        b
+    };
+
+    let model_backend = count_tans(cur.backend(version)?);
     let model_raw = cur.u64()?;
     if model_raw != expected_model {
         return Err(DpzError::Corrupt("model section shape mismatch"));
@@ -403,6 +509,7 @@ pub fn deserialize_with_info(bytes: &[u8]) -> Result<(ContainerData, ContainerIn
     let model = cur.section(
         expected_model,
         checksummed,
+        model_backend,
         "model section checksum mismatch",
     )?;
     let model_f = f32s_from(&model);
@@ -417,6 +524,7 @@ pub fn deserialize_with_info(bytes: &[u8]) -> Result<(ContainerData, ContainerIn
     let index_width = if wide_index { 2 } else { 1 };
     let nk = checked_product(&[n, k], "index size overflow")?;
     let expected_indices = checked_product(&[nk, index_width], "index size overflow")?;
+    let indices_backend = count_tans(cur.backend(version)?);
     let indices_raw = cur.u64()?;
     if indices_raw != expected_indices {
         return Err(DpzError::Corrupt("index stream length mismatch"));
@@ -424,9 +532,11 @@ pub fn deserialize_with_info(bytes: &[u8]) -> Result<(ContainerData, ContainerIn
     let indices = cur.section(
         expected_indices,
         checksummed,
+        indices_backend,
         "index section checksum mismatch",
     )?;
 
+    let outliers_backend = count_tans(cur.backend(version)?);
     let n_outliers = cur.u64()?;
     // Outliers are escaped scores, so there can never be more than n·k.
     if n_outliers > nk {
@@ -436,6 +546,7 @@ pub fn deserialize_with_info(bytes: &[u8]) -> Result<(ContainerData, ContainerIn
     let outlier_bytes = cur.section(
         expected_outliers,
         checksummed,
+        outliers_backend,
         "outlier section checksum mismatch",
     )?;
     let outliers = f32s_from(&outlier_bytes);
@@ -476,6 +587,7 @@ pub fn deserialize_with_info(bytes: &[u8]) -> Result<(ContainerData, ContainerIn
         ContainerInfo {
             version,
             checksummed,
+            tans_sections,
         },
     ))
 }
@@ -575,7 +687,8 @@ mod tests {
             info,
             ContainerInfo {
                 version: 2,
-                checksummed: true
+                checksummed: true,
+                tans_sections: 0
             }
         );
     }
@@ -589,7 +702,8 @@ mod tests {
             info,
             ContainerInfo {
                 version: 1,
-                checksummed: false
+                checksummed: false,
+                tans_sections: 0
             }
         );
         assert_eq!(parsed.dims, data.dims);
@@ -612,6 +726,97 @@ mod tests {
             deserialize(&corrupt),
             Err(DpzError::Corrupt("model section checksum mismatch"))
         ));
+    }
+
+    /// A container whose index stream is large enough to clear
+    /// [`TANS_MIN_SECTION`], so the tANS backend actually engages.
+    fn bulky_container() -> ContainerData {
+        // Mostly-zero scores quantize to a heavily skewed index stream —
+        // the shape tANS is good at.
+        let scores: Vec<f64> = (0..4000)
+            .map(|i| if i % 13 == 0 { 0.05 } else { 0.0 })
+            .collect();
+        let q = quantize_scores(&scores, Scheme::Loose);
+        ContainerData {
+            dims: vec![100, 80],
+            orig_len: 8000,
+            m: 8,
+            n: 1000,
+            pad: 0,
+            norm_min: 0.0,
+            norm_range: 1.0,
+            k: 4,
+            transform_tag: 0,
+            dwt_levels: 0,
+            p: Scheme::Loose.p(),
+            standardized: false,
+            basis: (0..32).map(|i| i as f32 * 0.01).collect(),
+            mean: vec![0.5; 8],
+            scale: vec![],
+            scores: q,
+        }
+    }
+
+    #[test]
+    fn tans_backend_round_trips_as_v3() {
+        let data = bulky_container();
+        let (bytes, sizes) = serialize_with_backend(&data, LosslessBackend::Tans);
+        assert_eq!(bytes[4], 3, "tANS output must be a v3 container");
+        assert!(sizes.indices_packed < sizes.indices_raw);
+        let (parsed, info) = deserialize_with_info(&bytes).unwrap();
+        assert_eq!(info.version, 3);
+        assert!(info.checksummed);
+        assert!(
+            info.tans_sections >= 1,
+            "the 4000-byte index stream must have used tANS"
+        );
+        assert_eq!(parsed.scores, data.scores);
+        assert_eq!(parsed.basis, data.basis);
+    }
+
+    #[test]
+    fn deflate_backend_stays_byte_identical_to_v2() {
+        let data = bulky_container();
+        let (default_bytes, _) = serialize(&data);
+        let (explicit, _) = serialize_with_backend(&data, LosslessBackend::Deflate);
+        assert_eq!(default_bytes, explicit);
+        assert_eq!(default_bytes[4], 2);
+    }
+
+    #[test]
+    fn v3_sections_below_threshold_fall_back_to_deflate() {
+        // Every section of the small sample is under TANS_MIN_SECTION, so a
+        // tANS request still produces DEFLATE sections — in a v3 frame.
+        let (bytes, _) = serialize_with_backend(&sample_container(), LosslessBackend::Tans);
+        assert_eq!(bytes[4], 3);
+        let (_, info) = deserialize_with_info(&bytes).unwrap();
+        assert_eq!(info.tans_sections, 0);
+    }
+
+    #[test]
+    fn unknown_backend_flag_is_rejected() {
+        let data = bulky_container();
+        let (mut bytes, _) = serialize_with_backend(&data, LosslessBackend::Tans);
+        // The model section's flag byte sits right after the fixed header.
+        let header_len = 4 + 1 + 1 + 8 * data.dims.len() + 8 * 4 + 8 * 2 + 8 + 1 + 1 + 8 + 1 + 1;
+        assert!(bytes[header_len] <= 1);
+        bytes[header_len] = 7;
+        assert!(matches!(
+            deserialize(&bytes),
+            Err(DpzError::Corrupt("unknown section backend"))
+        ));
+    }
+
+    #[test]
+    fn corrupt_tans_section_fails_crc_before_decode() {
+        let data = bulky_container();
+        let (bytes, _) = serialize_with_backend(&data, LosslessBackend::Tans);
+        // Flip one byte near the end of the index payload (inside the tANS
+        // bitstream): the CRC must catch it.
+        let mut corrupt = bytes.clone();
+        let off = corrupt.len() - 60;
+        corrupt[off] ^= 0xFF;
+        assert!(deserialize(&corrupt).is_err());
     }
 
     #[test]

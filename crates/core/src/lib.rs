@@ -61,10 +61,10 @@ pub use chunked::{
     compress_chunked, decompress_chunk, decompress_chunked, decompress_chunked_with_info,
 };
 pub use config::{DpzConfig, KSelection, Scheme, Stage1Transform, Standardize, TveLevel};
-pub use container::{ContainerInfo, DpzError};
+pub use container::{ContainerInfo, DpzError, LosslessBackend};
 pub use pipeline::{
     compress, compress_with_breakdown, decompress, decompress_with_info, Compressed,
-    CompressionBreakdown, CompressionStats, PipelinePlan, StageTimings,
+    CompressionBreakdown, CompressionStats, NumericOutcome, PipelinePlan, StageTimings,
 };
 pub use sampling::{SamplingEstimate, SamplingStrategy};
 pub use stage::{BufferPool, Stage, StageGraph, StageTrace};

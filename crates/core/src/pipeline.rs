@@ -160,8 +160,6 @@ struct PipelineCtx<'a> {
     scores: Option<Matrix>,
     quantized: Option<QuantizedScores>,
     n_outliers: usize,
-    bytes: Vec<u8>,
-    sections: Option<SectionSizes>,
 }
 
 /// Stage 1: range normalization, decomposition + block transform.
@@ -182,15 +180,25 @@ impl<'a> Stage<PipelineCtx<'a>> for Stage1Decompose {
         ctx.norm_min = norm_min;
         ctx.norm_range = norm_range;
         let storage = ctx.pool.acquire(ctx.shape.m * ctx.shape.n);
-        let mut blocks = decompose::to_blocks_in(ctx.data, ctx.shape, storage);
-        for v in blocks.as_mut_slice() {
-            *v = (*v - norm_min) / norm_range - 0.5;
-        }
         let coeffs = match ctx.transform_tag {
-            1 => decompose::dwt_blocks(&blocks, ctx.dwt_levels as usize),
-            _ => decompose::dct_blocks(&blocks),
+            1 => {
+                let mut blocks = decompose::to_blocks_in(ctx.data, ctx.shape, storage);
+                for v in blocks.as_mut_slice() {
+                    *v = (*v - norm_min) / norm_range - 0.5;
+                }
+                let coeffs = decompose::dwt_blocks(&blocks, ctx.dwt_levels as usize);
+                ctx.pool.release(blocks.into_vec());
+                coeffs
+            }
+            _ => {
+                // Fused path: normalize + block + DCT + single transpose.
+                let (coeffs, scratch) = decompose::dct_blocks_from_raw(
+                    ctx.data, ctx.shape, norm_min, norm_range, storage,
+                );
+                ctx.pool.release(scratch);
+                coeffs
+            }
         };
-        ctx.pool.release(blocks.into_vec());
         ctx.coeffs = Some(coeffs);
         Ok(())
     }
@@ -298,17 +306,19 @@ impl<'a> Stage<PipelineCtx<'a>> for Stage2Pca {
                 (pca, choice)
             }
             (_, KSelection::Tve(tve)) => {
-                // Escalating truncated solve; falls back to the full solver
-                // internally once the attempted rank stops being ≪ M. The
-                // escalation's probe solves only amortize when the full solve
-                // is itself expensive — at a few hundred features a direct
-                // solve costs about what one k₀ probe does, so small shapes
-                // skip straight to it.
+                // Large M: escalating truncated solve; falls back to the full
+                // solver internally once the attempted rank stops being ≪ M.
+                // Moderate M: the escalation's probe solves don't amortize, but
+                // a full tred2+tql2 decomposition still overpays by ~2x when
+                // the TVE rule keeps k ≪ M — the exact-TVE solver computes the
+                // complete spectrum cheaply (eigenvalues-only QL) and then
+                // only the k selected eigenvectors (inverse iteration +
+                // reflector back-transform).
                 let pca = if shape.m >= 512 {
                     let k0 = (shape.m / 32).max(8);
                     Pca::fit_tve_bounded(&coeffs, opts, tve, k0)?
                 } else {
-                    Pca::fit(&coeffs, opts)?
+                    Pca::fit_tve_exact(&coeffs, opts, tve)?
                 };
                 let choice = select_k(&pca, cfg.selection);
                 (pca, choice)
@@ -359,52 +369,53 @@ impl<'a> Stage<PipelineCtx<'a>> for Stage3Quantize {
     }
 }
 
-/// Lossless add-on: f32-round the model, DEFLATE every section, and
-/// assemble the self-describing container.
-struct LosslessStage;
-
-impl<'a> Stage<PipelineCtx<'a>> for LosslessStage {
-    fn name(&self) -> &'static str {
-        LOSSLESS_NAME
+/// Model rounding: f32-round the PCA projection/means/scales and gather
+/// everything the container must persist. This closes the numeric phase —
+/// what follows (entropy coding) touches only bytes.
+fn assemble_payload(ctx: &mut PipelineCtx<'_>) -> ContainerData {
+    let pca = ctx.pca.as_ref().expect("stage 2 ran");
+    let k = ctx.k;
+    let projection = pca.projection(k);
+    let basis: Vec<f32> = projection.as_slice().iter().map(|&v| v as f32).collect();
+    let mean: Vec<f32> = pca.mean().iter().map(|&v| v as f32).collect();
+    let scale: Vec<f32> = pca
+        .feature_scale()
+        .map(|s| s.iter().map(|&v| v as f32).collect())
+        .unwrap_or_default();
+    ContainerData {
+        dims: ctx.dims.to_vec(),
+        orig_len: ctx.data.len(),
+        m: ctx.shape.m,
+        n: ctx.shape.n,
+        pad: ctx.shape.pad,
+        norm_min: ctx.norm_min,
+        norm_range: ctx.norm_range,
+        k,
+        transform_tag: ctx.transform_tag,
+        dwt_levels: ctx.dwt_levels,
+        p: ctx.cfg.scheme.p(),
+        standardized: ctx.standardize,
+        basis,
+        mean,
+        scale,
+        scores: ctx.quantized.take().expect("stage 3 ran"),
     }
+}
 
-    fn execute(&self, ctx: &mut PipelineCtx<'a>) -> Result<(), DpzError> {
-        let pca = ctx.pca.as_ref().expect("stage 2 ran");
-        let k = ctx.k;
-        let projection = pca.projection(k);
-        let basis: Vec<f32> = projection.as_slice().iter().map(|&v| v as f32).collect();
-        let mean: Vec<f32> = pca.mean().iter().map(|&v| v as f32).collect();
-        let scale: Vec<f32> = pca
-            .feature_scale()
-            .map(|s| s.iter().map(|&v| v as f32).collect())
-            .unwrap_or_default();
-        let payload = ContainerData {
-            dims: ctx.dims.to_vec(),
-            orig_len: ctx.data.len(),
-            m: ctx.shape.m,
-            n: ctx.shape.n,
-            pad: ctx.shape.pad,
-            norm_min: ctx.norm_min,
-            norm_range: ctx.norm_range,
-            k,
-            transform_tag: ctx.transform_tag,
-            dwt_levels: ctx.dwt_levels,
-            p: ctx.cfg.scheme.p(),
-            standardized: ctx.standardize,
-            basis,
-            mean,
-            scale,
-            scores: ctx.quantized.take().expect("stage 3 ran"),
-        };
-        let (bytes, sections) = container::serialize(&payload);
-        ctx.bytes = bytes;
-        ctx.sections = Some(sections);
-        Ok(())
-    }
-
-    fn trace_args(&self, ctx: &PipelineCtx<'a>) -> Vec<(&'static str, f64)> {
-        vec![("bytes", ctx.bytes.len() as f64)]
-    }
+/// Everything stages 1–3 produce for one buffer, ready for entropy coding.
+///
+/// The numeric/lossless split exists so the chunked driver can overlap
+/// chunk `i`'s entropy coding with chunk `i+1`'s DCT/PCA on the same
+/// thread pool — see [`crate::chunked::compress_chunked`]. Feed it to
+/// [`PipelinePlan::encode`]; the pair is exactly equivalent to
+/// [`PipelinePlan::execute`].
+pub struct NumericOutcome {
+    payload: ContainerData,
+    timings: StageTimings,
+    tve_achieved: f64,
+    sampling_est: Option<SamplingEstimate>,
+    n_outliers: usize,
+    orig_bytes: usize,
 }
 
 /// A planned compression: shape and transform resolved once for a given
@@ -481,32 +492,41 @@ impl PipelinePlan {
     }
 
     /// Execute the plan against one buffer. `data.len()` must equal the
-    /// planned length and `dims` must describe it.
+    /// planned length and `dims` must describe it. Equivalent to
+    /// [`PipelinePlan::project`] followed by [`PipelinePlan::encode`].
     pub fn execute(&self, data: &[f32], dims: &[usize]) -> Result<Compressed, DpzError> {
-        self.execute_inner(data, dims, false).map(|(c, _)| c)
+        let mut root = span!("compress");
+        root.annotate("bytes", (data.len() * 4) as f64);
+        let (outcome, _) = self.project_inner(data, dims, false)?;
+        Ok(self.encode(outcome))
     }
 
-    /// [`PipelinePlan::execute`] that additionally captures the stage-1
+    /// Run the numeric phase only — stages 1–3 plus model rounding — and
+    /// return the artifacts the entropy coder needs. The chunked driver
+    /// uses this to overlap one slab's [`PipelinePlan::encode`] with the
+    /// next slab's numeric stages.
+    pub fn project(&self, data: &[f32], dims: &[usize]) -> Result<NumericOutcome, DpzError> {
+        self.project_inner(data, dims, false).map(|(o, _)| o)
+    }
+
+    /// [`PipelinePlan::project`] that additionally captures the stage-1
     /// coefficient matrix via a graph tap (for breakdown analyses).
-    fn execute_inner(
+    fn project_inner(
         &self,
         data: &[f32],
         dims: &[usize],
         capture_coeffs: bool,
-    ) -> Result<(Compressed, Option<Matrix>), DpzError> {
+    ) -> Result<(NumericOutcome, Option<Matrix>), DpzError> {
         check_input(data, dims)?;
         if data.len() != self.len {
             return Err(DpzError::BadInput("data length does not match plan"));
         }
-        let mut root = span!("compress");
-        root.annotate("bytes", (data.len() * 4) as f64);
 
         let graph: StageGraph<PipelineCtx> = StageGraph::new()
             .then(Stage1Decompose)
             .then(SamplingStage)
             .then(Stage2Pca)
-            .then(Stage3Quantize)
-            .then(LosslessStage);
+            .then(Stage3Quantize);
         let mut ctx = PipelineCtx {
             data,
             dims,
@@ -526,8 +546,6 @@ impl PipelinePlan {
             scores: None,
             quantized: None,
             n_outliers: 0,
-            bytes: Vec::new(),
-            sections: None,
         };
         let mut captured = None;
         let trace = graph.run_with_tap(&mut ctx, |name, c| {
@@ -535,19 +553,44 @@ impl PipelinePlan {
                 captured = c.coeffs.clone();
             }
         })?;
-        let timings = StageTimings::from_trace(&trace);
 
-        let bytes = std::mem::take(&mut ctx.bytes);
-        let sections = ctx.sections.take().expect("lossless stage ran");
-        let (shape, k, standardize) = (self.shape, ctx.k, ctx.standardize);
+        let payload = assemble_payload(&mut ctx);
+        let outcome = NumericOutcome {
+            payload,
+            timings: StageTimings::from_trace(&trace),
+            tve_achieved: ctx.tve_achieved,
+            sampling_est: ctx.sampling_est.take(),
+            n_outliers: ctx.n_outliers,
+            orig_bytes: data.len() * 4,
+        };
+        Ok((outcome, captured))
+    }
 
+    /// Entropy-code a numeric outcome into the final container (the
+    /// lossless stage), producing byte-for-byte the same stream
+    /// [`PipelinePlan::execute`] would have.
+    pub fn encode(&self, outcome: NumericOutcome) -> Compressed {
+        let NumericOutcome {
+            payload,
+            mut timings,
+            tve_achieved,
+            sampling_est,
+            n_outliers,
+            orig_bytes,
+        } = outcome;
+        let mut span = dpz_telemetry::span::span(LOSSLESS_NAME);
+        let start = std::time::Instant::now();
+        let (bytes, sections) = container::serialize_with_backend(&payload, self.cfg.lossless);
+        timings.lossless = start.elapsed();
+        span.annotate("bytes", bytes.len() as f64);
+        drop(span);
+
+        let (m, n, k, standardize) = (payload.m, payload.n, payload.k, payload.standardized);
         // Per-stage ratio accounting (Table III semantics):
         //   stage 1&2 : original f32 -> f32 core (scores + basis + means[+scales])
         //   stage 3   : f32 core -> quantized sections (indices + outliers + model)
-        //   zlib      : quantized sections -> DEFLATE output
-        let orig_bytes = data.len() * 4;
-        let core_f32 =
-            (shape.n * k + shape.m * k + shape.m + if standardize { shape.m } else { 0 }) * 4;
+        //   zlib      : quantized sections -> entropy-coded output
+        let core_f32 = (n * k + m * k + m + if standardize { m } else { 0 }) * 4;
         let stage3_raw = sections.total_raw();
         let cr_stage12 = orig_bytes as f64 / core_f32 as f64;
         let cr_stage3 = core_f32 as f64 / stage3_raw as f64;
@@ -555,10 +598,10 @@ impl PipelinePlan {
         let cr_total = orig_bytes as f64 / bytes.len() as f64;
 
         let stats = CompressionStats {
-            m: shape.m,
-            n: shape.n,
+            m,
+            n,
             k,
-            tve_achieved: ctx.tve_achieved,
+            tve_achieved,
             standardized: standardize,
             timings,
             sections,
@@ -566,11 +609,11 @@ impl PipelinePlan {
             cr_stage3,
             cr_zlib,
             cr_total,
-            sampling: ctx.sampling_est.take(),
+            sampling: sampling_est,
             checksummed: true,
         };
-        record_compress_metrics(&stats, orig_bytes, bytes.len(), ctx.n_outliers);
-        Ok((Compressed { bytes, stats }, captured))
+        record_compress_metrics(&stats, orig_bytes, bytes.len(), n_outliers);
+        Compressed { bytes, stats }
     }
 }
 
@@ -690,19 +733,27 @@ fn expand_scores(scores: &Matrix, payload: &ContainerData) -> Result<Vec<f32>, D
         }
     }
     // Inverse transform, denormalize, re-flatten.
-    let mut blocks = match payload.transform_tag {
-        1 => decompose::idwt_blocks(&coeffs, payload.dwt_levels as usize),
-        _ => decompose::idct_blocks(&coeffs),
-    };
-    for v in blocks.as_mut_slice() {
-        *v = (*v + 0.5) * payload.norm_range + payload.norm_min;
-    }
     let shape = BlockShape {
         m,
         n,
         pad: payload.pad,
     };
-    Ok(decompose::from_blocks(&blocks, shape, payload.orig_len))
+    if payload.transform_tag == 1 {
+        let mut blocks = decompose::idwt_blocks(&coeffs, payload.dwt_levels as usize);
+        for v in blocks.as_mut_slice() {
+            *v = (*v + 0.5) * payload.norm_range + payload.norm_min;
+        }
+        Ok(decompose::from_blocks(&blocks, shape, payload.orig_len))
+    } else {
+        // Fused path: single transpose + paired inverse DCT + denormalize.
+        Ok(decompose::idct_blocks_to_raw(
+            &coeffs,
+            shape,
+            payload.norm_min,
+            payload.norm_range,
+            payload.orig_len,
+        ))
+    }
 }
 
 /// Shared reconstruction path. Also returns the de-quantized scores matrix
@@ -758,7 +809,8 @@ pub fn compress_with_breakdown(
 ) -> Result<CompressionBreakdown, DpzError> {
     check_input(data, dims)?;
     let plan = PipelinePlan::new(data.len(), cfg)?;
-    let (compressed, coeffs) = plan.execute_inner(data, dims, true)?;
+    let (outcome, coeffs) = plan.project_inner(data, dims, true)?;
+    let compressed = plan.encode(outcome);
     let coeffs = coeffs.expect("tap captured stage-1 coefficients");
     let payload = container::deserialize(&compressed.bytes)?;
     let (reconstructed, _, _) = reconstruct(&payload)?;

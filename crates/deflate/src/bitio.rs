@@ -19,28 +19,29 @@ impl BitWriter {
         Self::default()
     }
 
-    /// Append the low `count` bits of `value` (LSB-first). `count <= 57` per
-    /// call keeps the accumulator from overflowing.
+    /// Append the low `count` bits of `value` (LSB-first). The accumulator
+    /// drains four bytes at a time: a 32-bit write fits on top of up to 31
+    /// pending bits without overflowing the 64-bit accumulator.
     #[inline]
     pub fn write_bits(&mut self, value: u32, count: u32) {
         debug_assert!(count <= 32);
         debug_assert!(count == 32 || u64::from(value) < (1u64 << count));
         self.acc |= u64::from(value) << self.nbits;
         self.nbits += count;
-        while self.nbits >= 8 {
-            self.out.push((self.acc & 0xFF) as u8);
-            self.acc >>= 8;
-            self.nbits -= 8;
+        if self.nbits >= 32 {
+            self.out.extend_from_slice(&(self.acc as u32).to_le_bytes());
+            self.acc >>= 32;
+            self.nbits -= 32;
         }
     }
 
     /// Pad with zero bits to the next byte boundary (used before stored
     /// blocks and at stream end).
     pub fn align_to_byte(&mut self) {
-        if self.nbits > 0 {
+        while self.nbits > 0 {
             self.out.push((self.acc & 0xFF) as u8);
-            self.acc = 0;
-            self.nbits = 0;
+            self.acc >>= 8;
+            self.nbits = self.nbits.saturating_sub(8);
         }
     }
 
@@ -52,7 +53,7 @@ impl BitWriter {
 
     /// Number of complete bytes emitted so far (excluding pending bits).
     pub fn byte_len(&self) -> usize {
-        self.out.len()
+        self.out.len() + (self.nbits / 8) as usize
     }
 
     /// Total length in bits including pending bits.
@@ -122,6 +123,40 @@ impl<'a> BitReader<'a> {
     #[inline]
     pub fn read_bit(&mut self) -> Result<u32> {
         self.read_bits(1)
+    }
+
+    /// Look at the next `count` bits (0..=32) without consuming them,
+    /// zero-padded past end of input. The accumulator keeps unread high bits
+    /// at zero, so the padding needs no masking; pair with
+    /// [`BitReader::bits_available`] to detect reads past the end.
+    #[inline]
+    pub fn peek_bits(&mut self, count: u32) -> u32 {
+        debug_assert!(count <= 32);
+        if self.nbits < count {
+            self.refill();
+        }
+        let mask = if count == 32 {
+            u64::MAX >> 32
+        } else {
+            (1u64 << count) - 1
+        };
+        (self.acc & mask) as u32
+    }
+
+    /// Discard `count` bits previously seen via [`BitReader::peek_bits`].
+    /// `count` must not exceed [`BitReader::bits_available`].
+    #[inline]
+    pub fn consume(&mut self, count: u32) {
+        debug_assert!(count <= self.nbits);
+        self.acc >>= count;
+        self.nbits -= count;
+    }
+
+    /// Bits currently buffered in the accumulator (valid after a peek; the
+    /// stream may hold more bytes not yet pulled in).
+    #[inline]
+    pub fn bits_available(&self) -> u32 {
+        self.nbits
     }
 
     /// Discard bits up to the next byte boundary.

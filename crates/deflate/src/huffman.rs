@@ -300,6 +300,216 @@ impl Decoder {
     }
 }
 
+/// Number of stream bits indexing the primary lookup table. Codes no longer
+/// than this decode with a single probe; longer codes chase one subtable
+/// pointer. 10 bits covers every code of the DEFLATE dynamic tables on
+/// typical data (lengths beyond 10 are rare tails).
+pub const LUT_BITS: u32 = 10;
+
+const ENTRY_CONSUMED_SHIFT: u32 = 16;
+const ENTRY_CONSUMED_MASK: u32 = 0x3F;
+const ENTRY_DOUBLE: u32 = 1 << 22;
+const ENTRY_SUBTABLE: u32 = 1 << 23;
+
+/// Table-driven canonical Huffman decoder: the next [`LUT_BITS`] stream bits
+/// index a flat table whose entries carry the decoded symbol *and* the code
+/// length, replacing the [`Decoder`]'s bit-at-a-time walk with one probe.
+///
+/// Two extra entry kinds accelerate and complete the scheme:
+///
+/// * **double-literal** entries (built when `pack_pairs` is set) hold two
+///   literal symbols whose codes together fit in the primary index, so runs
+///   of short literal codes decode two symbols per probe;
+/// * **subtable** entries cover codes longer than [`LUT_BITS`] — the primary
+///   entry points at a dense subtable indexed by the code's remaining bits.
+///
+/// Entry layout (`u32`): payload in bits 0..16 (symbol, or `lit1 | lit2<<8`
+/// for doubles, or subtable start for pointers), total consumed bits in
+/// 16..22 (0 marks an undefined code), flags in 22..24.
+#[derive(Debug, Clone)]
+pub struct LutDecoder {
+    table: Vec<u32>,
+    sub: Vec<u32>,
+}
+
+impl LutDecoder {
+    /// Build the lookup tables from code lengths. Same validation as
+    /// [`Decoder::from_lengths`]: over-subscribed codes are rejected,
+    /// incomplete codes leave undefined entries that fail at decode time.
+    pub fn from_lengths(lengths: &[u8], pack_pairs: bool) -> Result<LutDecoder> {
+        let max_len = lengths.iter().cloned().max().unwrap_or(0) as usize;
+        let mut table = vec![0u32; 1 << LUT_BITS];
+        let mut sub = Vec::new();
+        if max_len == 0 {
+            return Ok(LutDecoder { table, sub });
+        }
+        let mut counts = vec![0u32; max_len + 1];
+        for &l in lengths {
+            if l > 0 {
+                counts[l as usize] += 1;
+            }
+        }
+        let mut left = 1i64;
+        for &count in counts.iter().take(max_len + 1).skip(1) {
+            left <<= 1;
+            left -= count as i64;
+            if left < 0 {
+                return Err(DeflateError::Corrupt("oversubscribed huffman code"));
+            }
+        }
+        // Canonical MSB-first codes, then bit-reverse to the LSB-first
+        // pattern the stream actually presents.
+        let mut next_code = vec![0u32; max_len + 1];
+        let mut code = 0u32;
+        for bits in 1..=max_len {
+            next_code[bits] = code;
+            code = (code + counts[bits]) << 1;
+        }
+        let lut_bits = LUT_BITS as usize;
+        let prefix_mask = (1u32 << LUT_BITS) - 1;
+        // Subtable sizing: widest extra-bit count per long-code prefix.
+        let mut sub_extra = vec![0u8; 1 << LUT_BITS];
+        let mut patterns = vec![0u32; lengths.len()];
+        for (sym, &l) in lengths.iter().enumerate() {
+            if l == 0 {
+                continue;
+            }
+            let l = l as usize;
+            let pat = reverse_bits(next_code[l], l as u8);
+            next_code[l] += 1;
+            patterns[sym] = pat;
+            if l > lut_bits {
+                let p = (pat & prefix_mask) as usize;
+                sub_extra[p] = sub_extra[p].max((l - lut_bits) as u8);
+            }
+        }
+        // Allocate subtables and plant the pointer entries.
+        let mut sub_start = vec![0u32; 1 << LUT_BITS];
+        for (p, &extra) in sub_extra.iter().enumerate() {
+            if extra > 0 {
+                sub_start[p] = sub.len() as u32;
+                sub.resize(sub.len() + (1usize << extra), 0);
+                table[p] =
+                    sub_start[p] | (u32::from(extra) << ENTRY_CONSUMED_SHIFT) | ENTRY_SUBTABLE;
+            }
+        }
+        // Fill: every index whose low `l` bits match the pattern decodes sym.
+        for (sym, &l) in lengths.iter().enumerate() {
+            if l == 0 {
+                continue;
+            }
+            let l = l as usize;
+            let pat = patterns[sym] as usize;
+            let entry = sym as u32 | ((l as u32) << ENTRY_CONSUMED_SHIFT);
+            if l <= lut_bits {
+                let mut i = pat;
+                while i < table.len() {
+                    table[i] = entry;
+                    i += 1 << l;
+                }
+            } else {
+                let p = pat & prefix_mask as usize;
+                let start = sub_start[p] as usize;
+                let extra = sub_extra[p] as usize;
+                let mut i = pat >> lut_bits;
+                while i < 1 << extra {
+                    sub[start + i] = entry;
+                    i += 1 << (l - lut_bits);
+                }
+            }
+        }
+        if pack_pairs {
+            // Second probe-free literal: where a literal's code leaves room
+            // in the primary index and the following bits complete another
+            // literal, merge both into one entry. Work from a snapshot so
+            // pairs never chain into triples.
+            let singles = table.clone();
+            for (i, slot) in table.iter_mut().enumerate() {
+                let e1 = singles[i];
+                if e1 & (ENTRY_SUBTABLE | ENTRY_DOUBLE) != 0 {
+                    continue;
+                }
+                let l1 = (e1 >> ENTRY_CONSUMED_SHIFT) & ENTRY_CONSUMED_MASK;
+                let s1 = e1 & 0xFFFF;
+                if l1 == 0 || l1 >= LUT_BITS || s1 > 255 {
+                    continue;
+                }
+                let e2 = singles[i >> l1];
+                if e2 & (ENTRY_SUBTABLE | ENTRY_DOUBLE) != 0 {
+                    continue;
+                }
+                let l2 = (e2 >> ENTRY_CONSUMED_SHIFT) & ENTRY_CONSUMED_MASK;
+                let s2 = e2 & 0xFFFF;
+                if l2 == 0 || l1 + l2 > LUT_BITS || s2 > 255 {
+                    continue;
+                }
+                *slot = s1 | (s2 << 8) | ((l1 + l2) << ENTRY_CONSUMED_SHIFT) | ENTRY_DOUBLE;
+            }
+        }
+        Ok(LutDecoder { table, sub })
+    }
+
+    /// Decode the next entry, consuming its bits. Returns the raw entry so
+    /// the caller can branch on [`LutEntry::second_literal`] for packed
+    /// pairs. Fails on undefined codes and on codes that would need bits
+    /// past the end of the stream.
+    #[inline]
+    pub fn read_entry(&self, r: &mut BitReader<'_>) -> Result<LutEntry> {
+        let idx = r.peek_bits(LUT_BITS) as usize;
+        let mut e = self.table[idx];
+        if e & ENTRY_SUBTABLE != 0 {
+            let extra = (e >> ENTRY_CONSUMED_SHIFT) & ENTRY_CONSUMED_MASK;
+            let start = e & 0xFFFF;
+            let sub_idx = r.peek_bits(LUT_BITS + extra) >> LUT_BITS;
+            e = self.sub[(start + sub_idx) as usize];
+        }
+        let consumed = (e >> ENTRY_CONSUMED_SHIFT) & ENTRY_CONSUMED_MASK;
+        if consumed == 0 {
+            return Err(DeflateError::Corrupt("invalid huffman code"));
+        }
+        if consumed > r.bits_available() {
+            return Err(DeflateError::UnexpectedEof);
+        }
+        r.consume(consumed);
+        Ok(LutEntry(e))
+    }
+
+    /// Decode one symbol (double-literal entries are never built for plain
+    /// symbol streams; this panics in debug if one shows up).
+    #[inline]
+    pub fn read(&self, r: &mut BitReader<'_>) -> Result<u16> {
+        let e = self.read_entry(r)?;
+        debug_assert!(e.second_literal().is_none());
+        Ok(e.symbol())
+    }
+}
+
+/// One decoded [`LutDecoder`] entry: a symbol, or a pair of literals.
+#[derive(Debug, Clone, Copy)]
+pub struct LutEntry(u32);
+
+impl LutEntry {
+    /// The decoded symbol (for pairs, the first literal).
+    #[inline]
+    pub fn symbol(self) -> u16 {
+        if self.0 & ENTRY_DOUBLE != 0 {
+            (self.0 & 0xFF) as u16
+        } else {
+            (self.0 & 0xFFFF) as u16
+        }
+    }
+
+    /// The second packed literal, when this entry carries a pair.
+    #[inline]
+    pub fn second_literal(self) -> Option<u8> {
+        if self.0 & ENTRY_DOUBLE != 0 {
+            Some(((self.0 >> 8) & 0xFF) as u8)
+        } else {
+            None
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -431,6 +641,79 @@ mod tests {
         let data = [0xFFu8];
         let mut r = BitReader::new(&data);
         assert!(dec.read(&mut r).is_err());
+    }
+
+    #[test]
+    fn lut_decoder_matches_bitwalk_decoder() {
+        // Skewed frequencies force a mix of short and long (> LUT_BITS)
+        // codes; both decoders must read identical symbol streams.
+        let mut freqs = vec![0u64; 80];
+        let (mut a, mut b) = (1u64, 1u64);
+        for f in freqs.iter_mut() {
+            *f = a;
+            let c = a.saturating_add(b);
+            a = b;
+            b = c;
+        }
+        let lengths = build_code_lengths(&freqs, MAX_BITS);
+        assert!(
+            *lengths.iter().max().unwrap() as u32 > LUT_BITS,
+            "test needs codes longer than the primary table"
+        );
+        let enc = Encoder::from_lengths(&lengths);
+        let walk = Decoder::from_lengths(&lengths).unwrap();
+        let lut = LutDecoder::from_lengths(&lengths, false).unwrap();
+
+        let msg: Vec<usize> = (0..5000).map(|i| (i * 31 + i / 7) % 80).collect();
+        let mut w = BitWriter::new();
+        for &s in &msg {
+            enc.write(&mut w, s);
+        }
+        let bytes = w.finish();
+        let mut r1 = BitReader::new(&bytes);
+        let mut r2 = BitReader::new(&bytes);
+        for &s in &msg {
+            assert_eq!(walk.read(&mut r1).unwrap() as usize, s);
+            assert_eq!(lut.read(&mut r2).unwrap() as usize, s);
+        }
+    }
+
+    #[test]
+    fn lut_pair_packing_decodes_two_literals() {
+        // A flat literal alphabet gets short codes; pairs must pack and the
+        // packed stream must decode to the same sequence.
+        let freqs = vec![10u64; 16];
+        let lengths = build_code_lengths(&freqs, MAX_BITS);
+        let enc = Encoder::from_lengths(&lengths);
+        let lut = LutDecoder::from_lengths(&lengths, true).unwrap();
+        let msg: Vec<usize> = (0..1000).map(|i| (i * 5) % 16).collect();
+        let mut w = BitWriter::new();
+        for &s in &msg {
+            enc.write(&mut w, s);
+        }
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        let mut got = Vec::new();
+        let mut saw_pair = false;
+        while got.len() < msg.len() {
+            let e = lut.read_entry(&mut r).unwrap();
+            got.push(e.symbol() as usize);
+            if let Some(second) = e.second_literal() {
+                saw_pair = true;
+                got.push(second as usize);
+            }
+        }
+        assert_eq!(got, msg);
+        assert!(saw_pair, "short codes should produce packed pairs");
+    }
+
+    #[test]
+    fn lut_rejects_oversubscribed_and_undefined() {
+        assert!(LutDecoder::from_lengths(&[1, 1, 1], false).is_err());
+        let lut = LutDecoder::from_lengths(&[1, 0], false).unwrap();
+        let data = [0xFFu8];
+        let mut r = BitReader::new(&data);
+        assert!(lut.read(&mut r).is_err());
     }
 
     #[test]

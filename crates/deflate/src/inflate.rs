@@ -5,8 +5,9 @@ use crate::deflate::{
     fixed_dist_lengths, fixed_lit_lengths, CLC_ORDER, DIST_BASE, DIST_EXTRA, LENGTH_BASE,
     LENGTH_EXTRA,
 };
-use crate::huffman::Decoder;
+use crate::huffman::{Decoder, LutDecoder};
 use crate::{DeflateError, Result};
+use std::sync::OnceLock;
 
 /// Initial output reservation ceiling. The decoder must never size a buffer
 /// from untrusted input alone, so the up-front guess is clamped here and the
@@ -57,9 +58,8 @@ pub fn inflate_consumed_bounded(data: &[u8], max_out: usize) -> Result<(Vec<u8>,
         match btype {
             0b00 => read_stored_block(&mut r, &mut out, max_out)?,
             0b01 => {
-                let lit = Decoder::from_lengths(&fixed_lit_lengths())?;
-                let dist = Decoder::from_lengths(&fixed_dist_lengths())?;
-                read_huffman_block(&mut r, &mut out, &lit, &dist, max_out)?;
+                let (lit, dist) = fixed_tables();
+                read_huffman_block(&mut r, &mut out, lit, dist, max_out)?;
             }
             0b10 => {
                 let (lit, dist) = read_dynamic_tables(&mut r)?;
@@ -91,8 +91,21 @@ fn read_stored_block(r: &mut BitReader<'_>, out: &mut Vec<u8>, max_out: usize) -
     Ok(())
 }
 
+/// The fixed-block decode tables (RFC 1951 §3.2.6) never change; build the
+/// lookup tables once per process.
+fn fixed_tables() -> (&'static LutDecoder, &'static LutDecoder) {
+    static TABLES: OnceLock<(LutDecoder, LutDecoder)> = OnceLock::new();
+    let (lit, dist) = TABLES.get_or_init(|| {
+        (
+            LutDecoder::from_lengths(&fixed_lit_lengths(), true).expect("fixed litlen code"),
+            LutDecoder::from_lengths(&fixed_dist_lengths(), false).expect("fixed dist code"),
+        )
+    });
+    (lit, dist)
+}
+
 /// Parse the dynamic block header into literal/length and distance decoders.
-fn read_dynamic_tables(r: &mut BitReader<'_>) -> Result<(Decoder, Decoder)> {
+fn read_dynamic_tables(r: &mut BitReader<'_>) -> Result<(LutDecoder, LutDecoder)> {
     let hlit = r.read_bits(5)? as usize + 257;
     let hdist = r.read_bits(5)? as usize + 1;
     let hclen = r.read_bits(4)? as usize + 4;
@@ -140,22 +153,55 @@ fn read_dynamic_tables(r: &mut BitReader<'_>) -> Result<(Decoder, Decoder)> {
     if lengths[256] == 0 {
         return Err(DeflateError::Corrupt("end-of-block symbol has no code"));
     }
-    let lit = Decoder::from_lengths(&lengths[..hlit])?;
-    let dist = Decoder::from_lengths(&lengths[hlit..])?;
+    let lit = LutDecoder::from_lengths(&lengths[..hlit], true)?;
+    let dist = LutDecoder::from_lengths(&lengths[hlit..], false)?;
     Ok((lit, dist))
+}
+
+/// Append `len` bytes starting `d` back from the end of `out`. Overlapping
+/// copies (`d < len`) are the RLE case: the repeating period is materialized
+/// once, then doubled, so long runs move in large memcpy steps while writing
+/// exactly the bytes the byte-at-a-time definition would.
+fn copy_match(out: &mut Vec<u8>, d: usize, len: usize) {
+    if d >= len {
+        let start = out.len() - d;
+        out.extend_from_within(start..start + len);
+        return;
+    }
+    // The tail of `out` is d-periodic once the first period lands, and stays
+    // d-periodic as it grows — so each pass can source the whole tail,
+    // doubling the copy size.
+    let mut done = 0usize;
+    let mut avail = d;
+    while done < len {
+        let step = avail.min(len - done);
+        let from = out.len() - avail;
+        out.extend_from_within(from..from + step);
+        done += step;
+        avail += step;
+    }
 }
 
 fn read_huffman_block(
     r: &mut BitReader<'_>,
     out: &mut Vec<u8>,
-    lit: &Decoder,
-    dist: &Decoder,
+    lit: &LutDecoder,
+    dist: &LutDecoder,
     max_out: usize,
 ) -> Result<()> {
     loop {
-        let sym = lit.read(r)? as usize;
+        let e = lit.read_entry(r)?;
+        let sym = e.symbol() as usize;
         match sym {
             0..=255 => {
+                if let Some(second) = e.second_literal() {
+                    if max_out.saturating_sub(out.len()) < 2 {
+                        return Err(DeflateError::TooLarge { limit: max_out });
+                    }
+                    out.push(sym as u8);
+                    out.push(second);
+                    continue;
+                }
                 if out.len() >= max_out {
                     return Err(DeflateError::TooLarge { limit: max_out });
                 }
@@ -178,13 +224,7 @@ fn read_huffman_block(
                 if max_out.saturating_sub(out.len()) < len {
                     return Err(DeflateError::TooLarge { limit: max_out });
                 }
-                let start = out.len() - d;
-                // Byte-at-a-time copy: overlapping copies (d < len) are the
-                // RLE case and must see freshly written bytes.
-                for i in 0..len {
-                    let b = out[start + i];
-                    out.push(b);
-                }
+                copy_match(out, d, len);
             }
             _ => return Err(DeflateError::Corrupt("invalid literal/length symbol")),
         }

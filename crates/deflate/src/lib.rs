@@ -14,7 +14,10 @@
 //!   Huffman* and *dynamic Huffman* representations,
 //! * [`inflate`] — the full decoder,
 //! * [`zlib`] — header/Adler-32 framing plus the top-level
-//!   [`compress`]/[`decompress`] entry points.
+//!   [`compress`]/[`decompress`] entry points,
+//! * [`tans`] — an interleaved tabled-ANS coder, the alternative entropy
+//!   backend for DPZ container sections (no string matcher, near-entropy
+//!   rates on skewed index streams, branch-free decode loop).
 //!
 //! The API mirrors what DPZ needs: compress a byte buffer, get the bytes
 //! back verbatim. Round-trip fidelity is enforced by unit tests in every
@@ -28,6 +31,7 @@ pub mod deflate;
 pub mod huffman;
 pub mod inflate;
 pub mod lz77;
+pub mod tans;
 pub mod zlib;
 
 pub use crc32::crc32;

@@ -36,6 +36,12 @@ pub struct MatchParams {
     pub good_enough: usize,
     /// Enable one-step lazy matching.
     pub lazy: bool,
+    /// Give up on a chain after this many candidates in a row fail to
+    /// improve the best match (libdeflate-style stall cutoff). On highly
+    /// repetitive data chains run deep but the best match is almost always
+    /// found near the head; walking the remainder costs most of the encode
+    /// time for a fraction of a percent of ratio.
+    pub max_stale: usize,
 }
 
 impl MatchParams {
@@ -45,6 +51,7 @@ impl MatchParams {
             max_chain: 16,
             good_enough: 16,
             lazy: false,
+            max_stale: 16,
         }
     }
 
@@ -54,6 +61,7 @@ impl MatchParams {
             max_chain: 128,
             good_enough: 64,
             lazy: true,
+            max_stale: 12,
         }
     }
 
@@ -63,6 +71,7 @@ impl MatchParams {
             max_chain: 1024,
             good_enough: 258,
             lazy: true,
+            max_stale: 48,
         }
     }
 }
@@ -110,7 +119,8 @@ impl Chains {
         let mut best_len = MIN_MATCH - 1;
         let mut best_dist = 0usize;
         let mut chain = params.max_chain;
-        while cand != 0 && chain > 0 {
+        let mut stale = params.max_stale;
+        while cand != 0 && chain > 0 && stale > 0 {
             let cpos = (cand - 1) as usize;
             if cpos >= pos || pos - cpos > WINDOW_SIZE {
                 break;
@@ -118,20 +128,19 @@ impl Chains {
             // Check the byte that would extend the current best first — a
             // cheap rejection for most chain entries.
             if data[cpos + best_len] == data[pos + best_len] {
-                let mut len = 0;
-                while len < max_len && data[cpos + len] == data[pos + len] {
-                    len += 1;
-                }
+                let len = dpz_kernels::matchlen::match_len(&data[cpos..], &data[pos..], max_len);
                 if len > best_len {
                     best_len = len;
                     best_dist = pos - cpos;
                     if len >= params.good_enough || len == max_len {
                         break;
                     }
+                    stale = params.max_stale;
                 }
             }
             cand = self.prev[cpos % WINDOW_SIZE];
             chain -= 1;
+            stale -= 1;
         }
         if best_len >= MIN_MATCH {
             Some((best_len, best_dist))
@@ -152,9 +161,31 @@ pub fn tokenize(data: &[u8], params: &MatchParams) -> Vec<Token> {
     // Every position below `ins` has been added to the hash chains exactly
     // once; the loop advances `ins` to `pos` after each token decision.
     let mut ins = 0usize;
+    // Consecutive positions that produced no match. Long runs mean the
+    // input is locally incompressible; probing every position there burns
+    // most of the encode time for nothing, so stride over such stretches
+    // (hash insertion still happens for every position, only the match
+    // *search* is skipped; a stride is capped so re-synchronisation after
+    // the stretch ends loses at most a few match starts).
+    let mut miss_run = 0usize;
     while pos < data.len() {
+        if miss_run >= 32 {
+            let stride = (miss_run >> 5).min(16).min(data.len() - pos);
+            for _ in 0..stride {
+                tokens.push(Token::Literal(data[pos]));
+                pos += 1;
+            }
+            while ins < pos {
+                chains.insert(data, ins);
+                ins += 1;
+            }
+            if pos == data.len() {
+                break;
+            }
+        }
         match chains.find(data, pos, params) {
             Some((mut len, mut dist)) => {
+                miss_run = 0;
                 // Lazy evaluation: if the match starting at pos+1 is longer,
                 // emit a literal and take the later match instead.
                 if params.lazy && len < params.good_enough && pos + 1 < data.len() {
@@ -178,6 +209,7 @@ pub fn tokenize(data: &[u8], params: &MatchParams) -> Vec<Token> {
             None => {
                 tokens.push(Token::Literal(data[pos]));
                 pos += 1;
+                miss_run += 1;
             }
         }
         while ins < pos {

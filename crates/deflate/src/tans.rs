@@ -1,0 +1,450 @@
+//! Tabled asymmetric numeral system (tANS) entropy coder — the alternative
+//! lossless backend to DEFLATE for DPZ container sections.
+//!
+//! Unlike DEFLATE this stage has no string matcher: it is a pure
+//! order-0 entropy coder, close to the Shannon bound for the byte
+//! histogram, and its decode loop is two table lookups plus a bit read —
+//! no code-length tree walk at all. Two interleaved states alternate over
+//! the symbol stream so consecutive decode steps carry no data dependency,
+//! which is what makes the loop superscalar-friendly.
+//!
+//! Stream layout (little-endian):
+//!
+//! ```text
+//! u8 table_log (0 only for the empty stream)
+//! u32 raw_len
+//! if raw_len > 0:
+//!   u16 state0 | u16 state1          (final encoder = initial decoder states)
+//!   u16 npairs | npairs × (u8 sym, u16 freq)   (normalized, sum = 1<<table_log)
+//!   bitstream…                        (LSB-first, read forward by the decoder)
+//! ```
+//!
+//! Encoding walks the input backwards (the ANS state is a stack), records
+//! each `(bits, nbits)` push, and writes the pushes in reverse so the
+//! decoder consumes them in plain forward order with [`BitReader`].
+//!
+//! **Decode hardening contract** (same as `inflate`): no byte stream may
+//! panic or force an oversized allocation. The frequency table is validated
+//! to sum to exactly `1 << table_log` before any table is built, states are
+//! range-checked against the table, and output length is bounded by the
+//! caller's `limit`.
+
+use crate::bitio::{BitReader, BitWriter};
+use crate::{DeflateError, Result};
+
+/// Largest table log the encoder emits and the decoder accepts.
+pub const MAX_TABLE_LOG: u32 = 12;
+/// Smallest table log for a non-empty stream.
+pub const MIN_TABLE_LOG: u32 = 5;
+
+#[inline]
+fn floor_log2(v: u32) -> u32 {
+    31 - v.leading_zeros()
+}
+
+/// Pick a table log for `len` input bytes over `distinct` symbols: small
+/// inputs get small tables (header overhead), and the table must be able to
+/// give every present symbol a nonzero slot.
+fn choose_table_log(len: usize, distinct: u32) -> u32 {
+    let for_len = usize::BITS - len.next_power_of_two().leading_zeros() - 1;
+    let for_distinct = 32 - distinct.next_power_of_two().leading_zeros() - 1;
+    for_len
+        .min(MAX_TABLE_LOG)
+        .max(for_distinct)
+        .max(MIN_TABLE_LOG)
+}
+
+/// Largest-remainder normalization of `hist` to sum exactly `1 << table_log`,
+/// with every present symbol kept at frequency >= 1.
+fn normalize(hist: &[u64; 256], total: u64, table_log: u32) -> [u32; 256] {
+    let l = 1u64 << table_log;
+    let mut freq = [0u32; 256];
+    let mut sum = 0u64;
+    for s in 0..256 {
+        if hist[s] == 0 {
+            continue;
+        }
+        let f = ((hist[s] * l + total / 2) / total).max(1);
+        freq[s] = f as u32;
+        sum += f;
+    }
+    // Steal from / give to the most frequent symbols until the sum is exact.
+    // The initial sum is within a few hundred of `l`, so this terminates in
+    // at most that many O(256) scans.
+    while sum > l {
+        let s = (0..256)
+            .filter(|&s| freq[s] > 1)
+            .max_by_key(|&s| freq[s])
+            .expect("sum > l implies a shrinkable symbol");
+        freq[s] -= 1;
+        sum -= 1;
+    }
+    while sum < l {
+        let s = (0..256).max_by_key(|&s| freq[s]).unwrap();
+        freq[s] += 1;
+        sum += 1;
+    }
+    freq
+}
+
+/// Scatter each symbol's slots over the table with the FSE stride walk
+/// (odd step over a power-of-two table visits every position once).
+fn spread_symbols(freq: &[u32; 256], table_log: u32) -> Vec<u8> {
+    let l = 1usize << table_log;
+    let step = (l >> 1) + (l >> 3) + 3;
+    let mask = l - 1;
+    let mut spread = vec![0u8; l];
+    let mut pos = 0usize;
+    for (s, &f) in freq.iter().enumerate() {
+        for _ in 0..f {
+            spread[pos] = s as u8;
+            pos = (pos + step) & mask;
+        }
+    }
+    debug_assert_eq!(pos, 0);
+    spread
+}
+
+/// Compress `data` with a 2-way interleaved tANS coder.
+///
+/// Frequencies come from the runtime-dispatched histogram kernel; the
+/// output always round-trips through [`decompress_bounded`]. Incompressible
+/// input can grow by the header size (~the frequency table) — the container
+/// layer stores raw/packed sizes, so callers can see when that happened.
+pub fn compress(data: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(data.len() / 2 + 64);
+    if data.is_empty() {
+        out.push(0); // table_log 0: empty-stream sentinel
+        out.extend_from_slice(&0u32.to_le_bytes());
+        return out;
+    }
+
+    let mut hist = [0u64; 256];
+    dpz_kernels::checksum::byte_histogram(data, &mut hist);
+    let distinct = hist.iter().filter(|&&c| c > 0).count() as u32;
+    let table_log = choose_table_log(data.len(), distinct);
+    let freq = normalize(&hist, data.len() as u64, table_log);
+    let spread = spread_symbols(&freq, table_log);
+    let l = 1u32 << table_log;
+
+    // Encode tables. `first_slot[s]` offsets into `next_state`, which maps
+    // (symbol, x_small - freq) -> the table state whose decode yields that
+    // x_small; built by the same table-order scan the decoder uses, so the
+    // two sides agree on slot ranks.
+    let mut first_slot = [0u32; 257];
+    for s in 0..256 {
+        first_slot[s + 1] = first_slot[s] + freq[s];
+    }
+    let mut next_state = vec![0u16; l as usize];
+    let mut fill = first_slot;
+    for (i, &s) in spread.iter().enumerate() {
+        let s = s as usize;
+        next_state[fill[s] as usize] = (l + i as u32) as u16;
+        fill[s] += 1;
+    }
+
+    // Backward pass: channel i&1, recording every bit push.
+    let mut states = [l, l];
+    let mut ops: Vec<(u16, u8)> = Vec::with_capacity(data.len());
+    for (i, &b) in data.iter().enumerate().rev() {
+        let s = b as usize;
+        let f = freq[s];
+        let max_bits = table_log - floor_log2(f);
+        let x = states[i & 1];
+        let nb = max_bits - u32::from(x < (f << max_bits));
+        ops.push(((x & ((1 << nb) - 1)) as u16, nb as u8));
+        states[i & 1] = u32::from(next_state[(first_slot[s] + (x >> nb) - f) as usize]);
+    }
+
+    out.push(table_log as u8);
+    out.extend_from_slice(&(data.len() as u32).to_le_bytes());
+    out.extend_from_slice(&(states[0] as u16).to_le_bytes());
+    out.extend_from_slice(&(states[1] as u16).to_le_bytes());
+    let npairs = freq.iter().filter(|&&f| f > 0).count() as u16;
+    out.extend_from_slice(&npairs.to_le_bytes());
+    for (s, &f) in freq.iter().enumerate() {
+        if f > 0 {
+            out.push(s as u8);
+            out.extend_from_slice(&(f as u16).to_le_bytes());
+        }
+    }
+    let mut w = BitWriter::new();
+    for &(bits, nb) in ops.iter().rev() {
+        w.write_bits(u32::from(bits), u32::from(nb));
+    }
+    out.extend_from_slice(&w.finish());
+    out
+}
+
+/// One decode-table entry: emit `sym`, then `state = base + read(nbits)`.
+#[derive(Clone, Copy)]
+struct DEntry {
+    sym: u8,
+    nbits: u8,
+    base: u16,
+}
+
+/// Decompress a tANS stream produced by [`compress`], refusing to emit more
+/// than `limit` bytes ([`DeflateError::TooLarge`] — the bomb guard shared
+/// with `inflate_bounded`).
+pub fn decompress_bounded(data: &[u8], limit: usize) -> Result<Vec<u8>> {
+    let mut pos = 0usize;
+    let mut take = |n: usize| -> Result<&[u8]> {
+        let end = pos.checked_add(n).ok_or(DeflateError::UnexpectedEof)?;
+        if end > data.len() {
+            return Err(DeflateError::UnexpectedEof);
+        }
+        let s = &data[pos..end];
+        pos = end;
+        Ok(s)
+    };
+
+    let table_log = u32::from(take(1)?[0]);
+    let raw_len = u32::from_le_bytes(take(4)?.try_into().unwrap()) as usize;
+    if raw_len == 0 {
+        return if table_log == 0 {
+            Ok(Vec::new())
+        } else {
+            Err(DeflateError::Corrupt("nonzero table for empty tans stream"))
+        };
+    }
+    if raw_len > limit {
+        return Err(DeflateError::TooLarge { limit });
+    }
+    if !(MIN_TABLE_LOG..=MAX_TABLE_LOG).contains(&table_log) {
+        return Err(DeflateError::Corrupt("tans table log out of range"));
+    }
+    let l = 1u32 << table_log;
+
+    let state0 = u32::from(u16::from_le_bytes(take(2)?.try_into().unwrap()));
+    let state1 = u32::from(u16::from_le_bytes(take(2)?.try_into().unwrap()));
+    for st in [state0, state1] {
+        if !(l..2 * l).contains(&st) {
+            return Err(DeflateError::Corrupt("tans state out of range"));
+        }
+    }
+
+    let npairs = usize::from(u16::from_le_bytes(take(2)?.try_into().unwrap()));
+    if npairs == 0 || npairs > 256 {
+        return Err(DeflateError::Corrupt("tans frequency table size"));
+    }
+    let mut freq = [0u32; 256];
+    let mut sum = 0u64;
+    let mut last_sym: i32 = -1;
+    for _ in 0..npairs {
+        let pair = take(3)?;
+        let sym = i32::from(pair[0]);
+        if sym <= last_sym {
+            return Err(DeflateError::Corrupt("tans frequency table not canonical"));
+        }
+        last_sym = sym;
+        let f = u32::from(u16::from_le_bytes([pair[1], pair[2]]));
+        if f == 0 {
+            return Err(DeflateError::Corrupt("zero frequency in tans table"));
+        }
+        freq[sym as usize] = f;
+        sum += u64::from(f);
+    }
+    if sum != u64::from(l) {
+        return Err(DeflateError::Corrupt(
+            "tans frequencies do not sum to table",
+        ));
+    }
+
+    // Build the decode table in table order: the k-th slot of symbol `s`
+    // (table order) decodes to x_small = freq[s] + k, mirroring the
+    // encoder's `next_state` construction.
+    let spread = spread_symbols(&freq, table_log);
+    let mut dtable = vec![
+        DEntry {
+            sym: 0,
+            nbits: 0,
+            base: 0
+        };
+        l as usize
+    ];
+    let mut x_small = freq;
+    for (i, &s) in spread.iter().enumerate() {
+        let xs = x_small[s as usize];
+        x_small[s as usize] += 1;
+        let nb = table_log - floor_log2(xs);
+        dtable[i] = DEntry {
+            sym: s,
+            nbits: nb as u8,
+            base: (xs << nb) as u16,
+        };
+    }
+
+    let mut r = BitReader::new(&data[pos..]);
+    let mut out = Vec::with_capacity(raw_len);
+    let mut st = [state0, state1];
+    // Two independent chains: step i uses channel i&1, so the pair of
+    // lookups in each unrolled iteration overlap in the pipeline.
+    let mut i = 0usize;
+    while i + 2 <= raw_len {
+        let e0 = dtable[(st[0] - l) as usize];
+        let e1 = dtable[(st[1] - l) as usize];
+        out.push(e0.sym);
+        out.push(e1.sym);
+        st[0] = u32::from(e0.base) + r.read_bits(u32::from(e0.nbits))?;
+        st[1] = u32::from(e1.base) + r.read_bits(u32::from(e1.nbits))?;
+        i += 2;
+    }
+    if i < raw_len {
+        let e = dtable[(st[i & 1] - l) as usize];
+        out.push(e.sym);
+        st[i & 1] = u32::from(e.base) + r.read_bits(u32::from(e.nbits))?;
+    }
+    // Both chains started at the base state `l` on the encode side, so a
+    // healthy stream must return there — a free whole-stream integrity check.
+    if st != [l, l] {
+        return Err(DeflateError::Corrupt("tans stream does not close"));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cases() -> Vec<Vec<u8>> {
+        let mut v: Vec<Vec<u8>> = vec![
+            vec![],
+            vec![0],
+            vec![42; 1],
+            vec![7; 65_536],
+            b"hello world".to_vec(),
+            (0..=255u8).collect(),
+            (0..50_000).map(|i| (i % 256) as u8).collect(),
+            (0..10_000).map(|i| ((i * i) % 251) as u8).collect(),
+        ];
+        let mut s = 0xDEADBEEFu64;
+        v.push(
+            (0..30_000)
+                .map(|_| {
+                    s ^= s << 13;
+                    s ^= s >> 7;
+                    s ^= s << 17;
+                    (s >> 24) as u8
+                })
+                .collect(),
+        );
+        // Skewed distribution: mostly zeros, occasional bytes — index
+        // streams look like this.
+        v.push(
+            (0..40_000)
+                .map(|i: u32| {
+                    if i.is_multiple_of(17) {
+                        (i % 5) as u8 + 1
+                    } else {
+                        0
+                    }
+                })
+                .collect(),
+        );
+        v
+    }
+
+    #[test]
+    fn round_trip_identity() {
+        for (i, case) in cases().iter().enumerate() {
+            let packed = compress(case);
+            let unpacked =
+                decompress_bounded(&packed, case.len()).unwrap_or_else(|e| panic!("case {i}: {e}"));
+            assert_eq!(&unpacked, case, "case {i}");
+        }
+    }
+
+    #[test]
+    fn skewed_data_compresses_near_entropy() {
+        // 90% zeros, 10% spread over 16 symbols: H ≈ 0.8 bits/byte. tANS
+        // should land within ~15% of that; DEFLATE's fixed trees cannot.
+        let data: Vec<u8> = (0..100_000u32)
+            .map(|i| if i % 10 == 0 { (i % 16) as u8 + 1 } else { 0 })
+            .collect();
+        let packed = compress(&data);
+        let bits_per_byte = packed.len() as f64 * 8.0 / data.len() as f64;
+        assert!(
+            bits_per_byte < 1.1,
+            "expected < 1.1 bits/byte, got {bits_per_byte:.3}"
+        );
+    }
+
+    #[test]
+    fn truncation_is_an_error_not_a_panic() {
+        let data: Vec<u8> = (0..5_000).map(|i| (i % 50) as u8).collect();
+        let packed = compress(&data);
+        for cut in [0, 1, 4, 5, 8, 12, packed.len() / 2, packed.len() - 1] {
+            assert!(
+                decompress_bounded(&packed[..cut], data.len()).is_err(),
+                "cut {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn oversized_declared_raw_len_hits_the_bound() {
+        let packed = compress(b"bounded");
+        let err = decompress_bounded(&packed, 3).unwrap_err();
+        assert_eq!(err, DeflateError::TooLarge { limit: 3 });
+    }
+
+    #[test]
+    fn corrupt_frequency_tables_are_rejected() {
+        let data: Vec<u8> = (0..1000).map(|i| (i % 7) as u8).collect();
+        let packed = compress(&data);
+        // Frequencies start after table_log(1) + raw_len(4) + states(4) +
+        // npairs(2) = byte 11; bump one u16 freq so the sum check fires.
+        let mut bad = packed.clone();
+        bad[12] = bad[12].wrapping_add(1);
+        assert!(matches!(
+            decompress_bounded(&bad, data.len()),
+            Err(DeflateError::Corrupt(_))
+        ));
+        // Out-of-range state.
+        let mut bad = packed.clone();
+        bad[5] = 0xFF;
+        bad[6] = 0xFF;
+        assert!(matches!(
+            decompress_bounded(&bad, data.len()),
+            Err(DeflateError::Corrupt(_))
+        ));
+        // Table log outside [MIN, MAX].
+        let mut bad = packed;
+        bad[0] = 31;
+        assert!(matches!(
+            decompress_bounded(&bad, data.len()),
+            Err(DeflateError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn empty_stream_sentinel() {
+        let packed = compress(&[]);
+        assert_eq!(packed, vec![0, 0, 0, 0, 0]);
+        assert_eq!(decompress_bounded(&packed, 0).unwrap(), Vec::<u8>::new());
+        // Nonzero table_log with raw_len 0 is malformed, not empty.
+        let bad = vec![8, 0, 0, 0, 0];
+        assert!(decompress_bounded(&bad, 0).is_err());
+    }
+
+    #[test]
+    fn single_symbol_stream_needs_almost_no_bits() {
+        let data = vec![0xAB; 100_000];
+        let packed = compress(&data);
+        assert!(packed.len() < 32, "constant input: got {}", packed.len());
+        assert_eq!(decompress_bounded(&packed, data.len()).unwrap(), data);
+    }
+
+    #[test]
+    fn normalization_is_exact_for_adversarial_histograms() {
+        // One dominant symbol plus 255 singletons stresses the
+        // largest-remainder fixup in both directions.
+        let mut data = vec![0u8; 100_000];
+        for (i, b) in data.iter_mut().enumerate().take(255) {
+            *b = (i + 1) as u8;
+        }
+        let packed = compress(&data);
+        assert_eq!(decompress_bounded(&packed, data.len()).unwrap(), data);
+    }
+}

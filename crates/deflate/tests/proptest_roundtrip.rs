@@ -1,7 +1,8 @@
 //! Property tests: compress ∘ decompress must be the identity for arbitrary
 //! byte strings at every level, and the decoder must never panic on garbage.
+//! The tANS backend is held to the same contract.
 
-use dpz_deflate::{compress_with_level, decompress, CompressionLevel};
+use dpz_deflate::{compress_with_level, decompress, tans, CompressionLevel};
 use proptest::prelude::*;
 
 proptest! {
@@ -53,5 +54,46 @@ proptest! {
         packed[flip % n] ^= 1 << (flip % 8);
         // Either decodes to *something* or errors — must not panic.
         let _ = decompress(&packed);
+    }
+
+    #[test]
+    fn tans_roundtrip_arbitrary_bytes(data in proptest::collection::vec(any::<u8>(), 0..20_000)) {
+        let packed = tans::compress(&data);
+        let out = tans::decompress_bounded(&packed, data.len()).expect("decode of own output");
+        prop_assert_eq!(&out, &data);
+    }
+
+    #[test]
+    fn tans_roundtrip_skewed_bytes(
+        seed in any::<u64>(),
+        run_len in 1usize..500,
+        alphabet in 1u16..40,
+    ) {
+        // Small-alphabet runs: the concentrated histograms the container's
+        // index sections feed the coder, where normalization has to squeeze
+        // many rare symbols into the table.
+        let mut s = seed | 1;
+        let mut data = Vec::new();
+        while data.len() < 30_000 {
+            s ^= s << 13; s ^= s >> 7; s ^= s << 17;
+            let b = (s % u64::from(alphabet)) as u8;
+            let run = 1 + (s >> 32) as usize % run_len;
+            data.extend(std::iter::repeat_n(b, run));
+        }
+        let packed = tans::compress(&data);
+        prop_assert_eq!(tans::decompress_bounded(&packed, data.len()).unwrap(), data);
+    }
+
+    #[test]
+    fn tans_decoder_never_panics_on_garbage(data in proptest::collection::vec(any::<u8>(), 0..4_096)) {
+        let _ = tans::decompress_bounded(&data, 1 << 20);
+    }
+
+    #[test]
+    fn tans_bit_flip_never_panics(data in proptest::collection::vec(any::<u8>(), 1..4_096), flip in any::<usize>()) {
+        let mut packed = tans::compress(&data);
+        let n = packed.len();
+        packed[flip % n] ^= 1 << (flip % 8);
+        let _ = tans::decompress_bounded(&packed, 1 << 20);
     }
 }

@@ -21,6 +21,9 @@
 //! 4. **Byte flips**: 1–8 random single-byte XORs anywhere in the stream.
 //! 5. **Random garbage**: fresh random bytes, optionally behind a valid
 //!    magic so parsing proceeds past the first check.
+//! 6. **Backend-flag attack**: a v3 section's lossless-backend byte is
+//!    swapped (Deflate ↔ tANS) or forged to an unknown id; non-v3 streams
+//!    get the container version byte forged instead.
 //!
 //! Every mutated stream is fed to the real decoder under
 //! `std::panic::catch_unwind`; a panic fails the run with the format, seed
@@ -52,16 +55,20 @@ pub enum Format {
     Zfp,
     /// A bare zlib stream (`dpz_deflate::decompress_bounded`).
     Zlib,
+    /// A bare tANS stream (`dpz_deflate::tans::decompress_bounded`), the
+    /// v3 container's alternative section backend.
+    Tans,
 }
 
 impl Format {
     /// All fuzzed formats.
-    pub const ALL: [Format; 5] = [
+    pub const ALL: [Format; 6] = [
         Format::Dpz,
         Format::Chunked,
         Format::Sz,
         Format::Zfp,
         Format::Zlib,
+        Format::Tans,
     ];
 
     /// Container magic, where the format has one.
@@ -72,6 +79,9 @@ impl Format {
             Format::Sz => b"SZR1",
             Format::Zfp => b"ZFR1",
             Format::Zlib => &[0x78, 0x9C],
+            // tANS streams carry no magic; the container's section flag
+            // selects the decoder.
+            Format::Tans => &[],
         }
     }
 
@@ -90,6 +100,11 @@ impl Format {
             // magic(4) ndims(1) dims(8) mode(1) param(8) bits_len(8)
             Format::Zfp => &[5, 14, 22],
             Format::Zlib => &[0, 2, 8],
+            // table_log(1) raw_len(4) state0(2) state1(2) npairs(2) freqs…
+            // Substitution here forges out-of-range decoder states and
+            // oversized declared raw sizes — the two tANS-specific
+            // hardening paths.
+            Format::Tans => &[0, 1, 5, 7, 9, 11],
         }
     }
 }
@@ -130,6 +145,11 @@ fn try_decode(format: Format, bytes: &[u8]) -> Outcome {
                     .map(drop)
                     .map_err(drop)
             }
+            Format::Tans => {
+                return dpz_deflate::tans::decompress_bounded(bytes, ZLIB_FUZZ_CAP)
+                    .map(drop)
+                    .map_err(drop)
+            }
         };
         registry()
             .get(codec_name)
@@ -159,6 +179,7 @@ pub struct Corpus {
     sz: Vec<Vec<u8>>,
     zfp: Vec<Vec<u8>>,
     zlib: Vec<Vec<u8>>,
+    tans: Vec<Vec<u8>>,
 }
 
 impl Corpus {
@@ -175,12 +196,20 @@ impl Corpus {
         let line: Vec<f32> = (0..600).map(|i| (i as f32 * 0.02).sin() * 4.0).collect();
 
         let cfg = dpz_core::DpzConfig::loose();
+        // v3 containers: every section carries a lossless-backend flag byte
+        // and sections above the size floor switch to the tANS coder — the
+        // newest revision the fuzz contract must cover.
+        let v3 = cfg.with_lossless(dpz_core::LosslessBackend::Tans);
         let dpz = vec![
             dpz_core::compress(&field, &[32, 32], &cfg).unwrap().bytes,
             dpz_core::compress(&line, &[600], &cfg).unwrap().bytes,
+            dpz_core::compress(&field, &[32, 32], &v3).unwrap().bytes,
         ];
         let chunked = vec![
             dpz_core::compress_chunked(&field, &[32, 32], &cfg, 2)
+                .unwrap()
+                .bytes,
+            dpz_core::compress_chunked(&field, &[32, 32], &v3, 2)
                 .unwrap()
                 .bytes,
         ];
@@ -199,12 +228,20 @@ impl Corpus {
             dpz_deflate::compress(&raw),
             dpz_deflate::compress(&vec![0u8; 2048]),
         ];
+        // Skewed-histogram bytes (what quantized indices look like) plus
+        // uniform noise: one stream with a rich tANS table, one near-raw.
+        let skewed: Vec<u8> = (0..2048).map(|i| ((i * i) % 23) as u8).collect();
+        let tans = vec![
+            dpz_deflate::tans::compress(&skewed),
+            dpz_deflate::tans::compress(&raw),
+        ];
         Corpus {
             dpz,
             chunked,
             sz,
             zfp,
             zlib,
+            tans,
         }
     }
 
@@ -215,6 +252,7 @@ impl Corpus {
             Format::Sz => &self.sz,
             Format::Zfp => &self.zfp,
             Format::Zlib => &self.zlib,
+            Format::Tans => &self.tans,
         }
     }
 
@@ -246,9 +284,44 @@ const INTERESTING: [u64; 12] = [
     u64::MAX,
 ];
 
+/// Byte offsets of every v3 section's lossless-backend flag, found by
+/// walking the section chain (flag, declared_raw u64, packed_len u64,
+/// packed bytes, crc32). Empty for anything that is not a v3 DPZ1 stream.
+fn v3_section_flag_offsets(bytes: &[u8]) -> Vec<usize> {
+    if bytes.len() < 6 || &bytes[..4] != b"DPZ1" || bytes[4] < 3 {
+        return Vec::new();
+    }
+    let ndims = bytes[5] as usize;
+    // Fixed header tail after the dims: orig/m/n/pad (32) + norm (16) +
+    // k (8) + transform/dwt (2) + p (8) + wide/standardized (2).
+    let mut off = 6 + 8 * ndims + 68;
+    let mut out = Vec::new();
+    for _ in 0..3 {
+        if off >= bytes.len() {
+            break;
+        }
+        out.push(off);
+        let Some(pl) = bytes
+            .get(off + 9..off + 17)
+            .and_then(|s| <[u8; 8]>::try_from(s).ok())
+        else {
+            break;
+        };
+        let packed = u64::from_le_bytes(pl) as usize;
+        off = match off
+            .checked_add(1 + 16 + 4)
+            .and_then(|o| o.checked_add(packed))
+        {
+            Some(o) => o,
+            None => break,
+        };
+    }
+    out
+}
+
 /// Produce one mutated stream from a corpus entry.
 fn mutate(base: &[u8], format: Format, corpus: &Corpus, rng: &mut Xoshiro256) -> Vec<u8> {
-    match rng.below(5) {
+    match rng.below(6) {
         // Truncation: anywhere from empty to one-byte-short.
         0 => base[..rng.below(base.len().max(1))].to_vec(),
         // Structure-aware field substitution.
@@ -303,7 +376,7 @@ fn mutate(base: &[u8], format: Format, corpus: &Corpus, rng: &mut Xoshiro256) ->
             out
         }
         // Random garbage, sometimes behind a valid magic.
-        _ => {
+        4 => {
             let len = rng.below(512);
             let mut out = if rng.below(2) == 0 {
                 format.magic().to_vec()
@@ -311,6 +384,27 @@ fn mutate(base: &[u8], format: Format, corpus: &Corpus, rng: &mut Xoshiro256) ->
                 Vec::new()
             };
             out.extend((0..len).map(|_| (rng.next_u64() >> 56) as u8));
+            out
+        }
+        // Lossless-backend flag attack: swap a v3 section's coder byte
+        // (Deflate <-> tANS, so the right bytes hit the wrong decoder) or
+        // forge an unknown backend id. Non-v3 streams get their container
+        // version byte forged instead, exercising the version dispatch.
+        _ => {
+            let mut out = base.to_vec();
+            let flags = v3_section_flag_offsets(&out);
+            if flags.is_empty() {
+                if out.len() > 4 {
+                    out[4] = (rng.next_u64() % 8) as u8;
+                }
+            } else {
+                let off = flags[rng.below(flags.len())];
+                out[off] = match rng.below(3) {
+                    0 => out[off] ^ 1,
+                    1 => 2 + (rng.next_u64() % 254) as u8,
+                    _ => 0xFF,
+                };
+            }
             out
         }
     }
@@ -441,6 +535,28 @@ pub fn deflate_bomb_container(payload_mib: usize) -> Vec<u8> {
     out
 }
 
+/// A structurally valid tANS stream whose decoder states are forged out of
+/// the table range (`state < 1<<table_log` or `>= 2<<table_log`). Decode
+/// must reject it up front, never index a table out of bounds.
+pub fn tans_bad_state() -> Vec<u8> {
+    let skewed: Vec<u8> = (0..1024).map(|i| ((i * 7) % 17) as u8).collect();
+    let mut out = dpz_deflate::tans::compress(&skewed);
+    // Layout: table_log(1) raw_len(4) state0(2) state1(2) …
+    out[5] = 0xFF;
+    out[6] = 0xFF;
+    out
+}
+
+/// A valid tANS stream whose declared raw length is forged to `u32::MAX`.
+/// The bounded decoder must refuse past its limit instead of allocating
+/// 4 GiB or decoding garbage forever.
+pub fn tans_oversized_raw_len() -> Vec<u8> {
+    let skewed: Vec<u8> = (0..1024).map(|i| ((i * 7) % 17) as u8).collect();
+    let mut out = dpz_deflate::tans::compress(&skewed);
+    out[1..5].copy_from_slice(&u32::MAX.to_le_bytes());
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -497,5 +613,33 @@ mod tests {
         // 96 MiB declared-as-40-bytes: must reject at the inflate bound.
         let bomb = deflate_bomb_container(96);
         assert!(matches!(try_decode(Format::Dpz, &bomb), Outcome::Rejected));
+    }
+
+    #[test]
+    fn crafted_tans_streams_are_rejected() {
+        assert!(matches!(
+            try_decode(Format::Tans, &tans_bad_state()),
+            Outcome::Rejected
+        ));
+        assert!(matches!(
+            try_decode(Format::Tans, &tans_oversized_raw_len()),
+            Outcome::Rejected
+        ));
+    }
+
+    #[test]
+    fn v3_flag_walker_finds_three_sections() {
+        let corpus = Corpus::generate(3);
+        // The third dpz corpus entry is the v3/tANS one.
+        let v3 = &corpus.dpz[2];
+        assert_eq!(v3[4], 3, "expected a v3 container");
+        let flags = v3_section_flag_offsets(v3);
+        assert_eq!(flags.len(), 3, "model/indices/outliers sections");
+        for &off in &flags {
+            assert!(v3[off] <= 1, "flag byte at {off} is a known backend");
+        }
+        // v2 streams and other formats yield no flag offsets.
+        assert!(v3_section_flag_offsets(&corpus.dpz[0]).is_empty());
+        assert!(v3_section_flag_offsets(&corpus.chunked[0]).is_empty());
     }
 }

@@ -248,6 +248,273 @@ unsafe fn update2_neon(dst: &mut [f64], x: &[f64], y: &[f64], a: f64, b: f64) {
     }
 }
 
+/// Fused symmetric-matvec step: returns `Σ row[k]·u[k]` (the [`dot`]
+/// accumulation tree) while scattering `e[k] += uj·row[k]` in the same pass —
+/// `row` is loaded once instead of twice across a separate dot + axpy. This
+/// is the inner loop of the Householder reduction's `p = A·u` over
+/// lower-triangle rows.
+///
+/// Panics if the slices differ in length.
+pub fn dot_axpy(e: &mut [f64], row: &[f64], u: &[f64], uj: f64) -> f64 {
+    assert!(
+        e.len() == row.len() && e.len() == u.len(),
+        "dot_axpy length mismatch"
+    );
+    match backend() {
+        #[cfg(target_arch = "x86_64")]
+        Backend::Avx2 => unsafe { dot_axpy_avx2(e, row, u, uj) },
+        #[cfg(target_arch = "aarch64")]
+        Backend::Neon => unsafe { dot_axpy_neon(e, row, u, uj) },
+        _ => dot_axpy_scalar(e, row, u, uj),
+    }
+}
+
+/// Scalar arm of [`dot_axpy`] (replays [`dot_scalar`]'s 8-lane tree).
+pub fn dot_axpy_scalar(e: &mut [f64], row: &[f64], u: &[f64], uj: f64) -> f64 {
+    let mut acc = [0.0f64; 8];
+    let chunks = row.len() / 8;
+    for c in 0..chunks {
+        let base = c * 8;
+        for (l, a) in acc.iter_mut().enumerate() {
+            let r = row[base + l];
+            e[base + l] = uj.mul_add(r, e[base + l]);
+            *a = r.mul_add(u[base + l], *a);
+        }
+    }
+    let mut tail = 0.0f64;
+    for i in chunks * 8..row.len() {
+        let r = row[i];
+        e[i] = uj.mul_add(r, e[i]);
+        tail = r.mul_add(u[i], tail);
+    }
+    ((acc[0] + acc[4]) + (acc[2] + acc[6])) + ((acc[1] + acc[5]) + (acc[3] + acc[7])) + tail
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn dot_axpy_avx2(e: &mut [f64], row: &[f64], u: &[f64], uj: f64) -> f64 {
+    use std::arch::x86_64::*;
+    let n = row.len();
+    let chunks = n / 8;
+    let ep = e.as_mut_ptr();
+    let rp = row.as_ptr();
+    let up = u.as_ptr();
+    let vj = _mm256_set1_pd(uj);
+    let mut v0 = _mm256_setzero_pd();
+    let mut v1 = _mm256_setzero_pd();
+    for c in 0..chunks {
+        let b = c * 8;
+        let r0 = _mm256_loadu_pd(rp.add(b));
+        let r1 = _mm256_loadu_pd(rp.add(b + 4));
+        _mm256_storeu_pd(
+            ep.add(b),
+            _mm256_fmadd_pd(vj, r0, _mm256_loadu_pd(ep.add(b))),
+        );
+        _mm256_storeu_pd(
+            ep.add(b + 4),
+            _mm256_fmadd_pd(vj, r1, _mm256_loadu_pd(ep.add(b + 4))),
+        );
+        v0 = _mm256_fmadd_pd(r0, _mm256_loadu_pd(up.add(b)), v0);
+        v1 = _mm256_fmadd_pd(r1, _mm256_loadu_pd(up.add(b + 4)), v1);
+    }
+    let v = _mm256_add_pd(v0, v1);
+    let lo = _mm256_castpd256_pd128(v);
+    let hi = _mm256_extractf128_pd(v, 1);
+    let s2 = _mm_add_pd(lo, hi);
+    let s = _mm_cvtsd_f64(s2) + _mm_cvtsd_f64(_mm_unpackhi_pd(s2, s2));
+    let mut tail = 0.0f64;
+    for i in chunks * 8..n {
+        let r = row[i];
+        e[i] = uj.mul_add(r, e[i]);
+        tail = r.mul_add(u[i], tail);
+    }
+    s + tail
+}
+
+#[cfg(target_arch = "aarch64")]
+#[target_feature(enable = "neon")]
+unsafe fn dot_axpy_neon(e: &mut [f64], row: &[f64], u: &[f64], uj: f64) -> f64 {
+    use std::arch::aarch64::*;
+    let n = row.len();
+    let chunks = n / 8;
+    let ep = e.as_mut_ptr();
+    let rp = row.as_ptr();
+    let up = u.as_ptr();
+    let vj = vdupq_n_f64(uj);
+    let mut a0 = vdupq_n_f64(0.0);
+    let mut a1 = vdupq_n_f64(0.0);
+    let mut a2 = vdupq_n_f64(0.0);
+    let mut a3 = vdupq_n_f64(0.0);
+    for c in 0..chunks {
+        let b = c * 8;
+        let r0 = vld1q_f64(rp.add(b));
+        let r1 = vld1q_f64(rp.add(b + 2));
+        let r2 = vld1q_f64(rp.add(b + 4));
+        let r3 = vld1q_f64(rp.add(b + 6));
+        vst1q_f64(ep.add(b), vfmaq_f64(vld1q_f64(ep.add(b)), vj, r0));
+        vst1q_f64(ep.add(b + 2), vfmaq_f64(vld1q_f64(ep.add(b + 2)), vj, r1));
+        vst1q_f64(ep.add(b + 4), vfmaq_f64(vld1q_f64(ep.add(b + 4)), vj, r2));
+        vst1q_f64(ep.add(b + 6), vfmaq_f64(vld1q_f64(ep.add(b + 6)), vj, r3));
+        a0 = vfmaq_f64(a0, r0, vld1q_f64(up.add(b)));
+        a1 = vfmaq_f64(a1, r1, vld1q_f64(up.add(b + 2)));
+        a2 = vfmaq_f64(a2, r2, vld1q_f64(up.add(b + 4)));
+        a3 = vfmaq_f64(a3, r3, vld1q_f64(up.add(b + 6)));
+    }
+    let p02 = vaddq_f64(a0, a2);
+    let p13 = vaddq_f64(a1, a3);
+    let q = vaddq_f64(p02, p13);
+    let s = vgetq_lane_f64(q, 0) + vgetq_lane_f64(q, 1);
+    let mut tail = 0.0f64;
+    for i in chunks * 8..n {
+        let r = row[i];
+        e[i] = uj.mul_add(r, e[i]);
+        tail = r.mul_add(u[i], tail);
+    }
+    s + tail
+}
+
+/// Fused four-vector accumulate `dst[i] += a·w[i] + b·x[i] + c·y[i] + d·z[i]`,
+/// computed as the single chain `fma(d, z, fma(c, y, fma(b, x, fma(a, w,
+/// dst))))` in both arms (rank-4 Gram update: four input rows scattered into
+/// one output row per pass, quadrupling the arithmetic per `dst`
+/// load/store).
+#[allow(clippy::too_many_arguments)]
+pub fn accum4(
+    dst: &mut [f64],
+    w: &[f64],
+    x: &[f64],
+    y: &[f64],
+    z: &[f64],
+    a: f64,
+    b: f64,
+    c: f64,
+    d: f64,
+) {
+    assert!(
+        dst.len() == w.len()
+            && dst.len() == x.len()
+            && dst.len() == y.len()
+            && dst.len() == z.len(),
+        "accum4 length mismatch"
+    );
+    match backend() {
+        #[cfg(target_arch = "x86_64")]
+        Backend::Avx2 => unsafe { accum4_avx2(dst, w, x, y, z, a, b, c, d) },
+        #[cfg(target_arch = "aarch64")]
+        Backend::Neon => unsafe { accum4_neon(dst, w, x, y, z, a, b, c, d) },
+        _ => accum4_scalar(dst, w, x, y, z, a, b, c, d),
+    }
+}
+
+/// Scalar arm of [`accum4`].
+#[allow(clippy::too_many_arguments)]
+pub fn accum4_scalar(
+    dst: &mut [f64],
+    w: &[f64],
+    x: &[f64],
+    y: &[f64],
+    z: &[f64],
+    a: f64,
+    b: f64,
+    c: f64,
+    d: f64,
+) {
+    for i in 0..dst.len() {
+        dst[i] = d.mul_add(
+            z[i],
+            c.mul_add(y[i], b.mul_add(x[i], a.mul_add(w[i], dst[i]))),
+        );
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2", enable = "fma")]
+#[allow(clippy::too_many_arguments)]
+unsafe fn accum4_avx2(
+    dst: &mut [f64],
+    w: &[f64],
+    x: &[f64],
+    y: &[f64],
+    z: &[f64],
+    a: f64,
+    b: f64,
+    c: f64,
+    d: f64,
+) {
+    use std::arch::x86_64::*;
+    let n = dst.len();
+    let va = _mm256_set1_pd(a);
+    let vb = _mm256_set1_pd(b);
+    let vc = _mm256_set1_pd(c);
+    let vd = _mm256_set1_pd(d);
+    let dp = dst.as_mut_ptr();
+    let wp = w.as_ptr();
+    let xp = x.as_ptr();
+    let yp = y.as_ptr();
+    let zp = z.as_ptr();
+    let mut i = 0usize;
+    while i + 4 <= n {
+        let mut t = _mm256_loadu_pd(dp.add(i));
+        t = _mm256_fmadd_pd(va, _mm256_loadu_pd(wp.add(i)), t);
+        t = _mm256_fmadd_pd(vb, _mm256_loadu_pd(xp.add(i)), t);
+        t = _mm256_fmadd_pd(vc, _mm256_loadu_pd(yp.add(i)), t);
+        t = _mm256_fmadd_pd(vd, _mm256_loadu_pd(zp.add(i)), t);
+        _mm256_storeu_pd(dp.add(i), t);
+        i += 4;
+    }
+    while i < n {
+        dst[i] = d.mul_add(
+            z[i],
+            c.mul_add(y[i], b.mul_add(x[i], a.mul_add(w[i], dst[i]))),
+        );
+        i += 1;
+    }
+}
+
+#[cfg(target_arch = "aarch64")]
+#[target_feature(enable = "neon")]
+#[allow(clippy::too_many_arguments)]
+unsafe fn accum4_neon(
+    dst: &mut [f64],
+    w: &[f64],
+    x: &[f64],
+    y: &[f64],
+    z: &[f64],
+    a: f64,
+    b: f64,
+    c: f64,
+    d: f64,
+) {
+    use std::arch::aarch64::*;
+    let n = dst.len();
+    let va = vdupq_n_f64(a);
+    let vb = vdupq_n_f64(b);
+    let vc = vdupq_n_f64(c);
+    let vd = vdupq_n_f64(d);
+    let dp = dst.as_mut_ptr();
+    let wp = w.as_ptr();
+    let xp = x.as_ptr();
+    let yp = y.as_ptr();
+    let zp = z.as_ptr();
+    let mut i = 0usize;
+    while i + 2 <= n {
+        let mut t = vld1q_f64(dp.add(i));
+        t = vfmaq_f64(t, va, vld1q_f64(wp.add(i)));
+        t = vfmaq_f64(t, vb, vld1q_f64(xp.add(i)));
+        t = vfmaq_f64(t, vc, vld1q_f64(yp.add(i)));
+        t = vfmaq_f64(t, vd, vld1q_f64(zp.add(i)));
+        vst1q_f64(dp.add(i), t);
+        i += 2;
+    }
+    while i < n {
+        dst[i] = d.mul_add(
+            z[i],
+            c.mul_add(y[i], b.mul_add(x[i], a.mul_add(w[i], dst[i]))),
+        );
+        i += 1;
+    }
+}
+
 /// Apply a Givens rotation across two rows:
 /// `(r0[k], r1[k]) ← (c·r0[k] − s·r1[k], s·r0[k] + c·r1[k])`, with the fixed
 /// op order `t = c·r1[k]` (rounded), `r1' = fma(s, r0[k], t)`,
@@ -372,6 +639,68 @@ mod tests {
             update2(&mut a, &x, &y, 0.7, -1.3);
             update2_scalar(&mut b, &x, &y, 0.7, -1.3);
             assert_eq!(a, b, "n={n}");
+        }
+    }
+
+    #[test]
+    fn dot_axpy_matches_scalar_bitwise() {
+        for n in [0usize, 1, 3, 7, 8, 9, 31, 100, 255] {
+            let row = seq(n, 0.37);
+            let u = seq(n, 0.11);
+            let mut ea = seq(n, 0.23);
+            let mut eb = ea.clone();
+            let da = dot_axpy(&mut ea, &row, &u, 1.7);
+            let db = dot_axpy_scalar(&mut eb, &row, &u, 1.7);
+            assert_eq!(da.to_bits(), db.to_bits(), "n={n}");
+            assert_eq!(ea, eb, "n={n}");
+        }
+    }
+
+    #[test]
+    fn dot_axpy_matches_separate_dot_and_axpy() {
+        let n = 97;
+        let row = seq(n, 0.37);
+        let u = seq(n, 0.11);
+        let mut e = seq(n, 0.23);
+        let mut e_ref = e.clone();
+        let d = dot_axpy(&mut e, &row, &u, 1.7);
+        let d_ref = dot(&row, &u);
+        axpy(&mut e_ref, &row, 1.7);
+        assert_eq!(d.to_bits(), d_ref.to_bits());
+        assert_eq!(e, e_ref);
+    }
+
+    #[test]
+    fn accum4_matches_scalar_bitwise() {
+        for n in [0usize, 1, 3, 4, 9, 40, 101] {
+            let w = seq(n, 0.3);
+            let x = seq(n, 0.9);
+            let y = seq(n, 1.7);
+            let z = seq(n, 2.3);
+            let mut a = seq(n, 0.5);
+            let mut b = a.clone();
+            accum4(&mut a, &w, &x, &y, &z, 0.7, -1.3, 2.1, 0.01);
+            accum4_scalar(&mut b, &w, &x, &y, &z, 0.7, -1.3, 2.1, 0.01);
+            assert_eq!(a, b, "n={n}");
+        }
+    }
+
+    #[test]
+    fn accum4_matches_four_axpys_numerically() {
+        let n = 73;
+        let w = seq(n, 0.3);
+        let x = seq(n, 0.9);
+        let y = seq(n, 1.7);
+        let z = seq(n, 2.3);
+        let mut a = seq(n, 0.5);
+        let mut b = a.clone();
+        accum4(&mut a, &w, &x, &y, &z, 0.7, -1.3, 2.1, 0.01);
+        axpy(&mut b, &w, 0.7);
+        axpy(&mut b, &x, -1.3);
+        axpy(&mut b, &y, 2.1);
+        axpy(&mut b, &z, 0.01);
+        for (p, q) in a.iter().zip(&b) {
+            assert!((p - q).abs() < 1e-12 * q.abs().max(1.0));
         }
     }
 

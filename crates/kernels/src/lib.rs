@@ -14,6 +14,7 @@
 //! - [`fft`] — radix-2 butterflies, Bluestein pointwise ops, DCT rotations
 //! - [`quant`] — fused quantize/dequantize with escape-code handling
 //! - [`checksum`] — CRC-32 (slice-by-8 + PCLMUL), Adler-32, byte histogram
+//! - [`matchlen`] — LZ77 common-prefix (match extension) compare
 
 #![warn(missing_docs)]
 
@@ -23,6 +24,7 @@ pub mod checksum;
 pub mod complex;
 pub mod fft;
 pub mod gemm;
+pub mod matchlen;
 pub mod quant;
 
 pub use backend::{backend, backend_name, Backend};

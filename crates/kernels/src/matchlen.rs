@@ -1,0 +1,140 @@
+//! Common-prefix length — the LZ77 match-extension primitive.
+//!
+//! `match_len(a, b, limit)` returns how many leading bytes of `a` and `b`
+//! are equal, capped at `limit`. The hash-chain matcher calls this once per
+//! surviving chain candidate, so it dominates deflate's compress-side cost
+//! on match-rich data; the wide arms compare 32 (AVX2) or 16 (NEON) bytes
+//! per probe and locate the first difference with a movemask +
+//! trailing-zeros step.
+//!
+//! Like the checksum kernels this is an exact integer computation: every arm
+//! returns the identical value, so the scalar/SIMD parity contract is plain
+//! equality (see `tests/parity.rs`).
+
+use crate::backend::{backend, Backend};
+
+/// Length of the common prefix of `a` and `b`, capped at `limit` (further
+/// capped by the shorter slice).
+#[inline]
+pub fn match_len(a: &[u8], b: &[u8], limit: usize) -> usize {
+    let limit = limit.min(a.len()).min(b.len());
+    match backend() {
+        #[cfg(target_arch = "x86_64")]
+        Backend::Avx2 if limit >= 32 => unsafe { match_len_avx2(a, b, limit) },
+        #[cfg(target_arch = "aarch64")]
+        Backend::Neon if limit >= 16 => unsafe { match_len_neon(a, b, limit) },
+        _ => match_len_scalar(a, b, limit),
+    }
+}
+
+/// Portable arm of [`match_len`] (public for the parity tests and benches).
+///
+/// Compares 8-byte words and finds the first mismatching byte via the XOR's
+/// trailing zero count, falling back to a byte loop for the tail.
+pub fn match_len_scalar(a: &[u8], b: &[u8], limit: usize) -> usize {
+    let limit = limit.min(a.len()).min(b.len());
+    let mut i = 0usize;
+    while i + 8 <= limit {
+        let wa = u64::from_le_bytes(a[i..i + 8].try_into().unwrap());
+        let wb = u64::from_le_bytes(b[i..i + 8].try_into().unwrap());
+        let x = wa ^ wb;
+        if x != 0 {
+            return i + (x.trailing_zeros() / 8) as usize;
+        }
+        i += 8;
+    }
+    while i < limit && a[i] == b[i] {
+        i += 1;
+    }
+    i
+}
+
+/// AVX2 arm: 32-byte equality masks; the first zero bit of the movemask is
+/// the first mismatch.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn match_len_avx2(a: &[u8], b: &[u8], limit: usize) -> usize {
+    use std::arch::x86_64::*;
+    debug_assert!(limit <= a.len() && limit <= b.len());
+    let mut i = 0usize;
+    while i + 32 <= limit {
+        let va = _mm256_loadu_si256(a.as_ptr().add(i) as *const __m256i);
+        let vb = _mm256_loadu_si256(b.as_ptr().add(i) as *const __m256i);
+        let eq = _mm256_movemask_epi8(_mm256_cmpeq_epi8(va, vb)) as u32;
+        if eq != u32::MAX {
+            return i + (!eq).trailing_zeros() as usize;
+        }
+        i += 32;
+    }
+    i + match_len_scalar(&a[i..], &b[i..], limit - i)
+}
+
+/// NEON arm: 16-byte equality masks narrowed to a 64-bit nibble mask.
+#[cfg(target_arch = "aarch64")]
+#[target_feature(enable = "neon")]
+unsafe fn match_len_neon(a: &[u8], b: &[u8], limit: usize) -> usize {
+    use std::arch::aarch64::*;
+    debug_assert!(limit <= a.len() && limit <= b.len());
+    let mut i = 0usize;
+    while i + 16 <= limit {
+        let va = vld1q_u8(a.as_ptr().add(i));
+        let vb = vld1q_u8(b.as_ptr().add(i));
+        let eq = vceqq_u8(va, vb);
+        // Narrow each 8-bit lane to 4 bits: lane j of the comparison maps to
+        // bits 4j..4j+3 of the scalar, so tz/4 indexes the first mismatch.
+        let nibbles = vshrn_n_u16(vreinterpretq_u16_u8(eq), 4);
+        let mask = vget_lane_u64(vreinterpret_u64_u8(nibbles), 0);
+        if mask != u64::MAX {
+            return i + ((!mask).trailing_zeros() / 4) as usize;
+        }
+        i += 16;
+    }
+    i + match_len_scalar(&a[i..], &b[i..], limit - i)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn agrees_with_naive_on_crafted_prefixes() {
+        let base: Vec<u8> = (0..512).map(|i| (i % 251) as u8).collect();
+        for mismatch_at in [0usize, 1, 7, 8, 15, 16, 31, 32, 33, 63, 100, 258, 511] {
+            let mut other = base.clone();
+            if mismatch_at < other.len() {
+                other[mismatch_at] ^= 0x40;
+            }
+            for limit in [0usize, 1, 3, 16, 32, 200, 258, 512, 1000] {
+                let naive = base
+                    .iter()
+                    .zip(&other)
+                    .take(limit)
+                    .take_while(|(x, y)| x == y)
+                    .count();
+                assert_eq!(
+                    match_len(&base, &other, limit),
+                    naive,
+                    "m={mismatch_at} l={limit}"
+                );
+                assert_eq!(
+                    match_len_scalar(&base, &other, limit),
+                    naive,
+                    "scalar m={mismatch_at} l={limit}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn identical_slices_hit_the_cap() {
+        let v = vec![0xAB; 300];
+        assert_eq!(match_len(&v, &v, 258), 258);
+        assert_eq!(match_len(&v, &v, 1000), 300);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert_eq!(match_len(&[], &[], 10), 0);
+        assert_eq!(match_len(b"a", &[], 10), 0);
+    }
+}

@@ -8,7 +8,7 @@
 //! and checksum arms are engineered bit-identical; the fft/dct rotation
 //! stages are held to ≤ 1 ulp per component.
 
-use dpz_kernels::{blas, checksum, fft, gemm, quant, Complex};
+use dpz_kernels::{blas, checksum, fft, gemm, matchlen, quant, Complex};
 use proptest::prelude::*;
 
 /// xorshift64* stream for dependently-sized buffers (the shim's `vec`
@@ -321,6 +321,35 @@ proptest! {
                 "dct3_pre element {}: ({}, {}) vs ({}, {})", i, g.re, g.im, w.re, w.im
             );
         }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    // ---- matchlen: exact (a length, not a float) ----
+
+    #[test]
+    fn match_len_matches_scalar_exactly(
+        n in 0usize..600,
+        prefix in 0usize..600,
+        limit in 0usize..600,
+        seed in any::<u64>(),
+    ) {
+        // Two buffers forced to agree on `prefix` bytes, with the byte after
+        // it (when present) forced to differ — so every divergence point,
+        // including ones straddling the kernel's vector width, is reachable.
+        let a = fill_bytes(n, seed);
+        let mut b = fill_bytes(n, seed ^ 0xA5A5);
+        let p = prefix.min(n);
+        b[..p].copy_from_slice(&a[..p]);
+        if p < n {
+            b[p] = a[p].wrapping_add(1);
+        }
+        let fast = matchlen::match_len(&a, &b, limit);
+        let slow = matchlen::match_len_scalar(&a, &b, limit);
+        prop_assert_eq!(fast, slow, "n={} prefix={} limit={}", n, p, limit);
+        prop_assert_eq!(slow, p.min(limit).min(n));
     }
 }
 

@@ -35,8 +35,13 @@ use std::f64::consts::PI;
 pub struct DctScratch {
     /// Complex buffer for the Makhoul-permuted sequence.
     v: Vec<Complex>,
+    /// Second complex buffer for the paired (two-for-one) transforms: holds
+    /// the two unpacked half-spectra side by side.
+    v2: Vec<Complex>,
     /// Raw cosine sums `C[k]` (inverse direction only).
     c: Vec<f64>,
+    /// Second cosine-sum buffer for the paired inverse.
+    c2: Vec<f64>,
     /// Workspace for the non-power-of-two FFT path.
     fft: FftScratch,
 }
@@ -130,6 +135,112 @@ impl Dct1d {
         // C[k] = Re(e^{-iπk/(2n)} V[k]); apply orthonormal scaling.
         data[0] = v[0].re * self.s0;
         kfft::dct2_post(&mut data[1..], &self.twiddle[1..], &v[1..], self.sk);
+    }
+
+    /// Orthonormal DCT-II of **two** blocks through **one** complex FFT (the
+    /// classic two-for-one real-input trick): block `a` rides the real lanes
+    /// and block `b` the imaginary lanes, and the two spectra are unpacked
+    /// afterwards from the Hermitian symmetry
+    /// `Fa[k] = (V[k] + conj(V[n−k]))/2`, `Fb[k] = −i·(V[k] − conj(V[n−k]))/2`.
+    /// Since the FFT dominates the transform, pairing blocks nearly halves
+    /// the per-block cost; DPZ's stage 1 transforms `M` same-length blocks,
+    /// so pairs are always available.
+    pub fn forward_pair(&self, a: &mut [f64], b: &mut [f64]) {
+        LOCAL_SCRATCH.with(|s| self.forward_pair_with(a, b, &mut s.borrow_mut()));
+    }
+
+    /// [`Dct1d::forward_pair`] with caller-owned scratch.
+    pub fn forward_pair_with(&self, a: &mut [f64], b: &mut [f64], scratch: &mut DctScratch) {
+        assert_eq!(a.len(), self.n, "Dct1d::forward_pair length mismatch");
+        assert_eq!(b.len(), self.n, "Dct1d::forward_pair length mismatch");
+        let n = self.n;
+        if n <= 1 {
+            if n == 1 {
+                a[0] *= self.s0;
+                b[0] *= self.s0;
+            }
+            return;
+        }
+        // Makhoul permutation of both blocks, packed re/im.
+        scratch.v.resize(n, Complex::default());
+        let v = &mut scratch.v[..n];
+        let half = n.div_ceil(2);
+        for j in 0..half {
+            v[j] = Complex::new(a[2 * j], b[2 * j]);
+        }
+        for j in 0..n / 2 {
+            v[n - 1 - j] = Complex::new(a[2 * j + 1], b[2 * j + 1]);
+        }
+        fft_with(v, &mut scratch.fft);
+        // Unpack the two spectra; only k = 1..n is needed by dct2_post, and
+        // k = 0 reduces to (Re, Im) of V[0].
+        scratch.v2.resize(2 * n, Complex::default());
+        let (va, vb) = scratch.v2.split_at_mut(n);
+        for k in 1..n {
+            let p = v[k];
+            let q = v[n - k];
+            va[k] = Complex::new(0.5 * (p.re + q.re), 0.5 * (p.im - q.im));
+            vb[k] = Complex::new(0.5 * (p.im + q.im), 0.5 * (q.re - p.re));
+        }
+        a[0] = v[0].re * self.s0;
+        b[0] = v[0].im * self.s0;
+        kfft::dct2_post(&mut a[1..], &self.twiddle[1..], &va[1..], self.sk);
+        kfft::dct2_post(&mut b[1..], &self.twiddle[1..], &vb[1..], self.sk);
+    }
+
+    /// Orthonormal DCT-III of **two** blocks through **one** complex inverse
+    /// FFT. The packing is pure linearity: both pre-rotated spectra produce
+    /// *real* permuted samples under the inverse FFT, so
+    /// `ifft(Va + i·Vb) = perm(a) + i·perm(b)` splits exactly on the re/im
+    /// lanes.
+    pub fn inverse_pair(&self, a: &mut [f64], b: &mut [f64]) {
+        LOCAL_SCRATCH.with(|s| self.inverse_pair_with(a, b, &mut s.borrow_mut()));
+    }
+
+    /// [`Dct1d::inverse_pair`] with caller-owned scratch.
+    pub fn inverse_pair_with(&self, a: &mut [f64], b: &mut [f64], scratch: &mut DctScratch) {
+        assert_eq!(a.len(), self.n, "Dct1d::inverse_pair length mismatch");
+        assert_eq!(b.len(), self.n, "Dct1d::inverse_pair length mismatch");
+        let n = self.n;
+        if n <= 1 {
+            if n == 1 {
+                a[0] /= self.s0;
+                b[0] /= self.s0;
+            }
+            return;
+        }
+        scratch.c.resize(n, 0.0);
+        scratch.c2.resize(n, 0.0);
+        let ca = &mut scratch.c[..n];
+        let cb = &mut scratch.c2[..n];
+        ca[0] = a[0] / self.s0;
+        cb[0] = b[0] / self.s0;
+        for k in 1..n {
+            ca[k] = a[k] / self.sk;
+            cb[k] = b[k] / self.sk;
+        }
+        // Build both pre-rotated spectra, then pack V = Va + i·Vb.
+        scratch.v2.resize(2 * n, Complex::default());
+        let (va, vb) = scratch.v2.split_at_mut(n);
+        va[0] = Complex::new(ca[0], 0.0);
+        vb[0] = Complex::new(cb[0], 0.0);
+        kfft::dct3_pre(va, &self.twiddle, ca);
+        kfft::dct3_pre(vb, &self.twiddle, cb);
+        scratch.v.resize(n, Complex::default());
+        let v = &mut scratch.v[..n];
+        for k in 0..n {
+            v[k] = Complex::new(va[k].re - vb[k].im, va[k].im + vb[k].re);
+        }
+        ifft_with(v, &mut scratch.fft);
+        let half = n.div_ceil(2);
+        for j in 0..half {
+            a[2 * j] = v[j].re;
+            b[2 * j] = v[j].im;
+        }
+        for j in 0..n / 2 {
+            a[2 * j + 1] = v[n - 1 - j].re;
+            b[2 * j + 1] = v[n - 1 - j].im;
+        }
     }
 
     /// In-place orthonormal DCT-III (the inverse of [`Dct1d::forward`]).
@@ -562,6 +673,53 @@ mod tests {
             dct3_2d_with(&mut with, rows, cols, &mut scratch);
             assert!(max_err(&with, &x) < 1e-10, "roundtrip {rows}x{cols}");
         }
+    }
+
+    #[test]
+    fn forward_pair_matches_two_single_transforms() {
+        for &n in &[1usize, 2, 3, 5, 7, 8, 16, 45, 100, 225, 360, 513] {
+            let plan = Dct1d::new(n);
+            let a0: Vec<f64> = (0..n).map(|i| (i as f64 * 0.37).sin() + 0.2).collect();
+            let b0: Vec<f64> = (0..n).map(|i| (i as f64 * 0.61).cos() - 0.1).collect();
+            let (mut ra, mut rb) = (a0.clone(), b0.clone());
+            plan.forward(&mut ra);
+            plan.forward(&mut rb);
+            let (mut pa, mut pb) = (a0.clone(), b0.clone());
+            plan.forward_pair(&mut pa, &mut pb);
+            let tol = 1e-12 * (n as f64).max(1.0);
+            assert!(max_err(&pa, &ra) < tol, "n={n} a err {}", max_err(&pa, &ra));
+            assert!(max_err(&pb, &rb) < tol, "n={n} b err {}", max_err(&pb, &rb));
+        }
+    }
+
+    #[test]
+    fn inverse_pair_matches_two_single_transforms() {
+        for &n in &[1usize, 2, 3, 5, 7, 8, 16, 45, 100, 225, 360, 513] {
+            let plan = Dct1d::new(n);
+            let a0: Vec<f64> = (0..n).map(|i| (i as f64 * 0.53).sin() * 2.0).collect();
+            let b0: Vec<f64> = (0..n).map(|i| (i as f64 * 0.29).cos() * 1.5).collect();
+            let (mut ra, mut rb) = (a0.clone(), b0.clone());
+            plan.inverse(&mut ra);
+            plan.inverse(&mut rb);
+            let (mut pa, mut pb) = (a0.clone(), b0.clone());
+            plan.inverse_pair(&mut pa, &mut pb);
+            let tol = 1e-12 * (n as f64).max(1.0);
+            assert!(max_err(&pa, &ra) < tol, "n={n} a err {}", max_err(&pa, &ra));
+            assert!(max_err(&pb, &rb) < tol, "n={n} b err {}", max_err(&pb, &rb));
+        }
+    }
+
+    #[test]
+    fn pair_roundtrip_recovers_inputs() {
+        let n = 360;
+        let plan = Dct1d::new(n);
+        let a0: Vec<f64> = (0..n).map(|i| (i as f64 * 0.123).sin()).collect();
+        let b0: Vec<f64> = (0..n).map(|i| (i as f64 * 0.456).cos()).collect();
+        let (mut a, mut b) = (a0.clone(), b0.clone());
+        plan.forward_pair(&mut a, &mut b);
+        plan.inverse_pair(&mut a, &mut b);
+        assert!(max_err(&a, &a0) < 1e-10);
+        assert!(max_err(&b, &b0) < 1e-10);
     }
 
     #[test]

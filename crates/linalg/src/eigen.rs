@@ -78,65 +78,9 @@ fn sign_like(magnitude: f64, sign_of: f64) -> f64 {
 #[allow(clippy::needless_range_loop)]
 fn tridiagonalize(z: &mut Matrix, d: &mut [f64], e: &mut [f64]) {
     let n = z.rows();
-    // Scratch: `ubuf` holds a copy of the (scaled) Householder vector, `gbuf`
-    // the gather target in the accumulation phase.
-    let mut ubuf = vec![0.0f64; n];
-    for i in (1..n).rev() {
-        let l = i - 1;
-        let mut h = 0.0;
-        if l > 0 {
-            let scale: f64 = (0..i).map(|k| z.get(i, k).abs()).sum();
-            if scale == 0.0 {
-                e[i] = z.get(i, l);
-            } else {
-                for k in 0..i {
-                    let v = z.get(i, k) / scale;
-                    z.set(i, k, v);
-                    h += v * v;
-                }
-                let f = z.get(i, l);
-                let g = if f >= 0.0 { -h.sqrt() } else { h.sqrt() };
-                e[i] = scale * g;
-                h -= f * g;
-                z.set(i, l, f - g);
-                let u = &mut ubuf[..i];
-                u.copy_from_slice(&z.row(i)[..i]);
-                for j in 0..i {
-                    z.set(j, i, u[j] / h);
-                }
-                // p = A·u using the lower triangle, row-contiguous:
-                // p[j] = Σ_{k≤j} A[j][k]·u[k]  (dot over row j)
-                //      + Σ_{k>j} A[k][j]·u[k]  (row k scatters into p[..k]).
-                e[..i].fill(0.0);
-                for j in 0..i {
-                    let row_j = &z.row(j)[..=j];
-                    e[j] += blas::dot(row_j, &u[..=j]);
-                    blas::axpy(&mut e[..j], &row_j[..j], u[j]);
-                }
-                let mut fsum = 0.0;
-                for j in 0..i {
-                    e[j] /= h;
-                    fsum += e[j] * u[j];
-                }
-                // Rank-2 update of the lower triangle, one contiguous row at
-                // a time; e[..=j] is fully rewritten before row j reads it.
-                let hh = fsum / (h + h);
-                for j in 0..i {
-                    let f2 = u[j];
-                    let g2 = e[j] - hh * f2;
-                    e[j] = g2;
-                    let row_j = &mut z.row_mut(j)[..=j];
-                    blas::update2(row_j, &e[..=j], &u[..=j], f2, g2);
-                }
-            }
-        } else {
-            e[i] = z.get(i, l);
-        }
-        d[i] = h;
-    }
-    d[0] = 0.0;
-    e[0] = 0.0;
+    householder_reduce(z, d, e, true);
     // Accumulate the Householder transforms into z.
+    let mut ubuf = vec![0.0f64; n];
     let mut gbuf = vec![0.0f64; n];
     for i in 0..n {
         if d[i] != 0.0 {
@@ -164,6 +108,128 @@ fn tridiagonalize(z: &mut Matrix, d: &mut [f64], e: &mut [f64]) {
             z.set(i, j, 0.0);
         }
     }
+}
+
+/// The reduction phase of [`tridiagonalize`], without accumulating the
+/// orthogonal transform. On return the lower triangle of `z` holds the
+/// (scaled) Householder vectors — row `i`, entries `..i`, is the vector for
+/// step `i` — `d[i]` holds the step's `h = uᵀu/2`-style normalizer (`0` for
+/// skipped steps), and `e` the tridiagonal off-diagonal (`e[i]` couples
+/// `i-1` and `i`; `e[0]` unused). The tridiagonal *diagonal* is left on the
+/// matrix diagonal (`z[i][i]`), since `d` is carrying the normalizers.
+///
+/// Keeping the reflectors instead of the accumulated basis is the classic
+/// `tred1` trade: the reduction alone is ~half the flops of `tred2`, and a
+/// caller that only needs `k ≪ n` eigenvectors can back-transform just those
+/// through the reflectors in `O(k·n²)` — see [`sym_eigen_select`].
+/// When `store_v` is set, the strict upper triangle additionally receives
+/// `v = u/h` column-by-column — required only by the accumulation phase of
+/// the full solver ([`tridiagonalize`]). The selective solver back-transforms
+/// through the rows alone, and the column stores are strided (one cache line
+/// per element), so skipping them is a measurable win.
+#[allow(clippy::needless_range_loop)]
+fn householder_reduce(z: &mut Matrix, d: &mut [f64], e: &mut [f64], store_v: bool) {
+    let n = z.rows();
+    // Scratch: `ubuf` holds the current step's scaled Householder vector;
+    // `uprev`/`gprev` carry the previous step's *deferred* rank-2 update
+    // (`row_j -= uprev[j]·gprev + gprev[j]·uprev`), and `pbuf` accumulates
+    // the current step's matvec. Deferring the update lets the next step
+    // apply it row-by-row inside its own matvec pass, so every step makes a
+    // single pass over the lower triangle instead of two (the triangle
+    // outgrows L1 quickly; this is the dominant cost of the reduction).
+    let mut ubuf = vec![0.0f64; n];
+    let mut uprev = vec![0.0f64; n];
+    let mut gprev = vec![0.0f64; n];
+    let mut pbuf = vec![0.0f64; n];
+    // Rows `0..pending` still owe the deferred rank-2 update (0 = none).
+    // Only one update is ever outstanding: a non-degenerate step drains the
+    // previous one over the whole triangle before deferring its own.
+    let mut pending = 0usize;
+    for i in (1..n).rev() {
+        let l = i - 1;
+        let mut h = 0.0;
+        if l > 0 {
+            if pending > i {
+                // Row `i` is the deepest row covered by the deferred update;
+                // bring it current before deriving this step's reflector.
+                let row_i = &mut z.row_mut(i)[..=i];
+                blas::update2(row_i, &gprev[..=i], &uprev[..=i], uprev[i], gprev[i]);
+                pending = i;
+            }
+            let scale: f64 = (0..i).map(|k| z.get(i, k).abs()).sum();
+            if scale == 0.0 {
+                // Degenerate step: no reflector. Rows below may still owe
+                // the deferred update; `pending` carries it forward.
+                e[i] = z.get(i, l);
+            } else {
+                for k in 0..i {
+                    let v = z.get(i, k) / scale;
+                    z.set(i, k, v);
+                    h += v * v;
+                }
+                let f = z.get(i, l);
+                let g = if f >= 0.0 { -h.sqrt() } else { h.sqrt() };
+                e[i] = scale * g;
+                h -= f * g;
+                z.set(i, l, f - g);
+                let u = &mut ubuf[..i];
+                u.copy_from_slice(&z.row(i)[..i]);
+                if store_v {
+                    for j in 0..i {
+                        z.set(j, i, u[j] / h);
+                    }
+                }
+                // One pass over the lower triangle: finish the previous
+                // step's rank-2 update on row j, then immediately fold the
+                // row into this step's symmetric matvec while it is hot:
+                // p[j] = Σ_{k≤j} A[j][k]·u[k]  (dot over row j)
+                //      + Σ_{k>j} A[k][j]·u[k]  (row k scatters into p[..k]),
+                // both directions fused via `dot_axpy` so each row is loaded
+                // once.
+                pbuf[..i].fill(0.0);
+                for j in 0..i {
+                    if j < pending {
+                        let row_j = &mut z.row_mut(j)[..=j];
+                        blas::update2(row_j, &gprev[..=j], &uprev[..=j], uprev[j], gprev[j]);
+                    }
+                    let row_j = &z.row(j)[..=j];
+                    let partial = blas::dot_axpy(&mut pbuf[..j], &row_j[..j], &u[..j], u[j]);
+                    pbuf[j] += partial + row_j[j] * u[j];
+                }
+                let mut fsum = 0.0;
+                for j in 0..i {
+                    pbuf[j] /= h;
+                    fsum += pbuf[j] * u[j];
+                }
+                // Defer this step's rank-2 update; the next step (or the
+                // final flush) applies it before each row is next read.
+                let hh = fsum / (h + h);
+                for j in 0..i {
+                    gprev[j] = pbuf[j] - hh * u[j];
+                }
+                uprev[..i].copy_from_slice(u);
+                pending = i;
+            }
+        } else {
+            // i == 1: row 1 may still owe the deferred update before its
+            // off-diagonal entry is read.
+            if pending > 1 {
+                let row_1 = &mut z.row_mut(1)[..=1];
+                blas::update2(row_1, &gprev[..=1], &uprev[..=1], uprev[1], gprev[1]);
+                pending = 1;
+            }
+            e[i] = z.get(i, l);
+        }
+        d[i] = h;
+    }
+    // The 1x1 corner may still owe the deferred update — callers read the
+    // tridiagonal diagonal off `z` afterwards.
+    if pending > 0 {
+        let row_0 = &mut z.row_mut(0)[..=0];
+        blas::update2(row_0, &gprev[..=0], &uprev[..=0], uprev[0], gprev[0]);
+    }
+    d[0] = 0.0;
+    e[0] = 0.0;
 }
 
 /// Implicit QL with shifts on the tridiagonal `(d, e)`, rotating the **rows**
@@ -294,6 +360,330 @@ pub fn sym_eigen(a: &Matrix) -> Result<SymEigen> {
         eigenvalues,
         eigenvectors,
     })
+}
+
+/// Implicit QL with shifts computing **eigenvalues only** — [`ql_implicit`]
+/// minus the rotation of the accumulated basis, dropping the `O(n³)`
+/// eigenvector work and leaving an `O(n²)` total. On success `d` holds the
+/// (unsorted) eigenvalues of the tridiagonal `(d, e)`.
+fn ql_values(d: &mut [f64], e: &mut [f64]) -> Result<()> {
+    let n = d.len();
+    if n == 0 {
+        return Ok(());
+    }
+    for i in 1..n {
+        e[i - 1] = e[i];
+    }
+    e[n - 1] = 0.0;
+    for l in 0..n {
+        let mut iter = 0;
+        loop {
+            let mut m = l;
+            while m < n - 1 {
+                let dd = d[m].abs() + d[m + 1].abs();
+                if e[m].abs() <= f64::EPSILON * dd {
+                    break;
+                }
+                m += 1;
+            }
+            if m == l {
+                break;
+            }
+            iter += 1;
+            if iter > MAX_QL_ITERATIONS {
+                return Err(LinalgError::NoConvergence {
+                    algorithm: "implicit QL (sym_eigen_select, values)",
+                    iterations: MAX_QL_ITERATIONS,
+                });
+            }
+            let mut g = (d[l + 1] - d[l]) / (2.0 * e[l]);
+            let mut r = pythag(g, 1.0);
+            g = d[m] - d[l] + e[l] / (g + sign_like(r, g));
+            let (mut s, mut c) = (1.0f64, 1.0f64);
+            let mut p = 0.0f64;
+            let mut underflow = false;
+            for i in (l..m).rev() {
+                let f = s * e[i];
+                let b = c * e[i];
+                r = pythag(f, g);
+                e[i + 1] = r;
+                if r == 0.0 {
+                    d[i + 1] -= p;
+                    e[m] = 0.0;
+                    underflow = true;
+                    break;
+                }
+                s = f / r;
+                c = g / r;
+                g = d[i + 1] - p;
+                r = (d[i] - g) * s + 2.0 * c * b;
+                p = s * r;
+                d[i + 1] = g + p;
+                g = c * r - b;
+            }
+            if underflow {
+                continue;
+            }
+            d[l] -= p;
+            e[l] = g;
+            e[m] = 0.0;
+        }
+    }
+    Ok(())
+}
+
+/// One solve of `(T − λI)·x = rhs` for the symmetric tridiagonal `T` with
+/// diagonal `diag` and off-diagonal `off` (`off[i]` couples `i` and `i+1`),
+/// by Gaussian elimination with partial pivoting (bandwidth grows to two
+/// superdiagonals, the classic `tinvit` factorization). `rhs` is consumed
+/// in place and replaced by the solution; near-singular pivots — expected,
+/// since λ is an eigenvalue — are replaced by `eps` so the solve blows up
+/// *along the eigenvector*, which is exactly what inverse iteration wants.
+///
+/// `a`/`b`/`c` are caller-provided scratch for the three stored diagonals.
+#[allow(clippy::too_many_arguments)]
+fn solve_tridiag_shifted(
+    diag: &[f64],
+    off: &[f64],
+    lambda: f64,
+    eps: f64,
+    x: &mut [f64],
+    a: &mut [f64],
+    b: &mut [f64],
+    c: &mut [f64],
+) {
+    let n = diag.len();
+    if n == 1 {
+        let p = diag[0] - lambda;
+        let p = if p.abs() < eps { sign_like(eps, p) } else { p };
+        x[0] /= p;
+        return;
+    }
+    let mut u = diag[0] - lambda;
+    let mut v = off[0];
+    for i in 1..n {
+        let s = off[i - 1];
+        if s.abs() > u.abs() {
+            // Pivot: swap rows i-1 and i before eliminating.
+            let xu = if s != 0.0 { u / s } else { 0.0 };
+            a[i - 1] = s;
+            b[i - 1] = diag[i] - lambda;
+            c[i - 1] = if i + 1 < n { off[i] } else { 0.0 };
+            x.swap(i - 1, i);
+            x[i] -= xu * x[i - 1];
+            u = v - xu * b[i - 1];
+            v = -xu * c[i - 1];
+        } else {
+            let xu = if u != 0.0 { s / u } else { 0.0 };
+            a[i - 1] = u;
+            b[i - 1] = v;
+            c[i - 1] = 0.0;
+            x[i] -= xu * x[i - 1];
+            u = diag[i] - lambda - xu * v;
+            v = if i + 1 < n { off[i] } else { 0.0 };
+        }
+    }
+    a[n - 1] = if u.abs() < eps { sign_like(eps, u) } else { u };
+    b[n - 1] = 0.0;
+    for i in (0..n).rev() {
+        let mut t = x[i];
+        if i + 1 < n {
+            t -= b[i] * x[i + 1];
+        }
+        if i + 2 < n {
+            t -= c[i] * x[i + 2];
+        }
+        let p = a[i];
+        let p = if p.abs() < eps { sign_like(eps, p) } else { p };
+        x[i] = t / p;
+    }
+}
+
+/// Selective eigendecomposition: the **full spectrum** plus eigenvectors for
+/// only the `k` leading eigenvalues, where `k` is chosen by the caller *after
+/// seeing every eigenvalue*.
+///
+/// This is the exact-TVE fast path for PCA at moderate `m`: the paper's
+/// TVE rule needs the complete (sorted) spectrum to pick `k`, but only `k`
+/// eigenvectors are ever used. The full `tred2 + tql2` solve pays `O(n³)`
+/// twice over (transform accumulation, then rotating `n` vectors through
+/// every QL sweep); here the split is
+///
+/// 1. Householder reduction keeping the raw reflectors (`~n³/3` avoided),
+/// 2. eigenvalues-only implicit QL (`O(n²)`),
+/// 3. inverse iteration on the tridiagonal for the `k` selected values
+///    (`O(k·n)` per vector, with modified-Gram–Schmidt re-orthogonalization
+///    inside clusters of near-equal eigenvalues),
+/// 4. back-transform of those `k` vectors through the reflectors
+///    (`O(k·n²)`).
+///
+/// `select` receives the eigenvalues sorted descending and returns how many
+/// leading eigenvectors to compute (clamped to `n`). Returns the sorted
+/// spectrum and the selected eigenpairs in [`SymEigen`] layout.
+pub fn sym_eigen_select<F>(a: &Matrix, select: F) -> Result<(Vec<f64>, SymEigen)>
+where
+    F: FnOnce(&[f64]) -> usize,
+{
+    let n = a.rows();
+    if a.rows() != a.cols() {
+        return Err(LinalgError::DimensionMismatch {
+            op: "sym_eigen_select",
+            got: format!("{}x{}", a.rows(), a.cols()),
+            expected: "square symmetric matrix".to_string(),
+        });
+    }
+    if n == 0 {
+        return Ok((
+            vec![],
+            SymEigen {
+                eigenvalues: vec![],
+                eigenvectors: Matrix::zeros(0, 0),
+            },
+        ));
+    }
+    let mut z = a.clone();
+    let mut hs = vec![0.0; n];
+    let mut e = vec![0.0; n];
+    householder_reduce(&mut z, &mut hs, &mut e, false);
+    // The tridiagonal: diagonal is left on the reduced matrix, `e[i]`
+    // couples i-1 and i. Re-index the off-diagonal so off[i] couples
+    // (i, i+1) for the inverse-iteration solver.
+    let diag: Vec<f64> = (0..n).map(|i| z.get(i, i)).collect();
+    let off: Vec<f64> = (0..n - 1).map(|i| e[i + 1]).collect();
+
+    let mut dq = diag.clone();
+    let mut eq = e.clone();
+    ql_values(&mut dq, &mut eq)?;
+    dq.sort_by(|x, y| y.partial_cmp(x).unwrap_or(std::cmp::Ordering::Equal));
+    let spectrum = dq;
+
+    let k = select(&spectrum).min(n);
+    if k == 0 {
+        return Ok((
+            spectrum,
+            SymEigen {
+                eigenvalues: vec![],
+                eigenvectors: Matrix::zeros(n, 0),
+            },
+        ));
+    }
+
+    // Inverse iteration in the tridiagonal basis. `vt` holds the vectors as
+    // rows (contiguous for the MGS passes); they are back-transformed and
+    // gathered into columns at the end.
+    let tnorm = diag
+        .iter()
+        .map(|v| v.abs())
+        .chain(off.iter().map(|v| v.abs()))
+        .fold(0.0f64, f64::max)
+        .max(1e-300);
+    // Floored at the smallest normal so 1/eps stays finite even for an
+    // (effectively) zero input matrix.
+    let eps = (f64::EPSILON * tnorm).max(f64::MIN_POSITIVE);
+    // Eigenvalues closer than this are treated as one cluster: their
+    // tridiagonal eigenvectors must be explicitly re-orthogonalized, and the
+    // shifts nudged apart so the solves don't all converge to the same
+    // direction.
+    let cluster_gap = 1e-8 * tnorm;
+    let mut vt = Matrix::zeros(k, n);
+    let mut a_s = vec![0.0; n];
+    let mut b_s = vec![0.0; n];
+    let mut c_s = vec![0.0; n];
+    let mut cluster_start = 0usize;
+    let mut prev_shift = f64::INFINITY;
+    for j in 0..k {
+        if j > 0 && (spectrum[j - 1] - spectrum[j]).abs() > cluster_gap {
+            cluster_start = j;
+        }
+        // Separate shifts inside a cluster (tinvit's eps-perturbation).
+        let mut shift = spectrum[j];
+        if j > cluster_start && shift > prev_shift - eps {
+            shift = prev_shift - eps;
+        }
+        prev_shift = shift;
+        let mut attempt = 0usize;
+        loop {
+            {
+                let x = vt.row_mut(j);
+                // A deterministic start that is generic (no hidden
+                // orthogonality to any eigenvector) and *distinct per
+                // vector*: cluster-mates sharing one seed would differ only
+                // by cancellation noise after the MGS projection.
+                for (i, v) in x.iter_mut().enumerate() {
+                    *v = 1.0 + ((i * (j + 1) + attempt * 7) % 13) as f64 * 0.0625;
+                }
+            }
+            for _pass in 0..2 {
+                {
+                    let x = vt.row_mut(j);
+                    solve_tridiag_shifted(&diag, &off, shift, eps, x, &mut a_s, &mut b_s, &mut c_s);
+                    let amax = x.iter().fold(0.0f64, |m, v| m.max(v.abs())).max(1e-300);
+                    let inv = 1.0 / amax;
+                    for v in x.iter_mut() {
+                        *v *= inv;
+                    }
+                }
+                // Project out the cluster-mates computed so far
+                // (re-orthogonalized: "twice is enough").
+                let (done, rest) = vt.as_mut_slice().split_at_mut(j * n);
+                let x = &mut rest[..n];
+                for _mgs in 0..2 {
+                    for p in cluster_start..j {
+                        let prow = &done[p * n..(p + 1) * n];
+                        let proj = blas::dot(x, prow);
+                        blas::axpy(x, prow, -proj);
+                    }
+                }
+            }
+            let x = vt.row_mut(j);
+            let norm = blas::dot(x, x).sqrt();
+            if norm > 1e-150 {
+                let inv = 1.0 / norm;
+                for v in x.iter_mut() {
+                    *v *= inv;
+                }
+                break;
+            }
+            attempt += 1;
+            if attempt > n {
+                return Err(LinalgError::NoConvergence {
+                    algorithm: "inverse iteration (sym_eigen_select)",
+                    iterations: attempt,
+                });
+            }
+        }
+    }
+
+    // Back-transform through the Householder reflectors: the reduction built
+    // T = Qᵀ·A·Q with Q = P_{n-1}···P_1, so an eigenvector w of T maps to
+    // Q·w applied reflector-by-reflector in ascending step order. Each
+    // reflector is rank-one on the leading `i` coordinates: two fused
+    // level-1 passes per (vector, step).
+    for j in 0..k {
+        let w = vt.row_mut(j);
+        for i in 1..n {
+            let h = hs[i];
+            if h != 0.0 {
+                let u = &z.row(i)[..i];
+                let s = blas::dot(u, &w[..i]) / h;
+                blas::axpy(&mut w[..i], u, -s);
+            }
+        }
+    }
+    let mut eigenvectors = Matrix::zeros(n, k);
+    for j in 0..k {
+        let src = vt.row(j);
+        for (r, &v) in src.iter().enumerate() {
+            eigenvectors.set(r, j, v);
+        }
+    }
+    Ok((
+        spectrum.clone(),
+        SymEigen {
+            eigenvalues: spectrum[..k].to_vec(),
+            eigenvectors,
+        },
+    ))
 }
 
 /// Truncated eigendecomposition: the `k` largest-magnitude eigenpairs via
@@ -671,6 +1061,117 @@ mod tests {
         let eig = sym_eigen_topk(&a, 0, 10).unwrap();
         assert!(eig.eigenvalues.is_empty());
         assert_eq!(eig.eigenvectors.shape(), (4, 0));
+    }
+
+    #[test]
+    fn select_matches_full_solver() {
+        for (n, seed) in [(2usize, 9u64), (7, 10), (20, 11), (45, 12)] {
+            let a = random_symmetric(n, seed);
+            let full = sym_eigen(&a).unwrap();
+            let k = (n / 2).max(1);
+            let (spectrum, top) = sym_eigen_select(&a, |vals| {
+                assert_eq!(vals.len(), n);
+                k
+            })
+            .unwrap();
+            let scale = spectrum[0].abs().max(spectrum[n - 1].abs()).max(1e-300);
+            for (i, &l) in spectrum.iter().enumerate() {
+                assert!(
+                    (l - full.eigenvalues[i]).abs() < 1e-10 * scale,
+                    "spectrum[{i}] mismatch: {} vs {}",
+                    l,
+                    full.eigenvalues[i]
+                );
+            }
+            assert_eq!(top.eigenvalues.len(), k);
+            assert_eq!(top.eigenvectors.shape(), (n, k));
+            // Residual check: A v = lambda v for every selected pair.
+            for j in 0..k {
+                let v = top.eigenvectors.col(j);
+                let av = a.mul_vec(&v).unwrap();
+                for i in 0..n {
+                    assert!(
+                        (av[i] - top.eigenvalues[j] * v[i]).abs() < 1e-8 * scale.max(1.0),
+                        "residual too large for selected pair {j} (n={n})"
+                    );
+                }
+            }
+            // Selected vectors are orthonormal.
+            let vtv = top
+                .eigenvectors
+                .transpose()
+                .matmul(&top.eigenvectors)
+                .unwrap();
+            assert!(vtv.max_abs_diff(&Matrix::identity(k)) < 1e-9);
+        }
+    }
+
+    #[test]
+    fn select_handles_repeated_eigenvalues() {
+        // Identity: every eigenvalue is 1; the cluster logic must still
+        // produce an orthonormal set.
+        let a = Matrix::identity(8);
+        let (spectrum, top) = sym_eigen_select(&a, |_| 5).unwrap();
+        for &l in &spectrum {
+            assert!((l - 1.0).abs() < 1e-12);
+        }
+        let vtv = top
+            .eigenvectors
+            .transpose()
+            .matmul(&top.eigenvectors)
+            .unwrap();
+        assert!(vtv.max_abs_diff(&Matrix::identity(5)) < 1e-8);
+
+        // Block-repeated spectrum from a PSD gram of duplicated rows.
+        let mut x = Matrix::zeros(3, 12);
+        let mut state = 5u64;
+        for r in 0..3 {
+            for c in 0..12 {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                x.set(r, c, (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5);
+            }
+        }
+        let g = x.gram();
+        let full = sym_eigen(&g).unwrap();
+        let (spectrum, top) = sym_eigen_select(&g, |_| 6).unwrap();
+        for (i, &l) in spectrum.iter().enumerate() {
+            assert!((l - full.eigenvalues[i]).abs() < 1e-10);
+        }
+        let vtv = top
+            .eigenvectors
+            .transpose()
+            .matmul(&top.eigenvectors)
+            .unwrap();
+        assert!(vtv.max_abs_diff(&Matrix::identity(6)) < 1e-8);
+    }
+
+    #[test]
+    fn select_zero_k_and_empty() {
+        let a = random_symmetric(6, 42);
+        let (spectrum, top) = sym_eigen_select(&a, |_| 0).unwrap();
+        assert_eq!(spectrum.len(), 6);
+        assert!(top.eigenvalues.is_empty());
+        assert_eq!(top.eigenvectors.shape(), (6, 0));
+        let (s, e) = sym_eigen_select(&Matrix::zeros(0, 0), |_| 3).unwrap();
+        assert!(s.is_empty());
+        assert!(e.eigenvalues.is_empty());
+    }
+
+    #[test]
+    fn select_clamps_oversized_k() {
+        let a = random_symmetric(5, 77);
+        let (_, top) = sym_eigen_select(&a, |_| 50).unwrap();
+        assert_eq!(top.eigenvalues.len(), 5);
+        check_decomposition(
+            &a,
+            &SymEigen {
+                eigenvalues: top.eigenvalues.clone(),
+                eigenvectors: top.eigenvectors.clone(),
+            },
+            1e-8,
+        );
     }
 
     #[test]

@@ -1,12 +1,18 @@
 //! Complex fast Fourier transform.
 //!
-//! Two engines cover every length:
+//! Three engines cover every length:
 //!
 //! * an iterative, in-place **radix-2 Cooley–Tukey** FFT for power-of-two
-//!   lengths, and
-//! * **Bluestein's chirp-z algorithm** for everything else, which re-expresses
-//!   an arbitrary-length DFT as a circular convolution evaluated with the
-//!   radix-2 engine.
+//!   lengths,
+//! * a recursive **mixed-radix Cooley–Tukey** FFT (radix 2/3/4/5 butterflies,
+//!   kissfft-style decimation in time) for lengths whose prime factors are
+//!   all in `{2, 3, 5}` — the common case for DPZ block lengths such as
+//!   `360 = 2³·3²·5`, where it replaces three padded power-of-two transforms
+//!   (Bluestein's convolution at `m = 1024`) with one direct length-`n`
+//!   transform, and
+//! * **Bluestein's chirp-z algorithm** for everything else (lengths with a
+//!   prime factor larger than 5), which re-expresses an arbitrary-length DFT
+//!   as a circular convolution evaluated with the radix-2 engine.
 //!
 //! The DCT routines in [`crate::dct`] are built on top of this module, so DPZ
 //! can transform blocks of any length `N`, not just powers of two.
@@ -48,6 +54,14 @@ pub struct FftScratch {
     /// Inverse per-stage twiddle tables and their pow2 length.
     tw_inv: Vec<Complex>,
     tw_inv_n: usize,
+    /// `(n, inverse)` the mixed-radix tables were built for.
+    mr_key: Option<(usize, bool)>,
+    /// Mixed-radix twiddles `e^{∓2πi·k/n}` for `k` in `0..n`.
+    mr_tw: Vec<Complex>,
+    /// Radix plan as `(radix, remainder)` stages, kissfft layout.
+    mr_stages: Vec<(usize, usize)>,
+    /// Out-of-place recursion buffer, length `n`.
+    mr_buf: Vec<Complex>,
 }
 
 impl FftScratch {
@@ -104,6 +118,194 @@ impl FftScratch {
         self.a.resize(m, Complex::default());
         self.key = Some((n, inverse));
     }
+
+    /// (Re)build the mixed-radix plan and twiddle table for `(n, inverse)`.
+    /// The caller has already checked [`is_smooth`].
+    fn prepare_mixed(&mut self, n: usize, inverse: bool) {
+        if self.mr_key == Some((n, inverse)) {
+            return;
+        }
+        self.mr_stages.clear();
+        let mut rem = n;
+        while rem > 1 {
+            // Prefer radix 4 (two radix-2 stages fused) like kissfft.
+            let p = if rem.is_multiple_of(4) {
+                4
+            } else if rem.is_multiple_of(2) {
+                2
+            } else if rem.is_multiple_of(3) {
+                3
+            } else {
+                debug_assert_eq!(rem % 5, 0, "is_smooth admitted a rough length");
+                5
+            };
+            rem /= p;
+            self.mr_stages.push((p, rem));
+        }
+        let base = if inverse {
+            2.0 * PI / n as f64
+        } else {
+            -2.0 * PI / n as f64
+        };
+        self.mr_tw.clear();
+        self.mr_tw.reserve(n);
+        for k in 0..n {
+            self.mr_tw.push(Complex::from_angle(base * k as f64));
+        }
+        self.mr_buf.resize(n, Complex::default());
+        self.mr_key = Some((n, inverse));
+    }
+}
+
+/// True when every prime factor of `n` is in `{2, 3, 5}` — the lengths the
+/// mixed-radix engine handles directly without Bluestein padding.
+fn is_smooth(mut n: usize) -> bool {
+    for p in [2usize, 3, 5] {
+        while n.is_multiple_of(p) {
+            n /= p;
+        }
+    }
+    n == 1
+}
+
+/// Mixed-radix transform: out-of-place DIT recursion into the scratch
+/// buffer, then copy back. Direction is baked into the twiddle table.
+fn mixed_radix(buf: &mut [Complex], inverse: bool, scratch: &mut FftScratch) {
+    let n = buf.len();
+    scratch.prepare_mixed(n, inverse);
+    let FftScratch {
+        mr_tw,
+        mr_stages,
+        mr_buf,
+        ..
+    } = scratch;
+    mr_work(&mut mr_buf[..n], buf, 1, mr_stages, mr_tw, inverse);
+    buf.copy_from_slice(&mr_buf[..n]);
+}
+
+/// One level of the DIT recursion (kissfft's `kf_work`): split the strided
+/// input into `p` interleaved sub-sequences, transform each recursively into
+/// a contiguous run of `out`, then combine with a radix-`p` butterfly pass.
+fn mr_work(
+    out: &mut [Complex],
+    inp: &[Complex],
+    fstride: usize,
+    stages: &[(usize, usize)],
+    tw: &[Complex],
+    inverse: bool,
+) {
+    let (p, m) = stages[0];
+    debug_assert_eq!(out.len(), p * m);
+    if m == 1 {
+        for (q, o) in out.iter_mut().enumerate() {
+            *o = inp[q * fstride];
+        }
+    } else {
+        for q in 0..p {
+            mr_work(
+                &mut out[q * m..(q + 1) * m],
+                &inp[q * fstride..],
+                fstride * p,
+                &stages[1..],
+                tw,
+                inverse,
+            );
+        }
+    }
+    match p {
+        2 => bfly2(out, m, fstride, tw),
+        3 => bfly3(out, m, fstride, tw),
+        4 => bfly4(out, m, fstride, tw, inverse),
+        5 => bfly5(out, m, fstride, tw),
+        _ => unreachable!("mixed-radix plan only emits radices 2/3/4/5"),
+    }
+}
+
+/// Radix-2 combine: `out` holds two length-`m` sub-transforms.
+fn bfly2(out: &mut [Complex], m: usize, fstride: usize, tw: &[Complex]) {
+    for u in 0..m {
+        let t = out[m + u].mul(tw[u * fstride]);
+        out[m + u] = out[u].sub(t);
+        out[u] = out[u].add(t);
+    }
+}
+
+/// Radix-3 combine. `tw[fstride·m]` is the primitive cube root for the
+/// table's direction, so only its imaginary part is needed explicitly.
+fn bfly3(out: &mut [Complex], m: usize, fstride: usize, tw: &[Complex]) {
+    let epi3_im = tw[fstride * m].im;
+    for u in 0..m {
+        let s1 = out[m + u].mul(tw[u * fstride]);
+        let s2 = out[2 * m + u].mul(tw[2 * u * fstride]);
+        let s3 = s1.add(s2);
+        let s0 = s1.sub(s2);
+        let fm = Complex::new(out[u].re - 0.5 * s3.re, out[u].im - 0.5 * s3.im);
+        let s0 = Complex::new(s0.re * epi3_im, s0.im * epi3_im);
+        out[u] = out[u].add(s3);
+        out[2 * m + u] = Complex::new(fm.re + s0.im, fm.im - s0.re);
+        out[m + u] = Complex::new(fm.re - s0.im, fm.im + s0.re);
+    }
+}
+
+/// Radix-4 combine; the `±i` rotation flips with direction.
+fn bfly4(out: &mut [Complex], m: usize, fstride: usize, tw: &[Complex], inverse: bool) {
+    for u in 0..m {
+        let s0 = out[m + u].mul(tw[u * fstride]);
+        let s1 = out[2 * m + u].mul(tw[2 * u * fstride]);
+        let s2 = out[3 * m + u].mul(tw[3 * u * fstride]);
+        let s5 = out[u].sub(s1);
+        let f0 = out[u].add(s1);
+        let s3 = s0.add(s2);
+        let s4 = s0.sub(s2);
+        out[2 * m + u] = f0.sub(s3);
+        out[u] = f0.add(s3);
+        if inverse {
+            out[m + u] = Complex::new(s5.re - s4.im, s5.im + s4.re);
+            out[3 * m + u] = Complex::new(s5.re + s4.im, s5.im - s4.re);
+        } else {
+            out[m + u] = Complex::new(s5.re + s4.im, s5.im - s4.re);
+            out[3 * m + u] = Complex::new(s5.re - s4.im, s5.im + s4.re);
+        }
+    }
+}
+
+/// Radix-5 combine. `ya`/`yb` are the primitive fifth roots from the
+/// direction-baked table, so one body serves both directions.
+fn bfly5(out: &mut [Complex], m: usize, fstride: usize, tw: &[Complex]) {
+    let ya = tw[fstride * m];
+    let yb = tw[fstride * 2 * m];
+    for u in 0..m {
+        let s0 = out[u];
+        let s1 = out[m + u].mul(tw[u * fstride]);
+        let s2 = out[2 * m + u].mul(tw[2 * u * fstride]);
+        let s3 = out[3 * m + u].mul(tw[3 * u * fstride]);
+        let s4 = out[4 * m + u].mul(tw[4 * u * fstride]);
+        let s7 = s1.add(s4);
+        let s10 = s1.sub(s4);
+        let s8 = s2.add(s3);
+        let s9 = s2.sub(s3);
+        out[u] = Complex::new(s0.re + s7.re + s8.re, s0.im + s7.im + s8.im);
+        let s5 = Complex::new(
+            s0.re + s7.re * ya.re + s8.re * yb.re,
+            s0.im + s7.im * ya.re + s8.im * yb.re,
+        );
+        let s6 = Complex::new(
+            s10.im * ya.im + s9.im * yb.im,
+            -s10.re * ya.im - s9.re * yb.im,
+        );
+        out[m + u] = s5.sub(s6);
+        out[4 * m + u] = s5.add(s6);
+        let s11 = Complex::new(
+            s0.re + s7.re * yb.re + s8.re * ya.re,
+            s0.im + s7.im * yb.re + s8.im * ya.re,
+        );
+        let s12 = Complex::new(
+            -s10.im * yb.im + s9.im * ya.im,
+            s10.re * yb.im - s9.re * ya.im,
+        );
+        out[2 * m + u] = s11.add(s12);
+        out[3 * m + u] = s11.sub(s12);
+    }
 }
 
 /// In-place forward DFT: `X[k] = sum_j x[j] e^{-2 pi i jk / n}`.
@@ -125,6 +327,8 @@ pub fn fft_with(buf: &mut [Complex], scratch: &mut FftScratch) {
     }
     if is_power_of_two(n) {
         kfft::fft_pow2(buf, scratch.twiddles(n, false));
+    } else if is_smooth(n) {
+        mixed_radix(buf, false, scratch);
     } else {
         bluestein(buf, false, scratch);
     }
@@ -147,6 +351,8 @@ pub fn ifft_with(buf: &mut [Complex], scratch: &mut FftScratch) {
     }
     if is_power_of_two(n) {
         kfft::fft_pow2(buf, scratch.twiddles(n, true));
+    } else if is_smooth(n) {
+        mixed_radix(buf, true, scratch);
     } else {
         bluestein(buf, true, scratch);
     }

@@ -36,7 +36,7 @@ pub mod svd;
 pub mod wavelet;
 
 pub use dct::{dct2, dct2_inplace, dct3, dct3_inplace, Dct1d, DctScratch};
-pub use eigen::{sym_eigen, sym_eigen_topk, SymEigen};
+pub use eigen::{sym_eigen, sym_eigen_select, sym_eigen_topk, SymEigen};
 pub use fft::FftScratch;
 pub use fit::{CurveFit, FitKind, Interp1d, PolyFit};
 pub use knee::{detect_knee, KneeOptions};

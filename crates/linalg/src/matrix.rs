@@ -296,7 +296,34 @@ impl Matrix {
                 .par_chunks(strip_rows * m)
                 .map(|rows| {
                     let mut part = vec![0.0; m * m];
-                    for row in rows.chunks_exact(m) {
+                    // Rank-4 blocking over input rows: four rows scatter into
+                    // each output row in one fused pass (`accum4`), so every
+                    // `part` element is loaded/stored once per *four* rows
+                    // instead of once per row.
+                    let mut quads = rows.chunks_exact(4 * m);
+                    for quad in quads.by_ref() {
+                        let (r0, rest) = quad.split_at(m);
+                        let (r1, rest) = rest.split_at(m);
+                        let (r2, r3) = rest.split_at(m);
+                        for i in 0..m {
+                            let (a, b, c, d) = (r0[i], r1[i], r2[i], r3[i]);
+                            if a == 0.0 && b == 0.0 && c == 0.0 && d == 0.0 {
+                                continue;
+                            }
+                            blas::accum4(
+                                &mut part[i * m + i..(i + 1) * m],
+                                &r0[i..],
+                                &r1[i..],
+                                &r2[i..],
+                                &r3[i..],
+                                a,
+                                b,
+                                c,
+                                d,
+                            );
+                        }
+                    }
+                    for row in quads.remainder().chunks_exact(m) {
                         for (i, &xi) in row.iter().enumerate() {
                             if xi == 0.0 {
                                 continue;

@@ -102,6 +102,34 @@ impl Pca {
         }
     }
 
+    /// Fit a model with **exactly** the TVE-minimal number of eigenpairs,
+    /// using [`crate::eigen::sym_eigen_select`]: one Householder reduction
+    /// (no transform accumulation), an eigenvalues-only QL pass for the
+    /// *complete* spectrum, and inverse iteration + back-transform for just
+    /// the `k` leading eigenvectors the TVE rule selects.
+    ///
+    /// Unlike [`Pca::fit_tve_bounded`] there is no escalation loop and no
+    /// over-computed margin: `k` is read off the exact sorted spectrum, so
+    /// this path does the same selection a full [`Pca::fit`] would — at a
+    /// fraction of the eigensolve cost when `k ≪ m`. This is the preferred
+    /// TVE path at moderate `m`, where the subspace-iteration solver behind
+    /// `fit_tve_bounded` has no room to win.
+    pub fn fit_tve_exact(data: &Matrix, opts: PcaOptions, tve: f64) -> Result<Pca> {
+        let prep = Prepared::new(data, opts)?;
+        let target = tve * prep.total_variance;
+        let (_spectrum, eig) = crate::eigen::sym_eigen_select(&prep.cov, |vals| {
+            let mut acc = 0.0;
+            for (i, &l) in vals.iter().enumerate() {
+                acc += l.max(0.0);
+                if acc >= target {
+                    return i + 1;
+                }
+            }
+            vals.len().max(1)
+        })?;
+        Ok(prep.into_pca(eig))
+    }
+
     fn fit_impl(data: &Matrix, opts: PcaOptions, truncate: Option<usize>) -> Result<Pca> {
         let prep = Prepared::new(data, opts)?;
         let m = prep.cov.rows();
@@ -597,6 +625,41 @@ mod tests {
             let rel = (full.eigenvalues()[i] - bounded.eigenvalues()[i]).abs() / lmax;
             assert!(rel < 1e-10, "eigenvalue {i} off by {rel:.3e}");
         }
+    }
+
+    #[test]
+    fn tve_exact_fit_matches_full_solve() {
+        let x = synthetic(240, 30, 23);
+        let tve = 0.999;
+        let full = Pca::fit(&x, PcaOptions::default()).unwrap();
+        let k_full = full.k_for_tve(tve);
+        let exact = Pca::fit_tve_exact(&x, PcaOptions::default(), tve).unwrap();
+        // Exactly the TVE-minimal rank, no margin.
+        assert_eq!(exact.n_components(), k_full);
+        let lmax = full.eigenvalues()[0].max(1e-300);
+        for i in 0..k_full {
+            let rel = (full.eigenvalues()[i] - exact.eigenvalues()[i]).abs() / lmax;
+            assert!(rel < 1e-10, "eigenvalue {i} off by {rel:.3e}");
+        }
+        assert!((exact.total_variance() - full.total_variance()).abs() < 1e-9);
+        // Reconstruction through the exact basis matches the full one.
+        let s_full = full.transform(&x, k_full).unwrap();
+        let s_exact = exact.transform(&x, k_full).unwrap();
+        let r_full = full.inverse_transform(&s_full).unwrap();
+        let r_exact = exact.inverse_transform(&s_exact).unwrap();
+        assert!(r_full.max_abs_diff(&r_exact) < 1e-8);
+    }
+
+    #[test]
+    fn tve_exact_fit_handles_degenerate_targets() {
+        // Constant data: total variance 0 — degenerates to one component.
+        let x = Matrix::from_rows(&vec![vec![2.5f64; 4]; 8]).unwrap();
+        let pca = Pca::fit_tve_exact(&x, PcaOptions::default(), 0.99999).unwrap();
+        assert_eq!(pca.n_components(), 1);
+        // TVE = 1 keeps every component (flat random spectrum).
+        let y = synthetic(60, 8, 31);
+        let all = Pca::fit_tve_exact(&y, PcaOptions::default(), 1.0).unwrap();
+        assert!(all.n_components() >= Pca::fit(&y, PcaOptions::default()).unwrap().k_for_tve(1.0));
     }
 
     #[test]

@@ -103,6 +103,33 @@ where
     }
 }
 
+/// Run two closures, potentially in parallel, and return both results.
+///
+/// Mirrors rayon's `join`: `b` is queued on the pool while the calling
+/// thread runs `a`, then the caller *helps* drain pool tasks until `b`
+/// settles — so nested joins issued from inside workers cannot deadlock.
+/// On a one-thread pool both closures simply run sequentially in order.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    let mut ra: Option<RA> = None;
+    let mut rb: Option<RB> = None;
+    {
+        let tasks: Vec<Box<dyn FnOnce() + Send + '_>> =
+            vec![Box::new(|| ra = Some(a())), Box::new(|| rb = Some(b()))];
+        pool::global_pool().scope(tasks);
+    }
+    // scope() re-throws task panics, so reaching here means both ran.
+    (
+        ra.expect("join closure a completed"),
+        rb.expect("join closure b completed"),
+    )
+}
+
 /// Parallel iterator over owned items (produced by the slice adapters).
 pub struct ParIter<I> {
     items: Vec<I>,
@@ -249,6 +276,23 @@ pub mod prelude {
         }
     }
 
+    /// `into_par_iter` on owned collections: the iterator takes ownership of
+    /// the items, so `map` closures receive them by value.
+    pub trait IntoParallelIterator {
+        /// The item type yielded by the parallel iterator.
+        type Item: Send;
+        /// Consume `self` into a parallel iterator over owned items.
+        fn into_par_iter(self) -> ParIter<Self::Item>;
+    }
+
+    impl<T: Send> IntoParallelIterator for Vec<T> {
+        type Item = T;
+
+        fn into_par_iter(self) -> ParIter<T> {
+            ParIter { items: self }
+        }
+    }
+
     pub use super::{ParEnumerate, ParMap};
 }
 
@@ -298,6 +342,38 @@ mod tests {
     fn thread_count_reported() {
         // Unit tests keep the historical >= 2 floor (see pool::resolve_threads).
         assert!(super::current_num_threads() >= 2);
+    }
+
+    #[test]
+    fn join_returns_both_results() {
+        let (a, b) = super::join(|| 6 * 7, || "done".to_string());
+        assert_eq!(a, 42);
+        assert_eq!(b, "done");
+    }
+
+    #[test]
+    fn join_nests_without_deadlock() {
+        // Joins issued from inside join closures must help-drain the pool
+        // rather than block a worker that holds queued tasks.
+        let (outer, _) = super::join(
+            || {
+                let (x, y) = super::join(|| 1usize, || 2usize);
+                x + y
+            },
+            || {
+                let (x, y) = super::join(|| 10usize, || 20usize);
+                x + y
+            },
+        );
+        assert_eq!(outer, 3);
+    }
+
+    #[test]
+    fn into_par_iter_maps_owned_items_in_order() {
+        let strings: Vec<String> = (0..100).map(|i| i.to_string()).collect();
+        let lens: Vec<usize> = strings.into_par_iter().map(|s| s.len()).collect();
+        let expect: Vec<usize> = (0..100).map(|i: i32| i.to_string().len()).collect();
+        assert_eq!(lens, expect);
     }
 
     #[test]

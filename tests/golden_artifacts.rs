@@ -72,13 +72,16 @@ fn golden_cases() -> Vec<(&'static str, Vec<u8>)> {
 
 #[test]
 fn dpz_artifacts_are_byte_identical_to_golden() {
-    // Captured from the pre-stage-graph pipeline (PR 4 tree).
+    // Re-captured alongside the container v3 (lossless-backend flag) bump:
+    // the throughput push reordered floating-point reductions in the
+    // Householder step and retuned the DEFLATE matcher, both of which are
+    // sanctioned artifact changes for the version bump.
     let expected: &[(&str, u64)] = &[
-        ("dpz1-loose-64x96", 0x7ef602ab972c21e0),
-        ("dpz1-strict-tve6-64x96", 0xe5b5c8adf9ebe8e5),
-        ("dpz1-loose-1d-4096", 0x3a0ea93de3215a3a),
-        ("dpzc-loose-4x-64x96", 0x18d260a9aa2de7a6),
-        ("dpzc-strict-3x-ragged-50x96", 0x73ccbc69c56c5ebd),
+        ("dpz1-loose-64x96", 0x5b223216eee05ee4),
+        ("dpz1-strict-tve6-64x96", 0xb610e00893da9f3d),
+        ("dpz1-loose-1d-4096", 0xd29b2489a03063a0),
+        ("dpzc-loose-4x-64x96", 0xfce609df834556fe),
+        ("dpzc-strict-3x-ragged-50x96", 0x7ebc2ec7c331df41),
     ];
     let mut failures = Vec::new();
     for ((name, bytes), (ename, ehash)) in golden_cases().iter().zip(expected) {
