@@ -1,0 +1,64 @@
+//! Random-access retrieval bench: the latency case for the v4 seekable
+//! container. Full decode pays for every chunk; `decompress_chunk` /
+//! `decompress_region` locate and CRC-verify only the touched chunks via
+//! the index footer, and budgeted progressive decode trades fidelity for
+//! bytes read. Throughput is measured against the *retrieved* output size,
+//! so the groups are comparable per value delivered.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use dpz_core::{DpzConfig, TveLevel};
+use dpz_data::{Dataset, DatasetKind, Scale};
+use std::hint::black_box;
+
+fn bench_seek(c: &mut Criterion) {
+    let ds = Dataset::generate(DatasetKind::Cldhgh, Scale::Small, 2021);
+    let cfg = DpzConfig::loose().with_tve(TveLevel::FiveNines);
+    let chunks = 8;
+    let bytes = dpz_core::compress_chunked(&ds.data, &ds.dims, &cfg, chunks)
+        .unwrap()
+        .bytes;
+    let rows = ds.dims[0];
+    let cols: usize = ds.dims[1..].iter().product();
+    // A band one chunk-row tall near the middle, half the columns wide.
+    let region = vec![rows / 2..rows / 2 + rows / chunks, cols / 4..3 * cols / 4];
+    let region_values: usize = region.iter().map(|r| r.len()).product();
+
+    let mut group = c.benchmark_group("seek_cldhgh_small");
+    group.sample_size(10);
+
+    group.throughput(Throughput::Bytes(ds.nbytes() as u64));
+    group.bench_function("full_decode", |b| {
+        b.iter(|| dpz_core::decompress_chunked(black_box(&bytes)).unwrap());
+    });
+
+    group.throughput(Throughput::Bytes((ds.len() / chunks * 4) as u64));
+    group.bench_function("single_chunk", |b| {
+        b.iter(|| dpz_core::decompress_chunk(black_box(&bytes), chunks / 2).unwrap());
+    });
+
+    group.throughput(Throughput::Bytes((region_values * 4) as u64));
+    group.bench_function("region_one_band", |b| {
+        b.iter(|| dpz_core::decompress_region(black_box(&bytes), black_box(&region)).unwrap());
+    });
+    group.finish();
+
+    // Progressive: full-budget vs half-budget reconstruction of the whole
+    // extent. The same output size is produced either way; the half-budget
+    // run reads fewer component spans.
+    let prog = dpz_core::compress_progressive(&ds.data, &ds.dims, &cfg, chunks)
+        .unwrap()
+        .bytes;
+    let mut group = c.benchmark_group("progressive_cldhgh_small");
+    group.sample_size(10);
+    group.throughput(Throughput::Bytes(ds.nbytes() as u64));
+    group.bench_function("budget_full", |b| {
+        b.iter(|| dpz_core::decompress_progressive(black_box(&prog), prog.len()).unwrap());
+    });
+    group.bench_function("budget_half", |b| {
+        b.iter(|| dpz_core::decompress_progressive(black_box(&prog), prog.len() / 2).unwrap());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_seek);
+criterion_main!(benches);

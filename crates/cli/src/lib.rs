@@ -50,12 +50,13 @@ USAGE:
   dpz compress <in.f32> <out.dpz> --dims RxC[xD] [--codec dpz|dpzc|sz|zfp|auto]
                [--scheme loose|strict] [--tve NINES] [--knee 1d|polyn] [--sampling]
                [--transform dct|dwt] [--lossless deflate|tans] [--chunks N (dpzc)]
-               [--eb BOUND, --predictor lorenzo|auto (sz)]
+               [--progressive (dpzc)] [--eb BOUND, --predictor lorenzo|auto (sz)]
                [--precision BITS | --rate BITS/VAL (zfp)]
                [--threads N] [--verbose] [--metrics-out <file[.prom|.json]>]
                [--trace-out <trace.json>]
   dpz decompress <in.dpz> <out.f32> [--threads N] [--verbose] [--metrics-out <file>]
                  [--trace-out <trace.json>]
+                 [--chunk N | --region A..B[,C..D,...] | --budget BYTES (dpzc v4)]
   dpz info <in.dpz>
   dpz eval <orig.f32> <recon.f32> [--compressed <file>]
 
@@ -72,6 +73,13 @@ OBSERVABILITY:
 PARALLELISM:
   --threads N    size of the work-stealing pool (default: DPZ_THREADS env,
                  then the machine's core count); N=1 forces sequential runs
+
+RANDOM ACCESS (dpzc v4 containers):
+  --chunk N      decode only chunk N; reads and CRC-verifies just its bytes
+  --region R     decode an axis-aligned region, one half-open range per
+                 dimension (e.g. --region 0..100,250..300)
+  --budget B     progressive streams only: reconstruct the full extent from
+                 roughly the first B bytes, highest-energy components first
 ";
 
 /// Parse dims like `1800x3600` or `128x128x128`.
@@ -339,7 +347,11 @@ fn cmd_gen(args: &[String]) -> Result<String, CliError> {
 /// a suffix for the summary line. Every compressor goes through the same
 /// [`Codec`] path after this point.
 fn codec_from_args(args: &[String]) -> Result<(Box<dyn Codec>, String), CliError> {
-    match flag_value(args, "--codec").unwrap_or("dpz") {
+    let requested = flag_value(args, "--codec").unwrap_or("dpz");
+    if has_flag(args, "--progressive") && requested != "dpzc" {
+        return Err(err("--progressive requires --codec dpzc"));
+    }
+    match requested {
         "dpz" => {
             let cfg = config_from_args(args)?;
             Ok((Box::new(DpzCodec::new(cfg)), String::new()))
@@ -352,10 +364,17 @@ fn codec_from_args(args: &[String]) -> Result<(Box<dyn Codec>, String), CliError
                 .ok()
                 .filter(|&n| n >= 1)
                 .ok_or_else(|| err("--chunks expects a positive integer"))?;
-            Ok((
-                Box::new(DpzChunkedCodec::new(cfg, chunks)),
-                format!(" (chunks={chunks})"),
-            ))
+            if has_flag(args, "--progressive") {
+                Ok((
+                    Box::new(DpzChunkedCodec::progressive(cfg, chunks)),
+                    format!(" (chunks={chunks}, progressive)"),
+                ))
+            } else {
+                Ok((
+                    Box::new(DpzChunkedCodec::new(cfg, chunks)),
+                    format!(" (chunks={chunks})"),
+                ))
+            }
         }
         "sz" => {
             let eb: f64 = flag_value(args, "--eb")
@@ -436,20 +455,88 @@ fn crc_status(info: Option<ContainerInfo>) -> String {
     }
 }
 
+/// Parse a `--region` spec like `0..100,250..300` into per-axis half-open
+/// ranges.
+fn parse_region(s: &str) -> Result<Vec<std::ops::Range<usize>>, CliError> {
+    s.split(',')
+        .map(|axis| {
+            let (lo, hi) = axis
+                .split_once("..")
+                .ok_or_else(|| err(format!("invalid --region axis '{axis}' (want LO..HI)")))?;
+            let lo: usize = lo
+                .parse()
+                .map_err(|_| err(format!("invalid --region bound '{lo}'")))?;
+            let hi: usize = hi
+                .parse()
+                .map_err(|_| err(format!("invalid --region bound '{hi}'")))?;
+            Ok(lo..hi)
+        })
+        .collect()
+}
+
 fn cmd_decompress(args: &[String]) -> Result<String, CliError> {
     let (input, output) = match (args.first(), args.get(1)) {
         (Some(a), Some(b)) => (a, b),
         _ => return Err(err("usage: dpz decompress <in.dpz> <out.f32>")),
     };
+    let picked = ["--chunk", "--region", "--budget"]
+        .iter()
+        .filter(|f| has_flag(args, f))
+        .count();
+    if picked > 1 {
+        return Err(err("--chunk, --region and --budget are mutually exclusive"));
+    }
     let threads = apply_threads(args)?;
     let bytes = std::fs::read(input).map_err(|e| err(format!("read {input}: {e}")))?;
     let run = telemetry_begin(args)?;
-    // The registry sniffs the container magic, so every codec's output
-    // decompresses through the same call.
-    let decoded = Registry::builtin()
-        .decompress(&bytes)
-        .map_err(|e| err(e.to_string()))?;
-    let (values, dims, info) = (decoded.values, decoded.dims, decoded.info);
+    let registry = Registry::builtin();
+    // Partial retrieval goes through the seekable view; everything else
+    // through the registry's magic-sniffing full decode.
+    let (values, dims, info, what) = if let Some(v) = flag_value(args, "--chunk") {
+        let n: usize = v
+            .parse()
+            .map_err(|_| err(format!("--chunk expects an integer, got '{v}'")))?;
+        let seek = registry
+            .seekable_for(&bytes)
+            .ok_or_else(|| err("--chunk requires a seekable container (dpzc)"))?;
+        let d = seek
+            .decompress_chunk(&bytes, n)
+            .map_err(|e| err(e.to_string()))?;
+        (d.values, d.dims, d.info, format!("chunk {n} of "))
+    } else if let Some(v) = flag_value(args, "--region") {
+        let region = parse_region(v)?;
+        let seek = registry
+            .seekable_for(&bytes)
+            .ok_or_else(|| err("--region requires a seekable container (dpzc)"))?;
+        let d = seek
+            .decompress_region(&bytes, &region)
+            .map_err(|e| err(e.to_string()))?;
+        (d.values, d.dims, d.info, format!("region {v} of "))
+    } else if let Some(v) = flag_value(args, "--budget") {
+        let budget: usize = v
+            .parse()
+            .map_err(|_| err(format!("--budget expects a byte count, got '{v}'")))?;
+        let p = dpz_core::decompress_progressive(&bytes, budget).map_err(|e| err(e.to_string()))?;
+        let what = format!(
+            "progressive ({} of {} bytes, {} components, TVE {:.4}, PSNR est {:.1} dB) of ",
+            p.bytes_used,
+            bytes.len(),
+            p.components_used.iter().sum::<usize>(),
+            p.tve_achieved,
+            p.psnr_estimate,
+        );
+        let info = Some(ContainerInfo {
+            version: 4,
+            checksummed: true,
+            tans_sections: 0,
+        });
+        (p.values, p.dims, info, what)
+    } else {
+        let decoded = registry
+            .decompress(&bytes)
+            .map_err(|e| err(e.to_string()))?;
+        (decoded.values, decoded.dims, decoded.info, String::new())
+    };
     write_f32_file(output, &values).map_err(|e| err(format!("write {output}: {e}")))?;
     telemetry_finish(args, run)?;
     let dims = dims
@@ -458,7 +545,7 @@ fn cmd_decompress(args: &[String]) -> Result<String, CliError> {
         .collect::<Vec<_>>()
         .join("x");
     Ok(format!(
-        "decompressed {input} -> {output} ({} values, dims {dims}, {}, threads={threads})",
+        "decompressed {what}{input} -> {output} ({} values, dims {dims}, {}, threads={threads})",
         values.len(),
         crc_status(info),
     ))
@@ -1001,6 +1088,111 @@ mod tests {
         ]))
         .unwrap_err();
         assert!(e.0.contains("--chunks"), "{}", e.0);
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn seekable_retrieval_flags_work_via_cli() {
+        let dir = std::env::temp_dir().join("dpz_cli_seekable");
+        std::fs::create_dir_all(&dir).unwrap();
+        let raw = dir.join("a.f32").to_string_lossy().into_owned();
+        run(&s(&["gen", "PHIS", &raw, "--scale", "tiny"])).unwrap();
+
+        let packed = dir.join("a.dpzc").to_string_lossy().into_owned();
+        run(&s(&[
+            "compress", &raw, &packed, "--dims", "45x90", "--codec", "dpzc", "--chunks", "3",
+        ]))
+        .unwrap();
+
+        // Single chunk: 45 rows over 3 chunks -> 15x90 per chunk.
+        let out = dir.join("chunk.f32").to_string_lossy().into_owned();
+        let msg = run(&s(&["decompress", &packed, &out, "--chunk", "1"])).unwrap();
+        assert!(
+            msg.contains("chunk 1 of") && msg.contains("1350 values") && msg.contains("dims 15x90"),
+            "{msg}"
+        );
+
+        // Region crossing a chunk boundary.
+        let out = dir.join("region.f32").to_string_lossy().into_owned();
+        let msg = run(&s(&[
+            "decompress", &packed, &out, "--region", "10..20,30..60",
+        ]))
+        .unwrap();
+        assert!(
+            msg.contains("region 10..20,30..60") && msg.contains("300 values"),
+            "{msg}"
+        );
+        assert!(msg.contains("dims 10x30"), "{msg}");
+
+        // Retrieval flags are mutually exclusive and validated.
+        let e = run(&s(&[
+            "decompress", &packed, &out, "--chunk", "0", "--region", "0..1,0..1",
+        ]))
+        .unwrap_err();
+        assert!(e.0.contains("mutually exclusive"), "{}", e.0);
+        let e = run(&s(&["decompress", &packed, &out, "--region", "10-20"])).unwrap_err();
+        assert!(e.0.contains("--region"), "{}", e.0);
+
+        // Single-stream containers have no seekable view.
+        let plain = dir.join("a.dpz").to_string_lossy().into_owned();
+        run(&s(&["compress", &raw, &plain, "--dims", "45x90"])).unwrap();
+        let e = run(&s(&["decompress", &plain, &out, "--chunk", "0"])).unwrap_err();
+        assert!(e.0.contains("seekable"), "{}", e.0);
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn progressive_compress_and_budget_decode_via_cli() {
+        let dir = std::env::temp_dir().join("dpz_cli_progressive");
+        std::fs::create_dir_all(&dir).unwrap();
+        let raw = dir.join("a.f32").to_string_lossy().into_owned();
+        run(&s(&["gen", "PHIS", &raw, "--scale", "tiny"])).unwrap();
+
+        let packed = dir.join("a.dpzp").to_string_lossy().into_owned();
+        let msg = run(&s(&[
+            "compress",
+            &raw,
+            &packed,
+            "--dims",
+            "45x90",
+            "--codec",
+            "dpzc",
+            "--chunks",
+            "3",
+            "--progressive",
+        ]))
+        .unwrap();
+        assert!(msg.contains("progressive"), "{msg}");
+
+        // Ordinary decompress reads the whole stream back.
+        let out = dir.join("full.f32").to_string_lossy().into_owned();
+        let msg = run(&s(&["decompress", &packed, &out])).unwrap();
+        assert!(msg.contains("4050 values"), "{msg}");
+
+        // Budgeted decode reports how much it used and the quality reached.
+        let out = dir.join("half.f32").to_string_lossy().into_owned();
+        let size = std::fs::metadata(&packed).unwrap().len() as usize;
+        let msg = run(&s(&[
+            "decompress",
+            &packed,
+            &out,
+            "--budget",
+            &(size / 2).to_string(),
+        ]))
+        .unwrap();
+        assert!(
+            msg.contains("progressive (") && msg.contains("TVE") && msg.contains("4050 values"),
+            "{msg}"
+        );
+
+        // --progressive outside dpzc is rejected.
+        let e = run(&s(&[
+            "compress", &raw, &packed, "--dims", "45x90", "--progressive",
+        ]))
+        .unwrap_err();
+        assert!(e.0.contains("--progressive"), "{}", e.0);
 
         std::fs::remove_dir_all(&dir).ok();
     }

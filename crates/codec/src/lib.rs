@@ -30,12 +30,14 @@ mod registry;
 mod wrappers;
 
 pub use auto::{AutoCodec, Selection};
+pub use dpz_core::ProgressiveDecoded;
 pub use dpz_core::stage::{BufferPool, Stage, StageGraph, StageTrace};
 pub use dpz_core::{CompressionStats, ContainerInfo, DpzError, PipelinePlan};
 pub use registry::{Format, Registry};
 pub use wrappers::{DpzChunkedCodec, DpzCodec, SzCodec, ZfpCodec};
 
 use std::io::{Read, Write};
+use std::ops::Range;
 
 /// What one compression produced, uniformly across backends.
 #[derive(Debug, Clone)]
@@ -96,6 +98,32 @@ pub trait Codec: Send + Sync {
     /// for any positive answer) begins a stream this codec decodes, and if
     /// so which format.
     fn probe(&self, header: &[u8]) -> Option<Format>;
+
+    /// The random-access view of this codec, when its container format
+    /// supports retrieving parts of a stream without a full decode.
+    /// Defaults to `None`; seekable formats override it.
+    fn as_seekable(&self) -> Option<&dyn Seekable> {
+        None
+    }
+}
+
+/// Random access into a compressed stream: decode one chunk or an
+/// axis-aligned region, touching (and CRC-verifying) only the bytes those
+/// parts need. Obtained through [`Codec::as_seekable`] or
+/// [`Registry::seekable_for`]; a `Some` answer still depends on the stream
+/// itself carrying an index (for DPZC, a v4 footer — legacy v1/v2 streams
+/// return [`DpzError::BadInput`]).
+pub trait Seekable: Send + Sync {
+    /// Number of independently retrievable chunks in `bytes`.
+    fn chunk_count(&self, bytes: &[u8]) -> Result<usize, DpzError>;
+
+    /// Decode chunk `index` alone. `dims` in the result are chunk-local.
+    fn decompress_chunk(&self, bytes: &[u8], index: usize) -> Result<Decoded, DpzError>;
+
+    /// Decode an axis-aligned region (half-open per-axis ranges, one per
+    /// dimension). Only chunks overlapping the region are read.
+    fn decompress_region(&self, bytes: &[u8], region: &[Range<usize>])
+        -> Result<Decoded, DpzError>;
 }
 
 /// Map an I/O error into the shared error type.

@@ -7,43 +7,86 @@
 //!
 //! * near-linear multi-core compression scaling (each slab runs the full
 //!   DCT→PCA→quantize pipeline independently),
-//! * slab-granular **random access**: [`decompress_chunk`] decodes one slab
-//!   without touching the rest,
+//! * slab-granular **random access**: [`decompress_chunk`] and
+//!   [`decompress_region`] decode only the slabs they touch,
 //! * bounded memory: the `M×M` covariance is per-slab.
 //!
 //! The cost is a per-slab model (basis + means), so very small slabs trade
 //! ratio for parallelism; 4–16 slabs is a good range at the default scales.
 //!
-//! Container: `magic "DPZC" | version u8 | ndims u8 | dims u64×ndims
-//! | chunk count u64 | chunk byte lengths u64×count
-//! | chunk crc32 u32×count (version ≥ 2) | streams…`.
+//! ## Container versions
 //!
-//! Version 2 inserts a CRC-32 column (one checksum per chunk stream) between
-//! the length directory and the payload, so slab corruption is caught before
-//! the inner DPZ decoder runs. Version-1 containers still decode;
-//! [`decompress_chunked_with_info`] reports which form was seen.
+//! Legacy (v1/v2) layout — directory *before* the payload:
+//! `magic "DPZC" | version u8 | ndims u8 | dims u64×ndims
+//! | chunk count u64 | chunk byte lengths u64×count
+//! | chunk crc32 u32×count (version 2) | streams…`.
+//!
+//! Version 4 (the current writer, [`VERSION_SEEKABLE`]) moves the directory
+//! into an **index footer** so a seekable reader can locate, size, and
+//! CRC-verify exactly the chunks a query touches without walking the
+//! payload:
+//!
+//! ```text
+//! magic "DPZC" | 4 u8 | ndims u8 | dims u64×ndims | flags u8
+//! | chunk streams…
+//! | footer: count u64
+//!           per chunk: offset u64 | len u64 | rows u64 | values u64 | crc32 u32
+//!           (flags bit 0) per chunk: k u64 | model_end u64
+//!                                    per component: end u64 | energy f64
+//! | tail: footer_len u64 | footer_crc32 u32 | magic "DPZF"
+//! ```
+//!
+//! Version 3 is deliberately **skipped**: in the DPZ1 family the version-3
+//! byte means "per-section tANS backend flags", and keeping that number
+//! unambiguous across both formats avoids a false-versioning trap for
+//! tooling that sniffs only `bytes[4]`.
+//!
+//! Flags bit 0 ([`FLAG_PROGRESSIVE`]) marks a **progressive** container:
+//! each chunk is a `DPZP` stream (see
+//! [`crate::container::serialize_progressive`]) whose PCA components are
+//! stored in descending captured-energy order, and the footer records each
+//! component's byte range, so [`decompress_progressive`] can reconstruct
+//! from any prefix budget and refine with later bytes. A prefix cannot be
+//! guarded by the whole-chunk CRC, so progressive sections each carry their
+//! own CRC-32 trailer instead.
+//!
+//! Legacy v1/v2 containers still decode through every full-stream entry
+//! point; [`decompress_chunked_with_info`] reports which form was seen.
 
 use crate::config::DpzConfig;
-use crate::container::{checked_product, ContainerInfo, DpzError};
-use crate::pipeline::{decompress, Compressed, PipelinePlan};
+use crate::container::{self, checked_product, ContainerInfo, DpzError, ProgressiveLayout};
+use crate::decompose::extract_region;
+use crate::pipeline::{decompress, decompress_with_info, Compressed, PipelinePlan};
 use crate::stage::BufferPool;
 use dpz_deflate::crc32;
 use dpz_telemetry::span;
 use rayon::prelude::*;
+use std::io::{Read, Seek, SeekFrom};
+use std::ops::Range;
 use std::sync::Arc;
 
 const MAGIC: &[u8; 4] = b"DPZC";
-/// Current writer version (per-chunk CRC-32 column).
-const VERSION: u8 = 2;
+/// Tail sentinel closing a seekable container.
+const TAIL_MAGIC: &[u8; 4] = b"DPZF";
+/// Tail size: footer_len u64 + footer_crc32 u32 + tail magic.
+const TAIL_LEN: usize = 16;
+/// Current writer version (index footer + tail).
+const VERSION_SEEKABLE: u8 = 4;
+/// Newest legacy version (per-chunk CRC-32 column before the payload).
+const VERSION_CRC: u8 = 2;
 /// Oldest version the decoder still accepts (pre-checksum layout).
 const MIN_VERSION: u8 = 1;
+/// Container flag: chunks are progressive `DPZP` streams with per-component
+/// byte ranges in the footer.
+pub const FLAG_PROGRESSIVE: u8 = 1;
 
 /// Result of a chunked compression.
 #[derive(Debug, Clone)]
 pub struct ChunkedCompressed {
     /// The multi-chunk container.
     pub bytes: Vec<u8>,
-    /// Per-chunk stats from the inner pipeline.
+    /// Per-chunk stats from the inner pipeline (empty for progressive
+    /// containers, whose entropy stage bypasses the stats-producing coder).
     pub chunk_stats: Vec<crate::pipeline::CompressionStats>,
     /// End-to-end ratio (original bytes / container bytes).
     pub cr_total: f64,
@@ -57,22 +100,27 @@ fn slab_extents(dims: &[usize], chunks: usize) -> (usize, usize) {
     (rows_per_slab, rest)
 }
 
-/// Compress `data` as `chunks` independent slabs (in parallel).
-///
-/// Each slab must still be large enough to decompose (≥ 2 values); `chunks`
-/// is clamped accordingly.
-pub fn compress_chunked(
-    data: &[f32],
-    dims: &[usize],
-    cfg: &DpzConfig,
-    chunks: usize,
-) -> Result<ChunkedCompressed, DpzError> {
+fn check_chunk_input(data: &[f32], dims: &[usize]) -> Result<(), DpzError> {
     if dims.is_empty() || checked_product(dims, "dims overflow").ok() != Some(data.len()) {
         return Err(DpzError::BadInput("dims do not match data length"));
     }
     if data.len() < 4 {
         return Err(DpzError::BadInput("too small to chunk"));
     }
+    Ok(())
+}
+
+/// Compress `data` as `chunks` independent slabs (in parallel).
+///
+/// Each slab must still be large enough to decompose (≥ 2 values); `chunks`
+/// is clamped accordingly. The output is a seekable v4 container.
+pub fn compress_chunked(
+    data: &[f32],
+    dims: &[usize],
+    cfg: &DpzConfig,
+    chunks: usize,
+) -> Result<ChunkedCompressed, DpzError> {
+    check_chunk_input(data, dims)?;
     let _root = span!("compress_chunked");
     let (rows_per_slab, rest) = slab_extents(dims, chunks);
     let slab_values = rows_per_slab * rest;
@@ -152,7 +200,8 @@ pub fn compress_chunked(
         chunk_stats.push(c.stats);
     }
 
-    let out = assemble(dims, &streams, VERSION);
+    let rows: Vec<usize> = slabs.iter().map(|(_, c)| c.len() / rest).collect();
+    let out = assemble_seekable(dims, &streams, &rows, rest, None);
     let cr_total = (data.len() * 4) as f64 / out.len() as f64;
     dpz_telemetry::global()
         .counter("dpz_chunks_total")
@@ -164,19 +213,81 @@ pub fn compress_chunked(
     })
 }
 
-/// Build the container bytes for a set of chunk streams. `version` controls
-/// whether the CRC-32 column is written (≥ 2) or omitted (1, legacy).
+/// Compress `data` as a **progressive** seekable container: every slab is a
+/// `DPZP` stream whose components are stored by descending captured energy,
+/// with per-component byte ranges in the footer. Decode the whole thing
+/// with [`decompress_chunked`], or a prefix with [`decompress_progressive`].
+pub fn compress_progressive(
+    data: &[f32],
+    dims: &[usize],
+    cfg: &DpzConfig,
+    chunks: usize,
+) -> Result<ChunkedCompressed, DpzError> {
+    check_chunk_input(data, dims)?;
+    let _root = span!("compress_progressive");
+    let (rows_per_slab, rest) = slab_extents(dims, chunks);
+    let slab_values = rows_per_slab * rest;
+    let pool = Arc::new(BufferPool::new());
+    let full_plan = PipelinePlan::with_pool(slab_values, cfg, Arc::clone(&pool))?;
+    let tail_len = data.len() % slab_values;
+    let tail_plan = match tail_len {
+        0 => None,
+        l => Some(PipelinePlan::with_pool(l, cfg, Arc::clone(&pool))?),
+    };
+
+    let slabs: Vec<&[f32]> = data.chunks(slab_values).collect();
+    let results: Vec<Result<(Vec<u8>, ProgressiveLayout), DpzError>> = slabs
+        .par_iter()
+        .map(|chunk| {
+            let rows = chunk.len() / rest;
+            let mut slab_dims = dims.to_vec();
+            slab_dims[0] = rows;
+            let plan = if chunk.len() == slab_values {
+                &full_plan
+            } else {
+                tail_plan.as_ref().expect("ragged tail was planned")
+            };
+            let outcome = plan.project(chunk, &slab_dims)?;
+            Ok(container::serialize_progressive(&outcome.into_payload()))
+        })
+        .collect();
+    let mut streams = Vec::with_capacity(slabs.len());
+    let mut layouts = Vec::with_capacity(slabs.len());
+    for r in results {
+        let (bytes, layout) = r?;
+        streams.push(bytes);
+        layouts.push(layout);
+    }
+    let rows: Vec<usize> = slabs.iter().map(|c| c.len() / rest).collect();
+    let out = assemble_seekable(dims, &streams, &rows, rest, Some(&layouts));
+    let cr_total = (data.len() * 4) as f64 / out.len() as f64;
+    dpz_telemetry::global()
+        .counter("dpz_chunks_total")
+        .add(streams.len() as u64);
+    Ok(ChunkedCompressed {
+        bytes: out,
+        chunk_stats: Vec::new(),
+        cr_total,
+    })
+}
+
+fn push_u64(out: &mut Vec<u8>, v: usize) {
+    out.extend_from_slice(&(v as u64).to_le_bytes());
+}
+
+/// Build a legacy (v1/v2) container for a set of chunk streams. `version`
+/// controls whether the CRC-32 column is written (2) or omitted (1).
 fn assemble(dims: &[usize], streams: &[Vec<u8>], version: u8) -> Vec<u8> {
     let mut out = Vec::new();
     out.extend_from_slice(MAGIC);
     out.push(version);
     out.push(dims.len() as u8);
     for &d in dims {
-        out.extend_from_slice(&(d as u64).to_le_bytes());
+        push_u64(&mut out, d);
     }
-    out.extend_from_slice(&(streams.len() as u64).to_le_bytes());
+    push_u64(&mut out, streams.len());
     for s in streams {
-        out.extend_from_slice(&(s.len() as u64).to_le_bytes());
+        push_u64(&mut out, s.len());
     }
     if version >= 2 {
         for s in streams {
@@ -189,7 +300,365 @@ fn assemble(dims: &[usize], streams: &[Vec<u8>], version: u8) -> Vec<u8> {
     out
 }
 
-/// Parsed chunk directory.
+/// Build a seekable v4 container: header, streams, index footer, tail.
+fn assemble_seekable(
+    dims: &[usize],
+    streams: &[Vec<u8>],
+    rows: &[usize],
+    rest: usize,
+    progressive: Option<&[ProgressiveLayout]>,
+) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(MAGIC);
+    out.push(VERSION_SEEKABLE);
+    out.push(dims.len() as u8);
+    for &d in dims {
+        push_u64(&mut out, d);
+    }
+    out.push(if progressive.is_some() {
+        FLAG_PROGRESSIVE
+    } else {
+        0
+    });
+    let header_len = out.len();
+    for s in streams {
+        out.extend_from_slice(s);
+    }
+
+    let mut footer = Vec::new();
+    push_u64(&mut footer, streams.len());
+    let mut offset = header_len;
+    for (i, s) in streams.iter().enumerate() {
+        push_u64(&mut footer, offset);
+        push_u64(&mut footer, s.len());
+        push_u64(&mut footer, rows[i]);
+        push_u64(&mut footer, rows[i] * rest);
+        footer.extend_from_slice(&crc32(s).to_le_bytes());
+        offset += s.len();
+    }
+    if let Some(layouts) = progressive {
+        for l in layouts {
+            push_u64(&mut footer, l.components.len());
+            push_u64(&mut footer, l.model_end);
+            for c in &l.components {
+                push_u64(&mut footer, c.end);
+                footer.extend_from_slice(&c.energy.to_le_bytes());
+            }
+        }
+    }
+    out.extend_from_slice(&footer);
+    push_u64(&mut out, footer.len());
+    out.extend_from_slice(&crc32(&footer).to_le_bytes());
+    out.extend_from_slice(TAIL_MAGIC);
+    out
+}
+
+/// One chunk's entry in the v4 index footer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChunkEntry {
+    /// Absolute byte offset of the chunk stream within the container.
+    pub offset: usize,
+    /// Byte length of the chunk stream.
+    pub len: usize,
+    /// Slab height along the slowest axis.
+    pub rows: usize,
+    /// Raw value count (`rows ×` product of the remaining dims).
+    pub values: usize,
+    /// CRC-32 of the chunk stream bytes.
+    pub crc: u32,
+}
+
+/// Byte range of one energy-ordered component (footer copy of
+/// [`container::ComponentSpan`], offsets relative to the chunk stream).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ComponentEntry {
+    /// Exclusive end offset within the chunk stream.
+    pub end: usize,
+    /// Captured energy of the component.
+    pub energy: f64,
+}
+
+/// Per-chunk progressive layout from the footer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProgressiveEntry {
+    /// Stored component count.
+    pub k: usize,
+    /// End of the header + model section within the chunk stream.
+    pub model_end: usize,
+    /// Component spans in stored (energy-descending) order.
+    pub components: Vec<ComponentEntry>,
+}
+
+/// Parsed v4 index: everything a seekable reader needs to locate, size, and
+/// verify chunks without touching the payload. [`SeekableIndex::read`]
+/// fetches only the header, tail, and footer from a `Read + Seek` source.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SeekableIndex {
+    /// Array dimensions.
+    pub dims: Vec<usize>,
+    /// Container flag byte (bit 0 = progressive).
+    pub flags: u8,
+    /// Byte length of the fixed header (= offset of the first chunk).
+    pub header_len: usize,
+    /// Total container length in bytes.
+    pub total_len: usize,
+    /// Per-chunk index entries, in slab order.
+    pub chunks: Vec<ChunkEntry>,
+    /// Per-chunk progressive layouts when bit 0 of `flags` is set.
+    pub progressive: Option<Vec<ProgressiveEntry>>,
+}
+
+fn io_error(e: std::io::Error) -> DpzError {
+    DpzError::Io(e.to_string())
+}
+
+/// Bounded little-endian cursor over the footer bytes.
+struct FooterCursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> FooterCursor<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], DpzError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .ok_or(DpzError::Corrupt("truncated chunk footer"))?;
+        if end > self.buf.len() {
+            return Err(DpzError::Corrupt("truncated chunk footer"));
+        }
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u64(&mut self) -> Result<usize, DpzError> {
+        let b = self.take(8)?;
+        usize::try_from(u64::from_le_bytes(b.try_into().unwrap()))
+            .map_err(|_| DpzError::Corrupt("size overflows usize"))
+    }
+
+    fn u32(&mut self) -> Result<u32, DpzError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn f64(&mut self) -> Result<f64, DpzError> {
+        Ok(f64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+}
+
+/// Validate and parse the footer body against the header-derived geometry.
+/// `payload_end` is the absolute offset one past the last chunk stream.
+fn parse_footer(
+    footer: &[u8],
+    dims: &[usize],
+    flags: u8,
+    header_len: usize,
+    payload_end: usize,
+) -> Result<(Vec<ChunkEntry>, Option<Vec<ProgressiveEntry>>), DpzError> {
+    if flags & !FLAG_PROGRESSIVE != 0 {
+        return Err(DpzError::Corrupt("unknown container flags"));
+    }
+    let total = checked_product(dims, "dims overflow")?;
+    let rest: usize = dims[1..].iter().product::<usize>().max(1);
+    let mut cur = FooterCursor {
+        buf: footer,
+        pos: 0,
+    };
+    let count = cur.u64()?;
+    if count == 0 || count > 1 << 20 {
+        return Err(DpzError::Corrupt("implausible chunk count"));
+    }
+    let mut chunks = Vec::with_capacity(count);
+    let mut next_offset = header_len;
+    let mut rows_sum = 0usize;
+    let mut values_sum = 0usize;
+    for _ in 0..count {
+        let offset = cur.u64()?;
+        let len = cur.u64()?;
+        let rows = cur.u64()?;
+        let values = cur.u64()?;
+        let crc = cur.u32()?;
+        // Chunk streams are written back-to-back; an index entry pointing
+        // anywhere else (or overlapping) is a forgery, not a variant.
+        if offset != next_offset {
+            return Err(DpzError::Corrupt("chunk offsets not contiguous"));
+        }
+        next_offset = offset
+            .checked_add(len)
+            .ok_or(DpzError::Corrupt("chunk lengths overflow"))?;
+        if rows == 0
+            || rows.checked_mul(rest) != Some(values)
+            || rows_sum.checked_add(rows).is_none()
+            || values_sum.checked_add(values).is_none()
+        {
+            return Err(DpzError::Corrupt("chunk shape inconsistent"));
+        }
+        rows_sum += rows;
+        values_sum += values;
+        chunks.push(ChunkEntry {
+            offset,
+            len,
+            rows,
+            values,
+            crc,
+        });
+    }
+    if next_offset != payload_end {
+        return Err(DpzError::Corrupt("chunk payload length mismatch"));
+    }
+    if rows_sum != dims[0] || values_sum != total {
+        return Err(DpzError::Corrupt("chunk shape inconsistent"));
+    }
+    let progressive = if flags & FLAG_PROGRESSIVE != 0 {
+        let mut entries = Vec::with_capacity(count);
+        for e in &chunks {
+            let k = cur.u64()?;
+            if k == 0 || k > 1 << 16 {
+                return Err(DpzError::Corrupt("implausible component count"));
+            }
+            let model_end = cur.u64()?;
+            if model_end == 0 || model_end >= e.len {
+                return Err(DpzError::Corrupt("invalid progressive layout"));
+            }
+            let mut components = Vec::with_capacity(k);
+            let mut prev = model_end;
+            for _ in 0..k {
+                let end = cur.u64()?;
+                let energy = cur.f64()?;
+                if end <= prev || end > e.len {
+                    return Err(DpzError::Corrupt("invalid progressive layout"));
+                }
+                if !energy.is_finite() || energy < 0.0 {
+                    return Err(DpzError::Corrupt("invalid component energy"));
+                }
+                components.push(ComponentEntry { end, energy });
+                prev = end;
+            }
+            if prev != e.len {
+                return Err(DpzError::Corrupt("invalid progressive layout"));
+            }
+            entries.push(ProgressiveEntry {
+                k,
+                model_end,
+                components,
+            });
+        }
+        Some(entries)
+    } else {
+        None
+    };
+    if cur.pos != footer.len() {
+        return Err(DpzError::Corrupt("footer length mismatch"));
+    }
+    Ok((chunks, progressive))
+}
+
+impl SeekableIndex {
+    /// Parse a whole in-memory v4 container's index.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, DpzError> {
+        SeekableIndex::read(&mut std::io::Cursor::new(bytes))
+    }
+
+    /// Read the index from a seekable source, touching **only** the header,
+    /// tail, and footer bytes — the point of the v4 layout. Legacy (v1/v2)
+    /// containers are rejected with [`DpzError::BadInput`]; decode those
+    /// through the full-stream entry points instead.
+    pub fn read<R: Read + Seek>(r: &mut R) -> Result<Self, DpzError> {
+        let total_len = usize::try_from(r.seek(SeekFrom::End(0)).map_err(io_error)?)
+            .map_err(|_| DpzError::Corrupt("size overflows usize"))?;
+        r.seek(SeekFrom::Start(0)).map_err(io_error)?;
+        let mut head = [0u8; 6];
+        r.read_exact(&mut head).map_err(io_error)?;
+        if &head[..4] != MAGIC {
+            return Err(DpzError::Corrupt("bad chunk magic"));
+        }
+        let version = head[4];
+        if version != VERSION_SEEKABLE {
+            return Err(if (MIN_VERSION..=VERSION_CRC).contains(&version) {
+                DpzError::BadInput("seekable retrieval requires a v4 container")
+            } else {
+                DpzError::Corrupt("unsupported chunk version")
+            });
+        }
+        let ndims = head[5] as usize;
+        if ndims == 0 || ndims > 8 {
+            return Err(DpzError::Corrupt("implausible dimensionality"));
+        }
+        let mut rest_hdr = vec![0u8; 8 * ndims + 1];
+        r.read_exact(&mut rest_hdr).map_err(io_error)?;
+        let mut dims = Vec::with_capacity(ndims);
+        for c in rest_hdr[..8 * ndims].chunks_exact(8) {
+            let v = u64::from_le_bytes(c.try_into().unwrap());
+            dims.push(
+                usize::try_from(v).map_err(|_| DpzError::Corrupt("size overflows usize"))?,
+            );
+        }
+        let flags = rest_hdr[8 * ndims];
+        let header_len = 6 + 8 * ndims + 1;
+        if total_len < header_len + TAIL_LEN {
+            return Err(DpzError::Corrupt("truncated chunk footer"));
+        }
+
+        r.seek(SeekFrom::End(-(TAIL_LEN as i64))).map_err(io_error)?;
+        let mut tail = [0u8; TAIL_LEN];
+        r.read_exact(&mut tail).map_err(io_error)?;
+        if &tail[12..] != TAIL_MAGIC {
+            return Err(DpzError::Corrupt("bad footer magic"));
+        }
+        let footer_len = usize::try_from(u64::from_le_bytes(tail[..8].try_into().unwrap()))
+            .map_err(|_| DpzError::Corrupt("size overflows usize"))?;
+        let stored_crc = u32::from_le_bytes(tail[8..12].try_into().unwrap());
+        if footer_len > total_len - header_len - TAIL_LEN {
+            return Err(DpzError::Corrupt("truncated chunk footer"));
+        }
+        let footer_start = total_len - TAIL_LEN - footer_len;
+        r.seek(SeekFrom::Start(footer_start as u64)).map_err(io_error)?;
+        let mut footer = vec![0u8; footer_len];
+        r.read_exact(&mut footer).map_err(io_error)?;
+        if crc32(&footer) != stored_crc {
+            return Err(DpzError::Corrupt("footer checksum mismatch"));
+        }
+        let (chunks, progressive) =
+            parse_footer(&footer, &dims, flags, header_len, footer_start)?;
+        Ok(SeekableIndex {
+            dims,
+            flags,
+            header_len,
+            total_len,
+            chunks,
+            progressive,
+        })
+    }
+
+    /// Number of chunks.
+    pub fn chunk_count(&self) -> usize {
+        self.chunks.len()
+    }
+
+    /// Whether the container carries progressive component layouts.
+    pub fn is_progressive(&self) -> bool {
+        self.progressive.is_some()
+    }
+
+    /// Fetch one chunk's stream bytes from a seekable source and verify its
+    /// CRC. Reads exactly `chunks[i].len` bytes.
+    pub fn read_chunk<R: Read + Seek>(&self, r: &mut R, i: usize) -> Result<Vec<u8>, DpzError> {
+        let e = self
+            .chunks
+            .get(i)
+            .ok_or(DpzError::BadInput("chunk index out of range"))?;
+        r.seek(SeekFrom::Start(e.offset as u64)).map_err(io_error)?;
+        let mut buf = vec![0u8; e.len];
+        r.read_exact(&mut buf).map_err(io_error)?;
+        if crc32(&buf) != e.crc {
+            return Err(DpzError::Corrupt("chunk checksum mismatch"));
+        }
+        Ok(buf)
+    }
+}
+
+/// Parsed legacy (v1/v2) chunk directory.
 struct Directory<'a> {
     dims: Vec<usize>,
     /// Byte range of each chunk stream within `payload`.
@@ -227,7 +696,7 @@ fn parse_directory(bytes: &[u8]) -> Result<Directory<'_>, DpzError> {
         return Err(DpzError::Corrupt("bad chunk magic"));
     }
     let version = bytes[4];
-    if !(MIN_VERSION..=VERSION).contains(&version) {
+    if !(MIN_VERSION..=VERSION_CRC).contains(&version) {
         return Err(DpzError::Corrupt("unsupported chunk version"));
     }
     let checksummed = version >= 2;
@@ -290,49 +759,18 @@ fn parse_directory(bytes: &[u8]) -> Result<Directory<'_>, DpzError> {
         info: ContainerInfo {
             version,
             checksummed,
-            // Describes the outer DPZC directory only; each inner DPZ1
-            // stream carries its own per-section backend flags.
+            // Placeholder; the decode paths aggregate the inner streams'
+            // per-section backend flags into this field.
             tans_sections: 0,
         },
     })
 }
 
-/// Decompress a chunked container (chunks in parallel), returning the full
-/// array and its dimensions.
-pub fn decompress_chunked(bytes: &[u8]) -> Result<(Vec<f32>, Vec<usize>), DpzError> {
-    decompress_chunked_with_info(bytes).map(|(v, dims, _)| (v, dims))
-}
-
-/// [`decompress_chunked`] that also reports the container version and
-/// checksum status.
-pub fn decompress_chunked_with_info(
-    bytes: &[u8],
-) -> Result<(Vec<f32>, Vec<usize>, ContainerInfo), DpzError> {
-    let _root = span!("decompress_chunked");
-    let result = (|| {
-        let dir = parse_directory(bytes)?;
-        for i in 0..dir.ranges.len() {
-            dir.check_chunk(i)?;
-        }
-        let parts: Vec<Result<Vec<f32>, DpzError>> = dir
-            .ranges
-            .par_iter()
-            .map(|&(lo, hi)| decompress(&dir.payload[lo..hi]).map(|(v, _)| v))
-            .collect();
-        let expected = checked_product(&dir.dims, "dims overflow")?;
-        let mut out = Vec::new();
-        for p in parts {
-            let p = p?;
-            if out.len() + p.len() > expected {
-                return Err(DpzError::Corrupt("stitched length mismatch"));
-            }
-            out.extend_from_slice(&p);
-        }
-        if out.len() != expected {
-            return Err(DpzError::Corrupt("stitched length mismatch"));
-        }
-        Ok((out, dir.dims, dir.info))
-    })();
+/// Count a decode failure against the dpzc reject series. Every public
+/// decode entry point funnels its fallible body through here so telemetry
+/// sees random-access and region rejects, not just full decodes.
+fn counted<T>(f: impl FnOnce() -> Result<T, DpzError>) -> Result<T, DpzError> {
+    let result = f();
     if result.is_err() {
         dpz_telemetry::global()
             .counter_with("dpz_decode_rejects_total", &[("codec", "dpzc")])
@@ -341,28 +779,510 @@ pub fn decompress_chunked_with_info(
     result
 }
 
+/// Decode one chunk stream, dispatching on its inner magic: `DPZ1` (plain
+/// pipeline) or `DPZP` (progressive, decoded in full here).
+fn decode_stream(stream: &[u8]) -> Result<(Vec<f32>, Vec<usize>, ContainerInfo), DpzError> {
+    if stream.starts_with(container::PROGRESSIVE_MAGIC) {
+        let (payload, _) = container::deserialize_progressive(stream, None)?;
+        let (values, dims) = crate::pipeline::reconstruct_values(&payload)?;
+        Ok((
+            values,
+            dims,
+            ContainerInfo {
+                version: container::PROGRESSIVE_VERSION,
+                checksummed: true,
+                tans_sections: 0,
+            },
+        ))
+    } else {
+        decompress_with_info(stream)
+    }
+}
+
+/// Uncounted full decode shared by every entry point; dispatches on the
+/// container version byte.
+fn full_decode(bytes: &[u8]) -> Result<(Vec<f32>, Vec<usize>, ContainerInfo), DpzError> {
+    let _root = span!("decompress_chunked");
+    if bytes.len() < 6 || &bytes[..4] != MAGIC {
+        return Err(DpzError::Corrupt("bad chunk magic"));
+    }
+    if bytes[4] > VERSION_CRC {
+        let index = SeekableIndex::from_bytes(bytes)?;
+        // CRC verification rides inside the same parallel pass as the
+        // decode; results are examined in chunk order, so a corrupt stream
+        // fails deterministically regardless of worker scheduling.
+        let parts: Vec<Result<(Vec<f32>, ContainerInfo), DpzError>> = index
+            .chunks
+            .par_iter()
+            .map(|e| {
+                let s = &bytes[e.offset..e.offset + e.len];
+                if crc32(s) != e.crc {
+                    return Err(DpzError::Corrupt("chunk checksum mismatch"));
+                }
+                let (v, _, info) = decode_stream(s)?;
+                if v.len() != e.values {
+                    return Err(DpzError::Corrupt("stitched length mismatch"));
+                }
+                Ok((v, info))
+            })
+            .collect();
+        let expected = checked_product(&index.dims, "dims overflow")?;
+        let mut out = Vec::new();
+        let mut tans = 0u8;
+        for p in parts {
+            let (v, info) = p?;
+            if out.len() + v.len() > expected {
+                return Err(DpzError::Corrupt("stitched length mismatch"));
+            }
+            out.extend_from_slice(&v);
+            tans = tans.saturating_add(info.tans_sections);
+        }
+        if out.len() != expected {
+            return Err(DpzError::Corrupt("stitched length mismatch"));
+        }
+        Ok((
+            out,
+            index.dims,
+            ContainerInfo {
+                version: VERSION_SEEKABLE,
+                checksummed: true,
+                tans_sections: tans,
+            },
+        ))
+    } else {
+        let dir = parse_directory(bytes)?;
+        let indexed: Vec<(usize, (usize, usize))> =
+            dir.ranges.iter().copied().enumerate().collect();
+        let parts: Vec<Result<(Vec<f32>, ContainerInfo), DpzError>> = indexed
+            .par_iter()
+            .map(|&(i, (lo, hi))| {
+                dir.check_chunk(i)?;
+                let (v, _, info) = decompress_with_info(&dir.payload[lo..hi])?;
+                Ok((v, info))
+            })
+            .collect();
+        let expected = checked_product(&dir.dims, "dims overflow")?;
+        let mut out = Vec::new();
+        let mut tans = 0u8;
+        for p in parts {
+            let (v, info) = p?;
+            if out.len() + v.len() > expected {
+                return Err(DpzError::Corrupt("stitched length mismatch"));
+            }
+            out.extend_from_slice(&v);
+            tans = tans.saturating_add(info.tans_sections);
+        }
+        if out.len() != expected {
+            return Err(DpzError::Corrupt("stitched length mismatch"));
+        }
+        let mut info = dir.info;
+        info.tans_sections = tans;
+        Ok((out, dir.dims, info))
+    }
+}
+
+/// Decompress a chunked container (chunks in parallel), returning the full
+/// array and its dimensions.
+pub fn decompress_chunked(bytes: &[u8]) -> Result<(Vec<f32>, Vec<usize>), DpzError> {
+    decompress_chunked_with_info(bytes).map(|(v, dims, _)| (v, dims))
+}
+
+/// [`decompress_chunked`] that also reports the container version, checksum
+/// status, and the aggregate (saturating) tANS section count across the
+/// inner chunk streams.
+pub fn decompress_chunked_with_info(
+    bytes: &[u8],
+) -> Result<(Vec<f32>, Vec<usize>, ContainerInfo), DpzError> {
+    counted(|| full_decode(bytes))
+}
+
 /// Number of chunks in a chunked container.
 pub fn chunk_count(bytes: &[u8]) -> Result<usize, DpzError> {
-    Ok(parse_directory(bytes)?.ranges.len())
+    counted(|| {
+        if bytes.len() < 6 || &bytes[..4] != MAGIC {
+            return Err(DpzError::Corrupt("bad chunk magic"));
+        }
+        if bytes[4] > VERSION_CRC {
+            Ok(SeekableIndex::from_bytes(bytes)?.chunks.len())
+        } else {
+            Ok(parse_directory(bytes)?.ranges.len())
+        }
+    })
 }
 
 /// Decompress a single chunk (random access). Returns the slab's values and
 /// its dims (slowest axis shrunk to the slab height). Only the requested
-/// chunk's checksum is verified — the point of random access.
+/// chunk's bytes are CRC-verified — the point of random access.
 pub fn decompress_chunk(bytes: &[u8], index: usize) -> Result<(Vec<f32>, Vec<usize>), DpzError> {
-    let dir = parse_directory(bytes)?;
-    let &(lo, hi) = dir
-        .ranges
-        .get(index)
-        .ok_or(DpzError::BadInput("chunk index out of range"))?;
-    dir.check_chunk(index)?;
-    decompress(&dir.payload[lo..hi])
+    counted(|| {
+        if bytes.len() < 6 || &bytes[..4] != MAGIC {
+            return Err(DpzError::Corrupt("bad chunk magic"));
+        }
+        if bytes[4] > VERSION_CRC {
+            let idx = SeekableIndex::from_bytes(bytes)?;
+            let e = *idx
+                .chunks
+                .get(index)
+                .ok_or(DpzError::BadInput("chunk index out of range"))?;
+            let s = &bytes[e.offset..e.offset + e.len];
+            if crc32(s) != e.crc {
+                return Err(DpzError::Corrupt("chunk checksum mismatch"));
+            }
+            let (v, d, _) = decode_stream(s)?;
+            Ok((v, d))
+        } else {
+            let dir = parse_directory(bytes)?;
+            let &(lo, hi) = dir
+                .ranges
+                .get(index)
+                .ok_or(DpzError::BadInput("chunk index out of range"))?;
+            dir.check_chunk(index)?;
+            decompress(&dir.payload[lo..hi])
+        }
+    })
+}
+
+/// [`decompress_chunk`] against a seekable source: reads only the header,
+/// footer, and the requested chunk's bytes. v4 containers only.
+pub fn decompress_chunk_from<R: Read + Seek>(
+    r: &mut R,
+    index: usize,
+) -> Result<(Vec<f32>, Vec<usize>), DpzError> {
+    counted(|| {
+        let idx = SeekableIndex::read(r)?;
+        let stream = idx.read_chunk(r, index)?;
+        let (v, d, _) = decode_stream(&stream)?;
+        Ok((v, d))
+    })
+}
+
+fn validate_region(dims: &[usize], region: &[Range<usize>]) -> Result<(), DpzError> {
+    if region.len() != dims.len() {
+        return Err(DpzError::BadInput("region rank does not match dims"));
+    }
+    for (r, &d) in region.iter().zip(dims) {
+        if r.start >= r.end || r.end > d {
+            return Err(DpzError::BadInput("empty or out-of-range region"));
+        }
+    }
+    Ok(())
+}
+
+/// Chunks overlapping `rows` along axis 0, with the overlap rebased to each
+/// chunk's local row coordinates.
+fn overlapping_chunks(chunks: &[ChunkEntry], rows: &Range<usize>) -> Vec<(usize, Range<usize>)> {
+    let mut selected = Vec::new();
+    let mut row0 = 0usize;
+    for (i, e) in chunks.iter().enumerate() {
+        let lo = rows.start.max(row0);
+        let hi = rows.end.min(row0 + e.rows);
+        if lo < hi {
+            selected.push((i, lo - row0..hi - row0));
+        }
+        row0 += e.rows;
+    }
+    selected
+}
+
+fn stitch_region_parts(
+    parts: Vec<Result<Vec<f32>, DpzError>>,
+    region: &[Range<usize>],
+) -> Result<(Vec<f32>, Vec<usize>), DpzError> {
+    let out_dims: Vec<usize> = region.iter().map(|r| r.end - r.start).collect();
+    let expected = checked_product(&out_dims, "dims overflow")?;
+    let mut out = Vec::new();
+    for p in parts {
+        let v = p?;
+        if out.len() + v.len() > expected {
+            return Err(DpzError::Corrupt("stitched length mismatch"));
+        }
+        out.extend_from_slice(&v);
+    }
+    if out.len() != expected {
+        return Err(DpzError::Corrupt("stitched length mismatch"));
+    }
+    Ok((out, out_dims))
+}
+
+/// Extract the slab-local sub-region from one decoded chunk.
+fn crop_chunk(
+    values: &[f32],
+    slab_dims: &[usize],
+    entry: &ChunkEntry,
+    local_rows: Range<usize>,
+    region: &[Range<usize>],
+) -> Result<Vec<f32>, DpzError> {
+    if slab_dims.len() != region.len() || slab_dims[0] != entry.rows || values.len() != entry.values
+    {
+        return Err(DpzError::Corrupt("chunk dims inconsistent with footer"));
+    }
+    let mut local: Vec<Range<usize>> = Vec::with_capacity(region.len());
+    local.push(local_rows);
+    local.extend(region[1..].iter().cloned());
+    Ok(extract_region(values, slab_dims, &local))
+}
+
+/// Decompress an axis-aligned sub-region (`lo..hi` per axis). On a v4
+/// container only the chunks overlapping the region along the slowest axis
+/// are CRC-verified and decoded; legacy containers fall back to a full
+/// decode plus crop. Returns the region's values and its dims.
+pub fn decompress_region(
+    bytes: &[u8],
+    region: &[Range<usize>],
+) -> Result<(Vec<f32>, Vec<usize>), DpzError> {
+    counted(|| {
+        if bytes.len() < 6 || &bytes[..4] != MAGIC {
+            return Err(DpzError::Corrupt("bad chunk magic"));
+        }
+        if bytes[4] > VERSION_CRC {
+            let index = SeekableIndex::from_bytes(bytes)?;
+            validate_region(&index.dims, region)?;
+            let selected = overlapping_chunks(&index.chunks, &region[0]);
+            let parts: Vec<Result<Vec<f32>, DpzError>> = selected
+                .par_iter()
+                .map(|(i, local_rows)| {
+                    let e = &index.chunks[*i];
+                    let s = &bytes[e.offset..e.offset + e.len];
+                    if crc32(s) != e.crc {
+                        return Err(DpzError::Corrupt("chunk checksum mismatch"));
+                    }
+                    let (v, slab_dims, _) = decode_stream(s)?;
+                    crop_chunk(&v, &slab_dims, e, local_rows.clone(), region)
+                })
+                .collect();
+            stitch_region_parts(parts, region)
+        } else {
+            // Legacy streams have no index: decode everything, then crop.
+            let (values, dims, _) = full_decode(bytes)?;
+            validate_region(&dims, region)?;
+            let out = extract_region(&values, &dims, region);
+            let out_dims: Vec<usize> = region.iter().map(|r| r.end - r.start).collect();
+            Ok((out, out_dims))
+        }
+    })
+}
+
+/// [`decompress_region`] against a seekable source: reads only the header,
+/// footer, and the overlapping chunks' bytes. v4 containers only.
+pub fn decompress_region_from<R: Read + Seek>(
+    r: &mut R,
+    region: &[Range<usize>],
+) -> Result<(Vec<f32>, Vec<usize>), DpzError> {
+    counted(|| {
+        let index = SeekableIndex::read(r)?;
+        validate_region(&index.dims, region)?;
+        let selected = overlapping_chunks(&index.chunks, &region[0]);
+        // Sequential fetch (one seek per chunk), decode as we go: a Read +
+        // Seek source is stateful, so the parallel in-memory path doesn't
+        // apply here.
+        let mut parts = Vec::with_capacity(selected.len());
+        for (i, local_rows) in selected {
+            let e = index.chunks[i];
+            let stream = index.read_chunk(r, i)?;
+            let part = decode_stream(&stream).and_then(|(v, slab_dims, _)| {
+                crop_chunk(&v, &slab_dims, &e, local_rows, region)
+            });
+            parts.push(part);
+        }
+        stitch_region_parts(parts, region)
+    })
+}
+
+/// Result of a budgeted progressive decode.
+#[derive(Debug, Clone)]
+pub struct ProgressiveDecoded {
+    /// Reconstructed values (full array extent, reduced fidelity).
+    pub values: Vec<f32>,
+    /// Array dimensions.
+    pub dims: Vec<usize>,
+    /// Container-prefix bytes the reconstruction actually consumed
+    /// (header + footer + tail + the decoded component prefixes).
+    pub bytes_used: usize,
+    /// Components decoded per chunk.
+    pub components_used: Vec<usize>,
+    /// Fraction of the total captured score energy included (1.0 when every
+    /// component was decoded, or when the container holds zero energy).
+    pub tve_achieved: f64,
+    /// PSNR estimate in dB, from the footer's energy model: the omitted
+    /// energy, scaled by each chunk's normalization range, approximates the
+    /// reconstruction MSE. Infinite when nothing was omitted. An *estimate*
+    /// — the exact figure requires the original data.
+    pub psnr_estimate: f64,
+}
+
+/// Reconstruct a progressive container from a byte budget. The model and
+/// highest-energy component of every chunk are mandatory (budgets below
+/// that floor are clamped — check `bytes_used` for the actual spend); the
+/// remaining budget buys components globally by descending energy, each
+/// chunk consuming its stream strictly in prefix order. Growing the budget
+/// only ever adds components, so the achieved TVE and the PSNR estimate are
+/// monotonically non-decreasing in `budget_bytes`.
+pub fn decompress_progressive(
+    bytes: &[u8],
+    budget_bytes: usize,
+) -> Result<ProgressiveDecoded, DpzError> {
+    counted(|| {
+        let index = SeekableIndex::from_bytes(bytes)?;
+        let entries = index
+            .progressive
+            .as_ref()
+            .ok_or(DpzError::BadInput("not a progressive container"))?;
+        let payload_bytes: usize = index.chunks.iter().map(|e| e.len).sum();
+        let overhead = index.total_len - payload_bytes;
+
+        // Mandatory floor: model + first (highest-energy) component per
+        // chunk. Everything past that is bought greedily by energy.
+        let mut take: Vec<usize> = vec![1; entries.len()];
+        let mandatory: usize =
+            overhead + entries.iter().map(|p| p.components[0].end).sum::<usize>();
+        struct Cand {
+            chunk: usize,
+            comp: usize,
+            cost: usize,
+            energy: f64,
+        }
+        let mut cands = Vec::new();
+        for (ci, p) in entries.iter().enumerate() {
+            for j in 1..p.components.len() {
+                cands.push(Cand {
+                    chunk: ci,
+                    comp: j,
+                    cost: p.components[j].end - p.components[j - 1].end,
+                    energy: p.components[j].energy,
+                });
+            }
+        }
+        // Stable sort: within a chunk energies are non-increasing, so each
+        // chunk's candidates stay in component order and the prefix
+        // constraint below never skips.
+        cands.sort_by(|a, b| {
+            b.energy
+                .partial_cmp(&a.energy)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let mut remaining = budget_bytes.saturating_sub(mandatory);
+        let mut closed = vec![false; entries.len()];
+        for c in &cands {
+            if closed[c.chunk] || c.comp != take[c.chunk] {
+                continue;
+            }
+            if c.cost <= remaining {
+                remaining -= c.cost;
+                take[c.chunk] += 1;
+            } else {
+                // A chunk's stream is consumed in prefix order: once one
+                // component doesn't fit, later (cheaper) ones can't be
+                // reached either.
+                closed[c.chunk] = true;
+            }
+        }
+
+        let work: Vec<(&ChunkEntry, &ProgressiveEntry, usize)> = index
+            .chunks
+            .iter()
+            .zip(entries.iter())
+            .zip(take.iter())
+            .map(|((e, p), &k)| (e, p, k))
+            .collect();
+        let parts: Vec<Result<(Vec<f32>, f64), DpzError>> = work
+            .par_iter()
+            .map(|&(e, p, k)| {
+                let prefix_len = p.components[k - 1].end;
+                let s = &bytes[e.offset..e.offset + prefix_len];
+                let (payload, _) = container::deserialize_progressive(s, Some(k))?;
+                let range = payload.norm_range;
+                let (v, _) = crate::pipeline::reconstruct_values(&payload)?;
+                if v.len() != e.values {
+                    return Err(DpzError::Corrupt("stitched length mismatch"));
+                }
+                Ok((v, range))
+            })
+            .collect();
+        let expected = checked_product(&index.dims, "dims overflow")?;
+        let mut values = Vec::new();
+        let mut ranges = Vec::with_capacity(parts.len());
+        for p in parts {
+            let (v, range) = p?;
+            if values.len() + v.len() > expected {
+                return Err(DpzError::Corrupt("stitched length mismatch"));
+            }
+            values.extend_from_slice(&v);
+            ranges.push(range);
+        }
+        if values.len() != expected {
+            return Err(DpzError::Corrupt("stitched length mismatch"));
+        }
+
+        let mut total_energy = 0.0;
+        let mut included_energy = 0.0;
+        let mut mse_est = 0.0;
+        let mut peak = 0.0f64;
+        for ((p, &k), &range) in entries.iter().zip(&take).zip(&ranges) {
+            let mut omitted = 0.0;
+            for (j, c) in p.components.iter().enumerate() {
+                total_energy += c.energy;
+                if j < k {
+                    included_energy += c.energy;
+                } else {
+                    omitted += c.energy;
+                }
+            }
+            mse_est += omitted * range * range / expected as f64;
+            peak = peak.max(range);
+        }
+        let tve_achieved = if total_energy > 0.0 {
+            included_energy / total_energy
+        } else {
+            1.0
+        };
+        let psnr_estimate = if mse_est > 0.0 && peak > 0.0 {
+            10.0 * ((peak * peak) / mse_est).log10()
+        } else {
+            f64::INFINITY
+        };
+        let bytes_used = overhead
+            + entries
+                .iter()
+                .zip(&take)
+                .map(|(p, &k)| p.components[k - 1].end)
+                .sum::<usize>();
+        Ok(ProgressiveDecoded {
+            values,
+            dims: index.dims,
+            bytes_used,
+            components_used: take,
+            tve_achieved,
+            psnr_estimate,
+        })
+    })
+}
+
+/// Re-encode a (non-progressive) v4 container into the legacy v1 or v2
+/// layout, for readers predating the index footer. The chunk streams are
+/// copied verbatim; only the directory framing changes.
+pub fn reencode_legacy(bytes: &[u8], version: u8) -> Result<Vec<u8>, DpzError> {
+    if !(MIN_VERSION..=VERSION_CRC).contains(&version) {
+        return Err(DpzError::BadInput("unsupported legacy version"));
+    }
+    let index = SeekableIndex::from_bytes(bytes)?;
+    if index.progressive.is_some() {
+        return Err(DpzError::BadInput(
+            "progressive containers have no legacy form",
+        ));
+    }
+    let streams: Vec<Vec<u8>> = index
+        .chunks
+        .iter()
+        .map(|e| bytes[e.offset..e.offset + e.len].to_vec())
+        .collect();
+    Ok(assemble(&index.dims, &streams, version))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::config::TveLevel;
+    use crate::container::LosslessBackend;
 
     fn field(rows: usize, cols: usize) -> Vec<f32> {
         (0..rows * cols)
@@ -462,61 +1382,393 @@ mod tests {
         assert!(decompress_chunked(&[]).is_err());
     }
 
-    /// Re-encode a v2 container as a genuine v1 stream (no CRC column) by
-    /// splitting it back into chunk streams and reassembling.
-    fn as_v1(bytes: &[u8]) -> Vec<u8> {
-        let dir = parse_directory(bytes).unwrap();
-        let streams: Vec<Vec<u8>> = dir
-            .ranges
-            .iter()
-            .map(|&(lo, hi)| dir.payload[lo..hi].to_vec())
-            .collect();
-        assemble(&dir.dims, &streams, 1)
+    #[test]
+    fn v4_writer_emits_index_footer() {
+        let data = field(16, 16);
+        let out = compress_chunked(&data, &[16, 16], &DpzConfig::loose(), 2).unwrap();
+        assert_eq!(out.bytes[4], VERSION_SEEKABLE);
+        assert_eq!(&out.bytes[out.bytes.len() - 4..], TAIL_MAGIC);
+        let idx = SeekableIndex::from_bytes(&out.bytes).unwrap();
+        assert_eq!(idx.chunk_count(), 2);
+        assert!(!idx.is_progressive());
+        assert_eq!(idx.dims, vec![16, 16]);
+        assert_eq!(idx.chunks[0].rows + idx.chunks[1].rows, 16);
+        assert_eq!(idx.chunks[0].offset, idx.header_len);
+        assert_eq!(
+            idx.chunks[1].offset,
+            idx.chunks[0].offset + idx.chunks[0].len
+        );
     }
 
     #[test]
-    fn v1_containers_still_decode() {
+    fn legacy_reencodes_still_decode() {
         let data = field(16, 16);
         let out = compress_chunked(&data, &[16, 16], &DpzConfig::loose(), 2).unwrap();
-        let v1 = as_v1(&out.bytes);
-        assert_eq!(v1.len(), out.bytes.len() - 2 * 4); // minus the crc column
-        let (a, dims_a, info) = decompress_chunked_with_info(&v1).unwrap();
-        assert_eq!(
-            info,
-            ContainerInfo {
-                version: 1,
-                checksummed: false,
-                tans_sections: 0
-            }
-        );
-        let (b, dims_b, info2) = decompress_chunked_with_info(&out.bytes).unwrap();
-        assert_eq!(
-            info2,
-            ContainerInfo {
-                version: 2,
-                checksummed: true,
-                tans_sections: 0
-            }
-        );
-        assert_eq!(a, b);
-        assert_eq!(dims_a, dims_b);
-        assert_eq!(chunk_count(&v1).unwrap(), 2);
+        let (b, dims_b, info4) = decompress_chunked_with_info(&out.bytes).unwrap();
+        assert_eq!(info4.version, VERSION_SEEKABLE);
+        assert!(info4.checksummed);
+        for version in [1u8, 2u8] {
+            let legacy = reencode_legacy(&out.bytes, version).unwrap();
+            assert_eq!(legacy[4], version);
+            // Re-encoding is deterministic: same input, same bytes.
+            assert_eq!(legacy, reencode_legacy(&out.bytes, version).unwrap());
+            let (a, dims_a, info) = decompress_chunked_with_info(&legacy).unwrap();
+            assert_eq!(info.version, version);
+            assert_eq!(info.checksummed, version >= 2);
+            assert_eq!(a, b, "v{version} reencode must decode identically");
+            assert_eq!(dims_a, dims_b);
+            assert_eq!(chunk_count(&legacy).unwrap(), 2);
+        }
+        assert!(reencode_legacy(&out.bytes, 3).is_err());
     }
 
     #[test]
     fn corrupted_chunk_payload_fails_crc() {
         let data = field(16, 16);
         let out = compress_chunked(&data, &[16, 16], &DpzConfig::loose(), 2).unwrap();
+        let idx = SeekableIndex::from_bytes(&out.bytes).unwrap();
+        let e = idx.chunks[1];
         let mut bad = out.bytes.clone();
-        let n = bad.len();
-        bad[n - 1] ^= 0xFF; // inside the last chunk's stream
+        bad[e.offset + e.len / 2] ^= 0xFF; // inside the last chunk's stream
         assert!(matches!(
             decompress_chunked(&bad),
             Err(DpzError::Corrupt("chunk checksum mismatch"))
         ));
-        // Random access to an *undamaged* chunk still works.
+        // Random access to an *undamaged* chunk still works; the damaged
+        // one fails alone.
         assert!(decompress_chunk(&bad, 0).is_ok());
         assert!(decompress_chunk(&bad, 1).is_err());
+    }
+
+    #[test]
+    fn truncated_or_forged_footer_rejected() {
+        let data = field(16, 16);
+        let out = compress_chunked(&data, &[16, 16], &DpzConfig::loose(), 2).unwrap();
+        let n = out.bytes.len();
+        // Cuts inside the tail, the footer, and the payload all fail.
+        for cut in [n - 1, n - 8, n - TAIL_LEN, n - TAIL_LEN - 5, n / 2] {
+            assert!(decompress_chunked(&out.bytes[..cut]).is_err(), "cut {cut}");
+        }
+        // Forged footer_len (tail still intact) must be caught.
+        let mut bad = out.bytes.clone();
+        bad[n - TAIL_LEN..n - 8].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert!(decompress_chunked(&bad).is_err());
+        // Flipping a footer byte breaks the footer CRC.
+        let mut bad = out.bytes.clone();
+        bad[n - TAIL_LEN - 3] ^= 0xFF;
+        assert!(matches!(
+            decompress_chunked(&bad),
+            Err(DpzError::Corrupt("footer checksum mismatch"))
+        ));
+    }
+
+    #[test]
+    fn unknown_flags_and_versions_rejected() {
+        let data = field(16, 16);
+        let out = compress_chunked(&data, &[16, 16], &DpzConfig::loose(), 2).unwrap();
+        let idx = SeekableIndex::from_bytes(&out.bytes).unwrap();
+        let mut bad = out.bytes.clone();
+        bad[idx.header_len - 1] |= 0x02; // unknown flag bit
+        assert!(matches!(
+            decompress_chunked(&bad),
+            Err(DpzError::Corrupt("unknown container flags"))
+        ));
+        // Version 3 is skipped in the DPZC family; 5 is the future.
+        for v in [3u8, 5u8] {
+            let mut bad = out.bytes.clone();
+            bad[4] = v;
+            assert!(matches!(
+                decompress_chunked(&bad),
+                Err(DpzError::Corrupt("unsupported chunk version"))
+            ));
+        }
+    }
+
+    /// `Read + Seek` wrapper counting every byte actually read.
+    struct CountingReader<R> {
+        inner: R,
+        read_bytes: usize,
+    }
+
+    impl<R: Read> Read for CountingReader<R> {
+        fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            let n = self.inner.read(buf)?;
+            self.read_bytes += n;
+            Ok(n)
+        }
+    }
+
+    impl<R: Seek> Seek for CountingReader<R> {
+        fn seek(&mut self, pos: SeekFrom) -> std::io::Result<u64> {
+            self.inner.seek(pos)
+        }
+    }
+
+    fn counting(bytes: &[u8]) -> CountingReader<std::io::Cursor<&[u8]>> {
+        CountingReader {
+            inner: std::io::Cursor::new(bytes),
+            read_bytes: 0,
+        }
+    }
+
+    #[test]
+    fn seekable_chunk_reads_only_requested_bytes() {
+        let data = field(32, 32);
+        let out = compress_chunked(&data, &[32, 32], &DpzConfig::loose(), 4).unwrap();
+        let idx = SeekableIndex::from_bytes(&out.bytes).unwrap();
+        let last = idx.chunks.last().unwrap();
+        let overhead = idx.header_len + (idx.total_len - (last.offset + last.len));
+
+        let mut r = counting(&out.bytes);
+        let (slab, dims) = decompress_chunk_from(&mut r, 2).unwrap();
+        assert_eq!(dims, vec![8, 32]);
+        assert_eq!(
+            r.read_bytes,
+            overhead + idx.chunks[2].len,
+            "must read exactly the index overhead plus the one chunk"
+        );
+        assert!(r.read_bytes < out.bytes.len());
+        let (expect, _) = decompress_chunk(&out.bytes, 2).unwrap();
+        assert_eq!(slab, expect);
+        // Out-of-range index errors through the seekable path too.
+        assert!(decompress_chunk_from(&mut counting(&out.bytes), 9).is_err());
+    }
+
+    #[test]
+    fn seekable_region_reads_only_overlapping_chunks() {
+        let data = field(32, 32);
+        let out = compress_chunked(&data, &[32, 32], &DpzConfig::loose(), 4).unwrap();
+        let idx = SeekableIndex::from_bytes(&out.bytes).unwrap();
+        let last = idx.chunks.last().unwrap();
+        let overhead = idx.header_len + (idx.total_len - (last.offset + last.len));
+
+        // Rows 4..12 touch chunks 0 and 1 (8 rows each) only.
+        let region = vec![4..12, 10..30];
+        let mut r = counting(&out.bytes);
+        let (vals, dims) = decompress_region_from(&mut r, &region).unwrap();
+        assert_eq!(dims, vec![8, 20]);
+        assert_eq!(
+            r.read_bytes,
+            overhead + idx.chunks[0].len + idx.chunks[1].len
+        );
+        assert!(r.read_bytes < out.bytes.len());
+        let (in_mem, in_dims) = decompress_region(&out.bytes, &region).unwrap();
+        assert_eq!(vals, in_mem);
+        assert_eq!(dims, in_dims);
+        // Legacy containers refuse the seekable entry points.
+        let legacy = reencode_legacy(&out.bytes, 2).unwrap();
+        assert!(matches!(
+            decompress_region_from(&mut counting(&legacy), &region),
+            Err(DpzError::BadInput(_))
+        ));
+    }
+
+    #[test]
+    fn region_queries_match_full_decode_crop() {
+        let data = field(20, 30);
+        let out = compress_chunked(&data, &[20, 30], &DpzConfig::loose(), 4).unwrap();
+        let (full, dims) = decompress_chunked(&out.bytes).unwrap();
+        let region = vec![3..17, 5..25];
+        let (vals, rdims) = decompress_region(&out.bytes, &region).unwrap();
+        assert_eq!(rdims, vec![14, 20]);
+        assert_eq!(vals, extract_region(&full, &dims, &region));
+        // Values stay close to the original data in the cropped window.
+        for (i, v) in vals.iter().enumerate() {
+            let (r, c) = (3 + i / 20, 5 + i % 20);
+            let expect = data[r * 30 + c];
+            assert!((v - expect).abs() < 0.5, "({r},{c}): {v} vs {expect}");
+        }
+    }
+
+    #[test]
+    fn ragged_tail_region_queries_work() {
+        // 10 rows into 4 chunks -> 3+3+3+1; rows 8..10 straddle the last
+        // full chunk and the 1-row ragged tail.
+        let data = field(10, 40);
+        let out = compress_chunked(&data, &[10, 40], &DpzConfig::loose(), 4).unwrap();
+        let (full, dims) = decompress_chunked(&out.bytes).unwrap();
+        let region = vec![8..10, 12..29];
+        let (vals, rdims) = decompress_region(&out.bytes, &region).unwrap();
+        assert_eq!(rdims, vec![2, 17]);
+        assert_eq!(vals, extract_region(&full, &dims, &region));
+        // A region entirely inside the ragged tail also works.
+        let (tail_vals, tail_dims) = decompress_region(&out.bytes, &[9..10, 0..40]).unwrap();
+        assert_eq!(tail_dims, vec![1, 40]);
+        assert_eq!(tail_vals, extract_region(&full, &dims, &[9..10, 0..40]));
+    }
+
+    #[test]
+    fn region_rejects_bad_ranges() {
+        let data = field(16, 16);
+        let out = compress_chunked(&data, &[16, 16], &DpzConfig::loose(), 2).unwrap();
+        assert!(decompress_region(&out.bytes, &[0..16]).is_err()); // rank
+        assert!(decompress_region(&out.bytes, &[0..16, 5..5]).is_err()); // empty
+        assert!(decompress_region(&out.bytes, &[0..17, 0..16]).is_err()); // oob
+    }
+
+    #[test]
+    fn legacy_region_falls_back_to_full_decode() {
+        let data = field(20, 30);
+        let out = compress_chunked(&data, &[20, 30], &DpzConfig::loose(), 4).unwrap();
+        let legacy = reencode_legacy(&out.bytes, 2).unwrap();
+        let region = vec![3..17, 5..25];
+        let (a, da) = decompress_region(&legacy, &region).unwrap();
+        let (b, db) = decompress_region(&out.bytes, &region).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(da, db);
+    }
+
+    #[test]
+    fn progressive_budgets_refine_monotonically() {
+        let data = field(64, 48);
+        let cfg = DpzConfig::strict().with_tve(TveLevel::SixNines);
+        let out = compress_progressive(&data, &[64, 48], &cfg, 4).unwrap();
+        let idx = SeekableIndex::from_bytes(&out.bytes).unwrap();
+        assert!(idx.is_progressive());
+
+        // The whole container still decodes through the ordinary path.
+        let (full, dims) = decompress_chunked(&out.bytes).unwrap();
+        assert_eq!(dims, vec![64, 48]);
+
+        let total = out.bytes.len();
+        let budgets = [total / 4, total / 2, 3 * total / 4, total];
+        let mut prev_psnr = f64::NEG_INFINITY;
+        let mut prev_tve = -1.0;
+        let mut decoded = Vec::new();
+        for &b in &budgets {
+            let d = decompress_progressive(&out.bytes, b).unwrap();
+            assert_eq!(d.dims, vec![64, 48]);
+            assert_eq!(d.values.len(), data.len());
+            assert!(d.bytes_used <= total);
+            assert!(
+                d.psnr_estimate >= prev_psnr,
+                "psnr must not regress: {} -> {}",
+                prev_psnr,
+                d.psnr_estimate
+            );
+            assert!(d.tve_achieved >= prev_tve);
+            assert!(d.tve_achieved <= 1.0 + 1e-12);
+            prev_psnr = d.psnr_estimate;
+            prev_tve = d.tve_achieved;
+            decoded.push(d);
+        }
+        // The full budget reproduces the ordinary decode exactly and
+        // reports every component used.
+        let last = decoded.last().unwrap();
+        assert_eq!(last.values, full);
+        let entries = idx.progressive.as_ref().unwrap();
+        for (used, p) in last.components_used.iter().zip(entries) {
+            assert_eq!(*used, p.k);
+        }
+        assert!((last.tve_achieved - 1.0).abs() < 1e-12);
+        // The quarter budget really did decode fewer components, and the
+        // true reconstruction error shrinks as the budget grows.
+        let first = &decoded[0];
+        assert!(
+            first.components_used.iter().sum::<usize>()
+                < last.components_used.iter().sum::<usize>(),
+            "quarter budget must drop components"
+        );
+        assert!(first.psnr_estimate < last.psnr_estimate);
+        let mse = |vals: &[f32]| {
+            data.iter()
+                .zip(vals)
+                .map(|(a, b)| {
+                    let d = f64::from(*a) - f64::from(*b);
+                    d * d
+                })
+                .sum::<f64>()
+                / data.len() as f64
+        };
+        assert!(mse(&last.values) <= mse(&first.values));
+        // A budget of zero clamps to the mandatory floor.
+        let floor = decompress_progressive(&out.bytes, 0).unwrap();
+        assert!(floor.components_used.iter().all(|&k| k >= 1));
+        assert!(floor.bytes_used > 0);
+        // Non-progressive containers refuse the progressive entry point.
+        let plain = compress_chunked(&data, &[64, 48], &cfg, 4).unwrap();
+        assert!(matches!(
+            decompress_progressive(&plain.bytes, total),
+            Err(DpzError::BadInput("not a progressive container"))
+        ));
+    }
+
+    #[test]
+    fn progressive_rejects_legacy_reencode_and_permuted_footer() {
+        let data = field(32, 32);
+        let out = compress_progressive(&data, &[32, 32], &DpzConfig::loose(), 2).unwrap();
+        // Progressive chunks cannot be framed as legacy containers.
+        assert!(reencode_legacy(&out.bytes, 2).is_err());
+        // Swapping two component records breaks the strictly-increasing end
+        // offsets; the forged footer (CRC recomputed) must be rejected.
+        let idx = SeekableIndex::from_bytes(&out.bytes).unwrap();
+        let entries = idx.progressive.as_ref().unwrap();
+        assert!(entries[0].k >= 2, "need two components to permute");
+        let n = out.bytes.len();
+        let footer_len =
+            usize::try_from(u64::from_le_bytes(out.bytes[n - 16..n - 8].try_into().unwrap()))
+                .unwrap();
+        let footer_start = n - TAIL_LEN - footer_len;
+        // First progressive record sits after count + per-chunk entries.
+        let comp0 = footer_start + 8 + idx.chunks.len() * 36 + 16;
+        let mut bad = out.bytes.clone();
+        let (a, b) = (comp0, comp0 + 16);
+        for i in 0..16 {
+            bad.swap(a + i, b + i);
+        }
+        let crc = crc32(&bad[footer_start..n - TAIL_LEN]);
+        bad[n - 8..n - 4].copy_from_slice(&crc.to_le_bytes());
+        assert!(matches!(
+            decompress_chunked(&bad),
+            Err(DpzError::Corrupt("invalid progressive layout"))
+        ));
+    }
+
+    #[test]
+    fn all_decode_entry_points_count_rejects() {
+        let data = field(16, 16);
+        let out = compress_chunked(&data, &[16, 16], &DpzConfig::loose(), 2).unwrap();
+        let before = dpz_telemetry::global().snapshot();
+        assert!(decompress_chunked(b"DPZCxxxx").is_err());
+        assert!(chunk_count(b"not even magic").is_err());
+        assert!(decompress_chunk(&out.bytes, 99).is_err());
+        assert!(decompress_region(&out.bytes, &[0..99, 0..99]).is_err());
+        assert!(decompress_progressive(&out.bytes, 1024).is_err());
+        assert!(decompress_chunk_from(&mut counting(&out.bytes), 99).is_err());
+        let delta = dpz_telemetry::global().snapshot().since(&before);
+        assert!(
+            delta
+                .counter("dpz_decode_rejects_total", &[("codec", "dpzc")])
+                .unwrap_or(0)
+                >= 6,
+            "every entry point must count its reject"
+        );
+    }
+
+    #[test]
+    fn chunked_info_aggregates_inner_tans_sections() {
+        let data = field(64, 96);
+        let cfg = DpzConfig::strict()
+            .with_tve(TveLevel::SixNines)
+            .with_lossless(LosslessBackend::Tans);
+        let out = compress_chunked(&data, &[64, 96], &cfg, 2).unwrap();
+        let idx = SeekableIndex::from_bytes(&out.bytes).unwrap();
+        let mut expect = 0u8;
+        for e in &idx.chunks {
+            let (_, _, info) =
+                decompress_with_info(&out.bytes[e.offset..e.offset + e.len]).unwrap();
+            expect = expect.saturating_add(info.tans_sections);
+        }
+        assert!(
+            expect >= 1,
+            "inner chunks must actually engage tANS for this test to bite"
+        );
+        let (_, _, outer) = decompress_chunked_with_info(&out.bytes).unwrap();
+        assert_eq!(outer.tans_sections, expect);
+        // Legacy reencodes aggregate too.
+        let legacy = reencode_legacy(&out.bytes, 2).unwrap();
+        let (_, _, li) = decompress_chunked_with_info(&legacy).unwrap();
+        assert_eq!(li.tans_sections, expect);
     }
 
     #[test]
@@ -560,5 +1812,6 @@ mod tests {
     fn bad_inputs_rejected() {
         assert!(compress_chunked(&[1.0, 2.0], &[3], &DpzConfig::loose(), 2).is_err());
         assert!(compress_chunked(&[1.0], &[1], &DpzConfig::loose(), 2).is_err());
+        assert!(compress_progressive(&[1.0, 2.0], &[3], &DpzConfig::loose(), 2).is_err());
     }
 }

@@ -35,7 +35,7 @@
 //! validated header implies, so declared-small-but-inflates-huge bombs fail
 //! fast with [`DeflateError::TooLarge`].
 
-use crate::quantize::QuantizedScores;
+use crate::quantize::{dequantize_scores, QuantizedScores};
 use dpz_deflate::{
     compress_parallel, crc32, decompress_bounded, tans, CompressionLevel, DeflateError,
 };
@@ -592,6 +592,352 @@ pub fn deserialize_with_info(bytes: &[u8]) -> Result<(ContainerData, ContainerIn
     ))
 }
 
+/// Magic for the progressive ("DPZP") inner stream: the same model as a
+/// DPZ1 container, but with the index/outlier payload split per PCA
+/// component so a prefix of the stream decodes to a coarse reconstruction.
+pub(crate) const PROGRESSIVE_MAGIC: &[u8; 4] = b"DPZP";
+/// Only progressive stream version so far.
+pub(crate) const PROGRESSIVE_VERSION: u8 = 1;
+
+/// Byte span of one energy-ordered component inside a progressive stream.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ComponentSpan {
+    /// Exclusive end offset of the component's sections, relative to the
+    /// start of the stream. Component `i` occupies `prev_end..end`.
+    pub end: usize,
+    /// Captured energy: the sum of squared dequantized scores this
+    /// component contributes across all rows.
+    pub energy: f64,
+}
+
+/// Byte layout of a progressive stream, as recorded in the DPZC v4 footer
+/// so readers can budget a prefix without parsing the stream itself.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ProgressiveLayout {
+    /// End offset of the header + model section (= start of component 0).
+    pub model_end: usize,
+    /// Per-component spans in stored order (energy-descending).
+    pub components: Vec<ComponentSpan>,
+}
+
+/// Serialize to the progressive layout: the DPZ1 header fields under the
+/// `DPZP` magic, the whole model section first (mandatory for any decode),
+/// then one `(column id, indices, outliers)` section group per PCA
+/// component, ordered by descending captured energy. Sections are always
+/// DEFLATE with CRC-32 trailers — a prefix cannot be guarded by a
+/// whole-stream checksum, so every section carries its own.
+pub fn serialize_progressive(data: &ContainerData) -> (Vec<u8>, ProgressiveLayout) {
+    let (n, k) = (data.n, data.k);
+    let width = if data.scores.wide_index { 2 } else { 1 };
+    let escape = data.scores.bins as u16;
+    // Split the row-major n×k index stream into per-column streams, routing
+    // each escape's outlier (stored in scan order) to its owning column.
+    let mut col_indices: Vec<Vec<u8>> = vec![Vec::with_capacity(n * width); k];
+    let mut col_outliers: Vec<Vec<f32>> = vec![Vec::new(); k];
+    let mut next_outlier = data.scores.outliers.iter();
+    for row in 0..n {
+        for col in 0..k {
+            let off = (row * k + col) * width;
+            let cell = &data.scores.indices[off..off + width];
+            col_indices[col].extend_from_slice(cell);
+            let code = if width == 2 {
+                u16::from_le_bytes([cell[0], cell[1]])
+            } else {
+                u16::from(cell[0])
+            };
+            if code == escape {
+                if let Some(&v) = next_outlier.next() {
+                    col_outliers[col].push(v);
+                }
+            }
+        }
+    }
+    // Captured energy per component = Σ over rows of the dequantized
+    // score². Ties (and NaNs from non-finite outliers) keep PCA order —
+    // the sort is stable.
+    let vals = dequantize_scores(&data.scores);
+    let energy: Vec<f64> = (0..k)
+        .map(|c| {
+            (0..n)
+                .map(|r| {
+                    let v = vals[r * k + c];
+                    v * v
+                })
+                .sum()
+        })
+        .collect();
+    let mut order: Vec<usize> = (0..k).collect();
+    order.sort_by(|&a, &b| {
+        energy[b]
+            .partial_cmp(&energy[a])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+
+    let section = |out: &mut Vec<u8>, declared: usize, raw: &[u8]| {
+        let packed = compress_parallel(raw, CompressionLevel::Default);
+        push_u64(out, declared);
+        push_u64(out, packed.len());
+        out.extend_from_slice(&packed);
+        out.extend_from_slice(&crc32(&packed).to_le_bytes());
+    };
+
+    let mut out = Vec::new();
+    out.extend_from_slice(PROGRESSIVE_MAGIC);
+    out.push(PROGRESSIVE_VERSION);
+    out.push(data.dims.len() as u8);
+    for &d in &data.dims {
+        push_u64(&mut out, d);
+    }
+    push_u64(&mut out, data.orig_len);
+    push_u64(&mut out, data.m);
+    push_u64(&mut out, data.n);
+    push_u64(&mut out, data.pad);
+    out.extend_from_slice(&data.norm_min.to_le_bytes());
+    out.extend_from_slice(&data.norm_range.to_le_bytes());
+    push_u64(&mut out, data.k);
+    out.push(data.transform_tag);
+    out.push(data.dwt_levels);
+    out.extend_from_slice(&data.p.to_le_bytes());
+    out.push(u8::from(data.scores.wide_index));
+    out.push(u8::from(data.standardized));
+
+    let mut model = Vec::with_capacity((data.basis.len() + 2 * data.mean.len()) * 4);
+    for &v in data.basis.iter().chain(&data.mean).chain(&data.scale) {
+        model.extend_from_slice(&v.to_le_bytes());
+    }
+    section(&mut out, model.len(), &model);
+    let model_end = out.len();
+
+    let mut layout = ProgressiveLayout {
+        model_end,
+        components: Vec::with_capacity(k),
+    };
+    for &col in &order {
+        push_u64(&mut out, col);
+        section(&mut out, col_indices[col].len(), &col_indices[col]);
+        let ob: Vec<u8> = col_outliers[col]
+            .iter()
+            .flat_map(|v| v.to_le_bytes())
+            .collect();
+        section(&mut out, col_outliers[col].len(), &ob);
+        layout.components.push(ComponentSpan {
+            end: out.len(),
+            energy: energy[col],
+        });
+    }
+    (out, layout)
+}
+
+/// Parse a progressive stream, reconstructing a [`ContainerData`] from the
+/// first `max_components` stored components (all of them when `None`).
+/// Returns the payload — with `k` shrunk to the decoded component count and
+/// the basis/index/outlier payload reassembled to match — plus the number
+/// of components actually used. A truncated stream that still contains the
+/// model and at least the requested components decodes fine: parsing never
+/// looks past the last section it needs.
+pub fn deserialize_progressive(
+    bytes: &[u8],
+    max_components: Option<usize>,
+) -> Result<(ContainerData, usize), DpzError> {
+    let mut cur = Cursor { buf: bytes, pos: 0 };
+    if cur.take(4)? != PROGRESSIVE_MAGIC {
+        return Err(DpzError::Corrupt("bad magic"));
+    }
+    if cur.u8()? != PROGRESSIVE_VERSION {
+        return Err(DpzError::Corrupt("unsupported version"));
+    }
+    let ndims = cur.u8()? as usize;
+    if ndims == 0 || ndims > 8 {
+        return Err(DpzError::Corrupt("implausible dimensionality"));
+    }
+    let mut dims = Vec::with_capacity(ndims);
+    for _ in 0..ndims {
+        dims.push(cur.u64()?);
+    }
+    let orig_len = cur.u64()?;
+    let m = cur.u64()?;
+    let n = cur.u64()?;
+    let pad = cur.u64()?;
+    let norm_min = cur.f64()?;
+    let norm_range = cur.f64()?;
+    let k = cur.u64()?;
+    let transform_tag = cur.u8()?;
+    let dwt_levels = cur.u8()?;
+    if transform_tag > 1 || (transform_tag == 0 && dwt_levels != 0) {
+        return Err(DpzError::Corrupt("unknown stage-1 transform"));
+    }
+    let p = cur.f64()?;
+    let wide_index = cur.u8()? != 0;
+    let standardized = cur.u8()? != 0;
+    if checked_product(&dims, "dims overflow")? != orig_len {
+        return Err(DpzError::Corrupt("dims do not match length"));
+    }
+    if m == 0
+        || n == 0
+        || orig_len
+            .checked_add(pad)
+            .is_none_or(|padded| m.checked_mul(n) != Some(padded))
+    {
+        return Err(DpzError::Corrupt("inconsistent block shape"));
+    }
+    if k == 0 || k > m {
+        return Err(DpzError::Corrupt("invalid component count"));
+    }
+    #[allow(clippy::neg_cmp_op_on_partial_ord)]
+    if !(p > 0.0) || !p.is_finite() {
+        return Err(DpzError::Corrupt("invalid error bound"));
+    }
+    #[allow(clippy::neg_cmp_op_on_partial_ord)]
+    if !norm_min.is_finite() || !(norm_range > 0.0) || !norm_range.is_finite() {
+        return Err(DpzError::Corrupt("invalid normalization"));
+    }
+
+    let mk = checked_product(&[m, k], "model size overflow")?;
+    let expected_model = mk
+        .checked_add(m)
+        .and_then(|v| v.checked_add(if standardized { m } else { 0 }))
+        .and_then(|v| v.checked_mul(4))
+        .ok_or(DpzError::Corrupt("model size overflow"))?;
+    let model_raw = cur.u64()?;
+    if model_raw != expected_model {
+        return Err(DpzError::Corrupt("model section shape mismatch"));
+    }
+    let model = cur.section(
+        expected_model,
+        true,
+        LosslessBackend::Deflate,
+        "model section checksum mismatch",
+    )?;
+    let model_f = f32s_from(&model);
+    let full_basis = &model_f[..mk];
+    let mean = model_f[mk..mk + m].to_vec();
+    let scale = if standardized {
+        model_f[mk + m..].to_vec()
+    } else {
+        Vec::new()
+    };
+
+    let take_k = max_components.unwrap_or(k).min(k).max(1);
+    let width = if wide_index { 2 } else { 1 };
+    let per_col_indices = checked_product(&[n, width], "index size overflow")?;
+    let escape = if wide_index {
+        u16::MAX
+    } else {
+        u16::from(u8::MAX)
+    };
+
+    let mut cols = Vec::with_capacity(take_k);
+    let mut col_streams: Vec<Vec<u8>> = Vec::with_capacity(take_k);
+    let mut col_outliers: Vec<Vec<f32>> = Vec::with_capacity(take_k);
+    let mut seen = vec![false; k];
+    for _ in 0..take_k {
+        let col = cur.u64()?;
+        if col >= k || seen[col] {
+            return Err(DpzError::Corrupt("invalid progressive column id"));
+        }
+        seen[col] = true;
+        let idx_raw = cur.u64()?;
+        if idx_raw != per_col_indices {
+            return Err(DpzError::Corrupt("index stream length mismatch"));
+        }
+        let stream = cur.section(
+            per_col_indices,
+            true,
+            LosslessBackend::Deflate,
+            "index section checksum mismatch",
+        )?;
+        let n_escapes = stream
+            .chunks_exact(width)
+            .filter(|c| {
+                let code = if width == 2 {
+                    u16::from_le_bytes([c[0], c[1]])
+                } else {
+                    u16::from(c[0])
+                };
+                code == escape
+            })
+            .count();
+        let n_out = cur.u64()?;
+        if n_out != n_escapes {
+            return Err(DpzError::Corrupt("implausible outlier count"));
+        }
+        let ob = cur.section(
+            checked_product(&[n_out, 4], "outlier size overflow")?,
+            true,
+            LosslessBackend::Deflate,
+            "outlier section checksum mismatch",
+        )?;
+        cols.push(col);
+        col_streams.push(stream);
+        col_outliers.push(f32s_from(&ob));
+    }
+
+    // Reassemble a row-major n×take_k index stream and scan-order outliers.
+    let mut indices = Vec::with_capacity(n * take_k * width);
+    let mut outliers = Vec::new();
+    let mut next: Vec<std::slice::Iter<'_, f32>> =
+        col_outliers.iter().map(|v| v.iter()).collect();
+    for row in 0..n {
+        for (j, stream) in col_streams.iter().enumerate() {
+            let cell = &stream[row * width..(row + 1) * width];
+            indices.extend_from_slice(cell);
+            let code = if width == 2 {
+                u16::from_le_bytes([cell[0], cell[1]])
+            } else {
+                u16::from(cell[0])
+            };
+            if code == escape {
+                // Count was validated against the escapes above.
+                outliers.push(*next[j].next().ok_or(DpzError::Corrupt(
+                    "implausible outlier count",
+                ))?);
+            }
+        }
+    }
+    // Select the decoded components' basis columns, in stored order.
+    let mut basis = Vec::with_capacity(m * take_k);
+    for i in 0..m {
+        for &c in &cols {
+            basis.push(full_basis[i * k + c]);
+        }
+    }
+
+    let bins = if wide_index {
+        u32::from(u16::MAX)
+    } else {
+        u32::from(u8::MAX)
+    };
+    let scores = QuantizedScores {
+        indices,
+        wide_index,
+        outliers,
+        p,
+        bins,
+        len: n * take_k,
+    };
+    Ok((
+        ContainerData {
+            dims,
+            orig_len,
+            m,
+            n,
+            pad,
+            norm_min,
+            norm_range,
+            k: take_k,
+            transform_tag,
+            dwt_levels,
+            p,
+            standardized,
+            basis,
+            mean,
+            scale,
+            scores,
+        },
+        take_k,
+    ))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -874,5 +1220,61 @@ mod tests {
             sizes.model_raw + sizes.indices_raw + sizes.outliers_raw
         );
         assert!(sizes.total_packed() > 0);
+    }
+
+    #[test]
+    fn progressive_full_decode_matches_original_scores() {
+        let data = sample_container();
+        let (bytes, layout) = serialize_progressive(&data);
+        assert_eq!(layout.components.len(), data.k);
+        assert_eq!(layout.components.last().unwrap().end, bytes.len());
+        // Energies are stored in descending order.
+        for w in layout.components.windows(2) {
+            assert!(w[0].energy >= w[1].energy);
+        }
+        let (full, used) = deserialize_progressive(&bytes, None).unwrap();
+        assert_eq!(used, data.k);
+        assert_eq!(full.dims, data.dims);
+        // All components present ⇒ the dequantized score grid matches the
+        // original up to column permutation; check total energy instead of
+        // byte equality.
+        let orig = dequantize_scores(&data.scores);
+        let got = dequantize_scores(&full.scores);
+        let e = |v: &[f64]| v.iter().map(|&x| x * x).sum::<f64>();
+        assert!((e(&orig) - e(&got)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn progressive_prefix_decodes_with_fewer_components() {
+        let data = sample_container();
+        let (bytes, layout) = serialize_progressive(&data);
+        // A prefix holding the model + first two components is enough.
+        let prefix = &bytes[..layout.components[1].end];
+        let (partial, used) = deserialize_progressive(prefix, Some(2)).unwrap();
+        assert_eq!(used, 2);
+        assert_eq!(partial.k, 2);
+        assert_eq!(partial.basis.len(), partial.m * 2);
+        assert_eq!(partial.scores.len, partial.n * 2);
+        // But three components cannot come out of that prefix.
+        assert!(deserialize_progressive(prefix, Some(3)).is_err());
+    }
+
+    #[test]
+    fn progressive_rejects_corrupt_column_ids_and_crc() {
+        let data = sample_container();
+        let (bytes, layout) = serialize_progressive(&data);
+        // The first component's column-id u64 sits right at model_end.
+        let mut evil = bytes.clone();
+        evil[layout.model_end..layout.model_end + 8]
+            .copy_from_slice(&u64::MAX.to_le_bytes());
+        assert!(matches!(
+            deserialize_progressive(&evil, None),
+            Err(DpzError::Corrupt("invalid progressive column id"))
+        ));
+        // A flipped byte inside a component payload trips that section's CRC.
+        let mut evil = bytes;
+        let mid = (layout.model_end + layout.components[0].end) / 2;
+        evil[mid] ^= 0xFF;
+        assert!(deserialize_progressive(&evil, None).is_err());
     }
 }

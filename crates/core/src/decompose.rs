@@ -279,9 +279,77 @@ fn transform_blocks(blocks: &Matrix, forward: bool) -> Matrix {
         .transpose()
 }
 
+/// Copy an axis-aligned sub-region (`lo..hi` per axis, row-major) out of a
+/// flattened array. The innermost axis is contiguous, so the copy walks an
+/// odometer over the outer axes and memcpys one innermost run per step.
+///
+/// Callers validate the region (`region.len() == dims.len()`, every range
+/// non-empty and within its axis); an empty range yields an empty result.
+pub fn extract_region(
+    values: &[f32],
+    dims: &[usize],
+    region: &[std::ops::Range<usize>],
+) -> Vec<f32> {
+    assert_eq!(dims.len(), region.len(), "region rank must match dims");
+    if region.iter().any(|r| r.start >= r.end) {
+        return Vec::new();
+    }
+    let out_len: usize = region.iter().map(|r| r.end - r.start).product();
+    let mut out = Vec::with_capacity(out_len);
+    let mut strides = vec![1usize; dims.len()];
+    for i in (0..dims.len() - 1).rev() {
+        strides[i] = strides[i + 1] * dims[i + 1];
+    }
+    let inner = dims.len() - 1;
+    let mut idx: Vec<usize> = region[..inner].iter().map(|r| r.start).collect();
+    loop {
+        let base: usize = idx
+            .iter()
+            .zip(&strides[..inner])
+            .map(|(i, s)| i * s)
+            .sum();
+        out.extend_from_slice(&values[base + region[inner].start..base + region[inner].end]);
+        let mut axis = inner;
+        loop {
+            if axis == 0 {
+                return out;
+            }
+            axis -= 1;
+            idx[axis] += 1;
+            if idx[axis] < region[axis].end {
+                break;
+            }
+            idx[axis] = region[axis].start;
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn extract_region_crops_rectangles() {
+        // 3x4: rows of 4.
+        let vals: Vec<f32> = (0..12).map(|i| i as f32).collect();
+        let got = extract_region(&vals, &[3, 4], &[1..3, 1..3]);
+        assert_eq!(got, vec![5.0, 6.0, 9.0, 10.0]);
+        // Whole array.
+        assert_eq!(extract_region(&vals, &[3, 4], &[0..3, 0..4]), vals);
+        // 1-D slice.
+        assert_eq!(extract_region(&vals, &[12], &[3..6]), vec![3.0, 4.0, 5.0]);
+        // Empty range -> empty output.
+        assert!(extract_region(&vals, &[3, 4], &[1..1, 0..4]).is_empty());
+    }
+
+    #[test]
+    fn extract_region_handles_three_axes() {
+        // 2x3x4 row-major.
+        let vals: Vec<f32> = (0..24).map(|i| i as f32).collect();
+        let got = extract_region(&vals, &[2, 3, 4], &[1..2, 0..2, 2..4]);
+        // Plane 1, rows 0..2, cols 2..4: offsets 12+{2,3,6,7}.
+        assert_eq!(got, vec![14.0, 15.0, 18.0, 19.0]);
+    }
 
     #[test]
     fn paper_examples_reproduced() {

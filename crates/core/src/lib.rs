@@ -58,10 +58,14 @@ pub mod sampling;
 pub mod stage;
 
 pub use chunked::{
-    compress_chunked, decompress_chunk, decompress_chunked, decompress_chunked_with_info,
+    compress_chunked, compress_progressive, decompress_chunk, decompress_chunk_from,
+    decompress_chunked, decompress_chunked_with_info, decompress_progressive, decompress_region,
+    decompress_region_from, reencode_legacy, ChunkEntry, ChunkedCompressed, ComponentEntry,
+    ProgressiveDecoded, ProgressiveEntry, SeekableIndex, FLAG_PROGRESSIVE,
 };
 pub use config::{DpzConfig, KSelection, Scheme, Stage1Transform, Standardize, TveLevel};
-pub use container::{ContainerInfo, DpzError, LosslessBackend};
+pub use container::{ComponentSpan, ContainerInfo, DpzError, LosslessBackend, ProgressiveLayout};
+pub use decompose::extract_region;
 pub use pipeline::{
     compress, compress_with_breakdown, decompress, decompress_with_info, Compressed,
     CompressionBreakdown, CompressionStats, NumericOutcome, PipelinePlan, StageTimings,

@@ -418,6 +418,15 @@ pub struct NumericOutcome {
     orig_bytes: usize,
 }
 
+impl NumericOutcome {
+    /// Hand the stage-1–3 payload to an alternative entropy coder — the
+    /// chunked driver's progressive writer serializes it per-component
+    /// instead of through [`PipelinePlan::encode`].
+    pub(crate) fn into_payload(self) -> ContainerData {
+        self.payload
+    }
+}
+
 /// A planned compression: shape and transform resolved once for a given
 /// `(length, config)`, executable against any number of equal-length
 /// buffers. Scratch storage is recycled through a shared [`BufferPool`], so
@@ -754,6 +763,14 @@ fn expand_scores(scores: &Matrix, payload: &ContainerData) -> Result<Vec<f32>, D
             payload.orig_len,
         ))
     }
+}
+
+/// [`reconstruct`] for sibling modules that hold a payload decoded outside
+/// the DPZ1 path (the chunked driver's progressive streams).
+pub(crate) fn reconstruct_values(
+    payload: &ContainerData,
+) -> Result<(Vec<f32>, Vec<usize>), DpzError> {
+    reconstruct(payload).map(|(v, d, _)| (v, d))
 }
 
 /// Shared reconstruction path. Also returns the de-quantized scores matrix

@@ -24,6 +24,11 @@
 //! 6. **Backend-flag attack**: a v3 section's lossless-backend byte is
 //!    swapped (Deflate ↔ tANS) or forged to an unknown id; non-v3 streams
 //!    get the container version byte forged instead.
+//! 7. **Footer attack**: a v4 DPZC stream's index footer is truncated, has
+//!    an offset/length field forged (with the footer CRC recomputed so
+//!    parsing reaches the field validation), gets its stored CRC flipped,
+//!    or has footer records permuted. Streams without a v4 tail get their
+//!    version byte forged instead.
 //!
 //! Every mutated stream is fed to the real decoder under
 //! `std::panic::catch_unwind`; a panic fails the run with the format, seed
@@ -93,7 +98,11 @@ impl Format {
             // magic(4) ver(1) ndims(1) dims(2×8) orig(8) m(8) n(8) pad(8)
             // norm(16) k(8) flags(2+8+2) model_raw(8) model_packed(8)
             Format::Dpz => &[6, 14, 22, 30, 38, 46, 70, 90, 98],
-            // magic(4) ver(1) ndims(1) dims(2×8) count(8) lens(8×count)
+            // v4: magic(4) ver(1) ndims(1) dims(2×8) flags(1) streams…
+            // The dims offsets are shared with the legacy v1/v2 layout
+            // (count/lens live in the tail footer now — mutation kind 7
+            // owns those); 22/30/38 land in the first chunk stream's own
+            // header, which is a DPZ1/DPZP fixed header.
             Format::Chunked => &[6, 14, 22, 30, 38],
             // magic(4) ndims(1) dims(8) eb(8) radius(4) pred(1) …
             Format::Sz => &[5, 13, 21, 26, 34],
@@ -205,11 +214,19 @@ impl Corpus {
             dpz_core::compress(&line, &[600], &cfg).unwrap().bytes,
             dpz_core::compress(&field, &[32, 32], &v3).unwrap().bytes,
         ];
+        let chunked_v4 = dpz_core::compress_chunked(&field, &[32, 32], &cfg, 2)
+            .unwrap()
+            .bytes;
         let chunked = vec![
-            dpz_core::compress_chunked(&field, &[32, 32], &cfg, 2)
+            chunked_v4.clone(),
+            dpz_core::compress_chunked(&field, &[32, 32], &v3, 2)
                 .unwrap()
                 .bytes,
-            dpz_core::compress_chunked(&field, &[32, 32], &v3, 2)
+            // The legacy v2 directory framing, still a live decode path.
+            dpz_core::reencode_legacy(&chunked_v4, 2).unwrap(),
+            // Progressive streams: energy-ordered components behind the
+            // same DPZC magic, with per-component spans in the footer.
+            dpz_core::compress_progressive(&field, &[32, 32], &cfg, 2)
                 .unwrap()
                 .bytes,
         ];
@@ -319,9 +336,39 @@ fn v3_section_flag_offsets(bytes: &[u8]) -> Vec<usize> {
     out
 }
 
+/// v4 DPZC tail layout (16 bytes): `footer_len u64 | footer_crc32 u32 |
+/// "DPZF"`.
+const DPZC_TAIL_LEN: usize = 16;
+
+/// The `[start, end)` span of a v4 DPZC stream's index footer, or `None`
+/// when `bytes` does not carry a well-formed v4 tail.
+fn dpzc_footer_span(bytes: &[u8]) -> Option<(usize, usize)> {
+    let n = bytes.len();
+    if n < 6 + DPZC_TAIL_LEN || &bytes[..4] != b"DPZC" || bytes[4] != 4 || &bytes[n - 4..] != b"DPZF"
+    {
+        return None;
+    }
+    let flen = u64::from_le_bytes(bytes[n - 16..n - 8].try_into().ok()?);
+    let flen = usize::try_from(flen).ok()?;
+    let end = n - DPZC_TAIL_LEN;
+    let start = end.checked_sub(flen)?;
+    (start >= 6).then_some((start, end))
+}
+
+/// Recompute the stored footer CRC after a deliberate footer edit, so the
+/// forged bytes reach the field validation instead of dying at the
+/// checksum gate.
+fn refresh_footer_crc(bytes: &mut [u8]) {
+    let n = bytes.len();
+    if let Some((start, end)) = dpzc_footer_span(bytes) {
+        let crc = crc32(&bytes[start..end]).to_le_bytes();
+        bytes[n - 8..n - 4].copy_from_slice(&crc);
+    }
+}
+
 /// Produce one mutated stream from a corpus entry.
 fn mutate(base: &[u8], format: Format, corpus: &Corpus, rng: &mut Xoshiro256) -> Vec<u8> {
-    match rng.below(6) {
+    match rng.below(7) {
         // Truncation: anywhere from empty to one-byte-short.
         0 => base[..rng.below(base.len().max(1))].to_vec(),
         // Structure-aware field substitution.
@@ -390,7 +437,7 @@ fn mutate(base: &[u8], format: Format, corpus: &Corpus, rng: &mut Xoshiro256) ->
         // (Deflate <-> tANS, so the right bytes hit the wrong decoder) or
         // forge an unknown backend id. Non-v3 streams get their container
         // version byte forged instead, exercising the version dispatch.
-        _ => {
+        5 => {
             let mut out = base.to_vec();
             let flags = v3_section_flag_offsets(&out);
             if flags.is_empty() {
@@ -406,6 +453,64 @@ fn mutate(base: &[u8], format: Format, corpus: &Corpus, rng: &mut Xoshiro256) ->
                 };
             }
             out
+        }
+        // Footer attack (v4 DPZC only): the index footer is the seekable
+        // trust anchor, so it gets its own mutation class. Streams without
+        // a v4 tail fall back to forging the version byte.
+        _ => {
+            let mut out = base.to_vec();
+            let Some((start, end)) = dpzc_footer_span(&out) else {
+                if out.len() > 4 {
+                    out[4] = (rng.next_u64() % 8) as u8;
+                }
+                return out;
+            };
+            match rng.below(4) {
+                // Truncate somewhere inside the footer or tail.
+                0 => {
+                    out.truncate(start + rng.below(out.len() - start));
+                    out
+                }
+                // Forge an 8-byte field (offset, length, rows, span end…)
+                // with an interesting integer; recompute the CRC so the
+                // value reaches the structural validation.
+                1 => {
+                    let span = end - start;
+                    if span >= 8 {
+                        let off = start + rng.below(span - 7);
+                        let v = if rng.below(4) == 0 {
+                            rng.next_u64()
+                        } else {
+                            INTERESTING[rng.below(INTERESTING.len())]
+                        };
+                        out[off..off + 8].copy_from_slice(&v.to_le_bytes());
+                        refresh_footer_crc(&mut out);
+                    }
+                    out
+                }
+                // Flip a bit in the stored footer CRC itself.
+                2 => {
+                    let n = out.len();
+                    out[n - 8 + rng.below(4)] ^= 1 << rng.below(8);
+                    out
+                }
+                // Swap two 16-byte records inside the footer (component
+                // spans, halves of chunk entries), CRC kept honest — the
+                // ordering invariants must catch it.
+                _ => {
+                    let span = end - start;
+                    if span >= 32 {
+                        let slots = span / 16;
+                        let a = start + 16 * rng.below(slots);
+                        let b = start + 16 * rng.below(slots);
+                        for i in 0..16 {
+                            out.swap(a + i, b + i);
+                        }
+                        refresh_footer_crc(&mut out);
+                    }
+                    out
+                }
+            }
         }
     }
 }
@@ -535,6 +640,68 @@ pub fn deflate_bomb_container(payload_mib: usize) -> Vec<u8> {
     out
 }
 
+/// A well-formed v4 chunked stream for the footer fixtures.
+fn seekable_fixture_base(progressive: bool) -> Vec<u8> {
+    let field: Vec<f32> = (0..1024)
+        .map(|i| {
+            let r = (i / 32) as f32;
+            let c = (i % 32) as f32;
+            (0.1 * r).sin() * 5.0 + (0.07 * c).cos() * 3.0
+        })
+        .collect();
+    let cfg = dpz_core::DpzConfig::loose();
+    if progressive {
+        dpz_core::compress_progressive(&field, &[32, 32], &cfg, 2)
+            .unwrap()
+            .bytes
+    } else {
+        dpz_core::compress_chunked(&field, &[32, 32], &cfg, 2)
+            .unwrap()
+            .bytes
+    }
+}
+
+/// A v4 chunked container cut off midway through its index footer: the
+/// tail magic is gone, so the stream must be rejected as corrupt — not
+/// parsed as a legacy directory, not panicked on.
+pub fn truncated_footer() -> Vec<u8> {
+    let mut out = seekable_fixture_base(false);
+    let (start, end) = dpzc_footer_span(&out).expect("v4 fixture has a footer");
+    out.truncate(start + (end - start) / 2);
+    out
+}
+
+/// A v4 chunked container whose second chunk's footer offset points past
+/// the payload, with the footer CRC recomputed so only the contiguity
+/// validation can catch the forgery.
+pub fn forged_footer_offset() -> Vec<u8> {
+    let mut out = seekable_fixture_base(false);
+    let (start, _) = dpzc_footer_span(&out).expect("v4 fixture has a footer");
+    // Footer layout: count u64, then 36-byte chunk records starting with
+    // the offset field.
+    let off = start + 8 + 36;
+    out[off..off + 8].copy_from_slice(&(u64::MAX / 2).to_le_bytes());
+    refresh_footer_crc(&mut out);
+    out
+}
+
+/// A progressive v4 container whose first chunk's component records are
+/// swapped (CRC kept honest): the energy-descending span order is broken,
+/// so the footer must be rejected as an invalid progressive layout.
+pub fn permuted_component_order() -> Vec<u8> {
+    let mut out = seekable_fixture_base(true);
+    let (start, _) = dpzc_footer_span(&out).expect("v4 fixture has a footer");
+    let count = u64::from_le_bytes(out[start..start + 8].try_into().unwrap()) as usize;
+    // Component records for chunk 0 sit after the chunk table and the
+    // chunk's own k/model_end pair.
+    let comp0 = start + 8 + count * 36 + 16;
+    for i in 0..16 {
+        out.swap(comp0 + i, comp0 + 16 + i);
+    }
+    refresh_footer_crc(&mut out);
+    out
+}
+
 /// A structurally valid tANS stream whose decoder states are forged out of
 /// the table range (`state < 1<<table_log` or `>= 2<<table_log`). Decode
 /// must reject it up front, never index a table out of bounds.
@@ -625,6 +792,37 @@ mod tests {
             try_decode(Format::Tans, &tans_oversized_raw_len()),
             Outcome::Rejected
         ));
+    }
+
+    #[test]
+    fn footer_span_finder_matches_v4_layout() {
+        let corpus = Corpus::generate(5);
+        // v4 plain and progressive streams both expose a footer span.
+        for idx in [0usize, 3] {
+            let stream = &corpus.chunked[idx];
+            let (start, end) = dpzc_footer_span(stream).expect("v4 stream");
+            assert!(start < end && end == stream.len() - DPZC_TAIL_LEN);
+            let count = u64::from_le_bytes(stream[start..start + 8].try_into().unwrap());
+            assert_eq!(count, 2, "fixture writes two chunks");
+        }
+        // Legacy reencodes and other formats have none.
+        assert!(dpzc_footer_span(&corpus.chunked[2]).is_none());
+        assert!(dpzc_footer_span(&corpus.dpz[0]).is_none());
+    }
+
+    #[test]
+    fn crafted_footer_fixtures_are_rejected() {
+        for (name, bytes) in [
+            ("truncated_footer", truncated_footer()),
+            ("forged_footer_offset", forged_footer_offset()),
+            ("permuted_component_order", permuted_component_order()),
+        ] {
+            match try_decode(Format::Chunked, &bytes) {
+                Outcome::Rejected => {}
+                Outcome::Accepted => panic!("{name}: forged stream must not decode"),
+                Outcome::Panicked(m) => panic!("{name}: decoder panicked: {m}"),
+            }
+        }
     }
 
     #[test]

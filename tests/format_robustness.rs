@@ -97,6 +97,36 @@ fn overflowing_chunk_lengths_are_rejected() {
 }
 
 #[test]
+fn forged_v4_footers_are_rejected_on_every_entry_point() {
+    // The index footer is the seekable format's trust anchor: a truncated
+    // footer, a forged chunk offset (CRC recomputed so only the structural
+    // validation can catch it), and a permuted progressive component order
+    // must all come back as errors — from the full decode and from the
+    // random-access paths alike.
+    for (name, bytes) in [
+        ("truncated_footer", dpz_fuzz::truncated_footer()),
+        ("forged_footer_offset", dpz_fuzz::forged_footer_offset()),
+        (
+            "permuted_component_order",
+            dpz_fuzz::permuted_component_order(),
+        ),
+    ] {
+        assert!(
+            dpz::core::decompress_chunked(&bytes).is_err(),
+            "{name}: full decode must reject"
+        );
+        assert!(
+            dpz::core::decompress_chunk(&bytes, 0).is_err(),
+            "{name}: chunk retrieval must reject"
+        );
+        assert!(
+            dpz::core::decompress_region(&bytes, &[0..1, 0..1]).is_err(),
+            "{name}: region retrieval must reject"
+        );
+    }
+}
+
+#[test]
 fn max_ndims_header_is_rejected() {
     // ndims = 255 with a stream far too short to hold 255 dim fields.
     let mut stream = b"DPZ1".to_vec();
