@@ -32,6 +32,27 @@ struct Measurement {
     mb_per_s: f64,
 }
 
+/// Stage-level wall clock of a compress path's best run, in pipeline
+/// order. Emitted under `stages` in the gate JSON so a PR's effect on the
+/// *composition* of the time (eigensolve share vs entropy share, …) is
+/// visible in the checked-in baselines, not just the totals.
+const STAGE_NAMES: [&str; 5] = ["decompose_dct", "sampling", "pca", "quantize", "lossless"];
+
+struct StageRow {
+    name: &'static str,
+    ms: [f64; 5],
+}
+
+fn stage_ms(t: &dpz_core::StageTimings) -> [f64; 5] {
+    [
+        t.decompose_dct.as_secs_f64() * 1e3,
+        t.sampling.as_secs_f64() * 1e3,
+        t.pca.as_secs_f64() * 1e3,
+        t.quantize.as_secs_f64() * 1e3,
+        t.lossless.as_secs_f64() * 1e3,
+    ]
+}
+
 /// Best-of-N wall-clock milliseconds of `f` (one warmup call first).
 fn best_of<F: FnMut()>(samples: usize, mut f: F) -> f64 {
     f();
@@ -44,8 +65,26 @@ fn best_of<F: FnMut()>(samples: usize, mut f: F) -> f64 {
         .fold(f64::INFINITY, f64::min)
 }
 
+/// Best-of-N compress wall clock plus the stage timings of that fastest
+/// run (the same run supplies both, so the breakdown sums to ~the total).
+fn best_compress(samples: usize, data: &[f32], dims: &[usize], cfg: &DpzConfig) -> (f64, [f64; 5]) {
+    dpz_core::compress(data, dims, cfg).unwrap(); // warmup
+    let mut best = f64::INFINITY;
+    let mut stages = [0.0; 5];
+    for _ in 0..samples {
+        let t = Instant::now();
+        let c = dpz_core::compress(black_box(data), dims, cfg).unwrap();
+        let ms = t.elapsed().as_secs_f64() * 1e3;
+        if ms < best {
+            best = ms;
+            stages = stage_ms(&c.stats.timings);
+        }
+    }
+    (best, stages)
+}
+
 /// Measure every gated path on the bench_pipeline dataset.
-fn measure(samples: usize) -> Vec<Measurement> {
+fn measure(samples: usize) -> (Vec<Measurement>, Vec<StageRow>) {
     let ds = Dataset::generate(DatasetKind::Cldhgh, Scale::Small, 2021);
     let mb = ds.nbytes() as f64 / 1e6;
     let loose = DpzConfig::loose().with_tve(TveLevel::FiveNines);
@@ -56,6 +95,7 @@ fn measure(samples: usize) -> Vec<Measurement> {
         .bytes;
 
     let mut out = Vec::new();
+    let mut stages = Vec::new();
     let mut record = |name, ms| {
         out.push(Measurement {
             name,
@@ -63,18 +103,18 @@ fn measure(samples: usize) -> Vec<Measurement> {
             mb_per_s: mb / (ms / 1e3),
         });
     };
-    record(
-        "compress_dpz_loose",
-        best_of(samples, || {
-            dpz_core::compress(black_box(&ds.data), &ds.dims, &loose).unwrap();
-        }),
-    );
-    record(
-        "compress_dpz_strict",
-        best_of(samples, || {
-            dpz_core::compress(black_box(&ds.data), &ds.dims, &strict).unwrap();
-        }),
-    );
+    let (ms, breakdown) = best_compress(samples, &ds.data, &ds.dims, &loose);
+    record("compress_dpz_loose", ms);
+    stages.push(StageRow {
+        name: "compress_dpz_loose",
+        ms: breakdown,
+    });
+    let (ms, breakdown) = best_compress(samples, &ds.data, &ds.dims, &strict);
+    record("compress_dpz_strict", ms);
+    stages.push(StageRow {
+        name: "compress_dpz_strict",
+        ms: breakdown,
+    });
     record(
         "decompress_dpz_strict",
         best_of(samples, || {
@@ -87,14 +127,14 @@ fn measure(samples: usize) -> Vec<Measurement> {
             dpz_sz::compress(black_box(&ds.data), &ds.dims, &sz_cfg);
         }),
     );
-    out
+    (out, stages)
 }
 
 /// The fresh measurements as the JSON `gate` document the baseline embeds.
 /// The `host` section records the kernel backend and worker count the
 /// numbers were taken with, so a later gate run can refuse to compare
 /// across incompatible hosts.
-fn to_json(samples: usize, measured: &[Measurement]) -> String {
+fn to_json(samples: usize, measured: &[Measurement], stages: &[StageRow]) -> String {
     let mut s = String::from("{\n");
     s.push_str(&format!("  \"samples\": {samples},\n"));
     s.push_str(&format!(
@@ -109,6 +149,18 @@ fn to_json(samples: usize, measured: &[Measurement]) -> String {
             "    \"{}\": {{ \"ms\": {:.3}, \"mb_per_s\": {:.1} }}{sep}\n",
             m.name, m.ms, m.mb_per_s
         ));
+    }
+    s.push_str("  },\n");
+    s.push_str("  \"stages\": {\n");
+    for (i, row) in stages.iter().enumerate() {
+        let sep = if i + 1 == stages.len() { "" } else { "," };
+        let fields = STAGE_NAMES
+            .iter()
+            .zip(row.ms)
+            .map(|(stage, ms)| format!("\"{stage}\": {ms:.3}"))
+            .collect::<Vec<_>>()
+            .join(", ");
+        s.push_str(&format!("    \"{}\": {{ {fields} }}{sep}\n", row.name));
     }
     s.push_str("  }\n}\n");
     s
@@ -227,7 +279,7 @@ fn main() {
     if with_trace {
         dpz_telemetry::trace::start();
     }
-    let measured = measure(samples);
+    let (measured, stages) = measure(samples);
     if with_trace {
         dpz_telemetry::trace::stop();
         let trace = dpz_telemetry::trace::drain();
@@ -245,8 +297,17 @@ fn main() {
             m.name, m.ms, m.mb_per_s
         );
     }
+    for row in &stages {
+        let fields = STAGE_NAMES
+            .iter()
+            .zip(row.ms)
+            .map(|(stage, ms)| format!("{stage} {ms:.2}"))
+            .collect::<Vec<_>>()
+            .join("  ");
+        println!("  {:<24} [{fields}]", row.name);
+    }
     if let Some(path) = &out {
-        std::fs::write(path, to_json(samples, &measured))
+        std::fs::write(path, to_json(samples, &measured, &stages))
             .unwrap_or_else(|e| fail(&format!("write {path}: {e}")));
         println!("wrote {path}");
     }
@@ -297,9 +358,24 @@ mod tests {
             fake("decompress_dpz_strict", 4.0),
             fake("sz_canary", 2.0),
         ];
-        let doc = json::parse(&to_json(5, &base)).unwrap();
+        let stage_rows = vec![StageRow {
+            name: "compress_dpz_loose",
+            ms: [1.0, 0.5, 2.0, 0.25, 0.75],
+        }];
+        let doc = json::parse(&to_json(5, &base, &stage_rows)).unwrap();
         assert_eq!(doc.get("samples").and_then(JsonValue::as_f64), Some(5.0));
         assert_eq!(baseline_ms(&doc, "sz_canary"), Some(2.0));
+
+        // The per-stage breakdown round-trips alongside the gate totals
+        // and uses the pipeline stage names.
+        let row = doc
+            .get("stages")
+            .and_then(|s| s.get("compress_dpz_loose"))
+            .expect("stages.compress_dpz_loose");
+        assert_eq!(row.get("pca").and_then(JsonValue::as_f64), Some(2.0));
+        for stage in STAGE_NAMES {
+            assert!(row.get(stage).is_some(), "missing stage {stage}");
+        }
 
         // Identical fresh run: nothing regresses.
         assert!(regressions(&base, &doc, 10.0).unwrap().is_empty());

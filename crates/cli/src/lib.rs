@@ -1116,7 +1116,11 @@ mod tests {
         // Region crossing a chunk boundary.
         let out = dir.join("region.f32").to_string_lossy().into_owned();
         let msg = run(&s(&[
-            "decompress", &packed, &out, "--region", "10..20,30..60",
+            "decompress",
+            &packed,
+            &out,
+            "--region",
+            "10..20,30..60",
         ]))
         .unwrap();
         assert!(
@@ -1127,7 +1131,13 @@ mod tests {
 
         // Retrieval flags are mutually exclusive and validated.
         let e = run(&s(&[
-            "decompress", &packed, &out, "--chunk", "0", "--region", "0..1,0..1",
+            "decompress",
+            &packed,
+            &out,
+            "--chunk",
+            "0",
+            "--region",
+            "0..1,0..1",
         ]))
         .unwrap_err();
         assert!(e.0.contains("mutually exclusive"), "{}", e.0);
@@ -1189,7 +1199,12 @@ mod tests {
 
         // --progressive outside dpzc is rejected.
         let e = run(&s(&[
-            "compress", &raw, &packed, "--dims", "45x90", "--progressive",
+            "compress",
+            &raw,
+            &packed,
+            "--dims",
+            "45x90",
+            "--progressive",
         ]))
         .unwrap_err();
         assert!(e.0.contains("--progressive"), "{}", e.0);

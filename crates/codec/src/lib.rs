@@ -30,8 +30,8 @@ mod registry;
 mod wrappers;
 
 pub use auto::{AutoCodec, Selection};
-pub use dpz_core::ProgressiveDecoded;
 pub use dpz_core::stage::{BufferPool, Stage, StageGraph, StageTrace};
+pub use dpz_core::ProgressiveDecoded;
 pub use dpz_core::{CompressionStats, ContainerInfo, DpzError, PipelinePlan};
 pub use registry::{Format, Registry};
 pub use wrappers::{DpzChunkedCodec, DpzCodec, SzCodec, ZfpCodec};

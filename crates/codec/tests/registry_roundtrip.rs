@@ -161,7 +161,9 @@ fn progressive_codec_round_trips_and_supports_budgets() {
 
     let codec = dpz_codec::DpzChunkedCodec::progressive(dpz_core::DpzConfig::loose(), 4);
     let mut bytes = Vec::new();
-    let stats = codec.compress_into(&data, &dims, &mut bytes).expect("compress");
+    let stats = codec
+        .compress_into(&data, &dims, &mut bytes)
+        .expect("compress");
     assert_eq!(stats.codec, "dpzc");
     assert!(stats.dpz.is_none(), "progressive has no stage stats");
 

@@ -59,6 +59,7 @@ use crate::decompose::extract_region;
 use crate::pipeline::{decompress, decompress_with_info, Compressed, PipelinePlan};
 use crate::stage::BufferPool;
 use dpz_deflate::crc32;
+use dpz_linalg::SubspaceSeed;
 use dpz_telemetry::span;
 use rayon::prelude::*;
 use std::io::{Read, Seek, SeekFrom};
@@ -76,6 +77,12 @@ const VERSION_SEEKABLE: u8 = 4;
 const VERSION_CRC: u8 = 2;
 /// Oldest version the decoder still accepts (pre-checksum layout).
 const MIN_VERSION: u8 = 1;
+
+/// Projection wave width for the pipelined chunk driver. Deliberately a
+/// constant rather than `rayon::current_num_threads()`: the cross-chunk
+/// warm-start chain follows wave boundaries, so a thread-count-dependent
+/// width would make the compressed bytes depend on the host's core count.
+const PROJECT_WAVE: usize = 8;
 /// Container flag: chunks are progressive `DPZP` streams with per-component
 /// byte ranges in the footer.
 pub const FLAG_PROGRESSIVE: u8 = 1;
@@ -138,30 +145,44 @@ pub fn compress_chunked(
     };
 
     // Two-phase pipelined execution: each slab's numeric stages
-    // (DCT → PCA → quantize, via `PipelinePlan::project`) and its entropy
-    // coding (`PipelinePlan::encode`) are separate tasks. Slabs are taken
-    // in waves of one pool's width; `rayon::join` runs wave `w`'s entropy
+    // (DCT → PCA → quantize, via `PipelinePlan::project_warm`) and its
+    // entropy coding (`PipelinePlan::encode`) are separate tasks. Slabs are
+    // taken in fixed-width waves; `rayon::join` runs wave `w`'s entropy
     // coding concurrently with wave `w+1`'s numeric stages, so the DEFLATE
     // or tANS work of finished slabs overlaps the transform math of later
     // ones instead of serializing behind it. At most two waves of numeric
     // outcomes are ever alive — the bounded in-flight queue that keeps
-    // memory proportional to the pool width, not the chunk count.
-    // Each chunk's bytes come from the same project+encode pair `execute`
-    // runs, in chunk order, so the container is byte-identical to the
-    // sequential driver's.
-    let project_one = |(index, chunk): (usize, &[f32])| {
+    // memory proportional to the wave width, not the chunk count.
+    //
+    // Cross-chunk basis warm-start rides the same wave structure: the
+    // converged PCA sketch basis of wave `w`'s last full-size slab seeds
+    // every fit in wave `w+1`. The fitter's TVE gate rejects a seed whose
+    // subspace no longer explains the data (dissimilar consecutive chunks
+    // fall back to a cold randomized fit), so quality never depends on the
+    // handoff — only the iteration count does. The wave width is a fixed
+    // constant, NOT the rayon pool width: the warm-start chain (and thus
+    // every artifact byte) must be identical no matter how many threads the
+    // host has. Within a wave each slab sees the same seed, so per-chunk
+    // output is also independent of intra-wave scheduling. The container is
+    // therefore deterministic for a given input and config, but — unlike
+    // the pre-warm-start driver — chunk streams are no longer byte-equal to
+    // compressing each slab in isolation (the seed changes which basis the
+    // sketch converges to; the TVE certificate is unchanged).
+    let project_one = |(index, chunk): (usize, &[f32]), warm: Option<&SubspaceSeed>| {
         let mut chunk_span = dpz_telemetry::span::span("chunk");
         chunk_span.annotate("chunk", index as f64);
         chunk_span.annotate("bytes", (chunk.len() * 4) as f64);
         let rows = chunk.len() / rest;
         let mut slab_dims = dims.to_vec();
         slab_dims[0] = rows;
-        let plan = if chunk.len() == slab_values {
-            &full_plan
+        if chunk.len() == slab_values {
+            full_plan.project_warm(chunk, &slab_dims, warm)
         } else {
-            tail_plan.as_ref().expect("ragged tail was planned")
-        };
-        plan.project(chunk, &slab_dims)
+            // The ragged tail has a different block shape, so a full-slab
+            // basis can never seed it; fit cold and pass nothing on.
+            let plan = tail_plan.as_ref().expect("ragged tail was planned");
+            plan.project(chunk, &slab_dims).map(|o| (o, None))
+        }
     };
     let encode_wave = |outcomes: Vec<crate::pipeline::NumericOutcome>| -> Vec<Compressed> {
         outcomes
@@ -171,17 +192,18 @@ pub fn compress_chunked(
     };
 
     let slabs: Vec<(usize, &[f32])> = data.chunks(slab_values).enumerate().collect();
-    let wave = rayon::current_num_threads().max(1);
     let mut streams = Vec::with_capacity(slabs.len());
     let mut chunk_stats = Vec::with_capacity(slabs.len());
     let mut pending: Option<Vec<crate::pipeline::NumericOutcome>> = None;
-    for wave_slabs in slabs.chunks(wave) {
+    let mut warm: Option<SubspaceSeed> = None;
+    for wave_slabs in slabs.chunks(PROJECT_WAVE) {
+        let seed = warm.as_ref();
         let (encoded, projected) = rayon::join(
             || pending.take().map(&encode_wave),
             || {
                 wave_slabs
                     .par_iter()
-                    .map(|&s| project_one(s))
+                    .map(|&s| project_one(s, seed))
                     .collect::<Vec<Result<_, DpzError>>>()
             },
         );
@@ -190,8 +212,18 @@ pub fn compress_chunked(
             chunk_stats.push(c.stats);
         }
         let mut wave_outcomes = Vec::with_capacity(projected.len());
+        let mut wave_basis: Option<SubspaceSeed> = None;
         for r in projected {
-            wave_outcomes.push(r?);
+            let (outcome, basis) = r?;
+            // Last full-size slab's converged basis seeds the next wave; a
+            // wave that produced none (dense routing) keeps the prior seed.
+            if basis.is_some() {
+                wave_basis = basis;
+            }
+            wave_outcomes.push(outcome);
+        }
+        if wave_basis.is_some() {
+            warm = wave_basis;
         }
         pending = Some(wave_outcomes);
     }
@@ -590,9 +622,7 @@ impl SeekableIndex {
         let mut dims = Vec::with_capacity(ndims);
         for c in rest_hdr[..8 * ndims].chunks_exact(8) {
             let v = u64::from_le_bytes(c.try_into().unwrap());
-            dims.push(
-                usize::try_from(v).map_err(|_| DpzError::Corrupt("size overflows usize"))?,
-            );
+            dims.push(usize::try_from(v).map_err(|_| DpzError::Corrupt("size overflows usize"))?);
         }
         let flags = rest_hdr[8 * ndims];
         let header_len = 6 + 8 * ndims + 1;
@@ -600,7 +630,8 @@ impl SeekableIndex {
             return Err(DpzError::Corrupt("truncated chunk footer"));
         }
 
-        r.seek(SeekFrom::End(-(TAIL_LEN as i64))).map_err(io_error)?;
+        r.seek(SeekFrom::End(-(TAIL_LEN as i64)))
+            .map_err(io_error)?;
         let mut tail = [0u8; TAIL_LEN];
         r.read_exact(&mut tail).map_err(io_error)?;
         if &tail[12..] != TAIL_MAGIC {
@@ -613,14 +644,14 @@ impl SeekableIndex {
             return Err(DpzError::Corrupt("truncated chunk footer"));
         }
         let footer_start = total_len - TAIL_LEN - footer_len;
-        r.seek(SeekFrom::Start(footer_start as u64)).map_err(io_error)?;
+        r.seek(SeekFrom::Start(footer_start as u64))
+            .map_err(io_error)?;
         let mut footer = vec![0u8; footer_len];
         r.read_exact(&mut footer).map_err(io_error)?;
         if crc32(&footer) != stored_crc {
             return Err(DpzError::Corrupt("footer checksum mismatch"));
         }
-        let (chunks, progressive) =
-            parse_footer(&footer, &dims, flags, header_len, footer_start)?;
+        let (chunks, progressive) = parse_footer(&footer, &dims, flags, header_len, footer_start)?;
         Ok(SeekableIndex {
             dims,
             flags,
@@ -1079,9 +1110,8 @@ pub fn decompress_region_from<R: Read + Seek>(
         for (i, local_rows) in selected {
             let e = index.chunks[i];
             let stream = index.read_chunk(r, i)?;
-            let part = decode_stream(&stream).and_then(|(v, slab_dims, _)| {
-                crop_chunk(&v, &slab_dims, &e, local_rows, region)
-            });
+            let part = decode_stream(&stream)
+                .and_then(|(v, slab_dims, _)| crop_chunk(&v, &slab_dims, &e, local_rows, region));
             parts.push(part);
         }
         stitch_region_parts(parts, region)
@@ -1371,6 +1401,127 @@ mod tests {
         assert_eq!(a, b, "single chunk must reproduce the plain pipeline");
     }
 
+    /// 16 slabs of 128 rows x 256 cols: each slab decomposes to M = 128
+    /// blocks, which routes stage 2 through the randomized range-finder
+    /// (sketch·4 < M) — the shape the cross-wave warm-start rides on.
+    const WARM_ROWS_PER_CHUNK: usize = 128;
+    const WARM_COLS: usize = 256;
+    const WARM_CHUNKS: usize = 16;
+
+    #[test]
+    fn warm_start_chains_across_waves_on_similar_chunks() {
+        // Every chunk carries identical data, so wave 2's fits (chunks
+        // 8..16) are seeded with the exact converged basis of their own
+        // matrix — the warm path must engage and hit the TVE target on the
+        // first sketch.
+        let rows = WARM_ROWS_PER_CHUNK * WARM_CHUNKS;
+        let data: Vec<f32> = (0..rows * WARM_COLS)
+            .map(|i| {
+                let r = ((i / WARM_COLS) % WARM_ROWS_PER_CHUNK) as f32;
+                let c = (i % WARM_COLS) as f32;
+                (0.05 * r).sin() * 10.0
+                    + (0.04 * c).cos() * 5.0
+                    + (0.03 * r).cos() * (0.02 * c).sin() * 2.0
+            })
+            .collect();
+        let cfg = DpzConfig::loose().with_tve(TveLevel::FiveNines);
+        let before = dpz_telemetry::global().snapshot();
+        let out = compress_chunked(&data, &[rows, WARM_COLS], &cfg, WARM_CHUNKS).unwrap();
+        let delta = dpz_telemetry::global().snapshot().since(&before);
+        assert!(
+            delta.counter("dpz_pca_warm_hits_total", &[]).unwrap_or(0) >= 1,
+            "wave 2 should reuse the converged basis from wave 1"
+        );
+        // Quality certificate holds for every chunk, warm or cold.
+        let target = TveLevel::FiveNines.fraction();
+        for (i, s) in out.chunk_stats.iter().enumerate() {
+            assert!(
+                s.tve_achieved >= target,
+                "chunk {i} tve {} < {target}",
+                s.tve_achieved
+            );
+        }
+        let (recon, dims) = decompress_chunked(&out.bytes).unwrap();
+        assert_eq!(dims, vec![rows, WARM_COLS]);
+        let max_err = data
+            .iter()
+            .zip(&recon)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f32, f32::max);
+        assert!(max_err < 0.5, "round-trip error {max_err}");
+    }
+
+    #[test]
+    fn dissimilar_chunks_fall_back_to_cold_fits_with_no_quality_loss() {
+        // First half: smooth low-rank data. Second half: pseudo-noise with
+        // a completely different (much flatter) spectrum. The wave-2 warm
+        // seed comes from the smooth regime and cannot certify the noise
+        // chunks' TVE, so the fitter must fall back to cold fits — and
+        // those must be *identical* to compressing the noise half with no
+        // warm chain at all (the gate leaves no residue).
+        let rows = WARM_ROWS_PER_CHUNK * WARM_CHUNKS;
+        let half = rows / 2;
+        let mut state = 0x9E37_79B9_7F4A_7C15u64;
+        let mut noise = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 40) as f32 / (1u64 << 24) as f32 - 0.5
+        };
+        let data: Vec<f32> = (0..rows * WARM_COLS)
+            .map(|i| {
+                let r = i / WARM_COLS;
+                let c = (i % WARM_COLS) as f32;
+                if r < half {
+                    (0.05 * r as f32).sin() * 10.0 + (0.04 * c).cos() * 5.0
+                } else {
+                    noise() * 8.0
+                }
+            })
+            .collect();
+        let cfg = DpzConfig::loose().with_tve(TveLevel::FiveNines);
+        let before = dpz_telemetry::global().snapshot();
+        let out = compress_chunked(&data, &[rows, WARM_COLS], &cfg, WARM_CHUNKS).unwrap();
+        let delta = dpz_telemetry::global().snapshot().since(&before);
+        assert!(
+            delta
+                .counter("dpz_pca_warm_cold_fallbacks_total", &[])
+                .unwrap_or(0)
+                >= 1,
+            "noise chunks must reject the smooth-regime warm seed"
+        );
+        // No quality loss from the rejected handoff: every chunk still
+        // certifies the TVE target.
+        let target = TveLevel::FiveNines.fraction();
+        for (i, s) in out.chunk_stats.iter().enumerate() {
+            assert!(
+                s.tve_achieved >= target,
+                "chunk {i} tve {} < {target}",
+                s.tve_achieved
+            );
+        }
+        // Bitwise parity with a cold compression of the noise half alone:
+        // a gated-out warm seed must leave artifacts identical to never
+        // having offered one. (Chunks 8.. of the combined container line up
+        // with chunks 0.. of the standalone second half, whose first wave
+        // runs cold by construction.)
+        let cold = compress_chunked(
+            &data[half * WARM_COLS..],
+            &[half, WARM_COLS],
+            &cfg,
+            WARM_CHUNKS / 2,
+        )
+        .unwrap();
+        for i in 0..WARM_CHUNKS / 2 {
+            let (warm_vals, _) = decompress_chunk(&out.bytes, WARM_CHUNKS / 2 + i).unwrap();
+            let (cold_vals, _) = decompress_chunk(&cold.bytes, i).unwrap();
+            assert_eq!(
+                warm_vals, cold_vals,
+                "noise chunk {i} decoded differently under the warm chain"
+            );
+        }
+    }
+
     #[test]
     fn corrupt_directory_rejected() {
         let data = field(16, 16);
@@ -1598,6 +1749,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::single_range_in_vec_init)] // a 1-D region IS one range
     fn region_rejects_bad_ranges() {
         let data = field(16, 16);
         let out = compress_chunked(&data, &[16, 16], &DpzConfig::loose(), 2).unwrap();
@@ -1705,9 +1857,10 @@ mod tests {
         let entries = idx.progressive.as_ref().unwrap();
         assert!(entries[0].k >= 2, "need two components to permute");
         let n = out.bytes.len();
-        let footer_len =
-            usize::try_from(u64::from_le_bytes(out.bytes[n - 16..n - 8].try_into().unwrap()))
-                .unwrap();
+        let footer_len = usize::try_from(u64::from_le_bytes(
+            out.bytes[n - 16..n - 8].try_into().unwrap(),
+        ))
+        .unwrap();
         let footer_start = n - TAIL_LEN - footer_len;
         // First progressive record sits after count + per-chunk entries.
         let comp0 = footer_start + 8 + idx.chunks.len() * 36 + 16;

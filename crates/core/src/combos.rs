@@ -61,17 +61,17 @@ impl TransformCombo {
                 .then(KeepCoeffPrefix)
                 .then(DctInverse),
             TransformCombo::PcaOnly => StageGraph::new()
-                .then(PcaFit)
+                .then(PcaFit { full: false })
                 .then(PcaSelect)
                 .then(PcaInverse),
             TransformCombo::PcaOnDct => StageGraph::new()
                 .then(DctForward)
-                .then(PcaFit)
+                .then(PcaFit { full: false })
                 .then(PcaSelect)
                 .then(PcaInverse)
                 .then(DctInverse),
             TransformCombo::DctOnPca => StageGraph::new()
-                .then(PcaFit)
+                .then(PcaFit { full: true })
                 .then(PcaRotate)
                 .then(RowDctSelect)
                 .then(PcaInverse),
@@ -159,7 +159,16 @@ impl Stage<ComboCtx> for KeepCoeffPrefix {
 }
 
 /// Fit the PCA model on the current matrix (no transformation yet).
-struct PcaFit;
+///
+/// `full` marks graphs whose later stages rotate onto *all* `m` components
+/// (`PcaRotate` is a lossless change of basis) — those need the complete
+/// eigenbasis and always use the dense solver. Selection-only graphs keep
+/// just the leading `⌈m·f⌉` components, so they route through the same
+/// full/truncated/randomized crossover policy the compression pipeline's
+/// stage 2 uses ([`crate::pipeline::fit_for_rank`]).
+struct PcaFit {
+    full: bool,
+}
 
 impl Stage<ComboCtx> for PcaFit {
     fn name(&self) -> &'static str {
@@ -167,7 +176,16 @@ impl Stage<ComboCtx> for PcaFit {
     }
     fn execute(&self, ctx: &mut ComboCtx) -> Result<(), DpzError> {
         let mat = ctx.mat.as_ref().expect("working matrix present");
-        ctx.pca = Some(Pca::fit(mat, PcaOptions::default())?);
+        let (_, m) = mat.shape();
+        let pca = if self.full {
+            Pca::fit(mat, PcaOptions::default())?
+        } else {
+            let want = ((m as f64 * ctx.keep_fraction).round() as usize).clamp(1, m);
+            let (pca, _, _, _) =
+                crate::pipeline::fit_for_rank(mat, PcaOptions::default(), want, m, None, None)?;
+            pca
+        };
+        ctx.pca = Some(pca);
         Ok(())
     }
 }

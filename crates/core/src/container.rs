@@ -875,8 +875,7 @@ pub fn deserialize_progressive(
     // Reassemble a row-major n×take_k index stream and scan-order outliers.
     let mut indices = Vec::with_capacity(n * take_k * width);
     let mut outliers = Vec::new();
-    let mut next: Vec<std::slice::Iter<'_, f32>> =
-        col_outliers.iter().map(|v| v.iter()).collect();
+    let mut next: Vec<std::slice::Iter<'_, f32>> = col_outliers.iter().map(|v| v.iter()).collect();
     for row in 0..n {
         for (j, stream) in col_streams.iter().enumerate() {
             let cell = &stream[row * width..(row + 1) * width];
@@ -888,9 +887,11 @@ pub fn deserialize_progressive(
             };
             if code == escape {
                 // Count was validated against the escapes above.
-                outliers.push(*next[j].next().ok_or(DpzError::Corrupt(
-                    "implausible outlier count",
-                ))?);
+                outliers.push(
+                    *next[j]
+                        .next()
+                        .ok_or(DpzError::Corrupt("implausible outlier count"))?,
+                );
             }
         }
     }
@@ -1265,8 +1266,7 @@ mod tests {
         let (bytes, layout) = serialize_progressive(&data);
         // The first component's column-id u64 sits right at model_end.
         let mut evil = bytes.clone();
-        evil[layout.model_end..layout.model_end + 8]
-            .copy_from_slice(&u64::MAX.to_le_bytes());
+        evil[layout.model_end..layout.model_end + 8].copy_from_slice(&u64::MAX.to_le_bytes());
         assert!(matches!(
             deserialize_progressive(&evil, None),
             Err(DpzError::Corrupt("invalid progressive column id"))

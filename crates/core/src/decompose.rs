@@ -303,11 +303,7 @@ pub fn extract_region(
     let inner = dims.len() - 1;
     let mut idx: Vec<usize> = region[..inner].iter().map(|r| r.start).collect();
     loop {
-        let base: usize = idx
-            .iter()
-            .zip(&strides[..inner])
-            .map(|(i, s)| i * s)
-            .sum();
+        let base: usize = idx.iter().zip(&strides[..inner]).map(|(i, s)| i * s).sum();
         out.extend_from_slice(&values[base + region[inner].start..base + region[inner].end]);
         let mut axis = inner;
         loop {
@@ -337,7 +333,9 @@ mod tests {
         // Whole array.
         assert_eq!(extract_region(&vals, &[3, 4], &[0..3, 0..4]), vals);
         // 1-D slice.
-        assert_eq!(extract_region(&vals, &[12], &[3..6]), vec![3.0, 4.0, 5.0]);
+        #[allow(clippy::single_range_in_vec_init)] // a 1-D region IS one range
+        let got_1d = extract_region(&vals, &[12], &[3..6]);
+        assert_eq!(got_1d, vec![3.0, 4.0, 5.0]);
         // Empty range -> empty output.
         assert!(extract_region(&vals, &[3, 4], &[1..1, 0..4]).is_empty());
     }

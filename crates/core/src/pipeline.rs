@@ -23,7 +23,7 @@ use crate::kpca::select_k;
 use crate::quantize::{dequantize_scores, quantize_scores, QuantizedScores};
 use crate::sampling::{SamplingEstimate, SamplingStrategy};
 use crate::stage::{BufferPool, Stage, StageGraph, StageTrace};
-use dpz_linalg::{Matrix, Pca, PcaOptions};
+use dpz_linalg::{Matrix, Pca, PcaOptions, RangeFinderOptions, SubspaceSeed};
 use dpz_telemetry::span;
 use std::sync::Arc;
 use std::time::Duration;
@@ -137,6 +137,75 @@ const STAGE2_NAME: &str = "stage2.pca";
 const STAGE3_NAME: &str = "stage3.quantize";
 const LOSSLESS_NAME: &str = "lossless";
 
+/// Fixed randomized range-finder configuration shared by every fit the
+/// pipeline routes through the sketched path. The seed is a compile-time
+/// constant so artifacts are deterministic across runs, thread counts, and
+/// kernel backends — the probe stream never depends on anything ambient.
+/// Oversampling is tighter than the library default: every product in the
+/// fit scales with the sketch width, and the one power iteration plus the
+/// conservative Ritz-TVE rank selection already absorb the accuracy the
+/// extra probes would buy.
+pub(crate) const RF_OPTS: RangeFinderOptions = RangeFinderOptions {
+    oversample: 8,
+    power_iters: 1,
+    seed: 0x5EED_0D12_F00D_CAFE,
+};
+
+/// Below this feature count the sketched path cannot beat the dense
+/// solvers: the sketch width (k + oversample) stops being ≪ M and the
+/// range-finder's own orthogonalization dominates.
+pub(crate) const RANDOMIZED_MIN_M: usize = 64;
+
+/// Crossover policy for a rank-bounded PCA fit: randomized range-finder
+/// when the sketch stays well below M, subspace iteration when the rank is
+/// still small-ish, full decomposition otherwise. Shared by the stage-2
+/// routing and the combo graphs so every rank-bounded fit in the codebase
+/// obeys one policy.
+///
+/// Returns the fit plus the converged sketch basis, whether a
+/// caller-provided warm seed actually survived the TVE gate, and the
+/// sketch-derived score matrix (randomized path only — recovered from the
+/// range-finder's own products, so stage 2 can skip the explicit
+/// projection).
+pub(crate) fn fit_for_rank(
+    coeffs: &Matrix,
+    opts: PcaOptions,
+    want: usize,
+    m: usize,
+    warm: Option<&SubspaceSeed>,
+    gate_tve: Option<f64>,
+) -> Result<(Pca, Option<SubspaceSeed>, bool, Option<Matrix>), DpzError> {
+    let sketch = want + RF_OPTS.oversample;
+    if m >= RANDOMIZED_MIN_M && sketch * 4 < m {
+        let fit = Pca::fit_randomized_warm(coeffs, opts, want, &RF_OPTS, warm, gate_tve)?;
+        Ok((fit.pca, Some(fit.basis), fit.warm_used, fit.scores))
+    } else if want * 6 < m {
+        // Measured crossover with the SIMD GEMM backend: subspace iteration
+        // at the fit_truncated budget beats the direct solver up to roughly
+        // k = M/6.
+        Ok((Pca::fit_truncated(coeffs, opts, want)?, None, false, None))
+    } else {
+        Ok((Pca::fit(coeffs, opts)?, None, false, None))
+    }
+}
+
+/// Telemetry for the stage-2 solver routing: how often the randomized path
+/// runs, and whether offered warm seeds survive the TVE gate or fall back
+/// to a cold fit.
+fn record_pca_route(randomized: bool, warm_offered: bool, warm_used: bool) {
+    let reg = dpz_telemetry::global();
+    if randomized {
+        reg.counter("dpz_pca_randomized_total").inc();
+    }
+    if warm_offered {
+        if warm_used {
+            reg.counter("dpz_pca_warm_hits_total").inc();
+        } else {
+            reg.counter("dpz_pca_warm_cold_fallbacks_total").inc();
+        }
+    }
+}
+
 /// Mutable state threaded through the compression stage graph: the input
 /// (borrowed), the planned shape, and each stage's product.
 struct PipelineCtx<'a> {
@@ -160,6 +229,11 @@ struct PipelineCtx<'a> {
     scores: Option<Matrix>,
     quantized: Option<QuantizedScores>,
     n_outliers: usize,
+    // Cross-chunk basis handoff: a converged sketch basis from a previous
+    // statistically-similar buffer seeds this fit (TVE-gated inside the
+    // fitter), and the basis this fit converged to flows out for the next.
+    warm_in: Option<&'a SubspaceSeed>,
+    warm_out: Option<SubspaceSeed>,
 }
 
 /// Stage 1: range normalization, decomposition + block transform.
@@ -269,70 +343,73 @@ impl<'a> Stage<PipelineCtx<'a>> for Stage2Pca {
         ctx.standardize = standardize;
         let coeffs = ctx.coeffs.take().expect("stage 1 ran");
         let opts = PcaOptions { standardize };
-        let (pca, choice) = match (&ctx.sampling_est, cfg.selection) {
+        let warm_in = ctx.warm_in;
+        let (pca, choice, sketch_scores) = match (&ctx.sampling_est, cfg.selection) {
             // A saturated estimate (subset k pinned at the subset width) is only
             // a lower bound on the true k; using it would silently degrade
             // quality, so fall through to the full path instead.
-            (Some(est), KSelection::Tve(_)) if !est.saturated => {
+            (Some(est), KSelection::Tve(tve)) if !est.saturated => {
                 // Fast path: k comes from the sample; fit only k_e (+ margin)
-                // components with the truncated solver. Subspace iteration only
-                // beats the direct solver when the subspace is genuinely small,
-                // so fall back to the full decomposition for large k_e.
+                // components through the crossover policy, gating any warm
+                // seed against the configured TVE target.
                 let k_e = est.k_estimate;
                 let margin = (k_e / 4).max(2);
                 let want = (k_e + margin).min(shape.m);
-                // Measured crossover with the SIMD GEMM backend: subspace
-                // iteration at the fit_truncated budget beats the direct solver
-                // up to roughly k = M/6.
-                let pca = if want * 6 < shape.m {
-                    Pca::fit_truncated(&coeffs, opts, want)?
-                } else {
-                    Pca::fit(&coeffs, opts)?
-                };
+                let (pca, basis, warm_used, scores) =
+                    fit_for_rank(&coeffs, opts, want, shape.m, warm_in, Some(tve))?;
+                record_pca_route(basis.is_some(), warm_in.is_some(), warm_used);
+                ctx.warm_out = basis;
                 let choice = select_k(&pca, KSelection::Fixed(k_e));
-                (pca, choice)
+                (pca, choice, scores)
             }
             // No sampling estimate, but the selection mode itself bounds the
-            // needed rank: route through the truncated solvers instead of the
-            // full O(M³) decomposition whenever the bound is far below M.
+            // needed rank: route through the rank-bounded solvers instead of
+            // the full O(M³) decomposition whenever the bound is far below M.
             (_, KSelection::Fixed(k_fixed)) => {
                 let want = (k_fixed + (k_fixed / 4).max(2)).min(shape.m);
-                let pca = if want * 6 < shape.m {
-                    Pca::fit_truncated(&coeffs, opts, want)?
-                } else {
-                    Pca::fit(&coeffs, opts)?
-                };
+                let (pca, basis, warm_used, scores) =
+                    fit_for_rank(&coeffs, opts, want, shape.m, warm_in, None)?;
+                record_pca_route(basis.is_some(), warm_in.is_some(), warm_used);
+                ctx.warm_out = basis;
                 let choice = select_k(&pca, cfg.selection);
-                (pca, choice)
+                (pca, choice, scores)
             }
             (_, KSelection::Tve(tve)) => {
-                // Large M: escalating truncated solve; falls back to the full
-                // solver internally once the attempted rank stops being ≪ M.
-                // Moderate M: the escalation's probe solves don't amortize, but
-                // a full tred2+tql2 decomposition still overpays by ~2x when
-                // the TVE rule keeps k ≪ M — the exact-TVE solver computes the
-                // complete spectrum cheaply (eigenvalues-only QL) and then
-                // only the k selected eigenvectors (inverse iteration +
-                // reflector back-transform).
-                let pca = if shape.m >= 512 {
-                    let k0 = (shape.m / 32).max(8);
-                    Pca::fit_tve_bounded(&coeffs, opts, tve, k0)?
+                // The randomized range-finder sketches k0 + oversample probe
+                // vectors directly on the data matrix — no M×M Gram, no
+                // Householder reduction — then escalates the sketch until the
+                // Ritz spectrum certifies the TVE target (the Ritz TVE is
+                // exact for the produced basis, so the certificate is sound).
+                // Tiny M cannot amortize the sketch; keep the exact solver.
+                let (pca, scores) = if shape.m >= RANDOMIZED_MIN_M {
+                    let k0 = (shape.m / 8).max(8);
+                    let fit = Pca::fit_tve_randomized(&coeffs, opts, tve, k0, &RF_OPTS, warm_in)?;
+                    record_pca_route(true, warm_in.is_some(), fit.warm_used);
+                    ctx.warm_out = Some(fit.basis);
+                    (fit.pca, fit.scores)
                 } else {
-                    Pca::fit_tve_exact(&coeffs, opts, tve)?
+                    (Pca::fit_tve_exact(&coeffs, opts, tve)?, None)
                 };
                 let choice = select_k(&pca, cfg.selection);
-                (pca, choice)
+                (pca, choice, scores)
             }
             // Knee-point detection inspects the whole spectrum.
             _ => {
                 let pca = Pca::fit(&coeffs, opts)?;
                 let choice = select_k(&pca, cfg.selection);
-                (pca, choice)
+                (pca, choice, None)
             }
         };
         ctx.k = choice.k;
         ctx.tve_achieved = choice.tve_achieved;
-        ctx.scores = Some(pca.transform(&coeffs, choice.k)?);
+        // The randomized fitter already produced the projected scores from
+        // its own sketch products; reuse them (trimmed to the selected
+        // rank) instead of paying the explicit n·m·k projection again.
+        ctx.scores = Some(match sketch_scores {
+            Some(s) if s.cols() == choice.k => s,
+            Some(s) if s.cols() > choice.k => s.leading_cols(choice.k),
+            _ => pca.transform(&coeffs, choice.k)?,
+        });
         ctx.pool.release(coeffs.into_vec());
         ctx.pca = Some(pca);
         Ok(())
@@ -506,7 +583,7 @@ impl PipelinePlan {
     pub fn execute(&self, data: &[f32], dims: &[usize]) -> Result<Compressed, DpzError> {
         let mut root = span!("compress");
         root.annotate("bytes", (data.len() * 4) as f64);
-        let (outcome, _) = self.project_inner(data, dims, false)?;
+        let (outcome, _, _) = self.project_inner(data, dims, false, None)?;
         Ok(self.encode(outcome))
     }
 
@@ -515,7 +592,23 @@ impl PipelinePlan {
     /// uses this to overlap one slab's [`PipelinePlan::encode`] with the
     /// next slab's numeric stages.
     pub fn project(&self, data: &[f32], dims: &[usize]) -> Result<NumericOutcome, DpzError> {
-        self.project_inner(data, dims, false).map(|(o, _)| o)
+        self.project_inner(data, dims, false, None)
+            .map(|(o, _, _)| o)
+    }
+
+    /// [`PipelinePlan::project`] with a cross-buffer basis handoff: `warm`
+    /// seeds this buffer's PCA sketch (the fitter's TVE gate rejects it if
+    /// the data drifted), and the converged basis comes back for the next
+    /// statistically-similar buffer. Returns `None` for the basis when the
+    /// routing took a dense path (small M, knee-point selection, …).
+    pub fn project_warm(
+        &self,
+        data: &[f32],
+        dims: &[usize],
+        warm: Option<&SubspaceSeed>,
+    ) -> Result<(NumericOutcome, Option<SubspaceSeed>), DpzError> {
+        self.project_inner(data, dims, false, warm)
+            .map(|(o, _, basis)| (o, basis))
     }
 
     /// [`PipelinePlan::project`] that additionally captures the stage-1
@@ -525,7 +618,8 @@ impl PipelinePlan {
         data: &[f32],
         dims: &[usize],
         capture_coeffs: bool,
-    ) -> Result<(NumericOutcome, Option<Matrix>), DpzError> {
+        warm: Option<&SubspaceSeed>,
+    ) -> Result<(NumericOutcome, Option<Matrix>, Option<SubspaceSeed>), DpzError> {
         check_input(data, dims)?;
         if data.len() != self.len {
             return Err(DpzError::BadInput("data length does not match plan"));
@@ -555,6 +649,8 @@ impl PipelinePlan {
             scores: None,
             quantized: None,
             n_outliers: 0,
+            warm_in: warm,
+            warm_out: None,
         };
         let mut captured = None;
         let trace = graph.run_with_tap(&mut ctx, |name, c| {
@@ -572,7 +668,8 @@ impl PipelinePlan {
             n_outliers: ctx.n_outliers,
             orig_bytes: data.len() * 4,
         };
-        Ok((outcome, captured))
+        let basis = ctx.warm_out.take();
+        Ok((outcome, captured, basis))
     }
 
     /// Entropy-code a numeric outcome into the final container (the
@@ -826,7 +923,7 @@ pub fn compress_with_breakdown(
 ) -> Result<CompressionBreakdown, DpzError> {
     check_input(data, dims)?;
     let plan = PipelinePlan::new(data.len(), cfg)?;
-    let (outcome, coeffs) = plan.project_inner(data, dims, true)?;
+    let (outcome, coeffs, _) = plan.project_inner(data, dims, true, None)?;
     let compressed = plan.encode(outcome);
     let coeffs = coeffs.expect("tap captured stage-1 coefficients");
     let payload = container::deserialize(&compressed.bytes)?;

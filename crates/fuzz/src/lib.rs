@@ -344,7 +344,10 @@ const DPZC_TAIL_LEN: usize = 16;
 /// when `bytes` does not carry a well-formed v4 tail.
 fn dpzc_footer_span(bytes: &[u8]) -> Option<(usize, usize)> {
     let n = bytes.len();
-    if n < 6 + DPZC_TAIL_LEN || &bytes[..4] != b"DPZC" || bytes[4] != 4 || &bytes[n - 4..] != b"DPZF"
+    if n < 6 + DPZC_TAIL_LEN
+        || &bytes[..4] != b"DPZC"
+        || bytes[4] != 4
+        || &bytes[n - 4..] != b"DPZF"
     {
         return None;
     }

@@ -204,6 +204,61 @@ unsafe fn gemm_strip_neon(c: &mut [f64], a: &[f64], rows: usize, b: &PackedB) {
     }
 }
 
+/// Tall-skinny panel product `c += w · b` for a *thin* left operand:
+/// `w` is `s × n` row-major with `s` small (a sketch/subspace), `b` is
+/// `n × m` row-major, `c` is `s × m` row-major.
+///
+/// Unlike [`gemm_strip`] there is no [`PackedB`]: packing an `n × m`
+/// operand costs a full extra pass over it, which a rank-`s` product never
+/// amortizes. Instead rows of `b` are streamed exactly once, in quads,
+/// through [`crate::blas::accum4`] (remainder rows via
+/// [`crate::blas::axpy`]), so every element of `b` is read once and all
+/// arithmetic lands on contiguous output rows.
+///
+/// ## Parity contract
+///
+/// Each output element accumulates contributions in ascending row order of
+/// `b`, grouped into the fixed four-term FMA chains of `accum4` plus an
+/// `axpy` tail — both of which are bitwise-identical across the scalar,
+/// AVX2 and NEON arms. The result is therefore deterministic and
+/// backend-independent (and trivially thread-independent: the routine is
+/// serial).
+pub fn gemm_thin(c: &mut [f64], w: &[f64], s: usize, b: &[f64], n: usize, m: usize) {
+    assert_eq!(w.len(), s * n, "gemm_thin: W shape mismatch");
+    assert_eq!(b.len(), n * m, "gemm_thin: B shape mismatch");
+    assert_eq!(c.len(), s * m, "gemm_thin: C shape mismatch");
+    let quads = n & !3;
+    let mut j = 0;
+    while j < quads {
+        let b0 = &b[j * m..(j + 1) * m];
+        let b1 = &b[(j + 1) * m..(j + 2) * m];
+        let b2 = &b[(j + 2) * m..(j + 3) * m];
+        let b3 = &b[(j + 3) * m..(j + 4) * m];
+        for r in 0..s {
+            let wr = &w[r * n..(r + 1) * n];
+            crate::blas::accum4(
+                &mut c[r * m..(r + 1) * m],
+                b0,
+                b1,
+                b2,
+                b3,
+                wr[j],
+                wr[j + 1],
+                wr[j + 2],
+                wr[j + 3],
+            );
+        }
+        j += 4;
+    }
+    while j < n {
+        let bj = &b[j * m..(j + 1) * m];
+        for r in 0..s {
+            crate::blas::axpy(&mut c[r * m..(r + 1) * m], bj, w[r * n + j]);
+        }
+        j += 1;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -263,6 +318,82 @@ mod tests {
             gemm_strip(&mut c0, &a, n, &pb);
             gemm_strip_scalar(&mut c1, &a, n, &pb);
             assert_eq!(c0, c1, "{n}x{k}x{p}");
+        }
+    }
+
+    #[test]
+    fn gemm_thin_matches_naive_within_tolerance() {
+        // Shapes chosen to exercise the quad loop, the axpy remainder
+        // (n % 4 != 0) and single-row sketches.
+        for &(s, n, m) in &[
+            (1usize, 1usize, 1usize),
+            (3, 7, 11),
+            (4, 16, 8),
+            (13, 31, 19),
+            (16, 100, 48),
+        ] {
+            let w = fill(s, n, 0.19);
+            let b = fill(n, m, 0.23);
+            let mut c = vec![0.0; s * m];
+            gemm_thin(&mut c, &w, s, &b, n, m);
+            let want = naive(&w, &b, s, n, m);
+            for (got, exp) in c.iter().zip(&want) {
+                assert!(
+                    (got - exp).abs() <= 1e-11 * exp.abs().max(1.0),
+                    "{s}x{n}x{m}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn gemm_thin_matches_scalar_chain_bitwise() {
+        // The dispatched kernels must replay exactly the accum4/axpy chain
+        // the scalar arms define — that is the determinism contract the
+        // randomized range-finder's fixed-seed artifacts rely on.
+        for &(s, n, m) in &[(2usize, 9usize, 13usize), (8, 32, 180), (5, 101, 7)] {
+            let w = fill(s, n, 0.31);
+            let b = fill(n, m, 0.11);
+            let mut c0 = vec![0.0; s * m];
+            gemm_thin(&mut c0, &w, s, &b, n, m);
+            // Scalar replay of the same chain.
+            let mut c1 = vec![0.0; s * m];
+            let quads = n & !3;
+            let mut j = 0;
+            while j < quads {
+                for r in 0..s {
+                    let wr = &w[r * n..(r + 1) * n];
+                    let (b0, b1, b2, b3) = (
+                        &b[j * m..(j + 1) * m],
+                        &b[(j + 1) * m..(j + 2) * m],
+                        &b[(j + 2) * m..(j + 3) * m],
+                        &b[(j + 3) * m..(j + 4) * m],
+                    );
+                    crate::blas::accum4_scalar(
+                        &mut c1[r * m..(r + 1) * m],
+                        b0,
+                        b1,
+                        b2,
+                        b3,
+                        wr[j],
+                        wr[j + 1],
+                        wr[j + 2],
+                        wr[j + 3],
+                    );
+                }
+                j += 4;
+            }
+            while j < n {
+                for r in 0..s {
+                    crate::blas::axpy_scalar(
+                        &mut c1[r * m..(r + 1) * m],
+                        &b[j * m..(j + 1) * m],
+                        w[r * n + j],
+                    );
+                }
+                j += 1;
+            }
+            assert_eq!(c0, c1, "{s}x{n}x{m}");
         }
     }
 

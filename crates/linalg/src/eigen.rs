@@ -777,7 +777,7 @@ pub fn sym_eigen_topk(a: &Matrix, k: usize, max_iters: usize) -> Result<SymEigen
 /// routine previously did in column form — breaks orthogonality and lets
 /// Rayleigh–Ritz values overshoot the true spectrum on (near) low-rank
 /// inputs.
-fn orthonormalize_rows(q: &mut Matrix) -> Result<()> {
+pub(crate) fn orthonormalize_rows(q: &mut Matrix) -> Result<()> {
     let (k, m) = q.shape();
     for r in 0..k {
         let mut attempts = 0usize;

@@ -31,6 +31,7 @@ pub mod jacobi;
 pub mod knee;
 pub mod matrix;
 pub mod pca;
+pub mod rangefinder;
 pub mod stats;
 pub mod svd;
 pub mod wavelet;
@@ -41,7 +42,8 @@ pub use fft::FftScratch;
 pub use fit::{CurveFit, FitKind, Interp1d, PolyFit};
 pub use knee::{detect_knee, KneeOptions};
 pub use matrix::Matrix;
-pub use pca::{Pca, PcaOptions};
+pub use pca::{Pca, PcaOptions, RandomizedFit};
+pub use rangefinder::{RangeFinderOptions, SubspaceSeed};
 pub use wavelet::{dwt_forward, dwt_inverse, Wavelet};
 
 /// Errors surfaced by the numerical routines in this crate.

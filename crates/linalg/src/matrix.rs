@@ -233,6 +233,31 @@ impl Matrix {
         Matrix::from_vec(n, m, out)
     }
 
+    /// Matrix product `self * rhs` for a *thin* left operand (few rows,
+    /// e.g. a transposed subspace sketch): streams `rhs` row-by-row through
+    /// the kernels' fused-accumulate panel ([`dpz_kernels::gemm::gemm_thin`])
+    /// instead of packing it — packing an `n x m` operand costs a full extra
+    /// pass that a rank-`s` product never amortizes.
+    ///
+    /// Deterministic and backend/thread-independent: every output element is
+    /// a fixed ascending-`k` chain of parity-contracted `accum4`/`axpy`
+    /// primitives, with no data-dependent partitioning.
+    pub fn matmul_thin(&self, rhs: &Matrix) -> Result<Matrix> {
+        if self.cols != rhs.rows {
+            return Err(LinalgError::DimensionMismatch {
+                op: "matmul_thin",
+                got: format!("{}x{} * {}x{}", self.rows, self.cols, rhs.rows, rhs.cols),
+                expected: "lhs.cols == rhs.rows".to_string(),
+            });
+        }
+        let (s, n, m) = (self.rows, self.cols, rhs.cols);
+        let mut out = vec![0.0; s * m];
+        if s > 0 && n > 0 && m > 0 {
+            gemm::gemm_thin(&mut out, &self.data, s, &rhs.data, n, m);
+        }
+        Matrix::from_vec(s, m, out)
+    }
+
     /// Matrix product with a transposed right-hand side: `self * rhsᵀ`,
     /// where `rhs` is stored row-major as an `m x k` matrix. Both operands
     /// stream along contiguous rows, so each output element is a single

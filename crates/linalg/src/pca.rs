@@ -14,6 +14,7 @@
 //!   floating-point error), which is property-tested.
 
 use crate::eigen::{sym_eigen, SymEigen};
+use crate::rangefinder::{randomized_covariance_eigen, RangeFinderOptions, SubspaceSeed};
 use crate::{LinalgError, Matrix, Result};
 
 /// Options controlling a PCA fit.
@@ -128,6 +129,160 @@ impl Pca {
             vals.len().max(1)
         })?;
         Ok(prep.into_pca(eig))
+    }
+
+    /// Fit a truncated model with the `k` leading eigenpairs via the
+    /// seeded randomized range-finder — no `m x m` Gram, no Householder
+    /// reduction; see [`crate::rangefinder`]. Deterministic (fixed probe
+    /// seed) and bit-identical across kernel backends.
+    pub fn fit_randomized(
+        data: &Matrix,
+        opts: PcaOptions,
+        k: usize,
+        rf: &RangeFinderOptions,
+    ) -> Result<Pca> {
+        Pca::fit_randomized_warm(data, opts, k, rf, None, None).map(|f| f.pca)
+    }
+
+    /// [`Pca::fit_randomized`] with a cross-fit warm start and an optional
+    /// quality gate.
+    ///
+    /// `warm` seeds the probe subspace from a previous fit's converged
+    /// basis (ignored on feature-count mismatch). When `gate_tve` is given
+    /// and a warm-seeded fit captures less than `gate_tve` of the total
+    /// variance in its `k` leading components, the fit is redone cold —
+    /// the TVE-residual gate that makes warm starting safe on dissimilar
+    /// consecutive chunks. `warm_used` in the result reports which basis
+    /// the returned model came from.
+    pub fn fit_randomized_warm(
+        data: &Matrix,
+        opts: PcaOptions,
+        k: usize,
+        rf: &RangeFinderOptions,
+        warm: Option<&SubspaceSeed>,
+        gate_tve: Option<f64>,
+    ) -> Result<RandomizedFit> {
+        let prep = PreparedData::new(data, opts)?;
+        let m = prep.centered.cols();
+        let k = k.clamp(1, m);
+        let s = (k + rf.oversample).min(m);
+        if s * 4 >= m {
+            // Sketch not thin enough to pay off: subspace iteration over an
+            // explicit Gram (callers normally route around this arm).
+            let mut cov = prep.centered.gram();
+            cov.scale(1.0 / (prep.n_samples - 1) as f64);
+            let eig = crate::eigen::sym_eigen_topk(&cov, k, 24)?;
+            let keep = eig.eigenvalues.len().max(1);
+            let basis = SubspaceSeed::from_components(&eig.eigenvectors, keep);
+            return Ok(RandomizedFit {
+                pca: prep.pca(eig, keep),
+                basis,
+                warm_used: false,
+                scores: None,
+            });
+        }
+        let warm_now = warm.filter(|w| w.n_features() == m);
+        let mut out = randomized_covariance_eigen(&prep.centered, s, rf, warm_now)?;
+        let mut warm_used = warm_now.is_some();
+        if let (Some(gate), true) = (gate_tve, warm_used) {
+            let captured: f64 = out
+                .eigen
+                .eigenvalues
+                .iter()
+                .take(k)
+                .map(|l| l.max(0.0))
+                .sum();
+            if prep.total_variance > 0.0 && captured < gate * prep.total_variance {
+                out = randomized_covariance_eigen(&prep.centered, s, rf, None)?;
+                warm_used = false;
+            }
+        }
+        let scores = scores_from_t(&out.scores_t, k)?;
+        Ok(RandomizedFit {
+            pca: prep.pca(out.eigen, k),
+            basis: out.seed,
+            warm_used,
+            scores: Some(scores),
+        })
+    }
+
+    /// TVE-driven randomized fit: sketch at `k0 + oversample`, read the
+    /// TVE-minimal rank off the (exact-for-this-basis) Ritz spectrum, and
+    /// escalate — warm-starting each retry from the converged rows — until
+    /// the target is met. A warm basis that misses the target is retried
+    /// cold at the same rank before escalating (the cross-chunk quality
+    /// gate); once the sketch stops being ≪ `m`, the dense exact-TVE
+    /// solver takes over.
+    pub fn fit_tve_randomized(
+        data: &Matrix,
+        opts: PcaOptions,
+        tve: f64,
+        k0: usize,
+        rf: &RangeFinderOptions,
+        warm: Option<&SubspaceSeed>,
+    ) -> Result<RandomizedFit> {
+        let prep = PreparedData::new(data, opts)?;
+        let m = prep.centered.cols();
+        let target = tve * prep.total_variance;
+        let mut k = k0.clamp(1, m);
+        let mut warm_now = warm.filter(|w| w.n_features() == m);
+        let mut carry: Option<SubspaceSeed> = None;
+        loop {
+            let s = (k + rf.oversample).min(m);
+            // Crossover: a sketch at s ≥ m/4 no longer amortizes against
+            // the dense exact-TVE path (one Gram + eigenvalues-only QL +
+            // inverse iteration for just the selected eigenvectors).
+            if s * 4 >= m {
+                let eig = prep.dense_tve_eigen(tve)?;
+                let keep = eig.eigenvalues.len().max(1);
+                let basis = SubspaceSeed::from_components(&eig.eigenvectors, keep);
+                return Ok(RandomizedFit {
+                    pca: prep.pca(eig, keep),
+                    basis,
+                    warm_used: false,
+                    scores: None,
+                });
+            }
+            let out =
+                randomized_covariance_eigen(&prep.centered, s, rf, carry.as_ref().or(warm_now))?;
+            // Smallest rank whose captured variance (exact for this basis —
+            // Ritz values are v·C·v along orthonormal directions) reaches
+            // the target.
+            let mut hit = None;
+            if prep.total_variance <= 0.0 {
+                hit = Some(1);
+            } else {
+                let mut acc = 0.0;
+                for (i, &l) in out.eigen.eigenvalues.iter().enumerate() {
+                    acc += l.max(0.0);
+                    if acc >= target {
+                        hit = Some(i + 1);
+                        break;
+                    }
+                }
+            }
+            if let Some(keep) = hit {
+                let warm_used = carry.is_none() && warm_now.is_some();
+                let scores = scores_from_t(&out.scores_t, keep)?;
+                return Ok(RandomizedFit {
+                    pca: prep.pca(out.eigen, keep),
+                    basis: out.seed,
+                    warm_used,
+                    scores: Some(scores),
+                });
+            }
+            // Quality gate: a warm basis that can't reach the target gets
+            // one cold retry at the same rank before we conclude the rank
+            // itself is short.
+            if warm_now.is_some() && carry.is_none() {
+                warm_now = None;
+                continue;
+            }
+            let explained: f64 = out.eigen.eigenvalues.iter().map(|l| l.max(0.0)).sum();
+            let next = predict_tve_rank(&out.eigen.eigenvalues, explained, target, s, m);
+            k = next.max(k + 1).min(m);
+            carry = Some(out.seed);
+        }
     }
 
     fn fit_impl(data: &Matrix, opts: PcaOptions, truncate: Option<usize>) -> Result<Pca> {
@@ -285,6 +440,89 @@ impl Pca {
     }
 }
 
+/// Outcome of a randomized fit: the model, the converged subspace (for
+/// warm-starting the next statistically similar fit) and whether the warm
+/// seed survived the quality gate.
+#[derive(Debug, Clone)]
+pub struct RandomizedFit {
+    /// The fitted (truncated) model.
+    pub pca: Pca,
+    /// The converged subspace, energy-descending — hand it to the next
+    /// fit's `warm` parameter.
+    pub basis: SubspaceSeed,
+    /// Whether the returned model was seeded from the provided warm basis
+    /// (false for cold fits, gate fallbacks and dense-solver crossovers).
+    pub warm_used: bool,
+    /// Scores of the fitted data in the kept basis (`n x keep`), recovered
+    /// from the range-finder's sketch product at `O(s²·n)` instead of a
+    /// fresh `O(n·m·k)` projection — algebraically `(X−μ)(/σ)·V`. `None`
+    /// when the fit crossed over to a dense solver (callers project
+    /// normally via [`Pca::transform`]).
+    pub scores: Option<Matrix>,
+}
+
+/// Leading `keep` rows of a transposed score matrix (`s x n`, row-major so
+/// the prefix is contiguous), returned untransposed as `n x keep`.
+fn scores_from_t(scores_t: &Matrix, keep: usize) -> Result<Matrix> {
+    let n = scores_t.cols();
+    let keep = keep.min(scores_t.rows());
+    let rows = scores_t.as_slice()[..keep * n].to_vec();
+    Ok(Matrix::from_vec(keep, n, rows)?.transpose())
+}
+
+/// Center (and optionally standardize) a working copy of `data`, returning
+/// `(mean, scale, centered)` — the shared front half of every fit path.
+fn center_data(data: &Matrix, opts: PcaOptions) -> Result<(Vec<f64>, Option<Vec<f64>>, Matrix)> {
+    let (n, m) = data.shape();
+    if n < 2 || m == 0 {
+        return Err(LinalgError::Empty(
+            "Pca::fit needs >=2 samples and >=1 feature",
+        ));
+    }
+
+    // Column means.
+    let mut mean = vec![0.0; m];
+    for r in 0..n {
+        for (acc, &v) in mean.iter_mut().zip(data.row(r)) {
+            *acc += v;
+        }
+    }
+    for v in &mut mean {
+        *v /= n as f64;
+    }
+
+    // Center (and optionally standardize) a working copy.
+    let mut centered = data.clone();
+    for r in 0..n {
+        for (v, &mu) in centered.row_mut(r).iter_mut().zip(&mean) {
+            *v -= mu;
+        }
+    }
+    let scale = if opts.standardize {
+        let mut sd = vec![0.0; m];
+        for r in 0..n {
+            for (acc, &v) in sd.iter_mut().zip(centered.row(r)) {
+                *acc += v * v;
+            }
+        }
+        for v in &mut sd {
+            *v = (*v / (n - 1) as f64).sqrt();
+            if *v == 0.0 {
+                *v = 1.0; // constant feature: leave untouched
+            }
+        }
+        for r in 0..n {
+            for (v, &s) in centered.row_mut(r).iter_mut().zip(&sd) {
+                *v /= s;
+            }
+        }
+        Some(sd)
+    } else {
+        None
+    };
+    Ok((mean, scale, centered))
+}
+
 /// Centered/standardized covariance, computed once and shared by the full,
 /// truncated and TVE-bounded fit paths.
 struct Prepared {
@@ -297,54 +535,9 @@ struct Prepared {
 
 impl Prepared {
     fn new(data: &Matrix, opts: PcaOptions) -> Result<Prepared> {
-        let (n, m) = data.shape();
-        if n < 2 || m == 0 {
-            return Err(LinalgError::Empty(
-                "Pca::fit needs >=2 samples and >=1 feature",
-            ));
-        }
-
-        // Column means.
-        let mut mean = vec![0.0; m];
-        for r in 0..n {
-            for (acc, &v) in mean.iter_mut().zip(data.row(r)) {
-                *acc += v;
-            }
-        }
-        for v in &mut mean {
-            *v /= n as f64;
-        }
-
-        // Center (and optionally standardize) a working copy.
-        let mut centered = data.clone();
-        for r in 0..n {
-            for (v, &mu) in centered.row_mut(r).iter_mut().zip(&mean) {
-                *v -= mu;
-            }
-        }
-        let scale = if opts.standardize {
-            let mut sd = vec![0.0; m];
-            for r in 0..n {
-                for (acc, &v) in sd.iter_mut().zip(centered.row(r)) {
-                    *acc += v * v;
-                }
-            }
-            for v in &mut sd {
-                *v = (*v / (n - 1) as f64).sqrt();
-                if *v == 0.0 {
-                    *v = 1.0; // constant feature: leave untouched
-                }
-            }
-            for r in 0..n {
-                for (v, &s) in centered.row_mut(r).iter_mut().zip(&sd) {
-                    *v /= s;
-                }
-            }
-            Some(sd)
-        } else {
-            None
-        };
-
+        let n = data.rows();
+        let (mean, scale, centered) = center_data(data, opts)?;
+        let m = centered.cols();
         // Covariance = centeredᵀ·centered / (n-1).
         let mut cov = centered.gram();
         cov.scale(1.0 / (n - 1) as f64);
@@ -377,6 +570,91 @@ impl Prepared {
             total_variance: self.total_variance,
             n_samples: self.n_samples,
         }
+    }
+}
+
+/// Data prepared for a fit that never forms the Gram: the centered (and
+/// optionally standardized) working copy plus the exact total variance,
+/// computed in `O(n·m)` — the front end of the randomized range-finder
+/// paths. Holding the centered matrix (instead of the covariance) is what
+/// lets escalation retries and the dense crossover reuse one preparation.
+struct PreparedData {
+    mean: Vec<f64>,
+    scale: Option<Vec<f64>>,
+    centered: Matrix,
+    total_variance: f64,
+    n_samples: usize,
+}
+
+impl PreparedData {
+    fn new(data: &Matrix, opts: PcaOptions) -> Result<PreparedData> {
+        let n = data.rows();
+        let (mean, scale, centered) = center_data(data, opts)?;
+        // trace(AᵀA)/(n−1) without forming AᵀA: the squared Frobenius norm
+        // of the centered data, one sequential (deterministic) pass.
+        let total_variance = centered
+            .as_slice()
+            .iter()
+            .fold(0.0f64, |acc, &v| v.mul_add(v, acc))
+            / (n - 1) as f64;
+        Ok(PreparedData {
+            mean,
+            scale,
+            centered,
+            total_variance,
+            n_samples: n,
+        })
+    }
+
+    /// Assemble a model from an eigensolve over this data, keeping the
+    /// `keep` leading pairs. Borrows (rather than consumes) the
+    /// preparation so escalation loops can retry.
+    fn pca(&self, eig: SymEigen, keep: usize) -> Pca {
+        let SymEigen {
+            mut eigenvalues,
+            eigenvectors,
+        } = eig;
+        let keep = keep
+            .clamp(1, eigenvalues.len().max(1))
+            .min(eigenvalues.len().max(1));
+        eigenvalues.truncate(keep);
+        for l in &mut eigenvalues {
+            if *l < 0.0 {
+                *l = 0.0;
+            }
+        }
+        let components = if eigenvectors.cols() == eigenvalues.len() {
+            eigenvectors
+        } else {
+            eigenvectors.leading_cols(eigenvalues.len())
+        };
+        Pca {
+            mean: self.mean.clone(),
+            scale: self.scale.clone(),
+            components,
+            eigenvalues,
+            total_variance: self.total_variance,
+            n_samples: self.n_samples,
+        }
+    }
+
+    /// Dense exact-TVE crossover: form the Gram once and run the same
+    /// selection rule as [`Pca::fit_tve_exact`].
+    fn dense_tve_eigen(&self, tve: f64) -> Result<SymEigen> {
+        let mut cov = self.centered.gram();
+        cov.scale(1.0 / (self.n_samples - 1) as f64);
+        let target = tve * self.total_variance;
+        let (_spectrum, eig) = crate::eigen::sym_eigen_select(&cov, |vals| {
+            let mut acc = 0.0;
+            for (i, &l) in vals.iter().enumerate() {
+                acc += l.max(0.0);
+                if acc >= target {
+                    return i + 1;
+                }
+            }
+            vals.len().max(1)
+        })?;
+        Ok(eig)
     }
 }
 
@@ -673,6 +951,226 @@ mod tests {
         let b = full.cumulative_tve();
         assert!((a[1] - b[1]).abs() < 1e-6);
         assert!(a[1] <= 1.0);
+    }
+
+    #[test]
+    fn randomized_fit_matches_full_on_leading_components() {
+        let x = synthetic(200, 48, 91);
+        let full = Pca::fit(&x, PcaOptions::default()).unwrap();
+        let rf = RangeFinderOptions::default();
+        let rand = Pca::fit_randomized(&x, PcaOptions::default(), 4, &rf).unwrap();
+        assert_eq!(rand.n_components(), 4);
+        assert!((full.total_variance() - rand.total_variance()).abs() < 1e-9);
+        let lmax = full.eigenvalues()[0].max(1e-300);
+        // Two latent factors: leading pairs must agree tightly, and the
+        // Ritz values must never overshoot the true spectrum.
+        for i in 0..2 {
+            let rel = (full.eigenvalues()[i] - rand.eigenvalues()[i]).abs() / lmax;
+            assert!(rel < 1e-8, "eigenvalue {i} off by {rel:.3e}");
+        }
+        for i in 0..4 {
+            assert!(rand.eigenvalues()[i] <= full.eigenvalues()[i] + 1e-9 * lmax);
+        }
+        let s_full = full.transform(&x, 2).unwrap();
+        let s_rand = rand.transform(&x, 2).unwrap();
+        let r_full = full.inverse_transform(&s_full).unwrap();
+        let r_rand = rand.inverse_transform(&s_rand).unwrap();
+        assert!(r_full.max_abs_diff(&r_rand) < 1e-6);
+    }
+
+    #[test]
+    fn randomized_fit_is_bitwise_deterministic() {
+        let x = synthetic(150, 40, 13);
+        let rf = RangeFinderOptions::default();
+        let a = Pca::fit_randomized(&x, PcaOptions::default(), 5, &rf).unwrap();
+        let b = Pca::fit_randomized(&x, PcaOptions::default(), 5, &rf).unwrap();
+        assert_eq!(a.components().as_slice(), b.components().as_slice());
+        assert_eq!(a.eigenvalues(), b.eigenvalues());
+        assert_eq!(a.mean(), b.mean());
+    }
+
+    #[test]
+    fn tve_randomized_meets_target_and_matches_exact_rank_roughly() {
+        let x = synthetic(300, 64, 29);
+        let tve = 0.999;
+        let rf = RangeFinderOptions::default();
+        let fit = Pca::fit_tve_randomized(&x, PcaOptions::default(), tve, 2, &rf, None).unwrap();
+        assert!(!fit.warm_used);
+        let kept = fit.pca.n_components();
+        // The Ritz TVE is exact for the fitted basis, so the model's own
+        // cumulative TVE must certify the target.
+        assert!(fit.pca.cumulative_tve()[kept - 1] >= tve - 1e-12);
+        // Conservative selection can only pick k at or above the exact rank,
+        // and on two-factor data must stay far below m.
+        let exact = Pca::fit_tve_exact(&x, PcaOptions::default(), tve).unwrap();
+        assert!(kept >= exact.n_components());
+        assert!(kept < 16, "two-factor data picked k = {kept}");
+    }
+
+    #[test]
+    fn tve_randomized_escalates_from_tiny_sketch() {
+        // Data with ~8 strong factors but k0 = 1: the first sketch misses
+        // the target and the predictor must escalate until it is met.
+        let mut s = 77u64;
+        let mut next = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            (s >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+        };
+        let m = 96;
+        let loads: Vec<Vec<f64>> = (0..8)
+            .map(|f| {
+                (0..m)
+                    .map(|j| ((j * (f + 1)) as f64 * 0.37).sin())
+                    .collect()
+            })
+            .collect();
+        let mut rows = Vec::new();
+        for _ in 0..240 {
+            let f: Vec<f64> = (0..8).map(|_| next() * 5.0).collect();
+            rows.push(
+                (0..m)
+                    .map(|j| {
+                        loads.iter().zip(&f).map(|(l, w)| w * l[j]).sum::<f64>() + 0.01 * next()
+                    })
+                    .collect::<Vec<_>>(),
+            );
+        }
+        let x = Matrix::from_rows(&rows).unwrap();
+        let rf = RangeFinderOptions {
+            oversample: 4,
+            ..Default::default()
+        };
+        let fit = Pca::fit_tve_randomized(&x, PcaOptions::default(), 0.9999, 1, &rf, None).unwrap();
+        let kept = fit.pca.n_components();
+        assert!(fit.pca.cumulative_tve()[kept - 1] >= 0.9999 - 1e-12);
+        assert!(kept >= 8, "needs all eight factors, kept {kept}");
+    }
+
+    #[test]
+    fn tve_randomized_crosses_over_to_dense_on_flat_spectra() {
+        // Pure noise: no truncated rank wins, the crossover must hand the
+        // fit to the dense exact solver and still certify the target.
+        let mut s = 5u64;
+        let mut next = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            (s >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+        };
+        let mut rows = Vec::new();
+        for _ in 0..100 {
+            rows.push((0..24).map(|_| next()).collect::<Vec<_>>());
+        }
+        let x = Matrix::from_rows(&rows).unwrap();
+        let rf = RangeFinderOptions::default();
+        let fit = Pca::fit_tve_randomized(&x, PcaOptions::default(), 0.9999, 1, &rf, None).unwrap();
+        assert!(!fit.warm_used);
+        let kept = fit.pca.n_components();
+        assert!(fit.pca.cumulative_tve()[kept - 1] >= 0.9999 - 1e-12);
+        assert!(kept > 16, "flat spectrum needs nearly all components");
+    }
+
+    #[test]
+    fn warm_start_reuses_similar_basis_and_gates_dissimilar_one() {
+        let rf = RangeFinderOptions::default();
+        let opts = PcaOptions::default();
+        let a = synthetic(200, 128, 3);
+        let b = synthetic(200, 128, 4); // same factors, different noise draw
+        let cold = Pca::fit_tve_randomized(&a, opts, 0.999, 2, &rf, None).unwrap();
+        // Statistically similar chunk: the warm basis passes the gate.
+        let warm = Pca::fit_tve_randomized(&b, opts, 0.999, 2, &rf, Some(&cold.basis)).unwrap();
+        assert!(warm.warm_used, "similar chunk should accept the warm basis");
+        let kept = warm.pca.n_components();
+        assert!(warm.pca.cumulative_tve()[kept - 1] >= 0.999 - 1e-12);
+
+        // Dissimilar data (different loadings entirely): quality must still
+        // be certified — via cold fallback or escalation, never a miss.
+        let mut s = 99u64;
+        let mut next = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            (s >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+        };
+        let mut rows = Vec::new();
+        for _ in 0..200 {
+            let f = next() * 8.0;
+            rows.push(
+                (0..128)
+                    .map(|j| f * ((j * j) as f64 * 0.11).cos() + 0.05 * next())
+                    .collect::<Vec<_>>(),
+            );
+        }
+        let c = Matrix::from_rows(&rows).unwrap();
+        let gated = Pca::fit_tve_randomized(&c, opts, 0.999, 2, &rf, Some(&cold.basis)).unwrap();
+        let kept = gated.pca.n_components();
+        assert!(gated.pca.cumulative_tve()[kept - 1] >= 0.999 - 1e-12);
+        // And the result must match a cold fit bit-for-bit when the gate
+        // rejected the seed (same rank path, same probe stream).
+        if !gated.warm_used {
+            let cold_c = Pca::fit_tve_randomized(&c, opts, 0.999, 2, &rf, None).unwrap();
+            assert_eq!(
+                gated.pca.components().as_slice(),
+                cold_c.pca.components().as_slice()
+            );
+        }
+    }
+
+    #[test]
+    fn fixed_rank_warm_gate_falls_back_cold() {
+        let rf = RangeFinderOptions::default();
+        let opts = PcaOptions::default();
+        let a = synthetic(200, 128, 7);
+        let cold = Pca::fit_randomized_warm(&a, opts, 4, &rf, None, None).unwrap();
+        assert!(!cold.warm_used);
+        // Same data, warm seed, with a gate: must accept.
+        let again =
+            Pca::fit_randomized_warm(&a, opts, 4, &rf, Some(&cold.basis), Some(0.99)).unwrap();
+        assert!(again.warm_used);
+        // A nonsense gate (impossible target) forces the cold fallback.
+        let forced =
+            Pca::fit_randomized_warm(&a, opts, 2, &rf, Some(&cold.basis), Some(1.0)).unwrap();
+        assert!(!forced.warm_used);
+        let plain = Pca::fit_randomized_warm(&a, opts, 2, &rf, None, None).unwrap();
+        assert_eq!(
+            forced.pca.components().as_slice(),
+            plain.pca.components().as_slice()
+        );
+    }
+
+    #[test]
+    fn randomized_fit_scores_match_transform() {
+        let x = synthetic(220, 128, 17);
+        let rf = RangeFinderOptions::default();
+        let fit = Pca::fit_tve_randomized(&x, PcaOptions::default(), 0.999, 4, &rf, None).unwrap();
+        let scores = fit.scores.expect("randomized path emits scores");
+        let keep = fit.pca.n_components();
+        assert_eq!(scores.shape(), (220, keep));
+        let reference = fit.pca.transform(&x, keep).unwrap();
+        assert!(
+            scores.max_abs_diff(&reference) < 1e-9,
+            "sketch-derived scores diverge from the explicit projection"
+        );
+
+        let fixed =
+            Pca::fit_randomized_warm(&x, PcaOptions::default(), 6, &rf, None, None).unwrap();
+        let scores = fixed.scores.expect("randomized path emits scores");
+        let reference = fixed.pca.transform(&x, 6).unwrap();
+        assert!(scores.max_abs_diff(&reference) < 1e-9);
+    }
+
+    #[test]
+    fn randomized_fit_constant_data_degenerates_gracefully() {
+        let x = Matrix::from_vec(20, 8, vec![3.25; 160]).unwrap();
+        let rf = RangeFinderOptions::default();
+        let fit =
+            Pca::fit_tve_randomized(&x, PcaOptions::default(), 0.99999, 2, &rf, None).unwrap();
+        assert_eq!(fit.pca.n_components(), 1);
+        let scores = fit.pca.transform(&x, 1).unwrap();
+        let recon = fit.pca.inverse_transform(&scores).unwrap();
+        assert!(recon.max_abs_diff(&x) < 1e-12);
     }
 
     #[test]

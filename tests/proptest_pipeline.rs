@@ -98,3 +98,45 @@ proptest! {
         let _ = dpz::core::decompress(&bytes); // any Result is fine
     }
 }
+
+// Fields big enough (128 x 256) to route stage 2 through the randomized
+// range-finder, so these properties cover the seeded-sketch path and not
+// just the dense solvers. Fewer cases: each one compresses ~32k values.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn compressed_artifacts_are_run_deterministic(
+        waves in proptest::collection::vec(
+            (0.001f64..0.3, 0.001f64..0.3, -10.0f64..10.0),
+            1..5,
+        ),
+        noise_amp in 0.0f64..0.2,
+        seed in any::<u64>(),
+    ) {
+        let (rows, cols) = (128usize, 256usize);
+        let mut s = seed | 1;
+        let data: Vec<f32> = (0..rows * cols)
+            .map(|i| {
+                let (r, c) = ((i / cols) as f64, (i % cols) as f64);
+                let mut v = 0.0;
+                for &(fr, fc, amp) in &waves {
+                    v += amp * (fr * r).sin() * (fc * c).cos();
+                }
+                s ^= s << 13;
+                s ^= s >> 7;
+                s ^= s << 17;
+                let noise = (s >> 11) as f64 / (1u64 << 53) as f64 - 0.5;
+                (v + noise_amp * noise) as f32
+            })
+            .collect();
+        let dims = vec![rows, cols];
+        // The randomized eigensolve uses a fixed per-fit probe seed, so the
+        // whole artifact must be bitwise reproducible run over run.
+        for cfg in [DpzConfig::loose(), DpzConfig::strict().with_tve(TveLevel::FiveNines)] {
+            let a = dpz::core::compress(&data, &dims, &cfg).unwrap();
+            let b = dpz::core::compress(&data, &dims, &cfg).unwrap();
+            prop_assert_eq!(&a.bytes, &b.bytes);
+        }
+    }
+}
