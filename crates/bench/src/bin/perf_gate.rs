@@ -17,6 +17,7 @@
 //! emitted JSON records both under `host` and gating against a baseline
 //! from a mismatched host is refused unless `--allow-backend-mismatch`.
 
+use dpz_bench::quality::QualityReport;
 use dpz_core::{DpzConfig, TveLevel};
 use dpz_data::metrics::value_range;
 use dpz_data::{Dataset, DatasetKind, Scale};
@@ -83,6 +84,79 @@ fn best_compress(samples: usize, data: &[f32], dims: &[usize], cfg: &DpzConfig) 
     (best, stages)
 }
 
+/// Quality assessments of the gated compress paths (same dataset the
+/// timing gate uses). These feed the *non-blocking* quality-regression
+/// check: a PSNR or ratio drop against the baseline prints a warning but
+/// never fails the gate — timing regressions stay the only hard failure.
+fn measure_quality() -> Vec<QualityReport> {
+    let ds = Dataset::generate(DatasetKind::Cldhgh, Scale::Small, 2021);
+    let mut out = Vec::new();
+    for (label, cfg) in [
+        (
+            "dpz_loose",
+            DpzConfig::loose().with_tve(TveLevel::FiveNines),
+        ),
+        (
+            "dpz_strict",
+            DpzConfig::strict().with_tve(TveLevel::FiveNines),
+        ),
+    ] {
+        let Ok(c) = dpz_core::compress(&ds.data, &ds.dims, &cfg) else {
+            continue;
+        };
+        let Ok((recon, _)) = dpz_core::decompress(&c.bytes) else {
+            continue;
+        };
+        out.push(QualityReport::assess(
+            &ds.name,
+            label,
+            &ds.data,
+            &recon,
+            c.bytes.len(),
+            Some(&c.stats),
+        ));
+    }
+    out
+}
+
+/// Allowed quality drift before the (non-blocking) warning fires.
+const QUALITY_PSNR_SLACK_DB: f64 = 0.5;
+const QUALITY_CR_SLACK_PCT: f64 = 5.0;
+
+/// Non-blocking quality diff: warnings for every gated path whose PSNR
+/// fell more than `QUALITY_PSNR_SLACK_DB` dB or whose ratio fell more than
+/// `QUALITY_CR_SLACK_PCT` percent below the baseline's `quality` section.
+/// A baseline without that section (pre-refactor files) diffs nothing.
+fn quality_warnings(fresh: &[QualityReport], doc: &JsonValue) -> Vec<String> {
+    let mut out = Vec::new();
+    for r in fresh {
+        let Some(base) = doc.get("quality").and_then(|q| q.get(&r.codec)) else {
+            continue;
+        };
+        if let Some(base_psnr) = base.get("psnr_db").and_then(JsonValue::as_f64) {
+            if r.psnr_db < base_psnr - QUALITY_PSNR_SLACK_DB {
+                out.push(format!(
+                    "{}: PSNR fell {:.2} dB (baseline {:.2}, fresh {:.2})",
+                    r.codec,
+                    base_psnr - r.psnr_db,
+                    base_psnr,
+                    r.psnr_db
+                ));
+            }
+        }
+        if let Some(base_cr) = base.get("cr_total").and_then(JsonValue::as_f64) {
+            let pct = 100.0 * (1.0 - r.cr_total / base_cr);
+            if pct > QUALITY_CR_SLACK_PCT {
+                out.push(format!(
+                    "{}: ratio fell {pct:.1}% (baseline {base_cr:.2}x, fresh {:.2}x)",
+                    r.codec, r.cr_total
+                ));
+            }
+        }
+    }
+    out
+}
+
 /// Measure every gated path on the bench_pipeline dataset.
 fn measure(samples: usize) -> (Vec<Measurement>, Vec<StageRow>) {
     let ds = Dataset::generate(DatasetKind::Cldhgh, Scale::Small, 2021);
@@ -134,7 +208,12 @@ fn measure(samples: usize) -> (Vec<Measurement>, Vec<StageRow>) {
 /// The `host` section records the kernel backend and worker count the
 /// numbers were taken with, so a later gate run can refuse to compare
 /// across incompatible hosts.
-fn to_json(samples: usize, measured: &[Measurement], stages: &[StageRow]) -> String {
+fn to_json(
+    samples: usize,
+    measured: &[Measurement],
+    stages: &[StageRow],
+    quality: &[QualityReport],
+) -> String {
     let mut s = String::from("{\n");
     s.push_str(&format!("  \"samples\": {samples},\n"));
     s.push_str(&format!(
@@ -161,6 +240,12 @@ fn to_json(samples: usize, measured: &[Measurement], stages: &[StageRow]) -> Str
             .collect::<Vec<_>>()
             .join(", ");
         s.push_str(&format!("    \"{}\": {{ {fields} }}{sep}\n", row.name));
+    }
+    s.push_str("  },\n");
+    s.push_str("  \"quality\": {\n");
+    for (i, r) in quality.iter().enumerate() {
+        let sep = if i + 1 == quality.len() { "" } else { "," };
+        s.push_str(&format!("    \"{}\": {}{sep}\n", r.codec, r.to_json()));
     }
     s.push_str("  }\n}\n");
     s
@@ -280,6 +365,7 @@ fn main() {
         dpz_telemetry::trace::start();
     }
     let (measured, stages) = measure(samples);
+    let quality = measure_quality();
     if with_trace {
         dpz_telemetry::trace::stop();
         let trace = dpz_telemetry::trace::drain();
@@ -306,8 +392,17 @@ fn main() {
             .join("  ");
         println!("  {:<24} [{fields}]", row.name);
     }
+    for r in &quality {
+        println!(
+            "  {:<24} {:>7.2} dB  θ {:.3e}  CR {:.2}x",
+            format!("quality_{}", r.codec),
+            r.psnr_db,
+            r.theta,
+            r.cr_total
+        );
+    }
     if let Some(path) = &out {
-        std::fs::write(path, to_json(samples, &measured, &stages))
+        std::fs::write(path, to_json(samples, &measured, &stages, &quality))
             .unwrap_or_else(|e| fail(&format!("write {path}: {e}")));
         println!("wrote {path}");
     }
@@ -324,6 +419,11 @@ fn main() {
                 "{why}; refusing to compare (pass --allow-backend-mismatch to override)"
             ));
         }
+    }
+    // Quality diffs warn but never fail: quality is pinned byte-exactly by
+    // the golden-artifact tests, so the gate's job here is visibility.
+    for warning in quality_warnings(&quality, &doc) {
+        eprintln!("gate: warning (non-blocking): quality: {warning}");
     }
     match regressions(&measured, &doc, max_regress) {
         Ok(regressed) if regressed.is_empty() => {
@@ -362,9 +462,39 @@ mod tests {
             name: "compress_dpz_loose",
             ms: [1.0, 0.5, 2.0, 0.25, 0.75],
         }];
-        let doc = json::parse(&to_json(5, &base, &stage_rows)).unwrap();
+        let quality = vec![QualityReport {
+            dataset: "cldhgh".into(),
+            codec: "dpz_loose".into(),
+            n_values: 4096,
+            value_range: 1.0,
+            psnr_db: 72.0,
+            mse: 1e-8,
+            max_abs_error: 1e-3,
+            theta: 1e-3,
+            cr_total: 12.0,
+            bit_rate: 2.6,
+            cr_stage12: Some(2.0),
+            cr_stage3: Some(4.0),
+            cr_lossless: Some(1.5),
+        }];
+        let doc = json::parse(&to_json(5, &base, &stage_rows, &quality)).unwrap();
         assert_eq!(doc.get("samples").and_then(JsonValue::as_f64), Some(5.0));
         assert_eq!(baseline_ms(&doc, "sz_canary"), Some(2.0));
+
+        // The quality section round-trips and diffs non-blockingly: an
+        // identical fresh run raises no warnings, a worse one warns.
+        let entry = doc
+            .get("quality")
+            .and_then(|q| q.get("dpz_loose"))
+            .expect("quality.dpz_loose");
+        assert_eq!(entry.get("psnr_db").and_then(JsonValue::as_f64), Some(72.0));
+        assert!(quality_warnings(&quality, &doc).is_empty());
+        let mut worse = quality.clone();
+        worse[0].psnr_db = 70.0;
+        worse[0].cr_total = 10.0;
+        let warnings = quality_warnings(&worse, &doc);
+        assert_eq!(warnings.len(), 2, "{warnings:?}");
+        assert!(warnings[0].contains("PSNR"), "{warnings:?}");
 
         // The per-stage breakdown round-trips alongside the gate totals
         // and uses the pipeline stage names.

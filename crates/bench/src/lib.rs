@@ -17,4 +17,5 @@
 #![warn(missing_docs)]
 
 pub mod harness;
+pub mod quality;
 pub mod runners;

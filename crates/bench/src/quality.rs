@@ -1,0 +1,168 @@
+//! Z-checker-style quality assessment: one structured report per
+//! (dataset, codec, target) combination — PSNR, pointwise error extremes,
+//! the paper's range-relative θ, and the per-stage compression-ratio
+//! breakdown — serialized as JSON so CI can archive it and `perf_gate`
+//! can diff it against a checked-in baseline.
+
+use dpz_core::CompressionStats;
+use dpz_data::metrics;
+
+/// One quality assessment of a compress→decompress roundtrip.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QualityReport {
+    /// What was compressed (dataset name or file).
+    pub dataset: String,
+    /// Backend / operating point label (e.g. `dpz-loose`, `dpz-ratio8`).
+    pub codec: String,
+    /// Number of values.
+    pub n_values: usize,
+    /// Input value range (max − min).
+    pub value_range: f64,
+    /// Range-referenced PSNR in dB.
+    pub psnr_db: f64,
+    /// Mean squared error.
+    pub mse: f64,
+    /// Largest pointwise absolute error.
+    pub max_abs_error: f64,
+    /// θ — the paper's quality metric: max pointwise error over the value
+    /// range.
+    pub theta: f64,
+    /// End-to-end compression ratio.
+    pub cr_total: f64,
+    /// Bit rate of the compressed stream (bits per value).
+    pub bit_rate: f64,
+    /// Stage-1&2 ratio (original over f32 core), when the DPZ pipeline ran.
+    pub cr_stage12: Option<f64>,
+    /// Stage-3 quantizer ratio, when the DPZ pipeline ran.
+    pub cr_stage3: Option<f64>,
+    /// Lossless add-on ratio, when the DPZ pipeline ran.
+    pub cr_lossless: Option<f64>,
+}
+
+impl QualityReport {
+    /// Assess one roundtrip: `original` vs `reconstructed`, with the
+    /// compressed size and (for DPZ) the pipeline's own stage stats.
+    pub fn assess(
+        dataset: &str,
+        codec: &str,
+        original: &[f32],
+        reconstructed: &[f32],
+        compressed_bytes: usize,
+        stats: Option<&CompressionStats>,
+    ) -> QualityReport {
+        assert_eq!(
+            original.len(),
+            reconstructed.len(),
+            "quality assessment needs matching lengths"
+        );
+        let range = metrics::value_range(original);
+        let max_err = metrics::max_abs_error(original, reconstructed);
+        QualityReport {
+            dataset: dataset.to_string(),
+            codec: codec.to_string(),
+            n_values: original.len(),
+            value_range: range,
+            psnr_db: metrics::psnr(original, reconstructed),
+            mse: metrics::mse(original, reconstructed),
+            max_abs_error: max_err,
+            theta: if range > 0.0 { max_err / range } else { 0.0 },
+            cr_total: metrics::compression_ratio(original.len() * 4, compressed_bytes),
+            bit_rate: metrics::bit_rate(original.len(), compressed_bytes),
+            cr_stage12: stats.map(|s| s.cr_stage12),
+            cr_stage3: stats.map(|s| s.cr_stage3),
+            cr_lossless: stats.map(|s| s.cr_zlib),
+        }
+    }
+
+    /// The report as one JSON object (hand-rolled like the rest of the
+    /// workspace's JSON emitters — no serde dependency).
+    pub fn to_json(&self) -> String {
+        let stage = |v: Option<f64>| match v {
+            Some(x) => format!("{x:.4}"),
+            None => "null".to_string(),
+        };
+        format!(
+            concat!(
+                "{{ \"dataset\": \"{}\", \"codec\": \"{}\", \"n_values\": {}, ",
+                "\"value_range\": {:.6e}, \"psnr_db\": {:.3}, \"mse\": {:.6e}, ",
+                "\"max_abs_error\": {:.6e}, \"theta\": {:.6e}, ",
+                "\"cr_total\": {:.4}, \"bit_rate\": {:.4}, ",
+                "\"cr_stage12\": {}, \"cr_stage3\": {}, \"cr_lossless\": {} }}"
+            ),
+            self.dataset,
+            self.codec,
+            self.n_values,
+            self.value_range,
+            self.psnr_db,
+            self.mse,
+            self.max_abs_error,
+            self.theta,
+            self.cr_total,
+            self.bit_rate,
+            stage(self.cr_stage12),
+            stage(self.cr_stage3),
+            stage(self.cr_lossless),
+        )
+    }
+}
+
+/// Serialize reports as a JSON document keyed by `"<dataset>/<codec>"`.
+pub fn reports_to_json(reports: &[QualityReport]) -> String {
+    let mut s = String::from("{\n  \"quality\": {\n");
+    for (i, r) in reports.iter().enumerate() {
+        let sep = if i + 1 == reports.len() { "" } else { "," };
+        s.push_str(&format!(
+            "    \"{}/{}\": {}{sep}\n",
+            r.dataset,
+            r.codec,
+            r.to_json()
+        ));
+    }
+    s.push_str("  }\n}\n");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpz_core::DpzConfig;
+
+    #[test]
+    fn report_round_trips_through_the_workspace_json_parser() {
+        let data: Vec<f32> = (0..4096).map(|i| (i as f32 * 0.01).sin()).collect();
+        let out = dpz_core::compress(&data, &[64, 64], &DpzConfig::loose()).unwrap();
+        let (recon, _) = dpz_core::decompress(&out.bytes).unwrap();
+        let report = QualityReport::assess(
+            "synthetic",
+            "dpz-loose",
+            &data,
+            &recon,
+            out.bytes.len(),
+            Some(&out.stats),
+        );
+        assert!(report.psnr_db > 40.0, "{report:?}");
+        assert!(report.theta > 0.0 && report.theta < 0.01, "{report:?}");
+        assert!(report.cr_total > 1.0);
+        assert!(report.cr_stage3.unwrap() > 1.0);
+
+        let doc = dpz_telemetry::json::parse(&reports_to_json(std::slice::from_ref(&report)))
+            .expect("valid JSON");
+        let entry = doc
+            .get("quality")
+            .and_then(|q| q.get("synthetic/dpz-loose"))
+            .expect("keyed entry");
+        let f = |k: &str| entry.get(k).and_then(|v| v.as_f64()).unwrap();
+        assert!((f("psnr_db") - report.psnr_db).abs() < 1e-2);
+        assert!((f("cr_total") - report.cr_total).abs() < 1e-3);
+        assert!(f("theta") > 0.0);
+    }
+
+    #[test]
+    fn baseline_reports_omit_stage_ratios() {
+        let a = vec![1.0f32, 2.0, 3.0, 4.0];
+        let report = QualityReport::assess("x", "sz", &a, &a, 8, None);
+        assert_eq!(report.cr_stage3, None);
+        assert!(report.psnr_db.is_infinite(), "identical data → ∞ dB");
+        assert!(report.to_json().contains("\"cr_stage3\": null"));
+    }
+}

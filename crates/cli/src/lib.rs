@@ -17,7 +17,9 @@
 use dpz_codec::{
     AutoCodec, Codec, CodecStats, DpzChunkedCodec, DpzCodec, Registry, SzCodec, ZfpCodec,
 };
-use dpz_core::{ContainerInfo, DpzConfig, KSelection, LosslessBackend, Stage1Transform, TveLevel};
+use dpz_core::{
+    ContainerInfo, DpzConfig, KSelection, LosslessBackend, QualityTarget, Stage1Transform, TveLevel,
+};
 use dpz_data::dataset::DEFAULT_SEED;
 use dpz_data::io::{read_f32_file, write_f32_file};
 use dpz_data::metrics;
@@ -52,6 +54,8 @@ USAGE:
                [--transform dct|dwt] [--lossless deflate|tans] [--chunks N (dpzc)]
                [--progressive (dpzc)] [--eb BOUND, --predictor lorenzo|auto (sz)]
                [--precision BITS | --rate BITS/VAL (zfp)]
+               [--target-ratio R [--ratio-tol T] | --target-psnr DB |
+                --rel-bound REL | --abs-bound P]
                [--threads N] [--verbose] [--metrics-out <file[.prom|.json]>]
                [--trace-out <trace.json>]
   dpz decompress <in.dpz> <out.f32> [--threads N] [--verbose] [--metrics-out <file>]
@@ -62,6 +66,16 @@ USAGE:
 
 DATASETS: Isotropic Channel CLDHGH CLDLOW PHIS FREQSH FLDSC HACC-x HACC-vx
 NINES:    3..=8 (\"--tve 5\" = 99.999%)
+
+QUALITY TARGETS (any codec, mutually exclusive):
+  --target-ratio R   search the bound space until the compression ratio
+                     lands within --ratio-tol (default 0.1) of R, or fail
+                     with the best achievable ratio
+  --target-psnr DB   pick the bound for a reconstruction quality of DB
+                     decibels, validated against the real roundtrip
+  --rel-bound REL    pointwise error at most REL x the input's value range
+  --abs-bound P      absolute quantizer bound P (DPZ) / absolute error
+                     bound (sz, zfp)
 
 OBSERVABILITY:
   --verbose      trace every pipeline span to stderr (same as DPZ_TRACE=1)
@@ -246,13 +260,75 @@ fn compress_summary(
     msg
 }
 
-/// Build a [`DpzConfig`] from the optional flags.
+/// Parse a float-valued flag, rejecting malformed values with the flag
+/// name in the message.
+fn float_flag(args: &[String], flag: &str) -> Result<Option<f64>, CliError> {
+    match flag_value(args, flag) {
+        Some(v) => v
+            .parse::<f64>()
+            .map(Some)
+            .map_err(|_| err(format!("{flag} expects a number, got '{v}'"))),
+        None if has_flag(args, flag) => Err(err(format!("{flag} needs a value"))),
+        None => Ok(None),
+    }
+}
+
+/// Parse the quality-target flags into a [`QualityTarget`], if any is
+/// present. The four spellings are mutually exclusive, and every parsed
+/// target is validated through [`QualityTarget::validate`] — nonsense
+/// values (non-positive bounds, tolerance ≥ 1, PSNR ≤ 0) come back as
+/// errors, never panics.
+pub fn target_from_args(args: &[String]) -> Result<Option<QualityTarget>, CliError> {
+    let ratio = float_flag(args, "--target-ratio")?;
+    let tol = float_flag(args, "--ratio-tol")?;
+    let psnr = float_flag(args, "--target-psnr")?;
+    let rel = float_flag(args, "--rel-bound")?;
+    let abs = float_flag(args, "--abs-bound")?;
+    if tol.is_some() && ratio.is_none() {
+        return Err(err("--ratio-tol requires --target-ratio"));
+    }
+    let mut targets = Vec::new();
+    if let Some(r) = ratio {
+        targets.push(QualityTarget::Ratio {
+            target: r,
+            tol: tol.unwrap_or(0.1),
+        });
+    }
+    if let Some(db) = psnr {
+        targets.push(QualityTarget::Psnr(db));
+    }
+    if let Some(r) = rel {
+        targets.push(QualityTarget::RelBound(r));
+    }
+    if let Some(p) = abs {
+        targets.push(QualityTarget::ErrorBound(p));
+    }
+    if targets.len() > 1 {
+        return Err(err(
+            "--target-ratio, --target-psnr, --rel-bound and --abs-bound are mutually exclusive",
+        ));
+    }
+    match targets.pop() {
+        Some(t) => {
+            t.validate().map_err(|e| err(e.to_string()))?;
+            Ok(Some(t))
+        }
+        None => Ok(None),
+    }
+}
+
+/// Build a [`DpzConfig`] from the optional flags — the one construction
+/// path every DPZ-family codec selection goes through (single-stream,
+/// chunked, and progressive alike).
 pub fn config_from_args(args: &[String]) -> Result<DpzConfig, CliError> {
     let mut cfg = match flag_value(args, "--scheme").unwrap_or("loose") {
         "loose" => DpzConfig::loose(),
         "strict" => DpzConfig::strict(),
         other => return Err(err(format!("unknown --scheme '{other}'"))),
     };
+    if let Some(target) = target_from_args(args)? {
+        cfg = cfg.with_target(target);
+    }
     if let Some(nines) = flag_value(args, "--tve") {
         let n: u32 = nines.parse().map_err(|_| err("--tve expects 3..=8"))?;
         let level = match n {
@@ -381,6 +457,11 @@ fn codec_from_args(args: &[String]) -> Result<(Box<dyn Codec>, String), CliError
                 .unwrap_or("1e-3")
                 .parse()
                 .map_err(|_| err("--eb expects a float"))?;
+            // The SzConfig constructor asserts on bad bounds; reject them
+            // here as a typed error instead.
+            if !(eb > 0.0 && eb.is_finite()) {
+                return Err(err(format!("--eb must be positive and finite, got {eb}")));
+            }
             let mut cfg = dpz_sz::SzConfig::with_error_bound(eb);
             if let Some(p) = flag_value(args, "--predictor") {
                 cfg = match p {
@@ -425,11 +506,17 @@ fn cmd_compress(args: &[String]) -> Result<String, CliError> {
     let (codec, suffix) = codec_from_args(args)?;
     let threads = apply_threads(args)?;
     let data = read_f32_file(input).map_err(|e| err(format!("read {input}: {e}")))?;
+    let target = target_from_args(args)?;
     let run = telemetry_begin(args)?;
     let mut bytes = Vec::new();
-    let stats = codec
-        .compress_into(&data, &dims, &mut bytes)
-        .map_err(|e| err(e.to_string()))?;
+    // A quality target routes through the resolving entry point (identical
+    // to compress_into for the DPZ codecs, whose config already carries the
+    // target, but required for sz/zfp/auto which map it per input).
+    let stats = match &target {
+        Some(t) => codec.compress_with_target(&data, &dims, t, &mut bytes),
+        None => codec.compress_into(&data, &dims, &mut bytes),
+    }
+    .map_err(|e| err(e.to_string()))?;
     std::fs::write(output, &bytes).map_err(|e| err(format!("write {output}: {e}")))?;
     let delta = telemetry_finish(args, run)?;
     let crc = match &stats.dpz {
@@ -644,9 +731,10 @@ mod tests {
 
     #[test]
     fn config_parsing() {
-        use dpz_core::Scheme;
+        use dpz_core::IndexWidth;
         let cfg = config_from_args(&s(&["--scheme", "strict", "--tve", "7"])).unwrap();
-        assert_eq!(cfg.scheme, Scheme::Strict);
+        assert_eq!(cfg.target, QualityTarget::ErrorBound(1e-4));
+        assert_eq!(cfg.index_width, IndexWidth::Wide);
         assert_eq!(cfg.selection, KSelection::Tve(0.9999999));
         let cfg = config_from_args(&s(&["--knee", "polyn", "--sampling"])).unwrap();
         assert!(matches!(
@@ -663,6 +751,63 @@ mod tests {
             LosslessBackend::Deflate
         );
         assert!(config_from_args(&s(&["--lossless", "lzma"])).is_err());
+    }
+
+    #[test]
+    fn target_flag_parsing() {
+        assert_eq!(target_from_args(&[]).unwrap(), None);
+        assert_eq!(
+            target_from_args(&s(&["--target-ratio", "8"])).unwrap(),
+            Some(QualityTarget::Ratio {
+                target: 8.0,
+                tol: 0.1
+            })
+        );
+        assert_eq!(
+            target_from_args(&s(&["--target-ratio", "8", "--ratio-tol", "0.25"])).unwrap(),
+            Some(QualityTarget::Ratio {
+                target: 8.0,
+                tol: 0.25
+            })
+        );
+        assert_eq!(
+            target_from_args(&s(&["--target-psnr", "60"])).unwrap(),
+            Some(QualityTarget::Psnr(60.0))
+        );
+        assert_eq!(
+            target_from_args(&s(&["--rel-bound", "1e-3"])).unwrap(),
+            Some(QualityTarget::RelBound(1e-3))
+        );
+        assert_eq!(
+            target_from_args(&s(&["--abs-bound", "1e-4"])).unwrap(),
+            Some(QualityTarget::ErrorBound(1e-4))
+        );
+        // A target flag flows into the shared config builder.
+        let cfg = config_from_args(&s(&["--target-psnr", "70"])).unwrap();
+        assert_eq!(cfg.target, QualityTarget::Psnr(70.0));
+    }
+
+    #[test]
+    fn bad_targets_are_typed_errors_not_panics() {
+        for bad in [
+            vec!["--target-ratio", "0.5"],
+            vec!["--target-ratio", "8", "--ratio-tol", "1.5"],
+            vec!["--target-psnr", "-10"],
+            vec!["--rel-bound", "0"],
+            vec!["--abs-bound", "-1e-3"],
+            vec!["--abs-bound", "NaN"],
+            vec!["--target-ratio", "8", "--target-psnr", "60"],
+            vec!["--ratio-tol", "0.1"],
+            vec!["--target-ratio"],
+        ] {
+            let e = target_from_args(&s(&bad)).unwrap_err();
+            assert!(!e.0.is_empty(), "{bad:?}");
+        }
+        let e = run(&s(&[
+            "compress", "a", "b", "--dims", "4x4", "--eb", "-1", "--codec", "sz",
+        ]))
+        .unwrap_err();
+        assert!(e.0.contains("--eb"), "{}", e.0);
     }
 
     #[test]

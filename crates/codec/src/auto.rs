@@ -2,15 +2,10 @@
 //! Tao et al. use online sampling to pick between SZ and ZFP).
 
 use crate::wrappers::{DpzCodec, SzCodec, ZfpCodec};
-use crate::{check_dims, read_all, Codec, CodecStats, Decoded, Format};
+use crate::{check_dims, read_all, Codec, CodecProbe, CodecStats, Decoded, Format};
 use dpz_core::decompose::{choose_shape, dct_blocks, to_blocks};
-use dpz_core::{DpzConfig, DpzError, SamplingStrategy};
+use dpz_core::{DpzConfig, DpzError, QualityTarget, SamplingStrategy, PROBE_CAP};
 use std::io::{Read, Write};
-
-/// Largest prefix (in values) the selector probes. 64Ki values keeps the
-/// probe under a millisecond-scale budget while giving Algorithm 2 a block
-/// matrix large enough for stable subset-k estimates.
-const SAMPLE_CAP: usize = 64 * 1024;
 
 /// Below this many values the DPZ block matrix is too small for the VIF
 /// probe to mean anything; hand tiny inputs straight to SZ.
@@ -77,7 +72,7 @@ impl AutoCodec {
         }
 
         let _probe_span = dpz_telemetry::span!("auto.select");
-        let sample = &src[..src.len().min(SAMPLE_CAP)];
+        let sample = &src[..src.len().min(PROBE_CAP)];
         let dpz_cr = {
             let _s = dpz_telemetry::span!("auto.predict_dpz");
             self.predict_dpz(sample).unwrap_or(0.0)
@@ -110,6 +105,84 @@ impl AutoCodec {
         } else {
             Selection::Zfp
         })
+    }
+
+    /// Quality predictions for every eligible backend at `target`, in
+    /// registry order. Backends whose probe fails (bad geometry, target
+    /// out of range) are simply absent — the caller picks among the rest.
+    pub fn probe_all(
+        &self,
+        src: &[f32],
+        dims: &[usize],
+        target: &QualityTarget,
+    ) -> Result<Vec<CodecProbe>, DpzError> {
+        check_dims(src, dims)?;
+        target.validate()?;
+        let baseline_ok = (1..=3).contains(&dims.len()) && dims.iter().all(|&d| d > 0);
+        let mut probes = Vec::new();
+        if src.len() >= TINY_INPUT {
+            if let Ok(p) = DpzCodec::default().probe(src, dims, target) {
+                probes.push(p);
+            }
+        }
+        if baseline_ok {
+            if let Ok(p) = self.sz.probe(src, dims, target) {
+                probes.push(p);
+            }
+            if let Ok(p) = self.zfp.probe(src, dims, target) {
+                probes.push(p);
+            }
+        }
+        if probes.is_empty() {
+            return Err(DpzError::BadInput(
+                "no backend can probe this input/target combination",
+            ));
+        }
+        Ok(probes)
+    }
+
+    /// Rate-distortion-optimal choice among `probes` for `target` (Tao et
+    /// al.'s online selection, generalized): at a fixed ratio take the best
+    /// predicted quality among backends predicted to reach the ratio; at a
+    /// fixed quality take the best predicted ratio among backends predicted
+    /// to reach the quality; for plain bounds take the best predicted
+    /// ratio. When no backend is predicted to reach the target, the least
+    /// bad one is returned — the real compression then lands or fails
+    /// typed.
+    pub fn select_probe(probes: &[CodecProbe], target: &QualityTarget) -> Option<CodecProbe> {
+        let max_by = |probes: &[CodecProbe], key: fn(&CodecProbe) -> f64| {
+            probes
+                .iter()
+                .copied()
+                .max_by(|a, b| key(a).total_cmp(&key(b)))
+        };
+        match *target {
+            QualityTarget::Ratio { target: t, tol } => {
+                let eligible: Vec<CodecProbe> = probes
+                    .iter()
+                    .copied()
+                    .filter(|p| p.predicted_cr >= t * (1.0 - tol))
+                    .collect();
+                if eligible.is_empty() {
+                    max_by(probes, |p| p.predicted_cr)
+                } else {
+                    max_by(&eligible, |p| p.predicted_psnr)
+                }
+            }
+            QualityTarget::Psnr(db) => {
+                let eligible: Vec<CodecProbe> = probes
+                    .iter()
+                    .copied()
+                    .filter(|p| p.predicted_psnr >= db - dpz_core::PSNR_SLACK_DB)
+                    .collect();
+                if eligible.is_empty() {
+                    max_by(probes, |p| p.predicted_psnr)
+                } else {
+                    max_by(&eligible, |p| p.predicted_cr)
+                }
+            }
+            _ => max_by(probes, |p| p.predicted_cr),
+        }
     }
 
     /// Pessimistic end of the paper's predicted CR range for the sample.
@@ -211,12 +284,45 @@ impl Codec for AutoCodec {
         }
     }
 
+    fn compress_with_target(
+        &self,
+        src: &[f32],
+        dims: &[usize],
+        target: &QualityTarget,
+        dst: &mut dyn Write,
+    ) -> Result<CodecStats, DpzError> {
+        let probes = self.probe_all(src, dims, target)?;
+        let winner =
+            AutoCodec::select_probe(&probes, target).expect("probe_all guarantees non-empty");
+        dpz_telemetry::global()
+            .counter_with("dpz_codec_selected_total", &[("codec", winner.codec)])
+            .inc();
+        if dpz_telemetry::trace::journal_enabled() {
+            dpz_telemetry::trace::instant(&format!("codec_selected.{}", winner.codec));
+        }
+        match winner.codec {
+            "sz" => self.sz.compress_with_target(src, dims, target, dst),
+            "zfp" => self.zfp.compress_with_target(src, dims, target, dst),
+            _ => DpzCodec::default().compress_with_target(src, dims, target, dst),
+        }
+    }
+
     fn decompress_from(&self, src: &mut dyn Read) -> Result<Decoded, DpzError> {
         let bytes = read_all(src)?;
         crate::Registry::builtin().decompress(&bytes)
     }
 
-    fn probe(&self, header: &[u8]) -> Option<Format> {
+    fn probe(
+        &self,
+        src: &[f32],
+        dims: &[usize],
+        target: &QualityTarget,
+    ) -> Result<CodecProbe, DpzError> {
+        let probes = self.probe_all(src, dims, target)?;
+        Ok(AutoCodec::select_probe(&probes, target).expect("probe_all guarantees non-empty"))
+    }
+
+    fn sniff(&self, header: &[u8]) -> Option<Format> {
         Format::ALL
             .into_iter()
             .find(|f| header.len() >= 4 && &header[..4] == f.magic())

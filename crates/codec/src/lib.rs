@@ -7,16 +7,21 @@
 //!
 //! Three pieces:
 //!
-//! * [`Codec`] — the streaming trait: `compress_into` a [`std::io::Write`],
-//!   `decompress_from` a [`std::io::Read`], and `probe` a header for format
-//!   sniffing. Implemented here for DPZ single-stream ([`DpzCodec`]),
-//!   DPZ chunked ([`DpzChunkedCodec`]), SZ ([`SzCodec`]) and ZFP
-//!   ([`ZfpCodec`]).
+//! * [`Codec`] — the streaming trait: `compress_into` a [`std::io::Write`]
+//!   with the configured knobs, `compress_with_target` toward a
+//!   [`QualityTarget`] resolved per input, `decompress_from` a
+//!   [`std::io::Read`], `probe` a quality prediction (CR *and* PSNR) from a
+//!   bounded prefix, and `sniff` a header for format identification.
+//!   Implemented here for DPZ single-stream ([`DpzCodec`]), DPZ chunked
+//!   ([`DpzChunkedCodec`]), SZ ([`SzCodec`]) and ZFP ([`ZfpCodec`]).
 //! * [`Registry`] — sniffs `DPZ1`/`DPZC`/`SZR1`/`ZFR1` magic and dispatches
 //!   to the owning codec; [`Registry::builtin`] registers all four.
 //! * [`AutoCodec`] — per-input backend selection using the paper's §V
 //!   sampling predictor (`CR_p = (M/k_e) × CR'_stage3 × CR'_zlib`) for DPZ
-//!   against micro-probes of SZ and ZFP on a sample.
+//!   against micro-probes of SZ and ZFP on a sample; under a quality
+//!   target the selection is rate-distortion-optimal (Tao et al.'s online
+//!   SZ-vs-ZFP style): best predicted PSNR at a fixed ratio, best
+//!   predicted ratio at a fixed quality.
 //!
 //! The DPZ pipeline's *internal* composition substrate — the [`Stage`]
 //! trait, [`StageGraph`] engine, and [`BufferPool`] — lives in
@@ -33,6 +38,7 @@ pub use auto::{AutoCodec, Selection};
 pub use dpz_core::stage::{BufferPool, Stage, StageGraph, StageTrace};
 pub use dpz_core::ProgressiveDecoded;
 pub use dpz_core::{CompressionStats, ContainerInfo, DpzError, PipelinePlan};
+pub use dpz_core::{QualityTarget, PROBE_CAP};
 pub use registry::{Format, Registry};
 pub use wrappers::{DpzChunkedCodec, DpzCodec, SzCodec, ZfpCodec};
 
@@ -74,8 +80,25 @@ pub struct Decoded {
     pub info: Option<ContainerInfo>,
 }
 
+/// What a quality probe predicts for one backend on one input, from a
+/// prefix of at most [`PROBE_CAP`] values.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CodecProbe {
+    /// Backend the prediction is for.
+    pub codec: &'static str,
+    /// Predicted end-to-end compression ratio at the probed target.
+    pub predicted_cr: f64,
+    /// Predicted reconstruction quality (dB) at the probed target.
+    pub predicted_psnr: f64,
+    /// How many leading values the probe actually examined (its prefix
+    /// size — `min(len, PROBE_CAP)`).
+    pub prefix_values: usize,
+}
+
 /// The contract every compressor implements: streaming compress into any
-/// [`Write`], streaming decompress from any [`Read`], and header sniffing.
+/// [`Write`] (with configured knobs or toward a resolved [`QualityTarget`]),
+/// streaming decompress from any [`Read`], quality probing, and header
+/// sniffing.
 ///
 /// Implementations must be `Send + Sync` so a registry can be shared across
 /// worker threads; all state is per-call.
@@ -83,7 +106,8 @@ pub trait Codec: Send + Sync {
     /// Stable codec name (`"dpz"`, `"dpzc"`, `"sz"`, `"zfp"`, `"auto"`).
     fn name(&self) -> &'static str;
 
-    /// Compress `src` (shape `dims`) into `dst`.
+    /// Compress `src` (shape `dims`) into `dst` with the codec's configured
+    /// knobs.
     fn compress_into(
         &self,
         src: &[f32],
@@ -91,19 +115,82 @@ pub trait Codec: Send + Sync {
         dst: &mut dyn Write,
     ) -> Result<CodecStats, DpzError>;
 
+    /// Compress `src` toward `target`, resolving it against this input
+    /// (closed form, search, or knob mapping — backend-specific) before
+    /// encoding. The codec's other configured knobs still apply.
+    fn compress_with_target(
+        &self,
+        src: &[f32],
+        dims: &[usize],
+        target: &QualityTarget,
+        dst: &mut dyn Write,
+    ) -> Result<CodecStats, DpzError>;
+
     /// Decompress a complete stream read from `src`.
     fn decompress_from(&self, src: &mut dyn Read) -> Result<Decoded, DpzError>;
+
+    /// Predict what compressing `src` toward `target` would yield — ratio
+    /// *and* PSNR — from a prefix of at most [`PROBE_CAP`] values.
+    ///
+    /// The default implementation micro-compresses the prefix for real and
+    /// measures both numbers (cheap for the baseline codecs); backends with
+    /// an analytic model override it.
+    fn probe(
+        &self,
+        src: &[f32],
+        dims: &[usize],
+        target: &QualityTarget,
+    ) -> Result<CodecProbe, DpzError> {
+        check_dims(src, dims)?;
+        target.validate()?;
+        let n = src.len().min(PROBE_CAP);
+        let sample = &src[..n];
+        let mut sink = Vec::new();
+        let stats = self.compress_with_target(sample, &[n], target, &mut sink)?;
+        let decoded = self.decompress_from(&mut &sink[..])?;
+        Ok(CodecProbe {
+            codec: self.name(),
+            predicted_cr: stats.ratio(),
+            predicted_psnr: probe_psnr(sample, &decoded.values),
+            prefix_values: n,
+        })
+    }
 
     /// Whether `header` (the stream's first bytes — at least 4 are needed
     /// for any positive answer) begins a stream this codec decodes, and if
     /// so which format.
-    fn probe(&self, header: &[u8]) -> Option<Format>;
+    fn sniff(&self, header: &[u8]) -> Option<Format>;
 
     /// The random-access view of this codec, when its container format
     /// supports retrieving parts of a stream without a full decode.
     /// Defaults to `None`; seekable formats override it.
     fn as_seekable(&self) -> Option<&dyn Seekable> {
         None
+    }
+}
+
+/// Measured PSNR of a probe roundtrip (range-normalized, matching the
+/// pipeline's own metric).
+pub(crate) fn probe_psnr(original: &[f32], reconstructed: &[f32]) -> f64 {
+    let (lo, hi) = original
+        .iter()
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &v| {
+            (lo.min(f64::from(v)), hi.max(f64::from(v)))
+        });
+    let range = if hi - lo > 0.0 { hi - lo } else { 1.0 };
+    let mse = original
+        .iter()
+        .zip(reconstructed)
+        .map(|(&a, &b)| {
+            let d = f64::from(a) - f64::from(b);
+            d * d
+        })
+        .sum::<f64>()
+        / original.len().max(1) as f64;
+    if mse <= 0.0 {
+        f64::INFINITY
+    } else {
+        20.0 * range.log10() - 10.0 * mse.log10()
     }
 }
 

@@ -75,7 +75,7 @@ impl Registry {
         r
     }
 
-    /// Add a codec. Probing asks codecs in registration order.
+    /// Add a codec. Sniffing asks codecs in registration order.
     pub fn register(&mut self, codec: Box<dyn Codec>) {
         self.codecs.push(codec);
     }
@@ -94,16 +94,16 @@ impl Registry {
     }
 
     /// Identify the codec owning a stream that begins with `header`.
-    pub fn probe(&self, header: &[u8]) -> Option<(&dyn Codec, Format)> {
+    pub fn sniff(&self, header: &[u8]) -> Option<(&dyn Codec, Format)> {
         self.codecs
             .iter()
-            .find_map(|c| c.probe(header).map(|f| (c.as_ref(), f)))
+            .find_map(|c| c.sniff(header).map(|f| (c.as_ref(), f)))
     }
 
     /// Sniff and decompress a complete in-memory stream.
     pub fn decompress(&self, bytes: &[u8]) -> Result<Decoded, DpzError> {
         let (codec, _) = self
-            .probe(bytes)
+            .sniff(bytes)
             .ok_or(DpzError::Corrupt("unknown container magic"))?;
         codec.decompress_from(&mut &bytes[..])
     }
@@ -120,7 +120,7 @@ impl Registry {
     /// answer can still fail per-stream (legacy containers without an
     /// index footer).
     pub fn seekable_for(&self, header: &[u8]) -> Option<&dyn Seekable> {
-        self.probe(header)
+        self.sniff(header)
             .and_then(|(codec, _)| codec.as_seekable())
     }
 }

@@ -1,7 +1,9 @@
 //! [`Codec`] implementations for the four concrete backends.
 
-use crate::{check_dims, io_err, read_all, Codec, CodecStats, Decoded, Format, Seekable};
-use dpz_core::{ContainerInfo, DpzConfig, DpzError};
+use crate::{
+    check_dims, io_err, read_all, Codec, CodecProbe, CodecStats, Decoded, Format, Seekable,
+};
+use dpz_core::{ContainerInfo, DpzConfig, DpzError, QualityTarget, RatioOracle};
 use dpz_sz::{SzConfig, SzError};
 use dpz_zfp::{ZfpError, ZfpMode};
 use std::io::{Read, Write};
@@ -13,6 +15,74 @@ fn write_stream(dst: &mut dyn Write, bytes: &[u8]) -> Result<(), DpzError> {
 
 fn sniff(header: &[u8], format: Format) -> Option<Format> {
     (header.len() >= 4 && &header[..4] == format.magic()).then_some(format)
+}
+
+/// Value range of the input — the denominator of the relative-bound and
+/// PSNR target mappings for the baselines (which, unlike DPZ, do not
+/// normalize internally).
+fn value_range(data: &[f32]) -> f64 {
+    let (lo, hi) = data
+        .iter()
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &v| {
+            (lo.min(f64::from(v)), hi.max(f64::from(v)))
+        });
+    if hi - lo > 0.0 {
+        hi - lo
+    } else {
+        1.0
+    }
+}
+
+/// Closed-form value-domain bound for a PSNR target: uniform quantization
+/// noise `eb²/3` against range-referenced PSNR, with the same 3 dB headroom
+/// the DPZ control loop reserves for secondary error sources.
+fn baseline_bound_for_psnr(db: f64, range: f64) -> f64 {
+    3f64.sqrt() * range * 10f64.powf(-(db + 3.0) / 20.0)
+}
+
+/// DPZ quality prediction shared by the single-stream and chunked wrappers:
+/// resolve the target to a quantizer bound (closed form or oracle search)
+/// and read CR off the sampling oracle, PSNR off the bound.
+fn dpz_probe(
+    codec: &'static str,
+    cfg: &DpzConfig,
+    src: &[f32],
+    dims: &[usize],
+    target: &QualityTarget,
+) -> Result<CodecProbe, DpzError> {
+    check_dims(src, dims)?;
+    target.validate()?;
+    let cfg = cfg.with_target(*target);
+    let oracle = RatioOracle::build(src, &cfg)?;
+    let (p, cr) = match *target {
+        QualityTarget::Ratio { target: t, tol } => {
+            let outcome = dpz_core::search_bound_for_ratio(
+                |p| oracle.predict_cr(p, cfg.wide_for(p)),
+                dpz_core::P_SEARCH_MIN,
+                dpz_core::P_SEARCH_MAX,
+                t,
+                tol,
+            )?;
+            (outcome.p, outcome.predicted_cr)
+        }
+        QualityTarget::Psnr(db) => {
+            let p = dpz_core::bound_for_psnr(db);
+            (p, oracle.predict_cr(p, cfg.wide_for(p)))
+        }
+        _ => {
+            let scheme = cfg.resolved_scheme()?;
+            (
+                scheme.p(),
+                oracle.predict_cr(scheme.p(), scheme.wide_index()),
+            )
+        }
+    };
+    Ok(CodecProbe {
+        codec,
+        predicted_cr: cr,
+        predicted_psnr: dpz_core::psnr_for_bound(p),
+        prefix_values: src.len().min(dpz_core::PROBE_CAP),
+    })
 }
 
 fn sz_err(e: SzError) -> DpzError {
@@ -82,6 +152,16 @@ impl Codec for DpzCodec {
         })
     }
 
+    fn compress_with_target(
+        &self,
+        src: &[f32],
+        dims: &[usize],
+        target: &QualityTarget,
+        dst: &mut dyn Write,
+    ) -> Result<CodecStats, DpzError> {
+        DpzCodec::new(self.cfg.with_target(*target)).compress_into(src, dims, dst)
+    }
+
     fn decompress_from(&self, src: &mut dyn Read) -> Result<Decoded, DpzError> {
         let bytes = read_all(src)?;
         let (values, dims, info) = dpz_core::decompress_with_info(&bytes)?;
@@ -93,7 +173,16 @@ impl Codec for DpzCodec {
         })
     }
 
-    fn probe(&self, header: &[u8]) -> Option<Format> {
+    fn probe(
+        &self,
+        src: &[f32],
+        dims: &[usize],
+        target: &QualityTarget,
+    ) -> Result<CodecProbe, DpzError> {
+        dpz_probe("dpz", &self.cfg, src, dims, target)
+    }
+
+    fn sniff(&self, header: &[u8]) -> Option<Format> {
         sniff(header, Format::Dpz)
     }
 }
@@ -169,6 +258,18 @@ impl Codec for DpzChunkedCodec {
         })
     }
 
+    fn compress_with_target(
+        &self,
+        src: &[f32],
+        dims: &[usize],
+        target: &QualityTarget,
+        dst: &mut dyn Write,
+    ) -> Result<CodecStats, DpzError> {
+        let mut resolved = *self;
+        resolved.cfg = self.cfg.with_target(*target);
+        resolved.compress_into(src, dims, dst)
+    }
+
     fn decompress_from(&self, src: &mut dyn Read) -> Result<Decoded, DpzError> {
         let bytes = read_all(src)?;
         let (values, dims, info) = dpz_core::decompress_chunked_with_info(&bytes)?;
@@ -180,7 +281,18 @@ impl Codec for DpzChunkedCodec {
         })
     }
 
-    fn probe(&self, header: &[u8]) -> Option<Format> {
+    fn probe(
+        &self,
+        src: &[f32],
+        dims: &[usize],
+        target: &QualityTarget,
+    ) -> Result<CodecProbe, DpzError> {
+        // The oracle models the shared pipeline; per-slab framing overhead
+        // is inside the noise the confirmation pass absorbs.
+        dpz_probe("dpzc", &self.cfg, src, dims, target)
+    }
+
+    fn sniff(&self, header: &[u8]) -> Option<Format> {
         sniff(header, Format::DpzChunked)
     }
 
@@ -254,6 +366,38 @@ impl Default for SzCodec {
     }
 }
 
+impl SzCodec {
+    /// Map a [`QualityTarget`] to an absolute error bound for this input.
+    /// Bounds and PSNR have closed forms; a ratio target searches the
+    /// bound space by micro-compressing a bounded prefix (the measurement
+    /// *is* the oracle — SZ is cheap enough that measuring beats
+    /// modelling).
+    fn resolve_bound(&self, src: &[f32], target: &QualityTarget) -> Result<f64, DpzError> {
+        target.validate()?;
+        let range = value_range(src);
+        match *target {
+            QualityTarget::ErrorBound(b) => Ok(b),
+            QualityTarget::RelBound(r) => Ok(r * range),
+            QualityTarget::Psnr(db) => Ok(baseline_bound_for_psnr(db, range)),
+            QualityTarget::Ratio { target: t, tol } => {
+                let n = src.len().min(dpz_core::PROBE_CAP);
+                let sample = &src[..n];
+                let predict = |eb: f64| {
+                    let cfg = SzConfig {
+                        error_bound: eb,
+                        ..self.cfg
+                    };
+                    let bytes = dpz_sz::compress(sample, &[n], &cfg);
+                    (n * 4) as f64 / bytes.len().max(1) as f64
+                };
+                let outcome =
+                    dpz_core::search_bound_for_ratio(predict, 1e-7 * range, 0.3 * range, t, tol)?;
+                Ok(outcome.p)
+            }
+        }
+    }
+}
+
 impl Codec for SzCodec {
     fn name(&self) -> &'static str {
         "sz"
@@ -277,6 +421,23 @@ impl Codec for SzCodec {
         })
     }
 
+    fn compress_with_target(
+        &self,
+        src: &[f32],
+        dims: &[usize],
+        target: &QualityTarget,
+        dst: &mut dyn Write,
+    ) -> Result<CodecStats, DpzError> {
+        check_dims(src, dims)?;
+        check_baseline_geometry(dims)?;
+        let eb = self.resolve_bound(src, target)?;
+        let cfg = SzConfig {
+            error_bound: eb,
+            ..self.cfg
+        };
+        SzCodec::new(cfg).compress_into(src, dims, dst)
+    }
+
     fn decompress_from(&self, src: &mut dyn Read) -> Result<Decoded, DpzError> {
         let bytes = read_all(src)?;
         let (values, dims) = dpz_sz::decompress(&bytes).map_err(sz_err)?;
@@ -288,7 +449,7 @@ impl Codec for SzCodec {
         })
     }
 
-    fn probe(&self, header: &[u8]) -> Option<Format> {
+    fn sniff(&self, header: &[u8]) -> Option<Format> {
         sniff(header, Format::Sz)
     }
 }
@@ -338,6 +499,29 @@ impl Codec for ZfpCodec {
         })
     }
 
+    fn compress_with_target(
+        &self,
+        src: &[f32],
+        dims: &[usize],
+        target: &QualityTarget,
+        dst: &mut dyn Write,
+    ) -> Result<CodecStats, DpzError> {
+        check_dims(src, dims)?;
+        check_baseline_geometry(dims)?;
+        target.validate()?;
+        let range = value_range(src);
+        // Every target maps to a native ZFP mode: bounds and PSNR to fixed
+        // accuracy, ratio to fixed rate (which hits the ratio *exactly* —
+        // 32 uncompressed bits per value over `32/target` coded bits).
+        let mode = match *target {
+            QualityTarget::ErrorBound(b) => ZfpMode::FixedAccuracy(b),
+            QualityTarget::RelBound(r) => ZfpMode::FixedAccuracy(r * range),
+            QualityTarget::Psnr(db) => ZfpMode::FixedAccuracy(baseline_bound_for_psnr(db, range)),
+            QualityTarget::Ratio { target: t, .. } => ZfpMode::FixedRate(32.0 / t),
+        };
+        ZfpCodec::new(mode).compress_into(src, dims, dst)
+    }
+
     fn decompress_from(&self, src: &mut dyn Read) -> Result<Decoded, DpzError> {
         let bytes = read_all(src)?;
         let (values, dims) = dpz_zfp::decompress(&bytes).map_err(zfp_err)?;
@@ -349,7 +533,7 @@ impl Codec for ZfpCodec {
         })
     }
 
-    fn probe(&self, header: &[u8]) -> Option<Format> {
+    fn sniff(&self, header: &[u8]) -> Option<Format> {
         sniff(header, Format::Zfp)
     }
 }

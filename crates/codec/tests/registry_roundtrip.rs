@@ -34,7 +34,7 @@ fn every_builtin_format_round_trips_through_trait_objects() {
         assert!(stats.ratio() > 1.0, "{} did not compress", codec.name());
 
         // The stream must sniff back to the codec that wrote it.
-        let (owner, format) = registry.probe(&bytes).expect("probe");
+        let (owner, format) = registry.sniff(&bytes).expect("probe");
         assert_eq!(owner.name(), codec.name());
         assert_eq!(format.name(), codec.name());
 
@@ -59,9 +59,9 @@ fn registry_lookup_by_name_and_unknown_magic() {
         assert!(registry.get(format.name()).is_some(), "{format} missing");
     }
     assert!(registry.get("nope").is_none());
-    assert!(registry.probe(b"XXXX rest of stream").is_none());
+    assert!(registry.sniff(b"XXXX rest of stream").is_none());
     assert!(
-        registry.probe(b"DP").is_none(),
+        registry.sniff(b"DP").is_none(),
         "short header must not match"
     );
     match registry.decompress(b"XXXXjunk") {
@@ -81,7 +81,7 @@ fn hostile_fixtures_are_rejected_without_panicking() {
     for (name, bytes) in fixtures {
         // The magic is legitimate, so probe succeeds — rejection must come
         // from the decoder, as an error, not a panic.
-        assert!(registry.probe(&bytes).is_some(), "{name}: probe");
+        assert!(registry.sniff(&bytes).is_some(), "{name}: probe");
         match registry.decompress(&bytes) {
             Err(DpzError::Corrupt(_)) | Err(DpzError::Deflate(_)) => {}
             other => panic!("{name}: expected Corrupt/Deflate, got {other:?}"),

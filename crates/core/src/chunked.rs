@@ -58,6 +58,7 @@ use crate::container::{self, checked_product, ContainerInfo, DpzError, Progressi
 use crate::decompose::extract_region;
 use crate::pipeline::{decompress, decompress_with_info, Compressed, PipelinePlan};
 use crate::stage::BufferPool;
+use crate::target::{self, QualityTarget, RatioOracle};
 use dpz_deflate::crc32;
 use dpz_linalg::SubspaceSeed;
 use dpz_telemetry::span;
@@ -121,6 +122,11 @@ fn check_chunk_input(data: &[f32], dims: &[usize]) -> Result<(), DpzError> {
 ///
 /// Each slab must still be large enough to decompose (≥ 2 values); `chunks`
 /// is clamped accordingly. The output is a seekable v4 container.
+///
+/// Data-dependent quality targets ([`QualityTarget::Ratio`] /
+/// [`QualityTarget::Psnr`]) are resolved **once, against the whole input**,
+/// before any slab is planned — every chunk then shares the same resolved
+/// bound, and the control loop confirms against the aggregate container.
 pub fn compress_chunked(
     data: &[f32],
     dims: &[usize],
@@ -128,6 +134,101 @@ pub fn compress_chunked(
     chunks: usize,
 ) -> Result<ChunkedCompressed, DpzError> {
     check_chunk_input(data, dims)?;
+    cfg.target.validate()?;
+    if cfg.target.needs_resolution() {
+        return chunked_with_target(data, cfg, &|resolved| {
+            compress_chunked_resolved(data, dims, resolved, chunks)
+        });
+    }
+    compress_chunked_resolved(data, dims, cfg, chunks)
+}
+
+/// Shared control loop for data-dependent targets over a chunked/progressive
+/// compressor. `run` executes one full compression at a resolved config; the
+/// loop confirms against the aggregate container ratio (fixed-ratio, with one
+/// calibrated corrective pass) or the full-roundtrip PSNR (fixed-PSNR, with
+/// bounded tighten-and-retry).
+fn chunked_with_target(
+    data: &[f32],
+    cfg: &DpzConfig,
+    run: &dyn Fn(&DpzConfig) -> Result<ChunkedCompressed, DpzError>,
+) -> Result<ChunkedCompressed, DpzError> {
+    let reg = dpz_telemetry::global();
+    match cfg.target {
+        QualityTarget::Ratio { target: tcr, tol } => {
+            let oracle = RatioOracle::build(data, cfg)?;
+            let (resolved, res) = target::resolve_ratio(cfg, &oracle, tcr, tol, 1.0)?;
+            let out = run(&resolved)?;
+            reg.counter_with("dpz_target_confirm_total", &[("mode", "ratio")])
+                .inc();
+            if target::ratio_within(out.cr_total, tcr, tol) {
+                return Ok(out);
+            }
+            let predicted = res.predicted_cr.unwrap_or(out.cr_total).max(1e-9);
+            let calibration = out.cr_total / predicted;
+            let (resolved2, _) = target::resolve_ratio(cfg, &oracle, tcr, tol, calibration)?;
+            let out2 = run(&resolved2)?;
+            reg.counter_with("dpz_target_confirm_total", &[("mode", "ratio")])
+                .inc();
+            let dist = |cr: f64| (cr.max(1e-12) / tcr).ln().abs();
+            let best = if dist(out2.cr_total) <= dist(out.cr_total) {
+                out2
+            } else {
+                out
+            };
+            if target::ratio_within(best.cr_total, tcr, tol) {
+                Ok(best)
+            } else {
+                Err(DpzError::TargetUnreachable {
+                    requested: tcr,
+                    achievable: best.cr_total,
+                })
+            }
+        }
+        QualityTarget::Psnr(db) => {
+            let (mut resolved, res) = target::resolve_psnr(cfg, db);
+            let mut p = res.p;
+            let mut best: Option<(ChunkedCompressed, f64)> = None;
+            for attempt in 0..MAX_PSNR_ATTEMPTS {
+                let out = run(&resolved)?;
+                let (recon, _) = decompress_chunked(&out.bytes)?;
+                let measured = crate::pipeline::psnr(data, &recon);
+                if measured >= db {
+                    return Ok(out);
+                }
+                if best.as_ref().is_none_or(|(_, m)| measured > *m) {
+                    best = Some((out, measured));
+                }
+                if attempt + 1 < MAX_PSNR_ATTEMPTS {
+                    reg.counter("dpz_target_psnr_retries_total").inc();
+                    p *= 0.25;
+                    resolved = resolved.with_resolved_bound(p);
+                    resolved.selection = target::tighten_selection_once(resolved.selection);
+                }
+            }
+            let (out, measured) = best.expect("at least one attempt ran");
+            if measured >= db - crate::pipeline::PSNR_SLACK_DB {
+                Ok(out)
+            } else {
+                Err(DpzError::TargetUnreachable {
+                    requested: db,
+                    achievable: measured,
+                })
+            }
+        }
+        _ => run(cfg),
+    }
+}
+
+/// Bounded retries of the chunked post-hoc PSNR validation loop.
+const MAX_PSNR_ATTEMPTS: u32 = 3;
+
+fn compress_chunked_resolved(
+    data: &[f32],
+    dims: &[usize],
+    cfg: &DpzConfig,
+    chunks: usize,
+) -> Result<ChunkedCompressed, DpzError> {
     let _root = span!("compress_chunked");
     let (rows_per_slab, rest) = slab_extents(dims, chunks);
     let slab_values = rows_per_slab * rest;
@@ -256,6 +357,21 @@ pub fn compress_progressive(
     chunks: usize,
 ) -> Result<ChunkedCompressed, DpzError> {
     check_chunk_input(data, dims)?;
+    cfg.target.validate()?;
+    if cfg.target.needs_resolution() {
+        return chunked_with_target(data, cfg, &|resolved| {
+            compress_progressive_resolved(data, dims, resolved, chunks)
+        });
+    }
+    compress_progressive_resolved(data, dims, cfg, chunks)
+}
+
+fn compress_progressive_resolved(
+    data: &[f32],
+    dims: &[usize],
+    cfg: &DpzConfig,
+    chunks: usize,
+) -> Result<ChunkedCompressed, DpzError> {
     let _root = span!("compress_progressive");
     let (rows_per_slab, rest) = slab_extents(dims, chunks);
     let slab_values = rows_per_slab * rest;

@@ -1,7 +1,9 @@
-//! Compressor configuration: the paper's DPZ-l / DPZ-s schemes, the two
-//! k-selection methods of Algorithm 1, and the standardization policy.
+//! Compressor configuration: the quality target (the paper's DPZ-l / DPZ-s
+//! operating points plus the fixed-ratio / fixed-PSNR control targets), the
+//! two k-selection methods of Algorithm 1, and the standardization policy.
 
-use crate::container::LosslessBackend;
+use crate::container::{DpzError, LosslessBackend};
+use crate::target::{QualityTarget, WIDE_INDEX_AUTO_THRESHOLD};
 use dpz_linalg::fit::FitKind;
 
 /// Which deterministic transform stage 1 applies to each block.
@@ -22,7 +24,25 @@ pub enum Stage1Transform {
     },
 }
 
-/// Quantization scheme (Section V-A).
+/// Quantizer index-width policy: how many bytes each stage-3 bin index
+/// occupies. `Auto` follows the resolved bound — bounds tighter than
+/// [`WIDE_INDEX_AUTO_THRESHOLD`] need the 65535-bin range to keep the
+/// outlier stream small, looser bounds fit in one byte.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum IndexWidth {
+    /// Decide from the resolved bound.
+    #[default]
+    Auto,
+    /// 1-byte indices (255 bins) — DPZ-l.
+    Narrow,
+    /// 2-byte indices (65535 bins) — DPZ-s.
+    Wide,
+}
+
+/// Quantization scheme (Section V-A): the *resolved* stage-3 realization of
+/// a [`QualityTarget`] — a concrete bound plus index width. The quantizer
+/// layer speaks `Scheme`; the config layer speaks `QualityTarget` and
+/// resolves it here via [`DpzConfig::resolved_scheme`].
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Scheme {
     /// DPZ-l ("loose"): `P = 1e-3`, 1-byte bin indices.
@@ -154,8 +174,11 @@ pub enum Standardize {
 /// Complete DPZ configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DpzConfig {
-    /// Quantization scheme (stage 3).
-    pub scheme: Scheme,
+    /// What the caller wants: an error bound (static), or a ratio / PSNR
+    /// control target that [`crate::compress`] resolves per input.
+    pub target: QualityTarget,
+    /// Stage-3 index-width policy applied to the resolved bound.
+    pub index_width: IndexWidth,
     /// Stage-1 deterministic transform.
     pub transform: Stage1Transform,
     /// k-selection method (stage 2).
@@ -176,10 +199,12 @@ pub struct DpzConfig {
 }
 
 impl DpzConfig {
-    /// DPZ-l with the "five-nine" TVE default.
+    /// DPZ-l with the "five-nine" TVE default (`P = 1e-3`, 1-byte indices —
+    /// byte-identical artifacts to the historical `Scheme::Loose`).
     pub fn loose() -> DpzConfig {
         DpzConfig {
-            scheme: Scheme::Loose,
+            target: QualityTarget::ErrorBound(1e-3),
+            index_width: IndexWidth::Narrow,
             transform: Stage1Transform::Dct,
             selection: KSelection::Tve(TveLevel::FiveNines.fraction()),
             standardize: Standardize::Auto,
@@ -191,12 +216,78 @@ impl DpzConfig {
         }
     }
 
-    /// DPZ-s with the "five-nine" TVE default.
+    /// DPZ-s with the "five-nine" TVE default (`P = 1e-4`, 2-byte indices).
     pub fn strict() -> DpzConfig {
         DpzConfig {
-            scheme: Scheme::Strict,
+            target: QualityTarget::ErrorBound(1e-4),
+            index_width: IndexWidth::Wide,
             ..DpzConfig::loose()
         }
+    }
+
+    /// Set the quality target and reset the index-width policy to `Auto`
+    /// (the resolved bound decides). Use [`DpzConfig::with_index_width`]
+    /// afterwards to force a width.
+    pub fn with_target(mut self, target: QualityTarget) -> DpzConfig {
+        self.target = target;
+        self.index_width = IndexWidth::Auto;
+        self
+    }
+
+    /// Set the stage-3 index-width policy.
+    pub fn with_index_width(mut self, index_width: IndexWidth) -> DpzConfig {
+        self.index_width = index_width;
+        self
+    }
+
+    /// Express a legacy quantization [`Scheme`] as a target + width pair
+    /// (`Scheme::Loose` ↔ `ErrorBound(1e-3)`/`Narrow`, and so on) —
+    /// byte-identical artifacts to the pre-target config plumbing.
+    pub fn with_scheme(mut self, scheme: Scheme) -> DpzConfig {
+        self.target = QualityTarget::ErrorBound(scheme.p());
+        self.index_width = if scheme.wide_index() {
+            IndexWidth::Wide
+        } else {
+            IndexWidth::Narrow
+        };
+        self
+    }
+
+    /// The index width the policy picks for a resolved bound `p`.
+    pub fn wide_for(&self, p: f64) -> bool {
+        match self.index_width {
+            IndexWidth::Narrow => false,
+            IndexWidth::Wide => true,
+            IndexWidth::Auto => p < WIDE_INDEX_AUTO_THRESHOLD,
+        }
+    }
+
+    /// The concrete stage-3 scheme this config resolves to, or
+    /// [`DpzError::InvalidConfig`] when the target is data-dependent
+    /// (`Ratio` / `Psnr`) and has not been resolved yet — those must go
+    /// through [`crate::compress`] (or the chunked drivers), which run the
+    /// control loop first.
+    pub fn resolved_scheme(&self) -> Result<Scheme, DpzError> {
+        self.target.validate()?;
+        let p = self.target.static_bound().ok_or_else(|| {
+            DpzError::InvalidConfig(
+                "ratio/PSNR targets are resolved per input; use dpz_core::compress \
+                 or compress_chunked instead of planning directly"
+                    .into(),
+            )
+        })?;
+        Ok(Scheme::Custom {
+            p,
+            wide_index: self.wide_for(p),
+        })
+    }
+
+    /// Replace the target with an already-resolved bound, keeping the
+    /// index-width policy (the control loops call this after a search).
+    pub(crate) fn with_resolved_bound(&self, p: f64) -> DpzConfig {
+        let mut c = *self;
+        c.target = QualityTarget::ErrorBound(p);
+        c
     }
 
     /// Set the k-selection method.
@@ -275,7 +366,8 @@ mod tests {
             .with_sampling(true)
             .with_standardize(Standardize::Off)
             .with_transform(Stage1Transform::Dwt { levels: 4 });
-        assert_eq!(cfg.scheme, Scheme::Strict);
+        assert_eq!(cfg.target, QualityTarget::ErrorBound(1e-4));
+        assert_eq!(cfg.index_width, IndexWidth::Wide);
         assert_eq!(cfg.selection, KSelection::Tve(0.9999999));
         assert!(cfg.sampling);
         assert_eq!(cfg.standardize, Standardize::Off);
@@ -291,5 +383,65 @@ mod tests {
         };
         assert_eq!(s.p(), 5e-3);
         assert_eq!(s.bins(), 65535);
+    }
+
+    #[test]
+    fn targets_resolve_to_legacy_schemes() {
+        // The paper's two operating points resolve to schemes that are
+        // byte-identical to the pre-refactor Scheme::Loose / Scheme::Strict.
+        let loose = DpzConfig::loose().resolved_scheme().unwrap();
+        assert_eq!(loose.p(), Scheme::Loose.p());
+        assert_eq!(loose.wide_index(), Scheme::Loose.wide_index());
+        assert_eq!(loose.bins(), Scheme::Loose.bins());
+        let strict = DpzConfig::strict().resolved_scheme().unwrap();
+        assert_eq!(strict.p(), Scheme::Strict.p());
+        assert_eq!(strict.wide_index(), Scheme::Strict.wide_index());
+
+        // Auto width follows the bound across the threshold.
+        let auto = DpzConfig::loose().with_target(QualityTarget::ErrorBound(1e-4));
+        assert!(auto.resolved_scheme().unwrap().wide_index());
+        let auto = DpzConfig::strict().with_target(QualityTarget::ErrorBound(1e-3));
+        assert!(!auto.resolved_scheme().unwrap().wide_index());
+
+        // RelBound is the explicit spelling of the same (range-relative)
+        // contract and resolves identically.
+        let rel = DpzConfig::loose().with_target(QualityTarget::RelBound(1e-3));
+        assert_eq!(rel.resolved_scheme().unwrap().p(), 1e-3);
+    }
+
+    #[test]
+    fn search_targets_refuse_static_resolution() {
+        let cfg = DpzConfig::loose().with_target(QualityTarget::Ratio {
+            target: 20.0,
+            tol: 0.1,
+        });
+        assert!(matches!(
+            cfg.resolved_scheme(),
+            Err(DpzError::InvalidConfig(_))
+        ));
+        let cfg = DpzConfig::loose().with_target(QualityTarget::Psnr(60.0));
+        assert!(matches!(
+            cfg.resolved_scheme(),
+            Err(DpzError::InvalidConfig(_))
+        ));
+        // Invalid parameters are typed errors, not panics.
+        let cfg = DpzConfig::loose().with_target(QualityTarget::ErrorBound(-1.0));
+        assert!(matches!(
+            cfg.resolved_scheme(),
+            Err(DpzError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn with_scheme_compat_maps_to_targets() {
+        let cfg = DpzConfig::loose().with_scheme(Scheme::Custom {
+            p: 5e-4,
+            wide_index: true,
+        });
+        assert_eq!(cfg.target, QualityTarget::ErrorBound(5e-4));
+        assert_eq!(cfg.index_width, IndexWidth::Wide);
+        let s = cfg.resolved_scheme().unwrap();
+        assert_eq!(s.p(), 5e-4);
+        assert!(s.wide_index());
     }
 }

@@ -81,6 +81,17 @@ pub enum DpzError {
     BadInput(&'static str),
     /// I/O failure on a streaming source or sink (codec trait paths).
     Io(String),
+    /// Rejected configuration (non-positive bound, tolerance outside
+    /// `(0, 1)`, unresolved data-dependent target handed to a plan, …).
+    InvalidConfig(String),
+    /// A fixed-ratio or fixed-PSNR target the control loop could not land
+    /// within tolerance for this input.
+    TargetUnreachable {
+        /// What the caller asked for (ratio, or PSNR in dB).
+        requested: f64,
+        /// The closest the search/confirmation got.
+        achievable: f64,
+    },
 }
 
 impl std::fmt::Display for DpzError {
@@ -91,6 +102,14 @@ impl std::fmt::Display for DpzError {
             DpzError::Numeric(w) => write!(f, "numerical failure: {w}"),
             DpzError::BadInput(w) => write!(f, "bad input: {w}"),
             DpzError::Io(w) => write!(f, "i/o failure: {w}"),
+            DpzError::InvalidConfig(w) => write!(f, "invalid configuration: {w}"),
+            DpzError::TargetUnreachable {
+                requested,
+                achievable,
+            } => write!(
+                f,
+                "quality target unreachable: requested {requested:.3}, best achievable ≈ {achievable:.3}"
+            ),
         }
     }
 }

@@ -56,6 +56,7 @@ pub mod pipeline;
 pub mod quantize;
 pub mod sampling;
 pub mod stage;
+pub mod target;
 
 pub use chunked::{
     compress_chunked, compress_progressive, decompress_chunk, decompress_chunk_from,
@@ -63,12 +64,20 @@ pub use chunked::{
     decompress_region_from, reencode_legacy, ChunkEntry, ChunkedCompressed, ComponentEntry,
     ProgressiveDecoded, ProgressiveEntry, SeekableIndex, FLAG_PROGRESSIVE,
 };
-pub use config::{DpzConfig, KSelection, Scheme, Stage1Transform, Standardize, TveLevel};
+pub use config::{
+    DpzConfig, IndexWidth, KSelection, Scheme, Stage1Transform, Standardize, TveLevel,
+};
 pub use container::{ComponentSpan, ContainerInfo, DpzError, LosslessBackend, ProgressiveLayout};
 pub use decompose::extract_region;
+pub use pipeline::PSNR_SLACK_DB;
 pub use pipeline::{
     compress, compress_with_breakdown, decompress, decompress_with_info, Compressed,
     CompressionBreakdown, CompressionStats, NumericOutcome, PipelinePlan, StageTimings,
 };
 pub use sampling::{SamplingEstimate, SamplingStrategy};
 pub use stage::{BufferPool, Stage, StageGraph, StageTrace};
+pub use target::{
+    bound_for_psnr, psnr_for_bound, ratio_within, search_bound_for_ratio, QualityTarget,
+    RatioOracle, SearchOutcome, TargetResolution, MAX_ORACLE_PROBES, PROBE_CAP, P_SEARCH_MAX,
+    P_SEARCH_MIN, WIDE_INDEX_AUTO_THRESHOLD,
+};

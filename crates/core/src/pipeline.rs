@@ -23,6 +23,7 @@ use crate::kpca::select_k;
 use crate::quantize::{dequantize_scores, quantize_scores, QuantizedScores};
 use crate::sampling::{SamplingEstimate, SamplingStrategy};
 use crate::stage::{BufferPool, Stage, StageGraph, StageTrace};
+use crate::target::{self, QualityTarget, RatioOracle};
 use dpz_linalg::{Matrix, Pca, PcaOptions, RangeFinderOptions, SubspaceSeed};
 use dpz_telemetry::span;
 use std::sync::Arc;
@@ -103,7 +104,7 @@ pub struct Compressed {
 
 /// Minimum and range of the data, with a range floor of 1 so constant
 /// fields normalize to zero instead of dividing by zero.
-fn value_extent(data: &[f32]) -> (f64, f64) {
+pub(crate) fn value_extent(data: &[f32]) -> (f64, f64) {
     let (lo, hi) = data
         .iter()
         .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &v| {
@@ -434,7 +435,10 @@ impl<'a> Stage<PipelineCtx<'a>> for Stage3Quantize {
 
     fn execute(&self, ctx: &mut PipelineCtx<'a>) -> Result<(), DpzError> {
         let scores = ctx.scores.take().expect("stage 2 ran");
-        let quantized = quantize_scores(scores.as_slice(), ctx.cfg.scheme);
+        // The plan validated the config, so a static bound is guaranteed
+        // here; the error path survives as a defensive check.
+        let scheme = ctx.cfg.resolved_scheme()?;
+        let quantized = quantize_scores(scores.as_slice(), scheme);
         ctx.pool.release(scores.into_vec());
         ctx.n_outliers = quantized.outliers.len();
         ctx.quantized = Some(quantized);
@@ -459,6 +463,7 @@ fn assemble_payload(ctx: &mut PipelineCtx<'_>) -> ContainerData {
         .feature_scale()
         .map(|s| s.iter().map(|&v| v as f32).collect())
         .unwrap_or_default();
+    let scores = ctx.quantized.take().expect("stage 3 ran");
     ContainerData {
         dims: ctx.dims.to_vec(),
         orig_len: ctx.data.len(),
@@ -470,12 +475,12 @@ fn assemble_payload(ctx: &mut PipelineCtx<'_>) -> ContainerData {
         k,
         transform_tag: ctx.transform_tag,
         dwt_levels: ctx.dwt_levels,
-        p: ctx.cfg.scheme.p(),
+        p: scores.p,
         standardized: ctx.standardize,
         basis,
         mean,
         scale,
-        scores: ctx.quantized.take().expect("stage 3 ran"),
+        scores,
     }
 }
 
@@ -533,6 +538,10 @@ impl PipelinePlan {
         if len < 2 {
             return Err(DpzError::BadInput("need at least two values"));
         }
+        // Validate up front: bad bounds are typed errors here, and
+        // data-dependent targets (`Ratio` / `Psnr`) must already have been
+        // resolved by `compress`'s control loop before a plan exists.
+        cfg.resolved_scheme()?;
         let shape = decompose::choose_shape(len);
         let (transform_tag, dwt_levels) = match cfg.transform {
             Stage1Transform::Dct => (0u8, 0u8),
@@ -725,12 +734,119 @@ impl PipelinePlan {
 
 /// Compress `data` (shape `dims`) under `cfg`.
 ///
-/// Thin wrapper: plans once and executes the stage graph once. Callers
-/// compressing many equal-length buffers should hold a [`PipelinePlan`]
-/// instead and amortize the planning + scratch allocation.
+/// Static targets (`ErrorBound` / `RelBound`) plan once and execute the
+/// stage graph once; callers compressing many equal-length buffers should
+/// hold a [`PipelinePlan`] instead and amortize the planning + scratch
+/// allocation. The control targets run their resolution loop first:
+///
+/// * [`QualityTarget::Ratio`] — FRaZ-style bound search against the
+///   [`RatioOracle`] (≤ [`target::MAX_ORACLE_PROBES`] oracle calls),
+///   confirmed against the real artifact with one corrective, calibrated
+///   re-search allowed before failing typed.
+/// * [`QualityTarget::Psnr`] — closed-form bound, validated post-hoc
+///   against the real roundtrip with bounded tighten-and-retry.
 pub fn compress(data: &[f32], dims: &[usize], cfg: &DpzConfig) -> Result<Compressed, DpzError> {
     check_input(data, dims)?;
-    PipelinePlan::new(data.len(), cfg)?.execute(data, dims)
+    cfg.target.validate()?;
+    match cfg.target {
+        QualityTarget::Ratio { target, tol } => compress_fixed_ratio(data, dims, cfg, target, tol),
+        QualityTarget::Psnr(db) => compress_fixed_psnr(data, dims, cfg, db),
+        _ => PipelinePlan::new(data.len(), cfg)?.execute(data, dims),
+    }
+}
+
+/// Bounded retries of the post-hoc PSNR validation loop.
+const MAX_PSNR_ATTEMPTS: u32 = 3;
+
+/// Acceptance slack for fixed-PSNR mode: the final artifact may sit this
+/// far (dB) under the request before the mode fails typed.
+pub const PSNR_SLACK_DB: f64 = 0.5;
+
+/// Fixed-ratio control loop: search the bound space against the sampling
+/// oracle, compress once, and — if the real ratio misses the band — run one
+/// calibrated re-search (oracle scaled by measured/predicted) and one
+/// corrective compression before failing typed.
+fn compress_fixed_ratio(
+    data: &[f32],
+    dims: &[usize],
+    cfg: &DpzConfig,
+    target_cr: f64,
+    tol: f64,
+) -> Result<Compressed, DpzError> {
+    let reg = dpz_telemetry::global();
+    let oracle = RatioOracle::build(data, cfg)?;
+    let (resolved, res) = target::resolve_ratio(cfg, &oracle, target_cr, tol, 1.0)?;
+    let out = PipelinePlan::new(data.len(), &resolved)?.execute(data, dims)?;
+    reg.counter_with("dpz_target_confirm_total", &[("mode", "ratio")])
+        .inc();
+    if target::ratio_within(out.stats.cr_total, target_cr, tol) {
+        return Ok(out);
+    }
+
+    // The entropy model has dataset-dependent bias (DEFLATE matches, model
+    // packing); one measured point calibrates it out.
+    let predicted = res.predicted_cr.unwrap_or(out.stats.cr_total).max(1e-9);
+    let calibration = out.stats.cr_total / predicted;
+    let (resolved2, _) = target::resolve_ratio(cfg, &oracle, target_cr, tol, calibration)?;
+    let out2 = PipelinePlan::new(data.len(), &resolved2)?.execute(data, dims)?;
+    reg.counter_with("dpz_target_confirm_total", &[("mode", "ratio")])
+        .inc();
+    let dist = |cr: f64| (cr.max(1e-12) / target_cr).ln().abs();
+    let best = if dist(out2.stats.cr_total) <= dist(out.stats.cr_total) {
+        out2
+    } else {
+        out
+    };
+    if target::ratio_within(best.stats.cr_total, target_cr, tol) {
+        Ok(best)
+    } else {
+        Err(DpzError::TargetUnreachable {
+            requested: target_cr,
+            achievable: best.stats.cr_total,
+        })
+    }
+}
+
+/// Fixed-PSNR control loop: closed-form bound (with truncation headroom),
+/// post-hoc validation against the real roundtrip, and bounded
+/// tighten-and-retry (bound ÷ 4, one more TVE nine) when the measurement
+/// falls short.
+fn compress_fixed_psnr(
+    data: &[f32],
+    dims: &[usize],
+    cfg: &DpzConfig,
+    db: f64,
+) -> Result<Compressed, DpzError> {
+    let reg = dpz_telemetry::global();
+    let (mut resolved, res) = target::resolve_psnr(cfg, db);
+    let mut p = res.p;
+    let mut best: Option<(Compressed, f64)> = None;
+    for attempt in 0..MAX_PSNR_ATTEMPTS {
+        let out = PipelinePlan::new(data.len(), &resolved)?.execute(data, dims)?;
+        let (recon, _) = decompress(&out.bytes)?;
+        let measured = psnr(data, &recon);
+        if measured >= db {
+            return Ok(out);
+        }
+        if best.as_ref().is_none_or(|(_, m)| measured > *m) {
+            best = Some((out, measured));
+        }
+        if attempt + 1 < MAX_PSNR_ATTEMPTS {
+            reg.counter("dpz_target_psnr_retries_total").inc();
+            p *= 0.25;
+            resolved = resolved.with_resolved_bound(p);
+            resolved.selection = target::tighten_selection_once(resolved.selection);
+        }
+    }
+    let (out, measured) = best.expect("at least one attempt ran");
+    if measured >= db - PSNR_SLACK_DB {
+        Ok(out)
+    } else {
+        Err(DpzError::TargetUnreachable {
+            requested: db,
+            achievable: measured,
+        })
+    }
 }
 
 /// Publish one compression's activity to the global telemetry registry.
@@ -964,8 +1080,9 @@ pub fn compress_with_breakdown(
 }
 
 /// Local PSNR helper (range-based, matching `dpz-data`'s definition without
-/// creating a dependency cycle).
-fn psnr(original: &[f32], reconstructed: &[f32]) -> f64 {
+/// creating a dependency cycle). Shared with the chunked drivers' fixed-PSNR
+/// validation.
+pub(crate) fn psnr(original: &[f32], reconstructed: &[f32]) -> f64 {
     let n = original.len();
     let mut lo = f64::INFINITY;
     let mut hi = f64::NEG_INFINITY;

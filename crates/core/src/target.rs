@@ -1,0 +1,691 @@
+//! Quality-target control plane: what the caller asks for — an error
+//! bound, a compression ratio, or a PSNR — and how each request is resolved
+//! to the single knob the pipeline actually has, the stage-3 quantizer
+//! bound `P`.
+//!
+//! Two inversions sit on top of the plain bound-in/ratio-out pipeline:
+//!
+//! * **Fixed PSNR** (after "Fixed-PSNR Lossy Compression for Scientific
+//!   Data"): stage 1 range-normalizes the input, so the quantizer noise of
+//!   a uniform bound `P` is `P²/3` in the normalized domain and the
+//!   range-relative PSNR follows in closed form — `PSNR = −20·log₁₀P +
+//!   10·log₁₀3`. [`bound_for_psnr`] inverts that (with a fixed headroom for
+//!   PCA-truncation error), and the caller validates post-hoc against the
+//!   real reconstruction.
+//! * **Fixed ratio** (after FRaZ): an iterative search over bound space
+//!   against a cheap ratio oracle. The oracle ([`RatioOracle`]) is the §V
+//!   sampling predictor's stage-1/2 machinery — same prefix sample, same
+//!   transform and k-selection — extended with a bound-aware stage-3 term:
+//!   instead of the constant `CR'_stage3 × CR'_zlib` band, it quantizes the
+//!   sample scores at each candidate `P` and prices the index stream at its
+//!   empirical symbol entropy. [`search_bound_for_ratio`] brackets the
+//!   target in log-log space and refines by secant steps, spending at most
+//!   [`MAX_ORACLE_PROBES`] oracle calls per search.
+
+use crate::config::{DpzConfig, IndexWidth, KSelection, Scheme, Stage1Transform, Standardize};
+use crate::container::DpzError;
+use crate::decompose;
+use crate::kpca::select_k;
+use crate::quantize::quantize_scores;
+use dpz_linalg::{Pca, PcaOptions};
+
+/// Largest prefix (in values) any quality probe examines — shared by the
+/// `AutoCodec` selector and the ratio-search oracle so every sampling-based
+/// decision in the workspace reads the same amount of data.
+pub const PROBE_CAP: usize = 64 * 1024;
+
+/// Upper bound on oracle evaluations per ratio search (bracketing included).
+pub const MAX_ORACLE_PROBES: u32 = 6;
+
+/// Auto index-width policy: bounds tighter than this get 2-byte indices.
+/// `P = 1e-3` (DPZ-l) stays narrow; `P = 1e-4` (DPZ-s) goes wide.
+pub const WIDE_INDEX_AUTO_THRESHOLD: f64 = 1e-3;
+
+/// Lower end of the bound-search bracket in quantizer-`P` space: past the
+/// point where f32 outlier storage floors the error.
+pub const P_SEARCH_MIN: f64 = 1e-7;
+/// Upper end of the bound-search bracket: beyond it every score lands in
+/// one or two bins.
+pub const P_SEARCH_MAX: f64 = 0.25;
+
+/// PSNR headroom reserved for PCA truncation and model rounding: the
+/// quantizer is pointed this many dB above the request so the other error
+/// sources can spend the rest of the budget.
+const PSNR_HEADROOM_DB: f64 = 3.0;
+
+/// Inputs below this size skip the entropy model entirely: compressing the
+/// whole sample is cheaper than modelling it, so the oracle just measures.
+const MICRO_ORACLE_MAX: usize = 4096;
+
+/// DEFLATE typically shaves a few percent off the f32 model sections.
+const MODEL_PACK_FACTOR: f64 = 0.95;
+
+/// Fixed container framing (header, section table, CRCs).
+const CONTAINER_OVERHEAD_BYTES: f64 = 96.0;
+
+/// What the caller wants from a compression, in their own terms.
+///
+/// `ErrorBound` and `RelBound` are *static*: they resolve to a quantizer
+/// bound without looking at the data. `Ratio` and `Psnr` are control
+/// targets: [`crate::compress`] (and the chunked drivers) resolve them per
+/// input — a closed form for PSNR, an oracle-guided search for ratio — and
+/// confirm against the real artifact.
+///
+/// On the bound semantics: stage 1 normalizes the input to `[-0.5, 0.5]`
+/// by its value range, so the quantizer bound `P` is *already* a
+/// range-relative error bound (the paper's θ metric). `ErrorBound(p)` is
+/// that bound verbatim — the paper's `P`, byte-compatible with the
+/// pre-refactor `Scheme` plumbing. `RelBound(rel)` spells the same
+/// contract out explicitly ("error ≤ `rel` × value range") and resolves to
+/// the identical `P`; the two diverge only for backends without input
+/// normalization (SZ/ZFP treat `ErrorBound` as value-domain absolute).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum QualityTarget {
+    /// Absolute quantizer error bound — the paper's `P` for DPZ (bounding
+    /// each retained score of the range-normalized data), a value-domain
+    /// absolute bound for the SZ/ZFP baselines.
+    ErrorBound(f64),
+    /// Range-relative error bound: pointwise error at most `rel` times the
+    /// input's value range.
+    RelBound(f64),
+    /// Fixed compression ratio: land `cr_total` within `target × (1 ± tol)`
+    /// or fail with [`DpzError::TargetUnreachable`].
+    Ratio {
+        /// Requested end-to-end compression ratio (> 1).
+        target: f64,
+        /// Relative tolerance band, in `(0, 1)`.
+        tol: f64,
+    },
+    /// Fixed quality: reconstruct at no worse than this range-relative
+    /// PSNR (dB), validated against the real roundtrip.
+    Psnr(f64),
+}
+
+impl QualityTarget {
+    /// Reject non-sensical parameters with a typed error instead of
+    /// asserting deeper in the pipeline (the quantizer keeps its invariant
+    /// `assert!` as a backstop, but no validated config can reach it).
+    pub fn validate(&self) -> Result<(), DpzError> {
+        let bad = |msg: String| Err(DpzError::InvalidConfig(msg));
+        match *self {
+            QualityTarget::ErrorBound(p) | QualityTarget::RelBound(p) => {
+                if !(p.is_finite() && p > 0.0) {
+                    return bad(format!("error bound must be positive and finite, got {p}"));
+                }
+            }
+            QualityTarget::Ratio { target, tol } => {
+                if !(target.is_finite() && target > 1.0) {
+                    return bad(format!(
+                        "target ratio must be finite and exceed 1, got {target}"
+                    ));
+                }
+                if !(tol.is_finite() && tol > 0.0 && tol < 1.0) {
+                    return bad(format!("ratio tolerance must be in (0, 1), got {tol}"));
+                }
+            }
+            QualityTarget::Psnr(db) => {
+                if !(db.is_finite() && db > 0.0) {
+                    return bad(format!("target PSNR must be positive and finite, got {db}"));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The quantizer bound this target resolves to without seeing any
+    /// data, or `None` for the search/closed-form targets (`Ratio`,
+    /// `Psnr`), which must be resolved per input first.
+    pub fn static_bound(&self) -> Option<f64> {
+        match *self {
+            QualityTarget::ErrorBound(p) | QualityTarget::RelBound(p) => Some(p),
+            QualityTarget::Ratio { .. } | QualityTarget::Psnr(..) => None,
+        }
+    }
+
+    /// Whether resolving this target requires a per-input control loop.
+    pub fn needs_resolution(&self) -> bool {
+        self.static_bound().is_none()
+    }
+}
+
+/// The quantizer bound that delivers a range-relative PSNR of `db` (dB),
+/// with [`PSNR_HEADROOM_DB`] reserved for the non-quantizer error sources.
+/// Uniform quantization at bound `P` has MSE `P²/3` in the normalized
+/// domain, so `P = √3 · 10^(−dB/20)`.
+pub fn bound_for_psnr(db: f64) -> f64 {
+    (3.0f64).sqrt() * 10f64.powf(-(db + PSNR_HEADROOM_DB) / 20.0)
+}
+
+/// The range-relative PSNR (dB) the quantizer alone would deliver at bound
+/// `p` — the closed-form inverse of [`bound_for_psnr`] minus the headroom.
+pub fn psnr_for_bound(p: f64) -> f64 {
+    -20.0 * p.log10() + 10.0 * (3.0f64).log10()
+}
+
+/// Tighten a TVE-based k-selection so PCA truncation cannot eat the PSNR
+/// budget on its own: the retained-energy shortfall `(1 − TVE) · Var` must
+/// stay under the target MSE (normalized variance is at most `1/12` for
+/// range-normalized data, so `12 ×` is the conservative inversion).
+/// Explicit `Fixed` / knee-point selections are the caller's business and
+/// are left alone.
+pub(crate) fn tighten_selection_for_psnr(selection: KSelection, db: f64) -> KSelection {
+    let budget = 10f64.powf(-(db + PSNR_HEADROOM_DB) / 10.0);
+    let needed = (1.0 - 12.0 * budget).clamp(0.99, 0.99999999);
+    match selection {
+        KSelection::Tve(t) if t < needed => KSelection::Tve(needed),
+        other => other,
+    }
+}
+
+/// One notch tighter on the TVE dial (used by the post-hoc PSNR retry).
+pub(crate) fn tighten_selection_once(selection: KSelection) -> KSelection {
+    match selection {
+        KSelection::Tve(t) => KSelection::Tve((1.0 - (1.0 - t) / 10.0).min(0.99999999)),
+        other => other,
+    }
+}
+
+/// Is a measured ratio inside the requested tolerance band?
+pub fn ratio_within(measured: f64, target: f64, tol: f64) -> bool {
+    measured >= target * (1.0 - tol) && measured <= target * (1.0 + tol)
+}
+
+/// How a data-dependent target was resolved: the bound the control loop
+/// landed on and the search telemetry behind it.
+#[derive(Debug, Clone, Copy)]
+pub struct TargetResolution {
+    /// Resolved quantizer bound `P`.
+    pub p: f64,
+    /// Index width the bound resolves to under the config's policy.
+    pub wide_index: bool,
+    /// Oracle-predicted compression ratio at `p` (ratio searches only).
+    pub predicted_cr: Option<f64>,
+    /// Closed-form quantizer PSNR at `p` (dB).
+    pub predicted_psnr: f64,
+    /// Oracle evaluations the search spent.
+    pub oracle_calls: u32,
+    /// Whether the search converged inside the tolerance band (always true
+    /// for closed-form resolutions).
+    pub converged: bool,
+}
+
+/// Cheap compression-ratio oracle for the bound search.
+///
+/// Built once per input from a ≤[`PROBE_CAP`]-value prefix: stage 1
+/// (normalize + transform) and stage 2 (PCA at the configured k-selection)
+/// run once, and each [`RatioOracle::predict_cr`] call then only
+/// re-quantizes the cached sample scores — microseconds against the
+/// milliseconds-to-seconds of a real compression, which is what makes a
+/// 6-probe FRaZ-style search practical.
+pub struct RatioOracle {
+    kind: OracleKind,
+}
+
+enum OracleKind {
+    /// Entropy model over the sampled score distribution.
+    Entropy {
+        /// PCA scores of the prefix sample.
+        scores: Vec<f64>,
+        /// Predicted score count for the full input (`N_full × k`).
+        scores_full: f64,
+        /// Predicted packed model bytes for the full input.
+        model_bytes: f64,
+        /// Uncompressed size of the full input.
+        orig_bytes: f64,
+    },
+    /// Tiny inputs: just compress the sample and measure.
+    Micro { sample: Vec<f32>, cfg: DpzConfig },
+}
+
+impl RatioOracle {
+    /// Run stages 1–2 on the input's prefix and cache what
+    /// [`RatioOracle::predict_cr`] needs. The config's transform,
+    /// k-selection, and standardization policy all apply, so the oracle
+    /// prices the pipeline the search will actually run.
+    pub fn build(data: &[f32], cfg: &DpzConfig) -> Result<RatioOracle, DpzError> {
+        if data.len() < 2 {
+            return Err(DpzError::BadInput("need at least two values"));
+        }
+        let sample = &data[..data.len().min(PROBE_CAP)];
+        if sample.len() < MICRO_ORACLE_MAX {
+            return Ok(RatioOracle {
+                kind: OracleKind::Micro {
+                    sample: sample.to_vec(),
+                    cfg: *cfg,
+                },
+            });
+        }
+
+        let shape = decompose::choose_shape(sample.len());
+        let (lo, hi) = sample
+            .iter()
+            .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &v| {
+                (lo.min(f64::from(v)), hi.max(f64::from(v)))
+            });
+        let range = if hi - lo > 0.0 { hi - lo } else { 1.0 };
+        let mut blocks = decompose::to_blocks(sample, shape);
+        for v in blocks.as_mut_slice() {
+            *v = (*v - lo) / range - 0.5;
+        }
+        let coeffs = match cfg.transform {
+            Stage1Transform::Dct => decompose::dct_blocks(&blocks),
+            Stage1Transform::Dwt { levels } => {
+                decompose::dwt_blocks(&blocks, decompose::effective_dwt_levels(shape.n, levels))
+            }
+        };
+        let standardize = matches!(cfg.standardize, Standardize::On);
+        let opts = PcaOptions { standardize };
+        let (pca, k) = match cfg.selection {
+            KSelection::Tve(t) => {
+                let pca = Pca::fit_tve_exact(&coeffs, opts, t)?;
+                let k = select_k(&pca, cfg.selection).k;
+                (pca, k)
+            }
+            KSelection::Fixed(k) => {
+                let k = k.clamp(1, shape.m);
+                (Pca::fit_truncated(&coeffs, opts, k)?, k)
+            }
+            KSelection::KneePoint(_) => {
+                let pca = Pca::fit(&coeffs, opts)?;
+                let k = select_k(&pca, cfg.selection).k;
+                (pca, k)
+            }
+        };
+        let k = k.max(1);
+        let scores = pca.transform(&coeffs, k)?;
+
+        let full = decompose::choose_shape(data.len());
+        let model_f32 = full.m * k + full.m + if standardize { full.m } else { 0 };
+        Ok(RatioOracle {
+            kind: OracleKind::Entropy {
+                scores: scores.as_slice().to_vec(),
+                scores_full: (full.n * k) as f64,
+                model_bytes: (model_f32 * 4) as f64 * MODEL_PACK_FACTOR,
+                orig_bytes: (data.len() * 4) as f64,
+            },
+        })
+    }
+
+    /// Predicted end-to-end compression ratio at quantizer bound `p` with
+    /// the given index width: quantize the cached sample scores, price the
+    /// index stream at its empirical symbol entropy, the outliers at 4
+    /// bytes apiece, and add the (bound-independent) model cost.
+    pub fn predict_cr(&self, p: f64, wide: bool) -> f64 {
+        match &self.kind {
+            OracleKind::Micro { sample, cfg } => {
+                let mut c = *cfg;
+                c.target = QualityTarget::ErrorBound(p);
+                c.index_width = if wide {
+                    IndexWidth::Wide
+                } else {
+                    IndexWidth::Narrow
+                };
+                crate::pipeline::compress(sample, &[sample.len()], &c)
+                    .map(|out| out.stats.cr_total)
+                    .unwrap_or(0.0)
+            }
+            OracleKind::Entropy {
+                scores,
+                scores_full,
+                model_bytes,
+                orig_bytes,
+            } => {
+                let q = quantize_scores(
+                    scores,
+                    Scheme::Custom {
+                        p,
+                        wide_index: wide,
+                    },
+                );
+                let bits = symbol_entropy_bits(&q.indices, q.wide_index);
+                // Floor the per-symbol cost: DEFLATE never reaches zero
+                // bits/symbol on real streams (block framing, code tables).
+                let idx_bytes = scores_full * (bits.max(0.02) / 8.0);
+                let outlier_frac = q.outliers.len() as f64 / q.len.max(1) as f64;
+                let bytes = idx_bytes
+                    + scores_full * outlier_frac * 4.0
+                    + model_bytes
+                    + CONTAINER_OVERHEAD_BYTES;
+                orig_bytes / bytes
+            }
+        }
+    }
+}
+
+/// Zeroth-order entropy (bits/symbol) of a quantizer index stream.
+fn symbol_entropy_bits(indices: &[u8], wide: bool) -> f64 {
+    let mut hist = vec![0u32; if wide { 1 << 16 } else { 1 << 8 }];
+    let n = if wide {
+        for pair in indices.chunks_exact(2) {
+            hist[u16::from_le_bytes([pair[0], pair[1]]) as usize] += 1;
+        }
+        indices.len() / 2
+    } else {
+        for &b in indices {
+            hist[b as usize] += 1;
+        }
+        indices.len()
+    };
+    if n == 0 {
+        return 0.0;
+    }
+    let n = n as f64;
+    let mut bits = 0.0;
+    for &c in &hist {
+        if c > 0 {
+            let f = f64::from(c) / n;
+            bits -= f * f.log2();
+        }
+    }
+    // A 2-byte symbol costs at least its byte width to frame even when the
+    // distribution is degenerate; entropy itself is the dominant term.
+    bits
+}
+
+/// Outcome of a bound search.
+#[derive(Debug, Clone, Copy)]
+pub struct SearchOutcome {
+    /// The bound the search landed on.
+    pub p: f64,
+    /// Oracle-predicted ratio at that bound.
+    pub predicted_cr: f64,
+    /// Oracle evaluations spent.
+    pub oracle_calls: u32,
+    /// Whether the prediction landed inside the tolerance band.
+    pub converged: bool,
+}
+
+/// FRaZ-style fixed-ratio search: bracket `[lo, hi]` in bound space, then
+/// secant steps on the log-log curve `ln CR(ln p)`, spending at most
+/// [`MAX_ORACLE_PROBES`] calls to `predict` (which maps a bound to a
+/// predicted compression ratio — an [`RatioOracle`], or a real
+/// micro-compression for the baseline codecs).
+///
+/// Every search records its probe count in the `dpz_target_search_iters`
+/// histogram and `dpz_target_oracle_calls_total` counter. An unreachable
+/// target — outside the predicted range at both bracket ends — fails fast
+/// with [`DpzError::TargetUnreachable`] after the two bracketing probes.
+pub fn search_bound_for_ratio(
+    predict: impl Fn(f64) -> f64,
+    lo: f64,
+    hi: f64,
+    target: f64,
+    tol: f64,
+) -> Result<SearchOutcome, DpzError> {
+    let record = |calls: u32| {
+        let reg = dpz_telemetry::global();
+        reg.histogram(
+            "dpz_target_search_iters",
+            &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 8.0],
+        )
+        .observe(f64::from(calls));
+        reg.counter("dpz_target_oracle_calls_total")
+            .add(u64::from(calls));
+    };
+    let mut calls: u32 = 0;
+
+    let (mut p_lo, mut p_hi) = (lo, hi);
+    calls += 1;
+    let mut cr_lo = predict(p_lo);
+    if ratio_within(cr_lo, target, tol) {
+        record(calls);
+        return Ok(SearchOutcome {
+            p: p_lo,
+            predicted_cr: cr_lo,
+            oracle_calls: calls,
+            converged: true,
+        });
+    }
+    calls += 1;
+    let mut cr_hi = predict(p_hi);
+    if ratio_within(cr_hi, target, tol) {
+        record(calls);
+        return Ok(SearchOutcome {
+            p: p_hi,
+            predicted_cr: cr_hi,
+            oracle_calls: calls,
+            converged: true,
+        });
+    }
+    // CR is (approximately) monotone in the bound, so a target outside the
+    // bracket's predicted range cannot be reached by any bound.
+    if cr_hi < target * (1.0 - tol) && cr_lo < target * (1.0 - tol) {
+        record(calls);
+        return Err(DpzError::TargetUnreachable {
+            requested: target,
+            achievable: cr_hi.max(cr_lo),
+        });
+    }
+    if cr_lo > target * (1.0 + tol) && cr_hi > target * (1.0 + tol) {
+        record(calls);
+        return Err(DpzError::TargetUnreachable {
+            requested: target,
+            achievable: cr_lo.min(cr_hi),
+        });
+    }
+
+    let log_dist = |cr: f64| (cr.max(1e-12) / target).ln().abs();
+    let mut best = if log_dist(cr_lo) <= log_dist(cr_hi) {
+        (p_lo, cr_lo)
+    } else {
+        (p_hi, cr_hi)
+    };
+    while calls < MAX_ORACLE_PROBES {
+        let (llo, lhi) = (p_lo.ln(), p_hi.ln());
+        let (clo, chi) = (cr_lo.max(1e-12).ln(), cr_hi.max(1e-12).ln());
+        // Secant interpolation in log-log space, clamped away from the
+        // bracket ends so a flat stretch cannot stall the iteration.
+        let t = if (chi - clo).abs() < 1e-12 {
+            0.5
+        } else {
+            ((target.ln() - clo) / (chi - clo)).clamp(0.08, 0.92)
+        };
+        let p_next = (llo + t * (lhi - llo)).exp();
+        calls += 1;
+        let cr = predict(p_next);
+        if log_dist(cr) < log_dist(best.1) {
+            best = (p_next, cr);
+        }
+        if ratio_within(cr, target, tol) {
+            record(calls);
+            return Ok(SearchOutcome {
+                p: p_next,
+                predicted_cr: cr,
+                oracle_calls: calls,
+                converged: true,
+            });
+        }
+        if cr < target {
+            p_lo = p_next;
+            cr_lo = cr;
+        } else {
+            p_hi = p_next;
+            cr_hi = cr;
+        }
+    }
+    record(calls);
+    // Budget spent without entering the band: hand back the closest bound
+    // (the caller's confirmation pass decides whether it is close enough).
+    Ok(SearchOutcome {
+        p: best.0,
+        predicted_cr: best.1,
+        oracle_calls: calls,
+        converged: false,
+    })
+}
+
+/// Resolve a `Ratio` target for `data`: build the oracle, search, and
+/// return the resolved config plus the search telemetry. `calibration`
+/// scales the oracle's predictions (1.0 on the first pass; the measured /
+/// predicted ratio on a corrective pass).
+pub(crate) fn resolve_ratio(
+    cfg: &DpzConfig,
+    oracle: &RatioOracle,
+    target: f64,
+    tol: f64,
+    calibration: f64,
+) -> Result<(DpzConfig, TargetResolution), DpzError> {
+    let outcome = search_bound_for_ratio(
+        |p| oracle.predict_cr(p, cfg.wide_for(p)) * calibration,
+        P_SEARCH_MIN,
+        P_SEARCH_MAX,
+        target,
+        tol,
+    )?;
+    let resolved = cfg.with_resolved_bound(outcome.p);
+    Ok((
+        resolved,
+        TargetResolution {
+            p: outcome.p,
+            wide_index: cfg.wide_for(outcome.p),
+            predicted_cr: Some(outcome.predicted_cr),
+            predicted_psnr: psnr_for_bound(outcome.p),
+            oracle_calls: outcome.oracle_calls,
+            converged: outcome.converged,
+        },
+    ))
+}
+
+/// Resolve a `Psnr` target: closed-form bound plus a tightened TVE floor so
+/// truncation error stays inside the budget. No data inspection is needed —
+/// stage-1 normalization folds the value range into the bound — but the
+/// caller still validates post-hoc against the real roundtrip.
+pub(crate) fn resolve_psnr(cfg: &DpzConfig, db: f64) -> (DpzConfig, TargetResolution) {
+    let p = bound_for_psnr(db);
+    let mut resolved = cfg.with_resolved_bound(p);
+    resolved.selection = tighten_selection_for_psnr(cfg.selection, db);
+    (
+        resolved,
+        TargetResolution {
+            p,
+            wide_index: cfg.wide_for(p),
+            predicted_cr: None,
+            predicted_psnr: psnr_for_bound(p),
+            oracle_calls: 0,
+            converged: true,
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validate_rejects_nonsense() {
+        for bad in [
+            QualityTarget::ErrorBound(0.0),
+            QualityTarget::ErrorBound(-1e-3),
+            QualityTarget::ErrorBound(f64::NAN),
+            QualityTarget::RelBound(f64::INFINITY),
+            QualityTarget::Ratio {
+                target: 0.5,
+                tol: 0.1,
+            },
+            QualityTarget::Ratio {
+                target: 10.0,
+                tol: 1.0,
+            },
+            QualityTarget::Ratio {
+                target: 10.0,
+                tol: 0.0,
+            },
+            QualityTarget::Psnr(0.0),
+            QualityTarget::Psnr(-40.0),
+        ] {
+            assert!(
+                matches!(bad.validate(), Err(DpzError::InvalidConfig(_))),
+                "{bad:?} should be rejected"
+            );
+        }
+        for good in [
+            QualityTarget::ErrorBound(1e-3),
+            QualityTarget::RelBound(1e-4),
+            QualityTarget::Ratio {
+                target: 20.0,
+                tol: 0.15,
+            },
+            QualityTarget::Psnr(60.0),
+        ] {
+            good.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn psnr_bound_round_trips() {
+        for db in [30.0, 50.0, 70.0, 90.0] {
+            let p = bound_for_psnr(db);
+            // The closed form returns the request plus the headroom.
+            let back = psnr_for_bound(p);
+            assert!(
+                (back - db - PSNR_HEADROOM_DB).abs() < 1e-9,
+                "db={db}: p={p:e} back={back}"
+            );
+        }
+        // Tighter targets need tighter bounds.
+        assert!(bound_for_psnr(80.0) < bound_for_psnr(40.0));
+    }
+
+    #[test]
+    fn tve_floor_scales_with_target() {
+        let loose = KSelection::Tve(0.99999);
+        let KSelection::Tve(t40) = tighten_selection_for_psnr(loose, 40.0) else {
+            panic!("tve stays tve")
+        };
+        let KSelection::Tve(t80) = tighten_selection_for_psnr(loose, 80.0) else {
+            panic!("tve stays tve")
+        };
+        assert!(t80 >= t40, "higher PSNR needs at least as much variance");
+        // Fixed selection is the caller's explicit choice.
+        assert_eq!(
+            tighten_selection_for_psnr(KSelection::Fixed(7), 80.0),
+            KSelection::Fixed(7)
+        );
+    }
+
+    #[test]
+    fn oracle_prediction_is_monotone_in_bound() {
+        let data: Vec<f32> = (0..32 * 1024)
+            .map(|i| {
+                let x = i as f32 * 0.01;
+                x.sin() * 40.0 + (0.3 * x).cos() * 25.0
+            })
+            .collect();
+        let cfg = DpzConfig::loose();
+        let oracle = RatioOracle::build(&data, &cfg).unwrap();
+        let tight = oracle.predict_cr(1e-5, true);
+        let mid = oracle.predict_cr(1e-3, false);
+        let loose = oracle.predict_cr(1e-2, false);
+        assert!(tight > 0.0 && mid > 0.0 && loose > 0.0);
+        assert!(
+            tight <= mid * 1.05 && mid <= loose * 1.05,
+            "CR should not fall as the bound loosens: {tight:.2} {mid:.2} {loose:.2}"
+        );
+    }
+
+    #[test]
+    fn search_converges_on_synthetic_curve() {
+        // A synthetic power-law oracle: CR(p) = 100 · (p / 0.01)^0.4.
+        let predict = |p: f64| 100.0 * (p / 0.01).powf(0.4);
+        let s = search_bound_for_ratio(predict, 1e-7, 0.25, 30.0, 0.05).unwrap();
+        assert!(s.converged, "search should converge on a smooth curve");
+        assert!(s.oracle_calls <= MAX_ORACLE_PROBES);
+        assert!(ratio_within(predict(s.p), 30.0, 0.05));
+    }
+
+    #[test]
+    fn search_reports_unreachable() {
+        // Flat oracle far below the target.
+        let err = search_bound_for_ratio(|_| 2.0, 1e-7, 0.25, 1000.0, 0.1).unwrap_err();
+        match err {
+            DpzError::TargetUnreachable {
+                requested,
+                achievable,
+            } => {
+                assert_eq!(requested, 1000.0);
+                assert!((achievable - 2.0).abs() < 1e-12);
+            }
+            other => panic!("expected TargetUnreachable, got {other:?}"),
+        }
+    }
+}

@@ -35,10 +35,10 @@ pub use dpz_zfp as zfp;
 
 /// Most-used items in one import.
 pub mod prelude {
-    pub use dpz_codec::{AutoCodec, Codec, Registry};
+    pub use dpz_codec::{AutoCodec, Codec, CodecProbe, Registry};
     pub use dpz_core::{
-        compress, compress_with_breakdown, decompress, DpzConfig, KSelection, Scheme,
-        Stage1Transform, Standardize, TveLevel,
+        compress, compress_with_breakdown, decompress, DpzConfig, DpzError, IndexWidth, KSelection,
+        QualityTarget, Scheme, Stage1Transform, Standardize, TveLevel,
     };
     pub use dpz_data::{standard_suite, Dataset, DatasetKind, QualityReport, Scale};
 }
